@@ -1,0 +1,93 @@
+// Ablation — bundling strategy quality and cost. Compares greedy,
+// lazy-greedy, random-replica and distinguished-only selection against the
+// exact branch-and-bound optimum on RnB-typical instances, reporting mean
+// transactions and mean plan time. Backs the paper's claim that "a linear
+// time approximation achieves extremely good results in the context of RnB".
+#include <chrono>
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "hashring/placement.hpp"
+#include "setcover/baselines.hpp"
+#include "setcover/exact.hpp"
+#include "setcover/greedy.hpp"
+#include "setcover/lazy_greedy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t trials = flags.u64("trials", 400);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const auto request_size =
+      static_cast<std::uint32_t>(flags.u64("request_size", 40));
+
+  print_banner(std::cout, "Ablation: cover strategy quality vs cost",
+               "Random 16-server, replication-3 instances at request size " +
+                   std::to_string(request_size) +
+                   ". optimal_ratio = mean(txns/optimal txns).");
+
+  const auto placement = make_placement(
+      PlacementScheme::kRangedConsistentHash, 16, 3, seed);
+  Xoshiro256 rng(seed + 99);
+
+  struct Strategy {
+    std::string name;
+    std::function<CoverResult(const CoverInstance&, Xoshiro256&)> run;
+  };
+  const std::vector<Strategy> strategies = {
+      {"greedy", [](const CoverInstance& i, Xoshiro256&) { return greedy_cover(i); }},
+      {"lazy-greedy",
+       [](const CoverInstance& i, Xoshiro256&) { return lazy_greedy_cover(i); }},
+      {"random-replica",
+       [](const CoverInstance& i, Xoshiro256& r) {
+         return random_replica_assignment(i, r);
+       }},
+      {"distinguished",
+       [](const CoverInstance& i, Xoshiro256&) {
+         return distinguished_assignment(i);
+       }},
+  };
+
+  // Pre-generate instances + exact optima so all strategies see identical
+  // inputs.
+  std::vector<CoverInstance> instances;
+  RunningStat optimal;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    CoverInstance instance;
+    instance.candidates.resize(request_size);
+    std::vector<ServerId> loc(3);
+    for (auto& cand : instance.candidates) {
+      placement->replicas(rng(), loc);
+      cand.assign(loc.begin(), loc.end());
+    }
+    const auto exact = exact_cover(instance);
+    if (!exact) continue;  // node budget blown; skip this instance
+    optimal.add(static_cast<double>(exact->transactions()));
+    instances.push_back(std::move(instance));
+  }
+
+  Table table({"strategy", "mean_txns", "optimal_ratio", "plan_us"});
+  table.set_precision(3);
+  table.add_row({std::string("exact(b&b)"), optimal.mean(), 1.0, 0.0});
+  for (const auto& strategy : strategies) {
+    RunningStat txns;
+    Xoshiro256 strategy_rng(seed + 5);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& instance : instances)
+      txns.add(static_cast<double>(
+          strategy.run(instance, strategy_rng).transactions()));
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    table.add_row({strategy.name, txns.mean(), txns.mean() / optimal.mean(),
+                   elapsed.count() / static_cast<double>(instances.size())});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: greedy within a few percent of the exact "
+               "optimum at a tiny fraction of its cost; random/distinguished "
+               "far behind.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation — request-merging window: TPR per ORIGINAL request and replica
+// memory footprint as the merge window grows (Section III-E's caveat:
+// merging unrelated requests dilutes intra-request affinity and can inflate
+// the memory footprint).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/full_sim.hpp"
+#include "workload/merged_source.hpp"
+#include "workload/social_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t measure = flags.u64("requests", 8000);
+  const std::uint64_t warmup = flags.u64("warmup", 48000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const DirectedGraph graph = bench::load_workload_graph(flags, seed);
+
+  print_banner(std::cout, "Ablation: merge window (16 servers, 3 replicas, 2x memory)",
+               "tpr_per_request = TPR of the merged plan divided by the "
+               "window (cost per original end-user request). "
+               "resident_copies probes the replica memory footprint.");
+
+  Table table({"window", "tpr_merged", "tpr_per_request", "misses",
+               "resident_copies"});
+  table.set_precision(3);
+  for (const std::uint32_t window : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    FullSimConfig cfg;
+    cfg.cluster.num_servers = 16;
+    cfg.cluster.logical_replicas = 3;
+    cfg.cluster.unlimited_memory = false;
+    cfg.cluster.relative_memory = 2.0;
+    cfg.cluster.seed = seed;
+    cfg.policy.hitchhiking = true;
+    cfg.warmup_requests = warmup / window + 1;
+    cfg.measure_requests = measure / window + 1;
+    MergedSource source(std::make_unique<SocialWorkload>(graph, seed + 3),
+                        window);
+    const FullSimResult r = run_full_sim(source, cfg);
+    table.add_row({static_cast<std::int64_t>(window), r.metrics.tpr(),
+                   r.metrics.tpr() / window, r.metrics.mean_misses(),
+                   static_cast<std::int64_t>(r.resident_copies)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: per-request TPR drops with the window "
+               "(bundling across requests), with diminishing returns; "
+               "misses per merged request grow as cross-request items "
+               "compete for replica memory.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation — placement scheme trade-offs: load balance per replica rank,
+// lookup cost, and resulting TPR. Ranged consistent hashing (the paper's
+// Section IV scheme) vs multi-hash (the simulator's Section III-B scheme)
+// vs rendezvous hashing.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "hashring/placement.hpp"
+#include "sim/monte_carlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t items = flags.u64("items", 200000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const ServerId servers = 16;
+  const std::uint32_t replication = 3;
+
+  print_banner(std::cout, "Ablation: placement schemes (16 servers, r=3)",
+               "balance = max/mean items per server at rank 0 (1.0 is "
+               "perfect); lookup_ns = one replicas() call; tpr from the "
+               "Monte-Carlo simulator at request size 50.");
+
+  Table table({"scheme", "balance_rank0", "balance_all", "lookup_ns", "tpr"});
+  table.set_precision(3);
+  for (const PlacementScheme scheme :
+       {PlacementScheme::kRangedConsistentHash, PlacementScheme::kMultiHash,
+        PlacementScheme::kRendezvous}) {
+    const auto placement = make_placement(scheme, servers, replication, seed);
+    std::vector<std::uint64_t> rank0(servers, 0), all(servers, 0);
+    std::vector<ServerId> loc(replication);
+    for (ItemId item = 0; item < items; ++item) {
+      placement->replicas(item, loc);
+      ++rank0[loc[0]];
+      for (const ServerId s : loc) ++all[s];
+    }
+    const auto imbalance = [&](const std::vector<std::uint64_t>& load) {
+      std::uint64_t max = 0, total = 0;
+      for (const std::uint64_t l : load) {
+        max = std::max(max, l);
+        total += l;
+      }
+      return static_cast<double>(max) * servers / static_cast<double>(total);
+    };
+
+    // Lookup cost.
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t sink = 0;
+    for (ItemId item = 0; item < 200000; ++item) {
+      placement->replicas(item, loc);
+      sink += loc[0];
+    }
+    const std::chrono::duration<double, std::nano> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (sink == 0xdeadbeef) std::cout << "";  // keep the loop alive
+
+    MonteCarloConfig cfg;
+    cfg.num_servers = servers;
+    cfg.replication = replication;
+    cfg.request_size = 50;
+    cfg.trials = 1200;
+    cfg.placement = scheme;
+    cfg.seed = seed;
+    table.add_row({std::string(to_string(scheme)), imbalance(rank0),
+                   imbalance(all), elapsed.count() / 200000.0,
+                   run_monte_carlo(cfg).tpr()});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: all three schemes yield near-identical TPR "
+               "(bundling only needs pseudo-random distinct replicas); they "
+               "differ in balance tightness and lookup cost, which is the "
+               "deployment trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the figure-reproduction binaries.
+//
+// Every bench accepts `--key=value` overrides (seed, request counts, graph
+// file) so experiments can be re-run on the real SNAP datasets or at larger
+// scale without recompiling; defaults are sized to finish in seconds on one
+// core while preserving each figure's shape.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/flags.hpp"
+#include "graph/generators.hpp"
+#include "graph/loader.hpp"
+
+namespace rnb::bench {
+
+using Flags = ::rnb::Flags;
+
+/// The workload graph: `--graph=PATH` loads a real SNAP edge list,
+/// `--network=epinions` selects the Epinions-calibrated synthetic graph,
+/// anything else (default) the Slashdot-calibrated one.
+inline DirectedGraph load_workload_graph(const Flags& flags,
+                                         std::uint64_t seed) {
+  const std::string path = flags.str("graph", "");
+  if (!path.empty()) {
+    std::cerr << "loading SNAP edge list from " << path << "\n";
+    return load_snap_edge_list_file(path);
+  }
+  if (flags.str("network", "slashdot") == "epinions")
+    return synthetic_epinions(seed);
+  return synthetic_slashdot(seed);
+}
+
+}  // namespace rnb::bench

@@ -1,0 +1,84 @@
+// Extension — does RnB survive heterogeneous item sizes? The simulators
+// assume equal-size items (paper Section III-B); this bench drops the
+// assumption by running the REAL kv fleet (byte-budget MemTables) under an
+// RnB client with log-normal-ish value sizes, and measures whether bundling
+// still pays when big items crowd the replica class.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "kv/rnb_kv_client.hpp"
+#include "kv/transport.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const Flags flags(argc, argv);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const std::uint64_t keys_total = flags.u64("keys", 4000);
+  const std::uint64_t requests = flags.u64("requests", 1500);
+  const std::uint64_t request_size = flags.u64("request_size", 30);
+
+  print_banner(std::cout, "Extension: heterogeneous item sizes (live kv fleet)",
+               "Log-normal value sizes (median ~64B, long tail to ~8KB) on "
+               "byte-budget servers. mem = per-server evictable bytes as a "
+               "multiple of the fair share of one dataset copy.");
+
+  // Pre-draw sizes so every configuration stores identical data.
+  Xoshiro256 size_rng(seed + 77);
+  std::vector<std::size_t> sizes(keys_total);
+  std::uint64_t total_bytes = 0;
+  for (auto& s : sizes) {
+    // Log-normal via sum of uniforms (Irwin-Hall approximates the normal).
+    double normal = 0.0;
+    for (int k = 0; k < 12; ++k) normal += size_rng.uniform01();
+    normal -= 6.0;
+    s = static_cast<std::size_t>(64.0 * std::exp(0.9 * normal)) + 1;
+    s = std::min<std::size_t>(s, 8192);
+    total_bytes += s;
+  }
+  const std::size_t fair_share_bytes = total_bytes / 8;  // 8 servers
+
+  Table table({"replicas", "mem", "tpr", "round2", "missing_frac"});
+  table.set_precision(3);
+  for (const std::uint32_t replicas : {1u, 3u}) {
+    for (const double mem : {1.0, 2.0, 4.0}) {
+      kv::LoopbackTransport fleet(
+          8, static_cast<std::size_t>(mem * static_cast<double>(
+                                                fair_share_bytes)));
+      kv::RnbKvClient client(fleet,
+                             {.replication = replicas, .hitchhiking = true});
+      std::vector<std::string> keys(keys_total);
+      for (std::uint64_t i = 0; i < keys_total; ++i) {
+        keys[i] = "item:" + std::to_string(i);
+        client.set(keys[i], std::string(sizes[i], 'v'));
+      }
+      Xoshiro256 rng(seed + 5);
+      RunningStat tpr, round2;
+      double fetched = 0, asked = 0, missing = 0;
+      std::vector<std::string> request;
+      for (std::uint64_t r = 0; r < requests; ++r) {
+        request.clear();
+        for (std::uint64_t k = 0; k < request_size; ++k)
+          request.push_back(keys[rng.below(keys_total)]);
+        const auto result = client.multi_get(request);
+        tpr.add(static_cast<double>(result.transactions()));
+        round2.add(static_cast<double>(result.round2_transactions));
+        fetched += static_cast<double>(result.values.size());
+        missing += static_cast<double>(result.missing.size());
+        asked += static_cast<double>(result.values.size() +
+                                     result.missing.size());
+      }
+      (void)fetched;
+      table.add_row({static_cast<std::int64_t>(replicas), mem, tpr.mean(),
+                     round2.mean(), missing / asked});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: bundling still cuts transactions with "
+               "variable sizes; the distinguished (pinned) class keeps "
+               "missing_frac at zero even when big values thrash the "
+               "replica class, and round-2 fallbacks absorb the churn.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Extension — latency under load (the paper's Section V-B future work).
+// Queueing simulation: Poisson arrivals, FIFO servers with micro-benchmark
+// service times, parallel multi-get fan-out per request. Compares the
+// consistent-hashing baseline against RnB at the same offered load.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/latency_sim.hpp"
+#include "workload/social_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t requests = flags.u64("requests", 30000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const DirectedGraph graph = bench::load_workload_graph(flags, seed);
+
+  print_banner(std::cout, "Extension: request latency vs offered load",
+               "16 servers, social workload, queueing model with "
+               "micro-benchmark service times. Latencies in microseconds; "
+               "util = busiest server's busy fraction.");
+
+  Table table({"load_rps", "replicas", "tpr", "p50_us", "p99_us", "util"});
+  table.set_precision(2);
+  for (const double load : {50e3, 150e3, 250e3, 350e3, 450e3}) {
+    for (const std::uint32_t replicas : {1u, 4u}) {
+      LatencySimConfig cfg;
+      cfg.cluster.num_servers = 16;
+      cfg.cluster.logical_replicas = replicas;
+      cfg.cluster.seed = seed;
+      cfg.arrival_rate = load;
+      cfg.requests = requests;
+      cfg.seed = seed + 9;
+      SocialWorkload source(graph, seed + 3);
+      const LatencySimResult r = run_latency_sim(source, cfg);
+      table.add_row({load, static_cast<std::int64_t>(replicas), r.tpr,
+                     r.p50() * 1e6, r.p99() * 1e6, r.max_utilization});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: both deployments match at light load; as "
+               "load grows, the baseline's extra transactions saturate "
+               "servers first — its p99 explodes at an offered load RnB "
+               "still absorbs comfortably.\n";
+  return 0;
+}

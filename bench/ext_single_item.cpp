@@ -1,0 +1,51 @@
+// Extension — single-item requests (paper Section III-G: "basic RnB would
+// do nothing, but cross-request bundling can still help"). A stream of
+// one-item gets is batched across requests (the moxi/proxy pattern of
+// Section III-E); transactions per ORIGINAL item drop from 1.0 toward the
+// bundled regime as the window and the replication level grow.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/full_sim.hpp"
+#include "workload/merged_source.hpp"
+#include "workload/uniform_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const Flags flags(argc, argv);
+  const std::uint64_t requests = flags.u64("requests", 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const std::uint64_t universe = flags.u64("universe", 100000);
+
+  print_banner(std::cout, "Extension: single-item requests + cross-request bundling",
+               "Transactions per ORIGINAL single-item request, batching "
+               "windows 1..64, 16 servers. Window 1 == 1.0 by definition "
+               "(the 'basic RnB does nothing' case).");
+
+  Table table({"window", "r=1", "r=2", "r=4"});
+  table.set_precision(3);
+  for (const std::uint32_t window : {1u, 4u, 8u, 16u, 32u, 64u}) {
+    std::vector<Table::Cell> row{static_cast<std::int64_t>(window)};
+    for (const std::uint32_t replicas : {1u, 2u, 4u}) {
+      FullSimConfig cfg;
+      cfg.cluster.num_servers = 16;
+      cfg.cluster.logical_replicas = replicas;
+      cfg.cluster.seed = seed;
+      cfg.measure_requests = requests / window + 1;
+      MergedSource source(
+          std::make_unique<UniformWorkload>(universe, 1, seed + 3), window);
+      const double tpr = run_full_sim(source, cfg).metrics.tpr();
+      row.push_back(tpr / window);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: window 1 costs exactly 1 transaction/item at "
+               "every replication (RnB can't bundle a single item); batching "
+               "drives the per-item cost toward 16/window (r=1 urn bound) "
+               "and replication pushes it further below — the Section III-G "
+               "prescription, quantified.\n";
+  return 0;
+}

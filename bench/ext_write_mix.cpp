@@ -1,0 +1,61 @@
+// Extension — where RnB stops helping: write-heavy workloads
+// (paper Section III-G: "the activity is not read mostly"). Reads bundle
+// over r replicas; single-item writes must touch all r replica servers.
+// This bench sweeps the write fraction and reports mean transactions per
+// operation, locating the crossover where replication turns net-negative.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cluster/client.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "workload/social_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t operations = flags.u64("operations", 20000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const DirectedGraph graph = bench::load_workload_graph(flags, seed);
+
+  print_banner(std::cout, "Extension: transactions per operation vs write fraction",
+               "Reads are social multi-gets (bundled); writes are "
+               "single-item updates hitting every replica. 16 servers, "
+               "unlimited memory.");
+
+  Table table({"write_fraction", "r=1", "r=2", "r=3", "r=4"});
+  table.set_precision(3);
+  for (const double write_fraction : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    std::vector<Table::Cell> row{write_fraction};
+    for (const std::uint32_t replicas : {1u, 2u, 3u, 4u}) {
+      ClusterConfig ccfg;
+      ccfg.num_servers = 16;
+      ccfg.logical_replicas = replicas;
+      ccfg.seed = seed;
+      RnbCluster cluster(ccfg, graph.num_nodes());
+      RnbClient client(cluster, {}, seed + 1);
+      SocialWorkload source(graph, seed + 3);
+      Xoshiro256 rng(seed + 5);
+      MetricsAccumulator metrics;
+      std::vector<ItemId> request;
+      for (std::uint64_t op = 0; op < operations; ++op) {
+        if (rng.chance(write_fraction)) {
+          const ItemId item = rng.below(graph.num_nodes());
+          client.execute_write(std::span<const ItemId>(&item, 1),
+                               WritePolicy::kUpdateAllReplicas, &metrics);
+        } else {
+          source.next(request);
+          client.execute(request, &metrics);
+        }
+      }
+      row.push_back(metrics.tpr());
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: at write fraction 0 higher replication wins "
+               "outright; each write costs r transactions, so the curves "
+               "cross — beyond the crossover the paper's advice holds: "
+               "don't RnB write-heavy data.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 2 — TPRPS scaling factor when doubling the number of servers, vs.
+// the initial number of servers, for requests of 1/10/50/100 items.
+// Analytic model (Section II-A) cross-checked against Monte Carlo.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/analytic.hpp"
+#include "sim/monte_carlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t mc_trials = flags.u64("trials", 1500);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  print_banner(std::cout, "Figure 2: TPRPS scaling factor when doubling servers",
+               "W(N,M)/W(2N,M) for request sizes M in {1,10,50,100}; larger "
+               "is better, 2.0 is ideal. mc_* columns validate the analytic "
+               "model by simulation at M=50.");
+
+  Table table({"servers", "M=1", "M=10", "M=50", "M=100", "mc_M=50"});
+  table.set_precision(3);
+  for (std::uint64_t n = 1; n <= 512; n *= 2) {
+    // Monte-Carlo validation: measured TPR ratio between N and 2N fleets.
+    MonteCarloConfig cfg;
+    cfg.num_servers = static_cast<ServerId>(n);
+    cfg.replication = 1;
+    cfg.request_size = 50;
+    cfg.trials = mc_trials;
+    cfg.seed = seed;
+    const double tpr_n = run_monte_carlo(cfg).tpr() / static_cast<double>(n);
+    cfg.num_servers = static_cast<ServerId>(2 * n);
+    cfg.seed = seed + 1;
+    const double tpr_2n =
+        run_monte_carlo(cfg).tpr() / static_cast<double>(2 * n);
+    table.add_row({static_cast<std::int64_t>(n),
+                   tprps_scaling_factor(n, 1), tprps_scaling_factor(n, 10),
+                   tprps_scaling_factor(n, 50), tprps_scaling_factor(n, 100),
+                   tpr_n / tpr_2n});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: M=1 is ideal (2.0) everywhere; for M>=50 the "
+               "factor stays near 1.0 until N approaches M.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3 — quantifying the multi-get hole: system throughput with a
+// varying number of servers, relative to a single-server system, against
+// ideal linear scaling. Social-network workload, no replication, throughput
+// calibrated through the micro-benchmark cost model (paper Appendix A).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/calibration.hpp"
+#include "sim/full_sim.hpp"
+#include "workload/social_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t requests = flags.u64("requests", 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const DirectedGraph graph = bench::load_workload_graph(flags, seed);
+  const ThroughputModel model = ThroughputModel::paper_default();
+
+  print_banner(std::cout, "Figure 3: the multi-get hole",
+               "Relative throughput vs single server (solid line in the "
+               "paper) against ideal linear scaling (dashed). Social "
+               "workload, consistent hashing, no replication.");
+
+  double single_server_tput = 0.0;
+  Table table({"servers", "tpr", "throughput_rps", "relative", "ideal"});
+  table.set_precision(3);
+  for (const ServerId n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    FullSimConfig cfg;
+    cfg.cluster.num_servers = n;
+    cfg.cluster.logical_replicas = 1;
+    cfg.cluster.seed = seed;
+    cfg.measure_requests = requests;
+    SocialWorkload source(graph, seed + 7);
+    const FullSimResult result = run_full_sim(source, cfg);
+    const double tput = model.system_requests_per_second(
+        result.metrics.transaction_sizes(), result.metrics.requests(), n);
+    if (n == 1) single_server_tput = tput;
+    table.add_row({static_cast<std::int64_t>(n), result.metrics.tpr(), tput,
+                   tput / single_server_tput,
+                   static_cast<std::int64_t>(n)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: relative throughput flattens far below the "
+               "ideal line as servers are added (the multi-get hole).\n";
+  return 0;
+}

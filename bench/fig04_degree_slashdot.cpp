@@ -1,0 +1,38 @@
+// Figure 4 — node degree histogram of the Slashdot network (synthetic
+// substitute calibrated to 82,168 nodes / 948,464 edges; see DESIGN.md §4).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const DirectedGraph graph =
+      bench::load_workload_graph(flags, flags.u64("seed", 1));
+
+  print_banner(std::cout, "Figure 4: Slashdot out-degree histogram",
+               "Log2-bucketed out-degree distribution (the request-size "
+               "distribution of the social workload).");
+
+  const DegreeSummary s = summarize_out_degrees(graph);
+  Xoshiro256 probe_rng(7);
+  std::cout << "nodes=" << graph.num_nodes() << " edges=" << graph.num_edges()
+            << " mean=" << s.mean << " median=" << s.median
+            << " p90=" << s.p90 << " p99=" << s.p99 << " max=" << s.max
+            << " zero_fraction=" << s.zero_fraction << "\n"
+            << "clustering~" << estimate_clustering(graph, 4000, probe_rng)
+            << " reciprocity=" << reciprocity(graph)
+            << "  (synthetic Chung-Lu clusters near zero; real SNAP data "
+               "will show substantially more -- see DESIGN.md \u00a74)\n\n";
+
+  Table table({"degree>=", "nodes"});
+  for (const auto& [lo, count] : graph.out_degree_histogram().log2_buckets())
+    table.add_row({static_cast<std::int64_t>(lo),
+                   static_cast<std::int64_t>(count)});
+  table.print(std::cout);
+  std::cout << "\nShape check: heavy-tailed — most nodes have small degree, "
+               "a long tail reaches hundreds of friends.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 5 — node degree histogram of the Epinions network (synthetic
+// substitute calibrated to 75,879 nodes / 508,837 edges; see DESIGN.md §4).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::string path = flags.str("graph", "");
+  const DirectedGraph graph = path.empty()
+                                  ? synthetic_epinions(flags.u64("seed", 1))
+                                  : load_snap_edge_list_file(path);
+
+  print_banner(std::cout, "Figure 5: Epinions out-degree histogram",
+               "Log2-bucketed out-degree distribution of the second "
+               "evaluation network.");
+
+  const DegreeSummary s = summarize_out_degrees(graph);
+  Xoshiro256 probe_rng(7);
+  std::cout << "nodes=" << graph.num_nodes() << " edges=" << graph.num_edges()
+            << " mean=" << s.mean << " median=" << s.median
+            << " p90=" << s.p90 << " p99=" << s.p99 << " max=" << s.max
+            << " zero_fraction=" << s.zero_fraction << "\n"
+            << "clustering~" << estimate_clustering(graph, 4000, probe_rng)
+            << " reciprocity=" << reciprocity(graph)
+            << "  (synthetic Chung-Lu clusters near zero; real SNAP data "
+               "will show substantially more -- see DESIGN.md \u00a74)\n\n";
+
+  Table table({"degree>=", "nodes"});
+  for (const auto& [lo, count] : graph.out_degree_histogram().log2_buckets())
+    table.add_row({static_cast<std::int64_t>(lo),
+                   static_cast<std::int64_t>(count)});
+  table.print(std::cout);
+  std::cout << "\nShape check: same heavy tail as Fig. 4 with a lower mean "
+               "(6.7 vs 11.5 friends).\n";
+  return 0;
+}

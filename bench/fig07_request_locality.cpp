@@ -1,0 +1,99 @@
+// Figure 7 — request locality under greedy replica selection. The paper
+// illustrates this with a diagram; here it is measured: for pairs of
+// requests sharing items, how often does the greedy cover route the shared
+// items to the SAME replica server in both requests? High agreement is the
+// property that lets overbooked cold replicas go LRU-cold (Section III-C1).
+// A randomized replica choice is shown for contrast.
+#include <iostream>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "cluster/client.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "workload/social_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t pairs = flags.u64("pairs", 3000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const DirectedGraph graph = bench::load_workload_graph(flags, seed);
+
+  print_banner(
+      std::cout, "Figure 7: request locality of greedy replica selection",
+      "Agreement: among items shared by two requests, the fraction routed "
+      "to the same server by both plans. cold_fraction: logical replicas "
+      "never chosen across the probe (candidates for LRU eviction).");
+
+  Table table({"replicas", "strategy", "agreement", "cold_fraction"});
+  table.set_precision(4);
+  for (const std::uint32_t replicas : {2u, 3u, 4u}) {
+    for (const BundlingStrategy strategy :
+         {BundlingStrategy::kGreedy, BundlingStrategy::kRandomReplica}) {
+      ClusterConfig ccfg;
+      ccfg.num_servers = 16;
+      ccfg.logical_replicas = replicas;
+      ccfg.seed = seed;
+      RnbCluster cluster(ccfg, graph.num_nodes());
+      ClientPolicy policy;
+      policy.strategy = strategy;
+      RnbClient client(cluster, policy, seed + 11);
+      SocialWorkload source(graph, seed + 3);
+
+      // Track, per (item, replica-rank), whether that replica was ever the
+      // chosen one; and measure agreement on overlapping request pairs.
+      // Pairs are SIMILAR requests — the paper's Fig. 7 example is
+      // {1,2,3} vs {1,2,4}: request B keeps ~80% of A's items and pads
+      // with another user's friends. This is the locality pattern real
+      // feeds produce (the same user reloading, or two mutual friends).
+      std::unordered_map<ItemId, std::unordered_map<ServerId, bool>> chosen;
+      std::uint64_t shared_items = 0, agreed = 0;
+      std::vector<ItemId> req_a, req_b, padding;
+      Xoshiro256 perturb(seed + 17);
+      for (std::uint64_t p = 0; p < pairs; ++p) {
+        source.next(req_a);
+        source.next(padding);
+        req_b.clear();
+        for (const ItemId item : req_a)
+          if (perturb.uniform01() < 0.8) req_b.push_back(item);
+        const std::size_t dropped = req_a.size() - req_b.size();
+        for (std::size_t i = 0; i < dropped && i < padding.size(); ++i)
+          req_b.push_back(padding[i]);
+        const RequestPlan plan_a = client.plan(req_a);
+        const RequestPlan plan_b = client.plan(req_b);
+        std::unordered_map<ItemId, ServerId> route_a;
+        for (std::size_t i = 0; i < plan_a.items.size(); ++i)
+          route_a[plan_a.items[i]] = plan_a.assignment[i];
+        for (std::size_t i = 0; i < plan_b.items.size(); ++i) {
+          const auto it = route_a.find(plan_b.items[i]);
+          if (it == route_a.end()) continue;
+          ++shared_items;
+          if (it->second == plan_b.assignment[i]) ++agreed;
+        }
+        for (const auto* plan : {&plan_a, &plan_b})
+          for (std::size_t i = 0; i < plan->items.size(); ++i)
+            chosen[plan->items[i]][plan->assignment[i]] = true;
+      }
+      // Cold fraction: of all logical replica slots of *touched* items, how
+      // many were never picked by any plan?
+      std::uint64_t slots = 0, cold = 0;
+      for (const auto& [item, used] : chosen) {
+        slots += replicas;
+        cold += replicas - used.size();
+      }
+      table.add_row(
+          {static_cast<std::int64_t>(replicas), to_string(strategy),
+           shared_items == 0
+               ? 0.0
+               : static_cast<double>(agreed) / static_cast<double>(shared_items),
+           slots == 0 ? 0.0
+                      : static_cast<double>(cold) / static_cast<double>(slots)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: greedy shows far higher agreement and a "
+               "larger cold fraction than random replica choice — the "
+               "self-organization overbooking relies on.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 8 — TPR reduction from replication vs. relative memory, with all
+// enhancements enabled (overbooking with a distinguished copy, hitchhiking,
+// singleton redirection). 1.0 on the memory axis is exactly one copy of the
+// data; "logical" replication levels 1-4; 16 servers.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/full_sim.hpp"
+#include "sim/sweep.hpp"
+#include "workload/social_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t measure = flags.u64("requests", 8000);
+  const std::uint64_t warmup = flags.u64("warmup", 60000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const DirectedGraph graph = bench::load_workload_graph(flags, seed);
+
+  print_banner(std::cout,
+               "Figure 8: TPR reduction vs relative memory (16 servers)",
+               "Cells are TPR(logical replicas r, memory m) / TPR(no "
+               "replication). Overbooking + hitchhiking enabled; "
+               "distinguished copies always resident. <1.0 is a win.");
+
+  // The no-replication baseline is memory-independent (nothing evictable).
+  double baseline_tpr = 0.0;
+  {
+    FullSimConfig cfg;
+    cfg.cluster.num_servers = 16;
+    cfg.cluster.logical_replicas = 1;
+    cfg.cluster.seed = seed;
+    cfg.measure_requests = measure;
+    SocialWorkload source(graph, seed + 3);
+    baseline_tpr = run_full_sim(source, cfg).metrics.tpr();
+  }
+  std::cout << "baseline (no replication) TPR = " << baseline_tpr << "\n\n";
+
+  // The 8x4 grid runs through the parallel sweep driver: cells are
+  // independent and per-cell seeded, so results match sequential runs
+  // exactly while multi-core builders finish in a fraction of the time.
+  const std::vector<double> memories = {1.0, 1.25, 1.5, 2.0,
+                                        2.5, 3.0, 3.5, 4.0};
+  std::vector<SweepCell> cells;
+  for (const double memory : memories) {
+    for (std::uint32_t r = 1; r <= 4; ++r) {
+      SweepCell cell;
+      cell.config.cluster.num_servers = 16;
+      cell.config.cluster.logical_replicas = r;
+      cell.config.cluster.unlimited_memory = false;
+      cell.config.cluster.relative_memory = memory;
+      cell.config.cluster.seed = seed;
+      cell.config.policy.hitchhiking = true;
+      cell.config.warmup_requests = warmup;
+      cell.config.measure_requests = measure;
+      cell.make_source = [&graph, seed] {
+        return std::make_unique<SocialWorkload>(graph, seed + 3);
+      };
+      cells.push_back(std::move(cell));
+    }
+  }
+  const std::vector<FullSimResult> results = run_sweep(cells);
+
+  Table table({"memory", "r=1", "r=2", "r=3", "r=4"});
+  table.set_precision(3);
+  std::size_t cell_index = 0;
+  for (const double memory : memories) {
+    std::vector<Table::Cell> row{memory};
+    for (std::uint32_t r = 1; r <= 4; ++r)
+      row.push_back(results[cell_index++].metrics.tpr() / baseline_tpr);
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check (paper): ~2x TPR reduction by ~2.5x memory "
+               "with overbooking (vs 4x memory without, Fig. 6); ~25% "
+               "reduction already at 2.0x; r>1 at memory 1.0 can be WORSE "
+               "than baseline (excessive overbooking).\n";
+  return 0;
+}

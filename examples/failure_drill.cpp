@@ -1,0 +1,65 @@
+// Failure drill: watch an RnB cluster absorb server failures live.
+//
+//   build/examples/failure_drill [--replicas=3] [--servers=16]
+//
+// Walks a fail -> degrade -> restore timeline on the simulated fleet and
+// prints availability and per-request cost at each step — the operator's
+// view of why "the replication RnB wants is the replication fault
+// tolerance already pays for".
+#include <iostream>
+
+#include "cluster/client.hpp"
+#include "common/flags.hpp"
+#include "graph/generators.hpp"
+#include "workload/social_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const Flags flags(argc, argv);
+  const auto servers = static_cast<ServerId>(flags.u64("servers", 16));
+  const auto replicas = static_cast<std::uint32_t>(flags.u64("replicas", 3));
+
+  const DirectedGraph graph = make_power_law_graph(
+      {.nodes = 20000, .edges = 200000, .max_degree = 800, .seed = 1});
+
+  ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.logical_replicas = replicas;
+  RnbCluster cluster(cfg, graph.num_nodes());
+  RnbClient client(cluster, {});
+  SocialWorkload source(graph, 7);
+
+  const auto probe = [&](const std::string& label) {
+    MetricsAccumulator metrics;
+    std::vector<ItemId> request;
+    double asked = 0, got = 0;
+    for (int i = 0; i < 800; ++i) {
+      source.next(request);
+      const RequestOutcome out = client.execute(request, &metrics);
+      asked += out.items_requested;
+      got += out.items_fetched;
+    }
+    std::cout << label << ": availability " << 100.0 * got / asked
+              << "%, TPR " << metrics.tpr() << ", db fetches/request "
+              << metrics.mean_db_fetches() << "\n";
+  };
+
+  std::cout << "fleet: " << servers << " servers, " << replicas
+            << " replicas per item\n\n";
+  probe("all servers up          ");
+  cluster.fail_server(0);
+  probe("server 0 down           ");
+  cluster.fail_server(1);
+  cluster.fail_server(2);
+  probe("servers 0-2 down        ");
+  cluster.restore_server(0);
+  cluster.restore_server(1);
+  cluster.restore_server(2);
+  probe("all restored            ");
+
+  std::cout << "\nWith replication " << replicas
+            << ", the cover simply routes around dead servers; at "
+               "replication 1 every failure would lose its shard's items "
+               "outright (try --replicas=1).\n";
+  return 0;
+}

@@ -1,0 +1,180 @@
+// rnbsim — the full simulator behind one command line.
+//
+// Every knob of the RnB full-system simulator, exposed as flags; prints a
+// metrics report. Examples:
+//
+//   paper Fig. 6 r=4 point:
+//   build/examples/rnbsim --replicas=4
+//
+//   # overbooked, memory-limited, hitchhiking deployment on Epinions
+//   build/examples/rnbsim --network=epinions --replicas=4 --memory=2.0
+//       --unlimited=0 --hitchhiking=1 --warmup=60000   (one line)
+//
+//   # replay a recorded trace against 32 servers
+//   build/examples/rnbsim --trace=requests.txt --servers=32
+//
+//   # record 10k requests for later replay
+//   build/examples/rnbsim --record-trace=requests.txt --requests=10000
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/loader.hpp"
+#include "sim/calibration.hpp"
+#include "sim/full_sim.hpp"
+#include "workload/merged_source.hpp"
+#include "workload/social_workload.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace rnb;
+
+struct Args {
+  std::uint64_t servers = 16;
+  std::uint64_t replicas = 1;
+  double memory = 1.0;
+  bool unlimited = true;
+  bool hitchhiking = false;
+  double limit = 1.0;
+  double activity_skew = 0.0;
+  std::uint64_t merge = 1;
+  std::uint64_t requests = 5000;
+  std::uint64_t warmup = 0;
+  std::uint64_t seed = 1;
+  std::string network = "slashdot";
+  std::string graph_path;
+  std::string trace_path;
+  std::string record_path;
+  std::string placement = "rch";
+  std::string strategy = "greedy";
+  std::string eviction = "lru";
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::cerr << "unrecognized argument: " << arg << "\n";
+      return false;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "servers") args.servers = std::stoull(value);
+    else if (key == "replicas") args.replicas = std::stoull(value);
+    else if (key == "memory") args.memory = std::stod(value);
+    else if (key == "unlimited") args.unlimited = value != "0";
+    else if (key == "hitchhiking") args.hitchhiking = value != "0";
+    else if (key == "limit") args.limit = std::stod(value);
+    else if (key == "activity-skew") args.activity_skew = std::stod(value);
+    else if (key == "merge") args.merge = std::stoull(value);
+    else if (key == "requests") args.requests = std::stoull(value);
+    else if (key == "warmup") args.warmup = std::stoull(value);
+    else if (key == "seed") args.seed = std::stoull(value);
+    else if (key == "network") args.network = value;
+    else if (key == "graph") args.graph_path = value;
+    else if (key == "trace") args.trace_path = value;
+    else if (key == "record-trace") args.record_path = value;
+    else if (key == "placement") args.placement = value;
+    else if (key == "strategy") args.strategy = value;
+    else if (key == "eviction") args.eviction = value;
+    else {
+      std::cerr << "unknown flag: --" << key << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<RequestSource> build_source(const Args& args,
+                                            std::unique_ptr<DirectedGraph>& graph) {
+  std::unique_ptr<RequestSource> source;
+  if (!args.trace_path.empty()) {
+    source = std::make_unique<TraceReplaySource>(
+        TraceReplaySource::from_file(args.trace_path));
+  } else {
+    if (!args.graph_path.empty())
+      graph = std::make_unique<DirectedGraph>(
+          load_snap_edge_list_file(args.graph_path));
+    else if (args.network == "epinions")
+      graph = std::make_unique<DirectedGraph>(synthetic_epinions(args.seed));
+    else
+      graph = std::make_unique<DirectedGraph>(synthetic_slashdot(args.seed));
+    source = std::make_unique<SocialWorkload>(*graph, args.seed + 3,
+                                              args.activity_skew);
+  }
+  if (args.merge > 1)
+    source = std::make_unique<MergedSource>(
+        std::move(source), static_cast<std::uint32_t>(args.merge));
+  return source;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return 1;
+
+  std::unique_ptr<DirectedGraph> graph;
+  std::unique_ptr<RequestSource> source = build_source(args, graph);
+
+  if (!args.record_path.empty()) {
+    write_trace_file(*source, args.requests, args.record_path);
+    std::cout << "recorded " << args.requests << " requests to "
+              << args.record_path << "\n";
+    return 0;
+  }
+
+  FullSimConfig cfg;
+  cfg.cluster.num_servers = static_cast<ServerId>(args.servers);
+  cfg.cluster.logical_replicas = static_cast<std::uint32_t>(args.replicas);
+  cfg.cluster.unlimited_memory = args.unlimited;
+  cfg.cluster.relative_memory = args.memory;
+  cfg.cluster.seed = args.seed;
+  if (args.placement == "multi-hash")
+    cfg.cluster.placement = PlacementScheme::kMultiHash;
+  else if (args.placement == "rendezvous")
+    cfg.cluster.placement = PlacementScheme::kRendezvous;
+  if (args.eviction == "slru")
+    cfg.cluster.eviction = ReplicaEvictionPolicy::kSegmentedLru;
+  if (args.strategy == "distinguished")
+    cfg.policy.strategy = BundlingStrategy::kDistinguishedOnly;
+  else if (args.strategy == "random")
+    cfg.policy.strategy = BundlingStrategy::kRandomReplica;
+  else if (args.strategy == "lazy-greedy")
+    cfg.policy.strategy = BundlingStrategy::kLazyGreedy;
+  cfg.policy.hitchhiking = args.hitchhiking;
+  cfg.policy.limit_fraction = args.limit;
+  cfg.warmup_requests = args.warmup;
+  cfg.measure_requests = args.requests;
+
+  const FullSimResult result = run_full_sim(*source, cfg);
+  const ThroughputModel model = ThroughputModel::paper_default();
+  const double tput = model.system_requests_per_second(
+      result.metrics.transaction_sizes(), result.metrics.requests(),
+      result.num_servers);
+
+  std::cout << "== rnbsim report ==\n"
+            << "servers            " << result.num_servers << "\n"
+            << "items              " << result.num_items << "\n"
+            << "logical replicas   " << args.replicas << "\n"
+            << "memory             "
+            << (args.unlimited ? std::string("unlimited")
+                               : std::to_string(args.memory) + "x") << "\n"
+            << "requests measured  " << result.metrics.requests() << "\n"
+            << "TPR                " << result.metrics.tpr() << "\n"
+            << "TPRPS              "
+            << result.metrics.tprps(result.num_servers) << "\n"
+            << "misses/request     " << result.metrics.mean_misses() << "\n"
+            << "round2/request     " << result.metrics.mean_round2() << "\n"
+            << "items fetched/req  " << result.metrics.mean_items_fetched()
+            << "\n"
+            << "hitchhiker keys    " << result.metrics.mean_hitchhiker_keys()
+            << "\n"
+            << "resident copies    " << result.resident_copies << "\n"
+            << "est. throughput    " << static_cast<long>(tput)
+            << " requests/s (calibrated)\n";
+  return 0;
+}

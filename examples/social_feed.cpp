@@ -1,0 +1,90 @@
+// Social feed scenario: the workload from the paper's introduction — a web
+// tier rendering user feeds by fetching every friend's status from the
+// memcached layer — run end-to-end through the simulator API.
+//
+//   build/examples/social_feed [--servers=16] [--replicas=4]
+//                              [--requests=2000] [--graph=snap.txt]
+//
+// Prints the per-request cost of the naive deployment next to the RnB one,
+// plus the calibrated throughput estimate for both.
+#include <iostream>
+#include <string>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/loader.hpp"
+#include "sim/calibration.hpp"
+#include "sim/full_sim.hpp"
+#include "workload/social_workload.hpp"
+
+namespace {
+
+std::uint64_t arg_u64(int argc, char** argv, const std::string& key,
+                      std::uint64_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) return std::stoull(arg.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const std::string& key) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rnb;
+  const auto servers =
+      static_cast<ServerId>(arg_u64(argc, argv, "servers", 16));
+  const auto replicas =
+      static_cast<std::uint32_t>(arg_u64(argc, argv, "replicas", 4));
+  const std::uint64_t requests = arg_u64(argc, argv, "requests", 2000);
+  const std::string graph_path = arg_str(argc, argv, "graph");
+
+  const DirectedGraph graph = graph_path.empty()
+                                  ? synthetic_slashdot(1)
+                                  : load_snap_edge_list_file(graph_path);
+  const DegreeSummary degrees = summarize_out_degrees(graph);
+  std::cout << "social graph: " << graph.num_nodes() << " users, "
+            << graph.num_edges() << " friendships (mean " << degrees.mean
+            << " friends, p99 " << degrees.p99 << ")\n\n";
+
+  const ThroughputModel model = ThroughputModel::paper_default();
+  const auto run = [&](std::uint32_t r) {
+    FullSimConfig cfg;
+    cfg.cluster.num_servers = servers;
+    cfg.cluster.logical_replicas = r;
+    cfg.measure_requests = requests;
+    SocialWorkload source(graph, 7);
+    return run_full_sim(source, cfg);
+  };
+
+  const FullSimResult naive = run(1);
+  const FullSimResult rnb = run(replicas);
+  const double naive_tput = model.system_requests_per_second(
+      naive.metrics.transaction_sizes(), naive.metrics.requests(), servers);
+  const double rnb_tput = model.system_requests_per_second(
+      rnb.metrics.transaction_sizes(), rnb.metrics.requests(), servers);
+
+  std::cout << "deployment: " << servers << " cache servers\n"
+            << "  consistent hashing      : " << naive.metrics.tpr()
+            << " transactions/feed, ~" << static_cast<long>(naive_tput)
+            << " feeds/s\n"
+            << "  RnB, " << replicas << " replicas        : "
+            << rnb.metrics.tpr() << " transactions/feed, ~"
+            << static_cast<long>(rnb_tput) << " feeds/s\n"
+            << "  transaction reduction   : "
+            << 100.0 * (1.0 - rnb.metrics.tpr() / naive.metrics.tpr())
+            << "%\n"
+            << "  throughput gain         : " << rnb_tput / naive_tput
+            << "x (no CPUs added, only memory)\n";
+  return 0;
+}

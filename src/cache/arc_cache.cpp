@@ -1,0 +1,143 @@
+#include "cache/arc_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+ArcCache::ArcCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::list<ItemId>& ArcCache::list_of(ListId id) noexcept {
+  switch (id) {
+    case ListId::kT1:
+      return t1_;
+    case ListId::kT2:
+      return t2_;
+    case ListId::kB1:
+      return b1_;
+    case ListId::kB2:
+      return b2_;
+  }
+  return t1_;  // unreachable
+}
+
+void ArcCache::move_to(ItemId key, ListId target) {
+  const auto it = index_.find(key);
+  RNB_REQUIRE(it != index_.end());
+  std::list<ItemId>& dst = list_of(target);
+  std::list<ItemId>& src = list_of(it->second.list);
+  dst.splice(dst.begin(), src, it->second.pos);
+  it->second.list = target;
+  it->second.pos = dst.begin();
+}
+
+void ArcCache::drop_ghost(ListId list) {
+  std::list<ItemId>& l = list_of(list);
+  RNB_REQUIRE(!l.empty());
+  index_.erase(l.back());
+  l.pop_back();
+}
+
+void ArcCache::replace(bool hit_in_b2) {
+  // Megiddo & Modha's REPLACE: evict from T1 if it exceeds the target p
+  // (or exactly meets it during a B2 hit), else from T2.
+  const bool from_t1 =
+      !t1_.empty() &&
+      (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_ && p_ > 0) ||
+       t2_.empty());
+  if (from_t1) {
+    const ItemId victim = t1_.back();
+    move_to(victim, ListId::kB1);
+  } else {
+    RNB_REQUIRE(!t2_.empty());
+    const ItemId victim = t2_.back();
+    move_to(victim, ListId::kB2);
+  }
+  ++stats_.evictions;
+}
+
+bool ArcCache::touch(ItemId key) {
+  const auto it = index_.find(key);
+  if (it == index_.end() ||
+      (it->second.list != ListId::kT1 && it->second.list != ListId::kT2)) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  move_to(key, ListId::kT2);  // any repeat reference marks frequency
+  return true;
+}
+
+bool ArcCache::contains(ItemId key) const {
+  const auto it = index_.find(key);
+  return it != index_.end() &&
+         (it->second.list == ListId::kT1 || it->second.list == ListId::kT2);
+}
+
+void ArcCache::insert(ItemId key) {
+  ++stats_.insertions;
+  if (capacity_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    switch (it->second.list) {
+      case ListId::kT1:
+      case ListId::kT2:
+        move_to(key, ListId::kT2);
+        return;
+      case ListId::kB1: {
+        // Recency ghost hit: grow T1's target.
+        const std::size_t delta =
+            std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(
+                                          b1_.size(), 1));
+        p_ = std::min(capacity_, p_ + delta);
+        if (size() >= capacity_) replace(false);
+        move_to(key, ListId::kT2);
+        return;
+      }
+      case ListId::kB2: {
+        // Frequency ghost hit: shrink T1's target.
+        const std::size_t delta =
+            std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(
+                                          b2_.size(), 1));
+        p_ = p_ > delta ? p_ - delta : 0;
+        if (size() >= capacity_) replace(true);
+        move_to(key, ListId::kT2);
+        return;
+      }
+    }
+  }
+  // Brand-new key: ARC case IV (Megiddo & Modha, Fig. 4).
+  const std::size_t l1 = t1_.size() + b1_.size();
+  const std::size_t total = l1 + t2_.size() + b2_.size();
+  if (l1 == capacity_) {
+    // Case A: L1 is full.
+    if (t1_.size() < capacity_) {
+      drop_ghost(ListId::kB1);
+      replace(false);
+    } else {
+      // B1 empty, T1 fills the cache: evict T1's LRU outright (no ghost —
+      // L1 must not exceed c).
+      const ItemId victim = t1_.back();
+      t1_.pop_back();
+      index_.erase(victim);
+      ++stats_.evictions;
+    }
+  } else if (total >= capacity_) {
+    // Case B: room in L1's quota but the directory is at/over capacity.
+    if (total >= 2 * capacity_) drop_ghost(ListId::kB2);
+    if (size() >= capacity_) replace(false);
+  }
+  t1_.push_front(key);
+  index_[key] = Where{ListId::kT1, t1_.begin()};
+}
+
+bool ArcCache::erase(ItemId key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  list_of(it->second.list).erase(it->second.pos);
+  index_.erase(it);
+  return true;
+}
+
+}  // namespace rnb

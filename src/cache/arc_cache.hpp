@@ -1,0 +1,75 @@
+// Adaptive Replacement Cache (Megiddo & Modha, FAST '03).
+//
+// Third replica-class eviction policy beside LRU and segmented LRU. ARC
+// splits residents into T1 (seen once) and T2 (seen twice+) and keeps ghost
+// lists B1/B2 of recently evicted keys; a hit in a ghost list adapts the
+// target size p of T1, so the cache continuously re-balances between
+// recency and frequency. For RnB replica caches this matters under mixed
+// traffic: one-shot replica placements (cover noise) flow through T1
+// without displacing the stable request-locality working set in T2.
+// The overbooking ablation compares all three policies.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cache/lru_cache.hpp"  // CacheStats
+#include "common/types.hpp"
+
+namespace rnb {
+
+class ArcCache {
+ public:
+  explicit ArcCache(std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Resident entries (T1 + T2); ghosts are metadata only.
+  std::size_t size() const noexcept { return t1_.size() + t2_.size(); }
+
+  /// Lookup; promotes within ARC's lists on hit.
+  bool touch(ItemId key);
+
+  /// Lookup without any state change.
+  bool contains(ItemId key) const;
+
+  /// Insert (or re-reference) a key, evicting per ARC's REPLACE rule.
+  void insert(ItemId key);
+
+  /// Remove a key from whichever list holds it (resident or ghost).
+  bool erase(ItemId key);
+
+  CacheStats stats() const noexcept { return stats_; }
+
+  /// Adaptation target for T1 (exposed for tests: recency pressure grows
+  /// p, frequency pressure shrinks it).
+  std::size_t p() const noexcept { return p_; }
+
+ private:
+  enum class ListId : std::uint8_t { kT1, kT2, kB1, kB2 };
+
+  struct Where {
+    ListId list;
+    std::list<ItemId>::iterator pos;
+  };
+
+  std::list<ItemId>& list_of(ListId id) noexcept;
+
+  /// Move `key` to the MRU end of `target`, updating the index.
+  void move_to(ItemId key, ListId target);
+
+  /// ARC's REPLACE: evict the LRU of T1 or T2 (by p and the B2 hint) into
+  /// its ghost list.
+  void replace(bool hit_in_b2);
+
+  /// Drop the LRU ghost of `list`.
+  void drop_ghost(ListId list);
+
+  std::size_t capacity_;
+  std::size_t p_ = 0;  // target size of T1
+  std::list<ItemId> t1_, t2_, b1_, b2_;  // front = MRU
+  std::unordered_map<ItemId, Where> index_;
+  CacheStats stats_;
+};
+
+}  // namespace rnb

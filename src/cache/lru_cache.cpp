@@ -1,0 +1,96 @@
+#include "cache/lru_cache.hpp"
+
+namespace rnb {
+
+void LruCache::unlink(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  if (n.prev != kNil)
+    pool_[n.prev].next = n.next;
+  else
+    head_ = n.next;
+  if (n.next != kNil)
+    pool_[n.next].prev = n.prev;
+  else
+    tail_ = n.prev;
+}
+
+void LruCache::push_front(std::uint32_t idx) {
+  Node& n = pool_[idx];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) pool_[head_].prev = idx;
+  head_ = idx;
+  if (tail_ == kNil) tail_ = idx;
+}
+
+bool LruCache::touch(ItemId key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (head_ != it->second) {
+    unlink(it->second);
+    push_front(it->second);
+  }
+  return true;
+}
+
+bool LruCache::insert(ItemId key) {
+  ++stats_.insertions;
+  if (capacity_ == 0) return false;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (head_ != it->second) {
+      unlink(it->second);
+      push_front(it->second);
+    }
+    return false;
+  }
+  bool evicted = false;
+  if (index_.size() == capacity_) {
+    const std::uint32_t victim = tail_;
+    index_.erase(pool_[victim].key);
+    unlink(victim);
+    free_.push_back(victim);
+    ++stats_.evictions;
+    evicted = true;
+  }
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    pool_[idx].key = key;
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(Node{key, kNil, kNil});
+  }
+  push_front(idx);
+  index_.emplace(key, idx);
+  return evicted;
+}
+
+bool LruCache::erase(ItemId key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  unlink(it->second);
+  free_.push_back(it->second);
+  index_.erase(it);
+  return true;
+}
+
+ItemId LruCache::lru_key() const {
+  RNB_REQUIRE(tail_ != kNil);
+  return pool_[tail_].key;
+}
+
+std::vector<ItemId> LruCache::keys_mru_to_lru() const {
+  std::vector<ItemId> out;
+  out.reserve(index_.size());
+  for (std::uint32_t i = head_; i != kNil; i = pool_[i].next)
+    out.push_back(pool_[i].key);
+  return out;
+}
+
+}  // namespace rnb

@@ -1,0 +1,84 @@
+// Slot-based LRU cache over 64-bit keys.
+//
+// Models a memcached server's eviction behaviour under the paper's
+// equal-item-size assumption (Section III-B): capacity is a slot count, one
+// slot per item. The implementation is an open-addressed map from key to an
+// index into a node pool threaded as an intrusive doubly-linked list —
+// no per-operation allocation, which matters because the full simulator
+// performs hundreds of millions of touches per sweep.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rnb {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class LruCache {
+ public:
+  /// Cache holding at most `capacity` keys; capacity 0 means "always miss".
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return index_.size(); }
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Lookup; on hit the key moves to MRU position.
+  bool touch(ItemId key);
+
+  /// Lookup without promoting the key or recording hit/miss stats; used by
+  /// hitchhiking policies that must not perturb recency (Section III-C2).
+  bool contains(ItemId key) const { return index_.contains(key); }
+
+  /// Insert at MRU, evicting the LRU key when full. Re-inserting an existing
+  /// key just promotes it. Returns true if an eviction happened.
+  bool insert(ItemId key);
+
+  /// Remove a key if present; returns true if it was there.
+  bool erase(ItemId key);
+
+  /// Key that would be evicted next (LRU end). Requires non-empty.
+  ItemId lru_key() const;
+
+  /// Keys from MRU to LRU (test/debug helper; O(n)).
+  std::vector<ItemId> keys_mru_to_lru() const;
+
+ private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Node {
+    ItemId key;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+
+  void unlink(std::uint32_t idx);
+  void push_front(std::uint32_t idx);
+
+  std::size_t capacity_;
+  std::unordered_map<ItemId, std::uint32_t> index_;
+  std::vector<Node> pool_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;  // MRU
+  std::uint32_t tail_ = kNil;  // LRU
+  CacheStats stats_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,61 @@
+#include "cache/segmented_lru.hpp"
+
+#include <algorithm>
+
+namespace rnb {
+
+SegmentedLru::SegmentedLru(std::size_t capacity, double protected_fraction)
+    : probation_(capacity -
+                 static_cast<std::size_t>(static_cast<double>(capacity) *
+                                          protected_fraction)),
+      protected_(static_cast<std::size_t>(static_cast<double>(capacity) *
+                                          protected_fraction)) {
+  RNB_REQUIRE(protected_fraction >= 0.0 && protected_fraction <= 1.0);
+}
+
+bool SegmentedLru::touch(ItemId key) {
+  if (protected_.contains(key)) {
+    ++stats_.hits;
+    protected_.touch(key);
+    return true;
+  }
+  if (probation_.contains(key)) {
+    ++stats_.hits;
+    // Promote: move from probation to protected. If protected is full its
+    // LRU key demotes to probation rather than leaving the cache.
+    probation_.erase(key);
+    if (protected_.capacity() == 0) {
+      probation_.insert(key);
+      return true;
+    }
+    if (protected_.size() == protected_.capacity()) {
+      const ItemId demoted = protected_.lru_key();
+      protected_.erase(demoted);
+      probation_.insert(demoted);
+    }
+    protected_.insert(key);
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void SegmentedLru::insert(ItemId key) {
+  ++stats_.insertions;
+  if (contains(key)) return;
+  if (probation_.capacity() == 0) {
+    // Degenerate all-protected configuration: admit directly.
+    protected_.insert(key);
+    return;
+  }
+  if (probation_.size() == probation_.capacity()) ++stats_.evictions;
+  probation_.insert(key);
+}
+
+bool SegmentedLru::erase(ItemId key) {
+  return probation_.erase(key) || protected_.erase(key);
+}
+
+CacheStats SegmentedLru::stats() const noexcept { return stats_; }
+
+}  // namespace rnb

@@ -1,0 +1,50 @@
+// Segmented LRU (SLRU) — an alternative replica-class eviction policy.
+//
+// The paper (Section I-C) mentions developing "several approaches for
+// handling two service classes in LRU based caching systems". Plain LRU
+// lets a burst of one-shot replicas flush frequently-rehit replicas; SLRU
+// protects items that have proven reuse: new keys enter a probationary
+// segment, a second hit promotes to a protected segment, and protected
+// overflow demotes back to probation instead of leaving the cache. The
+// overbooking ablation compares LRU vs. SLRU as the replica class policy.
+#pragma once
+
+#include "cache/lru_cache.hpp"
+
+namespace rnb {
+
+class SegmentedLru {
+ public:
+  /// Total capacity split between segments; `protected_fraction` of the
+  /// slots (rounded down) form the protected segment.
+  SegmentedLru(std::size_t capacity, double protected_fraction = 0.8);
+
+  std::size_t capacity() const noexcept {
+    return probation_.capacity() + protected_.capacity();
+  }
+  std::size_t size() const noexcept {
+    return probation_.size() + protected_.size();
+  }
+
+  /// Lookup with promotion: a probation hit moves the key to protected
+  /// (possibly demoting a protected key back to probation).
+  bool touch(ItemId key);
+
+  bool contains(ItemId key) const {
+    return probation_.contains(key) || protected_.contains(key);
+  }
+
+  /// Insert a new key into probation (evicting its LRU tail when full).
+  void insert(ItemId key);
+
+  bool erase(ItemId key);
+
+  CacheStats stats() const noexcept;
+
+ private:
+  LruCache probation_;
+  LruCache protected_;
+  CacheStats stats_;
+};
+
+}  // namespace rnb

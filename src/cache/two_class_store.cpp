@@ -1,0 +1,77 @@
+#include "cache/two_class_store.hpp"
+
+namespace rnb {
+
+const char* to_string(ReplicaEvictionPolicy policy) noexcept {
+  switch (policy) {
+    case ReplicaEvictionPolicy::kLru:
+      return "lru";
+    case ReplicaEvictionPolicy::kSegmentedLru:
+      return "slru";
+    case ReplicaEvictionPolicy::kArc:
+      return "arc";
+  }
+  return "?";
+}
+
+namespace {
+
+std::variant<LruCache, SegmentedLru, ArcCache> make_replica_cache(
+    std::size_t capacity, ReplicaEvictionPolicy policy) {
+  switch (policy) {
+    case ReplicaEvictionPolicy::kLru:
+      return std::variant<LruCache, SegmentedLru, ArcCache>(
+          std::in_place_type<LruCache>, capacity);
+    case ReplicaEvictionPolicy::kSegmentedLru:
+      return std::variant<LruCache, SegmentedLru, ArcCache>(
+          std::in_place_type<SegmentedLru>, capacity);
+    case ReplicaEvictionPolicy::kArc:
+      return std::variant<LruCache, SegmentedLru, ArcCache>(
+          std::in_place_type<ArcCache>, capacity);
+  }
+  return std::variant<LruCache, SegmentedLru, ArcCache>(
+      std::in_place_type<LruCache>, capacity);
+}
+
+}  // namespace
+
+TwoClassStore::TwoClassStore(std::size_t replica_capacity,
+                             ReplicaEvictionPolicy policy)
+    : replica_capacity_(replica_capacity),
+      replicas_(make_replica_cache(replica_capacity, policy)) {}
+
+void TwoClassStore::pin(ItemId item) { pinned_.insert(item); }
+
+bool TwoClassStore::read(ItemId item) {
+  if (pinned_.contains(item)) return true;
+  return std::visit([&](auto& cache) { return cache.touch(item); },
+                    replicas_);
+}
+
+bool TwoClassStore::contains(ItemId item) const {
+  if (pinned_.contains(item)) return true;
+  return std::visit([&](const auto& cache) { return cache.contains(item); },
+                    replicas_);
+}
+
+void TwoClassStore::write_replica(ItemId item) {
+  if (pinned_.contains(item)) return;
+  std::visit([&](auto& cache) { cache.insert(item); }, replicas_);
+}
+
+bool TwoClassStore::drop_replica(ItemId item) {
+  return std::visit([&](auto& cache) { return cache.erase(item); },
+                    replicas_);
+}
+
+std::size_t TwoClassStore::replica_count() const noexcept {
+  return std::visit([](const auto& cache) { return cache.size(); },
+                    replicas_);
+}
+
+CacheStats TwoClassStore::replica_stats() const {
+  return std::visit([](const auto& cache) -> CacheStats { return cache.stats(); },
+                    replicas_);
+}
+
+}  // namespace rnb

@@ -1,0 +1,67 @@
+// Two-service-class item store: the server side of overbooking.
+//
+// Paper Section III-C1/III-D: each item has one *distinguished* copy that is
+// guaranteed resident ("will never suffer a miss") plus zero or more replica
+// copies that live in an evictable cache class. The store models one
+// server's memory as
+//     pinned class   — distinguished copies mapped to this server; unbounded
+//                      from the store's perspective (the cluster sizes it to
+//                      exactly one copy of the data, the paper's 1.0 point),
+//     replica class  — a bounded LRU (or SLRU) holding replica copies; this
+//                      is where "declared replicas > physical memory"
+//                      (overbooking) silently sheds cold copies.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <variant>
+
+#include "cache/arc_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "cache/segmented_lru.hpp"
+
+namespace rnb {
+
+enum class ReplicaEvictionPolicy { kLru, kSegmentedLru, kArc };
+
+const char* to_string(ReplicaEvictionPolicy policy) noexcept;
+
+class TwoClassStore {
+ public:
+  /// `replica_capacity` is the slot budget of the evictable replica class.
+  explicit TwoClassStore(std::size_t replica_capacity,
+                         ReplicaEvictionPolicy policy =
+                             ReplicaEvictionPolicy::kLru);
+
+  /// Mark `item`'s distinguished copy as resident on this server.
+  void pin(ItemId item);
+  bool is_pinned(ItemId item) const { return pinned_.contains(item); }
+  std::size_t pinned_count() const noexcept { return pinned_.size(); }
+
+  /// Serve a read for `item`. A pinned hit never misses; a replica hit
+  /// refreshes recency. Returns true on hit.
+  bool read(ItemId item);
+
+  /// Peek without touching recency or stats (hitchhiker probes).
+  bool contains(ItemId item) const;
+
+  /// Install a replica copy (client write-back after a miss, or initial
+  /// population). No-op when the item is pinned here — the distinguished
+  /// copy already serves it.
+  void write_replica(ItemId item);
+
+  /// Drop a replica copy if present (used by the atomic-update scheme:
+  /// "remove all but the distinguished copies before modifying").
+  bool drop_replica(ItemId item);
+
+  std::size_t replica_count() const noexcept;
+  std::size_t replica_capacity() const noexcept { return replica_capacity_; }
+  CacheStats replica_stats() const;
+
+ private:
+  std::size_t replica_capacity_;
+  std::unordered_set<ItemId> pinned_;
+  std::variant<LruCache, SegmentedLru, ArcCache> replicas_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,293 @@
+#include "cluster/client.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "setcover/baselines.hpp"
+#include "setcover/greedy.hpp"
+#include "setcover/lazy_greedy.hpp"
+
+namespace rnb {
+
+RnbClient::RnbClient(RnbCluster& cluster, const ClientPolicy& policy,
+                     std::uint64_t rng_seed)
+    : cluster_(cluster), policy_(policy), rng_(rng_seed) {
+  RNB_REQUIRE(policy.limit_fraction > 0.0 && policy.limit_fraction <= 1.0);
+}
+
+CoverResult RnbClient::run_strategy(const CoverInstance& instance,
+                                    std::size_t target) {
+  switch (policy_.strategy) {
+    case BundlingStrategy::kDistinguishedOnly:
+      return distinguished_assignment(instance);
+    case BundlingStrategy::kRandomReplica:
+      return random_replica_assignment(instance, rng_);
+    case BundlingStrategy::kGreedy:
+      return greedy_cover_partial(instance, target);
+    case BundlingStrategy::kLazyGreedy:
+      return lazy_greedy_cover_partial(instance, target);
+  }
+  RNB_REQUIRE(false && "unknown bundling strategy");
+  return {};
+}
+
+void RnbClient::redirect_singletons(RequestPlan& plan) const {
+  // Count assigned items per server, then reroute any singleton to its
+  // distinguished server. Repeating is unnecessary: rerouting only ever
+  // moves items toward distinguished servers, and an item moved onto a
+  // server makes that server non-singleton.
+  std::unordered_map<ServerId, std::uint32_t> load;
+  for (const ServerId s : plan.assignment)
+    if (s != kInvalidServer) ++load[s];
+  bool changed = false;
+  for (std::size_t i = 0; i < plan.items.size(); ++i) {
+    const ServerId s = plan.assignment[i];
+    if (s == kInvalidServer || load[s] != 1) continue;
+    const ServerId home = plan.locations[i][0];
+    if (home == s || cluster_.is_down(home)) continue;
+    --load[s];
+    ++load[home];
+    plan.assignment[i] = home;
+    changed = true;
+  }
+  if (!changed) return;
+  // Rebuild the transaction server list in stable first-use order.
+  plan.servers.clear();
+  std::unordered_set<ServerId> seen;
+  for (const ServerId s : plan.assignment)
+    if (s != kInvalidServer && seen.insert(s).second)
+      plan.servers.push_back(s);
+}
+
+RequestPlan RnbClient::plan(std::span<const ItemId> request_items) {
+  RequestPlan out;
+  // Deduplicate, preserving first-appearance order (merged requests can
+  // contain the same item twice; it is fetched once).
+  {
+    std::unordered_set<ItemId> seen;
+    out.items.reserve(request_items.size());
+    for (const ItemId item : request_items)
+      if (seen.insert(item).second) out.items.push_back(item);
+  }
+  const std::size_t m = out.items.size();
+  out.locations.resize(m);
+  out.unavailable.assign(m, false);
+  const std::uint32_t r = cluster_.replication();
+  for (std::size_t i = 0; i < m; ++i) {
+    out.locations[i].resize(r);
+    cluster_.replicas_of(out.items[i], out.locations[i]);
+  }
+
+  if (cluster_.down_count() == 0) {
+    // Fast path: every replica is a live candidate.
+    out.limit_target =
+        CoverInstance::target_from_fraction(m, policy_.limit_fraction);
+    CoverInstance instance;
+    instance.candidates.resize(m);
+    for (std::size_t i = 0; i < m; ++i)
+      instance.candidates[i] = out.locations[i];
+    CoverResult cover = run_strategy(instance, out.limit_target);
+    out.assignment = std::move(cover.assignment);
+    out.servers = std::move(cover.servers_used);
+  } else {
+    // Degraded mode: cover only the live replicas; items whose replicas are
+    // all down are unavailable and excluded from the instance (and from the
+    // LIMIT target — the clause promises a fraction of what is servable).
+    CoverInstance instance;
+    std::vector<std::size_t> available;  // instance index -> item index
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<ServerId> live;
+      for (const ServerId s : out.locations[i])
+        if (!cluster_.is_down(s)) live.push_back(s);
+      if (live.empty()) {
+        out.unavailable[i] = true;
+        continue;
+      }
+      available.push_back(i);
+      instance.candidates.push_back(std::move(live));
+    }
+    out.limit_target = CoverInstance::target_from_fraction(
+        available.size(), policy_.limit_fraction);
+    const CoverResult cover = run_strategy(instance, out.limit_target);
+    out.assignment.assign(m, kInvalidServer);
+    for (std::size_t j = 0; j < available.size(); ++j)
+      out.assignment[available[j]] = cover.assignment[j];
+    out.servers = cover.servers_used;
+  }
+
+  if (policy_.redirect_singletons) redirect_singletons(out);
+  return out;
+}
+
+RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
+                                  MetricsAccumulator* metrics) {
+  RequestPlan p = plan(request_items);
+  const std::size_t m = p.items.size();
+
+  RequestOutcome outcome;
+  outcome.items_requested = static_cast<std::uint32_t>(m);
+
+  // Group assigned items by server, preserving p.servers order.
+  std::unordered_map<ServerId, std::vector<std::size_t>> assigned;
+  for (std::size_t i = 0; i < m; ++i)
+    if (p.assignment[i] != kInvalidServer)
+      assigned[p.assignment[i]].push_back(i);
+
+  // Hitchhikers: item i rides along on the transaction to server s when s
+  // holds one of i's logical replicas but the cover sent i elsewhere.
+  std::unordered_map<ServerId, std::vector<std::size_t>> hitchhikers;
+  if (policy_.hitchhiking) {
+    std::unordered_set<ServerId> in_plan(p.servers.begin(), p.servers.end());
+    for (std::size_t i = 0; i < m; ++i) {
+      if (p.assignment[i] == kInvalidServer) continue;  // skipped by LIMIT
+      for (const ServerId s : p.locations[i])
+        if (s != p.assignment[i] && in_plan.contains(s))
+          hitchhikers[s].push_back(i);
+    }
+  }
+
+  // Round 1. satisfied[i] means a server returned the item.
+  std::vector<bool> satisfied(m, false);
+  for (const ServerId s : p.servers) {
+    TwoClassStore& server = cluster_.server(s);
+    std::uint64_t keys_in_txn = 0;
+    for (const std::size_t i : assigned[s]) {
+      ++keys_in_txn;
+      if (server.read(p.items[i])) satisfied[i] = true;
+    }
+    if (const auto hit_it = hitchhikers.find(s);
+        hit_it != hitchhikers.end()) {
+      for (const std::size_t i : hit_it->second) {
+        ++keys_in_txn;
+        ++outcome.hitchhiker_keys;
+        // Paper rule: update the LRU only upon a hitchhiker hit — probe
+        // first, and only touch recency when the copy is actually there.
+        if (server.contains(p.items[i])) {
+          server.read(p.items[i]);
+          if (!satisfied[i]) ++outcome.hitchhiker_saves;
+          satisfied[i] = true;
+        }
+      }
+    }
+    if (metrics != nullptr) metrics->record_transaction_size(keys_in_txn);
+  }
+  outcome.round1_transactions = static_cast<std::uint32_t>(p.servers.size());
+
+  // Round 2: unsatisfied items fall back to their distinguished copies —
+  // or, when the distinguished server is down, to the first LIVE replica —
+  // bundled per fallback server. (An item assigned to its own distinguished
+  // server cannot reach here — pinned copies always hit.)
+  std::unordered_map<ServerId, std::vector<std::size_t>> fallback;
+  for (std::size_t i = 0; i < m; ++i) {
+    const ServerId s = p.assignment[i];
+    if (s == kInvalidServer) {
+      if (p.unavailable[i])
+        ++outcome.items_unavailable;
+      else
+        ++outcome.items_skipped;
+      continue;
+    }
+    if (satisfied[i]) continue;
+    ++outcome.replica_misses;
+    // Fallback target: the first live replica other than the server that
+    // just missed. If none exists, there is no point in a second round —
+    // the item comes straight from the database.
+    ServerId target = kInvalidServer;
+    for (const ServerId candidate : p.locations[i])
+      if (candidate != s && !cluster_.is_down(candidate)) {
+        target = candidate;
+        break;
+      }
+    if (target == kInvalidServer) {
+      ++outcome.db_fetches;
+      satisfied[i] = true;
+      if (policy_.write_back_misses)
+        cluster_.server(s).write_replica(p.items[i]);
+      continue;
+    }
+    fallback[target].push_back(i);
+  }
+  // Ordered iteration keeps cross-server write-back order — and therefore
+  // every LRU's exact state — independent of the hash map implementation.
+  std::vector<ServerId> fallback_servers;
+  fallback_servers.reserve(fallback.size());
+  for (const auto& [home, idxs] : fallback) fallback_servers.push_back(home);
+  std::sort(fallback_servers.begin(), fallback_servers.end());
+  for (const ServerId home : fallback_servers) {
+    const std::vector<std::size_t>& idxs = fallback[home];
+    TwoClassStore& server = cluster_.server(home);
+    for (const std::size_t i : idxs) {
+      const bool hit = server.read(p.items[i]);
+      if (!hit) {
+        // Only possible when the true distinguished server is down and the
+        // fallback replica was cold: the item comes from the database
+        // (paper Section I-B's miss path). It still reaches the user.
+        RNB_ENSURE(cluster_.is_down(p.locations[i][0]));
+        ++outcome.db_fetches;
+      }
+      satisfied[i] = true;
+      // Write-back: install the replica where round 1 expected it, so the
+      // next similar request hits (Section III-C2's write rule).
+      if (policy_.write_back_misses)
+        cluster_.server(p.assignment[i]).write_replica(p.items[i]);
+    }
+    if (metrics != nullptr)
+      metrics->record_transaction_size(idxs.size());
+  }
+  outcome.round2_transactions = static_cast<std::uint32_t>(fallback.size());
+  outcome.items_fetched = static_cast<std::uint32_t>(
+      std::count(satisfied.begin(), satisfied.end(), true));
+
+  if (metrics != nullptr) metrics->add(outcome);
+  return outcome;
+}
+
+RequestOutcome RnbClient::execute_write(std::span<const ItemId> items,
+                                        WritePolicy write_policy,
+                                        MetricsAccumulator* metrics) {
+  // Dedup, first-appearance order.
+  std::vector<ItemId> unique;
+  {
+    std::unordered_set<ItemId> seen;
+    unique.reserve(items.size());
+    for (const ItemId item : items)
+      if (seen.insert(item).second) unique.push_back(item);
+  }
+
+  RequestOutcome outcome;
+  outcome.items_requested = static_cast<std::uint32_t>(unique.size());
+  outcome.items_fetched = outcome.items_requested;
+
+  // Group every replica of every item by server; a write transaction to a
+  // server carries all the keys it stores for this batch.
+  std::unordered_map<ServerId, std::vector<std::pair<ItemId, bool>>> batches;
+  std::vector<ServerId> order;  // deterministic first-use server order
+  std::vector<ServerId> locations(cluster_.replication());
+  for (const ItemId item : unique) {
+    cluster_.replicas_of(item, locations);
+    for (std::size_t rank = 0; rank < locations.size(); ++rank) {
+      auto [it, inserted] = batches.try_emplace(locations[rank]);
+      if (inserted) order.push_back(locations[rank]);
+      it->second.emplace_back(item, rank == 0);
+    }
+  }
+
+  for (const ServerId s : order) {
+    TwoClassStore& server = cluster_.server(s);
+    for (const auto& [item, is_distinguished] : batches[s]) {
+      if (is_distinguished) continue;  // pinned copy updates in place
+      if (write_policy == WritePolicy::kUpdateAllReplicas)
+        server.write_replica(item);
+      else
+        server.drop_replica(item);
+    }
+    if (metrics != nullptr) metrics->record_transaction_size(batches[s].size());
+  }
+  outcome.round1_transactions = static_cast<std::uint32_t>(order.size());
+  if (metrics != nullptr) metrics->add(outcome);
+  return outcome;
+}
+
+}  // namespace rnb

@@ -1,0 +1,87 @@
+// The RnB client: plan (replicate-aware bundling) + execute (two-round
+// fetch with miss fallback to distinguished copies).
+//
+// Execution pipeline per request (paper Sections III-A/C/D/F):
+//   1. Compute every requested item's logical replica locations.
+//   2. Solve (partial) set cover with the configured strategy — this picks
+//      one server per fetched item and the set of round-1 transactions.
+//   3. Redirect singletons: an item alone on its server is rerouted to its
+//      distinguished copy so replica caches aren't polluted for nothing.
+//   4. Optionally attach hitchhikers: a transaction to server s also asks
+//      for any other fetched item with a logical replica on s.
+//   5. Execute round 1 against the servers' two-class stores. Distinguished
+//      hits are guaranteed; replica probes may miss under limited memory.
+//   6. Items still unsatisfied form round 2: bundled fetches from their
+//      distinguished servers (always hits), plus write-back of the missing
+//      replica to the round-1 server that was supposed to have it.
+//
+// The client is stateless across requests — all cross-request adaptation
+// lives in the servers' LRU state, exactly as the paper argues.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/policies.hpp"
+#include "common/rng.hpp"
+#include "setcover/cover.hpp"
+
+namespace rnb {
+
+/// A fully planned request, before touching any server. Exposed separately
+/// from execution so tests and the locality bench can inspect plans.
+struct RequestPlan {
+  /// Deduplicated items, in first-appearance order.
+  std::vector<ItemId> items;
+  /// Replica locations per item (parallel to `items`).
+  std::vector<std::vector<ServerId>> locations;
+  /// items[i] is fetched from assignment[i]; kInvalidServer => skipped by
+  /// the LIMIT clause, or unavailable (see below).
+  std::vector<ServerId> assignment;
+  /// Distinct round-1 servers in transaction order.
+  std::vector<ServerId> servers;
+  /// unavailable[i]: every replica server of items[i] is down; the item
+  /// cannot be served by the cache tier at all.
+  std::vector<bool> unavailable;
+  /// Minimum number of items the LIMIT clause requires (over the available
+  /// items when servers are down).
+  std::size_t limit_target = 0;
+};
+
+class RnbClient {
+ public:
+  /// The client holds a reference to the cluster; the rng drives only the
+  /// kRandomReplica baseline.
+  RnbClient(RnbCluster& cluster, const ClientPolicy& policy,
+            std::uint64_t rng_seed = 0x9e3779b9u);
+
+  const ClientPolicy& policy() const noexcept { return policy_; }
+
+  /// Plan without executing (no server state is touched).
+  RequestPlan plan(std::span<const ItemId> request_items);
+
+  /// Plan + execute, mutating server cache state, optionally recording each
+  /// transaction's key count into `metrics` (may be nullptr).
+  RequestOutcome execute(std::span<const ItemId> request_items,
+                         MetricsAccumulator* metrics = nullptr);
+
+  /// Execute a write batch: every logical replica server of every item must
+  /// be contacted (Section III-G), so the transaction count is the number
+  /// of distinct servers across ALL replicas — no cover to solve. What the
+  /// contact does to replica state is governed by `write_policy`.
+  RequestOutcome execute_write(std::span<const ItemId> items,
+                               WritePolicy write_policy,
+                               MetricsAccumulator* metrics = nullptr);
+
+ private:
+  CoverResult run_strategy(const CoverInstance& instance, std::size_t target);
+  void redirect_singletons(RequestPlan& plan) const;
+
+  RnbCluster& cluster_;
+  ClientPolicy policy_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,67 @@
+#include "cluster/cluster.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+RnbCluster::RnbCluster(const ClusterConfig& config, std::uint64_t num_items)
+    : config_(config),
+      num_items_(num_items),
+      placement_(make_placement(config.placement, config.num_servers,
+                                config.logical_replicas, config.seed)) {
+  RNB_REQUIRE(config.num_servers > 0);
+  RNB_REQUIRE(config.logical_replicas >= 1);
+  RNB_REQUIRE(config.logical_replicas <= config.num_servers);
+
+  if (config_.unlimited_memory) {
+    // Large enough that no insert ever evicts.
+    replica_slots_per_server_ = std::numeric_limits<std::size_t>::max() / 2;
+  } else {
+    RNB_REQUIRE(config_.relative_memory >= 1.0);
+    const double extra =
+        (config_.relative_memory - 1.0) * static_cast<double>(num_items);
+    replica_slots_per_server_ = static_cast<std::size_t>(
+        extra / static_cast<double>(config_.num_servers));
+  }
+
+  servers_.reserve(config_.num_servers);
+  for (ServerId s = 0; s < config_.num_servers; ++s)
+    servers_.emplace_back(replica_slots_per_server_, config_.eviction);
+  down_.assign(config_.num_servers, false);
+
+  std::vector<ServerId> locations(placement_->replication());
+  for (ItemId item = 0; item < num_items; ++item) {
+    placement_->replicas(item, locations);
+    servers_[locations[0]].pin(item);
+    if (config_.unlimited_memory)
+      for (std::size_t r = 1; r < locations.size(); ++r)
+        servers_[locations[r]].write_replica(item);
+  }
+}
+
+void RnbCluster::fail_server(ServerId s) {
+  RNB_REQUIRE(s < down_.size());
+  if (!down_[s]) {
+    down_[s] = true;
+    ++down_count_;
+  }
+}
+
+void RnbCluster::restore_server(ServerId s) {
+  RNB_REQUIRE(s < down_.size());
+  if (down_[s]) {
+    down_[s] = false;
+    --down_count_;
+  }
+}
+
+std::uint64_t RnbCluster::resident_copies() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_)
+    total += s.pinned_count() + s.replica_count();
+  return total;
+}
+
+}  // namespace rnb

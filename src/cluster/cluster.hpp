@@ -1,0 +1,96 @@
+// A simulated memcached fleet under RnB placement.
+//
+// The cluster owns N TwoClassStore servers and a PlacementPolicy. populate()
+// pins each item's distinguished copy on its replica-0 server (that class is
+// sized to exactly one copy of the data, the paper's "same amount of memory
+// that the original system had"); the replica class per server gets
+//     (relative_memory - 1.0) * num_items / num_servers
+// slots, so the Fig. 8 memory axis maps 1:1 onto ClusterConfig. Unlimited
+// mode (Fig. 6) instead pre-installs every logical replica and never evicts.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+#include "cache/two_class_store.hpp"
+#include "cluster/policies.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb {
+
+struct ClusterConfig {
+  ServerId num_servers = 16;
+  /// Declared ("logical") replicas per item, including the distinguished
+  /// copy. Under limited memory this may exceed what fits — overbooking.
+  std::uint32_t logical_replicas = 1;
+  PlacementScheme placement = PlacementScheme::kRangedConsistentHash;
+  std::uint64_t seed = 1;
+
+  /// true: every logical replica is always resident (Fig. 6 regime).
+  /// false: replica class is a bounded cache (Fig. 8-10 regime).
+  bool unlimited_memory = true;
+  /// Total memory in units of "one copy of the data"; >= 1.0. Only
+  /// meaningful when unlimited_memory is false.
+  double relative_memory = 1.0;
+  ReplicaEvictionPolicy eviction = ReplicaEvictionPolicy::kLru;
+};
+
+class RnbCluster {
+ public:
+  /// Build the fleet and install `num_items` items with ids [0, num_items):
+  /// distinguished copies pinned; replica copies pre-installed only in
+  /// unlimited mode.
+  RnbCluster(const ClusterConfig& config, std::uint64_t num_items);
+
+  const ClusterConfig& config() const noexcept { return config_; }
+  std::uint64_t num_items() const noexcept { return num_items_; }
+  ServerId num_servers() const noexcept { return config_.num_servers; }
+  std::uint32_t replication() const noexcept {
+    return placement_->replication();
+  }
+
+  const PlacementPolicy& placement() const noexcept { return *placement_; }
+
+  TwoClassStore& server(ServerId s) { return servers_[s]; }
+  const TwoClassStore& server(ServerId s) const { return servers_[s]; }
+
+  /// Replica servers of `item`, replica order (index 0 = distinguished).
+  void replicas_of(ItemId item, std::span<ServerId> out) const {
+    placement_->replicas(item, out);
+  }
+
+  /// Per-server replica-class slot budget implied by the config.
+  std::size_t replica_slots_per_server() const noexcept {
+    return replica_slots_per_server_;
+  }
+
+  /// Total pinned + cached replica copies across the fleet (memory probe
+  /// for the overbooking experiments).
+  std::uint64_t resident_copies() const;
+
+  /// Failure injection: a down server accepts no transactions; the client
+  /// plans around it using the surviving replicas. Replication bought for
+  /// RnB's bundling doubles as fault tolerance — exactly the "replication
+  /// is often done anyhow" synergy the paper leans on (Section V-B).
+  void fail_server(ServerId s);
+  void restore_server(ServerId s);
+  bool is_down(ServerId s) const {
+    RNB_REQUIRE(s < down_.size());
+    return down_[s];
+  }
+  std::uint32_t down_count() const noexcept { return down_count_; }
+
+ private:
+  ClusterConfig config_;
+  std::uint64_t num_items_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::size_t replica_slots_per_server_ = 0;
+  std::vector<TwoClassStore> servers_;
+  std::vector<bool> down_;
+  std::uint32_t down_count_ = 0;
+};
+
+}  // namespace rnb

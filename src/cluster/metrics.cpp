@@ -1,0 +1,28 @@
+#include "cluster/metrics.hpp"
+
+namespace rnb {
+
+void MetricsAccumulator::add(const RequestOutcome& outcome) {
+  tpr_.add(static_cast<double>(outcome.transactions()));
+  round2_.add(static_cast<double>(outcome.round2_transactions));
+  misses_.add(static_cast<double>(outcome.replica_misses));
+  items_fetched_.add(static_cast<double>(outcome.items_fetched));
+  hitch_keys_.add(static_cast<double>(outcome.hitchhiker_keys));
+  hitch_saves_.add(static_cast<double>(outcome.hitchhiker_saves));
+  unavailable_.add(static_cast<double>(outcome.items_unavailable));
+  db_fetches_.add(static_cast<double>(outcome.db_fetches));
+}
+
+void MetricsAccumulator::merge(const MetricsAccumulator& other) {
+  tpr_.merge(other.tpr_);
+  round2_.merge(other.round2_);
+  misses_.merge(other.misses_);
+  items_fetched_.merge(other.items_fetched_);
+  hitch_keys_.merge(other.hitch_keys_);
+  hitch_saves_.merge(other.hitch_saves_);
+  unavailable_.merge(other.unavailable_);
+  db_fetches_.merge(other.db_fetches_);
+  txn_sizes_.merge(other.txn_sizes_);
+}
+
+}  // namespace rnb

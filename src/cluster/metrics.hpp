@@ -1,0 +1,71 @@
+// Request outcomes and metric accumulation (paper Section I-B definitions).
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+
+namespace rnb {
+
+/// Everything a single executed request tells us.
+struct RequestOutcome {
+  std::uint32_t items_requested = 0;
+  std::uint32_t items_fetched = 0;   // >= limit target, <= requested
+  std::uint32_t items_skipped = 0;   // LIMIT clause let us drop these
+  std::uint32_t items_unavailable = 0;  // every replica server down
+  std::uint32_t round1_transactions = 0;
+  std::uint32_t round2_transactions = 0;  // distinguished-copy fallbacks
+  std::uint32_t replica_misses = 0;       // assigned-server misses
+  std::uint32_t db_fetches = 0;  // fallback also missed (distinguished down)
+  std::uint32_t hitchhiker_saves = 0;     // misses rescued by a hitchhiker
+  std::uint32_t hitchhiker_keys = 0;      // extra keys added to transactions
+
+  std::uint32_t transactions() const noexcept {
+    return round1_transactions + round2_transactions;
+  }
+};
+
+/// Aggregates outcomes over a measurement window.
+class MetricsAccumulator {
+ public:
+  void add(const RequestOutcome& outcome);
+
+  std::uint64_t requests() const noexcept { return tpr_.count(); }
+
+  /// Transactions Per Request — the paper's headline metric.
+  double tpr() const noexcept { return tpr_.mean(); }
+  /// TPR Per Server.
+  double tprps(std::uint32_t num_servers) const noexcept {
+    return tpr() / static_cast<double>(num_servers);
+  }
+  double mean_round2() const noexcept { return round2_.mean(); }
+  double mean_misses() const noexcept { return misses_.mean(); }
+  double mean_items_fetched() const noexcept { return items_fetched_.mean(); }
+  double mean_hitchhiker_keys() const noexcept { return hitch_keys_.mean(); }
+  double mean_hitchhiker_saves() const noexcept { return hitch_saves_.mean(); }
+  double mean_unavailable() const noexcept { return unavailable_.mean(); }
+  double mean_db_fetches() const noexcept { return db_fetches_.mean(); }
+
+  const RunningStat& tpr_stat() const noexcept { return tpr_; }
+
+  /// Histogram of items per transaction (assigned + hitchhiker keys); the
+  /// calibration model converts this into throughput.
+  const Histogram& transaction_sizes() const noexcept { return txn_sizes_; }
+  void record_transaction_size(std::uint64_t keys) { txn_sizes_.add(keys); }
+
+  void merge(const MetricsAccumulator& other);
+
+ private:
+  RunningStat tpr_;
+  RunningStat round2_;
+  RunningStat misses_;
+  RunningStat items_fetched_;
+  RunningStat hitch_keys_;
+  RunningStat hitch_saves_;
+  RunningStat unavailable_;
+  RunningStat db_fetches_;
+  Histogram txn_sizes_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,29 @@
+#include "cluster/policies.hpp"
+
+namespace rnb {
+
+const char* to_string(BundlingStrategy strategy) noexcept {
+  switch (strategy) {
+    case BundlingStrategy::kDistinguishedOnly:
+      return "distinguished";
+    case BundlingStrategy::kRandomReplica:
+      return "random-replica";
+    case BundlingStrategy::kGreedy:
+      return "greedy";
+    case BundlingStrategy::kLazyGreedy:
+      return "lazy-greedy";
+  }
+  return "?";
+}
+
+const char* to_string(WritePolicy policy) noexcept {
+  switch (policy) {
+    case WritePolicy::kUpdateAllReplicas:
+      return "update-all";
+    case WritePolicy::kInvalidateReplicas:
+      return "invalidate";
+  }
+  return "?";
+}
+
+}  // namespace rnb

@@ -1,0 +1,65 @@
+// Client-side policy knobs for RnB request execution.
+#pragma once
+
+#include <cstdint>
+
+namespace rnb {
+
+/// How the client chooses which replica of each requested item to fetch.
+enum class BundlingStrategy {
+  /// Always the distinguished copy. With replication 1 this is stock
+  /// consistent hashing — the multi-get-hole baseline of Figs. 2-3.
+  kDistinguishedOnly,
+  /// A uniformly random replica per item: Facebook-style full replication
+  /// (paper Section II-C, industry solution 3). Spreads load, does not
+  /// reduce transactions.
+  kRandomReplica,
+  /// Greedy minimum set cover over replica locations — RnB proper.
+  kGreedy,
+  /// Minoux lazy greedy; identical picks to kGreedy, cheaper on large
+  /// requests.
+  kLazyGreedy,
+};
+
+const char* to_string(BundlingStrategy strategy) noexcept;
+
+/// What a write does to the non-distinguished replicas (paper Sections
+/// III-G and IV). Either way every logical replica server must be
+/// contacted — the client is stateless and cannot know which replicas are
+/// materialized — so the transaction cost is identical; the policies differ
+/// in what the replica caches hold afterwards.
+enum class WritePolicy {
+  /// Update every replica in place (keeps replicas hot; paper III-G's
+  /// "RnB requires updating multiple replicas").
+  kUpdateAllReplicas,
+  /// Update the distinguished copy, drop the others; reads repopulate them
+  /// on demand (the Section IV atomic-operation scheme).
+  kInvalidateReplicas,
+};
+
+const char* to_string(WritePolicy policy) noexcept;
+
+/// Per-request execution policy (paper Sections III-C, III-D, III-F).
+struct ClientPolicy {
+  BundlingStrategy strategy = BundlingStrategy::kGreedy;
+
+  /// Piggyback covered items onto every transaction whose server also holds
+  /// one of their logical replicas (Section III-C2). Only affects behaviour
+  /// under limited memory, where it converts replica misses into hits.
+  bool hitchhiking = false;
+
+  /// "Whenever an item is not bundled, we access its distinguished copy in
+  /// order not to pollute other server caches with its copies"
+  /// (Section III-C1): reroute items that ended up alone on a server.
+  bool redirect_singletons = true;
+
+  /// LIMIT-style requests (Section III-F): fetch at least this fraction of
+  /// the request set; 1.0 disables partial fetching.
+  double limit_fraction = 1.0;
+
+  /// After a replica miss, install the item in the replica class of the
+  /// server the cover had assigned it to (Section III-C2's write-back rule).
+  bool write_back_misses = true;
+};
+
+}  // namespace rnb

@@ -1,0 +1,44 @@
+#include "common/alias.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  RNB_REQUIRE(n > 0);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  RNB_REQUIRE(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale to mean 1 and split into small/large worklists (Vose's stable
+  // formulation of Walker's method).
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RNB_REQUIRE(weights[i] >= 0.0);
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    const std::size_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly 1 up to rounding.
+  for (const std::size_t i : large) prob_[i] = 1.0;
+  for (const std::size_t i : small) prob_[i] = 1.0;
+}
+
+}  // namespace rnb

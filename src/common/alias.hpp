@@ -1,0 +1,33 @@
+// Walker alias method for O(1) sampling from a fixed discrete distribution.
+//
+// The synthetic social-graph generators draw millions of edge endpoints from
+// a heavy-tailed attractiveness distribution; the alias table makes each
+// draw two RNG calls and one table lookup regardless of support size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rnb {
+
+class AliasTable {
+ public:
+  /// Build from non-negative weights (at least one must be positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Sample an index with probability proportional to its weight.
+  std::size_t sample(Xoshiro256& rng) const noexcept {
+    const std::size_t i = rng.below(prob_.size());
+    return rng.uniform01() < prob_[i] ? i : alias_[i];
+  }
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,12 @@
+#include "common/bitset.hpp"
+
+namespace rnb {
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each_set([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace rnb

@@ -1,0 +1,137 @@
+// Dynamic bitset tuned for the set-cover inner loop.
+//
+// The paper's Section IV highlights a bit-set based minimum-set-cover
+// heuristic "using a relatively small number of CPU cycles". In our greedy
+// cover, each server's candidate set is a bitset over the positions of the
+// request's items; the hot operations are andnot_count (marginal coverage of
+// a server given what is already covered) and or_inplace (commit a pick).
+// Both run word-at-a-time with popcount.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Construct with `nbits` bits, all clear.
+  explicit DynamicBitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  void set(std::size_t i) noexcept {
+    RNB_REQUIRE(i < nbits_);
+    words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) noexcept {
+    RNB_REQUIRE(i < nbits_);
+    words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+  }
+
+  bool test(std::size_t i) const noexcept {
+    RNB_REQUIRE(i < nbits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
+  }
+
+  /// Clear all bits without changing capacity.
+  void clear_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Resize to `nbits`, clearing everything.
+  void assign_cleared(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.assign((nbits + kWordBits - 1) / kWordBits, 0);
+  }
+
+  /// Number of set bits.
+  std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool any() const noexcept {
+    for (std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  bool none() const noexcept { return !any(); }
+
+  /// popcount(*this & ~other): how many of our bits are NOT in `other`.
+  /// This is the greedy cover's "marginal gain" kernel.
+  std::size_t andnot_count(const DynamicBitset& other) const noexcept {
+    RNB_REQUIRE(other.nbits_ == nbits_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(words_[i] & ~other.words_[i]));
+    return n;
+  }
+
+  /// popcount(*this & other).
+  std::size_t and_count(const DynamicBitset& other) const noexcept {
+    RNB_REQUIRE(other.nbits_ == nbits_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(words_[i] & other.words_[i]));
+    return n;
+  }
+
+  /// *this |= other.
+  void or_inplace(const DynamicBitset& other) noexcept {
+    RNB_REQUIRE(other.nbits_ == nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] |= other.words_[i];
+  }
+
+  /// *this &= ~other.
+  void andnot_inplace(const DynamicBitset& other) noexcept {
+    RNB_REQUIRE(other.nbits_ == nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= ~other.words_[i];
+  }
+
+  /// true iff every set bit of *this is also set in `other`.
+  bool is_subset_of(const DynamicBitset& other) const noexcept {
+    RNB_REQUIRE(other.nbits_ == nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & ~other.words_[i]) return false;
+    return true;
+  }
+
+  bool operator==(const DynamicBitset& other) const noexcept = default;
+
+  /// Invoke `fn(index)` for each set bit, ascending.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * kWordBits + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Collect indices of set bits.
+  std::vector<std::size_t> to_indices() const;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rnb

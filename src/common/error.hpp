@@ -1,0 +1,31 @@
+// Lightweight contract checking for the RnB library.
+//
+// RNB_REQUIRE is a precondition check that stays on in release builds: the
+// simulators are driven by configuration structs that arrive from user code,
+// and a silently out-of-range replica count or memory budget would corrupt
+// an entire experiment. Violations abort with a location message; they are
+// programming errors, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rnb {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "rnb: %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace rnb
+
+#define RNB_REQUIRE(expr)                                              \
+  (static_cast<bool>(expr)                                             \
+       ? static_cast<void>(0)                                          \
+       : ::rnb::contract_failure("precondition", #expr, __FILE__, __LINE__))
+
+#define RNB_ENSURE(expr)                                               \
+  (static_cast<bool>(expr)                                             \
+       ? static_cast<void>(0)                                          \
+       : ::rnb::contract_failure("postcondition", #expr, __FILE__, __LINE__))

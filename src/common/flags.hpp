@@ -1,0 +1,56 @@
+// Minimal --key=value flag parsing, shared by the bench harness, the
+// examples, and rnbsim. Not a general CLI library on purpose: every binary
+// in this repository takes a flat set of typed overrides with defaults, and
+// anything fancier would obscure the experiment parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace rnb {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (arg.substr(0, 2) != "--") continue;
+      arg.remove_prefix(2);
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string_view::npos)
+        values_[std::string(arg)] = "1";
+      else
+        values_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+  double f64(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool boolean(const std::string& key, bool fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : (it->second != "0" && it->second != "false");
+  }
+
+  std::string str(const std::string& key, std::string fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::move(fallback) : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,66 @@
+// Seeded 64-bit hash functions and hash families.
+//
+// All placement decisions in RnB are "stateless": any client must be able to
+// recompute the replica locations of any item from (item id, seed) alone, so
+// the hash functions here are fully deterministic and portable across
+// processes. A HashFamily provides k pseudo-independent functions derived
+// from one seed; replica placement and the consistent-hashing ring both draw
+// from it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rnb {
+
+/// Final mixing step of MurmurHash3 (fmix64). Bijective on 64-bit values:
+/// ideal for turning structured ids (0,1,2,...) into well-spread hashes.
+constexpr std::uint64_t fmix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// One step of the splitmix64 sequence; also usable as a standalone hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte string; used for string keys in the mini-kv store.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Combine two hashes (boost-style, 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// A family of k pseudo-independent hash functions over 64-bit keys.
+///
+/// Function i is `fmix64(key ^ tweak[i])` where the tweaks are derived from
+/// the family seed by splitmix64. This is the "multiple hash functions"
+/// device the paper uses for replica placement (Section III-B): replica i of
+/// item x lives at `family(i, x) mod N` under naive placement, or is looked
+/// up on the consistent-hashing ring.
+class HashFamily {
+ public:
+  explicit HashFamily(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// The i-th hash function applied to `key`.
+  std::uint64_t operator()(std::uint32_t i, std::uint64_t key) const noexcept {
+    return fmix64(key ^ splitmix64(seed_ + 0x9e3779b97f4a7c15ULL * (i + 1)));
+  }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace rnb

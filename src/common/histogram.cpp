@@ -1,0 +1,28 @@
+#include "common/histogram.hpp"
+
+#include <bit>
+
+namespace rnb {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::log2_buckets()
+    const {
+  // Bucket b >= 1 covers keys [2^(b-1), 2^b); bucket 0 covers key 0.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  if (counts_.empty()) return out;
+  const std::uint64_t max_k = max_key();
+  const std::size_t nbuckets =
+      max_k == 0 ? 1 : std::bit_width(max_k) + std::size_t{1};
+  std::vector<std::uint64_t> bins(nbuckets, 0);
+  for (const auto& [k, c] : counts_) {
+    const std::size_t b = k == 0 ? 0 : static_cast<std::size_t>(std::bit_width(k));
+    bins[b] += c;
+  }
+  out.reserve(nbuckets);
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+    out.emplace_back(lo, bins[b]);
+  }
+  return out;
+}
+
+}  // namespace rnb

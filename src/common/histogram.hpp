@@ -1,0 +1,75 @@
+// Integer-keyed histograms.
+//
+// The central artifact of the full simulator is the histogram of
+// "items per transaction": the calibration model (paper Appendix A) converts
+// exactly this histogram into a system throughput estimate, and the degree
+// histograms of Figs. 4-5 are the same structure over graph out-degrees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+/// Sparse histogram over non-negative integer keys.
+class Histogram {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1) {
+    counts_[key] += weight;
+    total_ += weight;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+  std::uint64_t count_at(std::uint64_t key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  double mean() const {
+    if (total_ == 0) return 0.0;
+    long double acc = 0;
+    for (const auto& [k, c] : counts_)
+      acc += static_cast<long double>(k) * static_cast<long double>(c);
+    return static_cast<double>(acc / static_cast<long double>(total_));
+  }
+
+  std::uint64_t min_key() const {
+    RNB_REQUIRE(!counts_.empty());
+    return counts_.begin()->first;
+  }
+  std::uint64_t max_key() const {
+    RNB_REQUIRE(!counts_.empty());
+    return counts_.rbegin()->first;
+  }
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& o) {
+    for (const auto& [k, c] : o.counts_) add(k, c);
+  }
+
+  /// Ordered (key, count) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
+    return {counts_.begin(), counts_.end()};
+  }
+
+  /// Bucket into `nbuckets` log2-spaced bins [1,2), [2,4), [4,8)...; bin 0
+  /// holds key 0. Useful for printing heavy-tailed degree distributions.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> log2_buckets() const;
+
+  /// Visit each (key, count) in ascending key order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [k, c] : counts_) fn(k, c);
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rnb

@@ -1,0 +1,144 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every experiment in the benchmark harness must be exactly reproducible
+// from its seed, so we carry our own generator (xoshiro256**) instead of
+// depending on the standard library's unspecified std::mt19937 seeding or
+// distribution implementations. Distribution helpers use well-defined
+// algorithms (Lemire's bounded reduction, inverse-CDF Zipf).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace rnb {
+
+/// xoshiro256** 1.0 by Blackman & Vigna. 256-bit state, jumpable, and much
+/// faster than mt19937; satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    // Seed the state via splitmix64 as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+    // All-zero state is invalid; splitmix64 of anything cannot produce four
+    // zeros, but keep the guard for clarity.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    RNB_REQUIRE(bound > 0);
+    // 128-bit multiply; rejection loop removes the modulo bias.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Bounded Zipf(s) sampler over ranks {0, ..., n-1} using rejection-inversion
+/// (Hörmann & Derflinger 1996, as implemented in Apache Commons RNG).
+/// Rank 0 is the most popular element. O(1) expected time per sample with
+/// acceptance rate > 0.85 for all (n, s).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    RNB_REQUIRE(n >= 1);
+    RNB_REQUIRE(s >= 0.0);
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n) + 0.5);
+    threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  std::uint64_t operator()(Xoshiro256& rng) const noexcept {
+    // Degenerate uniform case (s == 0) short-circuits the pow() calls.
+    if (s_ == 0.0) return rng.below(n_);
+    for (;;) {
+      const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+      const double x = h_integral_inverse(u);
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      // Accept k when it is close enough to x (the hat is exact there), or
+      // when u falls below the true histogram bar of k.
+      if (kd - x <= threshold_ || u >= h_integral(kd + 0.5) - h(kd))
+        return k - 1;
+    }
+  }
+
+ private:
+  /// h(x) = x^-s, the unnormalized Zipf density.
+  double h(double x) const noexcept { return std::pow(x, -s_); }
+
+  /// H(x) = integral of h; closed forms differ at s == 1.
+  double h_integral(double x) const noexcept {
+    if (s_ == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+
+  double h_integral_inverse(double u) const noexcept {
+    if (s_ == 1.0) return std::exp(u);
+    double t = u * (1.0 - s_);
+    if (t < -1.0) t = -1.0;  // numeric guard near the distribution head
+    return std::pow(1.0 + t, 1.0 / (1.0 - s_));
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double threshold_ = 0.0;
+};
+
+}  // namespace rnb

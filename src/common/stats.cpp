@@ -1,0 +1,4 @@
+#include "common/stats.hpp"
+
+// stats.hpp is header-only; this TU exists so the build exercises the header
+// under the library's warning flags even when no other file includes it yet.

@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+void Table::add_row(std::vector<Cell> cells) {
+  RNB_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream out;
+  if (const auto* d = std::get_if<double>(&c))
+    out << std::fixed << std::setprecision(precision_) << *d;
+  else
+    out << std::get<std::int64_t>(c);
+  return out.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render_cell(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << "  ";
+      os << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rendered) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit_field = [&](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+      os << field;
+      return;
+    }
+    os << '"';
+    for (const char c : field) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i) os << ',';
+      emit_field(fields[i]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> rendered;
+    rendered.reserve(row.size());
+    for (const Cell& c : row) rendered.push_back(render_cell(c));
+    emit_row(rendered);
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& description) {
+  os << "== " << title << " ==\n" << description << "\n\n";
+}
+
+}  // namespace rnb

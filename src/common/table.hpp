@@ -1,0 +1,52 @@
+// Aligned TSV-style table printer for the benchmark harness.
+//
+// Every figure-reproduction binary prints one table per paper figure; this
+// keeps the format consistent (header row, fixed precision, right-aligned
+// numerics) so EXPERIMENTS.md can quote bench output verbatim and diffs
+// between runs stay readable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rnb {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Set fixed decimal places for double cells (default 4).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  /// Append one row; cell count must match the header count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Render with space-aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (fields containing commas or quotes are
+  /// quoted, quotes doubled) — for piping bench output into plotting tools.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Print a "== title ==" banner followed by a short description line.
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& description);
+
+}  // namespace rnb

@@ -1,0 +1,53 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// Benchmark sweeps (e.g. Fig. 8's memory x replication grid) consist of
+// independent simulator runs; parallel_for shards them across hardware
+// threads. Each shard gets its own RNG seed from the caller, so results are
+// identical regardless of the worker count — determinism is part of the
+// contract, parallelism is only a speedup.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rnb {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across a private pool sized to the machine.
+/// fn must be safe to invoke concurrently for distinct i.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace rnb

@@ -1,0 +1,18 @@
+// Shared vocabulary types for the RnB library.
+#pragma once
+
+#include <cstdint>
+
+namespace rnb {
+
+/// Identifier of a stored object. In the social-network workloads this is a
+/// graph node id; in the mini-kv it is the hash of the string key.
+using ItemId = std::uint64_t;
+
+/// Index of a storage server within a cluster, in [0, num_servers).
+using ServerId = std::uint32_t;
+
+/// Invalid server sentinel.
+inline constexpr ServerId kInvalidServer = ~ServerId{0};
+
+}  // namespace rnb

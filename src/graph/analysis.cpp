@@ -1,0 +1,115 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+DegreeSummary summarize_out_degrees(const DirectedGraph& g) {
+  DegreeSummary s;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  std::vector<std::uint32_t> degrees(n);
+  std::uint64_t zero = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    degrees[i] = g.out_degree(i);
+    if (degrees[i] == 0) ++zero;
+  }
+  std::sort(degrees.begin(), degrees.end());
+  const auto quantile = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+    return static_cast<double>(degrees[idx]);
+  };
+  s.mean = g.average_out_degree();
+  s.median = quantile(0.5);
+  s.p90 = quantile(0.9);
+  s.p99 = quantile(0.99);
+  s.max = degrees.back();
+  s.zero_fraction = static_cast<double>(zero) / static_cast<double>(n);
+  return s;
+}
+
+double estimate_neighbor_overlap(const DirectedGraph& g, std::size_t pairs,
+                                 Xoshiro256& rng) {
+  RNB_REQUIRE(g.num_nodes() > 1);
+  const auto pick_nonzero = [&]() -> NodeId {
+    for (;;) {
+      const auto n = static_cast<NodeId>(rng.below(g.num_nodes()));
+      if (g.out_degree(n) > 0) return n;
+    }
+  };
+  double total = 0.0;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const NodeId a = pick_nonzero();
+    const NodeId b = pick_nonzero();
+    if (a == b) {
+      total += 1.0;
+      continue;
+    }
+    // Neighbor lists are sorted (CSR build sorts edges), so intersection is
+    // a linear merge.
+    const auto na = g.neighbors(a);
+    const auto nb = g.neighbors(b);
+    std::size_t inter = 0, i = 0, j = 0;
+    while (i < na.size() && j < nb.size()) {
+      if (na[i] < nb[j])
+        ++i;
+      else if (na[i] > nb[j])
+        ++j;
+      else {
+        ++inter;
+        ++i;
+        ++j;
+      }
+    }
+    const std::size_t uni = na.size() + nb.size() - inter;
+    total += uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+namespace {
+
+/// Binary search in a sorted CSR neighbor span.
+bool has_edge(const DirectedGraph& g, NodeId from, NodeId to) {
+  const auto nbrs = g.neighbors(from);
+  return std::binary_search(nbrs.begin(), nbrs.end(), to);
+}
+
+}  // namespace
+
+double estimate_clustering(const DirectedGraph& g, std::size_t samples,
+                           Xoshiro256& rng) {
+  RNB_REQUIRE(g.num_nodes() > 0);
+  std::size_t tried = 0, closed = 0, attempts = 0;
+  // Rejection-sample nodes with degree >= 2; bail out if the graph simply
+  // has too few of them.
+  while (tried < samples && attempts < samples * 50) {
+    ++attempts;
+    const auto n = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const auto nbrs = g.neighbors(n);
+    if (nbrs.size() < 2) continue;
+    ++tried;
+    const std::size_t i = rng.below(nbrs.size());
+    std::size_t j = rng.below(nbrs.size() - 1);
+    if (j >= i) ++j;
+    if (has_edge(g, nbrs[i], nbrs[j]) || has_edge(g, nbrs[j], nbrs[i]))
+      ++closed;
+  }
+  return tried == 0 ? 0.0
+                    : static_cast<double>(closed) / static_cast<double>(tried);
+}
+
+double reciprocity(const DirectedGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  std::uint64_t reciprocal = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const NodeId t : g.neighbors(n))
+      if (has_edge(g, t, n)) ++reciprocal;
+  return static_cast<double>(reciprocal) /
+         static_cast<double>(g.num_edges());
+}
+
+}  // namespace rnb

@@ -1,0 +1,50 @@
+// Degree-distribution analysis for workload characterization.
+//
+// Figs. 4-5 of the paper are degree histograms; beyond reproducing them,
+// DegreeSummary gives the numbers that sanity-check a synthetic graph
+// against its real counterpart (mean, tail mass, zero-degree fraction), and
+// the pairwise neighbor-overlap probe quantifies the request locality that
+// overbooking exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace rnb {
+
+struct DegreeSummary {
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t max = 0;
+  /// Fraction of nodes with out-degree zero (users with no friends; they
+  /// generate empty requests and are skipped by the workload generator).
+  double zero_fraction = 0.0;
+};
+
+DegreeSummary summarize_out_degrees(const DirectedGraph& g);
+
+/// Monte-Carlo estimate of the expected Jaccard overlap of the neighbor
+/// sets of two users sampled uniformly among nodes with degree > 0.
+/// Higher overlap means more shared items between requests.
+double estimate_neighbor_overlap(const DirectedGraph& g, std::size_t pairs,
+                                 Xoshiro256& rng);
+
+/// Monte-Carlo estimate of the local clustering coefficient: for sampled
+/// nodes with out-degree >= 2, the probability that two random
+/// out-neighbors are themselves connected (in either direction). Real
+/// social graphs cluster heavily (Slashdot ~0.06, Epinions ~0.14 at the
+/// directed-triangle level); Chung-Lu generators cluster near zero — this
+/// probe quantifies the known limitation of the substitution (DESIGN.md §4)
+/// and flags how far a loaded real graph differs.
+double estimate_clustering(const DirectedGraph& g, std::size_t samples,
+                           Xoshiro256& rng);
+
+/// Fraction of edges (u,v) whose reverse (v,u) also exists. Friendship-like
+/// graphs are highly reciprocal (Slashdot ~0.84); trust graphs less so.
+double reciprocity(const DirectedGraph& g);
+
+}  // namespace rnb

@@ -1,0 +1,160 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/alias.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rnb {
+namespace {
+
+/// Mean of the truncated power law P(d) proportional to (d+1)^-alpha over
+/// d in [0, max_degree].
+double power_law_mean(double alpha, std::uint32_t max_degree) {
+  double total_w = 0.0;
+  double total_dw = 0.0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    const double w = std::pow(static_cast<double>(d) + 1.0, -alpha);
+    total_w += w;
+    total_dw += static_cast<double>(d) * w;
+  }
+  return total_dw / total_w;
+}
+
+/// Solve for alpha such that the truncated power-law mean hits `target`.
+/// The mean is strictly decreasing in alpha, so bisection suffices.
+double solve_exponent(double target_mean, std::uint32_t max_degree) {
+  double lo = 0.2, hi = 6.0;
+  RNB_REQUIRE(power_law_mean(lo, max_degree) > target_mean);
+  RNB_REQUIRE(power_law_mean(hi, max_degree) < target_mean);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (power_law_mean(mid, max_degree) > target_mean ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> power_law_weights(double alpha, std::uint32_t max_degree) {
+  std::vector<double> w(static_cast<std::size_t>(max_degree) + 1);
+  for (std::uint32_t d = 0; d <= max_degree; ++d)
+    w[d] = std::pow(static_cast<double>(d) + 1.0, -alpha);
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sample_degree_sequence(NodeId nodes,
+                                                  std::uint64_t edges,
+                                                  std::uint32_t max_degree,
+                                                  std::uint64_t seed) {
+  RNB_REQUIRE(nodes > 0);
+  RNB_REQUIRE(max_degree >= 1);
+  RNB_REQUIRE(edges <= static_cast<std::uint64_t>(nodes) * max_degree);
+  const double target_mean =
+      static_cast<double>(edges) / static_cast<double>(nodes);
+  const double alpha = solve_exponent(target_mean, max_degree);
+  const AliasTable table(power_law_weights(alpha, max_degree));
+
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> degrees(nodes);
+  std::uint64_t total = 0;
+  for (auto& d : degrees) {
+    d = static_cast<std::uint32_t>(table.sample(rng));
+    total += d;
+  }
+  // Exact-sum repair: nudge random nodes up or down until the sequence sums
+  // to `edges`. The expected adjustment is O(sqrt(nodes)) relative noise, so
+  // this does not distort the distribution's shape measurably.
+  while (total < edges) {
+    auto& d = degrees[rng.below(nodes)];
+    if (d < max_degree) {
+      ++d;
+      ++total;
+    }
+  }
+  while (total > edges) {
+    auto& d = degrees[rng.below(nodes)];
+    if (d > 0) {
+      --d;
+      --total;
+    }
+  }
+  return degrees;
+}
+
+DirectedGraph make_power_law_graph(const PowerLawGraphConfig& config) {
+  RNB_REQUIRE(config.nodes > 1);
+  // Out-degrees: the request-size distribution.
+  std::vector<std::uint32_t> out_deg = sample_degree_sequence(
+      config.nodes, config.edges, config.max_degree, config.seed);
+
+  // Attractiveness: an independent power-law sequence (same family as the
+  // out-degrees) so expected in-degrees are heavy-tailed too. Using degree
+  // *values* as Chung-Lu weights keeps the most popular node's edge share at
+  // max_degree/edges (fractions of a percent), so distinct-target rejection
+  // sampling below stays cheap.
+  Xoshiro256 rng(config.seed ^ 0x5bd1e995u);
+  std::vector<std::uint32_t> attract = sample_degree_sequence(
+      config.nodes, config.edges, config.max_degree, config.seed + 1);
+  std::vector<double> weights(config.nodes);
+  for (NodeId n = 0; n < config.nodes; ++n)
+    weights[n] = static_cast<double>(attract[n]) + 0.05;  // no zero weights
+  const AliasTable targets(weights);
+
+  GraphBuilder builder(config.nodes);
+  std::unordered_set<NodeId> chosen;
+  for (NodeId src = 0; src < config.nodes; ++src) {
+    const std::uint32_t d = out_deg[src];
+    if (d == 0) continue;
+    chosen.clear();
+    std::uint32_t guard = 0;
+    while (chosen.size() < d) {
+      auto dst = static_cast<NodeId>(targets.sample(rng));
+      if (dst != src && chosen.insert(dst).second) {
+        builder.add_edge(src, dst);
+      } else if (++guard > 50u * d + 1000u) {
+        // Pathological corner (tiny graphs with huge degrees): fall back to
+        // uniform distinct picks to guarantee termination.
+        dst = static_cast<NodeId>(rng.below(config.nodes));
+        if (dst != src && chosen.insert(dst).second)
+          builder.add_edge(src, dst);
+      }
+    }
+  }
+  DirectedGraph g = std::move(builder).build();
+  RNB_ENSURE(g.num_edges() == config.edges);
+  return g;
+}
+
+DirectedGraph synthetic_slashdot(std::uint64_t seed) {
+  // Node/edge counts from the paper's Section III-B (soc-Slashdot0902).
+  return make_power_law_graph(
+      {.nodes = 82168, .edges = 948464, .max_degree = 2500, .seed = seed});
+}
+
+DirectedGraph synthetic_epinions(std::uint64_t seed) {
+  // Node/edge counts from the paper's Section III-B (soc-Epinions1).
+  return make_power_law_graph(
+      {.nodes = 75879, .edges = 508837, .max_degree = 1800, .seed = seed});
+}
+
+DirectedGraph make_uniform_random_graph(NodeId nodes, std::uint64_t edges,
+                                        std::uint64_t seed) {
+  RNB_REQUIRE(nodes > 1);
+  Xoshiro256 rng(seed);
+  GraphBuilder builder(nodes);
+  // Sample with replacement and let the builder dedupe; the result has
+  // *approximately* `edges` edges, which is all the tests need.
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const auto src = static_cast<NodeId>(rng.below(nodes));
+    const auto dst = static_cast<NodeId>(rng.below(nodes));
+    if (src != dst) builder.add_edge(src, dst);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace rnb

@@ -1,0 +1,53 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+Histogram DirectedGraph::out_degree_histogram() const {
+  Histogram h;
+  for (NodeId n = 0; n < num_nodes(); ++n) h.add(out_degree(n));
+  return h;
+}
+
+Histogram DirectedGraph::in_degree_histogram() const {
+  std::vector<std::uint64_t> in(num_nodes(), 0);
+  for (const NodeId t : targets_) ++in[t];
+  Histogram h;
+  for (const std::uint64_t d : in) h.add(d);
+  return h;
+}
+
+void GraphBuilder::add_edge(NodeId src, NodeId dst) {
+  RNB_REQUIRE(src < num_nodes_);
+  RNB_REQUIRE(dst < num_nodes_);
+  edges_.emplace_back(src, dst);
+}
+
+DirectedGraph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const auto& e) { return e.first == e.second; }),
+               edges_.end());
+
+  DirectedGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const auto& [src, dst] : edges_) {
+    (void)dst;
+    ++g.offsets_[src + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+  g.targets_.resize(edges_.size());
+  // Edges are sorted by (src, dst), so targets land in order with a single
+  // linear pass.
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    g.targets_[i] = edges_[i].second;
+  edges_.clear();
+  return g;
+}
+
+}  // namespace rnb

@@ -1,0 +1,76 @@
+// Directed graph in compressed sparse row (CSR) form.
+//
+// The social graph is the workload substrate: a request for user u is "the
+// items of u's out-neighbors" (paper Section III-B), so the only operation
+// the simulators need is a contiguous, allocation-free neighbor scan — which
+// is exactly what CSR provides. Graphs are immutable after construction;
+// build them through GraphBuilder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace rnb {
+
+using NodeId = std::uint32_t;
+
+class DirectedGraph {
+ public:
+  DirectedGraph() = default;
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  std::size_t num_edges() const noexcept { return targets_.size(); }
+
+  std::uint32_t out_degree(NodeId n) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[n + 1] - offsets_[n]);
+  }
+
+  /// Out-neighbors of `n` as a contiguous view, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId n) const noexcept {
+    return {targets_.data() + offsets_[n], targets_.data() + offsets_[n + 1]};
+  }
+
+  double average_out_degree() const noexcept {
+    return num_nodes() == 0 ? 0.0
+                            : static_cast<double>(num_edges()) /
+                                  static_cast<double>(num_nodes());
+  }
+
+  /// Histogram of out-degrees (Figs. 4-5 of the paper).
+  Histogram out_degree_histogram() const;
+
+  /// Histogram of in-degrees.
+  Histogram in_degree_histogram() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;  // size num_nodes + 1
+  std::vector<NodeId> targets_;       // size num_edges
+};
+
+/// Accumulates edges, deduplicates and strips self-loops, emits CSR.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Add a directed edge src -> dst. Self-loops and duplicates are removed
+  /// at build() time. Both endpoints must be < num_nodes.
+  void add_edge(NodeId src, NodeId dst);
+
+  std::size_t pending_edges() const noexcept { return edges_.size(); }
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Build the CSR graph; the builder is consumed.
+  DirectedGraph build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,75 @@
+#include "graph/loader.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace rnb {
+namespace {
+
+std::uint64_t parse_id(std::string_view token, std::size_t line_no) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    std::ostringstream msg;
+    msg << "snap loader: bad node id '" << token << "' on line " << line_no;
+    throw std::runtime_error(msg.str());
+  }
+  return value;
+}
+
+}  // namespace
+
+DirectedGraph load_snap_edge_list(std::istream& in) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw_edges;
+  std::unordered_map<std::uint64_t, NodeId> dense;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto densify = [&](std::uint64_t raw) {
+    const auto [it, inserted] =
+        dense.try_emplace(raw, static_cast<NodeId>(dense.size()));
+    (void)inserted;
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    // Trim leading whitespace; skip blanks and comments.
+    while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t')) sv.remove_prefix(1);
+    if (sv.empty() || sv.front() == '#') continue;
+    // Split into exactly two whitespace-separated tokens.
+    const std::size_t ws = sv.find_first_of(" \t");
+    if (ws == std::string_view::npos) {
+      std::ostringstream msg;
+      msg << "snap loader: expected two node ids on line " << line_no;
+      throw std::runtime_error(msg.str());
+    }
+    const std::string_view a = sv.substr(0, ws);
+    std::string_view b = sv.substr(ws);
+    while (!b.empty() && (b.front() == ' ' || b.front() == '\t')) b.remove_prefix(1);
+    while (!b.empty() && (b.back() == ' ' || b.back() == '\t' || b.back() == '\r'))
+      b.remove_suffix(1);
+    raw_edges.emplace_back(parse_id(a, line_no), parse_id(b, line_no));
+  }
+  // First-appearance densification over sources then targets keeps ids
+  // stable across loads of the same file.
+  for (const auto& [s, t] : raw_edges) {
+    densify(s);
+    densify(t);
+  }
+  GraphBuilder builder(static_cast<NodeId>(dense.size()));
+  for (const auto& [s, t] : raw_edges) builder.add_edge(densify(s), densify(t));
+  return std::move(builder).build();
+}
+
+DirectedGraph load_snap_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("snap loader: cannot open " + path);
+  return load_snap_edge_list(in);
+}
+
+}  // namespace rnb

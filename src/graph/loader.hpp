@@ -1,0 +1,25 @@
+// SNAP edge-list loader.
+//
+// The paper's datasets (soc-Slashdot0902, soc-Epinions1) ship as SNAP text
+// files: '#'-prefixed comment lines followed by whitespace-separated
+// "FromNodeId ToNodeId" pairs. Node ids in the files are arbitrary and
+// sparse, so the loader densifies them to [0, n) in first-appearance order.
+// Drop the real files in and every bench accepts them via --graph=PATH.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rnb {
+
+/// Parse a SNAP edge list from a stream. Throws std::runtime_error on
+/// malformed input (non-numeric tokens, odd token counts).
+DirectedGraph load_snap_edge_list(std::istream& in);
+
+/// Parse a SNAP edge list file. Throws std::runtime_error if the file cannot
+/// be opened or parsed.
+DirectedGraph load_snap_edge_list_file(const std::string& path);
+
+}  // namespace rnb

@@ -1,0 +1,64 @@
+#include "hashring/consistent_hash.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+ConsistentHashRing::ConsistentHashRing(ServerId num_servers,
+                                       std::uint32_t vnodes,
+                                       std::uint64_t seed)
+    : num_servers_(0), vnodes_(vnodes), seed_(seed) {
+  RNB_REQUIRE(num_servers > 0);
+  RNB_REQUIRE(vnodes > 0);
+  ring_.reserve(static_cast<std::size_t>(num_servers) * vnodes);
+  for (ServerId s = 0; s < num_servers; ++s) add_server();
+}
+
+void ConsistentHashRing::insert_points(ServerId server) {
+  // Each virtual node's position is a hash of (seed, server, vnode index);
+  // the same triple always lands at the same point, so rebuilding a ring
+  // from scratch or adding servers incrementally yields identical layouts.
+  for (std::uint32_t v = 0; v < vnodes_; ++v) {
+    const std::uint64_t h = fmix64(
+        hash_combine(hash_combine(seed_, server + 1), v + 1));
+    ring_.push_back(Point{h, server});
+  }
+}
+
+void ConsistentHashRing::add_server() {
+  insert_points(num_servers_);
+  ++num_servers_;
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ConsistentHashRing::lookup_point(ItemId item) const noexcept {
+  const std::uint64_t h = fmix64(item ^ seed_);
+  // First point with hash >= h, wrapping to 0 past the end.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t key) { return p.hash < key; });
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+ServerId ConsistentHashRing::lookup(ItemId item) const noexcept {
+  return ring_[lookup_point(item)].server;
+}
+
+std::vector<double> ConsistentHashRing::ownership() const {
+  std::vector<double> owned(num_servers_, 0.0);
+  if (ring_.empty()) return owned;
+  // Point i owns the arc (point[i-1].hash, point[i].hash]; the first point
+  // additionally owns the wrap-around arc.
+  constexpr double kSpace = 18446744073709551616.0;  // 2^64
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const std::uint64_t hi = ring_[i].hash;
+    const std::uint64_t lo = i == 0 ? ring_.back().hash : ring_[i - 1].hash;
+    const std::uint64_t arc = hi - lo;  // wraps correctly for i == 0
+    owned[ring_[i].server] += static_cast<double>(arc) / kSpace;
+  }
+  return owned;
+}
+
+}  // namespace rnb

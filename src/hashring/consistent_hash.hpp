@@ -1,0 +1,67 @@
+// Consistent hashing ring with virtual nodes (Karger et al., STOC '97).
+//
+// This is the placement substrate stock memcached clients use and the base
+// on which Ranged Consistent Hashing builds. Each physical server is mapped
+// to `vnodes` points on a 64-bit ring; an item is owned by the server whose
+// point is the first at or clockwise-after the item's hash. Virtual nodes
+// smooth the load imbalance from O(1) to O(sqrt(log n / vnodes)) in
+// practice; the paper's systems all assume a "very uniform, pseudo-random"
+// mapping, which requires vnodes >> 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace rnb {
+
+class ConsistentHashRing {
+ public:
+  /// Build a ring over servers {0..num_servers-1} with `vnodes` points each.
+  ConsistentHashRing(ServerId num_servers, std::uint32_t vnodes,
+                     std::uint64_t seed);
+
+  ServerId num_servers() const noexcept { return num_servers_; }
+  std::uint32_t vnodes() const noexcept { return vnodes_; }
+  std::size_t points() const noexcept { return ring_.size(); }
+
+  /// Owner of `item`: the server at the first ring point clockwise from the
+  /// item's hash (wrapping).
+  ServerId lookup(ItemId item) const noexcept;
+
+  /// Index into the ring of the first point clockwise from the item's hash.
+  /// Exposed so RangedConsistentHash can continue walking from it.
+  std::size_t lookup_point(ItemId item) const noexcept;
+
+  /// Server owning ring point `index` (index taken modulo ring size).
+  ServerId server_at(std::size_t index) const noexcept {
+    return ring_[index % ring_.size()].server;
+  }
+
+  /// Add a server as `num_servers()` (the next id); rebuilds its points only.
+  void add_server();
+
+  /// Fraction of the key space owned by each server (exact, from ring arc
+  /// lengths); used by the placement-balance ablation.
+  std::vector<double> ownership() const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    ServerId server;
+    friend bool operator<(const Point& a, const Point& b) noexcept {
+      return a.hash < b.hash || (a.hash == b.hash && a.server < b.server);
+    }
+  };
+
+  void insert_points(ServerId server);
+
+  ServerId num_servers_;
+  std::uint32_t vnodes_;
+  std::uint64_t seed_;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace rnb

@@ -1,0 +1,33 @@
+#include "hashring/multi_hash.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+MultiHashPlacement::MultiHashPlacement(ServerId num_servers,
+                                       std::uint32_t replication,
+                                       std::uint64_t seed)
+    : num_servers_(num_servers), replication_(replication), family_(seed) {
+  RNB_REQUIRE(num_servers > 0);
+  RNB_REQUIRE(replication >= 1);
+  RNB_REQUIRE(replication <= num_servers);
+}
+
+void MultiHashPlacement::replicas(ItemId item, std::span<ServerId> out) const {
+  RNB_REQUIRE(out.size() == replication_);
+  std::uint32_t found = 0;
+  for (std::uint32_t i = 0; found < replication_; ++i) {
+    // After replication_ hash attempts every further probe walks the server
+    // ring linearly, so termination is guaranteed even for tiny clusters.
+    ServerId candidate =
+        static_cast<ServerId>(family_(i, item) % num_servers_);
+    const auto seen_end = out.begin() + found;
+    while (std::find(out.begin(), seen_end, candidate) != seen_end)
+      candidate = (candidate + 1) % num_servers_;
+    out[found++] = candidate;
+  }
+}
+
+}  // namespace rnb

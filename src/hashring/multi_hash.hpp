@@ -1,0 +1,33 @@
+// Multi-hash replica placement — paper Section III-B.
+//
+// The paper's simulator replicates "using multiple hash functions": replica
+// i of item x lives at h_i(x) mod N. Raw independent hashes can collide
+// (two replicas on one server), which would silently lower the effective
+// replication, so collisions are resolved by deterministic linear probing:
+// replica i takes the first unused server clockwise from h_i(x) mod N.
+// Replica 0 doubles as the distinguished copy.
+#pragma once
+
+#include "common/hash.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb {
+
+class MultiHashPlacement final : public PlacementPolicy {
+ public:
+  MultiHashPlacement(ServerId num_servers, std::uint32_t replication,
+                     std::uint64_t seed);
+
+  ServerId num_servers() const noexcept override { return num_servers_; }
+  std::uint32_t replication() const noexcept override { return replication_; }
+  using PlacementPolicy::replicas;
+  void replicas(ItemId item, std::span<ServerId> out) const override;
+  std::string name() const override { return "multi-hash"; }
+
+ private:
+  ServerId num_servers_;
+  std::uint32_t replication_;
+  HashFamily family_;
+};
+
+}  // namespace rnb

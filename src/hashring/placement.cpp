@@ -1,0 +1,47 @@
+#include "hashring/placement.hpp"
+
+#include "common/error.hpp"
+#include "hashring/multi_hash.hpp"
+#include "hashring/ranged_consistent_hash.hpp"
+#include "hashring/rendezvous.hpp"
+
+namespace rnb {
+
+ServerId PlacementPolicy::distinguished(ItemId item) const {
+  std::vector<ServerId> out(replication());
+  replicas(item, out);
+  return out[0];
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(PlacementScheme scheme,
+                                                ServerId num_servers,
+                                                std::uint32_t replication,
+                                                std::uint64_t seed) {
+  switch (scheme) {
+    case PlacementScheme::kRangedConsistentHash:
+      return std::make_unique<RangedConsistentHashPlacement>(
+          num_servers, replication, seed);
+    case PlacementScheme::kMultiHash:
+      return std::make_unique<MultiHashPlacement>(num_servers, replication,
+                                                  seed);
+    case PlacementScheme::kRendezvous:
+      return std::make_unique<RendezvousPlacement>(num_servers, replication,
+                                                   seed);
+  }
+  RNB_REQUIRE(false && "unknown placement scheme");
+  return nullptr;
+}
+
+const char* to_string(PlacementScheme scheme) noexcept {
+  switch (scheme) {
+    case PlacementScheme::kRangedConsistentHash:
+      return "rch";
+    case PlacementScheme::kMultiHash:
+      return "multi-hash";
+    case PlacementScheme::kRendezvous:
+      return "rendezvous";
+  }
+  return "?";
+}
+
+}  // namespace rnb

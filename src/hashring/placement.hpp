@@ -1,0 +1,68 @@
+// Replica placement interface.
+//
+// RnB's replication step needs, for every item, an ordered list of r
+// *distinct* servers: replica 0 is the "distinguished copy" (paper
+// Section III-C1 — guaranteed resident, used for single-item fetches and as
+// the miss fallback), replicas 1..r-1 are bundling candidates. Placement
+// must be stateless and deterministic: any client recomputes it from the
+// item id alone, exactly like consistent hashing in stock memcached.
+//
+// Three interchangeable schemes are provided:
+//   * RangedConsistentHashPlacement — the paper's Section IV contribution,
+//   * MultiHashPlacement            — k independent hash functions
+//                                     (Section III-B's simulator scheme),
+//   * RendezvousPlacement           — highest-random-weight, an ablation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnb {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Number of servers this policy places onto.
+  virtual ServerId num_servers() const noexcept = 0;
+
+  /// Maximum replicas per item this policy can produce (== min(configured
+  /// replication, num_servers)).
+  virtual std::uint32_t replication() const noexcept = 0;
+
+  /// Write the replica servers of `item` into `out` (size() == replication())
+  /// in replica order; out[0] is the distinguished copy. All entries are
+  /// distinct.
+  virtual void replicas(ItemId item, std::span<ServerId> out) const = 0;
+
+  /// Convenience allocation-returning form.
+  std::vector<ServerId> replicas(ItemId item) const {
+    std::vector<ServerId> out(replication());
+    replicas(item, out);
+    return out;
+  }
+
+  /// The distinguished (always-resident) server of `item` == replicas()[0].
+  ServerId distinguished(ItemId item) const;
+
+  /// Human-readable scheme name for bench output.
+  virtual std::string name() const = 0;
+};
+
+/// Placement scheme selector for configs and benches.
+enum class PlacementScheme { kRangedConsistentHash, kMultiHash, kRendezvous };
+
+/// Factory: build a placement policy over `num_servers` servers with
+/// `replication` replicas per item, seeded deterministically.
+std::unique_ptr<PlacementPolicy> make_placement(PlacementScheme scheme,
+                                                ServerId num_servers,
+                                                std::uint32_t replication,
+                                                std::uint64_t seed);
+
+const char* to_string(PlacementScheme scheme) noexcept;
+
+}  // namespace rnb

@@ -1,0 +1,35 @@
+#include "hashring/ranged_consistent_hash.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+RangedConsistentHashPlacement::RangedConsistentHashPlacement(
+    ServerId num_servers, std::uint32_t replication, std::uint64_t seed,
+    std::uint32_t vnodes)
+    : ring_(num_servers, vnodes, seed), replication_(replication) {
+  RNB_REQUIRE(replication >= 1);
+  RNB_REQUIRE(replication <= num_servers);
+}
+
+void RangedConsistentHashPlacement::replicas(ItemId item,
+                                             std::span<ServerId> out) const {
+  RNB_REQUIRE(out.size() == replication_);
+  std::size_t point = ring_.lookup_point(item);
+  std::uint32_t found = 0;
+  const std::size_t ring_points = ring_.points();
+  // Walk clockwise from the item's successor point, keeping first-seen
+  // servers. The walk terminates: the ring contains every server, so at most
+  // `points()` steps yield `replication_` distinct ids.
+  for (std::size_t step = 0; step < ring_points && found < replication_;
+       ++step, ++point) {
+    const ServerId s = ring_.server_at(point);
+    const auto seen_end = out.begin() + found;
+    if (std::find(out.begin(), seen_end, s) == seen_end) out[found++] = s;
+  }
+  RNB_ENSURE(found == replication_);
+}
+
+}  // namespace rnb

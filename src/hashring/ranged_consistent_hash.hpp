@@ -1,0 +1,45 @@
+// Ranged Consistent Hashing (RCH) — paper Section IV.
+//
+// RCH extends consistent hashing to produce, for every item, an ordered set
+// of r *distinct* servers: "travel along the consistent hashing continuum,
+// gathering servers until there are enough unique ones." Replica 0 (the
+// distinguished copy) is exactly the server stock consistent hashing would
+// pick, so an RnB deployment can be rolled out over an existing memcached
+// fleet without moving the primary copies.
+//
+// Properties inherited from consistent hashing and verified by the tests:
+//   * balance    — each server holds ~1/N of each replica rank,
+//   * smoothness — adding a server relocates only ~1/(N+1) of the replicas,
+//   * spread     — the replica list depends only on (item, ring), never on
+//                  other items or on request history.
+#pragma once
+
+#include "hashring/consistent_hash.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb {
+
+class RangedConsistentHashPlacement final : public PlacementPolicy {
+ public:
+  RangedConsistentHashPlacement(ServerId num_servers, std::uint32_t replication,
+                                std::uint64_t seed, std::uint32_t vnodes = 64);
+
+  ServerId num_servers() const noexcept override {
+    return ring_.num_servers();
+  }
+  std::uint32_t replication() const noexcept override { return replication_; }
+  using PlacementPolicy::replicas;
+  void replicas(ItemId item, std::span<ServerId> out) const override;
+  std::string name() const override { return "rch"; }
+
+  const ConsistentHashRing& ring() const noexcept { return ring_; }
+
+  /// Grow the cluster by one server (smooth-scaling experiments).
+  void add_server() { ring_.add_server(); }
+
+ private:
+  ConsistentHashRing ring_;
+  std::uint32_t replication_;
+};
+
+}  // namespace rnb

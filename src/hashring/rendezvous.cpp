@@ -1,0 +1,37 @@
+#include "hashring/rendezvous.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+RendezvousPlacement::RendezvousPlacement(ServerId num_servers,
+                                         std::uint32_t replication,
+                                         std::uint64_t seed)
+    : num_servers_(num_servers), replication_(replication), seed_(seed) {
+  RNB_REQUIRE(num_servers > 0);
+  RNB_REQUIRE(replication >= 1);
+  RNB_REQUIRE(replication <= num_servers);
+}
+
+void RendezvousPlacement::replicas(ItemId item, std::span<ServerId> out) const {
+  RNB_REQUIRE(out.size() == replication_);
+  // Score every server and keep the top-r by partial selection. Scores are
+  // hashes of (seed, server, item), so each (item, server) pair is an
+  // independent uniform draw — the textbook HRW construction.
+  std::vector<std::pair<std::uint64_t, ServerId>> scored;
+  scored.reserve(num_servers_);
+  for (ServerId s = 0; s < num_servers_; ++s)
+    scored.emplace_back(fmix64(hash_combine(hash_combine(seed_, s + 1), item)),
+                        s);
+  std::partial_sort(scored.begin(), scored.begin() + replication_,
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first ||
+                             (a.first == b.first && a.second < b.second);
+                    });
+  for (std::uint32_t i = 0; i < replication_; ++i) out[i] = scored[i].second;
+}
+
+}  // namespace rnb

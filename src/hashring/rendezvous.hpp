@@ -1,0 +1,33 @@
+// Rendezvous (highest-random-weight) replica placement.
+//
+// Not in the paper — included as an ablation baseline. HRW gives the
+// statistically cleanest placement (each rank is an independent uniform
+// choice without replacement) at O(N log r) per lookup, versus O(log N + r)
+// for ranged consistent hashing. The ablation bench quantifies that
+// trade-off: balance quality vs. lookup cost, at the cluster sizes the
+// paper simulates.
+#pragma once
+
+#include "common/hash.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb {
+
+class RendezvousPlacement final : public PlacementPolicy {
+ public:
+  RendezvousPlacement(ServerId num_servers, std::uint32_t replication,
+                      std::uint64_t seed);
+
+  ServerId num_servers() const noexcept override { return num_servers_; }
+  std::uint32_t replication() const noexcept override { return replication_; }
+  using PlacementPolicy::replicas;
+  void replicas(ItemId item, std::span<ServerId> out) const override;
+  std::string name() const override { return "rendezvous"; }
+
+ private:
+  ServerId num_servers_;
+  std::uint32_t replication_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,58 @@
+#include "kv/batching_proxy.hpp"
+
+#include "common/error.hpp"
+
+namespace rnb::kv {
+
+const std::unordered_map<std::string, std::string>&
+BatchingProxy::Ticket::values() const {
+  RNB_REQUIRE(ready());
+  return state_->values;
+}
+
+const std::vector<std::string>& BatchingProxy::Ticket::missing() const {
+  RNB_REQUIRE(ready());
+  return state_->missing;
+}
+
+BatchingProxy::BatchingProxy(RnbKvClient& client, std::uint32_t window)
+    : client_(client), window_(window) {
+  RNB_REQUIRE(window >= 1);
+}
+
+BatchingProxy::Ticket BatchingProxy::multi_get(
+    std::span<const std::string> keys) {
+  Ticket ticket;
+  pending_.push_back(
+      Pending{{keys.begin(), keys.end()}, ticket.state_});
+  if (pending_.size() >= window_) flush();
+  return ticket;
+}
+
+void BatchingProxy::flush() {
+  if (pending_.empty()) return;
+
+  // One merged plan over the union of all pending keys (the client dedups).
+  std::vector<std::string> merged;
+  for (const Pending& p : pending_)
+    merged.insert(merged.end(), p.keys.begin(), p.keys.end());
+  const RnbKvClient::MultiGetResult result = client_.multi_get(merged);
+  transactions_ += result.transactions();
+  served_ += pending_.size();
+
+  // Demultiplex: each ticket gets exactly its own keys.
+  for (Pending& p : pending_) {
+    for (const std::string& key : p.keys) {
+      const auto it = result.values.find(key);
+      if (it != result.values.end())
+        p.state->values.emplace(key, it->second);
+      else if (std::find(p.state->missing.begin(), p.state->missing.end(),
+                         key) == p.state->missing.end())
+        p.state->missing.push_back(key);
+    }
+    p.state->ready = true;
+  }
+  pending_.clear();
+}
+
+}  // namespace rnb::kv

@@ -1,0 +1,84 @@
+// Request-merging proxy — Section III-E's mechanism as a kv component.
+//
+// Moxi and spymemcached sit between web workers and the cache fleet,
+// coalescing several in-flight multi-gets into one bundled plan. This proxy
+// does the same over an RnbKvClient: callers enqueue multi-gets and either
+// the window filling up or an explicit flush() executes ONE merged plan,
+// after which each caller's future-like ticket holds exactly its own keys'
+// results. Single-threaded by design (a proxy shard owns its socket set, as
+// moxi worker threads do); determinism makes it simulable and testable.
+//
+// The trade-off it exposes is the paper's: merging reduces transactions per
+// original request, but bundling unrelated requests can pick different
+// replicas than the requests would pick alone, diluting the locality that
+// overbooking feeds on (measured by ablation_merge_window).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/rnb_kv_client.hpp"
+
+namespace rnb::kv {
+
+class BatchingProxy {
+ public:
+  /// A handle to one enqueued request's results, valid after the batch it
+  /// belongs to has been executed.
+  class Ticket {
+   public:
+    /// True once the owning batch executed (enough enqueues or flush()).
+    bool ready() const noexcept { return state_ && state_->ready; }
+
+    /// Results for this ticket's keys only. Requires ready().
+    const std::unordered_map<std::string, std::string>& values() const;
+
+    /// Keys of this request that no server returned. Requires ready().
+    const std::vector<std::string>& missing() const;
+
+   private:
+    friend class BatchingProxy;
+    struct State {
+      bool ready = false;
+      std::unordered_map<std::string, std::string> values;
+      std::vector<std::string> missing;
+    };
+    std::shared_ptr<State> state_ = std::make_shared<State>();
+  };
+
+  /// Merge up to `window` requests per executed plan.
+  BatchingProxy(RnbKvClient& client, std::uint32_t window);
+
+  /// Enqueue a multi-get; executes the pending batch when it reaches the
+  /// window. The returned ticket becomes ready at that execution (or at the
+  /// next flush()).
+  Ticket multi_get(std::span<const std::string> keys);
+
+  /// Execute whatever is pending, regardless of window fill.
+  void flush();
+
+  std::uint32_t window() const noexcept { return window_; }
+  std::size_t pending_requests() const noexcept { return pending_.size(); }
+
+  /// Cumulative transactions issued and original requests served — the
+  /// per-request transaction cost this proxy achieved.
+  std::uint64_t transactions_issued() const noexcept { return transactions_; }
+  std::uint64_t requests_served() const noexcept { return served_; }
+
+ private:
+  struct Pending {
+    std::vector<std::string> keys;
+    std::shared_ptr<Ticket::State> state;
+  };
+
+  RnbKvClient& client_;
+  std::uint32_t window_;
+  std::vector<Pending> pending_;
+  std::uint64_t transactions_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace rnb::kv

@@ -1,0 +1,112 @@
+// A mini-memcached server: protocol framing over a storage engine.
+//
+// handle() is the complete request path — parse, execute, format — so the
+// Fig. 13-14 micro-benchmarks of this class measure the same cost structure
+// memaslap measures against memcached: a fixed per-transaction cost (frame
+// parse, dispatch, response assembly) plus a small per-key cost (hash
+// lookup, value copy).
+//
+// BasicKvServer is generic over the engine: MemTable (byte-budget global
+// LRU — the default, simple and predictable) or SlabMemTable (memcached's
+// slab classes with per-class LRU). Both expose the same store interface;
+// the type aliases at the bottom are the two shipped configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kv/memtable.hpp"
+#include "kv/protocol.hpp"
+#include "kv/slab_memtable.hpp"
+
+namespace rnb::kv {
+
+struct ServerCounters {
+  std::uint64_t transactions = 0;
+  std::uint64_t keys_requested = 0;
+  std::uint64_t keys_returned = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+template <typename Store>
+class BasicKvServer {
+ public:
+  /// Construct the underlying store from whatever it takes (byte budget for
+  /// MemTable, SlabConfig for SlabMemTable).
+  template <typename... StoreArgs>
+  explicit BasicKvServer(StoreArgs&&... store_args)
+      : table_(std::forward<StoreArgs>(store_args)...) {}
+
+  /// Process one request frame, appending the response to `response`
+  /// (cleared first). Never throws; malformed input yields CLIENT_ERROR.
+  void handle(std::string_view request, std::string& response) {
+    response.clear();
+    ++counters_.transactions;
+    std::string error;
+    const std::optional<Command> cmd = parse_command(request, &error);
+    if (!cmd) {
+      ++counters_.protocol_errors;
+      encode_simple("CLIENT_ERROR " + error, response);
+      return;
+    }
+
+    if (const auto* get = std::get_if<GetCommand>(&*cmd)) {
+      std::vector<Value> values;
+      values.reserve(get->keys.size());
+      counters_.keys_requested += get->keys.size();
+      for (const std::string& key : get->keys) {
+        if (auto hit = table_.get(key)) {
+          values.push_back(Value{key, std::move(hit->value), hit->version});
+        }
+      }
+      counters_.keys_returned += values.size();
+      encode_values(values, get->with_versions, response);
+      return;
+    }
+    if (const auto* set = std::get_if<SetCommand>(&*cmd)) {
+      ++counters_.stores;
+      const bool ok = table_.set(set->key, set->data, set->pin);
+      encode_simple(ok ? "STORED" : "SERVER_ERROR out of memory", response);
+      return;
+    }
+    if (const auto* cas = std::get_if<CasCommand>(&*cmd)) {
+      ++counters_.stores;
+      switch (table_.cas(cas->key, cas->version, cas->data)) {
+        case MemTable::CasOutcome::kStored:
+          encode_simple("STORED", response);
+          return;
+        case MemTable::CasOutcome::kExists:
+          encode_simple("EXISTS", response);
+          return;
+        case MemTable::CasOutcome::kNotFound:
+          encode_simple("NOT_FOUND", response);
+          return;
+      }
+    }
+    if (const auto* del = std::get_if<DeleteCommand>(&*cmd)) {
+      ++counters_.deletes;
+      encode_simple(table_.erase(del->key) ? "DELETED" : "NOT_FOUND",
+                    response);
+      return;
+    }
+  }
+
+  const ServerCounters& counters() const noexcept { return counters_; }
+  Store& table() noexcept { return table_; }
+  const Store& table() const noexcept { return table_; }
+
+ private:
+  Store table_;
+  ServerCounters counters_;
+};
+
+/// Default engine: byte-budget global-LRU MemTable.
+using KvServer = BasicKvServer<MemTable>;
+
+/// Memcached-faithful engine: slab classes with per-class LRU.
+using SlabKvServer = BasicKvServer<SlabMemTable>;
+
+}  // namespace rnb::kv

@@ -1,0 +1,31 @@
+// Transport abstraction for the mini-memcached client.
+//
+// RnbKvClient only needs "send these bytes to server s, give me the
+// response bytes"; everything else (placement, bundling, fallback) is
+// transport-agnostic. Two implementations ship: LoopbackTransport
+// (in-process, deterministic, used by simulators and most tests) and
+// TcpClientTransport (real sockets, used by the proof-of-concept and the
+// TCP micro-benchmarks).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace rnb::kv {
+
+class KvTransport {
+ public:
+  virtual ~KvTransport() = default;
+
+  virtual ServerId num_servers() const noexcept = 0;
+
+  /// Send one request frame to server `s`; fill `response` with the
+  /// complete response frame. Implementations must be safe for concurrent
+  /// calls targeting different transports, and may serialize per server.
+  virtual void roundtrip(ServerId s, std::string_view request,
+                         std::string& response) = 0;
+};
+
+}  // namespace rnb::kv

@@ -1,0 +1,102 @@
+// In-memory key-value table with byte-budget LRU eviction and CAS versions.
+//
+// This is the storage engine of the mini-memcached (paper Section IV's
+// proof-of-concept). Unlike the slot-based simulation caches, it stores real
+// bytes with real memory accounting, supports memcached's gets/cas
+// unique-version semantics, and honours the two-service-class design: pinned
+// entries (distinguished copies) are never evicted and are excluded from the
+// eviction scan entirely.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/lru_cache.hpp"  // CacheStats
+#include "common/hash.hpp"
+
+namespace rnb {
+
+/// Transparent string hash enabling find(string_view) without a temporary
+/// std::string — the mini-kv's get path is what Figs. 13-14 benchmark, so
+/// a per-lookup allocation would be measurement noise.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(fnv1a64(s));
+  }
+  std::size_t operator()(const std::string& s) const noexcept {
+    return (*this)(std::string_view(s));
+  }
+};
+
+class MemTable {
+ public:
+  /// `byte_budget` bounds the *evictable* bytes; pinned entries are
+  /// accounted separately and never evicted.
+  explicit MemTable(std::size_t byte_budget);
+
+  struct GetResult {
+    std::string value;
+    std::uint64_t version;
+  };
+
+  /// Store (insert or overwrite). Pinned stores always succeed; unpinned
+  /// stores evict LRU entries as needed and fail (returning false) only if
+  /// the value alone exceeds the byte budget.
+  bool set(std::string_view key, std::string_view value, bool pinned = false);
+
+  /// Fetch, refreshing LRU recency for evictable entries.
+  std::optional<GetResult> get(std::string_view key);
+
+  /// Fetch without touching recency (hitchhiker probes, tests).
+  std::optional<GetResult> peek(std::string_view key) const;
+
+  /// Compare-and-swap: store only if the entry exists with `expected`
+  /// version. Returns kStored, kExists (version mismatch) or kNotFound.
+  enum class CasOutcome { kStored, kExists, kNotFound };
+  CasOutcome cas(std::string_view key, std::uint64_t expected,
+                 std::string_view value);
+
+  bool erase(std::string_view key);
+  bool contains(std::string_view key) const;
+
+  std::size_t entries() const noexcept { return table_.size(); }
+  std::size_t evictable_bytes() const noexcept { return evictable_bytes_; }
+  std::size_t pinned_bytes() const noexcept { return pinned_bytes_; }
+  std::size_t byte_budget() const noexcept { return byte_budget_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    std::string value;
+    std::uint64_t version;
+    bool pinned;
+    /// Valid only when !pinned: position in lru_ (front == MRU).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  static std::size_t entry_cost(std::string_view key, std::string_view value) {
+    // Key + value payload plus a fixed per-entry overhead standing in for
+    // memcached's item header + hash chain pointers.
+    return key.size() + value.size() + kPerEntryOverhead;
+  }
+
+  void evict_until(std::size_t needed);
+
+  static constexpr std::size_t kPerEntryOverhead = 48;
+
+  std::size_t byte_budget_;
+  std::size_t evictable_bytes_ = 0;
+  std::size_t pinned_bytes_ = 0;
+  std::uint64_t next_version_ = 1;
+  std::unordered_map<std::string, Entry, TransparentStringHash,
+                     std::equal_to<>>
+      table_;
+  std::list<std::string> lru_;  // front = MRU, holds keys of evictable entries
+  CacheStats stats_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,232 @@
+#include "kv/protocol.hpp"
+
+#include <charconv>
+
+namespace rnb::kv {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+/// Split the next space-delimited token off `rest`.
+std::string_view next_token(std::string_view& rest) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  const std::size_t end = rest.find(' ');
+  std::string_view token = rest.substr(0, end);
+  rest.remove_prefix(end == std::string_view::npos ? rest.size() : end);
+  return token;
+}
+
+template <typename Int>
+bool parse_int(std::string_view token, Int& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+/// Parse "<key> <flags> <exptime> <bytes>" and the following data block.
+/// Returns false on malformed input. `tail` must start at the byte after
+/// the command-line CRLF.
+bool parse_storage_head(std::string_view& line, std::string_view tail,
+                        std::string& key, std::uint32_t& flags,
+                        std::string& data, std::string* error) {
+  key = std::string(next_token(line));
+  if (key.empty()) return fail(error, "missing key");
+  std::uint32_t exptime = 0;
+  std::size_t bytes = 0;
+  if (!parse_int(next_token(line), flags)) return fail(error, "bad flags");
+  if (!parse_int(next_token(line), exptime)) return fail(error, "bad exptime");
+  if (!parse_int(next_token(line), bytes)) return fail(error, "bad bytes");
+  if (tail.size() < bytes + kCrlf.size()) return fail(error, "short data");
+  if (tail.substr(bytes, kCrlf.size()) != kCrlf)
+    return fail(error, "data not CRLF-terminated");
+  data.assign(tail.substr(0, bytes));
+  return true;
+}
+
+}  // namespace
+
+std::optional<Command> parse_command(std::string_view frame,
+                                     std::string* error) {
+  const std::size_t eol = frame.find(kCrlf);
+  if (eol == std::string_view::npos) {
+    fail(error, "missing CRLF");
+    return std::nullopt;
+  }
+  std::string_view line = frame.substr(0, eol);
+  const std::string_view tail = frame.substr(eol + kCrlf.size());
+  const std::string_view verb = next_token(line);
+
+  if (verb == "get" || verb == "gets") {
+    GetCommand cmd;
+    cmd.with_versions = verb == "gets";
+    for (std::string_view key = next_token(line); !key.empty();
+         key = next_token(line))
+      cmd.keys.emplace_back(key);
+    if (cmd.keys.empty()) {
+      fail(error, "get with no keys");
+      return std::nullopt;
+    }
+    return cmd;
+  }
+  if (verb == "set") {
+    SetCommand cmd;
+    // The optional "pin" extension rides after <bytes>; peel it off the
+    // line before delegating (parse_storage_head consumes exactly 4 fields).
+    if (!parse_storage_head(line, tail, cmd.key, cmd.flags, cmd.data, error))
+      return std::nullopt;
+    const std::string_view extra = next_token(line);
+    if (extra == "pin")
+      cmd.pin = true;
+    else if (!extra.empty()) {
+      fail(error, "unexpected token after set");
+      return std::nullopt;
+    }
+    return cmd;
+  }
+  if (verb == "cas") {
+    // cas layout: <key> <flags> <exptime> <bytes> <version>; reuse the
+    // storage-head parser by reading the version token afterwards.
+    CasCommand cmd;
+    // parse_storage_head validates data length against <bytes>, which for
+    // cas sits before the version token; split manually.
+    std::string_view line_copy = line;
+    const std::string_view key = next_token(line_copy);
+    std::uint32_t flags = 0, exptime = 0;
+    std::size_t bytes = 0;
+    std::uint64_t version = 0;
+    if (key.empty() || !parse_int(next_token(line_copy), flags) ||
+        !parse_int(next_token(line_copy), exptime) ||
+        !parse_int(next_token(line_copy), bytes) ||
+        !parse_int(next_token(line_copy), version)) {
+      fail(error, "bad cas header");
+      return std::nullopt;
+    }
+    if (tail.size() < bytes + kCrlf.size() ||
+        tail.substr(bytes, kCrlf.size()) != kCrlf) {
+      fail(error, "bad cas data");
+      return std::nullopt;
+    }
+    cmd.key = std::string(key);
+    cmd.flags = flags;
+    cmd.version = version;
+    cmd.data.assign(tail.substr(0, bytes));
+    return cmd;
+  }
+  if (verb == "delete") {
+    DeleteCommand cmd;
+    cmd.key = std::string(next_token(line));
+    if (cmd.key.empty()) {
+      fail(error, "delete with no key");
+      return std::nullopt;
+    }
+    return cmd;
+  }
+  fail(error, "unknown verb");
+  return std::nullopt;
+}
+
+void encode_get(const std::vector<std::string>& keys, bool with_versions,
+                std::string& out) {
+  out += with_versions ? "gets" : "get";
+  for (const auto& k : keys) {
+    out += ' ';
+    out += k;
+  }
+  out += kCrlf;
+}
+
+void encode_set(std::string_view key, std::string_view data, bool pin,
+                std::string& out) {
+  out += "set ";
+  out += key;
+  out += " 0 0 ";
+  out += std::to_string(data.size());
+  if (pin) out += " pin";
+  out += kCrlf;
+  out += data;
+  out += kCrlf;
+}
+
+void encode_cas(std::string_view key, std::string_view data,
+                std::uint64_t version, std::string& out) {
+  out += "cas ";
+  out += key;
+  out += " 0 0 ";
+  out += std::to_string(data.size());
+  out += ' ';
+  out += std::to_string(version);
+  out += kCrlf;
+  out += data;
+  out += kCrlf;
+}
+
+void encode_delete(std::string_view key, std::string& out) {
+  out += "delete ";
+  out += key;
+  out += kCrlf;
+}
+
+void encode_values(const std::vector<Value>& values, bool with_versions,
+                   std::string& out) {
+  for (const Value& v : values) {
+    out += "VALUE ";
+    out += v.key;
+    out += " 0 ";
+    out += std::to_string(v.data.size());
+    if (with_versions) {
+      out += ' ';
+      out += std::to_string(v.version);
+    }
+    out += kCrlf;
+    out += v.data;
+    out += kCrlf;
+  }
+  out += "END";
+  out += kCrlf;
+}
+
+void encode_simple(std::string_view token, std::string& out) {
+  out += token;
+  out += kCrlf;
+}
+
+std::optional<std::vector<Value>> parse_values(std::string_view frame,
+                                               bool with_versions) {
+  std::vector<Value> values;
+  while (true) {
+    const std::size_t eol = frame.find(kCrlf);
+    if (eol == std::string_view::npos) return std::nullopt;
+    std::string_view line = frame.substr(0, eol);
+    frame.remove_prefix(eol + kCrlf.size());
+    if (line == "END") return values;
+    const std::string_view tag = next_token(line);
+    if (tag != "VALUE") return std::nullopt;
+    Value v;
+    v.key = std::string(next_token(line));
+    std::uint32_t flags = 0;
+    std::size_t bytes = 0;
+    if (v.key.empty() || !parse_int(next_token(line), flags) ||
+        !parse_int(next_token(line), bytes))
+      return std::nullopt;
+    if (with_versions && !parse_int(next_token(line), v.version))
+      return std::nullopt;
+    if (frame.size() < bytes + kCrlf.size() ||
+        frame.substr(bytes, kCrlf.size()) != kCrlf)
+      return std::nullopt;
+    v.data.assign(frame.substr(0, bytes));
+    frame.remove_prefix(bytes + kCrlf.size());
+    values.push_back(std::move(v));
+  }
+}
+
+std::string_view parse_simple(std::string_view frame) {
+  const std::size_t eol = frame.find(kCrlf);
+  return eol == std::string_view::npos ? frame : frame.substr(0, eol);
+}
+
+}  // namespace rnb::kv

@@ -1,0 +1,88 @@
+// Memcached text protocol subset (get/gets/set/cas/delete).
+//
+// The mini-kv speaks real bytes for two reasons. First, the Fig. 13-14
+// micro-benchmarks measure items-per-second versus transaction size; the
+// per-transaction CPU cost they exercise is dominated by exactly this
+// parse/format work, so it has to be genuine. Second, the proof-of-concept
+// client (Section IV) is meant to be portable to a real memcached fleet —
+// the framing here is a faithful subset of memcached's text protocol, with
+// one extension: a trailing "pin" token on `set` marks a distinguished copy
+// (stock memcached would simply ignore RnB's pinning and evict normally).
+//
+// Grammar (subset):
+//   get <key>+\r\n                                 -> VALUE.../END
+//   gets <key>+\r\n                                 (VALUEs carry versions)
+//   set <key> <flags> <exptime> <bytes>[ pin]\r\n<data>\r\n
+//   cas <key> <flags> <exptime> <bytes> <version>\r\n<data>\r\n
+//   delete <key>\r\n
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rnb::kv {
+
+struct GetCommand {
+  std::vector<std::string> keys;
+  bool with_versions = false;  // true for `gets`
+};
+
+struct SetCommand {
+  std::string key;
+  std::string data;
+  std::uint32_t flags = 0;
+  bool pin = false;
+};
+
+struct CasCommand {
+  std::string key;
+  std::string data;
+  std::uint32_t flags = 0;
+  std::uint64_t version = 0;
+};
+
+struct DeleteCommand {
+  std::string key;
+};
+
+using Command = std::variant<GetCommand, SetCommand, CasCommand, DeleteCommand>;
+
+/// Parse one complete request frame (command line + optional data block).
+/// Returns nullopt and fills `error` on malformed input.
+std::optional<Command> parse_command(std::string_view frame,
+                                     std::string* error);
+
+/// Encoders for client use. All append to `out` to allow buffer reuse.
+void encode_get(const std::vector<std::string>& keys, bool with_versions,
+                std::string& out);
+void encode_set(std::string_view key, std::string_view data, bool pin,
+                std::string& out);
+void encode_cas(std::string_view key, std::string_view data,
+                std::uint64_t version, std::string& out);
+void encode_delete(std::string_view key, std::string& out);
+
+/// One returned value in a get/gets response.
+struct Value {
+  std::string key;
+  std::string data;
+  std::uint64_t version = 0;  // only meaningful for `gets`
+};
+
+/// Response encoders for server use.
+void encode_values(const std::vector<Value>& values, bool with_versions,
+                   std::string& out);
+void encode_simple(std::string_view token, std::string& out);  // STORED etc.
+
+/// Parse a get/gets response ("VALUE ... END"). Returns nullopt on parse
+/// failure.
+std::optional<std::vector<Value>> parse_values(std::string_view frame,
+                                               bool with_versions);
+
+/// Parse a one-token response line ("STORED", "NOT_FOUND", ...).
+std::string_view parse_simple(std::string_view frame);
+
+}  // namespace rnb::kv

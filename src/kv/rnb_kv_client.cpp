@@ -1,0 +1,262 @@
+#include "kv/rnb_kv_client.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "kv/protocol.hpp"
+#include "setcover/greedy.hpp"
+
+namespace rnb::kv {
+namespace {
+
+ItemId key_to_item(std::string_view key) { return fnv1a64(key); }
+
+}  // namespace
+
+RnbKvClient::RnbKvClient(KvTransport& transport,
+                         const RnbKvClientConfig& config)
+    : transport_(transport),
+      config_(config),
+      placement_(make_placement(config.placement, transport.num_servers(),
+                                config.replication, config.placement_seed)) {}
+
+std::vector<ServerId> RnbKvClient::servers_for(std::string_view key) const {
+  return placement_->replicas(key_to_item(key));
+}
+
+std::uint32_t RnbKvClient::set(std::string_view key, std::string_view value) {
+  const std::vector<ServerId> servers = servers_for(key);
+  std::uint32_t stored = 0;
+  for (std::size_t r = 0; r < servers.size(); ++r) {
+    request_.clear();
+    encode_set(key, value, /*pin=*/r == 0, request_);
+    transport_.roundtrip(servers[r], request_, response_);
+    if (parse_simple(response_) == "STORED") ++stored;
+  }
+  return stored;
+}
+
+std::optional<std::string> RnbKvClient::get(std::string_view key) {
+  const ServerId home = servers_for(key)[0];
+  request_.clear();
+  encode_get({std::string(key)}, /*with_versions=*/false, request_);
+  transport_.roundtrip(home, request_, response_);
+  const auto values = parse_values(response_, /*with_versions=*/false);
+  if (!values || values->empty()) return std::nullopt;
+  return values->front().data;
+}
+
+RnbKvClient::MultiGetResult RnbKvClient::multi_get(
+    std::span<const std::string> keys) {
+  return multi_get_at_least(keys, 1.0);
+}
+
+RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
+    std::span<const std::string> keys, double fraction) {
+  RNB_REQUIRE(fraction > 0.0 && fraction <= 1.0);
+  MultiGetResult result;
+
+  // Deduplicate, first-appearance order.
+  std::vector<std::string> items;
+  {
+    std::unordered_set<std::string_view> seen;
+    for (const std::string& k : keys)
+      if (seen.insert(k).second) items.push_back(k);
+  }
+  const std::size_t m = items.size();
+  if (m == 0) return result;
+
+  // Plan: greedy partial cover over replica locations.
+  CoverInstance instance;
+  instance.candidates.resize(m);
+  std::vector<std::vector<ServerId>> locations(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    locations[i] = servers_for(items[i]);
+    instance.candidates[i] = locations[i];
+  }
+  const std::size_t target = CoverInstance::target_from_fraction(m, fraction);
+  const CoverResult cover = greedy_cover_partial(instance, target);
+
+  // Round 1: bundled gets.
+  std::unordered_map<ServerId, std::vector<std::size_t>> by_server;
+  for (std::size_t i = 0; i < m; ++i)
+    if (cover.assignment[i] != kInvalidServer)
+      by_server[cover.assignment[i]].push_back(i);
+
+  // Hitchhikers: covered keys appended to transactions whose server also
+  // holds one of their replicas (zero extra transactions).
+  std::unordered_map<ServerId, std::vector<std::size_t>> hitchhikers;
+  if (config_.hitchhiking) {
+    std::unordered_set<ServerId> in_plan(cover.servers_used.begin(),
+                                         cover.servers_used.end());
+    for (std::size_t i = 0; i < m; ++i) {
+      if (cover.assignment[i] == kInvalidServer) continue;
+      for (const ServerId s : locations[i])
+        if (s != cover.assignment[i] && in_plan.contains(s))
+          hitchhikers[s].push_back(i);
+    }
+  }
+
+  std::vector<bool> satisfied(m, false);
+  std::unordered_map<std::string_view, std::size_t> index_of;
+  for (std::size_t i = 0; i < m; ++i) index_of.emplace(items[i], i);
+  for (const ServerId s : cover.servers_used) {
+    const auto& idxs = by_server.at(s);
+    std::vector<std::string> bundle;
+    bundle.reserve(idxs.size());
+    for (const std::size_t i : idxs) bundle.push_back(items[i]);
+    if (const auto hit_it = hitchhikers.find(s); hit_it != hitchhikers.end())
+      for (const std::size_t i : hit_it->second) {
+        bundle.push_back(items[i]);
+        ++result.hitchhiker_keys;
+      }
+    request_.clear();
+    encode_get(bundle, /*with_versions=*/false, request_);
+    transport_.roundtrip(s, request_, response_);
+    ++result.round1_transactions;
+    const auto values = parse_values(response_, /*with_versions=*/false);
+    RNB_ENSURE(values.has_value() && "server returned malformed response");
+    for (const Value& v : *values) {
+      result.values[v.key] = v.data;
+      satisfied[index_of.at(v.key)] = true;
+    }
+  }
+
+  // Round 2: bundled distinguished-copy fallbacks for evicted replicas.
+  std::unordered_map<ServerId, std::vector<std::size_t>> fallback;
+  for (std::size_t i = 0; i < m; ++i)
+    if (!satisfied[i] && cover.assignment[i] != kInvalidServer &&
+        cover.assignment[i] != locations[i][0])
+      fallback[locations[i][0]].push_back(i);
+
+  std::vector<ServerId> fallback_servers;
+  fallback_servers.reserve(fallback.size());
+  for (const auto& [s, idxs] : fallback) fallback_servers.push_back(s);
+  std::sort(fallback_servers.begin(), fallback_servers.end());
+
+  for (const ServerId s : fallback_servers) {
+    const auto& idxs = fallback.at(s);
+    std::vector<std::string> bundle;
+    bundle.reserve(idxs.size());
+    for (const std::size_t i : idxs) bundle.push_back(items[i]);
+    request_.clear();
+    encode_get(bundle, /*with_versions=*/false, request_);
+    transport_.roundtrip(s, request_, response_);
+    ++result.round2_transactions;
+    const auto values = parse_values(response_, /*with_versions=*/false);
+    RNB_ENSURE(values.has_value() && "server returned malformed response");
+    for (const Value& v : *values) {
+      result.values[v.key] = v.data;
+      // Re-install the replica round 1 expected (write-back rule).
+      if (config_.write_back_misses) {
+        const auto it = std::find(items.begin(), items.end(), v.key);
+        const auto i = static_cast<std::size_t>(it - items.begin());
+        satisfied[i] = true;
+        request_.clear();
+        encode_set(v.key, v.data, /*pin=*/false, request_);
+        std::string ack;
+        transport_.roundtrip(cover.assignment[i], request_, ack);
+      }
+    }
+    if (!config_.write_back_misses)
+      for (const std::size_t i : idxs)
+        if (result.values.contains(items[i])) satisfied[i] = true;
+  }
+
+  // Anything fetched-but-absent is genuinely missing.
+  for (std::size_t i = 0; i < m; ++i)
+    if (cover.assignment[i] != kInvalidServer && !satisfied[i])
+      result.missing.push_back(items[i]);
+  return result;
+}
+
+RnbKvClient::MultiGetResult RnbKvClient::multi_get_within(
+    std::span<const std::string> keys, std::uint32_t max_transactions) {
+  MultiGetResult result;
+  std::vector<std::string> items;
+  {
+    std::unordered_set<std::string_view> seen;
+    for (const std::string& k : keys)
+      if (seen.insert(k).second) items.push_back(k);
+  }
+  if (items.empty() || max_transactions == 0) {
+    result.missing.assign(items.begin(), items.end());
+    return result;
+  }
+
+  CoverInstance instance;
+  instance.candidates.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    instance.candidates[i] = servers_for(items[i]);
+  const CoverResult cover =
+      greedy_cover_budget(instance, max_transactions);
+
+  std::unordered_map<ServerId, std::vector<std::string>> bundles;
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (cover.assignment[i] != kInvalidServer)
+      bundles[cover.assignment[i]].push_back(items[i]);
+
+  for (const ServerId s : cover.servers_used) {
+    request_.clear();
+    encode_get(bundles.at(s), /*with_versions=*/false, request_);
+    transport_.roundtrip(s, request_, response_);
+    ++result.round1_transactions;
+    const auto values = parse_values(response_, /*with_versions=*/false);
+    RNB_ENSURE(values.has_value() && "server returned malformed response");
+    for (const Value& v : *values) result.values[v.key] = v.data;
+  }
+  for (const std::string& k : items)
+    if (!result.values.contains(k)) result.missing.push_back(k);
+  return result;
+}
+
+bool RnbKvClient::remove(std::string_view key) {
+  const std::vector<ServerId> servers = servers_for(key);
+  bool existed = false;
+  // Distinguished copy last: a concurrent reader that misses a replica
+  // falls back to the distinguished copy, so it must outlive the others.
+  for (std::size_t r = servers.size(); r-- > 0;) {
+    request_.clear();
+    encode_delete(key, request_);
+    transport_.roundtrip(servers[r], request_, response_);
+    if (r == 0) existed = parse_simple(response_) == "DELETED";
+  }
+  return existed;
+}
+
+RnbKvClient::UpdateOutcome RnbKvClient::atomic_update(
+    std::string_view key,
+    const std::function<std::string(std::string_view)>& mutate, int retries) {
+  const std::vector<ServerId> servers = servers_for(key);
+
+  // Step 1 (paper Section IV): remove all but the distinguished copy, so no
+  // reader can observe a stale replica after the CAS lands.
+  for (std::size_t r = 1; r < servers.size(); ++r) {
+    request_.clear();
+    encode_delete(key, request_);
+    transport_.roundtrip(servers[r], request_, response_);
+  }
+
+  // Step 2: CAS the distinguished copy, retrying on version conflicts.
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    request_.clear();
+    encode_get({std::string(key)}, /*with_versions=*/true, request_);
+    transport_.roundtrip(servers[0], request_, response_);
+    const auto values = parse_values(response_, /*with_versions=*/true);
+    if (!values || values->empty()) return UpdateOutcome::kNotFound;
+
+    const std::string next = mutate(values->front().data);
+    request_.clear();
+    encode_cas(key, next, values->front().version, request_);
+    transport_.roundtrip(servers[0], request_, response_);
+    const std::string_view verdict = parse_simple(response_);
+    if (verdict == "STORED") return UpdateOutcome::kUpdated;
+    if (verdict == "NOT_FOUND") return UpdateOutcome::kNotFound;
+    // EXISTS: someone raced us; re-read and retry.
+  }
+  return UpdateOutcome::kConflict;
+}
+
+}  // namespace rnb::kv

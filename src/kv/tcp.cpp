@@ -1,0 +1,256 @@
+#include "kv/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace rnb::kv {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+/// Parse the <bytes> field of a storage command line ("set k f e BYTES
+/// [pin]" / "cas k f e BYTES version"). Returns false for non-storage
+/// verbs. Malformed numeric fields yield bytes=0 — the server will reject
+/// the frame at parse time; framing just needs to terminate.
+bool storage_bytes(std::string_view line, std::size_t& bytes) {
+  std::size_t field = 0;
+  std::string_view verb;
+  while (!line.empty()) {
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    const std::size_t end = line.find(' ');
+    const std::string_view token = line.substr(0, end);
+    if (field == 0) {
+      verb = token;
+      if (verb != "set" && verb != "cas") return false;
+    }
+    if (field == 4) {
+      std::from_chars(token.data(), token.data() + token.size(), bytes);
+      return true;
+    }
+    if (end == std::string_view::npos) break;
+    line.remove_prefix(end);
+    ++field;
+  }
+  bytes = 0;
+  return verb == "set" || verb == "cas";
+}
+
+void write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) throw std::runtime_error("tcp: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool FrameSplitter::next_frame(std::string& frame) {
+  const std::size_t eol = buffer_.find(kCrlf);
+  if (eol == std::string::npos) return false;
+  const std::string_view line(buffer_.data(), eol);
+  std::size_t body = 0;
+  std::size_t total = eol + kCrlf.size();
+  if (storage_bytes(line, body)) {
+    total += body + kCrlf.size();
+    if (buffer_.size() < total) return false;
+  }
+  frame.assign(buffer_, 0, total);
+  buffer_.erase(0, total);
+  return true;
+}
+
+TcpKvServer::TcpKvServer(std::size_t byte_budget, std::uint16_t port)
+    : server_(byte_budget) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    throw std::runtime_error("tcp: bind() failed");
+  if (::listen(listen_fd_, 16) < 0)
+    throw std::runtime_error("tcp: listen() failed");
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpKvServer::~TcpKvServer() { shutdown(); }
+
+void TcpKvServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(threads_mu_);
+    to_join.swap(connections_);
+  }
+  for (auto& t : to_join) t.join();
+}
+
+void TcpKvServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed during shutdown
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(threads_mu_);
+    connections_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void TcpKvServer::connection_loop(int fd) {
+  FrameSplitter splitter;
+  std::string frame, response;
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed (or shutdown)
+    splitter.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    while (splitter.next_frame(frame)) {
+      {
+        std::lock_guard lock(server_mu_);
+        server_.handle(frame, response);
+      }
+      try {
+        write_all(fd, response);
+      } catch (const std::runtime_error&) {
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+TcpKvConnection::TcpKvConnection(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("tcp: connect() failed");
+  }
+}
+
+TcpKvConnection::~TcpKvConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpKvConnection::roundtrip(std::string_view request,
+                                std::string& response) {
+  write_all(fd_, request);
+  read_response(response);
+}
+
+void TcpKvConnection::read_response(std::string& response) {
+  response.clear();
+  // A response is either a VALUE.../END block or one simple line. Scan the
+  // inbox for completeness; recv more until it is.
+  char chunk[16384];
+  for (;;) {
+    // Try to carve a complete response from inbox_.
+    std::size_t consumed = 0;
+    bool complete = false;
+    if (inbox_.rfind("VALUE ", 0) == 0 || inbox_.rfind("END\r\n", 0) == 0) {
+      std::size_t pos = 0;
+      for (;;) {
+        const std::size_t eol = inbox_.find(kCrlf, pos);
+        if (eol == std::string::npos) break;
+        const std::string_view line(inbox_.data() + pos, eol - pos);
+        pos = eol + kCrlf.size();
+        if (line == "END") {
+          consumed = pos;
+          complete = true;
+          break;
+        }
+        // "VALUE <key> <flags> <bytes> [cas]": skip the data block.
+        std::size_t bytes = 0;
+        std::size_t field = 0;
+        std::string_view rest = line;
+        while (!rest.empty() && field <= 3) {
+          while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+          const std::size_t sp = rest.find(' ');
+          const std::string_view token = rest.substr(0, sp);
+          if (field == 3)
+            std::from_chars(token.data(), token.data() + token.size(), bytes);
+          if (sp == std::string_view::npos) break;
+          rest.remove_prefix(sp);
+          ++field;
+        }
+        pos += bytes + kCrlf.size();
+        if (pos > inbox_.size()) break;  // data block not fully here yet
+      }
+    } else {
+      const std::size_t eol = inbox_.find(kCrlf);
+      if (eol != std::string::npos) {
+        consumed = eol + kCrlf.size();
+        complete = true;
+      }
+    }
+    if (complete) {
+      response.assign(inbox_, 0, consumed);
+      inbox_.erase(0, consumed);
+      return;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) throw std::runtime_error("tcp: connection closed mid-response");
+    inbox_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+TcpFleet::TcpFleet(ServerId num_servers, std::size_t bytes_per_server) {
+  RNB_REQUIRE(num_servers > 0);
+  servers_.reserve(num_servers);
+  for (ServerId s = 0; s < num_servers; ++s)
+    servers_.push_back(std::make_unique<TcpKvServer>(bytes_per_server));
+}
+
+std::vector<std::uint16_t> TcpFleet::ports() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s->port());
+  return out;
+}
+
+TcpClientTransport::TcpClientTransport(
+    const std::vector<std::uint16_t>& ports) {
+  RNB_REQUIRE(!ports.empty());
+  connections_.reserve(ports.size());
+  for (const std::uint16_t port : ports)
+    connections_.push_back(Endpoint{std::make_unique<TcpKvConnection>(port),
+                                    std::make_unique<std::mutex>()});
+}
+
+void TcpClientTransport::roundtrip(ServerId s, std::string_view request,
+                                   std::string& response) {
+  RNB_REQUIRE(s < connections_.size());
+  Endpoint& ep = connections_[s];
+  const std::lock_guard lock(*ep.mu);
+  ep.connection->roundtrip(request, response);
+}
+
+}  // namespace rnb::kv

@@ -1,0 +1,140 @@
+// TCP transport for the mini-memcached: a real socket server and client.
+//
+// The loopback transport makes benches deterministic and fast; this module
+// makes the testbed substitution (DESIGN.md §4) faithful: requests cross a
+// genuine kernel socket, pay syscall and copy costs, and the server runs a
+// thread-per-connection loop like classic memcached's worker threads.
+// Framing is the same text protocol; requests are delimited exactly as
+// memcached's are (command line + optional <bytes>-long data block), so the
+// reader must parse the header to know the frame length.
+//
+// Scope: IPv4 loopback, blocking sockets, thread-per-connection. This is a
+// proof-of-concept transport, not a production network stack — but every
+// byte on the wire is real.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/kv_server.hpp"
+#include "kv/kv_transport.hpp"
+
+namespace rnb::kv {
+
+/// Incremental frame splitter: feed bytes, pop complete request frames.
+/// Needed by both the server reader and any pipelined client.
+class FrameSplitter {
+ public:
+  /// Append raw bytes from the socket.
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// If a complete frame sits at the front of the buffer, move it into
+  /// `frame` and return true. Storage commands (set/cas) span the command
+  /// line plus a data block whose length comes from the <bytes> field.
+  bool next_frame(std::string& frame);
+
+  /// Bytes buffered but not yet framed.
+  std::size_t pending() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// A TCP server wrapping one KvServer. Listens on 127.0.0.1:<port> (port 0
+/// picks a free port; read it back with port()). Each accepted connection
+/// gets a reader thread that parses frames and writes responses back.
+class TcpKvServer {
+ public:
+  explicit TcpKvServer(std::size_t byte_budget, std::uint16_t port = 0);
+  ~TcpKvServer();
+
+  TcpKvServer(const TcpKvServer&) = delete;
+  TcpKvServer& operator=(const TcpKvServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  KvServer& server() noexcept { return server_; }
+
+  /// Ask the accept loop and all connection threads to finish; joins them.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+
+  KvServer server_;
+  std::mutex server_mu_;  // serializes handle() across connections
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> connections_;
+};
+
+/// A blocking client connection speaking the text protocol over TCP.
+class TcpKvConnection {
+ public:
+  /// Connect to 127.0.0.1:<port>; throws std::runtime_error on failure.
+  explicit TcpKvConnection(std::uint16_t port);
+  ~TcpKvConnection();
+
+  TcpKvConnection(const TcpKvConnection&) = delete;
+  TcpKvConnection& operator=(const TcpKvConnection&) = delete;
+
+  /// Send one request frame and block for its complete response.
+  void roundtrip(std::string_view request, std::string& response);
+
+ private:
+  /// Read until the buffer holds one complete *response* (either a
+  /// "VALUE.../END" block or a single simple line).
+  void read_response(std::string& response);
+
+  int fd_ = -1;
+  std::string inbox_;
+};
+
+/// A fleet of TCP servers on loopback ports — the multi-server counterpart
+/// of LoopbackTransport's server side, for end-to-end RnB-over-TCP runs.
+class TcpFleet {
+ public:
+  TcpFleet(ServerId num_servers, std::size_t bytes_per_server);
+
+  ServerId num_servers() const noexcept {
+    return static_cast<ServerId>(servers_.size());
+  }
+  std::uint16_t port(ServerId s) const { return servers_[s]->port(); }
+  KvServer& server(ServerId s) { return servers_[s]->server(); }
+
+  std::vector<std::uint16_t> ports() const;
+
+ private:
+  std::vector<std::unique_ptr<TcpKvServer>> servers_;
+};
+
+/// KvTransport over real sockets: one connection per server, serialized per
+/// server by a mutex (one client object == one web-tier worker).
+class TcpClientTransport final : public KvTransport {
+ public:
+  /// Connect to servers on 127.0.0.1 at the given ports.
+  explicit TcpClientTransport(const std::vector<std::uint16_t>& ports);
+
+  ServerId num_servers() const noexcept override {
+    return static_cast<ServerId>(connections_.size());
+  }
+
+  void roundtrip(ServerId s, std::string_view request,
+                 std::string& response) override;
+
+ private:
+  struct Endpoint {
+    std::unique_ptr<TcpKvConnection> connection;
+    std::unique_ptr<std::mutex> mu;
+  };
+  std::vector<Endpoint> connections_;
+};
+
+}  // namespace rnb::kv

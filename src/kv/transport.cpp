@@ -1,0 +1,8 @@
+#include "kv/transport.hpp"
+
+// Explicit instantiations of both shipped fleets, compiled under the
+// library's full warning set.
+namespace rnb::kv {
+template class BasicLoopbackTransport<KvServer>;
+template class BasicLoopbackTransport<SlabKvServer>;
+}  // namespace rnb::kv

@@ -1,0 +1,72 @@
+// In-process loopback transport to a fleet of kv servers.
+//
+// Substitutes for the paper testbed's TCP path (DESIGN.md Section 4): each
+// roundtrip serializes a real request frame, crosses a per-server mutex
+// (standing in for the server's single dispatch thread), executes the full
+// parse/handle/format path, and hands back response bytes. The mutex is
+// what makes the two-client experiment of Fig. 14 meaningful in-process:
+// concurrent clients contend for the same server exactly as two memaslap
+// instances contend for one memcached.
+//
+// Generic over the storage engine: LoopbackTransport uses the byte-budget
+// MemTable, SlabLoopbackTransport the memcached-faithful slab engine.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "kv/kv_server.hpp"
+#include "kv/kv_transport.hpp"
+
+namespace rnb::kv {
+
+template <typename Server>
+class BasicLoopbackTransport final : public KvTransport {
+ public:
+  /// Spin up `num_servers` servers, each constructed from `args` (byte
+  /// budget for KvServer, SlabConfig for SlabKvServer).
+  template <typename... Args>
+  explicit BasicLoopbackTransport(ServerId num_servers, const Args&... args) {
+    RNB_REQUIRE(num_servers > 0);
+    servers_.reserve(num_servers);
+    for (ServerId s = 0; s < num_servers; ++s)
+      servers_.push_back(Endpoint{std::make_unique<Server>(args...),
+                                  std::make_unique<std::mutex>()});
+  }
+
+  ServerId num_servers() const noexcept override {
+    return static_cast<ServerId>(servers_.size());
+  }
+
+  /// Send `request` to server `s`; the response lands in `response`.
+  /// Thread-safe per server (serialized by the server's dispatch mutex).
+  void roundtrip(ServerId s, std::string_view request,
+                 std::string& response) override {
+    RNB_REQUIRE(s < servers_.size());
+    Endpoint& ep = servers_[s];
+    const std::lock_guard lock(*ep.dispatch);
+    ep.server->handle(request, response);
+  }
+
+  /// Unsynchronized access for setup/inspection (not during benchmarks).
+  Server& server(ServerId s) { return *servers_[s].server; }
+  const Server& server(ServerId s) const { return *servers_[s].server; }
+
+ private:
+  struct Endpoint {
+    std::unique_ptr<Server> server;
+    std::unique_ptr<std::mutex> dispatch;
+  };
+  std::vector<Endpoint> servers_;
+};
+
+/// Default fleet: byte-budget global-LRU MemTable engines.
+using LoopbackTransport = BasicLoopbackTransport<KvServer>;
+
+/// Memcached-faithful fleet: slab classes with per-class LRU.
+using SlabLoopbackTransport = BasicLoopbackTransport<SlabKvServer>;
+
+}  // namespace rnb::kv

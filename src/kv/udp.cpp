@@ -1,0 +1,146 @@
+#include "kv/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rnb::kv {
+
+void encode_udp_header(const UdpFrameHeader& header,
+                       char out[kUdpHeaderBytes]) {
+  const std::uint16_t fields[4] = {
+      htons(header.request_id), htons(header.sequence),
+      htons(header.total_datagrams), htons(header.reserved)};
+  std::memcpy(out, fields, kUdpHeaderBytes);
+}
+
+UdpFrameHeader decode_udp_header(const char in[kUdpHeaderBytes]) {
+  std::uint16_t fields[4];
+  std::memcpy(fields, in, kUdpHeaderBytes);
+  return UdpFrameHeader{ntohs(fields[0]), ntohs(fields[1]), ntohs(fields[2]),
+                        ntohs(fields[3])};
+}
+
+UdpKvServer::UdpKvServer(std::size_t byte_budget, std::uint16_t port)
+    : server_(byte_budget) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("udp: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("udp: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+UdpKvServer::~UdpKvServer() { shutdown(); }
+
+void UdpKvServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void UdpKvServer::receive_loop() {
+  std::vector<char> datagram(65536);
+  std::string response;
+  std::vector<char> out;
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n =
+        ::recvfrom(fd_, datagram.data(), datagram.size(), 0,
+                   reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) return;  // socket closed during shutdown
+    if (static_cast<std::size_t>(n) <= kUdpHeaderBytes) continue;
+    const UdpFrameHeader header = decode_udp_header(datagram.data());
+    if (header.total_datagrams != 1) continue;  // multi-datagram unsupported
+    {
+      std::lock_guard lock(server_mu_);
+      server_.handle(std::string_view(datagram.data() + kUdpHeaderBytes,
+                                      static_cast<std::size_t>(n) -
+                                          kUdpHeaderBytes),
+                     response);
+    }
+    if (response.size() > kUdpMaxPayload) {
+      // Exactly what UDP memcached does to oversized multi-get responses:
+      // nothing reaches the client, who eventually times out.
+      oversize_drops_.fetch_add(1);
+      continue;
+    }
+    out.resize(kUdpHeaderBytes + response.size());
+    UdpFrameHeader reply_header = header;
+    encode_udp_header(reply_header, out.data());
+    std::memcpy(out.data() + kUdpHeaderBytes, response.data(),
+                response.size());
+    (void)::sendto(fd_, out.data(), out.size(), 0,
+                   reinterpret_cast<sockaddr*>(&peer), peer_len);
+  }
+}
+
+UdpKvConnection::UdpKvConnection(std::uint16_t port,
+                                 std::chrono::milliseconds timeout) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("udp: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("udp: connect() failed");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+UdpKvConnection::~UdpKvConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<std::string> UdpKvConnection::roundtrip(
+    std::string_view request) {
+  if (request.size() > kUdpMaxPayload) {
+    ++timeouts_;  // unsendable == will never be answered
+    return std::nullopt;
+  }
+  const std::uint16_t id = next_request_id_++;
+  std::vector<char> out(kUdpHeaderBytes + request.size());
+  encode_udp_header(UdpFrameHeader{id, 0, 1, 0}, out.data());
+  std::memcpy(out.data() + kUdpHeaderBytes, request.data(), request.size());
+  if (::send(fd_, out.data(), out.size(), 0) < 0) {
+    ++timeouts_;
+    return std::nullopt;
+  }
+  std::vector<char> in(65536);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, in.data(), in.size(), 0);
+    if (n < 0) {
+      ++timeouts_;  // EAGAIN: receive timeout expired
+      return std::nullopt;
+    }
+    if (static_cast<std::size_t>(n) < kUdpHeaderBytes) continue;
+    const UdpFrameHeader header = decode_udp_header(in.data());
+    if (header.request_id != id) continue;  // stale response; keep waiting
+    return std::string(in.data() + kUdpHeaderBytes,
+                       static_cast<std::size_t>(n) - kUdpHeaderBytes);
+  }
+}
+
+}  // namespace rnb::kv

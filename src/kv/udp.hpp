@@ -1,0 +1,102 @@
+// UDP transport for the mini-memcached.
+//
+// The paper's Appendix A: "We opted to use TCP and not UDP ... the
+// benchmark program suffered, as expected, from considerable packet loss
+// issues when attempting to communicate with the server as fast as possible
+// over a protocol without flow control." This module makes that trade-off
+// concrete: memcached's UDP frame header (request id / sequence / total /
+// reserved, 8 bytes) over real datagrams, one request and one response per
+// datagram. No retransmission, no flow control — a lost or oversized
+// response surfaces as a timeout, exactly the failure mode that pushed the
+// authors (and everyone since) to TCP for multi-gets. Large bundles
+// overflow the datagram limit, which is itself instructive: UDP memcached
+// caps the response near 64 KiB, so RnB-sized multi-gets genuinely need TCP.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "kv/kv_server.hpp"
+
+namespace rnb::kv {
+
+/// Memcached UDP frame header (8 bytes, network byte order).
+struct UdpFrameHeader {
+  std::uint16_t request_id = 0;
+  std::uint16_t sequence = 0;
+  std::uint16_t total_datagrams = 1;
+  std::uint16_t reserved = 0;
+};
+
+constexpr std::size_t kUdpHeaderBytes = 8;
+/// Conservative payload bound: classic 64 KiB datagram limit minus headers.
+constexpr std::size_t kUdpMaxPayload = 65507 - kUdpHeaderBytes;
+
+void encode_udp_header(const UdpFrameHeader& header, char out[kUdpHeaderBytes]);
+UdpFrameHeader decode_udp_header(const char in[kUdpHeaderBytes]);
+
+/// A UDP server on 127.0.0.1:<port> (0 picks a free port). One receive
+/// thread; each datagram carries one complete request frame and the
+/// response goes back in one datagram (single-datagram responses only —
+/// oversized responses are DROPPED, as real UDP memcached clients
+/// experience when a multi-get overflows the datagram budget).
+class UdpKvServer {
+ public:
+  explicit UdpKvServer(std::size_t byte_budget, std::uint16_t port = 0);
+  ~UdpKvServer();
+
+  UdpKvServer(const UdpKvServer&) = delete;
+  UdpKvServer& operator=(const UdpKvServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  KvServer& server() noexcept { return server_; }
+
+  /// Responses dropped because they exceeded one datagram.
+  std::uint64_t oversize_drops() const noexcept {
+    return oversize_drops_.load();
+  }
+
+  void shutdown();
+
+ private:
+  void receive_loop();
+
+  KvServer server_;
+  std::mutex server_mu_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> oversize_drops_{0};
+  std::thread receiver_;
+};
+
+/// A blocking UDP client. roundtrip() returns nullopt on timeout — the
+/// caller decides whether to retry, fall back to TCP, or count a loss.
+class UdpKvConnection {
+ public:
+  explicit UdpKvConnection(std::uint16_t port,
+                           std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(200));
+  ~UdpKvConnection();
+
+  UdpKvConnection(const UdpKvConnection&) = delete;
+  UdpKvConnection& operator=(const UdpKvConnection&) = delete;
+
+  /// Send one request; wait for the matching response datagram (request ids
+  /// are matched, stray datagrams discarded). nullopt on timeout or when
+  /// the request itself exceeds one datagram.
+  std::optional<std::string> roundtrip(std::string_view request);
+
+  std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t next_request_id_ = 1;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace rnb::kv

@@ -1,0 +1,48 @@
+#include "setcover/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+namespace {
+
+CoverResult assignment_from_choice(
+    const CoverInstance& instance,
+    const std::vector<ServerId>& chosen) {
+  CoverResult result;
+  result.assignment = chosen;
+  // servers_used: distinct servers in first-use order.
+  for (const ServerId s : chosen) {
+    if (std::find(result.servers_used.begin(), result.servers_used.end(), s) ==
+        result.servers_used.end())
+      result.servers_used.push_back(s);
+  }
+  RNB_ENSURE(result.assignment.size() == instance.num_items());
+  return result;
+}
+
+}  // namespace
+
+CoverResult distinguished_assignment(const CoverInstance& instance) {
+  std::vector<ServerId> chosen;
+  chosen.reserve(instance.num_items());
+  for (const auto& cand : instance.candidates) {
+    RNB_REQUIRE(!cand.empty());
+    chosen.push_back(cand.front());
+  }
+  return assignment_from_choice(instance, chosen);
+}
+
+CoverResult random_replica_assignment(const CoverInstance& instance,
+                                      Xoshiro256& rng) {
+  std::vector<ServerId> chosen;
+  chosen.reserve(instance.num_items());
+  for (const auto& cand : instance.candidates) {
+    RNB_REQUIRE(!cand.empty());
+    chosen.push_back(cand[rng.below(cand.size())]);
+  }
+  return assignment_from_choice(instance, chosen);
+}
+
+}  // namespace rnb

@@ -1,0 +1,23 @@
+// Baseline replica selectors the paper compares against.
+//
+// * distinguished_assignment — ignore replicas entirely; every item goes to
+//   its first candidate. With replication 1 this *is* stock consistent
+//   hashing (the multi-get-hole baseline of Fig. 3); with replication > 1 it
+//   models replication used only for fault tolerance, never for bundling.
+// * random_replica_assignment — each item independently picks a uniformly
+//   random replica. This models Facebook's full-system replication (paper
+//   Section II-C solution 3): k replicas spread load k ways but do nothing
+//   to reduce transactions per request.
+#pragma once
+
+#include "common/rng.hpp"
+#include "setcover/cover.hpp"
+
+namespace rnb {
+
+CoverResult distinguished_assignment(const CoverInstance& instance);
+
+CoverResult random_replica_assignment(const CoverInstance& instance,
+                                      Xoshiro256& rng);
+
+}  // namespace rnb

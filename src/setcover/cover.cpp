@@ -1,0 +1,53 @@
+#include "setcover/cover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+std::size_t CoverInstance::target_from_fraction(std::size_t num_items,
+                                                double fraction) {
+  RNB_REQUIRE(fraction >= 0.0 && fraction <= 1.0);
+  return static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(num_items)));
+}
+
+std::size_t CoverResult::covered_items() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(assignment.begin(), assignment.end(),
+                    [](ServerId s) { return s != kInvalidServer; }));
+}
+
+bool CoverResult::valid_for(const CoverInstance& instance,
+                            std::size_t target) const {
+  if (assignment.size() != instance.num_items()) return false;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const ServerId s = assignment[i];
+    if (s == kInvalidServer) continue;
+    const auto& cand = instance.candidates[i];
+    if (std::find(cand.begin(), cand.end(), s) == cand.end()) return false;
+    if (std::find(servers_used.begin(), servers_used.end(), s) ==
+        servers_used.end())
+      return false;
+  }
+  return covered_items() >= target;
+}
+
+std::vector<std::size_t> transaction_sizes(const CoverResult& result,
+                                           ServerId num_servers) {
+  std::vector<std::size_t> per_server(num_servers, 0);
+  for (const ServerId s : result.assignment)
+    if (s != kInvalidServer) {
+      RNB_REQUIRE(s < num_servers);
+      ++per_server[s];
+    }
+  std::vector<std::size_t> sizes;
+  sizes.reserve(result.servers_used.size());
+  for (const ServerId s : result.servers_used)
+    if (per_server[s] > 0) sizes.push_back(per_server[s]);
+  return sizes;
+}
+
+}  // namespace rnb

@@ -1,0 +1,120 @@
+#include "setcover/exact.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bitset.hpp"
+#include "common/error.hpp"
+#include "setcover/greedy.hpp"
+
+namespace rnb {
+namespace {
+
+struct Searcher {
+  const std::vector<DynamicBitset>& holds;
+  const std::vector<ServerId>& ids;
+  std::size_t m;
+  std::size_t node_budget;
+  std::size_t nodes = 0;
+
+  std::vector<std::size_t> best;     // dense server indices of incumbent
+  std::vector<std::size_t> current;  // picks along the current branch
+  bool budget_exhausted = false;
+
+  // Branch on the lowest-index uncovered item: one child per server that
+  // holds it. This is complete (any cover must serve that item) and keeps
+  // the branching factor at the item's replication level rather than the
+  // server count.
+  void search(const DynamicBitset& covered, std::size_t covered_count) {
+    if (++nodes > node_budget) {
+      budget_exhausted = true;
+      return;
+    }
+    if (covered_count == m) {
+      if (current.size() < best.size()) best = current;
+      return;
+    }
+    // Bound: at least one more pick is needed, so a branch whose cover would
+    // end up no smaller than the incumbent cannot improve on it.
+    if (current.size() + 1 >= best.size()) return;
+    std::size_t item = m;
+    for (std::size_t i = 0; i < m; ++i)
+      if (!covered.test(i)) {
+        item = i;
+        break;
+      }
+    RNB_ENSURE(item < m);
+    for (std::size_t d = 0; d < holds.size(); ++d) {
+      if (budget_exhausted) return;
+      if (!holds[d].test(item)) continue;
+      const std::size_t gain = holds[d].andnot_count(covered);
+      if (gain == 0) continue;
+      DynamicBitset next = covered;
+      next.or_inplace(holds[d]);
+      current.push_back(d);
+      search(next, covered_count + gain);
+      current.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<CoverResult> exact_cover(const CoverInstance& instance,
+                                       std::size_t node_budget) {
+  const std::size_t m = instance.num_items();
+  CoverResult result;
+  result.assignment.assign(m, kInvalidServer);
+  if (m == 0) return result;
+
+  std::vector<ServerId> ids;
+  std::vector<DynamicBitset> holds;
+  {
+    std::unordered_map<ServerId, std::size_t> to_dense;
+    for (std::size_t i = 0; i < m; ++i) {
+      RNB_REQUIRE(!instance.candidates[i].empty());
+      for (const ServerId s : instance.candidates[i]) {
+        auto [it, inserted] = to_dense.try_emplace(s, ids.size());
+        if (inserted) {
+          ids.push_back(s);
+          holds.emplace_back(m);
+        }
+        holds[it->second].set(i);
+      }
+    }
+  }
+
+  // Seed the incumbent with greedy so the bound is tight from node one.
+  const CoverResult greedy = greedy_cover(instance);
+  Searcher searcher{holds, ids, m, node_budget, 0, {}, {}, false};
+  {
+    std::unordered_map<ServerId, std::size_t> to_dense;
+    for (std::size_t d = 0; d < ids.size(); ++d) to_dense[ids[d]] = d;
+    for (const ServerId s : greedy.servers_used)
+      searcher.best.push_back(to_dense.at(s));
+  }
+
+  DynamicBitset covered(m);
+  searcher.search(covered, 0);
+  if (searcher.budget_exhausted) return std::nullopt;
+
+  // Materialize the incumbent: assign each item to the first picked server
+  // holding it (mirrors greedy's assignment rule).
+  DynamicBitset assigned(m);
+  for (const std::size_t d : searcher.best) {
+    const ServerId server = ids[d];
+    bool used = false;
+    holds[d].for_each_set([&](std::size_t i) {
+      if (!assigned.test(i)) {
+        assigned.set(i);
+        result.assignment[i] = server;
+        used = true;
+      }
+    });
+    if (used) result.servers_used.push_back(server);
+  }
+  RNB_ENSURE(assigned.count() == m);
+  return result;
+}
+
+}  // namespace rnb

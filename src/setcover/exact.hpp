@@ -1,0 +1,23 @@
+// Exact minimum set cover by branch-and-bound, for solver-quality tests.
+//
+// Exponential in the worst case — usable only at the request sizes the
+// paper simulates (tens of items, a handful of candidate servers each),
+// which is exactly where we want ground truth: the ablation bench reports
+// the greedy/optimal transaction-count ratio on real RnB instances, backing
+// the paper's claim that "a linear time approximation achieves extremely
+// good results in the context of RnB".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "setcover/cover.hpp"
+
+namespace rnb {
+
+/// Optimal full cover, or nullopt if `node_budget` branch-and-bound nodes
+/// were exhausted first (guards against pathological instances in benches).
+std::optional<CoverResult> exact_cover(const CoverInstance& instance,
+                                       std::size_t node_budget = 1u << 22);
+
+}  // namespace rnb

@@ -1,0 +1,146 @@
+#include "setcover/greedy.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bitset.hpp"
+#include "common/error.hpp"
+
+namespace rnb {
+namespace {
+
+/// Dense relabeling of the servers that actually appear in an instance, with
+/// one bitset of item positions per server. Requests touch a handful of
+/// servers out of a potentially large cluster; densifying keeps the greedy
+/// loop O(servers_in_request) rather than O(cluster size).
+struct DenseInstance {
+  std::vector<ServerId> dense_to_server;
+  std::vector<DynamicBitset> holds;  // per dense server: items it can serve
+
+  explicit DenseInstance(const CoverInstance& instance) {
+    std::unordered_map<ServerId, std::size_t> to_dense;
+    const std::size_t m = instance.num_items();
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const ServerId s : instance.candidates[i]) {
+        auto [it, inserted] = to_dense.try_emplace(s, dense_to_server.size());
+        if (inserted) {
+          dense_to_server.push_back(s);
+          holds.emplace_back(m);
+        }
+        holds[it->second].set(i);
+      }
+    }
+    // Deterministic iteration order: sort dense ids by server id and remap.
+    // (unordered_map order must never leak into results.)
+    std::vector<std::size_t> order(dense_to_server.size());
+    for (std::size_t d = 0; d < order.size(); ++d) order[d] = d;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return dense_to_server[a] < dense_to_server[b];
+    });
+    std::vector<ServerId> sorted_ids(order.size());
+    std::vector<DynamicBitset> sorted_holds(order.size());
+    for (std::size_t d = 0; d < order.size(); ++d) {
+      sorted_ids[d] = dense_to_server[order[d]];
+      sorted_holds[d] = std::move(holds[order[d]]);
+    }
+    dense_to_server = std::move(sorted_ids);
+    holds = std::move(sorted_holds);
+  }
+};
+
+CoverResult run_greedy(const CoverInstance& instance, std::size_t target) {
+  const std::size_t m = instance.num_items();
+  RNB_REQUIRE(target <= m);
+  CoverResult result;
+  result.assignment.assign(m, kInvalidServer);
+  if (m == 0 || target == 0) return result;
+
+  const DenseInstance dense(instance);
+  DynamicBitset covered(m);
+  std::vector<bool> picked(dense.holds.size(), false);
+  std::size_t covered_count = 0;
+
+  while (covered_count < target) {
+    // Pick the unpicked server with maximal marginal gain; dense ids are in
+    // ascending server-id order, so `>` keeps the lowest id among ties.
+    std::size_t best = dense.holds.size();
+    std::size_t best_gain = 0;
+    for (std::size_t d = 0; d < dense.holds.size(); ++d) {
+      if (picked[d]) continue;
+      const std::size_t gain = dense.holds[d].andnot_count(covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = d;
+      }
+    }
+    // No server adds coverage: with a full target this means an item has no
+    // candidates; with a partial target it cannot happen before reaching it.
+    RNB_REQUIRE(best_gain > 0 && "cover target unreachable");
+    picked[best] = true;
+    const ServerId server = dense.dense_to_server[best];
+    result.servers_used.push_back(server);
+    // For a partial cover, never assign more items than the target needs:
+    // the last server may hold more new items than the remaining gap, and
+    // fetching them would be paying for items the LIMIT clause let us skip.
+    const std::size_t want = target - covered_count;
+    std::size_t taken = 0;
+    dense.holds[best].for_each_set([&](std::size_t i) {
+      if (taken < want && !covered.test(i)) {
+        covered.set(i);
+        result.assignment[i] = server;
+        ++taken;
+      }
+    });
+    covered_count += taken;
+  }
+  return result;
+}
+
+}  // namespace
+
+CoverResult greedy_cover(const CoverInstance& instance) {
+  return run_greedy(instance, instance.num_items());
+}
+
+CoverResult greedy_cover_partial(const CoverInstance& instance,
+                                 std::size_t target) {
+  return run_greedy(instance, std::min(target, instance.num_items()));
+}
+
+CoverResult greedy_cover_budget(const CoverInstance& instance,
+                                std::size_t max_transactions) {
+  const std::size_t m = instance.num_items();
+  CoverResult result;
+  result.assignment.assign(m, kInvalidServer);
+  if (m == 0 || max_transactions == 0) return result;
+
+  const DenseInstance dense(instance);
+  DynamicBitset covered(m);
+  std::vector<bool> picked(dense.holds.size(), false);
+
+  for (std::size_t txn = 0; txn < max_transactions; ++txn) {
+    std::size_t best = dense.holds.size();
+    std::size_t best_gain = 0;
+    for (std::size_t d = 0; d < dense.holds.size(); ++d) {
+      if (picked[d]) continue;
+      const std::size_t gain = dense.holds[d].andnot_count(covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = d;
+      }
+    }
+    if (best_gain == 0) break;  // nothing left to gain: stop under budget
+    picked[best] = true;
+    const ServerId server = dense.dense_to_server[best];
+    result.servers_used.push_back(server);
+    dense.holds[best].for_each_set([&](std::size_t i) {
+      if (!covered.test(i)) {
+        covered.set(i);
+        result.assignment[i] = server;
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace rnb

@@ -1,0 +1,100 @@
+#include "setcover/lazy_greedy.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/bitset.hpp"
+#include "common/error.hpp"
+
+namespace rnb {
+namespace {
+
+struct HeapEntry {
+  std::size_t gain;
+  ServerId server;
+  std::size_t dense;
+  // Max-heap by gain; among equal gains prefer the LOWEST server id, which
+  // for std::priority_queue's "less" comparator means higher ids compare
+  // smaller. This matches plain greedy's tie-break exactly.
+  friend bool operator<(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.server > b.server;
+  }
+};
+
+CoverResult run_lazy(const CoverInstance& instance, std::size_t target) {
+  const std::size_t m = instance.num_items();
+  RNB_REQUIRE(target <= m);
+  CoverResult result;
+  result.assignment.assign(m, kInvalidServer);
+  if (m == 0 || target == 0) return result;
+
+  std::vector<ServerId> dense_to_server;
+  std::vector<DynamicBitset> holds;
+  {
+    std::unordered_map<ServerId, std::size_t> to_dense;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const ServerId s : instance.candidates[i]) {
+        auto [it, inserted] = to_dense.try_emplace(s, dense_to_server.size());
+        if (inserted) {
+          dense_to_server.push_back(s);
+          holds.emplace_back(m);
+        }
+        holds[it->second].set(i);
+      }
+    }
+  }
+
+  std::priority_queue<HeapEntry> heap;
+  for (std::size_t d = 0; d < holds.size(); ++d)
+    heap.push({holds[d].count(), dense_to_server[d], d});
+
+  DynamicBitset covered(m);
+  std::size_t covered_count = 0;
+
+  while (covered_count < target) {
+    RNB_REQUIRE(!heap.empty() && "cover target unreachable");
+    HeapEntry top = heap.top();
+    heap.pop();
+    const std::size_t fresh = holds[top.dense].andnot_count(covered);
+    if (fresh == 0) continue;
+    if (!heap.empty()) {
+      // If the refreshed gain no longer dominates the (stale) runner-up,
+      // or ties it with a higher server id, reinsert and retry.
+      const HeapEntry& next = heap.top();
+      const bool still_best =
+          fresh > next.gain || (fresh == next.gain && top.server < next.server);
+      if (!still_best) {
+        top.gain = fresh;
+        heap.push(top);
+        continue;
+      }
+    }
+    result.servers_used.push_back(top.server);
+    const std::size_t want = target - covered_count;
+    std::size_t taken = 0;
+    holds[top.dense].for_each_set([&](std::size_t i) {
+      if (taken < want && !covered.test(i)) {
+        covered.set(i);
+        result.assignment[i] = top.server;
+        ++taken;
+      }
+    });
+    covered_count += taken;
+  }
+  return result;
+}
+
+}  // namespace
+
+CoverResult lazy_greedy_cover(const CoverInstance& instance) {
+  return run_lazy(instance, instance.num_items());
+}
+
+CoverResult lazy_greedy_cover_partial(const CoverInstance& instance,
+                                      std::size_t target) {
+  return run_lazy(instance, std::min(target, instance.num_items()));
+}
+
+}  // namespace rnb

@@ -1,0 +1,21 @@
+// Lazy greedy set cover (Minoux's accelerated greedy).
+//
+// Marginal gains of a set-cover objective are submodular: a server's gain
+// only shrinks as coverage grows. The lazy variant keeps stale gains in a
+// max-heap and re-evaluates only the popped candidate; if the refreshed gain
+// still tops the heap, it is the true argmax. With consistent (gain, lowest
+// server id) ordering this produces *identical picks* to the plain greedy —
+// the tests assert result equality — while skipping most gain evaluations on
+// larger requests. The ablation bench measures the speedup.
+#pragma once
+
+#include "setcover/cover.hpp"
+
+namespace rnb {
+
+CoverResult lazy_greedy_cover(const CoverInstance& instance);
+
+CoverResult lazy_greedy_cover_partial(const CoverInstance& instance,
+                                      std::size_t target);
+
+}  // namespace rnb

@@ -1,0 +1,38 @@
+#include "sim/analytic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+double server_contact_probability(std::uint64_t num_servers,
+                                  std::uint64_t request_size) {
+  RNB_REQUIRE(num_servers >= 1);
+  const double n = static_cast<double>(num_servers);
+  const double m = static_cast<double>(request_size);
+  // expm1/log1p keep precision when 1/N is tiny and M is small.
+  return -std::expm1(m * std::log1p(-1.0 / n));
+}
+
+double expected_tpr(std::uint64_t num_servers, std::uint64_t request_size) {
+  return static_cast<double>(num_servers) *
+         server_contact_probability(num_servers, request_size);
+}
+
+double tprps_scaling_factor(std::uint64_t num_servers,
+                            std::uint64_t request_size, double growth) {
+  RNB_REQUIRE(growth > 0.0);
+  const auto grown = static_cast<std::uint64_t>(
+      growth * static_cast<double>(num_servers) + 0.5);
+  RNB_REQUIRE(grown >= 1);
+  return server_contact_probability(num_servers, request_size) /
+         server_contact_probability(grown, request_size);
+}
+
+double relative_throughput_vs_single(std::uint64_t num_servers,
+                                     std::uint64_t request_size) {
+  return 1.0 / server_contact_probability(num_servers, request_size);
+}
+
+}  // namespace rnb

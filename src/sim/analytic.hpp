@@ -1,0 +1,34 @@
+// Closed-form multi-get-hole model — paper Section II-A.
+//
+// Items placed uniformly at random over N servers; a request for M distinct
+// items contacts a given server iff its "urn" is non-empty after throwing M
+// balls into N urns:  W(N, M) = 1 - (1 - 1/N)^M.  All of Fig. 2 and the
+// ideal-scaling line of Fig. 3 follow from this one function.
+#pragma once
+
+#include <cstdint>
+
+namespace rnb {
+
+/// Probability a specific server is contacted: W(N, M) = 1 - (1 - 1/N)^M.
+/// This equals the TPRPS (transactions per request per server).
+double server_contact_probability(std::uint64_t num_servers,
+                                  std::uint64_t request_size);
+
+/// Expected transactions per request: N * W(N, M).
+double expected_tpr(std::uint64_t num_servers, std::uint64_t request_size);
+
+/// TPRPS scaling factor when growing from N to k*N servers:
+/// W(N, M) / W(kN, M). 2.0 == ideal doubling; 1.0 == no benefit.
+double tprps_scaling_factor(std::uint64_t num_servers,
+                            std::uint64_t request_size, double growth = 2.0);
+
+/// Relative system throughput of an N-server system versus a single server
+/// when servers are bound purely by transactions per second: the fleet
+/// processes N/c transactions per second and each request consumes
+/// TPR(N, M) of them, so throughput(N)/throughput(1) = 1 / W(N, M).
+/// (Ideal linear scaling would be N — Fig. 3's dashed line.)
+double relative_throughput_vs_single(std::uint64_t num_servers,
+                                     std::uint64_t request_size);
+
+}  // namespace rnb

@@ -1,0 +1,64 @@
+#include "sim/calibration.hpp"
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+ThroughputModel::ThroughputModel(double t_transaction_s, double t_item_s)
+    : t_transaction_(t_transaction_s), t_item_(t_item_s) {
+  RNB_REQUIRE(t_transaction_s > 0.0);
+  RNB_REQUIRE(t_item_s >= 0.0);
+}
+
+ThroughputModel ThroughputModel::paper_default() {
+  // ~1e5 single-key transactions/s; per-item cost ~1/30 of the fixed cost.
+  // These reproduce Fig. 13's shape: items/s near-linear in transaction
+  // size until k approaches t_transaction/t_item, then flattening.
+  return ThroughputModel(10e-6, 0.33e-6);
+}
+
+ThroughputModel ThroughputModel::fit(
+    const std::vector<MicrobenchSample>& samples) {
+  RNB_REQUIRE(samples.size() >= 2);
+  // Ordinary least squares on y = a + b*k with y = seconds/transaction.
+  double sk = 0, sy = 0, skk = 0, sky = 0;
+  const double n = static_cast<double>(samples.size());
+  for (const auto& s : samples) {
+    RNB_REQUIRE(s.transactions_per_second > 0.0);
+    const double y = 1.0 / s.transactions_per_second;
+    sk += s.items_per_txn;
+    sy += y;
+    skk += s.items_per_txn * s.items_per_txn;
+    sky += s.items_per_txn * y;
+  }
+  const double denom = n * skk - sk * sk;
+  RNB_REQUIRE(denom > 0.0 && "samples must span at least two sizes");
+  double b = (n * sky - sk * sy) / denom;
+  double a = (sy - b * sk) / n;
+  // Physical floor: measured noise can drive either constant negative on
+  // nearly-flat data; clamp to a tiny positive epsilon.
+  if (a <= 0.0) a = 1e-9;
+  if (b < 0.0) b = 0.0;
+  return ThroughputModel(a, b);
+}
+
+double ThroughputModel::total_seconds(const Histogram& txn_sizes) const {
+  double total = 0.0;
+  txn_sizes.for_each([&](std::uint64_t keys, std::uint64_t count) {
+    total += static_cast<double>(count) *
+             transaction_seconds(static_cast<double>(keys));
+  });
+  return total;
+}
+
+double ThroughputModel::system_requests_per_second(
+    const Histogram& txn_sizes, std::uint64_t requests,
+    std::uint32_t num_servers) const {
+  RNB_REQUIRE(num_servers >= 1);
+  const double work = total_seconds(txn_sizes);
+  if (work <= 0.0) return 0.0;
+  return static_cast<double>(requests) * static_cast<double>(num_servers) /
+         work;
+}
+
+}  // namespace rnb

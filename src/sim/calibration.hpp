@@ -1,0 +1,78 @@
+// Throughput calibration — paper Appendix A.
+//
+// The simulators count transactions and items; turning those into requests
+// per second needs a cost model of a real server. The paper micro-benchmarks
+// memcached with memaslap and finds transaction cost affine in the key
+// count:  time(k) = t_transaction + k * t_item  with t_transaction >> t_item
+// (items/s grows near-linearly with items per transaction — Fig. 13).
+//
+// ThroughputModel carries that affine cost. Defaults approximate the
+// paper's testbed (a Core i7-930 handling ~1e5 single-get transactions/s);
+// fit() re-derives the two constants from micro-benchmark samples, and our
+// fig13 bench measures the in-tree mini-kv to produce such samples — the
+// substitution documented in DESIGN.md Section 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace rnb {
+
+/// One micro-benchmark observation: transactions of `items_per_txn` keys
+/// were served at `transactions_per_second`.
+struct MicrobenchSample {
+  double items_per_txn = 1.0;
+  double transactions_per_second = 0.0;
+};
+
+class ThroughputModel {
+ public:
+  /// Affine cost model: seconds(k) = t_transaction + k * t_item.
+  ThroughputModel(double t_transaction_s, double t_item_s);
+
+  /// Paper-testbed-like constants: 100k single-key transactions/s with a
+  /// ~30:1 transaction-to-item cost ratio.
+  static ThroughputModel paper_default();
+
+  /// Least-squares fit of the affine model to micro-benchmark samples
+  /// (each sample contributes seconds-per-transaction = 1/tps at its k).
+  static ThroughputModel fit(const std::vector<MicrobenchSample>& samples);
+
+  double t_transaction() const noexcept { return t_transaction_; }
+  double t_item() const noexcept { return t_item_; }
+
+  /// Server-seconds to process one transaction of `keys` keys.
+  double transaction_seconds(double keys) const noexcept {
+    return t_transaction_ + keys * t_item_;
+  }
+
+  /// Transactions/s a single server sustains at `keys` keys per transaction.
+  double transactions_per_second(double keys) const noexcept {
+    return 1.0 / transaction_seconds(keys);
+  }
+
+  /// Items/s a single server sustains at `keys` keys per transaction (the
+  /// y-axis of Figs. 13-14).
+  double items_per_second(double keys) const noexcept {
+    return keys / transaction_seconds(keys);
+  }
+
+  /// Total server-seconds to serve every transaction in a size histogram.
+  double total_seconds(const Histogram& txn_sizes) const;
+
+  /// Maximum sustainable request rate of an N-server fleet that observed
+  /// `txn_sizes` while serving `requests` requests, assuming work spreads
+  /// evenly (placement is uniform, so it does):
+  ///   rate = requests * N / total_seconds.
+  double system_requests_per_second(const Histogram& txn_sizes,
+                                    std::uint64_t requests,
+                                    std::uint32_t num_servers) const;
+
+ private:
+  double t_transaction_;
+  double t_item_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,27 @@
+#include "sim/full_sim.hpp"
+
+namespace rnb {
+
+FullSimResult run_full_sim(RequestSource& source,
+                           const FullSimConfig& config) {
+  RnbCluster cluster(config.cluster, source.universe_size());
+  RnbClient client(cluster, config.policy, config.client_seed);
+
+  std::vector<ItemId> request;
+  for (std::uint64_t i = 0; i < config.warmup_requests; ++i) {
+    source.next(request);
+    client.execute(request, nullptr);
+  }
+
+  FullSimResult result;
+  for (std::uint64_t i = 0; i < config.measure_requests; ++i) {
+    source.next(request);
+    client.execute(request, &result.metrics);
+  }
+  result.resident_copies = cluster.resident_copies();
+  result.num_items = cluster.num_items();
+  result.num_servers = cluster.num_servers();
+  return result;
+}
+
+}  // namespace rnb

@@ -1,0 +1,43 @@
+// Full memcached-system simulator — paper Section III-B.
+//
+// Wires a request source, an RnbCluster, and an RnbClient together and runs
+// warmup + measurement phases. "Since our emphasis is on the multi-get
+// hole, we focused on the total amount of server work per request ...
+// queuing is not relevant and requests were simulated individually" — so
+// the simulator is a sequential request loop, and all its outputs are
+// per-request statistics plus the transaction-size histogram that the
+// calibration model converts into throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/client.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/policies.hpp"
+#include "workload/request_source.hpp"
+
+namespace rnb {
+
+struct FullSimConfig {
+  ClusterConfig cluster;
+  ClientPolicy policy;
+  /// Requests run before measurement to warm replica caches. Irrelevant
+  /// (and skippable) in unlimited-memory mode, where caches never change.
+  std::uint64_t warmup_requests = 0;
+  std::uint64_t measure_requests = 10000;
+  std::uint64_t client_seed = 0x9e3779b9u;
+};
+
+struct FullSimResult {
+  MetricsAccumulator metrics;
+  /// Copies resident across the fleet after the run (overbooking probe).
+  std::uint64_t resident_copies = 0;
+  std::uint64_t num_items = 0;
+  std::uint32_t num_servers = 0;
+};
+
+/// Run the simulator: builds a cluster sized to source.universe_size().
+FullSimResult run_full_sim(RequestSource& source, const FullSimConfig& config);
+
+}  // namespace rnb

@@ -1,0 +1,81 @@
+#include "sim/latency_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rnb {
+
+LatencySimResult run_latency_sim(RequestSource& source,
+                                 const LatencySimConfig& config) {
+  RNB_REQUIRE(config.arrival_rate > 0.0);
+  RNB_REQUIRE(config.requests > 0);
+  RNB_REQUIRE(config.warmup_fraction >= 0.0 && config.warmup_fraction < 1.0);
+
+  // Unlimited memory isolates queueing from cache-miss effects; the plan's
+  // transactions are exactly what the servers will serve.
+  ClusterConfig cluster_cfg = config.cluster;
+  cluster_cfg.unlimited_memory = true;
+  RnbCluster cluster(cluster_cfg, source.universe_size());
+  RnbClient client(cluster, config.policy, config.seed ^ 0x51a7e11ULL);
+
+  Xoshiro256 rng(config.seed);
+  const ServerId n = cluster.num_servers();
+  std::vector<double> server_free(n, 0.0);
+  std::vector<double> server_busy(n, 0.0);
+  std::vector<std::size_t> keys_per_server(n, 0);
+
+  LatencySimResult result;
+  const auto warmup =
+      static_cast<std::uint64_t>(config.warmup_fraction *
+                                 static_cast<double>(config.requests));
+  double now = 0.0;
+  double measured_tpr = 0.0;
+  std::uint64_t measured = 0;
+  std::vector<ItemId> request;
+
+  for (std::uint64_t r = 0; r < config.requests; ++r) {
+    // Poisson arrivals: exponential inter-arrival gaps.
+    now += -std::log1p(-rng.uniform01()) / config.arrival_rate;
+    source.next(request);
+    const RequestPlan plan = client.plan(request);
+
+    // Count keys per planned transaction.
+    std::fill(keys_per_server.begin(), keys_per_server.end(), 0);
+    for (const ServerId s : plan.assignment)
+      if (s != kInvalidServer) ++keys_per_server[s];
+
+    double done = now;
+    for (const ServerId s : plan.servers) {
+      const double service = config.model.transaction_seconds(
+          static_cast<double>(keys_per_server[s]));
+      const double start = std::max(server_free[s], now);
+      server_free[s] = start + service;
+      server_busy[s] += service;
+      done = std::max(done, server_free[s]);
+    }
+    if (r >= warmup) {
+      const double latency = (done - now) + config.network_rtt;
+      result.latency.add(latency);
+      result.percentiles.add(latency);
+      measured_tpr += static_cast<double>(plan.servers.size());
+      ++measured;
+    }
+  }
+
+  const double horizon = std::max(now, 1e-12);
+  for (ServerId s = 0; s < n; ++s) {
+    const double utilization = server_busy[s] / horizon;
+    result.mean_utilization += utilization / static_cast<double>(n);
+    result.max_utilization = std::max(result.max_utilization, utilization);
+  }
+  result.tpr = measured == 0 ? 0.0
+                             : measured_tpr / static_cast<double>(measured);
+  return result;
+}
+
+}  // namespace rnb

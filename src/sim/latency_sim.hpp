@@ -1,0 +1,63 @@
+// Queueing latency simulator — the paper's stated future work ("measuring
+// the impact of RnB on the latency and throughput metrics of real and
+// simulated systems", Section V-B).
+//
+// Model: Poisson request arrivals at rate lambda; each request is planned
+// by the real RnB client (unlimited-memory cluster, so plans are exact and
+// the queueing effect is isolated from miss effects); each planned
+// transaction is dispatched at arrival time to its server, which is a
+// single-worker FIFO queue with service time from the micro-benchmark cost
+// model (t_transaction + keys * t_item). Request latency = network RTT +
+// (latest transaction completion - arrival): the client issues all
+// transactions of a multi-get in parallel and waits for the slowest — the
+// fan-out tail that makes the multi-get hole a latency problem too.
+//
+// With arrival-time dispatch and FIFO servers, completions can be computed
+// exactly in arrival order without an event heap: each server keeps a
+// next-free time.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "cluster/policies.hpp"
+#include "common/stats.hpp"
+#include "sim/calibration.hpp"
+#include "workload/request_source.hpp"
+
+namespace rnb {
+
+struct LatencySimConfig {
+  ClusterConfig cluster;
+  ClientPolicy policy;
+  /// Offered load in requests per second.
+  double arrival_rate = 1000.0;
+  std::uint64_t requests = 20000;
+  /// Fraction of initial requests excluded from latency statistics while
+  /// queues reach steady state.
+  double warmup_fraction = 0.1;
+  ThroughputModel model = ThroughputModel::paper_default();
+  /// Fixed one-way network + client overhead added once per request.
+  double network_rtt = 200e-6;
+  std::uint64_t seed = 1;
+};
+
+struct LatencySimResult {
+  RunningStat latency;      // seconds, per measured request
+  Percentiles percentiles;  // same samples, for the tail
+  /// Mean busy fraction of the busiest server over the simulated horizon.
+  double max_utilization = 0.0;
+  /// Mean busy fraction across servers.
+  double mean_utilization = 0.0;
+  /// Mean transactions per request observed (sanity hook to the TPR runs).
+  double tpr = 0.0;
+
+  double p50() const { return percentiles.quantile(0.5); }
+  double p99() const { return percentiles.quantile(0.99); }
+};
+
+/// Run the simulation; the cluster is built to source.universe_size() items.
+LatencySimResult run_latency_sim(RequestSource& source,
+                                 const LatencySimConfig& config);
+
+}  // namespace rnb

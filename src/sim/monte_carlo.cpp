@@ -1,0 +1,48 @@
+#include "sim/monte_carlo.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "setcover/cover.hpp"
+#include "setcover/greedy.hpp"
+
+namespace rnb {
+
+MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
+  RNB_REQUIRE(config.request_size >= 1);
+  RNB_REQUIRE(config.universe >= config.request_size);
+  RNB_REQUIRE(config.fetch_fraction > 0.0 && config.fetch_fraction <= 1.0);
+
+  const auto placement =
+      make_placement(config.placement, config.num_servers, config.replication,
+                     config.seed);
+  Xoshiro256 rng(config.seed ^ 0xc0ffee123456789ULL);
+
+  MonteCarloResult result;
+  std::unordered_set<ItemId> drawn;
+  CoverInstance instance;
+  instance.candidates.resize(config.request_size);
+  for (auto& c : instance.candidates) c.resize(config.replication);
+  const std::size_t target = CoverInstance::target_from_fraction(
+      config.request_size, config.fetch_fraction);
+
+  for (std::uint64_t t = 0; t < config.trials; ++t) {
+    drawn.clear();
+    std::size_t filled = 0;
+    while (filled < config.request_size) {
+      const ItemId item = rng.below(config.universe);
+      if (!drawn.insert(item).second) continue;
+      placement->replicas(
+          item, std::span<ServerId>(instance.candidates[filled]));
+      ++filled;
+    }
+    const CoverResult cover = greedy_cover_partial(instance, target);
+    result.transactions.add(static_cast<double>(cover.transactions()));
+    result.items_fetched.add(static_cast<double>(cover.covered_items()));
+  }
+  return result;
+}
+
+}  // namespace rnb

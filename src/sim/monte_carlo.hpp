@@ -1,0 +1,43 @@
+// Simplified Monte-Carlo simulator — paper Section III-F.
+//
+// "It assumed that the servers have enough memory to completely avoid
+// misses, and that the set of items in each request is random and
+// independent of the previous request." Under those assumptions no server
+// state is needed at all: each trial draws M random items, computes their
+// replica locations, runs the (partial) greedy cover, and records the
+// transaction count. This drives Figs. 11-12 and doubles as a cross-check
+// of the closed-form W(N, M) model (replication 1, fraction 1.0).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb {
+
+struct MonteCarloConfig {
+  ServerId num_servers = 16;
+  std::uint32_t replication = 1;
+  std::uint32_t request_size = 100;
+  /// LIMIT fraction: fetch at least ceil(fraction * request_size) items.
+  double fetch_fraction = 1.0;
+  /// Items are drawn from this universe; must comfortably exceed
+  /// request_size so draws behave like the analytical model's independent
+  /// placements.
+  std::uint64_t universe = 1u << 20;
+  std::uint64_t trials = 2000;
+  PlacementScheme placement = PlacementScheme::kRangedConsistentHash;
+  std::uint64_t seed = 1;
+};
+
+struct MonteCarloResult {
+  RunningStat transactions;   // per trial
+  RunningStat items_fetched;  // per trial
+
+  double tpr() const noexcept { return transactions.mean(); }
+};
+
+MonteCarloResult run_monte_carlo(const MonteCarloConfig& config);
+
+}  // namespace rnb

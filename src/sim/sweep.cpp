@@ -1,0 +1,18 @@
+#include "sim/sweep.hpp"
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace rnb {
+
+std::vector<FullSimResult> run_sweep(const std::vector<SweepCell>& cells) {
+  std::vector<FullSimResult> results(cells.size());
+  parallel_for(cells.size(), [&](std::size_t i) {
+    RNB_REQUIRE(cells[i].make_source != nullptr);
+    const std::unique_ptr<RequestSource> source = cells[i].make_source();
+    results[i] = run_full_sim(*source, cells[i].config);
+  });
+  return results;
+}
+
+}  // namespace rnb

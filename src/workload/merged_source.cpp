@@ -1,0 +1,22 @@
+#include "workload/merged_source.hpp"
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+MergedSource::MergedSource(std::unique_ptr<RequestSource> inner,
+                           std::uint32_t window)
+    : inner_(std::move(inner)), window_(window) {
+  RNB_REQUIRE(inner_ != nullptr);
+  RNB_REQUIRE(window >= 1);
+}
+
+void MergedSource::next(std::vector<ItemId>& out) {
+  out.clear();
+  for (std::uint32_t k = 0; k < window_; ++k) {
+    inner_->next(scratch_);
+    out.insert(out.end(), scratch_.begin(), scratch_.end());
+  }
+}
+
+}  // namespace rnb

@@ -1,0 +1,35 @@
+// Request merging — paper Section III-E.
+//
+// Moxi/spymemcached-style proxies collect several end-user requests and
+// issue them as one combined multi-get. MergedSource models that: it pulls
+// `window` requests from an inner source and concatenates them (the client
+// deduplicates). The paper's caveat — merging unrelated requests dilutes
+// the intra-request affinity that overbooking feeds on — is exactly what
+// Figs. 9-10 measure.
+#pragma once
+
+#include <memory>
+
+#include "workload/request_source.hpp"
+
+namespace rnb {
+
+class MergedSource final : public RequestSource {
+ public:
+  MergedSource(std::unique_ptr<RequestSource> inner, std::uint32_t window);
+
+  void next(std::vector<ItemId>& out) override;
+
+  std::uint64_t universe_size() const noexcept override {
+    return inner_->universe_size();
+  }
+
+  std::uint32_t window() const noexcept { return window_; }
+
+ private:
+  std::unique_ptr<RequestSource> inner_;
+  std::uint32_t window_;
+  std::vector<ItemId> scratch_;
+};
+
+}  // namespace rnb

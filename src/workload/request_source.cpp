@@ -1,0 +1,3 @@
+#include "workload/request_source.hpp"
+
+// Interface-only translation unit; keeps the vtable anchored in one place.

@@ -1,0 +1,28 @@
+// Request stream abstraction.
+//
+// A request is a set of item ids a user needs at once — the paper's
+// "request set". Sources are infinite and deterministic given their seed;
+// the simulators pull `warmup + measure` requests from one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnb {
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Fill `out` with the next request's items (cleared first). Items within
+  /// one request are distinct. Never returns an empty request.
+  virtual void next(std::vector<ItemId>& out) = 0;
+
+  /// Number of distinct items the source can ever emit; the cluster is
+  /// sized to store exactly these.
+  virtual std::uint64_t universe_size() const noexcept = 0;
+};
+
+}  // namespace rnb

@@ -1,0 +1,43 @@
+#include "workload/social_workload.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+SocialWorkload::SocialWorkload(const DirectedGraph& graph, std::uint64_t seed,
+                               double activity_skew)
+    : graph_(graph), rng_(seed) {
+  RNB_REQUIRE(activity_skew >= 0.0);
+  std::uint64_t total_degree = 0;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    const std::uint32_t d = graph.out_degree(n);
+    if (d > 0) {
+      active_nodes_.push_back(n);
+      total_degree += d;
+    }
+  }
+  RNB_REQUIRE(!active_nodes_.empty());
+  mean_request_size_ = static_cast<double>(total_degree) /
+                       static_cast<double>(active_nodes_.size());
+  if (activity_skew > 0.0) {
+    // Popularity rank must be independent of node id (ids correlate with
+    // degree in some generators): Fisher-Yates with a dedicated stream.
+    Xoshiro256 shuffle_rng(seed ^ 0x5ca1ab1e5e1ec7edULL);
+    for (std::size_t i = active_nodes_.size(); i > 1; --i)
+      std::swap(active_nodes_[i - 1], active_nodes_[shuffle_rng.below(i)]);
+    activity_.emplace(active_nodes_.size(), activity_skew);
+  }
+}
+
+void SocialWorkload::next(std::vector<ItemId>& out) {
+  out.clear();
+  const NodeId user =
+      activity_ ? active_nodes_[(*activity_)(rng_)]
+                : active_nodes_[rng_.below(active_nodes_.size())];
+  for (const NodeId friend_node : graph_.neighbors(user))
+    out.push_back(static_cast<ItemId>(friend_node));
+}
+
+}  // namespace rnb

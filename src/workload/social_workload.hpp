@@ -1,0 +1,51 @@
+// Social-network request generation — paper Section III-B.
+//
+// "First, we randomly and uniformly picked a user out of all of the users in
+// the graph. Next, we looked at the user's friends... we needed to fetch the
+// items representing all of the user's friends." Each graph node is one
+// item (the user's "status"); a request is the out-neighbor list of a
+// uniformly random user with at least one friend.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "workload/request_source.hpp"
+
+namespace rnb {
+
+class SocialWorkload final : public RequestSource {
+ public:
+  /// The graph must outlive the workload and contain at least one node with
+  /// out-degree > 0.
+  ///
+  /// `activity_skew` > 0 draws the requesting user from a Zipf(skew)
+  /// distribution over a random permutation of the active users instead of
+  /// uniformly — real feed traffic is dominated by a minority of heavy
+  /// users, which sharpens the request locality that overbooking exploits.
+  /// 0 (the default) reproduces the paper's uniform user choice.
+  SocialWorkload(const DirectedGraph& graph, std::uint64_t seed,
+                 double activity_skew = 0.0);
+
+  void next(std::vector<ItemId>& out) override;
+
+  std::uint64_t universe_size() const noexcept override {
+    return graph_.num_nodes();
+  }
+
+  /// Mean request size == mean out-degree over degree>0 nodes.
+  double mean_request_size() const noexcept { return mean_request_size_; }
+
+ private:
+  const DirectedGraph& graph_;
+  Xoshiro256 rng_;
+  /// Nodes with out-degree > 0, so next() never has to reject-sample.
+  /// Shuffled when activity_skew > 0 so popularity rank is independent of
+  /// node id; the Zipf sampler indexes into this vector by rank.
+  std::vector<NodeId> active_nodes_;
+  std::optional<ZipfSampler> activity_;
+  double mean_request_size_ = 0.0;
+};
+
+}  // namespace rnb

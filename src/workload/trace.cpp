@@ -1,0 +1,83 @@
+#include "workload/trace.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+void write_trace(RequestSource& source, std::uint64_t count,
+                 std::ostream& out) {
+  out << "# rnb request trace v1\n"
+      << "# requests: " << count
+      << "  universe: " << source.universe_size() << "\n";
+  std::vector<ItemId> request;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    source.next(request);
+    for (std::size_t j = 0; j < request.size(); ++j) {
+      if (j) out << ' ';
+      out << request[j];
+    }
+    out << '\n';
+  }
+}
+
+void write_trace_file(RequestSource& source, std::uint64_t count,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  write_trace(source, count, out);
+}
+
+TraceReplaySource::TraceReplaySource(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    while (!sv.empty() && (sv.back() == '\r' || sv.back() == ' '))
+      sv.remove_suffix(1);
+    while (!sv.empty() && sv.front() == ' ') sv.remove_prefix(1);
+    if (sv.empty() || sv.front() == '#') continue;
+    std::vector<ItemId> request;
+    while (!sv.empty()) {
+      const std::size_t sp = sv.find(' ');
+      const std::string_view token = sv.substr(0, sp);
+      ItemId item = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), item);
+      if (ec != std::errc{} || ptr != token.data() + token.size()) {
+        std::ostringstream msg;
+        msg << "trace: bad item id '" << token << "' on line " << line_no;
+        throw std::runtime_error(msg.str());
+      }
+      request.push_back(item);
+      universe_ = std::max(universe_, item + 1);
+      if (sp == std::string_view::npos) break;
+      sv.remove_prefix(sp + 1);
+      while (!sv.empty() && sv.front() == ' ') sv.remove_prefix(1);
+    }
+    if (!request.empty()) requests_.push_back(std::move(request));
+  }
+  if (requests_.empty())
+    throw std::runtime_error("trace: no requests found");
+}
+
+TraceReplaySource TraceReplaySource::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return TraceReplaySource(in);
+}
+
+void TraceReplaySource::next(std::vector<ItemId>& out) {
+  out = requests_[cursor_];
+  if (++cursor_ == requests_.size()) {
+    cursor_ = 0;
+    ++cycles_;
+  }
+}
+
+}  // namespace rnb

@@ -1,0 +1,25 @@
+#include "workload/uniform_workload.hpp"
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+UniformWorkload::UniformWorkload(std::uint64_t universe,
+                                 std::uint32_t request_size,
+                                 std::uint64_t seed)
+    : universe_(universe), request_size_(request_size), rng_(seed) {
+  RNB_REQUIRE(universe > 0);
+  RNB_REQUIRE(request_size >= 1);
+  RNB_REQUIRE(request_size <= universe);
+}
+
+void UniformWorkload::next(std::vector<ItemId>& out) {
+  out.clear();
+  scratch_.clear();
+  while (out.size() < request_size_) {
+    const ItemId item = rng_.below(universe_);
+    if (scratch_.insert(item).second) out.push_back(item);
+  }
+}
+
+}  // namespace rnb

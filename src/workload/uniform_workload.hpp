@@ -1,0 +1,33 @@
+// Uniform-random request generation — the simplified simulator's model.
+//
+// Paper Section III-F: "the set of items in each request is random and
+// independent of the previous request". Each request is `request_size`
+// distinct items drawn uniformly from the universe; this is also the model
+// behind the closed-form multi-get-hole analysis of Section II-A.
+#pragma once
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "workload/request_source.hpp"
+
+namespace rnb {
+
+class UniformWorkload final : public RequestSource {
+ public:
+  UniformWorkload(std::uint64_t universe, std::uint32_t request_size,
+                  std::uint64_t seed);
+
+  void next(std::vector<ItemId>& out) override;
+
+  std::uint64_t universe_size() const noexcept override { return universe_; }
+  std::uint32_t request_size() const noexcept { return request_size_; }
+
+ private:
+  std::uint64_t universe_;
+  std::uint32_t request_size_;
+  Xoshiro256 rng_;
+  std::unordered_set<ItemId> scratch_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,34 @@
+#include "workload/zipf_workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+ZipfWorkload::ZipfWorkload(std::uint64_t universe, std::uint32_t request_size,
+                           double skew, std::uint64_t seed)
+    : universe_(universe),
+      request_size_(request_size),
+      sampler_(universe, skew),
+      rng_(seed) {
+  RNB_REQUIRE(request_size >= 1);
+  RNB_REQUIRE(request_size <= universe);
+  rank_to_item_.resize(universe);
+  std::iota(rank_to_item_.begin(), rank_to_item_.end(), ItemId{0});
+  Xoshiro256 shuffle_rng(seed ^ 0xabcdef12345ULL);
+  for (std::size_t i = universe; i > 1; --i)
+    std::swap(rank_to_item_[i - 1], rank_to_item_[shuffle_rng.below(i)]);
+}
+
+void ZipfWorkload::next(std::vector<ItemId>& out) {
+  out.clear();
+  scratch_.clear();
+  while (out.size() < request_size_) {
+    const ItemId item = rank_to_item_[sampler_(rng_)];
+    if (scratch_.insert(item).second) out.push_back(item);
+  }
+}
+
+}  // namespace rnb

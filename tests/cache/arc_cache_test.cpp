@@ -1,0 +1,174 @@
+#include "cache/arc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(ArcCache, MissOnEmpty) {
+  ArcCache c(4);
+  EXPECT_FALSE(c.touch(1));
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(ArcCache, InsertThenHit) {
+  ArcCache c(4);
+  c.insert(1);
+  EXPECT_TRUE(c.touch(1));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ArcCache, NeverExceedsCapacity) {
+  ArcCache c(8);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    c.insert(rng.below(100));
+    ASSERT_LE(c.size(), 8u);
+  }
+}
+
+TEST(ArcCache, ZeroCapacityStoresNothing) {
+  ArcCache c(0);
+  c.insert(1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(ArcCache, ScanResistance) {
+  // Build a hot working set with repeat touches, then stream one-shot keys
+  // through: ARC's T2 must retain most of the hot set while plain LRU would
+  // have flushed it entirely.
+  ArcCache c(16);
+  for (ItemId hot = 0; hot < 8; ++hot) {
+    c.insert(hot);
+    c.touch(hot);  // promote to T2
+  }
+  for (ItemId scan = 1000; scan < 1200; ++scan) c.insert(scan);
+  int survivors = 0;
+  for (ItemId hot = 0; hot < 8; ++hot)
+    if (c.contains(hot)) ++survivors;
+  EXPECT_GE(survivors, 6);
+}
+
+TEST(ArcCache, GhostHitAdaptsP) {
+  ArcCache c(4);
+  c.insert(0);
+  c.touch(0);  // T2 = {0}, so REPLACE can ghost T1 victims
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);  // T1 = {3,2,1}
+  c.insert(4);  // REPLACE evicts 1 into B1
+  const std::size_t p_before = c.p();
+  c.insert(1);  // B1 ghost hit: recency pressure must grow p
+  EXPECT_GT(c.p(), p_before);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(ArcCache, GhostHitBringsKeyBackResident) {
+  ArcCache c(4);
+  for (ItemId k = 0; k < 8; ++k) c.insert(k);
+  EXPECT_FALSE(c.contains(0));  // evicted to ghost
+  c.insert(0);
+  EXPECT_TRUE(c.contains(0));
+}
+
+TEST(ArcCache, EraseResidentAndGhost) {
+  ArcCache c(2);
+  c.insert(1);
+  c.touch(1);   // promote 1 to T2
+  c.insert(2);  // T1 = {2}
+  c.insert(3);  // REPLACE evicts 2 into the B1 ghost list
+  EXPECT_TRUE(c.erase(1));   // resident (T2)
+  EXPECT_TRUE(c.erase(2));   // ghost (B1)
+  EXPECT_FALSE(c.erase(99));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(ArcCache, FullT1WithoutGhostsDiscardsOutright) {
+  // ARC case IV-A with B1 empty: |T1| == c means the LRU is dropped with
+  // no ghost left behind (L1 may never exceed c).
+  ArcCache c(2);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.erase(1));  // not even a ghost remains
+  EXPECT_LE(c.size(), 2u);
+}
+
+TEST(ArcCache, ContainsIgnoresGhosts) {
+  ArcCache c(2);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  EXPECT_FALSE(c.contains(1));  // ghost, not resident
+  EXPECT_FALSE(c.touch(1));     // and touch() agrees
+}
+
+TEST(ArcCache, RepeatInsertActsAsFrequencySignal) {
+  ArcCache c(4);
+  c.insert(42);
+  c.insert(42);  // re-reference moves it to T2
+  for (ItemId scan = 100; scan < 110; ++scan) c.insert(scan);
+  EXPECT_TRUE(c.contains(42));
+}
+
+TEST(ArcCache, StressStaysConsistent) {
+  // Mixed random ops; invariants: size <= capacity, contains matches touch.
+  ArcCache c(16);
+  Xoshiro256 rng(7);
+  for (int op = 0; op < 30000; ++op) {
+    const ItemId key = rng.below(64);
+    switch (rng.below(3)) {
+      case 0:
+        c.insert(key);
+        break;
+      case 1: {
+        const bool resident = c.contains(key);
+        ASSERT_EQ(c.touch(key), resident);
+        break;
+      }
+      default:
+        c.erase(key);
+    }
+    ASSERT_LE(c.size(), 16u);
+  }
+}
+
+TEST(ArcCache, BeatsLruOnMixedScanWorkload) {
+  // Zipf-hot keys + periodic scans: ARC's hit rate must be at least LRU's.
+  const std::size_t capacity = 64;
+  ArcCache arc(capacity);
+  LruCache lru(capacity);
+  Xoshiro256 rng(11);
+  const ZipfSampler zipf(256, 1.1);
+  std::uint64_t arc_hits = 0, lru_hits = 0, total = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const ItemId key = zipf(rng);
+      ++total;
+      if (arc.touch(key))
+        ++arc_hits;
+      else
+        arc.insert(key);
+      if (lru.touch(key))
+        ++lru_hits;
+      else
+        lru.insert(key);
+    }
+    // Scan burst of one-shot keys.
+    for (ItemId scan = 0; scan < 32; ++scan) {
+      const ItemId key = 10000 + round * 100 + scan;
+      arc.insert(key);
+      lru.insert(key);
+    }
+  }
+  EXPECT_GE(arc_hits, lru_hits);
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,132 @@
+#include "cache/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(LruCache, MissOnEmpty) {
+  LruCache c(4);
+  EXPECT_FALSE(c.touch(1));
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, InsertThenHit) {
+  LruCache c(4);
+  c.insert(1);
+  EXPECT_TRUE(c.touch(1));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(3);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  EXPECT_TRUE(c.touch(1));  // 1 becomes MRU; 2 is now LRU
+  c.insert(4);              // evicts 2
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(LruCache, InsertExistingPromotes) {
+  LruCache c(2);
+  c.insert(1);
+  c.insert(2);
+  c.insert(1);  // promote, no eviction
+  EXPECT_EQ(c.size(), 2u);
+  c.insert(3);  // evicts 2, the true LRU
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, ZeroCapacityNeverStores) {
+  LruCache c(0);
+  c.insert(1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, ContainsDoesNotPromoteOrCount) {
+  LruCache c(2);
+  c.insert(1);
+  c.insert(2);  // order MRU->LRU: 2, 1
+  EXPECT_TRUE(c.contains(1));
+  c.insert(3);  // must evict 1 (contains() did not promote it)
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(LruCache, EraseFreesSlot) {
+  LruCache c(2);
+  c.insert(1);
+  c.insert(2);
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  c.insert(3);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(LruCache, LruKeyIsOldest) {
+  LruCache c(3);
+  c.insert(10);
+  c.insert(20);
+  EXPECT_EQ(c.lru_key(), 10u);
+  c.touch(10);
+  EXPECT_EQ(c.lru_key(), 20u);
+}
+
+TEST(LruCache, KeysMruToLruOrder) {
+  LruCache c(3);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  c.touch(1);
+  EXPECT_EQ(c.keys_mru_to_lru(), (std::vector<ItemId>{1, 3, 2}));
+}
+
+TEST(LruCache, StressAgainstReferenceModel) {
+  // Randomized differential test against a simple vector-based LRU model.
+  LruCache c(8);
+  std::vector<ItemId> model;  // front = MRU
+  Xoshiro256 rng(2718);
+  for (int op = 0; op < 20000; ++op) {
+    const ItemId key = rng.below(20);
+    if (rng.chance(0.5)) {
+      const bool hit = c.touch(key);
+      const auto it = std::find(model.begin(), model.end(), key);
+      EXPECT_EQ(hit, it != model.end());
+      if (it != model.end()) {
+        model.erase(it);
+        model.insert(model.begin(), key);
+      }
+    } else {
+      c.insert(key);
+      const auto it = std::find(model.begin(), model.end(), key);
+      if (it != model.end()) model.erase(it);
+      model.insert(model.begin(), key);
+      if (model.size() > 8) model.pop_back();
+    }
+    ASSERT_EQ(c.keys_mru_to_lru(), model) << "op " << op;
+  }
+}
+
+TEST(CacheStats, HitRate) {
+  CacheStats s;
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(CacheStats{}.hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,90 @@
+#include "cache/segmented_lru.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(SegmentedLru, NewKeysEnterProbation) {
+  SegmentedLru c(10, 0.5);
+  c.insert(1);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(SegmentedLru, SecondHitProtects) {
+  // Probation has 5 slots (capacity 10, 50% protected). A key that gets a
+  // hit moves to protected and survives a probation flood.
+  SegmentedLru c(10, 0.5);
+  c.insert(42);
+  EXPECT_TRUE(c.touch(42));  // promoted
+  for (ItemId k = 100; k < 120; ++k) c.insert(k);  // flood probation
+  EXPECT_TRUE(c.contains(42));
+}
+
+TEST(SegmentedLru, OneShotKeysFlushQuickly) {
+  SegmentedLru c(10, 0.5);
+  c.insert(42);  // never touched again
+  for (ItemId k = 100; k < 120; ++k) c.insert(k);
+  EXPECT_FALSE(c.contains(42));
+}
+
+TEST(SegmentedLru, ProtectedOverflowDemotesNotEvicts) {
+  SegmentedLru c(4, 0.5);  // 2 probation + 2 protected
+  // Promote 1 and 2 into protected.
+  c.insert(1);
+  c.touch(1);
+  c.insert(2);
+  c.touch(2);
+  // Promote 3: protected is full, so its LRU (1) demotes to probation.
+  c.insert(3);
+  c.touch(3);
+  EXPECT_TRUE(c.contains(1));  // still cached, just demoted
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(SegmentedLru, MissRecorded) {
+  SegmentedLru c(4);
+  EXPECT_FALSE(c.touch(9));
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(SegmentedLru, EraseRemovesFromEitherSegment) {
+  SegmentedLru c(4, 0.5);
+  c.insert(1);
+  c.insert(2);
+  c.touch(2);  // 2 in protected, 1 in probation
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_TRUE(c.erase(2));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(SegmentedLru, AllProtectedConfiguration) {
+  SegmentedLru c(4, 1.0);
+  c.insert(1);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.touch(1));
+}
+
+TEST(SegmentedLru, ZeroProtectedBehavesLikeLru) {
+  SegmentedLru c(3, 0.0);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  EXPECT_TRUE(c.touch(1));
+  c.insert(4);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(SegmentedLru, DuplicateInsertIsNoop) {
+  SegmentedLru c(4, 0.5);
+  c.insert(1);
+  c.insert(1);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rnb

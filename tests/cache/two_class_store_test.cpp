@@ -1,0 +1,78 @@
+#include "cache/two_class_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(TwoClassStore, PinnedNeverMisses) {
+  TwoClassStore s(0);  // zero replica capacity
+  s.pin(7);
+  EXPECT_TRUE(s.read(7));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_EQ(s.pinned_count(), 1u);
+}
+
+TEST(TwoClassStore, PinnedSurvivesReplicaFlood) {
+  TwoClassStore s(2);
+  s.pin(1);
+  for (ItemId k = 100; k < 200; ++k) s.write_replica(k);
+  EXPECT_TRUE(s.read(1));
+  EXPECT_LE(s.replica_count(), 2u);
+}
+
+TEST(TwoClassStore, ReplicaHitAndEviction) {
+  TwoClassStore s(2);
+  s.write_replica(10);
+  s.write_replica(11);
+  EXPECT_TRUE(s.read(10));  // 10 MRU, 11 LRU
+  s.write_replica(12);      // evicts 11
+  EXPECT_FALSE(s.contains(11));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(12));
+}
+
+TEST(TwoClassStore, WriteReplicaOfPinnedIsNoop) {
+  TwoClassStore s(4);
+  s.pin(5);
+  s.write_replica(5);
+  EXPECT_EQ(s.replica_count(), 0u);
+  EXPECT_TRUE(s.read(5));
+}
+
+TEST(TwoClassStore, ReadMissRecorded) {
+  TwoClassStore s(4);
+  EXPECT_FALSE(s.read(99));
+  EXPECT_EQ(s.replica_stats().misses, 1u);
+}
+
+TEST(TwoClassStore, DropReplica) {
+  TwoClassStore s(4);
+  s.write_replica(3);
+  EXPECT_TRUE(s.drop_replica(3));
+  EXPECT_FALSE(s.drop_replica(3));
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(TwoClassStore, ZeroCapacityAllReplicasMiss) {
+  // The relative_memory == 1.0 corner of Fig. 8: replicas never stick.
+  TwoClassStore s(0);
+  s.write_replica(1);
+  EXPECT_FALSE(s.read(1));
+}
+
+TEST(TwoClassStore, SegmentedPolicyProtectsReusedReplicas) {
+  TwoClassStore s(10, ReplicaEvictionPolicy::kSegmentedLru);
+  s.write_replica(42);
+  EXPECT_TRUE(s.read(42));  // promotes into protected segment
+  for (ItemId k = 100; k < 130; ++k) s.write_replica(k);
+  EXPECT_TRUE(s.contains(42));
+}
+
+TEST(TwoClassStore, PolicyNames) {
+  EXPECT_STREQ(to_string(ReplicaEvictionPolicy::kLru), "lru");
+  EXPECT_STREQ(to_string(ReplicaEvictionPolicy::kSegmentedLru), "slru");
+}
+
+}  // namespace
+}  // namespace rnb

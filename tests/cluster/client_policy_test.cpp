@@ -1,0 +1,157 @@
+// Policy-level behaviours: strategies, hitchhiking, policy validation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/client.hpp"
+
+namespace rnb {
+namespace {
+
+ClusterConfig limited_config(std::uint32_t replicas, double memory) {
+  ClusterConfig cfg;
+  cfg.num_servers = 16;
+  cfg.logical_replicas = replicas;
+  cfg.unlimited_memory = false;
+  cfg.relative_memory = memory;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<ItemId> iota_items(std::size_t n, ItemId start = 0) {
+  std::vector<ItemId> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = start + i;
+  return items;
+}
+
+TEST(BundlingStrategyNames, AllDistinct) {
+  std::set<std::string> names;
+  for (const auto s :
+       {BundlingStrategy::kDistinguishedOnly, BundlingStrategy::kRandomReplica,
+        BundlingStrategy::kGreedy, BundlingStrategy::kLazyGreedy})
+    names.insert(to_string(s));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Strategies, GreedyAndLazyProduceIdenticalPlans) {
+  ClusterConfig cfg;
+  cfg.num_servers = 16;
+  cfg.logical_replicas = 4;
+  cfg.seed = 9;
+  RnbCluster cluster(cfg, 10000);
+  ClientPolicy greedy_policy, lazy_policy;
+  greedy_policy.strategy = BundlingStrategy::kGreedy;
+  lazy_policy.strategy = BundlingStrategy::kLazyGreedy;
+  RnbClient greedy_client(cluster, greedy_policy);
+  RnbClient lazy_client(cluster, lazy_policy);
+  for (ItemId base = 0; base < 1000; base += 50) {
+    const auto items = iota_items(50, base);
+    const RequestPlan a = greedy_client.plan(items);
+    const RequestPlan b = lazy_client.plan(items);
+    ASSERT_EQ(a.assignment, b.assignment);
+    ASSERT_EQ(a.servers, b.servers);
+  }
+}
+
+TEST(Strategies, GreedyBeatsRandomReplicaOnTransactions) {
+  ClusterConfig cfg;
+  cfg.num_servers = 16;
+  cfg.logical_replicas = 4;
+  cfg.seed = 5;
+  RnbCluster cluster(cfg, 100000);
+  ClientPolicy greedy, random;
+  greedy.strategy = BundlingStrategy::kGreedy;
+  random.strategy = BundlingStrategy::kRandomReplica;
+  random.redirect_singletons = false;
+  RnbClient gc(cluster, greedy), rc(cluster, random, 123);
+  double g = 0, r = 0;
+  for (ItemId base = 0; base < 4000; base += 40) {
+    g += static_cast<double>(gc.plan(iota_items(40, base)).servers.size());
+    r += static_cast<double>(rc.plan(iota_items(40, base)).servers.size());
+  }
+  EXPECT_LT(g, r * 0.8);
+}
+
+TEST(Strategies, DistinguishedOnlyIgnoresReplicas) {
+  ClusterConfig cfg;
+  cfg.num_servers = 16;
+  cfg.logical_replicas = 4;
+  RnbCluster cluster(cfg, 10000);
+  ClientPolicy policy;
+  policy.strategy = BundlingStrategy::kDistinguishedOnly;
+  RnbClient client(cluster, policy);
+  const auto items = iota_items(40);
+  const RequestPlan plan = client.plan(items);
+  for (std::size_t i = 0; i < plan.items.size(); ++i)
+    EXPECT_EQ(plan.assignment[i], plan.locations[i][0]);
+}
+
+TEST(Hitchhiking, SavesRound2Transactions) {
+  // Warm caches with one request pattern; then a large overlapping request
+  // under tight memory should see hitchhikers rescue some would-be misses.
+  ClientPolicy with, without;
+  with.hitchhiking = true;
+  without.hitchhiking = false;
+
+  double saves = 0;
+  {
+    RnbCluster cluster(limited_config(4, 2.0), 5000);
+    RnbClient client(cluster, with);
+    for (int round = 0; round < 50; ++round)
+      for (ItemId base = 0; base < 500; base += 25) {
+        const RequestOutcome out = client.execute(iota_items(25, base));
+        saves += out.hitchhiker_saves;
+      }
+  }
+  EXPECT_GT(saves, 0.0);
+}
+
+TEST(Hitchhiking, NeverIncreasesRound1Transactions) {
+  RnbCluster with_cluster(limited_config(3, 1.5), 5000);
+  RnbCluster without_cluster(limited_config(3, 1.5), 5000);
+  ClientPolicy with, without;
+  with.hitchhiking = true;
+  without.hitchhiking = false;
+  RnbClient wc(with_cluster, with), nc(without_cluster, without);
+  for (ItemId base = 0; base < 1000; base += 20) {
+    const auto items = iota_items(20, base);
+    const RequestOutcome a = wc.execute(items);
+    const RequestOutcome b = nc.execute(items);
+    // Hitchhiking adds keys to existing transactions, never transactions.
+    EXPECT_EQ(a.round1_transactions, b.round1_transactions);
+  }
+}
+
+TEST(Hitchhiking, AddsKeysOnlyWhenReplicasOverlapPlanServers) {
+  RnbCluster cluster(limited_config(4, 3.0), 5000);
+  ClientPolicy policy;
+  policy.hitchhiking = true;
+  RnbClient client(cluster, policy);
+  const RequestOutcome out = client.execute(iota_items(30));
+  // 30 items, replication 4, 16 servers: overlap is certain.
+  EXPECT_GT(out.hitchhiker_keys, 0u);
+}
+
+TEST(ClientPolicy, RejectsBadLimitFraction) {
+  RnbCluster cluster(limited_config(2, 1.5), 100);
+  ClientPolicy bad;
+  bad.limit_fraction = 0.0;
+  EXPECT_DEATH(RnbClient(cluster, bad), "precondition");
+  bad.limit_fraction = 1.5;
+  EXPECT_DEATH(RnbClient(cluster, bad), "precondition");
+}
+
+TEST(LimitExecution, FetchesAtLeastTarget) {
+  RnbCluster cluster(limited_config(3, 2.0), 5000);
+  ClientPolicy policy;
+  policy.limit_fraction = 0.9;
+  RnbClient client(cluster, policy);
+  for (ItemId base = 0; base < 500; base += 50) {
+    const RequestOutcome out = client.execute(iota_items(50, base));
+    EXPECT_GE(out.items_fetched, 45u);
+    EXPECT_EQ(out.items_fetched + out.items_skipped, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,183 @@
+#include "cluster/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rnb {
+namespace {
+
+ClusterConfig base_config(std::uint32_t replicas, ServerId servers = 16) {
+  ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.logical_replicas = replicas;
+  cfg.unlimited_memory = true;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<ItemId> iota_items(std::size_t n, ItemId start = 0) {
+  std::vector<ItemId> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = start + i;
+  return items;
+}
+
+TEST(RnbClientPlan, CoversEveryRequestedItem) {
+  RnbCluster cluster(base_config(3), 10000);
+  RnbClient client(cluster, {});
+  const auto items = iota_items(50);
+  const RequestPlan plan = client.plan(items);
+  ASSERT_EQ(plan.items.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    ASSERT_NE(plan.assignment[i], kInvalidServer);
+    const auto& loc = plan.locations[i];
+    EXPECT_NE(std::find(loc.begin(), loc.end(), plan.assignment[i]),
+              loc.end())
+        << "assigned server must hold a replica";
+  }
+}
+
+TEST(RnbClientPlan, DeduplicatesRequest) {
+  RnbCluster cluster(base_config(2), 1000);
+  RnbClient client(cluster, {});
+  const std::vector<ItemId> items = {5, 7, 5, 9, 7, 5};
+  const RequestPlan plan = client.plan(items);
+  EXPECT_EQ(plan.items, (std::vector<ItemId>{5, 7, 9}));
+}
+
+TEST(RnbClientPlan, ReplicationOneEqualsConsistentHashing) {
+  // With one replica there is nothing to bundle: the plan must send every
+  // item to its distinguished server.
+  RnbCluster cluster(base_config(1), 10000);
+  RnbClient client(cluster, {});
+  const auto items = iota_items(100);
+  const RequestPlan plan = client.plan(items);
+  for (std::size_t i = 0; i < plan.items.size(); ++i)
+    EXPECT_EQ(plan.assignment[i],
+              cluster.placement().distinguished(plan.items[i]));
+}
+
+TEST(RnbClientPlan, MoreReplicasNeverMoreServers) {
+  // Monotonicity on average: r=4 greedy plans use no more transactions
+  // than r=1 for the same requests (exactness per-request via same seed).
+  RnbCluster c1(base_config(1), 10000);
+  RnbCluster c4(base_config(4), 10000);
+  RnbClient cl1(c1, {});
+  RnbClient cl4(c4, {});
+  double t1 = 0, t4 = 0;
+  for (ItemId base = 0; base < 2000; base += 40) {
+    const auto items = iota_items(40, base);
+    t1 += static_cast<double>(cl1.plan(items).servers.size());
+    t4 += static_cast<double>(cl4.plan(items).servers.size());
+  }
+  EXPECT_LT(t4, t1 * 0.75);
+}
+
+TEST(RnbClientPlan, SingletonRedirectionSendsLonersHome) {
+  ClientPolicy policy;
+  policy.redirect_singletons = true;
+  RnbCluster cluster(base_config(4), 10000);
+  RnbClient client(cluster, policy);
+  const auto items = iota_items(30);
+  const RequestPlan plan = client.plan(items);
+  // Count items per server; every singleton must sit on its home server.
+  std::map<ServerId, int> load;
+  for (const ServerId s : plan.assignment) ++load[s];
+  for (std::size_t i = 0; i < plan.items.size(); ++i) {
+    if (load[plan.assignment[i]] == 1) {
+      EXPECT_EQ(plan.assignment[i], plan.locations[i][0])
+          << "unbundled item must use its distinguished copy";
+    }
+  }
+}
+
+TEST(RnbClientPlan, LimitFractionSkipsItems) {
+  ClientPolicy policy;
+  policy.limit_fraction = 0.5;
+  RnbCluster cluster(base_config(2), 10000);
+  RnbClient client(cluster, policy, 7);
+  const auto items = iota_items(40);
+  const RequestPlan plan = client.plan(items);
+  const auto skipped = static_cast<std::size_t>(
+      std::count(plan.assignment.begin(), plan.assignment.end(),
+                 kInvalidServer));
+  EXPECT_EQ(plan.limit_target, 20u);
+  EXPECT_LE(skipped, 20u);
+  std::size_t covered = plan.items.size() - skipped;
+  EXPECT_GE(covered, 20u);
+}
+
+TEST(RnbClientExecute, UnlimitedMemoryHasNoMissesOrRound2) {
+  RnbCluster cluster(base_config(3), 10000);
+  RnbClient client(cluster, {});
+  MetricsAccumulator metrics;
+  for (ItemId base = 0; base < 1000; base += 25) {
+    const RequestOutcome out = client.execute(iota_items(25, base), &metrics);
+    EXPECT_EQ(out.replica_misses, 0u);
+    EXPECT_EQ(out.round2_transactions, 0u);
+    EXPECT_EQ(out.items_fetched, 25u);
+  }
+  EXPECT_EQ(metrics.mean_misses(), 0.0);
+}
+
+TEST(RnbClientExecute, ZeroReplicaMemoryFallsBackToDistinguished) {
+  // relative_memory 1.0 + replication 3: every non-home replica access
+  // misses and is served by round-2 distinguished fetches instead.
+  ClusterConfig cfg = base_config(3);
+  cfg.unlimited_memory = false;
+  cfg.relative_memory = 1.0;
+  ClientPolicy policy;
+  policy.write_back_misses = false;  // nothing can stick anyway
+  RnbCluster cluster(cfg, 10000);
+  RnbClient client(cluster, policy);
+  const RequestOutcome out = client.execute(iota_items(30));
+  EXPECT_EQ(out.items_fetched, 30u);  // everything still arrives
+  EXPECT_GT(out.replica_misses, 0u);
+  EXPECT_GT(out.round2_transactions, 0u);
+}
+
+TEST(RnbClientExecute, WriteBackMakesRepeatsHit) {
+  ClusterConfig cfg = base_config(3);
+  cfg.unlimited_memory = false;
+  cfg.relative_memory = 2.0;
+  RnbCluster cluster(cfg, 10000);
+  RnbClient client(cluster, {});
+  const auto items = iota_items(30);
+  const RequestOutcome first = client.execute(items);
+  const RequestOutcome second = client.execute(items);
+  EXPECT_GT(first.replica_misses, 0u);   // cold caches
+  EXPECT_EQ(second.replica_misses, 0u);  // write-backs warmed them
+  EXPECT_EQ(second.round2_transactions, 0u);
+}
+
+TEST(RnbClientExecute, TransactionsCountRoundOneAndTwo) {
+  RnbCluster cluster(base_config(2), 1000);
+  RnbClient client(cluster, {});
+  const RequestOutcome out = client.execute(iota_items(20));
+  EXPECT_EQ(out.transactions(),
+            out.round1_transactions + out.round2_transactions);
+  EXPECT_GE(out.round1_transactions, 1u);
+}
+
+TEST(RnbClientExecute, EmptyRequestIsZeroCost) {
+  RnbCluster cluster(base_config(2), 1000);
+  RnbClient client(cluster, {});
+  const RequestOutcome out = client.execute(std::vector<ItemId>{});
+  EXPECT_EQ(out.transactions(), 0u);
+  EXPECT_EQ(out.items_requested, 0u);
+}
+
+TEST(RnbClientExecute, MetricsHistogramAccountsAllAssignedItems) {
+  RnbCluster cluster(base_config(3), 10000);
+  RnbClient client(cluster, {});
+  MetricsAccumulator metrics;
+  client.execute(iota_items(40), &metrics);
+  // No hitchhiking, no misses: histogram total keys == 40.
+  std::uint64_t keys = 0;
+  metrics.transaction_sizes().for_each(
+      [&](std::uint64_t k, std::uint64_t c) { keys += k * c; });
+  EXPECT_EQ(keys, 40u);
+}
+
+}  // namespace
+}  // namespace rnb

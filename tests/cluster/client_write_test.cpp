@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/client.hpp"
+
+namespace rnb {
+namespace {
+
+ClusterConfig config(std::uint32_t replicas, bool unlimited = true) {
+  ClusterConfig cfg;
+  cfg.num_servers = 16;
+  cfg.logical_replicas = replicas;
+  cfg.unlimited_memory = unlimited;
+  cfg.relative_memory = unlimited ? 1.0 : 2.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(ClientWrite, SingleItemTouchesAllReplicaServers) {
+  RnbCluster cluster(config(3), 1000);
+  RnbClient client(cluster, {});
+  const ItemId item = 7;
+  const RequestOutcome out = client.execute_write(
+      std::span<const ItemId>(&item, 1), WritePolicy::kUpdateAllReplicas);
+  EXPECT_EQ(out.round1_transactions, 3u);
+  EXPECT_EQ(out.items_requested, 1u);
+}
+
+TEST(ClientWrite, BatchSharesServerTransactions) {
+  // A batch's transaction count is the number of DISTINCT servers across
+  // all replicas — at most min(16, 3 * batch).
+  RnbCluster cluster(config(3), 10000);
+  RnbClient client(cluster, {});
+  std::vector<ItemId> items(30);
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  const RequestOutcome out =
+      client.execute_write(items, WritePolicy::kUpdateAllReplicas);
+  EXPECT_LE(out.round1_transactions, 16u);
+  EXPECT_GE(out.round1_transactions, 3u);
+}
+
+TEST(ClientWrite, WriteFractionScalesWithReplication) {
+  // Mean transactions per single-item write == replication level.
+  for (const std::uint32_t r : {1u, 2u, 4u}) {
+    RnbCluster cluster(config(r), 1000);
+    RnbClient client(cluster, {});
+    MetricsAccumulator metrics;
+    for (ItemId item = 0; item < 100; ++item)
+      client.execute_write(std::span<const ItemId>(&item, 1),
+                           WritePolicy::kUpdateAllReplicas, &metrics);
+    EXPECT_DOUBLE_EQ(metrics.tpr(), static_cast<double>(r));
+  }
+}
+
+TEST(ClientWrite, UpdateAllKeepsReplicasResident) {
+  RnbCluster cluster(config(3, /*unlimited=*/false), 1000);
+  RnbClient client(cluster, {});
+  const ItemId item = 5;
+  client.execute_write(std::span<const ItemId>(&item, 1),
+                       WritePolicy::kUpdateAllReplicas);
+  std::vector<ServerId> loc(3);
+  cluster.replicas_of(item, loc);
+  for (const ServerId s : loc) EXPECT_TRUE(cluster.server(s).contains(item));
+}
+
+TEST(ClientWrite, InvalidateDropsNonDistinguished) {
+  RnbCluster cluster(config(3, /*unlimited=*/false), 1000);
+  RnbClient client(cluster, {});
+  const ItemId item = 5;
+  // Materialize replicas first, then invalidate.
+  client.execute_write(std::span<const ItemId>(&item, 1),
+                       WritePolicy::kUpdateAllReplicas);
+  client.execute_write(std::span<const ItemId>(&item, 1),
+                       WritePolicy::kInvalidateReplicas);
+  std::vector<ServerId> loc(3);
+  cluster.replicas_of(item, loc);
+  EXPECT_TRUE(cluster.server(loc[0]).contains(item));  // pinned copy stays
+  EXPECT_FALSE(cluster.server(loc[1]).contains(item));
+  EXPECT_FALSE(cluster.server(loc[2]).contains(item));
+}
+
+TEST(ClientWrite, DeduplicatesBatch) {
+  RnbCluster cluster(config(2), 1000);
+  RnbClient client(cluster, {});
+  const std::vector<ItemId> items = {9, 9, 9};
+  const RequestOutcome out =
+      client.execute_write(items, WritePolicy::kUpdateAllReplicas);
+  EXPECT_EQ(out.items_requested, 1u);
+  EXPECT_EQ(out.round1_transactions, 2u);
+}
+
+TEST(ClientWrite, ReadAfterInvalidateFallsBackThenRecovers) {
+  // The Section IV sequence: write-invalidate, then a bundled read misses
+  // the dropped replica, falls back to the distinguished copy, and
+  // repopulates via write-back.
+  RnbCluster cluster(config(3, /*unlimited=*/false), 1000);
+  RnbClient client(cluster, {});
+  std::vector<ItemId> batch;
+  for (ItemId i = 0; i < 20; ++i) batch.push_back(i);
+  client.execute(batch);  // warm
+  client.execute_write(batch, WritePolicy::kInvalidateReplicas);
+  const RequestOutcome after = client.execute(batch);
+  EXPECT_EQ(after.items_fetched, 20u);  // correctness never suffers
+  const RequestOutcome again = client.execute(batch);
+  EXPECT_LE(again.replica_misses, after.replica_misses);
+}
+
+}  // namespace
+}  // namespace rnb

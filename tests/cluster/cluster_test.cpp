@@ -1,0 +1,87 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(RnbCluster, PinsEveryDistinguishedCopy) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.logical_replicas = 3;
+  RnbCluster cluster(cfg, 1000);
+  std::uint64_t pinned = 0;
+  for (ServerId s = 0; s < 8; ++s) pinned += cluster.server(s).pinned_count();
+  EXPECT_EQ(pinned, 1000u);
+  // Every item's distinguished copy is readable on its home server.
+  std::vector<ServerId> loc(3);
+  for (ItemId item = 0; item < 1000; ++item) {
+    cluster.replicas_of(item, loc);
+    EXPECT_TRUE(cluster.server(loc[0]).is_pinned(item));
+  }
+}
+
+TEST(RnbCluster, UnlimitedMemoryPreinstallsAllReplicas) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.logical_replicas = 3;
+  cfg.unlimited_memory = true;
+  RnbCluster cluster(cfg, 500);
+  EXPECT_EQ(cluster.resident_copies(), 500u * 3u);
+  std::vector<ServerId> loc(3);
+  for (ItemId item = 0; item < 500; ++item) {
+    cluster.replicas_of(item, loc);
+    for (const ServerId s : loc) EXPECT_TRUE(cluster.server(s).contains(item));
+  }
+}
+
+TEST(RnbCluster, LimitedMemorySizesReplicaBudget) {
+  ClusterConfig cfg;
+  cfg.num_servers = 10;
+  cfg.logical_replicas = 2;
+  cfg.unlimited_memory = false;
+  cfg.relative_memory = 1.5;
+  RnbCluster cluster(cfg, 10000);
+  // (1.5 - 1.0) * 10000 / 10 = 500 replica slots per server.
+  EXPECT_EQ(cluster.replica_slots_per_server(), 500u);
+  // Replica caches start cold: only pinned copies resident.
+  EXPECT_EQ(cluster.resident_copies(), 10000u);
+}
+
+TEST(RnbCluster, MemoryExactlyOneCopyMeansZeroReplicaSlots) {
+  ClusterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.logical_replicas = 2;
+  cfg.unlimited_memory = false;
+  cfg.relative_memory = 1.0;
+  RnbCluster cluster(cfg, 1000);
+  EXPECT_EQ(cluster.replica_slots_per_server(), 0u);
+}
+
+TEST(RnbCluster, RejectsSubUnityMemory) {
+  ClusterConfig cfg;
+  cfg.unlimited_memory = false;
+  cfg.relative_memory = 0.9;
+  EXPECT_DEATH(RnbCluster(cfg, 100), "precondition");
+}
+
+TEST(RnbCluster, RejectsReplicationAboveServerCount) {
+  ClusterConfig cfg;
+  cfg.num_servers = 2;
+  cfg.logical_replicas = 3;
+  EXPECT_DEATH(RnbCluster(cfg, 100), "precondition");
+}
+
+TEST(RnbCluster, ConfigAccessors) {
+  ClusterConfig cfg;
+  cfg.num_servers = 5;
+  cfg.logical_replicas = 2;
+  RnbCluster cluster(cfg, 50);
+  EXPECT_EQ(cluster.num_servers(), 5u);
+  EXPECT_EQ(cluster.replication(), 2u);
+  EXPECT_EQ(cluster.num_items(), 50u);
+  EXPECT_EQ(cluster.placement().num_servers(), 5u);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,143 @@
+// Failure injection: the cluster keeps serving through server failures when
+// replication gives the client live alternatives.
+#include <gtest/gtest.h>
+
+#include "cluster/client.hpp"
+
+namespace rnb {
+namespace {
+
+ClusterConfig config(std::uint32_t replicas, ServerId servers = 8) {
+  ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.logical_replicas = replicas;
+  cfg.unlimited_memory = true;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<ItemId> iota_items(std::size_t n, ItemId start = 0) {
+  std::vector<ItemId> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = start + i;
+  return items;
+}
+
+TEST(FailureInjection, DownStateBookkeeping) {
+  RnbCluster cluster(config(2), 100);
+  EXPECT_EQ(cluster.down_count(), 0u);
+  cluster.fail_server(3);
+  cluster.fail_server(3);  // idempotent
+  EXPECT_TRUE(cluster.is_down(3));
+  EXPECT_EQ(cluster.down_count(), 1u);
+  cluster.restore_server(3);
+  cluster.restore_server(3);
+  EXPECT_FALSE(cluster.is_down(3));
+  EXPECT_EQ(cluster.down_count(), 0u);
+}
+
+TEST(FailureInjection, ReplicationOneLosesItems) {
+  RnbCluster cluster(config(1), 2000);
+  RnbClient client(cluster, {});
+  cluster.fail_server(0);
+  const RequestOutcome out = client.execute(iota_items(200));
+  // ~1/8 of items lived only on server 0.
+  EXPECT_GT(out.items_unavailable, 0u);
+  EXPECT_EQ(out.items_fetched + out.items_unavailable, 200u);
+}
+
+TEST(FailureInjection, ReplicationThreeSurvivesOneFailure) {
+  RnbCluster cluster(config(3), 2000);
+  RnbClient client(cluster, {});
+  cluster.fail_server(0);
+  const RequestOutcome out = client.execute(iota_items(200));
+  EXPECT_EQ(out.items_unavailable, 0u);
+  EXPECT_EQ(out.items_fetched, 200u);
+  EXPECT_EQ(out.db_fetches, 0u);  // unlimited memory: replicas all resident
+}
+
+TEST(FailureInjection, PlanNeverAssignsDownServers) {
+  RnbCluster cluster(config(3), 8);
+  RnbClient client(cluster, {});
+  cluster.fail_server(2);
+  cluster.fail_server(5);
+  const RequestPlan plan = client.plan(iota_items(100));
+  for (const ServerId s : plan.assignment)
+    if (s != kInvalidServer) {
+      EXPECT_NE(s, 2u);
+      EXPECT_NE(s, 5u);
+    }
+  for (const ServerId s : plan.servers) EXPECT_FALSE(cluster.is_down(s));
+}
+
+TEST(FailureInjection, RestoreReturnsToNormalPlans) {
+  RnbCluster cluster(config(2), 8);
+  RnbClient client(cluster, {});
+  const RequestPlan before = client.plan(iota_items(50));
+  cluster.fail_server(1);
+  cluster.restore_server(1);
+  const RequestPlan after = client.plan(iota_items(50));
+  EXPECT_EQ(before.assignment, after.assignment);
+  EXPECT_EQ(before.servers, after.servers);
+}
+
+TEST(FailureInjection, DistinguishedDownColdReplicaHitsDb) {
+  // Limited memory, cold replicas: fail an item's distinguished server and
+  // request it — the replica misses and the fetch falls through to the DB.
+  ClusterConfig cfg = config(3);
+  cfg.unlimited_memory = false;
+  cfg.relative_memory = 2.0;
+  RnbCluster cluster(cfg, 2000);
+  RnbClient client(cluster, {});
+  cluster.fail_server(0);
+  const RequestOutcome out = client.execute(iota_items(300));
+  EXPECT_EQ(out.items_unavailable, 0u);
+  EXPECT_EQ(out.items_fetched, 300u);
+  EXPECT_GT(out.db_fetches, 0u);
+  // And a repeat of the same request hits the written-back replicas.
+  const RequestOutcome repeat = client.execute(iota_items(300));
+  EXPECT_EQ(repeat.db_fetches, 0u);
+}
+
+TEST(FailureInjection, TprRisesUnderFailuresButServiceContinues) {
+  RnbCluster healthy(config(3, 16), 5000);
+  RnbCluster degraded(config(3, 16), 5000);
+  RnbClient hc(healthy, {});
+  RnbClient dc(degraded, {});
+  for (ServerId s = 0; s < 4; ++s) degraded.fail_server(s);
+  MetricsAccumulator hm, dm;
+  for (ItemId base = 0; base < 2000; base += 40) {
+    hc.execute(iota_items(40, base), &hm);
+    dc.execute(iota_items(40, base), &dm);
+  }
+  // With 4/16 servers down, an item loses all 3 replicas with probability
+  // ~C(4,3)/C(16,3) ~ 0.7%; the mean over 40-item requests must stay tiny.
+  EXPECT_LT(dm.mean_unavailable(), 40.0 * 0.05);
+  // Fewer live servers => fewer bundling choices; plans may cost more, but
+  // never exceed the live server count.
+  EXPECT_LE(dm.tpr(), 12.0);
+}
+
+TEST(FailureInjection, AllServersDownMeansAllUnavailable) {
+  RnbCluster cluster(config(2, 4), 100);
+  RnbClient client(cluster, {});
+  for (ServerId s = 0; s < 4; ++s) cluster.fail_server(s);
+  const RequestOutcome out = client.execute(iota_items(20));
+  EXPECT_EQ(out.items_unavailable, 20u);
+  EXPECT_EQ(out.transactions(), 0u);
+}
+
+TEST(FailureInjection, LimitFractionAppliesToAvailableItems) {
+  ClusterConfig cfg = config(1, 8);
+  RnbCluster cluster(cfg, 2000);
+  ClientPolicy policy;
+  policy.limit_fraction = 0.5;
+  RnbClient client(cluster, policy);
+  cluster.fail_server(0);
+  const RequestOutcome out = client.execute(iota_items(100));
+  // Target is half of the AVAILABLE items.
+  EXPECT_GE(out.items_fetched,
+            (100u - out.items_unavailable + 1) / 2);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,66 @@
+#include "cluster/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+RequestOutcome outcome(std::uint32_t r1, std::uint32_t r2,
+                       std::uint32_t misses = 0) {
+  RequestOutcome o;
+  o.round1_transactions = r1;
+  o.round2_transactions = r2;
+  o.replica_misses = misses;
+  o.items_requested = 10;
+  o.items_fetched = 10;
+  return o;
+}
+
+TEST(RequestOutcome, TransactionsSumRounds) {
+  EXPECT_EQ(outcome(3, 2).transactions(), 5u);
+}
+
+TEST(MetricsAccumulator, TprIsMeanTransactions) {
+  MetricsAccumulator m;
+  m.add(outcome(4, 0));
+  m.add(outcome(6, 2));
+  EXPECT_DOUBLE_EQ(m.tpr(), 6.0);
+  EXPECT_EQ(m.requests(), 2u);
+  EXPECT_DOUBLE_EQ(m.mean_round2(), 1.0);
+}
+
+TEST(MetricsAccumulator, TprpsDividesByServers) {
+  MetricsAccumulator m;
+  m.add(outcome(8, 0));
+  EXPECT_DOUBLE_EQ(m.tprps(16), 0.5);
+}
+
+TEST(MetricsAccumulator, TracksMisses) {
+  MetricsAccumulator m;
+  m.add(outcome(1, 1, 3));
+  m.add(outcome(1, 0, 1));
+  EXPECT_DOUBLE_EQ(m.mean_misses(), 2.0);
+}
+
+TEST(MetricsAccumulator, MergeCombinesEverything) {
+  MetricsAccumulator a, b;
+  a.add(outcome(2, 0));
+  a.record_transaction_size(5);
+  b.add(outcome(4, 0));
+  b.record_transaction_size(7);
+  a.merge(b);
+  EXPECT_EQ(a.requests(), 2u);
+  EXPECT_DOUBLE_EQ(a.tpr(), 3.0);
+  EXPECT_EQ(a.transaction_sizes().total(), 2u);
+  EXPECT_EQ(a.transaction_sizes().count_at(5), 1u);
+  EXPECT_EQ(a.transaction_sizes().count_at(7), 1u);
+}
+
+TEST(MetricsAccumulator, EmptyIsZero) {
+  const MetricsAccumulator m;
+  EXPECT_EQ(m.requests(), 0u);
+  EXPECT_DOUBLE_EQ(m.tpr(), 0.0);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,56 @@
+#include "common/alias.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(AliasTable, SingleElement) {
+  const AliasTable t({1.0});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const AliasTable t({1.0, 0.0, 1.0});
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(t.sample(rng), 1u);
+}
+
+TEST(AliasTable, MatchesWeightsEmpirically) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const AliasTable t(weights);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[t.sample(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.01);
+  }
+}
+
+TEST(AliasTable, HandlesHeavyTail) {
+  // One dominant weight plus many tiny ones must not lose the tail.
+  std::vector<double> weights(1000, 0.001);
+  weights[0] = 10.0;
+  const AliasTable t(weights);
+  Xoshiro256 rng(4);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 100000; ++i)
+    (t.sample(rng) == 0 ? head : tail)++;
+  const double head_expected = 10.0 / (10.0 + 0.999);
+  EXPECT_NEAR(static_cast<double>(head) / 100000.0, head_expected, 0.01);
+  EXPECT_GT(tail, 0);
+}
+
+TEST(AliasTable, UniformWeights) {
+  const AliasTable t(std::vector<double>(10, 3.3));
+  Xoshiro256 rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[t.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,139 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(DynamicBitset, StartsClear) {
+  const DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, AndNotCountIsMarginalGain) {
+  DynamicBitset holds(10), covered(10);
+  holds.set(1);
+  holds.set(3);
+  holds.set(5);
+  covered.set(3);
+  EXPECT_EQ(holds.andnot_count(covered), 2u);
+  covered.set(1);
+  covered.set(5);
+  EXPECT_EQ(holds.andnot_count(covered), 0u);
+}
+
+TEST(DynamicBitset, AndCount) {
+  DynamicBitset a(200), b(200);
+  a.set(0);
+  a.set(100);
+  a.set(199);
+  b.set(100);
+  b.set(199);
+  b.set(50);
+  EXPECT_EQ(a.and_count(b), 2u);
+}
+
+TEST(DynamicBitset, OrInplace) {
+  DynamicBitset a(70), b(70);
+  a.set(1);
+  b.set(65);
+  a.or_inplace(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(65));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(DynamicBitset, AndNotInplace) {
+  DynamicBitset a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  a.andnot_inplace(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_FALSE(a.test(65));
+}
+
+TEST(DynamicBitset, SubsetRelation) {
+  DynamicBitset a(64), b(64);
+  a.set(5);
+  b.set(5);
+  b.set(9);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(DynamicBitset, ForEachSetAscending) {
+  DynamicBitset b(150);
+  b.set(149);
+  b.set(0);
+  b.set(64);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 64, 149}));
+  EXPECT_EQ(b.to_indices(), seen);
+}
+
+TEST(DynamicBitset, ClearAllAndAssign) {
+  DynamicBitset b(32);
+  b.set(3);
+  b.clear_all();
+  EXPECT_EQ(b.count(), 0u);
+  b.assign_cleared(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(199);
+  EXPECT_TRUE(b.test(199));
+}
+
+TEST(DynamicBitset, CountMatchesReferenceOnRandomSets) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.below(300);
+    DynamicBitset b(n);
+    std::vector<bool> ref(n, false);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const std::size_t i = rng.below(n);
+      b.set(i);
+      ref[i] = true;
+    }
+    std::size_t expected = 0;
+    for (const bool v : ref)
+      if (v) ++expected;
+    EXPECT_EQ(b.count(), expected);
+  }
+}
+
+TEST(DynamicBitset, EqualityIsStructural) {
+  DynamicBitset a(64), b(64);
+  a.set(10);
+  b.set(10);
+  EXPECT_EQ(a, b);
+  b.set(11);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,56 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+Flags parse(std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (auto& a : args) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesTypedValues) {
+  const Flags f = parse({"--count=42", "--rate=2.5", "--name=hello"});
+  EXPECT_EQ(f.u64("count", 0), 42u);
+  EXPECT_DOUBLE_EQ(f.f64("rate", 0.0), 2.5);
+  EXPECT_EQ(f.str("name", ""), "hello");
+  EXPECT_TRUE(f.has("count"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.u64("missing", 7), 7u);
+  EXPECT_DOUBLE_EQ(f.f64("missing", 1.5), 1.5);
+  EXPECT_EQ(f.str("missing", "dflt"), "dflt");
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags f = parse({"--verbose"});
+  EXPECT_TRUE(f.boolean("verbose", false));
+  EXPECT_EQ(f.u64("verbose", 0), 1u);
+}
+
+TEST(Flags, BooleanForms) {
+  const Flags f = parse({"--a=0", "--b=false", "--c=1", "--d=true"});
+  EXPECT_FALSE(f.boolean("a", true));
+  EXPECT_FALSE(f.boolean("b", true));
+  EXPECT_TRUE(f.boolean("c", false));
+  EXPECT_TRUE(f.boolean("d", false));
+}
+
+TEST(Flags, IgnoresNonFlagArguments) {
+  const Flags f = parse({"positional", "-x", "--good=1"});
+  EXPECT_TRUE(f.has("good"));
+  EXPECT_FALSE(f.has("x"));
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const Flags f = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(f.u64("n", 0), 2u);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,91 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rnb {
+namespace {
+
+TEST(Fmix64, IsDeterministic) {
+  EXPECT_EQ(fmix64(42), fmix64(42));
+  EXPECT_EQ(fmix64(0), fmix64(0));
+}
+
+TEST(Fmix64, IsBijectiveOnSample) {
+  // fmix64 is a bijection; a sample of consecutive inputs must not collide.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(fmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Fmix64, SpreadsConsecutiveInputs) {
+  // Consecutive ids must land in different halves of the space often; a
+  // weak mixer would keep them adjacent.
+  int high = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    if (fmix64(i) >> 63) ++high;
+  EXPECT_GT(high, 400);
+  EXPECT_LT(high, 600);
+}
+
+TEST(Splitmix64, MatchesReferenceVector) {
+  // Reference values from the splitmix64 reference implementation
+  // (Sebastiano Vigna), seed sequence starting at 0.
+  std::uint64_t x = 0;
+  x = splitmix64(x);
+  EXPECT_EQ(x, 0xe220a8397b1dcdafULL);
+}
+
+TEST(Fnv1a64, MatchesKnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, DistinguishesKeys) {
+  EXPECT_NE(fnv1a64("user:1"), fnv1a64("user:2"));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(HashCombine, OrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(HashFamily, FunctionsDifferPerIndex) {
+  const HashFamily family(123);
+  std::set<std::uint64_t> values;
+  for (std::uint32_t i = 0; i < 16; ++i) values.insert(family(i, 999));
+  EXPECT_EQ(values.size(), 16u);
+}
+
+TEST(HashFamily, SameSeedSameValues) {
+  const HashFamily a(7), b(7);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(a(i, 55), b(i, 55));
+}
+
+TEST(HashFamily, DifferentSeedsDiffer) {
+  const HashFamily a(7), b(8);
+  int differing = 0;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    if (a(i, 55) != b(i, 55)) ++differing;
+  EXPECT_EQ(differing, 8);
+}
+
+TEST(HashFamily, UniformModuloSmallN) {
+  // Chi-square-ish sanity: family(0, x) mod 16 over 64k keys should be
+  // close to uniform (each bucket ~4096; allow 10%).
+  const HashFamily family(99);
+  std::vector<int> buckets(16, 0);
+  for (std::uint64_t x = 0; x < 65536; ++x) ++buckets[family(0, x) % 16];
+  for (const int b : buckets) {
+    EXPECT_GT(b, 3686);
+    EXPECT_LT(b, 4506);
+  }
+}
+
+}  // namespace
+}  // namespace rnb

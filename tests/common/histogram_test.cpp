@@ -1,0 +1,79 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.count_at(3), 0u);
+}
+
+TEST(Histogram, AddAndQuery) {
+  Histogram h;
+  h.add(1);
+  h.add(1);
+  h.add(5, 3);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count_at(1), 2u);
+  EXPECT_EQ(h.count_at(5), 3u);
+  EXPECT_EQ(h.min_key(), 1u);
+  EXPECT_EQ(h.max_key(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 1 + 3.0 * 5) / 5.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(2, 2);
+  b.add(2, 3);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.count_at(2), 5u);
+  EXPECT_EQ(a.count_at(7), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, ItemsAreOrdered) {
+  Histogram h;
+  h.add(9);
+  h.add(1);
+  h.add(4);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 1u);
+  EXPECT_EQ(items[1].first, 4u);
+  EXPECT_EQ(items[2].first, 9u);
+}
+
+TEST(Histogram, Log2BucketsPartitionCounts) {
+  Histogram h;
+  h.add(0, 2);   // bucket [0]
+  h.add(1, 3);   // bucket [1,2)
+  h.add(2, 1);   // bucket [2,4)
+  h.add(3, 1);   // bucket [2,4)
+  h.add(100, 4); // bucket [64,128)
+  const auto buckets = h.log2_buckets();
+  std::uint64_t sum = 0;
+  for (const auto& [lo, count] : buckets) sum += count;
+  EXPECT_EQ(sum, h.total());
+  EXPECT_EQ(buckets[0].first, 0u);
+  EXPECT_EQ(buckets[0].second, 2u);
+  EXPECT_EQ(buckets[1].second, 3u);
+  EXPECT_EQ(buckets[2].second, 2u);
+}
+
+TEST(Histogram, ForEachVisitsAscending) {
+  Histogram h;
+  h.add(5);
+  h.add(2);
+  std::vector<std::uint64_t> keys;
+  h.for_each([&](std::uint64_t k, std::uint64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{2, 5}));
+}
+
+}  // namespace
+}  // namespace rnb

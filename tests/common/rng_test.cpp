@@ -1,0 +1,100 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rnb {
+namespace {
+
+TEST(Xoshiro256, DeterministicFromSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, SeedsProduceDifferentStreams) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.below(10)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, n / 10 - 800);
+    EXPECT_LT(b, n / 10 + 800);
+  }
+}
+
+TEST(Xoshiro256, Uniform01InUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.25, 0.01);
+}
+
+TEST(ZipfSampler, UniformWhenSkewZero) {
+  Xoshiro256 rng(9);
+  const ZipfSampler zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  Xoshiro256 rng(13);
+  const ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(ZipfSampler, MatchesTheoreticalHeadMass) {
+  // For s=1, n=100: P(rank 0) = 1/H_100 ~ 0.1928.
+  Xoshiro256 rng(17);
+  const ZipfSampler zipf(100, 1.0);
+  int zero = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    if (zipf(rng) == 0) ++zero;
+  EXPECT_NEAR(static_cast<double>(zero) / n, 0.1928, 0.01);
+}
+
+TEST(ZipfSampler, SingleElementUniverse) {
+  Xoshiro256 rng(21);
+  const ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+}  // namespace
+}  // namespace rnb

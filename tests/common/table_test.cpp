@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rnb {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), std::int64_t{7}});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FixedPrecisionDoubles) {
+  Table t({"x"});
+  t.set_precision(2);
+  t.add_row({3.14159});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(out.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t({"a", "bbbb"});
+  t.add_row({std::string("xxxxxx"), std::int64_t{1}});
+  std::ostringstream out;
+  t.print(out);
+  std::istringstream lines(out.str());
+  std::string header, row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  // Both lines end at the same column because cells are width-padded.
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(PrintBanner, ContainsTitleAndDescription) {
+  std::ostringstream out;
+  print_banner(out, "Fig 6", "TPR vs replicas");
+  EXPECT_NE(out.str().find("== Fig 6 =="), std::string::npos);
+  EXPECT_NE(out.str().find("TPR vs replicas"), std::string::npos);
+}
+
+
+TEST(Table, CsvOutput) {
+  Table t({"name", "value"});
+  t.set_precision(1);
+  t.add_row({std::string("plain"), 1.5});
+  t.add_row({std::string("with,comma"), std::int64_t{2}});
+  t.add_row({std::string("with\"quote"), std::int64_t{3}});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(),
+            "name,value\n"
+            "plain,1.5\n"
+            "\"with,comma\",2\n"
+            "\"with\"\"quote\",3\n");
+}
+
+}  // namespace
+}  // namespace rnb

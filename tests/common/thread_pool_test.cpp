@@ -1,0 +1,71 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rnb {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleIteration) {
+  int called = 0;
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++called;
+  });
+  EXPECT_EQ(called, 1);
+}
+
+TEST(ParallelFor, ResultsIndependentOfParallelism) {
+  // Shard sums must equal the sequential total regardless of worker count.
+  std::vector<long> results(257, 0);
+  parallel_for(257, [&](std::size_t i) {
+    results[i] = static_cast<long>(i) * static_cast<long>(i);
+  });
+  long total = std::accumulate(results.begin(), results.end(), 0L);
+  long expected = 0;
+  for (long i = 0; i < 257; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,130 @@
+#include "graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace rnb {
+namespace {
+
+DirectedGraph star_graph() {
+  // Node 0 points to everyone; everyone else points to node 0.
+  GraphBuilder b(11);
+  for (NodeId n = 1; n <= 10; ++n) {
+    b.add_edge(0, n);
+    b.add_edge(n, 0);
+  }
+  return std::move(b).build();
+}
+
+TEST(DegreeSummary, StarGraph) {
+  const DegreeSummary s = summarize_out_degrees(star_graph());
+  EXPECT_DOUBLE_EQ(s.mean, 20.0 / 11.0);
+  EXPECT_EQ(s.max, 10u);
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+  EXPECT_DOUBLE_EQ(s.zero_fraction, 0.0);
+}
+
+TEST(DegreeSummary, CountsZeroDegreeNodes) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const DegreeSummary s = summarize_out_degrees(std::move(b).build());
+  EXPECT_DOUBLE_EQ(s.zero_fraction, 0.75);
+}
+
+TEST(NeighborOverlap, IdenticalNeighborsGiveFullOverlap) {
+  // Two nodes pointing at exactly the same set: Jaccard 1.
+  GraphBuilder b(5);
+  for (const NodeId src : {0u, 1u}) {
+    b.add_edge(src, 2);
+    b.add_edge(src, 3);
+    b.add_edge(src, 4);
+  }
+  const DirectedGraph g = std::move(b).build();
+  Xoshiro256 rng(1);
+  const double overlap = estimate_neighbor_overlap(g, 2000, rng);
+  EXPECT_GT(overlap, 0.95);
+}
+
+TEST(NeighborOverlap, DisjointNeighborsGiveZero) {
+  GraphBuilder b(6);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 4);
+  b.add_edge(1, 5);
+  const DirectedGraph g = std::move(b).build();
+  Xoshiro256 rng(2);
+  // Only nodes 0 and 1 are active; distinct picks overlap zero, same-node
+  // picks count 1. Overlap must be well below 1.
+  const double overlap = estimate_neighbor_overlap(g, 2000, rng);
+  EXPECT_LT(overlap, 0.7);
+  EXPECT_GT(overlap, 0.3);  // about half the sampled pairs are same-node
+}
+
+TEST(NeighborOverlap, SyntheticGraphHasSomeOverlap) {
+  // The Chung-Lu generator's popular nodes appear in many neighbor lists,
+  // so overlap must exceed the uniform-random baseline.
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 3000, .edges = 30000, .max_degree = 400, .seed = 5});
+  Xoshiro256 rng(3);
+  EXPECT_GT(estimate_neighbor_overlap(g, 3000, rng), 0.003);
+}
+
+
+TEST(Clustering, TriangleGraphIsFullyClosed) {
+  // 0->1, 0->2, 1->2 (plus reverses): every neighbor pair is connected.
+  GraphBuilder b(3);
+  for (const auto& [u, v] : {std::pair<NodeId, NodeId>{0, 1}, {0, 2}, {1, 2},
+                             {1, 0}, {2, 0}, {2, 1}}) {
+    b.add_edge(u, v);
+  }
+  const DirectedGraph g = std::move(b).build();
+  Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(estimate_clustering(g, 500, rng), 1.0);
+}
+
+TEST(Clustering, StarGraphHasNone) {
+  const DirectedGraph g = star_graph();
+  Xoshiro256 rng(2);
+  // Node 0's neighbors only point back at 0, never at each other.
+  EXPECT_DOUBLE_EQ(estimate_clustering(g, 500, rng), 0.0);
+}
+
+TEST(Clustering, ChungLuGeneratorClustersNearZero) {
+  // The documented limitation of the synthetic substitution.
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 5000, .edges = 40000, .max_degree = 400, .seed = 9});
+  Xoshiro256 rng(3);
+  EXPECT_LT(estimate_clustering(g, 2000, rng), 0.05);
+}
+
+TEST(Reciprocity, FullyReciprocalGraph) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 2);
+  EXPECT_DOUBLE_EQ(reciprocity(std::move(b).build()), 1.0);
+}
+
+TEST(Reciprocity, OneWayGraphIsZero) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(reciprocity(std::move(b).build()), 0.0);
+}
+
+TEST(Reciprocity, MixedGraphCountsExactly) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // reciprocal pair
+  b.add_edge(0, 2);  // one-way
+  EXPECT_NEAR(reciprocity(std::move(b).build()), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Reciprocity, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(reciprocity(GraphBuilder(2).build()), 0.0);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,91 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rnb {
+namespace {
+
+TEST(DegreeSequence, SumsExactlyToEdges) {
+  const auto degrees = sample_degree_sequence(1000, 11540, 300, 42);
+  const std::uint64_t total =
+      std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 11540u);
+  EXPECT_EQ(degrees.size(), 1000u);
+}
+
+TEST(DegreeSequence, RespectsMaxDegree) {
+  const auto degrees = sample_degree_sequence(500, 5000, 50, 7);
+  for (const auto d : degrees) EXPECT_LE(d, 50u);
+}
+
+TEST(DegreeSequence, HeavyTailed) {
+  // A power law with mean ~11.5 must produce both many small degrees and a
+  // tail well above the mean.
+  const auto degrees = sample_degree_sequence(20000, 230000, 2500, 3);
+  std::size_t small = 0, large = 0;
+  for (const auto d : degrees) {
+    if (d <= 3) ++small;
+    if (d >= 100) ++large;
+  }
+  EXPECT_GT(small, degrees.size() / 4);  // mass at the head
+  EXPECT_GT(large, 50u);                 // and a real tail
+}
+
+TEST(DegreeSequence, DeterministicPerSeed) {
+  EXPECT_EQ(sample_degree_sequence(100, 500, 50, 9),
+            sample_degree_sequence(100, 500, 50, 9));
+  EXPECT_NE(sample_degree_sequence(100, 500, 50, 9),
+            sample_degree_sequence(100, 500, 50, 10));
+}
+
+TEST(PowerLawGraph, ExactNodeAndEdgeCounts) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 5000, .edges = 40000, .max_degree = 500, .seed = 11});
+  EXPECT_EQ(g.num_nodes(), 5000u);
+  EXPECT_EQ(g.num_edges(), 40000u);
+}
+
+TEST(PowerLawGraph, NoSelfLoops) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 2000, .edges = 10000, .max_degree = 200, .seed = 13});
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const NodeId t : g.neighbors(n)) EXPECT_NE(t, n);
+}
+
+TEST(PowerLawGraph, NeighborsDistinct) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 2000, .edges = 10000, .max_degree = 200, .seed = 17});
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const auto nbrs = g.neighbors(n);
+    for (std::size_t i = 1; i < nbrs.size(); ++i)
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(SyntheticSlashdot, MatchesPublishedStatistics) {
+  // Paper Section III-B: 82,168 nodes, 948,464 edges, avg degree 11.54.
+  const DirectedGraph g = synthetic_slashdot(1);
+  EXPECT_EQ(g.num_nodes(), 82168u);
+  EXPECT_EQ(g.num_edges(), 948464u);
+  EXPECT_NEAR(g.average_out_degree(), 11.54, 0.01);
+}
+
+TEST(SyntheticEpinions, MatchesPublishedStatistics) {
+  // Paper Section III-B: 75,879 nodes, 508,837 edges, avg degree 6.7.
+  const DirectedGraph g = synthetic_epinions(1);
+  EXPECT_EQ(g.num_nodes(), 75879u);
+  EXPECT_EQ(g.num_edges(), 508837u);
+  EXPECT_NEAR(g.average_out_degree(), 6.71, 0.02);
+}
+
+TEST(UniformRandomGraph, ApproximatesRequestedEdges) {
+  const DirectedGraph g = make_uniform_random_graph(1000, 5000, 3);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  EXPECT_GT(g.num_edges(), 4800u);
+  EXPECT_LE(g.num_edges(), 5000u);
+}
+
+}  // namespace
+}  // namespace rnb

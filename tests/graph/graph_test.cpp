@@ -1,0 +1,90 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  const DirectedGraph g = GraphBuilder(5).build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId n = 0; n < 5; ++n) EXPECT_EQ(g.out_degree(n), 0u);
+}
+
+TEST(GraphBuilder, BasicEdges) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(3, 0);
+  const DirectedGraph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  const auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(n0.begin(), n0.end()),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(GraphBuilder, RemovesDuplicatesAndSelfLoops) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 1);  // self loop
+  b.add_edge(2, 0);
+  const DirectedGraph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+TEST(GraphBuilder, NeighborsSortedAscending) {
+  GraphBuilder b(10);
+  b.add_edge(0, 7);
+  b.add_edge(0, 2);
+  b.add_edge(0, 9);
+  const DirectedGraph g = std::move(b).build();
+  const auto n = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(DirectedGraph, AverageDegree) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const DirectedGraph g = std::move(b).build();
+  EXPECT_DOUBLE_EQ(g.average_out_degree(), 0.5);
+}
+
+TEST(DirectedGraph, OutDegreeHistogram) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const DirectedGraph g = std::move(b).build();
+  const Histogram h = g.out_degree_histogram();
+  EXPECT_EQ(h.count_at(0), 2u);  // nodes 2, 3
+  EXPECT_EQ(h.count_at(1), 1u);  // node 1
+  EXPECT_EQ(h.count_at(2), 1u);  // node 0
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(DirectedGraph, InDegreeHistogram) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const DirectedGraph g = std::move(b).build();
+  const Histogram h = g.in_degree_histogram();
+  EXPECT_EQ(h.count_at(2), 1u);  // node 2 has in-degree 2
+  EXPECT_EQ(h.count_at(0), 2u);  // nodes 0, 1
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.add_edge(0, 2), "precondition");
+  EXPECT_DEATH(b.add_edge(2, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,72 @@
+#include "graph/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rnb {
+namespace {
+
+TEST(SnapLoader, ParsesBasicEdgeList) {
+  std::istringstream in(
+      "# Directed graph\n"
+      "# FromNodeId\tToNodeId\n"
+      "0\t1\n"
+      "0\t2\n"
+      "1\t2\n");
+  const DirectedGraph g = load_snap_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(SnapLoader, DensifiesSparseIds) {
+  std::istringstream in("1000000 42\n42 7\n");
+  const DirectedGraph g = load_snap_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapLoader, HandlesSpacesAndCr) {
+  std::istringstream in("  3 4\r\n4 5\r\n");
+  const DirectedGraph g = load_snap_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapLoader, SkipsBlankLines) {
+  std::istringstream in("0 1\n\n\n1 2\n");
+  const DirectedGraph g = load_snap_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SnapLoader, ThrowsOnGarbage) {
+  std::istringstream in("0 banana\n");
+  EXPECT_THROW(load_snap_edge_list(in), std::runtime_error);
+}
+
+TEST(SnapLoader, ThrowsOnMissingTarget) {
+  std::istringstream in("42\n");
+  EXPECT_THROW(load_snap_edge_list(in), std::runtime_error);
+}
+
+TEST(SnapLoader, ThrowsOnMissingFile) {
+  EXPECT_THROW(load_snap_edge_list_file("/nonexistent/path.txt"),
+               std::runtime_error);
+}
+
+TEST(SnapLoader, StableIdsAcrossLoads) {
+  const std::string data = "5 9\n9 5\n5 7\n";
+  std::istringstream in1(data), in2(data);
+  const DirectedGraph a = load_snap_edge_list(in1);
+  const DirectedGraph b = load_snap_edge_list(in2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    const auto na = a.neighbors(n);
+    const auto nb = b.neighbors(n);
+    EXPECT_EQ(std::vector<NodeId>(na.begin(), na.end()),
+              std::vector<NodeId>(nb.begin(), nb.end()));
+  }
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,101 @@
+#include "hashring/consistent_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace rnb {
+namespace {
+
+TEST(ConsistentHashRing, LookupIsDeterministic) {
+  const ConsistentHashRing ring(8, 64, 42);
+  for (ItemId item = 0; item < 100; ++item)
+    EXPECT_EQ(ring.lookup(item), ring.lookup(item));
+}
+
+TEST(ConsistentHashRing, SameSeedSameLayout) {
+  const ConsistentHashRing a(8, 64, 42), b(8, 64, 42);
+  for (ItemId item = 0; item < 1000; ++item)
+    EXPECT_EQ(a.lookup(item), b.lookup(item));
+}
+
+TEST(ConsistentHashRing, DifferentSeedsDifferentLayout) {
+  const ConsistentHashRing a(8, 64, 1), b(8, 64, 2);
+  int differing = 0;
+  for (ItemId item = 0; item < 1000; ++item)
+    if (a.lookup(item) != b.lookup(item)) ++differing;
+  EXPECT_GT(differing, 500);
+}
+
+TEST(ConsistentHashRing, AllServersReachable) {
+  const ConsistentHashRing ring(16, 64, 7);
+  std::vector<bool> hit(16, false);
+  for (ItemId item = 0; item < 10000; ++item) hit[ring.lookup(item)] = true;
+  for (const bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(ConsistentHashRing, LoadIsRoughlyBalanced) {
+  const ConsistentHashRing ring(8, 128, 3);
+  std::vector<int> load(8, 0);
+  const int items = 80000;
+  for (ItemId item = 0; item < items; ++item) ++load[ring.lookup(item)];
+  for (const int l : load) {
+    // 128 vnodes: expect within ~35% of fair share.
+    EXPECT_GT(l, items / 8 * 0.65);
+    EXPECT_LT(l, items / 8 * 1.35);
+  }
+}
+
+TEST(ConsistentHashRing, OwnershipSumsToOne) {
+  const ConsistentHashRing ring(5, 32, 11);
+  const auto owned = ring.ownership();
+  double total = 0.0;
+  for (const double o : owned) total += o;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ConsistentHashRing, OwnershipPredictsLoad) {
+  const ConsistentHashRing ring(4, 256, 19);
+  const auto owned = ring.ownership();
+  std::vector<int> load(4, 0);
+  const int items = 100000;
+  for (ItemId item = 0; item < items; ++item) ++load[ring.lookup(item)];
+  for (ServerId s = 0; s < 4; ++s)
+    EXPECT_NEAR(static_cast<double>(load[s]) / items, owned[s], 0.01);
+}
+
+TEST(ConsistentHashRing, AddServerMovesOnlyItsShare) {
+  // The consistent-hashing monotonicity property: growing N -> N+1 must
+  // remap roughly 1/(N+1) of the keys, and only *to* the new server.
+  ConsistentHashRing ring(8, 64, 5);
+  std::map<ItemId, ServerId> before;
+  const int items = 20000;
+  for (ItemId item = 0; item < items; ++item) before[item] = ring.lookup(item);
+  ring.add_server();
+  int moved = 0;
+  for (ItemId item = 0; item < items; ++item) {
+    const ServerId now = ring.lookup(item);
+    if (now != before[item]) {
+      EXPECT_EQ(now, 8u) << "keys may only move to the added server";
+      ++moved;
+    }
+  }
+  const double moved_fraction = static_cast<double>(moved) / items;
+  EXPECT_NEAR(moved_fraction, 1.0 / 9.0, 0.04);
+}
+
+TEST(ConsistentHashRing, PointsCountMatchesVnodes) {
+  const ConsistentHashRing ring(6, 50, 2);
+  EXPECT_EQ(ring.points(), 300u);
+  EXPECT_EQ(ring.num_servers(), 6u);
+  EXPECT_EQ(ring.vnodes(), 50u);
+}
+
+TEST(ConsistentHashRing, SingleServerOwnsEverything) {
+  const ConsistentHashRing ring(1, 16, 9);
+  for (ItemId item = 0; item < 100; ++item) EXPECT_EQ(ring.lookup(item), 0u);
+}
+
+}  // namespace
+}  // namespace rnb

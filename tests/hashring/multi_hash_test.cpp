@@ -1,0 +1,56 @@
+#include "hashring/multi_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rnb {
+namespace {
+
+TEST(MultiHash, ReplicasAreDistinct) {
+  const MultiHashPlacement p(16, 4, 99);
+  std::vector<ServerId> out(4);
+  for (ItemId item = 0; item < 5000; ++item) {
+    p.replicas(item, out);
+    const std::set<ServerId> unique(out.begin(), out.end());
+    ASSERT_EQ(unique.size(), 4u);
+  }
+}
+
+TEST(MultiHash, WorksWhenReplicationEqualsServers) {
+  // Collision resolution must terminate even in the tightest case.
+  const MultiHashPlacement p(3, 3, 5);
+  std::vector<ServerId> out(3);
+  for (ItemId item = 0; item < 1000; ++item) {
+    p.replicas(item, out);
+    const std::set<ServerId> unique(out.begin(), out.end());
+    ASSERT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(MultiHash, DeterministicPlacement) {
+  const MultiHashPlacement a(16, 3, 42), b(16, 3, 42);
+  for (ItemId item = 0; item < 1000; ++item)
+    EXPECT_EQ(a.replicas(item), b.replicas(item));
+}
+
+TEST(MultiHash, RankZeroBalanced) {
+  const ServerId n = 8;
+  const MultiHashPlacement p(n, 2, 3);
+  std::vector<int> load(n, 0);
+  const int items = 40000;
+  std::vector<ServerId> out(2);
+  for (ItemId item = 0; item < items; ++item) {
+    p.replicas(item, out);
+    ++load[out[0]];
+  }
+  for (const int l : load) EXPECT_NEAR(l, items / n, items / n * 0.1);
+}
+
+TEST(MultiHash, SingleReplicaSingleServer) {
+  const MultiHashPlacement p(1, 1, 1);
+  EXPECT_EQ(p.replicas(123)[0], 0u);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,92 @@
+// Parameterized property tests that every placement scheme must satisfy —
+// the PlacementPolicy contract the RnB client depends on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hashring/placement.hpp"
+
+namespace rnb {
+namespace {
+
+struct PlacementCase {
+  PlacementScheme scheme;
+  ServerId servers;
+  std::uint32_t replication;
+};
+
+class PlacementProperty : public ::testing::TestWithParam<PlacementCase> {};
+
+TEST_P(PlacementProperty, ReplicasDistinctAndInRange) {
+  const auto& c = GetParam();
+  const auto p = make_placement(c.scheme, c.servers, c.replication, 1234);
+  std::vector<ServerId> out(c.replication);
+  for (ItemId item = 0; item < 2000; ++item) {
+    p->replicas(item, out);
+    std::set<ServerId> unique;
+    for (const ServerId s : out) {
+      EXPECT_LT(s, c.servers);
+      unique.insert(s);
+    }
+    ASSERT_EQ(unique.size(), c.replication);
+  }
+}
+
+TEST_P(PlacementProperty, StatelessAndRepeatable) {
+  const auto& c = GetParam();
+  const auto p1 = make_placement(c.scheme, c.servers, c.replication, 77);
+  const auto p2 = make_placement(c.scheme, c.servers, c.replication, 77);
+  for (ItemId item = 0; item < 500; ++item)
+    EXPECT_EQ(p1->replicas(item), p2->replicas(item));
+}
+
+TEST_P(PlacementProperty, DistinguishedMatchesRankZero) {
+  const auto& c = GetParam();
+  const auto p = make_placement(c.scheme, c.servers, c.replication, 9);
+  for (ItemId item = 0; item < 500; ++item)
+    EXPECT_EQ(p->distinguished(item), p->replicas(item)[0]);
+}
+
+TEST_P(PlacementProperty, EveryServerHoldsSomeItems) {
+  const auto& c = GetParam();
+  const auto p = make_placement(c.scheme, c.servers, c.replication, 5);
+  std::vector<bool> used(c.servers, false);
+  std::vector<ServerId> out(c.replication);
+  for (ItemId item = 0; item < 20000; ++item) {
+    p->replicas(item, out);
+    for (const ServerId s : out) used[s] = true;
+  }
+  for (ServerId s = 0; s < c.servers; ++s) EXPECT_TRUE(used[s]) << s;
+}
+
+TEST_P(PlacementProperty, AccessorsReportConfig) {
+  const auto& c = GetParam();
+  const auto p = make_placement(c.scheme, c.servers, c.replication, 5);
+  EXPECT_EQ(p->num_servers(), c.servers);
+  EXPECT_EQ(p->replication(), c.replication);
+  EXPECT_FALSE(p->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PlacementProperty,
+    ::testing::Values(
+        PlacementCase{PlacementScheme::kRangedConsistentHash, 16, 1},
+        PlacementCase{PlacementScheme::kRangedConsistentHash, 16, 4},
+        PlacementCase{PlacementScheme::kRangedConsistentHash, 3, 3},
+        PlacementCase{PlacementScheme::kMultiHash, 16, 1},
+        PlacementCase{PlacementScheme::kMultiHash, 16, 4},
+        PlacementCase{PlacementScheme::kMultiHash, 3, 3},
+        PlacementCase{PlacementScheme::kRendezvous, 16, 1},
+        PlacementCase{PlacementScheme::kRendezvous, 16, 4},
+        PlacementCase{PlacementScheme::kRendezvous, 3, 3}),
+    [](const ::testing::TestParamInfo<PlacementCase>& param_info) {
+      std::string name = std::string(to_string(param_info.param.scheme)) + "_s" +
+                         std::to_string(param_info.param.servers) + "_r" +
+                         std::to_string(param_info.param.replication);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,89 @@
+#include "hashring/ranged_consistent_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rnb {
+namespace {
+
+TEST(RangedConsistentHash, ReplicasAreDistinct) {
+  const RangedConsistentHashPlacement p(16, 4, 42);
+  std::vector<ServerId> out(4);
+  for (ItemId item = 0; item < 5000; ++item) {
+    p.replicas(item, out);
+    const std::set<ServerId> unique(out.begin(), out.end());
+    ASSERT_EQ(unique.size(), 4u) << "item " << item;
+  }
+}
+
+TEST(RangedConsistentHash, ReplicaZeroMatchesPlainConsistentHashing) {
+  // Deployability property: the distinguished copy is exactly where stock
+  // consistent hashing would put the item.
+  const RangedConsistentHashPlacement p(16, 3, 7);
+  for (ItemId item = 0; item < 5000; ++item)
+    EXPECT_EQ(p.replicas(item)[0], p.ring().lookup(item));
+}
+
+TEST(RangedConsistentHash, FullReplicationUsesAllServers) {
+  const RangedConsistentHashPlacement p(5, 5, 3);
+  std::vector<ServerId> out(5);
+  p.replicas(77, out);
+  const std::set<ServerId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RangedConsistentHash, DeterministicAcrossInstances) {
+  const RangedConsistentHashPlacement a(16, 3, 42), b(16, 3, 42);
+  for (ItemId item = 0; item < 1000; ++item)
+    EXPECT_EQ(a.replicas(item), b.replicas(item));
+}
+
+TEST(RangedConsistentHash, EachRankRoughlyBalanced) {
+  // Every replica rank, not just rank 0, should spread ~uniformly.
+  const ServerId n = 8;
+  const RangedConsistentHashPlacement p(n, 3, 13);
+  const int items = 40000;
+  std::vector<std::vector<int>> load(3, std::vector<int>(n, 0));
+  std::vector<ServerId> out(3);
+  for (ItemId item = 0; item < items; ++item) {
+    p.replicas(item, out);
+    for (int r = 0; r < 3; ++r) ++load[r][out[r]];
+  }
+  for (int r = 0; r < 3; ++r)
+    for (ServerId s = 0; s < n; ++s) {
+      EXPECT_GT(load[r][s], items / n * 0.55) << "rank " << r;
+      EXPECT_LT(load[r][s], items / n * 1.45) << "rank " << r;
+    }
+}
+
+TEST(RangedConsistentHash, AddServerPreservesMostReplicaSets) {
+  // Smoothness: growing the cluster relocates only a small fraction of
+  // replica assignments.
+  RangedConsistentHashPlacement p(10, 3, 21);
+  const int items = 10000;
+  std::vector<std::vector<ServerId>> before(items);
+  for (ItemId item = 0; item < items; ++item)
+    before[item] = p.replicas(item);
+  p.add_server();
+  int changed_slots = 0;
+  for (ItemId item = 0; item < items; ++item) {
+    const auto now = p.replicas(item);
+    for (int r = 0; r < 3; ++r)
+      if (now[r] != before[item][r]) ++changed_slots;
+  }
+  // Expected ~ 3 * items / 11 slots change; allow generous slack.
+  EXPECT_LT(changed_slots, static_cast<int>(3 * items * 2.0 / 11.0));
+}
+
+TEST(RangedConsistentHash, RejectsExcessReplication) {
+  EXPECT_DEATH(RangedConsistentHashPlacement(4, 5, 1), "precondition");
+}
+
+TEST(RangedConsistentHash, NameIsStable) {
+  const RangedConsistentHashPlacement p(4, 2, 1);
+  EXPECT_EQ(p.name(), "rch");
+}
+
+}  // namespace
+}  // namespace rnb

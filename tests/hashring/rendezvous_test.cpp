@@ -1,0 +1,49 @@
+#include "hashring/rendezvous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rnb {
+namespace {
+
+TEST(Rendezvous, ReplicasAreDistinct) {
+  const RendezvousPlacement p(16, 5, 42);
+  std::vector<ServerId> out(5);
+  for (ItemId item = 0; item < 3000; ++item) {
+    p.replicas(item, out);
+    const std::set<ServerId> unique(out.begin(), out.end());
+    ASSERT_EQ(unique.size(), 5u);
+  }
+}
+
+TEST(Rendezvous, Deterministic) {
+  const RendezvousPlacement a(16, 3, 42), b(16, 3, 42);
+  for (ItemId item = 0; item < 1000; ++item)
+    EXPECT_EQ(a.replicas(item), b.replicas(item));
+}
+
+TEST(Rendezvous, RankZeroNearPerfectBalance) {
+  // HRW rank 0 is an exact uniform choice: tight balance expected.
+  const ServerId n = 10;
+  const RendezvousPlacement p(n, 1, 7);
+  std::vector<int> load(n, 0);
+  const int items = 100000;
+  std::vector<ServerId> out(1);
+  for (ItemId item = 0; item < items; ++item) {
+    p.replicas(item, out);
+    ++load[out[0]];
+  }
+  for (const int l : load) EXPECT_NEAR(l, items / n, items / n * 0.06);
+}
+
+TEST(Rendezvous, TopRanksAreOrderedByScore) {
+  // replicas() must return the r highest-scoring servers; verify rank 0 of
+  // a (r=1) lookup equals rank 0 of a (r=3) lookup.
+  const RendezvousPlacement p1(12, 1, 5), p3(12, 3, 5);
+  for (ItemId item = 0; item < 2000; ++item)
+    EXPECT_EQ(p1.replicas(item)[0], p3.replicas(item)[0]);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,108 @@
+// Cross-module integration: graph workload -> full simulator -> calibration,
+// exercising the complete Fig. 3/6/8 pipeline at reduced scale.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/analytic.hpp"
+#include "sim/calibration.hpp"
+#include "sim/full_sim.hpp"
+#include "workload/merged_source.hpp"
+#include "workload/social_workload.hpp"
+
+namespace rnb {
+namespace {
+
+DirectedGraph small_social_graph() {
+  return make_power_law_graph(
+      {.nodes = 8000, .edges = 80000, .max_degree = 600, .seed = 42});
+}
+
+TEST(EndToEnd, SocialWorkloadThroughFullSim) {
+  const DirectedGraph g = small_social_graph();
+  SocialWorkload source(g, 7);
+  FullSimConfig cfg;
+  cfg.cluster.num_servers = 16;
+  cfg.cluster.logical_replicas = 4;
+  cfg.measure_requests = 500;
+  const FullSimResult r = run_full_sim(source, cfg);
+  EXPECT_EQ(r.metrics.requests(), 500u);
+  EXPECT_GT(r.metrics.tpr(), 1.0);
+  EXPECT_LT(r.metrics.tpr(), 16.0);
+}
+
+TEST(EndToEnd, RnbBeatsBaselineOnSocialWorkload) {
+  const DirectedGraph g = small_social_graph();
+  FullSimConfig base;
+  base.cluster.num_servers = 16;
+  base.cluster.logical_replicas = 1;
+  base.measure_requests = 800;
+  FullSimConfig rnb4 = base;
+  rnb4.cluster.logical_replicas = 4;
+
+  SocialWorkload s1(g, 7), s2(g, 7);
+  const double tpr_base = run_full_sim(s1, base).metrics.tpr();
+  const double tpr_rnb = run_full_sim(s2, rnb4).metrics.tpr();
+  // Paper Fig. 6: >=~40% reduction at 4 replicas on social workloads.
+  EXPECT_LT(tpr_rnb, tpr_base * 0.7);
+}
+
+TEST(EndToEnd, CalibratedThroughputImprovesWithRnb) {
+  const DirectedGraph g = small_social_graph();
+  const ThroughputModel model = ThroughputModel::paper_default();
+  FullSimConfig base;
+  base.cluster.num_servers = 16;
+  base.cluster.logical_replicas = 1;
+  base.measure_requests = 600;
+  FullSimConfig rnb = base;
+  rnb.cluster.logical_replicas = 4;
+  SocialWorkload s1(g, 9), s2(g, 9);
+  const FullSimResult rb = run_full_sim(s1, base);
+  const FullSimResult rr = run_full_sim(s2, rnb);
+  const double tput_base = model.system_requests_per_second(
+      rb.metrics.transaction_sizes(), rb.metrics.requests(), 16);
+  const double tput_rnb = model.system_requests_per_second(
+      rr.metrics.transaction_sizes(), rr.metrics.requests(), 16);
+  EXPECT_GT(tput_rnb, tput_base * 1.2);
+}
+
+TEST(EndToEnd, MergingReducesBaselineTpr) {
+  // Paper Section III-E: merging two requests lowers per-request-pair cost
+  // versus handling them separately (per merged pair vs 2x single).
+  const DirectedGraph g = small_social_graph();
+  FullSimConfig cfg;
+  cfg.cluster.num_servers = 16;
+  cfg.cluster.logical_replicas = 1;
+  cfg.measure_requests = 500;
+
+  SocialWorkload plain(g, 3);
+  const double tpr_single = run_full_sim(plain, cfg).metrics.tpr();
+
+  MergedSource merged(std::make_unique<SocialWorkload>(g, 3), 2);
+  const double tpr_merged = run_full_sim(merged, cfg).metrics.tpr();
+  EXPECT_LT(tpr_merged, 2.0 * tpr_single);
+}
+
+TEST(EndToEnd, OverbookingTradesMemoryForTpr) {
+  // Fixed physical memory 2.0x, growing logical replication: TPR should
+  // improve from 1 to 4 logical replicas (the overbooking premise), with
+  // warmed caches.
+  const DirectedGraph g = small_social_graph();
+  auto run_with_replicas = [&](std::uint32_t r) {
+    FullSimConfig cfg;
+    cfg.cluster.num_servers = 16;
+    cfg.cluster.logical_replicas = r;
+    cfg.cluster.unlimited_memory = false;
+    cfg.cluster.relative_memory = 2.0;
+    cfg.policy.hitchhiking = true;
+    cfg.warmup_requests = 4000;
+    cfg.measure_requests = 1500;
+    SocialWorkload source(g, 11);
+    return run_full_sim(source, cfg).metrics.tpr();
+  };
+  const double tpr1 = run_with_replicas(1);
+  const double tpr4 = run_with_replicas(4);
+  EXPECT_LT(tpr4, tpr1 * 0.95);
+}
+
+}  // namespace
+}  // namespace rnb

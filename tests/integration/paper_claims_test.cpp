@@ -1,0 +1,118 @@
+// Direct checks of quantitative claims made in the paper's text, at reduced
+// scale where noted. These are the repository's "did we reproduce the
+// paper?" guardrails; EXPERIMENTS.md cites them.
+#include <gtest/gtest.h>
+
+#include "sim/analytic.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(PaperClaims, Section2A_IdealScalingForSingleItemRequests) {
+  // "Ideal scaling is achieved if there is only one item: W(N,1)/W(2N,1)=2."
+  EXPECT_NEAR(tprps_scaling_factor(8, 1), 2.0, 1e-9);
+}
+
+TEST(PaperClaims, Section2A_EqualServersAndItemsGive50Percent) {
+  // "Even when the two numbers are equal, doubling the number of servers
+  // only increases throughput by some 50%." The exact limit is
+  // (1-e^-1)/(1-e^-1/2) ~ 1.606 — "some 50%", nowhere near ideal 2x.
+  for (const std::uint64_t n : {16u, 64u, 256u}) {
+    EXPECT_GT(tprps_scaling_factor(n, n), 1.45);
+    EXPECT_LT(tprps_scaling_factor(n, n), 1.65);
+  }
+}
+
+TEST(PaperClaims, Section2A_ManyItemsMakeAddingServersUseless) {
+  // "when the number of servers is significantly smaller than the number of
+  // items in a request, doubling the number of servers yields negligible
+  // performance benefit."
+  EXPECT_LT(tprps_scaling_factor(4, 400), 1.001);
+}
+
+TEST(PaperClaims, Section3B_FourReplicasHalveTransactions) {
+  // Fig. 6: "reducing the number of transactions, in some cases, by more
+  // than 50% utilizing a total of 4 copies for each item" (16 servers).
+  // Monte-Carlo equivalent with paper-scale request sizes.
+  MonteCarloConfig cfg;
+  cfg.num_servers = 16;
+  cfg.request_size = 50;
+  cfg.trials = 1500;
+  cfg.seed = 3;
+  cfg.replication = 1;
+  const double baseline = run_monte_carlo(cfg).tpr();
+  cfg.replication = 4;
+  const double rnb = run_monte_carlo(cfg).tpr();
+  EXPECT_LT(rnb, baseline * 0.55);
+}
+
+TEST(PaperClaims, Section3F_FiveReplicasReachThirtyPercent) {
+  // Fig. 12: "With five replicas ... reduce the number of transactions to
+  // merely 30% of that required with a single replica" (LIMIT requests).
+  MonteCarloConfig cfg;
+  cfg.num_servers = 16;
+  cfg.request_size = 50;
+  cfg.fetch_fraction = 0.9;
+  cfg.trials = 1500;
+  cfg.seed = 5;
+  cfg.replication = 1;
+  cfg.fetch_fraction = 1.0;  // baseline fetches everything, no LIMIT
+  const double baseline = run_monte_carlo(cfg).tpr();
+  cfg.replication = 5;
+  cfg.fetch_fraction = 0.9;
+  const double rnb = run_monte_carlo(cfg).tpr();
+  EXPECT_LT(rnb / baseline, 0.40);
+}
+
+TEST(PaperClaims, Section3F_TwoReplicasReachSixtyFivePercent) {
+  // Fig. 12: "Even with only two replicas, we can reduce the number of
+  // transactions down to around 65% of the TPR without RnB."
+  MonteCarloConfig cfg;
+  cfg.num_servers = 16;
+  cfg.request_size = 50;
+  cfg.trials = 1500;
+  cfg.seed = 7;
+  cfg.replication = 1;
+  cfg.fetch_fraction = 1.0;
+  const double baseline = run_monte_carlo(cfg).tpr();
+  cfg.replication = 2;
+  cfg.fetch_fraction = 0.9;
+  const double rnb = run_monte_carlo(cfg).tpr();
+  EXPECT_LT(rnb / baseline, 0.75);
+  EXPECT_GT(rnb / baseline, 0.45);
+}
+
+TEST(PaperClaims, Section3F_LimitAloneHelpsEvenWithoutReplication) {
+  // Fig. 11: picking which items to skip (not random ones) cuts TPR even at
+  // replication 1, most at fraction 0.5.
+  MonteCarloConfig cfg;
+  cfg.num_servers = 32;
+  cfg.replication = 1;
+  cfg.request_size = 100;
+  cfg.trials = 1000;
+  cfg.seed = 9;
+  cfg.fetch_fraction = 1.0;
+  const double full = run_monte_carlo(cfg).tpr();
+  cfg.fetch_fraction = 0.95;
+  const double f95 = run_monte_carlo(cfg).tpr();
+  cfg.fetch_fraction = 0.5;
+  const double f50 = run_monte_carlo(cfg).tpr();
+  EXPECT_LT(f95, full);
+  EXPECT_LT(f50, f95 * 0.75);
+}
+
+TEST(PaperClaims, MultiGetHole_ThroughputScalingFlattens) {
+  // Fig. 3's shape: relative throughput grows with N but the increments
+  // shrink fast (far below linear) once N approaches M.
+  const double t2 = relative_throughput_vs_single(2, 50);
+  const double t8 = relative_throughput_vs_single(8, 50);
+  const double t32 = relative_throughput_vs_single(32, 50);
+  EXPECT_GT(t8, t2);
+  EXPECT_GT(t32, t8);
+  EXPECT_LT(t32, 32.0 * 0.1)
+      << "32 servers must deliver far less than 32x throughput";
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,88 @@
+// System-level TPR invariants, swept across placement schemes, replication
+// levels, and request sizes — the properties any correct RnB implementation
+// must satisfy regardless of tuning.
+#include <gtest/gtest.h>
+
+#include "sim/analytic.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace rnb {
+namespace {
+
+struct SweepCase {
+  PlacementScheme scheme;
+  ServerId servers;
+  std::uint32_t request_size;
+};
+
+class TprProperty : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  double tpr_at(std::uint32_t replication, double fraction = 1.0) const {
+    MonteCarloConfig cfg;
+    cfg.num_servers = GetParam().servers;
+    cfg.replication = replication;
+    cfg.request_size = GetParam().request_size;
+    cfg.fetch_fraction = fraction;
+    cfg.trials = 600;
+    cfg.placement = GetParam().scheme;
+    cfg.seed = 99;
+    return run_monte_carlo(cfg).tpr();
+  }
+};
+
+TEST_P(TprProperty, BoundedByServersAndItems) {
+  const double tpr = tpr_at(1);
+  EXPECT_GE(tpr, 1.0);
+  EXPECT_LE(tpr, static_cast<double>(
+                     std::min<std::uint64_t>(GetParam().servers,
+                                             GetParam().request_size)));
+}
+
+TEST_P(TprProperty, MonotoneNonIncreasingInReplication) {
+  double prev = tpr_at(1);
+  for (const std::uint32_t r : {2u, 3u, 4u}) {
+    if (r > GetParam().servers) break;
+    const double tpr = tpr_at(r);
+    EXPECT_LE(tpr, prev * 1.02) << "replication " << r;  // 2% MC slack
+    prev = tpr;
+  }
+}
+
+TEST_P(TprProperty, MonotoneNonDecreasingInFetchFraction) {
+  double prev = 0.0;
+  for (const double fraction : {0.5, 0.75, 0.9, 1.0}) {
+    const double tpr = tpr_at(2, fraction);
+    EXPECT_GE(tpr, prev - 0.05) << "fraction " << fraction;
+    prev = tpr;
+  }
+}
+
+TEST_P(TprProperty, ReplicationOneMatchesUrnModel) {
+  // Every placement scheme must reproduce the closed-form baseline: it only
+  // assumes uniform pseudo-random single-copy placement.
+  const double expected =
+      expected_tpr(GetParam().servers, GetParam().request_size);
+  EXPECT_NEAR(tpr_at(1), expected, expected * 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TprProperty,
+    ::testing::Values(SweepCase{PlacementScheme::kRangedConsistentHash, 16, 50},
+                      SweepCase{PlacementScheme::kRangedConsistentHash, 8, 10},
+                      SweepCase{PlacementScheme::kRangedConsistentHash, 64, 100},
+                      SweepCase{PlacementScheme::kMultiHash, 16, 50},
+                      SweepCase{PlacementScheme::kMultiHash, 64, 100},
+                      SweepCase{PlacementScheme::kRendezvous, 16, 50},
+                      SweepCase{PlacementScheme::kRendezvous, 8, 10}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      std::string name =
+          std::string(to_string(param_info.param.scheme)) + "_n" +
+          std::to_string(param_info.param.servers) + "_m" +
+          std::to_string(param_info.param.request_size);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace rnb

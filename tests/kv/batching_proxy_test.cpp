@@ -1,0 +1,123 @@
+#include "kv/batching_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kv/transport.hpp"
+
+namespace rnb::kv {
+namespace {
+
+struct Fixture {
+  LoopbackTransport transport{8, 1 << 22};
+  RnbKvClient client{transport, {.replication = 3}};
+  void populate(int n) {
+    for (int i = 0; i < n; ++i)
+      client.set("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  static std::vector<std::string> keys(int from, int to) {
+    std::vector<std::string> out;
+    for (int i = from; i < to; ++i) out.push_back("k" + std::to_string(i));
+    return out;
+  }
+};
+
+TEST(BatchingProxy, WindowOneExecutesImmediately) {
+  Fixture f;
+  f.populate(10);
+  BatchingProxy proxy(f.client, 1);
+  const auto ticket = proxy.multi_get(Fixture::keys(0, 5));
+  ASSERT_TRUE(ticket.ready());
+  EXPECT_EQ(ticket.values().size(), 5u);
+  EXPECT_EQ(proxy.requests_served(), 1u);
+}
+
+TEST(BatchingProxy, HoldsUntilWindowFills) {
+  Fixture f;
+  f.populate(20);
+  BatchingProxy proxy(f.client, 2);
+  const auto first = proxy.multi_get(Fixture::keys(0, 5));
+  EXPECT_FALSE(first.ready());
+  EXPECT_EQ(proxy.pending_requests(), 1u);
+  const auto second = proxy.multi_get(Fixture::keys(5, 10));
+  EXPECT_TRUE(first.ready());
+  EXPECT_TRUE(second.ready());
+  EXPECT_EQ(proxy.pending_requests(), 0u);
+}
+
+TEST(BatchingProxy, DemultiplexesResultsPerTicket) {
+  Fixture f;
+  f.populate(20);
+  BatchingProxy proxy(f.client, 2);
+  const auto a = proxy.multi_get(Fixture::keys(0, 5));
+  const auto b = proxy.multi_get(Fixture::keys(5, 10));
+  ASSERT_TRUE(a.ready() && b.ready());
+  EXPECT_EQ(a.values().size(), 5u);
+  EXPECT_EQ(b.values().size(), 5u);
+  EXPECT_TRUE(a.values().contains("k0"));
+  EXPECT_FALSE(a.values().contains("k5"));
+  EXPECT_TRUE(b.values().contains("k5"));
+}
+
+TEST(BatchingProxy, OverlappingRequestsBothGetTheSharedKey) {
+  Fixture f;
+  f.populate(10);
+  BatchingProxy proxy(f.client, 2);
+  const auto a = proxy.multi_get(Fixture::keys(0, 4));
+  const auto b = proxy.multi_get(Fixture::keys(2, 6));
+  ASSERT_TRUE(a.ready() && b.ready());
+  EXPECT_TRUE(a.values().contains("k2"));
+  EXPECT_TRUE(b.values().contains("k2"));
+}
+
+TEST(BatchingProxy, FlushExecutesPartialBatch) {
+  Fixture f;
+  f.populate(10);
+  BatchingProxy proxy(f.client, 8);
+  const auto ticket = proxy.multi_get(Fixture::keys(0, 3));
+  EXPECT_FALSE(ticket.ready());
+  proxy.flush();
+  EXPECT_TRUE(ticket.ready());
+  EXPECT_EQ(ticket.values().size(), 3u);
+  proxy.flush();  // empty flush is a no-op
+  EXPECT_EQ(proxy.requests_served(), 1u);
+}
+
+TEST(BatchingProxy, MissingKeysReportedPerTicket) {
+  Fixture f;
+  f.populate(5);
+  BatchingProxy proxy(f.client, 2);
+  std::vector<std::string> with_ghost = {"k0", "ghost-a"};
+  std::vector<std::string> clean = {"k1"};
+  const auto a = proxy.multi_get(with_ghost);
+  const auto b = proxy.multi_get(clean);
+  ASSERT_TRUE(a.ready() && b.ready());
+  ASSERT_EQ(a.missing().size(), 1u);
+  EXPECT_EQ(a.missing()[0], "ghost-a");
+  EXPECT_TRUE(b.missing().empty());
+}
+
+TEST(BatchingProxy, MergingSavesTransactionsVsSeparateCalls) {
+  Fixture f;
+  f.populate(40);
+  // Separate execution cost.
+  std::uint64_t separate = 0;
+  separate += f.client.multi_get(Fixture::keys(0, 20)).transactions();
+  separate += f.client.multi_get(Fixture::keys(20, 40)).transactions();
+  // Merged through the proxy.
+  BatchingProxy proxy(f.client, 2);
+  proxy.multi_get(Fixture::keys(0, 20));
+  proxy.multi_get(Fixture::keys(20, 40));
+  EXPECT_LE(proxy.transactions_issued(), separate);
+  EXPECT_EQ(proxy.requests_served(), 2u);
+}
+
+TEST(BatchingProxy, TicketAccessBeforeReadyDies) {
+  Fixture f;
+  f.populate(5);
+  BatchingProxy proxy(f.client, 4);
+  const auto ticket = proxy.multi_get(Fixture::keys(0, 2));
+  EXPECT_DEATH(ticket.values(), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb::kv

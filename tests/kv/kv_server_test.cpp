@@ -1,0 +1,123 @@
+#include "kv/kv_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kv/protocol.hpp"
+
+namespace rnb::kv {
+namespace {
+
+TEST(KvServer, SetThenGet) {
+  KvServer server(1 << 20);
+  std::string req, resp;
+  encode_set("k", "hello", false, req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "STORED");
+
+  req.clear();
+  encode_get({"k"}, false, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].data, "hello");
+}
+
+TEST(KvServer, MultiGetReturnsOnlyHits) {
+  KvServer server(1 << 20);
+  std::string req, resp;
+  encode_set("a", "1", false, req);
+  server.handle(req, resp);
+  req.clear();
+  encode_set("c", "3", false, req);
+  server.handle(req, resp);
+
+  req.clear();
+  encode_get({"a", "b", "c"}, false, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 2u);
+  EXPECT_EQ((*values)[0].key, "a");
+  EXPECT_EQ((*values)[1].key, "c");
+}
+
+TEST(KvServer, DeleteLifecycle) {
+  KvServer server(1 << 20);
+  std::string req, resp;
+  encode_set("k", "v", false, req);
+  server.handle(req, resp);
+  req.clear();
+  encode_delete("k", req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "DELETED");
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "NOT_FOUND");
+}
+
+TEST(KvServer, CasFlow) {
+  KvServer server(1 << 20);
+  std::string req, resp;
+  encode_set("k", "v1", false, req);
+  server.handle(req, resp);
+
+  req.clear();
+  encode_get({"k"}, true, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, true);
+  ASSERT_TRUE(values.has_value());
+  const std::uint64_t version = (*values)[0].version;
+
+  req.clear();
+  encode_cas("k", "v2", version, req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "STORED");
+
+  // Same version again: stale now.
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "EXISTS");
+}
+
+TEST(KvServer, MalformedRequestYieldsClientError) {
+  KvServer server(1 << 20);
+  std::string resp;
+  server.handle("gibberish\r\n", resp);
+  EXPECT_EQ(parse_simple(resp).substr(0, 12), "CLIENT_ERROR");
+  EXPECT_EQ(server.counters().protocol_errors, 1u);
+}
+
+TEST(KvServer, CountersTrackWork) {
+  KvServer server(1 << 20);
+  std::string req, resp;
+  encode_set("a", "1", false, req);
+  server.handle(req, resp);
+  req.clear();
+  encode_get({"a", "b"}, false, req);
+  server.handle(req, resp);
+  EXPECT_EQ(server.counters().transactions, 2u);
+  EXPECT_EQ(server.counters().stores, 1u);
+  EXPECT_EQ(server.counters().keys_requested, 2u);
+  EXPECT_EQ(server.counters().keys_returned, 1u);
+}
+
+TEST(KvServer, PinnedSetSurvivesEvictionPressure) {
+  KvServer server(200);
+  std::string req, resp;
+  encode_set("vip", "important", true, req);
+  server.handle(req, resp);
+  for (int i = 0; i < 100; ++i) {
+    req.clear();
+    encode_set("f" + std::to_string(i), "filler", false, req);
+    server.handle(req, resp);
+  }
+  req.clear();
+  encode_get({"vip"}, false, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].data, "important");
+}
+
+}  // namespace
+}  // namespace rnb::kv

@@ -1,0 +1,131 @@
+#include "kv/memtable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(MemTable, SetGetRoundtrip) {
+  MemTable t(1 << 20);
+  EXPECT_TRUE(t.set("user:1", "alice"));
+  const auto r = t.get("user:1");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, "alice");
+  EXPECT_GT(r->version, 0u);
+}
+
+TEST(MemTable, MissReturnsNullopt) {
+  MemTable t(1 << 20);
+  EXPECT_FALSE(t.get("nope").has_value());
+  EXPECT_EQ(t.stats().misses, 1u);
+}
+
+TEST(MemTable, OverwriteBumpsVersion) {
+  MemTable t(1 << 20);
+  t.set("k", "v1");
+  const auto v1 = t.get("k")->version;
+  t.set("k", "v2");
+  const auto r = t.get("k");
+  EXPECT_EQ(r->value, "v2");
+  EXPECT_GT(r->version, v1);
+  EXPECT_EQ(t.entries(), 1u);
+}
+
+TEST(MemTable, EvictsLruWhenOverBudget) {
+  // Budget for ~2 entries: each costs key+value+48.
+  MemTable t(2 * (1 + 1 + 48) + 10);
+  t.set("a", "1");
+  t.set("b", "2");
+  t.get("a");      // refresh a; b is LRU
+  t.set("c", "3");  // must evict b
+  EXPECT_TRUE(t.get("a").has_value());
+  EXPECT_FALSE(t.peek("b").has_value());
+  EXPECT_TRUE(t.get("c").has_value());
+}
+
+TEST(MemTable, PinnedEntriesNeverEvicted) {
+  MemTable t(60);  // room for about one evictable entry
+  t.set("pinned", "P", /*pinned=*/true);
+  for (int i = 0; i < 50; ++i)
+    t.set("k" + std::to_string(i), "v");
+  EXPECT_TRUE(t.get("pinned").has_value());
+  EXPECT_GT(t.pinned_bytes(), 0u);
+  EXPECT_LE(t.evictable_bytes(), 60u);
+}
+
+TEST(MemTable, OversizedValueRejected) {
+  MemTable t(64);
+  const std::string big(1000, 'x');
+  EXPECT_FALSE(t.set("k", big));
+  EXPECT_TRUE(t.set("k", big.substr(0, 8)));
+}
+
+TEST(MemTable, OversizedPinnedAccepted) {
+  // Pinned entries bypass the evictable budget entirely (the cluster sizes
+  // the distinguished class separately).
+  MemTable t(16);
+  EXPECT_TRUE(t.set("k", std::string(100, 'x'), /*pinned=*/true));
+}
+
+TEST(MemTable, CasStoresOnVersionMatch) {
+  MemTable t(1 << 20);
+  t.set("k", "v1");
+  const auto version = t.get("k")->version;
+  EXPECT_EQ(t.cas("k", version, "v2"), MemTable::CasOutcome::kStored);
+  EXPECT_EQ(t.get("k")->value, "v2");
+}
+
+TEST(MemTable, CasRejectsStaleVersion) {
+  MemTable t(1 << 20);
+  t.set("k", "v1");
+  const auto version = t.get("k")->version;
+  t.set("k", "v2");  // version moves on
+  EXPECT_EQ(t.cas("k", version, "v3"), MemTable::CasOutcome::kExists);
+  EXPECT_EQ(t.get("k")->value, "v2");
+}
+
+TEST(MemTable, CasOnMissingKey) {
+  MemTable t(1 << 20);
+  EXPECT_EQ(t.cas("ghost", 1, "v"), MemTable::CasOutcome::kNotFound);
+}
+
+TEST(MemTable, CasPreservesPinnedness) {
+  MemTable t(64);
+  t.set("k", "v1", /*pinned=*/true);
+  const auto version = t.peek("k")->version;
+  EXPECT_EQ(t.cas("k", version, "v2"), MemTable::CasOutcome::kStored);
+  // Still pinned: survives a flood.
+  for (int i = 0; i < 20; ++i) t.set("f" + std::to_string(i), "x");
+  EXPECT_TRUE(t.peek("k").has_value());
+}
+
+TEST(MemTable, EraseAccountsBytes) {
+  MemTable t(1 << 20);
+  t.set("a", "hello");
+  const std::size_t bytes = t.evictable_bytes();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_TRUE(t.erase("a"));
+  EXPECT_EQ(t.evictable_bytes(), 0u);
+  EXPECT_FALSE(t.erase("a"));
+}
+
+TEST(MemTable, PeekDoesNotTouchRecency) {
+  MemTable t(2 * (1 + 1 + 48) + 10);
+  t.set("a", "1");
+  t.set("b", "2");
+  t.peek("a");      // must NOT refresh a
+  t.set("c", "3");  // evicts a (still LRU)
+  EXPECT_FALSE(t.peek("a").has_value());
+}
+
+TEST(MemTable, PinnedToEvictableTransition) {
+  MemTable t(1 << 20);
+  t.set("k", "v", /*pinned=*/true);
+  EXPECT_GT(t.pinned_bytes(), 0u);
+  t.set("k", "v", /*pinned=*/false);
+  EXPECT_EQ(t.pinned_bytes(), 0u);
+  EXPECT_GT(t.evictable_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,161 @@
+// Property/fuzz tests for the wire protocol: random valid commands must
+// roundtrip exactly; random garbage must be rejected without crashes; and
+// the server must answer *something* well-formed to any byte soup.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kv/kv_server.hpp"
+#include "kv/protocol.hpp"
+
+namespace rnb::kv {
+namespace {
+
+std::string random_key(Xoshiro256& rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:.-";
+  const std::size_t len = 1 + rng.below(40);
+  std::string key;
+  key.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    key.push_back(kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+  return key;
+}
+
+std::string random_bytes(Xoshiro256& rng, std::size_t max_len) {
+  const std::size_t len = rng.below(max_len + 1);
+  std::string bytes;
+  bytes.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    bytes.push_back(static_cast<char>(rng.below(256)));
+  return bytes;
+}
+
+TEST(ProtocolFuzz, RandomSetCommandsRoundtrip) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string key = random_key(rng);
+    const std::string data = random_bytes(rng, 200);  // arbitrary bytes OK
+    const bool pin = rng.chance(0.3);
+    std::string frame;
+    encode_set(key, data, pin, frame);
+    std::string error;
+    const auto cmd = parse_command(frame, &error);
+    ASSERT_TRUE(cmd.has_value()) << error;
+    const auto& set = std::get<SetCommand>(*cmd);
+    ASSERT_EQ(set.key, key);
+    ASSERT_EQ(set.data, data);
+    ASSERT_EQ(set.pin, pin);
+  }
+}
+
+TEST(ProtocolFuzz, RandomGetCommandsRoundtrip) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::string> keys;
+    const std::size_t n = 1 + rng.below(50);
+    for (std::size_t i = 0; i < n; ++i) keys.push_back(random_key(rng));
+    const bool versions = rng.chance(0.5);
+    std::string frame;
+    encode_get(keys, versions, frame);
+    const auto cmd = parse_command(frame, nullptr);
+    ASSERT_TRUE(cmd.has_value());
+    ASSERT_EQ(std::get<GetCommand>(*cmd).keys, keys);
+    ASSERT_EQ(std::get<GetCommand>(*cmd).with_versions, versions);
+  }
+}
+
+TEST(ProtocolFuzz, RandomValueResponsesRoundtrip) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Value> values;
+    const std::size_t n = rng.below(20);
+    for (std::size_t i = 0; i < n; ++i)
+      values.push_back(Value{random_key(rng), random_bytes(rng, 100), rng()});
+    std::string frame;
+    encode_values(values, true, frame);
+    const auto parsed = parse_values(frame, true);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->size(), values.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ((*parsed)[i].key, values[i].key);
+      ASSERT_EQ((*parsed)[i].data, values[i].data);
+      ASSERT_EQ((*parsed)[i].version, values[i].version);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, GarbageNeverCrashesParser) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string garbage = random_bytes(rng, 300);
+    std::string error;
+    // Must not crash or hang; may or may not parse.
+    (void)parse_command(garbage, &error);
+    (void)parse_values(garbage, rng.chance(0.5));
+    (void)parse_simple(garbage);
+  }
+}
+
+TEST(ProtocolFuzz, TruncatedValidFramesAreRejectedNotCrashed) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string frame;
+    encode_set(random_key(rng), random_bytes(rng, 50), false, frame);
+    // Every strict prefix must be cleanly rejected.
+    const std::size_t cut = rng.below(frame.size());
+    ASSERT_FALSE(parse_command(frame.substr(0, cut), nullptr).has_value());
+  }
+}
+
+TEST(ProtocolFuzz, ServerAnswersGarbageWithWellFormedError) {
+  KvServer server(1 << 20);
+  Xoshiro256 rng(6);
+  std::string response;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage = random_bytes(rng, 200);
+    garbage += "\r\n";  // framed garbage, as the TCP splitter would deliver
+    server.handle(garbage, response);
+    ASSERT_FALSE(response.empty());
+    ASSERT_TRUE(response.ends_with("\r\n"));
+  }
+}
+
+TEST(ProtocolFuzz, ServerStateConsistentUnderRandomOperations) {
+  // Differential test: random set/get/delete against a std::map reference.
+  KvServer server(8u << 20);
+  std::map<std::string, std::string> reference;
+  Xoshiro256 rng(7);
+  std::string req, resp;
+  for (int op = 0; op < 3000; ++op) {
+    const std::string key = "k" + std::to_string(rng.below(50));
+    const auto action = rng.below(3);
+    req.clear();
+    if (action == 0) {
+      const std::string value = "v" + std::to_string(rng());
+      encode_set(key, value, false, req);
+      server.handle(req, resp);
+      ASSERT_EQ(parse_simple(resp), "STORED");
+      reference[key] = value;
+    } else if (action == 1) {
+      encode_get({key}, false, req);
+      server.handle(req, resp);
+      const auto values = parse_values(resp, false);
+      ASSERT_TRUE(values.has_value());
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_TRUE(values->empty());
+      } else {
+        ASSERT_EQ(values->size(), 1u);
+        ASSERT_EQ((*values)[0].data, it->second);
+      }
+    } else {
+      encode_delete(key, req);
+      server.handle(req, resp);
+      ASSERT_EQ(parse_simple(resp),
+                reference.erase(key) ? "DELETED" : "NOT_FOUND");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnb::kv

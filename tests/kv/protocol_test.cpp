@@ -1,0 +1,149 @@
+#include "kv/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb::kv {
+namespace {
+
+TEST(Protocol, GetRoundtrip) {
+  std::string frame;
+  encode_get({"k1", "k2", "k3"}, false, frame);
+  EXPECT_EQ(frame, "get k1 k2 k3\r\n");
+  std::string error;
+  const auto cmd = parse_command(frame, &error);
+  ASSERT_TRUE(cmd.has_value()) << error;
+  const auto& get = std::get<GetCommand>(*cmd);
+  EXPECT_EQ(get.keys, (std::vector<std::string>{"k1", "k2", "k3"}));
+  EXPECT_FALSE(get.with_versions);
+}
+
+TEST(Protocol, GetsSetsVersionFlag) {
+  std::string frame;
+  encode_get({"k"}, true, frame);
+  const auto cmd = parse_command(frame, nullptr);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_TRUE(std::get<GetCommand>(*cmd).with_versions);
+}
+
+TEST(Protocol, SetRoundtrip) {
+  std::string frame;
+  encode_set("user:1", "hello world", false, frame);
+  const auto cmd = parse_command(frame, nullptr);
+  ASSERT_TRUE(cmd.has_value());
+  const auto& set = std::get<SetCommand>(*cmd);
+  EXPECT_EQ(set.key, "user:1");
+  EXPECT_EQ(set.data, "hello world");
+  EXPECT_FALSE(set.pin);
+}
+
+TEST(Protocol, SetPinExtension) {
+  std::string frame;
+  encode_set("k", "v", true, frame);
+  EXPECT_NE(frame.find(" pin\r\n"), std::string::npos);
+  const auto cmd = parse_command(frame, nullptr);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_TRUE(std::get<SetCommand>(*cmd).pin);
+}
+
+TEST(Protocol, SetDataMayContainSpaces) {
+  std::string frame;
+  encode_set("k", "a b c\nd", false, frame);
+  const auto cmd = parse_command(frame, nullptr);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(std::get<SetCommand>(*cmd).data, "a b c\nd");
+}
+
+TEST(Protocol, CasRoundtrip) {
+  std::string frame;
+  encode_cas("k", "data", 9876543210ULL, frame);
+  const auto cmd = parse_command(frame, nullptr);
+  ASSERT_TRUE(cmd.has_value());
+  const auto& cas = std::get<CasCommand>(*cmd);
+  EXPECT_EQ(cas.key, "k");
+  EXPECT_EQ(cas.data, "data");
+  EXPECT_EQ(cas.version, 9876543210ULL);
+}
+
+TEST(Protocol, DeleteRoundtrip) {
+  std::string frame;
+  encode_delete("gone", frame);
+  const auto cmd = parse_command(frame, nullptr);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(std::get<DeleteCommand>(*cmd).key, "gone");
+}
+
+TEST(Protocol, RejectsUnknownVerb) {
+  std::string error;
+  EXPECT_FALSE(parse_command("frobnicate k\r\n", &error).has_value());
+  EXPECT_EQ(error, "unknown verb");
+}
+
+TEST(Protocol, RejectsMissingCrlf) {
+  std::string error;
+  EXPECT_FALSE(parse_command("get k1", &error).has_value());
+  EXPECT_EQ(error, "missing CRLF");
+}
+
+TEST(Protocol, RejectsEmptyGet) {
+  EXPECT_FALSE(parse_command("get\r\n", nullptr).has_value());
+}
+
+TEST(Protocol, RejectsShortSetData) {
+  EXPECT_FALSE(parse_command("set k 0 0 100\r\nshort\r\n", nullptr).has_value());
+}
+
+TEST(Protocol, RejectsBadByteCount) {
+  EXPECT_FALSE(parse_command("set k 0 0 nine\r\nwhatever\r\n", nullptr)
+                   .has_value());
+}
+
+TEST(Protocol, ValuesResponseRoundtrip) {
+  std::vector<Value> values = {{"k1", "v1", 5}, {"k2", "longer value", 9}};
+  std::string frame;
+  encode_values(values, true, frame);
+  const auto parsed = parse_values(frame, true);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].key, "k1");
+  EXPECT_EQ((*parsed)[0].data, "v1");
+  EXPECT_EQ((*parsed)[0].version, 5u);
+  EXPECT_EQ((*parsed)[1].data, "longer value");
+}
+
+TEST(Protocol, EmptyValuesResponse) {
+  std::string frame;
+  encode_values({}, false, frame);
+  EXPECT_EQ(frame, "END\r\n");
+  const auto parsed = parse_values(frame, false);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Protocol, ParseValuesRejectsTruncation) {
+  std::string frame;
+  encode_values({{"k", "value", 0}}, false, frame);
+  frame.resize(frame.size() - 8);  // chop END + part of data CRLF
+  EXPECT_FALSE(parse_values(frame, false).has_value());
+}
+
+TEST(Protocol, SimpleResponses) {
+  std::string frame;
+  encode_simple("STORED", frame);
+  EXPECT_EQ(frame, "STORED\r\n");
+  EXPECT_EQ(parse_simple(frame), "STORED");
+  EXPECT_EQ(parse_simple("NOT_FOUND\r\n"), "NOT_FOUND");
+}
+
+TEST(Protocol, BinaryDataSurvivesRoundtrip) {
+  std::string payload;
+  payload.push_back('\0');
+  payload += "\x01\xff\r\nbinary";
+  std::string frame;
+  encode_set("bin", payload, false, frame);
+  const auto cmd = parse_command(frame, nullptr);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(std::get<SetCommand>(*cmd).data, payload);
+}
+
+}  // namespace
+}  // namespace rnb::kv

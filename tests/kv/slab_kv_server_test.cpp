@@ -1,0 +1,102 @@
+// The slab-backed server configuration behind the same wire protocol.
+#include <gtest/gtest.h>
+
+#include "kv/kv_server.hpp"
+
+namespace rnb::kv {
+namespace {
+
+SlabConfig server_config() {
+  SlabConfig cfg;
+  cfg.total_bytes = 8192;
+  cfg.page_bytes = 1024;
+  cfg.min_chunk = 64;
+  cfg.growth_factor = 2.0;
+  return cfg;
+}
+
+TEST(SlabKvServer, SetGetDeleteOverProtocol) {
+  SlabKvServer server(server_config());
+  std::string req, resp;
+  encode_set("k", "slab value", false, req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "STORED");
+
+  req.clear();
+  encode_get({"k"}, false, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].data, "slab value");
+
+  req.clear();
+  encode_delete("k", req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "DELETED");
+}
+
+TEST(SlabKvServer, OversizedSetReportsServerError) {
+  SlabKvServer server(server_config());
+  std::string req, resp;
+  encode_set("k", std::string(5000, 'x'), false, req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "SERVER_ERROR out of memory");
+}
+
+TEST(SlabKvServer, EvictionVisibleThroughProtocol) {
+  SlabKvServer server(server_config());
+  std::string req, resp;
+  for (int i = 0; i < 300; ++i) {
+    req.clear();
+    encode_set("key" + std::to_string(i), "v", false, req);
+    server.handle(req, resp);
+    ASSERT_EQ(parse_simple(resp), "STORED");
+  }
+  EXPECT_GT(server.table().stats().evictions, 0u);
+  // The earliest key is gone, the latest present.
+  req.clear();
+  encode_get({"key0", "key299"}, false, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].key, "key299");
+}
+
+TEST(SlabKvServer, CasOverProtocol) {
+  SlabKvServer server(server_config());
+  std::string req, resp;
+  encode_set("k", "v1", false, req);
+  server.handle(req, resp);
+  req.clear();
+  encode_get({"k"}, true, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, true);
+  ASSERT_TRUE(values.has_value());
+  req.clear();
+  encode_cas("k", "v2", (*values)[0].version, req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_simple(resp), "STORED");
+  server.handle(req, resp);  // stale version now
+  EXPECT_EQ(parse_simple(resp), "EXISTS");
+}
+
+TEST(SlabKvServer, PinnedSetSurvivesPressure) {
+  SlabKvServer server(server_config());
+  std::string req, resp;
+  encode_set("vip", "keep me", true, req);
+  server.handle(req, resp);
+  for (int i = 0; i < 300; ++i) {
+    req.clear();
+    encode_set("f" + std::to_string(i), "v", false, req);
+    server.handle(req, resp);
+  }
+  req.clear();
+  encode_get({"vip"}, false, req);
+  server.handle(req, resp);
+  EXPECT_EQ(parse_values(resp, false)->size(), 1u);
+}
+
+}  // namespace
+}  // namespace rnb::kv

@@ -1,0 +1,131 @@
+#include "kv/slab_memtable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb::kv {
+namespace {
+
+SlabConfig tiny_config() {
+  SlabConfig cfg;
+  cfg.total_bytes = 4096;
+  cfg.page_bytes = 1024;
+  cfg.min_chunk = 64;
+  cfg.growth_factor = 2.0;
+  return cfg;
+}
+
+TEST(SlabMemTable, SetGetRoundtrip) {
+  SlabMemTable t(tiny_config());
+  EXPECT_TRUE(t.set("user:1", "alice"));
+  const auto r = t.get("user:1");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value, "alice");
+  EXPECT_EQ(t.entries(), 1u);
+}
+
+TEST(SlabMemTable, OverwriteChangesClassWhenSizeChanges) {
+  SlabMemTable t(tiny_config());
+  t.set("k", "small");
+  t.set("k", std::string(200, 'x'));  // moves from 64B to 256B class
+  const auto r = t.get("k");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value.size(), 200u);
+  EXPECT_EQ(t.entries(), 1u);
+  EXPECT_EQ(t.slabs().class_stats(0).chunks_used, 0u);
+}
+
+TEST(SlabMemTable, EvictsLruOfSameClassOnly) {
+  // Fill the budget with 64B-class items, then keep inserting: evictions
+  // must happen (per-class LRU), and the newest items must survive.
+  SlabMemTable t(tiny_config());
+  for (int i = 0; i < 80; ++i)
+    ASSERT_TRUE(t.set("key" + std::to_string(i), "v"));
+  EXPECT_GT(t.stats().evictions, 0u);
+  EXPECT_TRUE(t.contains("key79"));
+  EXPECT_FALSE(t.contains("key0"));
+}
+
+TEST(SlabMemTable, GetRefreshesRecency) {
+  SlabMemTable t(tiny_config());
+  // Capacity: 4 pages x 16 chunks = 64 items of class 0.
+  for (int i = 0; i < 64; ++i)
+    ASSERT_TRUE(t.set("key" + std::to_string(i), "v"));
+  EXPECT_TRUE(t.get("key0").has_value());  // refresh the oldest
+  t.set("overflow", "v");                  // evicts key1, not key0
+  EXPECT_TRUE(t.contains("key0"));
+  EXPECT_FALSE(t.contains("key1"));
+}
+
+TEST(SlabMemTable, PinnedNeverEvicted) {
+  SlabMemTable t(tiny_config());
+  ASSERT_TRUE(t.set("vip", "important", /*pinned=*/true));
+  for (int i = 0; i < 200; ++i) t.set("f" + std::to_string(i), "v");
+  EXPECT_TRUE(t.contains("vip"));
+}
+
+TEST(SlabMemTable, AllPinnedClassRejectsFurtherSets) {
+  SlabMemTable t(tiny_config());
+  // Pin every chunk of class 0 (64 chunks across the 4-page budget).
+  for (int i = 0; i < 64; ++i)
+    ASSERT_TRUE(t.set("pin" + std::to_string(i), "v", /*pinned=*/true));
+  // No free chunk, no evictable victim, no spare page.
+  EXPECT_FALSE(t.set("one-more", "v"));
+  // And the failed set did not clobber anything.
+  EXPECT_EQ(t.entries(), 64u);
+}
+
+TEST(SlabMemTable, OversizedItemRejected) {
+  SlabMemTable t(tiny_config());
+  EXPECT_FALSE(t.set("k", std::string(2000, 'x')));  // > page size
+}
+
+TEST(SlabMemTable, CasSemanticsMatchMemTable) {
+  SlabMemTable t(tiny_config());
+  t.set("k", "v1");
+  const auto v1 = t.get("k")->version;
+  EXPECT_EQ(t.cas("k", v1, "v2"), MemTable::CasOutcome::kStored);
+  EXPECT_EQ(t.cas("k", v1, "v3"), MemTable::CasOutcome::kExists);
+  EXPECT_EQ(t.cas("ghost", 1, "v"), MemTable::CasOutcome::kNotFound);
+  EXPECT_EQ(t.get("k")->value, "v2");
+}
+
+TEST(SlabMemTable, EraseFreesChunk) {
+  SlabMemTable t(tiny_config());
+  t.set("k", "v");
+  const auto used_before = t.slabs().class_stats(0).chunks_used;
+  EXPECT_TRUE(t.erase("k"));
+  EXPECT_EQ(t.slabs().class_stats(0).chunks_used, used_before - 1);
+  EXPECT_FALSE(t.erase("k"));
+}
+
+TEST(SlabMemTable, CalcificationScenario) {
+  // Phase 1: small items absorb every page. Phase 2: the workload shifts
+  // to large items, which now cannot get ANY page — they always fail or
+  // evict within an empty class. This is memcached's classic trap, and the
+  // reason RnB's equal-size-items assumption is operationally sane.
+  SlabMemTable t(tiny_config());
+  for (int i = 0; i < 100; ++i) t.set("small" + std::to_string(i), "v");
+  EXPECT_EQ(t.slabs().pages_allocated(), 4u);
+  EXPECT_FALSE(t.set("big", std::string(500, 'x')));
+  EXPECT_GT(t.entries(), 0u);  // small items still resident
+}
+
+TEST(SlabMemTable, PeekDoesNotPerturbLru) {
+  SlabMemTable t(tiny_config());
+  for (int i = 0; i < 64; ++i) t.set("key" + std::to_string(i), "v");
+  t.peek("key0");
+  t.set("overflow", "v");
+  EXPECT_FALSE(t.contains("key0"));  // peek did not rescue it
+}
+
+TEST(SlabMemTable, ValuesWithEmbeddedNulAndCrlf) {
+  SlabMemTable t(tiny_config());
+  std::string payload;
+  payload.push_back('\0');
+  payload += "\r\nrest";
+  ASSERT_TRUE(t.set("bin", payload));
+  EXPECT_EQ(t.get("bin")->value, payload);
+}
+
+}  // namespace
+}  // namespace rnb::kv

@@ -1,0 +1,127 @@
+#include "kv/slab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace rnb::kv {
+namespace {
+
+SlabConfig small_config() {
+  SlabConfig cfg;
+  cfg.total_bytes = 4096;
+  cfg.page_bytes = 1024;
+  cfg.min_chunk = 64;
+  cfg.growth_factor = 2.0;
+  return cfg;
+}
+
+TEST(SlabAllocator, ClassTableIsGeometric) {
+  const SlabAllocator slabs(small_config());
+  // 64, 128, 256, 512, 1024.
+  ASSERT_EQ(slabs.num_classes(), 5u);
+  EXPECT_EQ(slabs.chunk_bytes(0), 64u);
+  EXPECT_EQ(slabs.chunk_bytes(4), 1024u);
+  for (std::uint32_t c = 1; c < slabs.num_classes(); ++c)
+    EXPECT_GT(slabs.chunk_bytes(c), slabs.chunk_bytes(c - 1));
+}
+
+TEST(SlabAllocator, SizeClassOfRoundsUp) {
+  const SlabAllocator slabs(small_config());
+  EXPECT_EQ(*slabs.size_class_of(1), 0u);
+  EXPECT_EQ(*slabs.size_class_of(64), 0u);
+  EXPECT_EQ(*slabs.size_class_of(65), 1u);
+  EXPECT_EQ(*slabs.size_class_of(1024), 4u);
+  EXPECT_FALSE(slabs.size_class_of(1025).has_value());
+}
+
+TEST(SlabAllocator, AllocateReturnsWritableDistinctChunks) {
+  SlabAllocator slabs(small_config());
+  const auto a = slabs.allocate(60);
+  const auto b = slabs.allocate(60);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->data, b->data);
+  std::memset(a->data, 0xAA, 64);
+  std::memset(b->data, 0xBB, 64);
+  EXPECT_EQ(static_cast<unsigned char>(a->data[0]), 0xAA);
+}
+
+TEST(SlabAllocator, ExhaustsAtPageBudget) {
+  // 4 pages of 1024B, all pulled into the 64B class: 64 chunks max.
+  SlabAllocator slabs(small_config());
+  std::vector<SlabRef> held;
+  for (int i = 0; i < 64; ++i) {
+    const auto ref = slabs.allocate(64);
+    ASSERT_TRUE(ref.has_value()) << i;
+    held.push_back(*ref);
+  }
+  EXPECT_FALSE(slabs.allocate(64).has_value());
+  // ...and the 128B class cannot grow either: calcification.
+  EXPECT_FALSE(slabs.allocate(100).has_value());
+  // Freeing a 64B chunk helps only the 64B class.
+  slabs.deallocate(held.back(), 64);
+  held.pop_back();
+  EXPECT_FALSE(slabs.allocate(100).has_value());
+  EXPECT_TRUE(slabs.allocate(64).has_value());
+}
+
+TEST(SlabAllocator, DeallocateRecyclesWithinClass) {
+  SlabAllocator slabs(small_config());
+  const auto a = slabs.allocate(200);  // class 256
+  ASSERT_TRUE(a);
+  char* ptr = a->data;
+  slabs.deallocate(*a, 200);
+  const auto b = slabs.allocate(250);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->data, ptr);  // LIFO free list reuses the chunk
+}
+
+TEST(SlabAllocator, ClassStatsTrackUsage) {
+  SlabAllocator slabs(small_config());
+  const auto a = slabs.allocate(64);
+  const auto b = slabs.allocate(64);
+  ASSERT_TRUE(a && b);
+  const auto stats = slabs.class_stats(0);
+  EXPECT_EQ(stats.chunk_bytes, 64u);
+  EXPECT_EQ(stats.pages, 1u);
+  EXPECT_EQ(stats.chunks_used, 2u);
+  EXPECT_EQ(stats.chunks_free, 1024u / 64u - 2u);
+}
+
+TEST(SlabAllocator, OverheadTracksInternalFragmentation) {
+  SlabAllocator slabs(small_config());
+  const auto a = slabs.allocate(65);  // 128-byte chunk: 63 wasted
+  ASSERT_TRUE(a);
+  EXPECT_EQ(slabs.overhead_bytes(), 63u);
+  slabs.deallocate(*a, 65);
+  EXPECT_EQ(slabs.overhead_bytes(), 0u);
+}
+
+TEST(SlabAllocator, ChunksWithinPageDoNotOverlap) {
+  SlabAllocator slabs(small_config());
+  std::set<char*> seen;
+  for (int i = 0; i < 16; ++i) {
+    const auto ref = slabs.allocate(64);
+    ASSERT_TRUE(ref);
+    EXPECT_TRUE(seen.insert(ref->data).second);
+    // Adjacent chunks must be >= 64 bytes apart.
+    for (char* other : seen) {
+      if (other != ref->data) {
+        EXPECT_GE(std::abs(ref->data - other), 64);
+      }
+    }
+  }
+}
+
+TEST(SlabAllocator, RejectsBadConfig) {
+  SlabConfig cfg = small_config();
+  cfg.growth_factor = 1.0;
+  EXPECT_DEATH(SlabAllocator{cfg}, "precondition");
+  cfg = small_config();
+  cfg.total_bytes = 100;  // < one page
+  EXPECT_DEATH(SlabAllocator{cfg}, "precondition");
+}
+
+}  // namespace
+}  // namespace rnb::kv

@@ -1,0 +1,118 @@
+#include "kv/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kv/protocol.hpp"
+
+namespace rnb::kv {
+namespace {
+
+TEST(UdpHeader, Roundtrip) {
+  const UdpFrameHeader header{0x1234, 7, 1, 0};
+  char wire[kUdpHeaderBytes];
+  encode_udp_header(header, wire);
+  const UdpFrameHeader back = decode_udp_header(wire);
+  EXPECT_EQ(back.request_id, 0x1234);
+  EXPECT_EQ(back.sequence, 7);
+  EXPECT_EQ(back.total_datagrams, 1);
+}
+
+TEST(UdpHeader, NetworkByteOrder) {
+  char wire[kUdpHeaderBytes];
+  encode_udp_header(UdpFrameHeader{0x0102, 0, 1, 0}, wire);
+  EXPECT_EQ(static_cast<unsigned char>(wire[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(wire[1]), 0x02);
+}
+
+TEST(UdpKv, SetGetOverDatagrams) {
+  UdpKvServer server(1 << 20);
+  UdpKvConnection conn(server.port());
+  std::string req;
+  encode_set("k", "datagram value", false, req);
+  auto resp = conn.roundtrip(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(parse_simple(*resp), "STORED");
+
+  req.clear();
+  encode_get({"k"}, false, req);
+  resp = conn.roundtrip(req);
+  ASSERT_TRUE(resp.has_value());
+  const auto values = parse_values(*resp, false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].data, "datagram value");
+}
+
+TEST(UdpKv, SmallMultiGetWorks) {
+  UdpKvServer server(1 << 20);
+  UdpKvConnection conn(server.port());
+  std::string req;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 20; ++i) {
+    keys.push_back("key:" + std::to_string(i));
+    req.clear();
+    encode_set(keys.back(), "v", false, req);
+    ASSERT_TRUE(conn.roundtrip(req).has_value());
+  }
+  req.clear();
+  encode_get(keys, false, req);
+  const auto resp = conn.roundtrip(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(parse_values(*resp, false)->size(), 20u);
+}
+
+TEST(UdpKv, OversizedResponseIsDroppedAndClientTimesOut) {
+  // The paper's reason for choosing TCP, reproduced: a multi-get whose
+  // response exceeds one datagram never arrives.
+  UdpKvServer server(256u << 20);
+  UdpKvConnection conn(server.port(), std::chrono::milliseconds(100));
+  const std::string big_value(30000, 'x');
+  std::string req;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4; ++i) {  // 4 x 30KB >> 64KB datagram limit
+    keys.push_back("big:" + std::to_string(i));
+    req.clear();
+    encode_set(keys.back(), big_value, false, req);
+    ASSERT_TRUE(conn.roundtrip(req).has_value());
+  }
+  req.clear();
+  encode_get(keys, false, req);
+  const auto resp = conn.roundtrip(req);
+  EXPECT_FALSE(resp.has_value());
+  EXPECT_EQ(conn.timeouts(), 1u);
+  EXPECT_EQ(server.oversize_drops(), 1u);
+}
+
+TEST(UdpKv, OversizedRequestRejectedClientSide) {
+  UdpKvServer server(256u << 20);
+  UdpKvConnection conn(server.port(), std::chrono::milliseconds(50));
+  std::string req;
+  encode_set("k", std::string(70000, 'x'), false, req);
+  EXPECT_FALSE(conn.roundtrip(req).has_value());
+  EXPECT_EQ(conn.timeouts(), 1u);
+}
+
+TEST(UdpKv, RequestIdsMatchAcrossSequentialCalls) {
+  UdpKvServer server(1 << 20);
+  UdpKvConnection conn(server.port());
+  std::string req;
+  for (int i = 0; i < 50; ++i) {
+    req.clear();
+    encode_set("k" + std::to_string(i), "v", false, req);
+    const auto resp = conn.roundtrip(req);
+    ASSERT_TRUE(resp.has_value());
+    ASSERT_EQ(parse_simple(*resp), "STORED");
+  }
+  EXPECT_EQ(server.server().counters().transactions, 50u);
+}
+
+TEST(UdpKv, ShutdownIsIdempotent) {
+  auto server = std::make_unique<UdpKvServer>(1 << 20);
+  server->shutdown();
+  server->shutdown();
+  server.reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rnb::kv

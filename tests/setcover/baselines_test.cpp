@@ -1,0 +1,64 @@
+#include "setcover/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rnb {
+namespace {
+
+CoverInstance make(std::vector<std::vector<ServerId>> candidates) {
+  CoverInstance instance;
+  instance.candidates = std::move(candidates);
+  return instance;
+}
+
+TEST(DistinguishedAssignment, AlwaysPicksFirstCandidate) {
+  const CoverInstance instance = make({{3, 1}, {5, 2}, {3, 9}});
+  const CoverResult r = distinguished_assignment(instance);
+  EXPECT_EQ(r.assignment, (std::vector<ServerId>{3, 5, 3}));
+  EXPECT_EQ(r.transactions(), 2u);  // servers 3 and 5
+  EXPECT_TRUE(r.valid_for(instance, 3));
+}
+
+TEST(DistinguishedAssignment, ServerOrderIsFirstUse) {
+  const CoverResult r = distinguished_assignment(make({{7}, {2}, {7}}));
+  EXPECT_EQ(r.servers_used, (std::vector<ServerId>{7, 2}));
+}
+
+TEST(RandomReplicaAssignment, OnlyUsesCandidates) {
+  Xoshiro256 rng(42);
+  const CoverInstance instance = make({{1, 2, 3}, {4, 5}, {6}});
+  for (int trial = 0; trial < 50; ++trial) {
+    const CoverResult r = random_replica_assignment(instance, rng);
+    EXPECT_TRUE(r.valid_for(instance, 3));
+  }
+}
+
+TEST(RandomReplicaAssignment, EventuallyUsesEveryReplica) {
+  Xoshiro256 rng(7);
+  const CoverInstance instance = make({{1, 2, 3}});
+  std::set<ServerId> seen;
+  for (int trial = 0; trial < 200; ++trial)
+    seen.insert(random_replica_assignment(instance, rng).assignment[0]);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RandomReplicaAssignment, SingleCandidateIsDeterministic) {
+  Xoshiro256 rng(9);
+  const CoverInstance instance = make({{8}, {8}});
+  const CoverResult r = random_replica_assignment(instance, rng);
+  EXPECT_EQ(r.transactions(), 1u);
+  EXPECT_EQ(r.assignment, (std::vector<ServerId>{8, 8}));
+}
+
+TEST(TransactionSizes, CountsPerServer) {
+  CoverResult r;
+  r.assignment = {4, 4, 2, kInvalidServer, 4};
+  r.servers_used = {4, 2};
+  const auto sizes = transaction_sizes(r, 8);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 1}));
+}
+
+}  // namespace
+}  // namespace rnb

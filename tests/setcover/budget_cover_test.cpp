@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "setcover/greedy.hpp"
+
+namespace rnb {
+namespace {
+
+CoverInstance make(std::vector<std::vector<ServerId>> candidates) {
+  CoverInstance instance;
+  instance.candidates = std::move(candidates);
+  return instance;
+}
+
+TEST(BudgetCover, ZeroBudgetCoversNothing) {
+  const CoverResult r = greedy_cover_budget(make({{1}, {2}}), 0);
+  EXPECT_EQ(r.transactions(), 0u);
+  EXPECT_EQ(r.covered_items(), 0u);
+}
+
+TEST(BudgetCover, BudgetOnePicksBiggestServer) {
+  // Server 5 holds three items; servers 6,7 hold one each.
+  const CoverResult r =
+      greedy_cover_budget(make({{5}, {5}, {5, 6}, {7}}), 1);
+  EXPECT_EQ(r.transactions(), 1u);
+  EXPECT_EQ(r.servers_used[0], 5u);
+  EXPECT_EQ(r.covered_items(), 3u);
+  EXPECT_EQ(r.assignment[3], kInvalidServer);
+}
+
+TEST(BudgetCover, StopsEarlyWhenEverythingCovered) {
+  const CoverResult r = greedy_cover_budget(make({{3}, {3}}), 10);
+  EXPECT_EQ(r.transactions(), 1u);
+  EXPECT_EQ(r.covered_items(), 2u);
+}
+
+TEST(BudgetCover, LargeBudgetEqualsFullGreedy) {
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    CoverInstance instance;
+    instance.candidates.resize(1 + rng.below(30));
+    for (auto& cand : instance.candidates) {
+      while (cand.size() < 3) {
+        const auto s = static_cast<ServerId>(rng.below(10));
+        if (std::find(cand.begin(), cand.end(), s) == cand.end())
+          cand.push_back(s);
+      }
+    }
+    const CoverResult full = greedy_cover(instance);
+    const CoverResult budget =
+        greedy_cover_budget(instance, instance.num_items());
+    EXPECT_EQ(full.servers_used, budget.servers_used);
+    EXPECT_EQ(full.covered_items(), budget.covered_items());
+  }
+}
+
+TEST(BudgetCover, CoverageMonotoneInBudget) {
+  Xoshiro256 rng(808);
+  CoverInstance instance;
+  instance.candidates.resize(60);
+  for (auto& cand : instance.candidates) {
+    while (cand.size() < 2) {
+      const auto s = static_cast<ServerId>(rng.below(16));
+      if (std::find(cand.begin(), cand.end(), s) == cand.end())
+        cand.push_back(s);
+    }
+  }
+  std::size_t prev = 0;
+  for (std::size_t budget = 1; budget <= 16; ++budget) {
+    const std::size_t covered =
+        greedy_cover_budget(instance, budget).covered_items();
+    EXPECT_GE(covered, prev);
+    prev = covered;
+  }
+  EXPECT_EQ(prev, 60u);
+}
+
+TEST(BudgetCover, ValidAssignments) {
+  Xoshiro256 rng(909);
+  for (int trial = 0; trial < 30; ++trial) {
+    CoverInstance instance;
+    instance.candidates.resize(20);
+    for (auto& cand : instance.candidates)
+      cand.push_back(static_cast<ServerId>(rng.below(8)));
+    const CoverResult r = greedy_cover_budget(instance, 3);
+    EXPECT_TRUE(r.valid_for(instance, 0));
+    EXPECT_LE(r.transactions(), 3u);
+  }
+}
+
+TEST(BudgetCover, GreedyMaxCoverageGuarantee) {
+  // Greedy maximum coverage is (1-1/e)-optimal; with budget k on instances
+  // where k servers CAN cover everything, greedy must cover >= 63% of items.
+  Xoshiro256 rng(313);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Build an instance where servers 0..3 jointly cover all 40 items.
+    CoverInstance instance;
+    instance.candidates.resize(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+      instance.candidates[i].push_back(static_cast<ServerId>(i % 4));
+      instance.candidates[i].push_back(
+          static_cast<ServerId>(4 + rng.below(12)));
+    }
+    const CoverResult r = greedy_cover_budget(instance, 4);
+    EXPECT_GE(r.covered_items(), 26u);  // 40 * (1 - 1/e) ~ 25.3
+  }
+}
+
+}  // namespace
+}  // namespace rnb

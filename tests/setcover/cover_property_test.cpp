@@ -1,0 +1,106 @@
+// Parameterized invariants over all full-cover solvers and random instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "setcover/baselines.hpp"
+#include "setcover/exact.hpp"
+#include "setcover/greedy.hpp"
+#include "setcover/lazy_greedy.hpp"
+
+namespace rnb {
+namespace {
+
+using Solver = std::function<CoverResult(const CoverInstance&)>;
+
+struct SolverCase {
+  std::string name;
+  Solver solve;
+};
+
+class CoverSolverProperty : public ::testing::TestWithParam<SolverCase> {
+ protected:
+  static CoverInstance random_instance(Xoshiro256& rng) {
+    CoverInstance instance;
+    instance.candidates.resize(1 + rng.below(40));
+    for (auto& cand : instance.candidates) {
+      const std::uint32_t repl = 1 + static_cast<std::uint32_t>(rng.below(4));
+      while (cand.size() < repl) {
+        const auto s = static_cast<ServerId>(rng.below(12));
+        if (std::find(cand.begin(), cand.end(), s) == cand.end())
+          cand.push_back(s);
+      }
+    }
+    return instance;
+  }
+};
+
+TEST_P(CoverSolverProperty, EveryItemAssignedToACandidate) {
+  Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 100; ++trial) {
+    const CoverInstance instance = random_instance(rng);
+    const CoverResult r = GetParam().solve(instance);
+    ASSERT_TRUE(r.valid_for(instance, instance.num_items()))
+        << GetParam().name << " trial " << trial;
+  }
+}
+
+TEST_P(CoverSolverProperty, ServersUsedHasNoDuplicates) {
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    const CoverInstance instance = random_instance(rng);
+    CoverResult r = GetParam().solve(instance);
+    std::vector<ServerId> sorted = r.servers_used;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+TEST_P(CoverSolverProperty, TransactionSizesSumToItemCount) {
+  Xoshiro256 rng(555);
+  for (int trial = 0; trial < 50; ++trial) {
+    const CoverInstance instance = random_instance(rng);
+    const CoverResult r = GetParam().solve(instance);
+    const auto sizes = transaction_sizes(r, 12);
+    std::size_t total = 0;
+    for (const std::size_t s : sizes) total += s;
+    EXPECT_EQ(total, instance.num_items());
+  }
+}
+
+TEST_P(CoverSolverProperty, NeverUsesMoreTransactionsThanItems) {
+  Xoshiro256 rng(111);
+  for (int trial = 0; trial < 50; ++trial) {
+    const CoverInstance instance = random_instance(rng);
+    const CoverResult r = GetParam().solve(instance);
+    EXPECT_LE(r.transactions(), instance.num_items());
+    EXPECT_GE(r.transactions(), instance.num_items() == 0 ? 0u : 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, CoverSolverProperty,
+    ::testing::Values(
+        SolverCase{"greedy", [](const CoverInstance& i) { return greedy_cover(i); }},
+        SolverCase{"lazy_greedy",
+                   [](const CoverInstance& i) { return lazy_greedy_cover(i); }},
+        SolverCase{"exact",
+                   [](const CoverInstance& i) { return *exact_cover(i); }},
+        SolverCase{"distinguished",
+                   [](const CoverInstance& i) {
+                     return distinguished_assignment(i);
+                   }},
+        SolverCase{"random_replica",
+                   [](const CoverInstance& i) {
+                     Xoshiro256 rng(1);
+                     return random_replica_assignment(i, rng);
+                   }}),
+    [](const ::testing::TestParamInfo<SolverCase>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,107 @@
+#include "setcover/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "setcover/greedy.hpp"
+
+namespace rnb {
+namespace {
+
+CoverInstance make(std::vector<std::vector<ServerId>> candidates) {
+  CoverInstance instance;
+  instance.candidates = std::move(candidates);
+  return instance;
+}
+
+TEST(ExactCover, EmptyInstance) {
+  const auto r = exact_cover(make({}));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->transactions(), 0u);
+}
+
+TEST(ExactCover, FindsKnownOptimum) {
+  // Greedy's classic trap: decoy server covers 4 mid items, but optimal is
+  // the two "edge" servers.
+  CoverInstance instance;
+  instance.candidates.resize(8);
+  for (std::size_t i = 0; i < 4; ++i) instance.candidates[i].push_back(10);
+  for (std::size_t i = 4; i < 8; ++i) instance.candidates[i].push_back(11);
+  for (std::size_t i = 2; i <= 5; ++i) instance.candidates[i].push_back(12);
+  const auto r = exact_cover(instance);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->transactions(), 2u);
+  EXPECT_TRUE(r->valid_for(instance, 8));
+}
+
+TEST(ExactCover, NeverWorseThanGreedy) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    CoverInstance instance;
+    const std::size_t m = 1 + rng.below(16);
+    instance.candidates.resize(m);
+    for (auto& cand : instance.candidates) {
+      const std::uint32_t repl = 1 + static_cast<std::uint32_t>(rng.below(3));
+      while (cand.size() < repl) {
+        const auto s = static_cast<ServerId>(rng.below(8));
+        if (std::find(cand.begin(), cand.end(), s) == cand.end())
+          cand.push_back(s);
+      }
+    }
+    const CoverResult greedy = greedy_cover(instance);
+    const auto exact = exact_cover(instance);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(exact->transactions(), greedy.transactions());
+    EXPECT_TRUE(exact->valid_for(instance, m));
+  }
+}
+
+TEST(ExactCover, GreedyNearOptimalOnRnbLikeInstances) {
+  // The paper's claim: on RnB's random instances greedy is near-optimal.
+  // Measure the mean ratio over random instances; it should be tiny.
+  Xoshiro256 rng(1234);
+  double ratio_sum = 0.0;
+  int trials = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    CoverInstance instance;
+    instance.candidates.resize(20);
+    for (auto& cand : instance.candidates) {
+      while (cand.size() < 3) {
+        const auto s = static_cast<ServerId>(rng.below(16));
+        if (std::find(cand.begin(), cand.end(), s) == cand.end())
+          cand.push_back(s);
+      }
+    }
+    const CoverResult greedy = greedy_cover(instance);
+    const auto exact = exact_cover(instance);
+    ASSERT_TRUE(exact.has_value());
+    ratio_sum += static_cast<double>(greedy.transactions()) /
+                 static_cast<double>(exact->transactions());
+    ++trials;
+  }
+  EXPECT_LT(ratio_sum / trials, 1.15);
+}
+
+TEST(ExactCover, RespectsNodeBudget) {
+  // A big instance with a one-node budget must bail out, not hang.
+  CoverInstance instance;
+  instance.candidates.resize(30);
+  Xoshiro256 rng(5);
+  for (auto& cand : instance.candidates) {
+    while (cand.size() < 4) {
+      const auto s = static_cast<ServerId>(rng.below(20));
+      if (std::find(cand.begin(), cand.end(), s) == cand.end())
+        cand.push_back(s);
+    }
+  }
+  EXPECT_FALSE(exact_cover(instance, 1).has_value());
+}
+
+TEST(ExactCover, SingleServerInstance) {
+  const auto r = exact_cover(make({{4}, {4}, {4}}));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->transactions(), 1u);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,95 @@
+// Ground-truth differential test: the branch-and-bound exact solver (and
+// hence everything validated against it) is checked against brute-force
+// subset enumeration on small instances — independent code, independent
+// bugs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "setcover/exact.hpp"
+#include "setcover/greedy.hpp"
+
+namespace rnb {
+namespace {
+
+/// Minimum cover size by enumerating every subset of the servers present.
+std::size_t brute_force_minimum(const CoverInstance& instance) {
+  std::vector<ServerId> servers;
+  for (const auto& cand : instance.candidates)
+    for (const ServerId s : cand)
+      if (std::find(servers.begin(), servers.end(), s) == servers.end())
+        servers.push_back(s);
+  const std::size_t n = servers.size();
+  std::size_t best = n;
+  for (std::uint64_t mask = 1; mask < (1ull << n); ++mask) {
+    const auto picked = static_cast<std::size_t>(__builtin_popcountll(mask));
+    if (picked >= best) continue;
+    bool covers_all = true;
+    for (const auto& cand : instance.candidates) {
+      bool covered = false;
+      for (const ServerId s : cand) {
+        const auto idx = static_cast<std::size_t>(
+            std::find(servers.begin(), servers.end(), s) - servers.begin());
+        if (mask & (1ull << idx)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (covers_all) best = picked;
+  }
+  return best;
+}
+
+TEST(ExhaustiveCover, ExactSolverMatchesBruteForce) {
+  Xoshiro256 rng(20240706);
+  for (int trial = 0; trial < 150; ++trial) {
+    CoverInstance instance;
+    const std::size_t m = 1 + rng.below(10);
+    instance.candidates.resize(m);
+    for (auto& cand : instance.candidates) {
+      const std::uint32_t repl = 1 + static_cast<std::uint32_t>(rng.below(3));
+      while (cand.size() < repl) {
+        const auto s = static_cast<ServerId>(rng.below(7));
+        if (std::find(cand.begin(), cand.end(), s) == cand.end())
+          cand.push_back(s);
+      }
+    }
+    const auto exact = exact_cover(instance);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_EQ(exact->transactions(), brute_force_minimum(instance))
+        << "trial " << trial;
+  }
+}
+
+TEST(ExhaustiveCover, GreedyWithinHarmonicBound) {
+  // Greedy <= H(max set size) * OPT; verify on random instances with the
+  // brute-force OPT.
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 80; ++trial) {
+    CoverInstance instance;
+    instance.candidates.resize(1 + rng.below(10));
+    for (auto& cand : instance.candidates) {
+      while (cand.size() < 2) {
+        const auto s = static_cast<ServerId>(rng.below(6));
+        if (std::find(cand.begin(), cand.end(), s) == cand.end())
+          cand.push_back(s);
+      }
+    }
+    const std::size_t opt = brute_force_minimum(instance);
+    const std::size_t greedy = greedy_cover(instance).transactions();
+    double harmonic = 0.0;
+    for (std::size_t k = 1; k <= instance.num_items(); ++k)
+      harmonic += 1.0 / static_cast<double>(k);
+    EXPECT_LE(static_cast<double>(greedy),
+              harmonic * static_cast<double>(opt) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rnb

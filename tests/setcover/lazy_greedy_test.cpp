@@ -1,0 +1,69 @@
+#include "setcover/lazy_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "setcover/greedy.hpp"
+
+namespace rnb {
+namespace {
+
+CoverInstance random_instance(Xoshiro256& rng, std::size_t items,
+                              ServerId servers, std::uint32_t replication) {
+  CoverInstance instance;
+  instance.candidates.resize(items);
+  for (auto& cand : instance.candidates) {
+    while (cand.size() < replication) {
+      const auto s = static_cast<ServerId>(rng.below(servers));
+      if (std::find(cand.begin(), cand.end(), s) == cand.end())
+        cand.push_back(s);
+    }
+  }
+  return instance;
+}
+
+TEST(LazyGreedy, MatchesPlainGreedyExactly) {
+  // The lazy variant's entire contract: identical picks, order included.
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + rng.below(60);
+    const auto servers = static_cast<ServerId>(2 + rng.below(20));
+    const auto repl =
+        static_cast<std::uint32_t>(1 + rng.below(std::min<ServerId>(4, servers)));
+    const CoverInstance instance = random_instance(rng, m, servers, repl);
+    const CoverResult plain = greedy_cover(instance);
+    const CoverResult lazy = lazy_greedy_cover(instance);
+    ASSERT_EQ(plain.servers_used, lazy.servers_used) << "trial " << trial;
+    ASSERT_EQ(plain.assignment, lazy.assignment) << "trial " << trial;
+  }
+}
+
+TEST(LazyGreedy, MatchesPlainGreedyPartial) {
+  Xoshiro256 rng(4048);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t m = 2 + rng.below(50);
+    const CoverInstance instance =
+        random_instance(rng, m, static_cast<ServerId>(8), 3);
+    const std::size_t target = 1 + rng.below(m);
+    const CoverResult plain = greedy_cover_partial(instance, target);
+    const CoverResult lazy = lazy_greedy_cover_partial(instance, target);
+    ASSERT_EQ(plain.servers_used, lazy.servers_used);
+    ASSERT_EQ(plain.assignment, lazy.assignment);
+  }
+}
+
+TEST(LazyGreedy, EmptyInstance) {
+  const CoverResult r = lazy_greedy_cover(CoverInstance{});
+  EXPECT_EQ(r.transactions(), 0u);
+}
+
+TEST(LazyGreedy, CoversEverythingItMust) {
+  Xoshiro256 rng(7);
+  const CoverInstance instance = random_instance(rng, 100, 16, 3);
+  const CoverResult r = lazy_greedy_cover(instance);
+  EXPECT_EQ(r.covered_items(), 100u);
+  EXPECT_TRUE(r.valid_for(instance, 100));
+}
+
+}  // namespace
+}  // namespace rnb

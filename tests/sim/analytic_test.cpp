@@ -1,0 +1,79 @@
+#include "sim/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rnb {
+namespace {
+
+TEST(Analytic, SingleServerAlwaysContacted) {
+  EXPECT_DOUBLE_EQ(server_contact_probability(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(server_contact_probability(1, 100), 1.0);
+}
+
+TEST(Analytic, SingleItemContactsOneServer) {
+  // W(N, 1) = 1/N exactly.
+  for (const std::uint64_t n : {2u, 4u, 16u, 100u})
+    EXPECT_NEAR(server_contact_probability(n, 1), 1.0 / static_cast<double>(n),
+                1e-12);
+}
+
+TEST(Analytic, MatchesDirectFormula) {
+  for (const std::uint64_t n : {2u, 8u, 32u})
+    for (const std::uint64_t m : {1u, 10u, 50u, 100u}) {
+      const double direct =
+          1.0 - std::pow(1.0 - 1.0 / static_cast<double>(n),
+                         static_cast<double>(m));
+      EXPECT_NEAR(server_contact_probability(n, m), direct, 1e-12);
+    }
+}
+
+TEST(Analytic, TprApproachesMinOfNAndM) {
+  // N >> M: every item on its own server, TPR -> M.
+  EXPECT_NEAR(expected_tpr(100000, 10), 10.0, 0.01);
+  // M >> N: every server contacted, TPR -> N.
+  EXPECT_NEAR(expected_tpr(10, 100000), 10.0, 1e-9);
+}
+
+TEST(Analytic, ScalingFactorIdealForSingleItem) {
+  // Paper Section II-A: W(N,1)/W(2N,1) == 2 for any N.
+  for (const std::uint64_t n : {1u, 4u, 64u})
+    EXPECT_NEAR(tprps_scaling_factor(n, 1), 2.0, 1e-9);
+}
+
+TEST(Analytic, ScalingFactorDegradesWhenItemsDominate) {
+  // Paper: "when the number of servers is significantly smaller than the
+  // number of items in a request, doubling the number of servers yields
+  // negligible performance benefit."
+  EXPECT_LT(tprps_scaling_factor(2, 100), 1.01);
+  // "Even when the two numbers are equal, doubling ... only increases
+  // throughput by some 50%."
+  EXPECT_NEAR(tprps_scaling_factor(50, 50), 1.57, 0.05);
+  // N >> M recovers near-ideal scaling.
+  EXPECT_GT(tprps_scaling_factor(5000, 10), 1.95);
+}
+
+TEST(Analytic, ScalingFactorMonotoneInServers) {
+  double prev = 0.0;
+  for (std::uint64_t n = 1; n <= 512; n *= 2) {
+    const double f = tprps_scaling_factor(n, 50);
+    EXPECT_GE(f, prev - 1e-12);
+    prev = f;
+  }
+}
+
+TEST(Analytic, RelativeThroughputIsInverseW) {
+  EXPECT_DOUBLE_EQ(relative_throughput_vs_single(1, 37), 1.0);
+  EXPECT_NEAR(relative_throughput_vs_single(16, 50),
+              1.0 / server_contact_probability(16, 50), 1e-12);
+}
+
+TEST(Analytic, RelativeThroughputFarBelowLinear) {
+  // The multi-get hole itself: 32 servers under 100-item requests scale
+  // nowhere near 32x.
+  EXPECT_LT(relative_throughput_vs_single(32, 100), 2.0);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,86 @@
+#include "sim/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rnb {
+namespace {
+
+TEST(ThroughputModel, AffineCost) {
+  const ThroughputModel m(10e-6, 1e-6);
+  EXPECT_DOUBLE_EQ(m.transaction_seconds(0.0), 10e-6);
+  EXPECT_DOUBLE_EQ(m.transaction_seconds(10.0), 20e-6);
+  EXPECT_DOUBLE_EQ(m.transactions_per_second(0.0), 1e5);
+}
+
+TEST(ThroughputModel, ItemsPerSecondGrowsThenSaturates) {
+  // Fig. 13's shape: near-linear growth at small k, saturating at 1/t_item.
+  const ThroughputModel m = ThroughputModel::paper_default();
+  const double at1 = m.items_per_second(1);
+  const double at10 = m.items_per_second(10);
+  const double at100 = m.items_per_second(100);
+  const double at1000 = m.items_per_second(1000);
+  EXPECT_GT(at10, 7.0 * at1);          // near-linear early
+  EXPECT_GT(at100, 3.0 * at10);        // still growing
+  EXPECT_LT(at1000, 10.0 * at100);     // saturating
+  EXPECT_LT(at1000, 1.0 / m.t_item());  // hard ceiling
+}
+
+TEST(ThroughputModel, FitRecoversKnownConstants) {
+  const ThroughputModel truth(8e-6, 0.5e-6);
+  std::vector<MicrobenchSample> samples;
+  for (const double k : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0})
+    samples.push_back({k, truth.transactions_per_second(k)});
+  const ThroughputModel fitted = ThroughputModel::fit(samples);
+  EXPECT_NEAR(fitted.t_transaction(), 8e-6, 1e-8);
+  EXPECT_NEAR(fitted.t_item(), 0.5e-6, 1e-9);
+}
+
+TEST(ThroughputModel, FitToleratesNoise) {
+  const ThroughputModel truth(8e-6, 0.5e-6);
+  std::vector<MicrobenchSample> samples;
+  double wiggle = 1.02;
+  for (const double k : {1.0, 4.0, 16.0, 64.0}) {
+    samples.push_back({k, truth.transactions_per_second(k) * wiggle});
+    wiggle = 2.0 - wiggle;  // alternate +/-2%
+  }
+  const ThroughputModel fitted = ThroughputModel::fit(samples);
+  EXPECT_NEAR(fitted.t_transaction(), 8e-6, 1e-6);
+  EXPECT_NEAR(fitted.t_item(), 0.5e-6, 2e-7);
+}
+
+TEST(ThroughputModel, TotalSecondsFromHistogram) {
+  const ThroughputModel m(10e-6, 1e-6);
+  Histogram h;
+  h.add(1, 100);  // 100 single-key transactions
+  h.add(10, 10);  // 10 ten-key transactions
+  const double expected = 100 * 11e-6 + 10 * 20e-6;
+  EXPECT_NEAR(m.total_seconds(h), expected, 1e-12);
+}
+
+TEST(ThroughputModel, SystemThroughputScalesWithServers) {
+  const ThroughputModel m(10e-6, 1e-6);
+  Histogram h;
+  h.add(5, 1000);
+  const double one = m.system_requests_per_second(h, 500, 1);
+  const double four = m.system_requests_per_second(h, 500, 4);
+  EXPECT_NEAR(four, 4.0 * one, 1e-6);
+}
+
+TEST(ThroughputModel, FewerTransactionsMeansMoreThroughput) {
+  // Same 1000 keys served as 100x10 bundled vs 1000x1 unbundled.
+  const ThroughputModel m = ThroughputModel::paper_default();
+  Histogram bundled, unbundled;
+  bundled.add(10, 100);
+  unbundled.add(1, 1000);
+  const double b = m.system_requests_per_second(bundled, 100, 16);
+  const double u = m.system_requests_per_second(unbundled, 100, 16);
+  EXPECT_GT(b, 3.0 * u);
+}
+
+TEST(ThroughputModel, FitRequiresTwoDistinctSizes) {
+  std::vector<MicrobenchSample> samples = {{5.0, 1000.0}, {5.0, 1100.0}};
+  EXPECT_DEATH(ThroughputModel::fit(samples), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,78 @@
+#include "sim/full_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/uniform_workload.hpp"
+
+namespace rnb {
+namespace {
+
+FullSimConfig quick_config(std::uint32_t replicas, bool unlimited = true,
+                           double memory = 1.0) {
+  FullSimConfig cfg;
+  cfg.cluster.num_servers = 16;
+  cfg.cluster.logical_replicas = replicas;
+  cfg.cluster.unlimited_memory = unlimited;
+  cfg.cluster.relative_memory = memory;
+  cfg.cluster.seed = 42;
+  cfg.measure_requests = 300;
+  return cfg;
+}
+
+TEST(FullSim, BaselineTprMatchesAnalyticModel) {
+  // Replication 1 + uniform requests == the closed-form urn model.
+  UniformWorkload source(1u << 16, 50, 7);
+  const FullSimResult result = run_full_sim(source, quick_config(1));
+  // W(16, 50) * 16 = 15.34.
+  EXPECT_NEAR(result.metrics.tpr(), 15.34, 0.35);
+}
+
+TEST(FullSim, ReplicationReducesTpr) {
+  UniformWorkload s1(1u << 16, 50, 7), s4(1u << 16, 50, 7);
+  const double tpr1 = run_full_sim(s1, quick_config(1)).metrics.tpr();
+  const double tpr4 = run_full_sim(s4, quick_config(4)).metrics.tpr();
+  EXPECT_LT(tpr4, tpr1 * 0.65);
+}
+
+TEST(FullSim, WarmupWarmsCaches) {
+  FullSimConfig cold = quick_config(3, false, 2.0);
+  FullSimConfig warm = cold;
+  warm.warmup_requests = 3000;
+  // Small universe so the warmup actually covers it.
+  UniformWorkload sc(2000, 30, 9), sw(2000, 30, 9);
+  const double miss_cold = run_full_sim(sc, cold).metrics.mean_misses();
+  const double miss_warm = run_full_sim(sw, warm).metrics.mean_misses();
+  EXPECT_LT(miss_warm, miss_cold);
+}
+
+TEST(FullSim, ResultCarriesClusterShape) {
+  UniformWorkload source(5000, 10, 3);
+  const FullSimResult r = run_full_sim(source, quick_config(2));
+  EXPECT_EQ(r.num_items, 5000u);
+  EXPECT_EQ(r.num_servers, 16u);
+  EXPECT_EQ(r.metrics.requests(), 300u);
+  EXPECT_GE(r.resident_copies, 5000u);
+}
+
+TEST(FullSim, TransactionHistogramPopulated) {
+  UniformWorkload source(5000, 20, 5);
+  const FullSimResult r = run_full_sim(source, quick_config(2));
+  EXPECT_GT(r.metrics.transaction_sizes().total(), 0u);
+  // Total keys across transactions == items fetched (20 per request, no
+  // hitchhiking, no misses in unlimited mode).
+  std::uint64_t keys = 0;
+  r.metrics.transaction_sizes().for_each(
+      [&](std::uint64_t k, std::uint64_t c) { keys += k * c; });
+  EXPECT_EQ(keys, 300u * 20u);
+}
+
+TEST(FullSim, DeterministicAcrossRuns) {
+  UniformWorkload a(5000, 20, 5), b(5000, 20, 5);
+  const FullSimResult ra = run_full_sim(a, quick_config(3));
+  const FullSimResult rb = run_full_sim(b, quick_config(3));
+  EXPECT_DOUBLE_EQ(ra.metrics.tpr(), rb.metrics.tpr());
+  EXPECT_EQ(ra.resident_copies, rb.resident_copies);
+}
+
+}  // namespace
+}  // namespace rnb

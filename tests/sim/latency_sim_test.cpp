@@ -1,0 +1,80 @@
+#include "sim/latency_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/uniform_workload.hpp"
+
+namespace rnb {
+namespace {
+
+LatencySimConfig base_config(double load, std::uint32_t replicas = 1) {
+  LatencySimConfig cfg;
+  cfg.cluster.num_servers = 16;
+  cfg.cluster.logical_replicas = replicas;
+  cfg.cluster.seed = 42;
+  cfg.arrival_rate = load;
+  cfg.requests = 8000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(LatencySim, LightLoadLatencyIsServicePlusRtt) {
+  // At negligible load there is no queueing: latency ~ rtt + slowest
+  // transaction's service time.
+  UniformWorkload source(1u << 16, 20, 3);
+  const LatencySimConfig cfg = base_config(10.0);  // 10 rps: idle system
+  const LatencySimResult r = run_latency_sim(source, cfg);
+  const double service_bound =
+      cfg.network_rtt + cfg.model.transaction_seconds(20.0);
+  EXPECT_GT(r.latency.mean(), cfg.network_rtt);
+  EXPECT_LT(r.latency.mean(), service_bound);
+  EXPECT_LT(r.max_utilization, 0.01);
+}
+
+TEST(LatencySim, LatencyGrowsWithLoad) {
+  UniformWorkload s1(1u << 16, 20, 3), s2(1u << 16, 20, 3);
+  const double light = run_latency_sim(s1, base_config(1000.0)).p99();
+  const double heavy = run_latency_sim(s2, base_config(400000.0)).p99();
+  EXPECT_GT(heavy, light * 2.0);
+}
+
+TEST(LatencySim, RnbSustainsHigherLoadThanBaseline) {
+  // At a load near the baseline's saturation, RnB (fewer transactions)
+  // must show both lower utilization and lower tail latency.
+  UniformWorkload s1(1u << 16, 40, 3), s2(1u << 16, 40, 3);
+  const LatencySimResult base =
+      run_latency_sim(s1, base_config(120000.0, 1));
+  const LatencySimResult rnb = run_latency_sim(s2, base_config(120000.0, 4));
+  EXPECT_LT(rnb.tpr, base.tpr);
+  EXPECT_LT(rnb.mean_utilization, base.mean_utilization);
+  EXPECT_LT(rnb.p99(), base.p99());
+}
+
+TEST(LatencySim, UtilizationMatchesLittleLaw) {
+  // Offered work per second = lambda * TPR * mean service; utilization must
+  // track it when far from saturation.
+  UniformWorkload source(1u << 16, 20, 3);
+  const LatencySimConfig cfg = base_config(50000.0);
+  const LatencySimResult r = run_latency_sim(source, cfg);
+  // TPR for (16, 20) ~ 11.5; each transaction ~ t_txn + ~1.7 items * t_item.
+  const double mean_keys = 20.0 / r.tpr;
+  const double expected_util = cfg.arrival_rate * r.tpr *
+                               cfg.model.transaction_seconds(mean_keys) / 16.0;
+  EXPECT_NEAR(r.mean_utilization, expected_util, expected_util * 0.15);
+}
+
+TEST(LatencySim, DeterministicPerSeed) {
+  UniformWorkload s1(10000, 15, 9), s2(10000, 15, 9);
+  const double a = run_latency_sim(s1, base_config(50000.0)).latency.mean();
+  const double b = run_latency_sim(s2, base_config(50000.0)).latency.mean();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(LatencySim, RejectsBadConfig) {
+  UniformWorkload source(1000, 5, 1);
+  LatencySimConfig cfg = base_config(0.0);
+  EXPECT_DEATH(run_latency_sim(source, cfg), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,85 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/analytic.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(MonteCarlo, MatchesAnalyticWithoutReplication) {
+  // Replication 1, full fetch: TPR must equal N * W(N, M).
+  MonteCarloConfig cfg;
+  cfg.num_servers = 16;
+  cfg.replication = 1;
+  cfg.request_size = 50;
+  cfg.trials = 4000;
+  cfg.seed = 11;
+  const MonteCarloResult r = run_monte_carlo(cfg);
+  EXPECT_NEAR(r.tpr(), expected_tpr(16, 50), 0.15);
+}
+
+TEST(MonteCarlo, ReplicationShrinksTpr) {
+  MonteCarloConfig cfg;
+  cfg.num_servers = 16;
+  cfg.request_size = 50;
+  cfg.trials = 1500;
+  cfg.replication = 1;
+  const double r1 = run_monte_carlo(cfg).tpr();
+  cfg.replication = 3;
+  const double r3 = run_monte_carlo(cfg).tpr();
+  cfg.replication = 5;
+  const double r5 = run_monte_carlo(cfg).tpr();
+  EXPECT_LT(r3, r1);
+  EXPECT_LT(r5, r3);
+}
+
+TEST(MonteCarlo, PartialFetchShrinksTpr) {
+  MonteCarloConfig cfg;
+  cfg.num_servers = 32;
+  cfg.replication = 2;
+  cfg.request_size = 100;
+  cfg.trials = 1000;
+  cfg.fetch_fraction = 1.0;
+  const double full = run_monte_carlo(cfg).tpr();
+  cfg.fetch_fraction = 0.9;
+  const MonteCarloResult r90 = run_monte_carlo(cfg);
+  cfg.fetch_fraction = 0.5;
+  const MonteCarloResult r50 = run_monte_carlo(cfg);
+  EXPECT_LT(r90.tpr(), full);
+  EXPECT_LT(r50.tpr(), r90.tpr());
+  // LIMIT semantics: at least the target is always fetched.
+  EXPECT_GE(r90.items_fetched.min(), 90.0);
+  EXPECT_GE(r50.items_fetched.min(), 50.0);
+}
+
+TEST(MonteCarlo, FullFetchFetchesEverything) {
+  MonteCarloConfig cfg;
+  cfg.num_servers = 8;
+  cfg.replication = 2;
+  cfg.request_size = 30;
+  cfg.trials = 200;
+  const MonteCarloResult r = run_monte_carlo(cfg);
+  EXPECT_DOUBLE_EQ(r.items_fetched.mean(), 30.0);
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  MonteCarloConfig cfg;
+  cfg.trials = 500;
+  cfg.seed = 77;
+  EXPECT_DOUBLE_EQ(run_monte_carlo(cfg).tpr(), run_monte_carlo(cfg).tpr());
+}
+
+TEST(MonteCarlo, TprBoundedByServersAndItems) {
+  MonteCarloConfig cfg;
+  cfg.num_servers = 16;
+  cfg.replication = 2;
+  cfg.request_size = 10;
+  cfg.trials = 500;
+  const MonteCarloResult r = run_monte_carlo(cfg);
+  EXPECT_LE(r.transactions.max(), 10.0);
+  EXPECT_GE(r.transactions.min(), 1.0);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,52 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/uniform_workload.hpp"
+
+namespace rnb {
+namespace {
+
+SweepCell make_cell(std::uint32_t replicas, std::uint64_t seed) {
+  SweepCell cell;
+  cell.config.cluster.num_servers = 16;
+  cell.config.cluster.logical_replicas = replicas;
+  cell.config.cluster.seed = 42;
+  cell.config.measure_requests = 200;
+  cell.make_source = [seed] {
+    return std::make_unique<UniformWorkload>(10000, 30, seed);
+  };
+  return cell;
+}
+
+TEST(Sweep, MatchesSequentialRuns) {
+  std::vector<SweepCell> cells;
+  for (const std::uint32_t r : {1u, 2u, 3u, 4u}) cells.push_back(make_cell(r, 7));
+  const auto swept = run_sweep(cells);
+  ASSERT_EQ(swept.size(), 4u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto source = cells[i].make_source();
+    const FullSimResult solo = run_full_sim(*source, cells[i].config);
+    EXPECT_DOUBLE_EQ(swept[i].metrics.tpr(), solo.metrics.tpr()) << i;
+    EXPECT_EQ(swept[i].resident_copies, solo.resident_copies) << i;
+  }
+}
+
+TEST(Sweep, EmptyGrid) {
+  EXPECT_TRUE(run_sweep({}).empty());
+}
+
+TEST(Sweep, CellsAreIndependent) {
+  // Same cell twice must give identical results (no cross-cell leakage).
+  std::vector<SweepCell> cells = {make_cell(2, 9), make_cell(2, 9)};
+  const auto results = run_sweep(cells);
+  EXPECT_DOUBLE_EQ(results[0].metrics.tpr(), results[1].metrics.tpr());
+}
+
+TEST(Sweep, MissingFactoryDies) {
+  std::vector<SweepCell> cells(1);
+  EXPECT_DEATH(run_sweep(cells), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb

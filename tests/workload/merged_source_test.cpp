@@ -1,0 +1,63 @@
+#include "workload/merged_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/uniform_workload.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(MergedSource, ConcatenatesWindowRequests) {
+  MergedSource merged(std::make_unique<UniformWorkload>(10000, 20, 1), 3);
+  std::vector<ItemId> req;
+  merged.next(req);
+  EXPECT_EQ(req.size(), 60u);
+  EXPECT_EQ(merged.window(), 3u);
+}
+
+TEST(MergedSource, WindowOneIsPassthrough) {
+  UniformWorkload reference(10000, 20, 5);
+  MergedSource merged(std::make_unique<UniformWorkload>(10000, 20, 5), 1);
+  std::vector<ItemId> a, b;
+  for (int i = 0; i < 20; ++i) {
+    reference.next(a);
+    merged.next(b);
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(MergedSource, MatchesManualConcatenation) {
+  UniformWorkload reference(10000, 15, 9);
+  MergedSource merged(std::make_unique<UniformWorkload>(10000, 15, 9), 2);
+  std::vector<ItemId> expected, part, actual;
+  for (int i = 0; i < 10; ++i) {
+    expected.clear();
+    reference.next(part);
+    expected.insert(expected.end(), part.begin(), part.end());
+    reference.next(part);
+    expected.insert(expected.end(), part.begin(), part.end());
+    merged.next(actual);
+    ASSERT_EQ(actual, expected);
+  }
+}
+
+TEST(MergedSource, PreservesUniverse) {
+  MergedSource merged(std::make_unique<UniformWorkload>(777, 5, 1), 4);
+  EXPECT_EQ(merged.universe_size(), 777u);
+}
+
+TEST(MergedSource, MayContainCrossRequestDuplicates) {
+  // Duplicates across merged sub-requests are allowed (the client dedups);
+  // with a tiny universe they are guaranteed.
+  MergedSource merged(std::make_unique<UniformWorkload>(10, 10, 2), 2);
+  std::vector<ItemId> req;
+  merged.next(req);
+  EXPECT_EQ(req.size(), 20u);
+  const std::set<ItemId> unique(req.begin(), req.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+}  // namespace
+}  // namespace rnb

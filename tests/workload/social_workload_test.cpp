@@ -1,0 +1,119 @@
+#include "workload/social_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(SocialWorkload, RequestsAreNeighborLists) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  const DirectedGraph g = std::move(b).build();
+  SocialWorkload w(g, 1);
+  std::vector<ItemId> req;
+  for (int i = 0; i < 100; ++i) {
+    w.next(req);
+    ASSERT_FALSE(req.empty());
+    // Requests are either node 0's list {1,2} or node 3's list {4}.
+    if (req.size() == 2)
+      EXPECT_EQ(req, (std::vector<ItemId>{1, 2}));
+    else
+      EXPECT_EQ(req, (std::vector<ItemId>{4}));
+  }
+}
+
+TEST(SocialWorkload, NeverEmitsEmptyRequest) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 2000, .edges = 8000, .max_degree = 100, .seed = 3});
+  SocialWorkload w(g, 7);
+  std::vector<ItemId> req;
+  for (int i = 0; i < 2000; ++i) {
+    w.next(req);
+    EXPECT_FALSE(req.empty());
+  }
+}
+
+TEST(SocialWorkload, DeterministicPerSeed) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 1000, .edges = 5000, .max_degree = 100, .seed = 3});
+  SocialWorkload a(g, 42), b(g, 42);
+  std::vector<ItemId> ra, rb;
+  for (int i = 0; i < 100; ++i) {
+    a.next(ra);
+    b.next(rb);
+    ASSERT_EQ(ra, rb);
+  }
+}
+
+TEST(SocialWorkload, MeanRequestSizeMatchesActiveDegree) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 5000, .edges = 40000, .max_degree = 400, .seed = 5});
+  SocialWorkload w(g, 9);
+  std::vector<ItemId> req;
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    w.next(req);
+    total += static_cast<double>(req.size());
+  }
+  EXPECT_NEAR(total / n, w.mean_request_size(),
+              w.mean_request_size() * 0.15);
+}
+
+TEST(SocialWorkload, UniverseIsNodeCount) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 1234, .edges = 5000, .max_degree = 100, .seed = 1});
+  SocialWorkload w(g, 1);
+  EXPECT_EQ(w.universe_size(), 1234u);
+}
+
+TEST(SocialWorkload, RequiresNonEmptyGraph) {
+  const DirectedGraph g = GraphBuilder(10).build();  // no edges at all
+  EXPECT_DEATH(SocialWorkload(g, 1), "precondition");
+}
+
+
+TEST(SocialWorkload, ActivitySkewConcentratesUsers) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 5000, .edges = 25000, .max_degree = 200, .seed = 3});
+  SocialWorkload skewed(g, 11, /*activity_skew=*/1.2);
+  SocialWorkload uniform(g, 11, /*activity_skew=*/0.0);
+  const auto distinct_requests = [](SocialWorkload& w) {
+    std::set<std::vector<ItemId>> seen;
+    std::vector<ItemId> req;
+    for (int i = 0; i < 3000; ++i) {
+      w.next(req);
+      seen.insert(req);
+    }
+    return seen.size();
+  };
+  // Zipf-activity traffic repeats far fewer distinct users' requests.
+  EXPECT_LT(distinct_requests(skewed), distinct_requests(uniform) / 2);
+}
+
+TEST(SocialWorkload, SkewZeroMatchesDefaultExactly) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 1000, .edges = 5000, .max_degree = 100, .seed = 3});
+  SocialWorkload a(g, 42), b(g, 42, 0.0);
+  std::vector<ItemId> ra, rb;
+  for (int i = 0; i < 50; ++i) {
+    a.next(ra);
+    b.next(rb);
+    ASSERT_EQ(ra, rb);
+  }
+}
+
+TEST(SocialWorkload, RejectsNegativeSkew) {
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 100, .edges = 400, .max_degree = 30, .seed = 3});
+  EXPECT_DEATH(SocialWorkload(g, 1, -0.5), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb

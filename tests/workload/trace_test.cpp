@@ -1,0 +1,88 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/uniform_workload.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(Trace, RoundtripPreservesRequests) {
+  UniformWorkload original(1000, 10, 42);
+  std::ostringstream recorded;
+  write_trace(original, 50, recorded);
+
+  std::istringstream replay_stream(recorded.str());
+  TraceReplaySource replay(replay_stream);
+  ASSERT_EQ(replay.trace_length(), 50u);
+
+  UniformWorkload reference(1000, 10, 42);
+  std::vector<ItemId> expected, actual;
+  for (int i = 0; i < 50; ++i) {
+    reference.next(expected);
+    replay.next(actual);
+    ASSERT_EQ(actual, expected) << "request " << i;
+  }
+}
+
+TEST(Trace, ReplayCyclesAtEnd) {
+  std::istringstream in("1 2 3\n4 5\n");
+  TraceReplaySource replay(in);
+  std::vector<ItemId> req;
+  replay.next(req);
+  EXPECT_EQ(req, (std::vector<ItemId>{1, 2, 3}));
+  replay.next(req);
+  EXPECT_EQ(req, (std::vector<ItemId>{4, 5}));
+  EXPECT_EQ(replay.cycles(), 1u);
+  replay.next(req);
+  EXPECT_EQ(req, (std::vector<ItemId>{1, 2, 3}));
+}
+
+TEST(Trace, UniverseIsMaxIdPlusOne) {
+  std::istringstream in("7 900\n3\n");
+  TraceReplaySource replay(in);
+  EXPECT_EQ(replay.universe_size(), 901u);
+}
+
+TEST(Trace, SkipsCommentsAndBlanks) {
+  std::istringstream in("# header\n\n1 2\n# tail\n3\n");
+  TraceReplaySource replay(in);
+  EXPECT_EQ(replay.trace_length(), 2u);
+}
+
+TEST(Trace, ThrowsOnGarbage) {
+  std::istringstream in("1 banana\n");
+  EXPECT_THROW(TraceReplaySource{in}, std::runtime_error);
+}
+
+TEST(Trace, ThrowsOnEmptyTrace) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW(TraceReplaySource{in}, std::runtime_error);
+}
+
+TEST(Trace, ThrowsOnMissingFile) {
+  EXPECT_THROW(TraceReplaySource::from_file("/no/such/trace.txt"),
+               std::runtime_error);
+}
+
+TEST(Trace, FileRoundtrip) {
+  const std::string path = ::testing::TempDir() + "/rnb_trace_test.txt";
+  UniformWorkload source(500, 5, 7);
+  write_trace_file(source, 20, path);
+  TraceReplaySource replay = TraceReplaySource::from_file(path);
+  EXPECT_EQ(replay.trace_length(), 20u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, HandlesCrlfAndExtraSpaces) {
+  std::istringstream in("  1  2 3 \r\n4\r\n");
+  TraceReplaySource replay(in);
+  std::vector<ItemId> req;
+  replay.next(req);
+  EXPECT_EQ(req, (std::vector<ItemId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rnb

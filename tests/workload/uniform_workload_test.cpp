@@ -1,0 +1,56 @@
+#include "workload/uniform_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rnb {
+namespace {
+
+TEST(UniformWorkload, ExactRequestSizeDistinctItems) {
+  UniformWorkload w(1000, 50, 1);
+  std::vector<ItemId> req;
+  for (int i = 0; i < 200; ++i) {
+    w.next(req);
+    ASSERT_EQ(req.size(), 50u);
+    const std::set<ItemId> unique(req.begin(), req.end());
+    ASSERT_EQ(unique.size(), 50u);
+    for (const ItemId item : req) ASSERT_LT(item, 1000u);
+  }
+}
+
+TEST(UniformWorkload, CoversUniverseOverTime) {
+  UniformWorkload w(100, 10, 2);
+  std::set<ItemId> seen;
+  std::vector<ItemId> req;
+  for (int i = 0; i < 500; ++i) {
+    w.next(req);
+    seen.insert(req.begin(), req.end());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(UniformWorkload, RequestSizeEqualsUniverse) {
+  UniformWorkload w(10, 10, 3);
+  std::vector<ItemId> req;
+  w.next(req);
+  const std::set<ItemId> unique(req.begin(), req.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(UniformWorkload, DeterministicPerSeed) {
+  UniformWorkload a(1000, 20, 9), b(1000, 20, 9);
+  std::vector<ItemId> ra, rb;
+  for (int i = 0; i < 50; ++i) {
+    a.next(ra);
+    b.next(rb);
+    ASSERT_EQ(ra, rb);
+  }
+}
+
+TEST(UniformWorkload, RejectsOversizedRequests) {
+  EXPECT_DEATH(UniformWorkload(5, 6, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb

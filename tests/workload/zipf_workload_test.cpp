@@ -1,0 +1,82 @@
+#include "workload/zipf_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace rnb {
+namespace {
+
+TEST(ZipfWorkload, RequestShapeInvariants) {
+  ZipfWorkload w(1000, 30, 1.0, 1);
+  std::vector<ItemId> req;
+  for (int i = 0; i < 100; ++i) {
+    w.next(req);
+    ASSERT_EQ(req.size(), 30u);
+    const std::set<ItemId> unique(req.begin(), req.end());
+    ASSERT_EQ(unique.size(), 30u);
+  }
+}
+
+TEST(ZipfWorkload, SkewConcentratesAccess) {
+  ZipfWorkload w(10000, 10, 1.2, 3);
+  std::map<ItemId, int> counts;
+  std::vector<ItemId> req;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    w.next(req);
+    for (const ItemId item : req) ++counts[item];
+  }
+  // With skew 1.2, the hottest item must appear in a large share of
+  // requests while most of the universe is never touched.
+  int max_count = 0;
+  for (const auto& [item, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, n / 4);
+  EXPECT_LT(counts.size(), 10000u / 2);
+}
+
+TEST(ZipfWorkload, ZeroSkewTouchesMostOfUniverse) {
+  ZipfWorkload w(500, 10, 0.0, 5);
+  std::set<ItemId> seen;
+  std::vector<ItemId> req;
+  for (int i = 0; i < 2000; ++i) {
+    w.next(req);
+    seen.insert(req.begin(), req.end());
+  }
+  EXPECT_GT(seen.size(), 480u);
+}
+
+TEST(ZipfWorkload, HotItemsScatteredByPermutation) {
+  // The rank->item permutation must not leave the hottest items clustered
+  // at low ids.
+  ZipfWorkload w(10000, 5, 1.3, 7);
+  std::map<ItemId, int> counts;
+  std::vector<ItemId> req;
+  for (int i = 0; i < 3000; ++i) {
+    w.next(req);
+    for (const ItemId item : req) ++counts[item];
+  }
+  // The five hottest items' ids should look uniform over [0, 10000); all
+  // five landing below 500 would be a ~3e-7 event under a true permutation.
+  std::vector<std::pair<int, ItemId>> by_count;
+  for (const auto& [item, c] : counts) by_count.emplace_back(c, item);
+  std::sort(by_count.rbegin(), by_count.rend());
+  int low_ids = 0;
+  for (std::size_t i = 0; i < 5 && i < by_count.size(); ++i)
+    if (by_count[i].second < 500) ++low_ids;
+  EXPECT_LT(low_ids, 5);
+}
+
+TEST(ZipfWorkload, DeterministicPerSeed) {
+  ZipfWorkload a(1000, 10, 0.9, 11), b(1000, 10, 0.9, 11);
+  std::vector<ItemId> ra, rb;
+  for (int i = 0; i < 50; ++i) {
+    a.next(ra);
+    b.next(rb);
+    ASSERT_EQ(ra, rb);
+  }
+}
+
+}  // namespace
+}  // namespace rnb
