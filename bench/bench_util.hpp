@@ -6,11 +6,19 @@
 // core while preserving each figure's shape.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <locale>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "common/flags.hpp"
 #include "graph/generators.hpp"
@@ -33,6 +41,127 @@ inline DirectedGraph load_workload_graph(const Flags& flags,
   if (flags.str("network", "slashdot") == "epinions")
     return synthetic_epinions(seed);
   return synthetic_slashdot(seed);
+}
+
+/// Machine-readable bench results. Every bench that adopts this helper
+/// accepts `--json=PATH` and emits
+///   { "name": ..., "params": {...}, "rows": [ {...}, ... ] }
+/// so sweep scripts and CI can consume results without scraping the
+/// aligned-table stdout. Field order is preserved as inserted; doubles that
+/// are not finite serialize as null (never bare NaN, which is invalid JSON).
+class JsonResult {
+ public:
+  using Value = std::variant<std::string, double, std::int64_t,
+                             std::uint64_t, bool>;
+
+  explicit JsonResult(std::string name) : name_(std::move(name)) {}
+
+  /// Record a run parameter (seed, request count, ...).
+  void param(const std::string& key, Value value) {
+    params_.emplace_back(key, std::move(value));
+  }
+
+  /// Start a new result row; subsequent field() calls append to it.
+  void add_row() { rows_.emplace_back(); }
+
+  void field(const std::string& key, Value value) {
+    rows_.back().emplace_back(key, std::move(value));
+  }
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  void write(std::ostream& os) const {
+    os << "{\n  \"name\": " << quoted(name_) << ",\n  \"params\": ";
+    write_object(os, params_, "  ");
+    os << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << (i == 0 ? "\n    " : ",\n    ");
+      write_object(os, rows_[i], "    ");
+    }
+    os << (rows_.empty() ? "]" : "\n  ]") << "\n}\n";
+  }
+
+ private:
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out + "\"";
+  }
+
+  static void write_value(std::ostream& os, const Value& v) {
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      os << quoted(*s);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      if (!std::isfinite(*d)) {
+        os << "null";
+      } else {
+        std::ostringstream tmp;  // locale-independent, round-trippable
+        tmp.imbue(std::locale::classic());
+        tmp.precision(12);
+        tmp << *d;
+        os << tmp.str();
+      }
+    } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      os << *i;
+    } else if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+      os << *u;
+    } else {
+      os << (std::get<bool>(v) ? "true" : "false");
+    }
+  }
+
+  static void write_object(std::ostream& os, const Object& fields,
+                           const std::string& indent) {
+    if (fields.empty()) {
+      os << "{}";
+      return;
+    }
+    os << "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      os << (i == 0 ? "" : ",") << "\n" << indent << "  "
+         << quoted(fields[i].first) << ": ";
+      write_value(os, fields[i].second);
+    }
+    os << "\n" << indent << "}";
+  }
+
+  std::string name_;
+  Object params_;
+  std::vector<Object> rows_;
+};
+
+/// Honor `--json=PATH`: write `result` there (stdout tables are unchanged).
+/// Returns false only when a path was requested but could not be written,
+/// so `return maybe_write_json(...) ? 0 : 1;` gives benches a sound exit
+/// code for scripting.
+inline bool maybe_write_json(const Flags& flags, const JsonResult& result) {
+  const std::string path = flags.str("json", "");
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write --json=" << path << "\n";
+    return false;
+  }
+  result.write(out);
+  std::cerr << "wrote JSON results to " << path << "\n";
+  return true;
 }
 
 }  // namespace rnb::bench

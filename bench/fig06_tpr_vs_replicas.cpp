@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
   const DirectedGraph slashdot = synthetic_slashdot(seed);
   const DirectedGraph epinions = synthetic_epinions(seed);
 
+  bench::JsonResult json("fig06_tpr_vs_replicas");
+  json.param("requests", requests);
+  json.param("seed", seed);
+  json.param("servers", static_cast<std::uint64_t>(servers));
+
   Table table({"replicas", "tpr_slashdot", "tpr_epinions",
                "rel_slashdot", "rel_epinions"});
   table.set_precision(3);
@@ -42,10 +47,17 @@ int main(int argc, char** argv) {
     }
     table.add_row({static_cast<std::int64_t>(r), tpr_s, tpr_e,
                    tpr_s / base_slash, tpr_e / base_epin});
+    json.add_row();
+    json.field("replicas", static_cast<std::uint64_t>(r));
+    json.field("tpr_slashdot", tpr_s);
+    json.field("tpr_epinions", tpr_e);
+    json.field("rel_slashdot", tpr_s / base_slash);
+    json.field("rel_epinions", tpr_e / base_epin);
   }
   table.print(std::cout);
+  const bool json_ok = bench::maybe_write_json(flags, json);
   std::cout << "\nShape check: paper reports >50% TPR reduction by 4 "
                "replicas in some cases; the rel_* columns should drop to "
                "~0.5 or below by replicas=4..5.\n";
-  return 0;
+  return json_ok ? 0 : 1;
 }

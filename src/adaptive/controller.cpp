@@ -1,0 +1,64 @@
+#include "adaptive/controller.hpp"
+
+#include <algorithm>
+
+namespace rnb {
+
+namespace {
+
+std::uint32_t effective_tracker_capacity(const AdaptiveConfig& config,
+                                         std::uint32_t r_min,
+                                         std::uint64_t num_items) {
+  if (config.tracker_capacity != 0) return config.tracker_capacity;
+  // Depth: enough slots to spend the whole budget at the per-item cap.
+  // Breadth: when the budget rivals the universe size, the policy must be
+  // able to spread leftover replicas past the hot head, so track (up to)
+  // every item — Space-Saving with capacity >= distinct items is exact.
+  const std::uint32_t per_item =
+      config.r_max > r_min ? config.r_max - r_min : 1;
+  const std::uint64_t depth = config.extra_replica_budget / per_item + 64;
+  const std::uint64_t breadth =
+      std::min<std::uint64_t>(config.extra_replica_budget + 64, num_items);
+  return static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(std::max(depth, breadth), 64, 1u << 20));
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(RnbCluster& cluster,
+                                       const AdaptiveConfig& config)
+    : cluster_(cluster),
+      config_(config),
+      sketch_(config.sketch_depth, config.sketch_width,
+              splitmix64(config.seed)),
+      tracker_(effective_tracker_capacity(config, cluster.replication(),
+                                          cluster.num_items())),
+      overlay_(cluster.placement(), config.r_max,
+               hash_combine(config.seed, 0xad4b71feULL)),
+      rebalancer_(cluster, overlay_),
+      policy_(config) {
+  cluster_.attach_locator(&overlay_);
+}
+
+AdaptiveController::~AdaptiveController() {
+  if (cluster_.locator() == &overlay_) cluster_.attach_locator(nullptr);
+}
+
+void AdaptiveController::on_request(std::span<const ItemId> items) {
+  for (const ItemId item : items) {
+    sketch_.add(item);
+    tracker_.add(item);
+  }
+  ++requests_;
+  if (config_.epoch_requests != 0 && requests_ % config_.epoch_requests == 0)
+    rebalance();
+}
+
+void AdaptiveController::rebalance() {
+  const std::vector<ReplicaTarget> targets = policy_.plan(
+      tracker_, sketch_, overlay_.base_degree(), overlay_.r_cap());
+  rebalancer_.apply(targets);
+  if (config_.age_sketch) sketch_.halve();
+}
+
+}  // namespace rnb

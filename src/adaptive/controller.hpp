@@ -1,0 +1,72 @@
+// AdaptiveController — the one object callers wire up.
+//
+// Data flow per executed request (client -> sketch -> policy -> overlay ->
+// rebalancer):
+//   1. RnbClient::execute notifies the controller with the request's
+//      deduplicated items (RequestObserver hook).
+//   2. Each item feeds the count-min sketch (recency-aged frequency) and
+//      the Space-Saving tracker (hot candidate set).
+//   3. Every epoch_requests requests, the policy maps tracked frequencies
+//      to per-item degrees under the replica-memory budget, and the
+//      rebalancer materializes/invalidates replicas through the cluster's
+//      two-class stores, accounting migration transactions.
+//   4. The overlay the controller attached to the cluster serves all
+//      subsequent placement lookups, so the very next request plans over
+//      the new degrees.
+//
+// Construction attaches the overlay to the cluster; destruction detaches it
+// (the cluster falls back to its base placement). The controller is a pure
+// function of (cluster seed, workload seed, AdaptiveConfig::seed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "adaptive/count_min_sketch.hpp"
+#include "adaptive/overlay.hpp"
+#include "adaptive/policy.hpp"
+#include "adaptive/rebalancer.hpp"
+#include "adaptive/space_saving.hpp"
+#include "cluster/client.hpp"
+#include "cluster/cluster.hpp"
+
+namespace rnb {
+
+class AdaptiveController final : public RequestObserver {
+ public:
+  /// Attaches the overlay to `cluster`; the cluster must outlive the
+  /// controller. Pass the controller to RnbClient::set_observer to feed it.
+  AdaptiveController(RnbCluster& cluster, const AdaptiveConfig& config);
+  ~AdaptiveController() override;
+
+  AdaptiveController(const AdaptiveController&) = delete;
+  AdaptiveController& operator=(const AdaptiveController&) = delete;
+
+  /// RequestObserver: feed the sketches; rebalance on epoch boundaries.
+  void on_request(std::span<const ItemId> items) override;
+
+  /// Recompute degrees and migrate now, regardless of the epoch counter.
+  void rebalance();
+
+  const AdaptiveConfig& config() const noexcept { return config_; }
+  PlacementOverlay& overlay() noexcept { return overlay_; }
+  const PlacementOverlay& overlay() const noexcept { return overlay_; }
+  const CountMinSketch& sketch() const noexcept { return sketch_; }
+  const SpaceSavingTracker& tracker() const noexcept { return tracker_; }
+  const RebalanceStats& stats() const noexcept {
+    return rebalancer_.stats();
+  }
+  std::uint64_t requests_observed() const noexcept { return requests_; }
+
+ private:
+  RnbCluster& cluster_;
+  AdaptiveConfig config_;
+  CountMinSketch sketch_;
+  SpaceSavingTracker tracker_;
+  PlacementOverlay overlay_;
+  EpochRebalancer rebalancer_;
+  AdaptiveReplicationPolicy policy_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace rnb

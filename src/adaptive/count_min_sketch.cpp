@@ -1,0 +1,39 @@
+#include "adaptive/count_min_sketch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+CountMinSketch::CountMinSketch(std::uint32_t depth, std::uint32_t width,
+                               std::uint64_t seed)
+    : depth_(depth), width_(width), family_(seed) {
+  RNB_REQUIRE(depth >= 1);
+  RNB_REQUIRE(width >= 1);
+  cells_.assign(static_cast<std::size_t>(depth_) * width_, 0);
+}
+
+void CountMinSketch::add(ItemId item, std::uint64_t weight) {
+  for (std::uint32_t row = 0; row < depth_; ++row)
+    cells_[static_cast<std::size_t>(row) * width_ + column(row, item)] +=
+        weight;
+  total_ += weight;
+}
+
+std::uint64_t CountMinSketch::estimate(ItemId item) const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t row = 0; row < depth_; ++row)
+    best = std::min(
+        best,
+        cells_[static_cast<std::size_t>(row) * width_ + column(row, item)]);
+  return best;
+}
+
+void CountMinSketch::halve() {
+  for (std::uint64_t& cell : cells_) cell >>= 1;
+  total_ >>= 1;
+}
+
+}  // namespace rnb

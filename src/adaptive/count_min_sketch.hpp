@@ -1,0 +1,61 @@
+// Seeded count-min sketch over item ids (Cormode & Muthukrishnan 2005).
+//
+// The adaptive-replication controller needs per-item request frequencies for
+// millions of items in bounded memory. A count-min sketch gives an estimate
+// that NEVER undercounts (every row only adds), with overestimate bounded by
+// e * total / width at probability 1 - e^-depth. Rows hash through the same
+// seeded HashFamily as replica placement, so the whole adaptive pipeline is
+// a pure function of its seeds.
+//
+// halve() right-shifts every counter — the standard exponential-decay aging
+// trick — so epoch-over-epoch estimates track *recent* popularity instead of
+// all-time totals. Halving preserves the overestimate-only property with
+// respect to the equally-decayed true counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace rnb {
+
+class CountMinSketch {
+ public:
+  /// `depth` rows of `width` counters; memory is depth * width * 8 bytes.
+  CountMinSketch(std::uint32_t depth, std::uint32_t width, std::uint64_t seed);
+
+  /// Record `weight` occurrences of `item`.
+  void add(ItemId item, std::uint64_t weight = 1);
+
+  /// Frequency estimate: min over rows; >= the true (decayed) count.
+  std::uint64_t estimate(ItemId item) const;
+
+  /// Age every counter by half (floor). Also halves total_weight().
+  void halve();
+
+  /// Sum of weights added, subject to the same halving as the counters —
+  /// the denominator for frequency shares.
+  std::uint64_t total_weight() const noexcept { return total_; }
+
+  std::uint32_t depth() const noexcept { return depth_; }
+  std::uint32_t width() const noexcept { return width_; }
+
+ private:
+  /// Column of `item` in `row` via Lemire's multiply-shift range reduction
+  /// (unbiased enough here and branch-free, unlike `% width`).
+  std::uint32_t column(std::uint32_t row, ItemId item) const noexcept {
+    const std::uint64_t h = family_(row, item);
+    return static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(h) * width_) >> 64);
+  }
+
+  std::uint32_t depth_;
+  std::uint32_t width_;
+  HashFamily family_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> cells_;  // row-major depth_ x width_
+};
+
+}  // namespace rnb

@@ -1,0 +1,79 @@
+#include "adaptive/overlay.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+PlacementOverlay::PlacementOverlay(const PlacementPolicy& base,
+                                   std::uint32_t r_max, std::uint64_t seed)
+    : base_(base),
+      base_degree_(base.replication()),
+      r_cap_(std::min<std::uint32_t>(r_max, base.num_servers())),
+      family_(seed) {
+  RNB_REQUIRE(r_cap_ >= base_degree_);
+}
+
+std::uint32_t PlacementOverlay::degree(ItemId item) const {
+  const auto it = degrees_.find(item);
+  return it == degrees_.end() ? base_degree_ : it->second;
+}
+
+void PlacementOverlay::set_degree(ItemId item, std::uint32_t degree) {
+  degree = std::clamp(degree, base_degree_, r_cap_);
+  const auto it = degrees_.find(item);
+  const std::uint32_t old = it == degrees_.end() ? base_degree_ : it->second;
+  if (degree == old) return;
+  extra_ += degree - base_degree_;
+  extra_ -= old - base_degree_;
+  if (degree == base_degree_)
+    degrees_.erase(it);
+  else if (it == degrees_.end())
+    degrees_.emplace(item, degree);
+  else
+    it->second = degree;
+}
+
+void PlacementOverlay::locations(ItemId item,
+                                 std::vector<ServerId>& out) const {
+  locations_with_degree(item, degree(item), out);
+}
+
+void PlacementOverlay::locations_with_degree(ItemId item, std::uint32_t degree,
+                                             std::vector<ServerId>& out) const {
+  degree = std::clamp(degree, base_degree_, r_cap_);
+  out.resize(base_degree_);
+  base_.replicas(item, std::span<ServerId>(out.data(), base_degree_));
+  const ServerId n = base_.num_servers();
+  // Extra ranks: bounded pseudo-random probes, then a deterministic sweep
+  // so termination never depends on hash luck. The probe index sequence is
+  // independent of `degree`, which is what makes rank lists prefix-stable.
+  const std::uint64_t probe_limit = 8ull * n + 32;
+  std::uint64_t j = 0;
+  while (out.size() < degree) {
+    ServerId s;
+    if (j < probe_limit) {
+      s = static_cast<ServerId>(
+          (static_cast<__uint128_t>(family_(
+               static_cast<std::uint32_t>(j), item)) *
+           n) >>
+          64);
+    } else {
+      s = static_cast<ServerId>((j - probe_limit) % n);
+    }
+    ++j;
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+}
+
+std::vector<ItemId> PlacementOverlay::boosted_ids_sorted() const {
+  std::vector<ItemId> ids;
+  ids.reserve(degrees_.size());
+  for (const auto& [item, d] : degrees_) ids.push_back(item);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace rnb

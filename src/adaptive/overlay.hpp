@@ -1,0 +1,71 @@
+// Per-item replica degrees layered over a fixed PlacementPolicy.
+//
+// The base placement stays exactly what the cluster pinned distinguished
+// copies with — replica ranks [0, r_min) are untouched, so every invariant
+// the client relies on (rank 0 always hits) survives. Ranks [r_min, degree)
+// are extra pseudo-random servers drawn from a seeded HashFamily, distinct
+// from all earlier ranks and *prefix-stable*: the rank sequence of an item
+// does not depend on its current degree, so raising a degree appends
+// servers and lowering it trims the tail. The epoch rebalancer leans on
+// that property to compute exact promotion/demotion diffs.
+//
+// Lookup is deterministic in (item, seed) alone — any client recomputes the
+// same list, exactly like the base placement (paper Section III-B's
+// stateless-placement requirement).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb {
+
+class PlacementOverlay final : public ReplicaLocator {
+ public:
+  /// `base` must outlive the overlay. `r_max` caps per-item degrees (also
+  /// clamped to base.num_servers()).
+  PlacementOverlay(const PlacementPolicy& base, std::uint32_t r_max,
+                   std::uint64_t seed);
+
+  /// The floor every item keeps: the base placement's replication.
+  std::uint32_t base_degree() const noexcept { return base_degree_; }
+  std::uint32_t r_cap() const noexcept { return r_cap_; }
+
+  /// Current logical degree of `item` (== base_degree() when unboosted).
+  std::uint32_t degree(ItemId item) const;
+
+  /// Set `item`'s degree, clamped into [base_degree, r_cap]. Setting the
+  /// base degree forgets the item entirely.
+  void set_degree(ItemId item, std::uint32_t degree);
+
+  /// ReplicaLocator: locations at the item's current degree.
+  void locations(ItemId item, std::vector<ServerId>& out) const override;
+
+  /// Locations as if the item had degree `degree` (prefix-stable with the
+  /// current-degree list); the rebalancer diffs old vs new through this.
+  void locations_with_degree(ItemId item, std::uint32_t degree,
+                             std::vector<ServerId>& out) const;
+
+  /// Sum of (degree - base_degree) over boosted items — what the policy's
+  /// budget bounds.
+  std::uint64_t extra_replicas() const noexcept { return extra_; }
+  std::size_t boosted_items() const noexcept { return degrees_.size(); }
+
+  /// Boosted item ids, ascending (deterministic iteration for rebalances).
+  std::vector<ItemId> boosted_ids_sorted() const;
+
+  const PlacementPolicy& base() const noexcept { return base_; }
+
+ private:
+  const PlacementPolicy& base_;
+  std::uint32_t base_degree_;
+  std::uint32_t r_cap_;
+  HashFamily family_;
+  std::uint64_t extra_ = 0;
+  std::unordered_map<ItemId, std::uint32_t> degrees_;  // only > base_degree_
+};
+
+}  // namespace rnb

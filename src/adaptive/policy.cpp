@@ -1,0 +1,69 @@
+#include "adaptive/policy.hpp"
+
+#include <algorithm>
+
+namespace rnb {
+
+std::vector<ReplicaTarget> AdaptiveReplicationPolicy::plan(
+    const SpaceSavingTracker& tracker, const CountMinSketch& sketch,
+    std::uint32_t r_min, std::uint32_t r_cap) const {
+  r_cap = std::min(r_cap, config_.r_max);
+  if (r_cap <= r_min || config_.extra_replica_budget == 0) return {};
+  const std::uint32_t cap_extra = r_cap - r_min;
+
+  // Candidates: every tracked heavy hitter, scored by the (aged) sketch
+  // estimate. The tracker's own counts are monotone; the sketch follows
+  // recent epochs, so a cooling item sheds replicas even while it still
+  // occupies a tracker slot. Items whose estimate aged to zero stay in the
+  // pool — they earn no proportional share, but a budget larger than the
+  // hot head can absorb may still spill replicas onto them.
+  struct Candidate {
+    ItemId item;
+    std::uint64_t freq;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(tracker.size());
+  std::uint64_t freq_sum = 0;
+  for (const HeavyHitter& hh : tracker.top(tracker.size())) {
+    candidates.push_back({hh.item, sketch.estimate(hh.item)});
+    freq_sum += candidates.back().freq;
+  }
+  if (candidates.empty()) return {};
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.freq != b.freq ? a.freq > b.freq : a.item < b.item;
+            });
+
+  // Proportional share, floored — never exceeds the budget in aggregate.
+  const std::uint64_t budget = config_.extra_replica_budget;
+  std::vector<std::uint32_t> extra(candidates.size(), 0);
+  std::uint64_t spent = 0;
+  for (std::size_t i = 0; i < candidates.size() && freq_sum > 0; ++i) {
+    const auto share = static_cast<std::uint64_t>(
+        static_cast<__uint128_t>(budget) * candidates[i].freq /
+        freq_sum);
+    extra[i] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(share, cap_extra));
+    spent += extra[i];
+  }
+  // Hand the rounding leftover out one replica at a time, hottest first,
+  // cycling until the budget is spent or every candidate is capped.
+  bool progressed = true;
+  while (spent < budget && progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < candidates.size() && spent < budget; ++i) {
+      if (extra[i] >= cap_extra) continue;
+      ++extra[i];
+      ++spent;
+      progressed = true;
+    }
+  }
+
+  std::vector<ReplicaTarget> targets;
+  targets.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    if (extra[i] > 0) targets.push_back({candidates[i].item, r_min + extra[i]});
+  return targets;
+}
+
+}  // namespace rnb

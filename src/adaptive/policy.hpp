@@ -1,0 +1,87 @@
+// Frequency -> replica-degree mapping under a total memory budget.
+//
+// The paper fixes the replication degree r for every item; its own Zipf and
+// social workloads are heavily skewed, so uniform replication spends most of
+// its replica memory on items nobody asks for. The adaptive policy instead
+// gives each item a logical degree in [r_min, r_max], where r_min is the
+// cluster's base placement degree (cold items keep only the distinguished
+// copy when r_min == 1) and the sum of extra replicas across all items never
+// exceeds `extra_replica_budget` — the same total memory a static-r system
+// would spend, concentrated on the hot head of the distribution.
+//
+// Degrees are proportional to observed frequency: item i with frequency
+// share f_i gets floor(budget * f_i) extra replicas, capped at
+// r_max - r_min; the rounding leftover is handed out one replica at a time,
+// hottest first. The mapping is a pure function of the sketch state, so two
+// runs with equal seeds rebalance identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/count_min_sketch.hpp"
+#include "adaptive/space_saving.hpp"
+#include "common/types.hpp"
+
+namespace rnb {
+
+/// Tuning knobs for the whole adaptive subsystem (sketches, policy, epochs).
+struct AdaptiveConfig {
+  /// Per-item degree cap (also clamped to num_servers). The base degree
+  /// r_min is the cluster's logical_replicas — the overlay never goes below
+  /// the placement the distinguished copies were pinned with.
+  std::uint32_t r_max = 8;
+
+  /// Total extra replicas (beyond r_min, fleet-wide) the policy may
+  /// materialize. Matching a static-r system's footprint means
+  /// (r - r_min) * num_items.
+  std::uint64_t extra_replica_budget = 0;
+
+  /// Count-min sketch geometry.
+  std::uint32_t sketch_depth = 4;
+  std::uint32_t sketch_width = 1u << 14;
+
+  /// Space-Saving counters. 0 = auto-size to the budget:
+  /// budget / (r_max - r_min) + 64 counters, so the tracker can always name
+  /// enough candidates to spend the whole budget.
+  std::uint32_t tracker_capacity = 0;
+
+  /// Requests between rebalances. 0 disables automatic rebalancing (the
+  /// controller then only rebalances when explicitly asked).
+  std::uint64_t epoch_requests = 2000;
+
+  /// Halve the sketch each epoch so degrees follow recent popularity.
+  bool age_sketch = true;
+
+  /// Seed for the sketch hash family and the overlay's extra-replica
+  /// placement; independent of the cluster seed.
+  std::uint64_t seed = 0xada9717e5eedULL;
+};
+
+/// One item's target logical degree, r_min <= degree <= r_cap.
+struct ReplicaTarget {
+  ItemId item = 0;
+  std::uint32_t degree = 0;
+};
+
+class AdaptiveReplicationPolicy {
+ public:
+  explicit AdaptiveReplicationPolicy(const AdaptiveConfig& config)
+      : config_(config) {}
+
+  /// Compute target degrees for the tracked heavy hitters. Candidates come
+  /// from `tracker` (who is hot), frequencies from `sketch` (how hot,
+  /// recency-aged). Only items with degree > r_min are returned, hottest
+  /// first; sum(degree - r_min) <= extra_replica_budget is guaranteed.
+  std::vector<ReplicaTarget> plan(const SpaceSavingTracker& tracker,
+                                  const CountMinSketch& sketch,
+                                  std::uint32_t r_min,
+                                  std::uint32_t r_cap) const;
+
+  const AdaptiveConfig& config() const noexcept { return config_; }
+
+ private:
+  AdaptiveConfig config_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,70 @@
+#include "adaptive/rebalancer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace rnb {
+
+void EpochRebalancer::apply(std::span<const ReplicaTarget> targets) {
+  std::unordered_map<ItemId, std::uint32_t> desired;
+  desired.reserve(targets.size());
+  for (const ReplicaTarget& t : targets) desired[t.item] = t.degree;
+
+  // Affected items: everything currently boosted plus everything targeted,
+  // visited in ascending id order so migrations are reproducible.
+  std::vector<ItemId> affected = overlay_.boosted_ids_sorted();
+  for (const ReplicaTarget& t : targets) affected.push_back(t.item);
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  std::map<ServerId, std::uint64_t> keys_per_server;
+  std::vector<ServerId> ranks;
+  std::uint32_t changed_items = 0;
+
+  // Pass 1: demotions free replica memory before promotions claim it.
+  for (const bool promote_pass : {false, true}) {
+    for (const ItemId item : affected) {
+      const std::uint32_t d_old = overlay_.degree(item);
+      const auto it = desired.find(item);
+      const std::uint32_t d_new = std::clamp(
+          it == desired.end() ? overlay_.base_degree() : it->second,
+          overlay_.base_degree(), overlay_.r_cap());
+      if (d_new == d_old || (d_new > d_old) != promote_pass) continue;
+
+      overlay_.locations_with_degree(item, std::max(d_old, d_new), ranks);
+      if (promote_pass) {
+        for (std::uint32_t r = d_old; r < d_new; ++r) {
+          cluster_.server(ranks[r]).write_replica(item);
+          ++keys_per_server[ranks[r]];
+          ++stats_.replicas_added;
+        }
+        ++stats_.items_promoted;
+      } else {
+        for (std::uint32_t r = d_new; r < d_old; ++r) {
+          cluster_.server(ranks[r]).drop_replica(item);
+          ++keys_per_server[ranks[r]];
+          ++stats_.replicas_dropped;
+        }
+        ++stats_.items_demoted;
+      }
+      overlay_.set_degree(item, d_new);
+      ++changed_items;
+    }
+  }
+
+  RequestOutcome outcome;
+  outcome.items_requested = changed_items;
+  outcome.round1_transactions =
+      static_cast<std::uint32_t>(keys_per_server.size());
+  for (const auto& [server, keys] : keys_per_server) {
+    cluster_.note_transaction(server);
+    stats_.migration.record_transaction_size(keys);
+  }
+  stats_.migration.add(outcome);
+  ++stats_.epochs;
+}
+
+}  // namespace rnb

@@ -1,0 +1,59 @@
+// Epoch-based replica migration: apply policy targets to a live cluster.
+//
+// A rebalance turns a list of ReplicaTargets into the minimal set of
+// promotions (materialize a replica on its new server) and demotions
+// (invalidate a replica on its old server), exploiting the overlay's
+// prefix-stable rank lists: changing degree d_old -> d_new touches exactly
+// the servers at ranks [min, max) of the item's rank sequence. Every
+// touched server costs one migration transaction carrying all the keys it
+// gains or loses that epoch, and the transactions are accounted in a
+// MetricsAccumulator — the bench charges migration overhead against the
+// TPR savings it buys.
+//
+// Demotions run before promotions so the replica classes shrink before they
+// grow, and all iteration orders are sorted — two runs with equal seeds
+// perform byte-identical migrations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "adaptive/overlay.hpp"
+#include "adaptive/policy.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/metrics.hpp"
+
+namespace rnb {
+
+struct RebalanceStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t items_promoted = 0;   // degree raised
+  std::uint64_t items_demoted = 0;    // degree lowered
+  std::uint64_t replicas_added = 0;   // copies materialized
+  std::uint64_t replicas_dropped = 0; // copies invalidated
+  /// One "request" per epoch whose transactions are the distinct servers
+  /// contacted; transaction sizes are keys moved per server. migration.tpr()
+  /// is therefore mean migration transactions per epoch.
+  MetricsAccumulator migration;
+};
+
+class EpochRebalancer {
+ public:
+  /// Both references must outlive the rebalancer; `overlay` must be the
+  /// locator attached to `cluster`.
+  EpochRebalancer(RnbCluster& cluster, PlacementOverlay& overlay)
+      : cluster_(cluster), overlay_(overlay) {}
+
+  /// Promote/demote so the boosted set becomes exactly `targets` (items not
+  /// listed shed back to the base degree).
+  void apply(std::span<const ReplicaTarget> targets);
+
+  const RebalanceStats& stats() const noexcept { return stats_; }
+
+ private:
+  RnbCluster& cluster_;
+  PlacementOverlay& overlay_;
+  RebalanceStats stats_;
+};
+
+}  // namespace rnb

@@ -1,0 +1,81 @@
+#include "adaptive/space_saving.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rnb {
+
+SpaceSavingTracker::SpaceSavingTracker(std::uint32_t capacity)
+    : capacity_(capacity) {
+  RNB_REQUIRE(capacity >= 1);
+  heap_.reserve(capacity);
+  pos_.reserve(capacity);
+}
+
+void SpaceSavingTracker::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    pos_[heap_[i].item] = static_cast<std::uint32_t>(i);
+    pos_[heap_[parent].item] = static_cast<std::uint32_t>(parent);
+    i = parent;
+  }
+}
+
+void SpaceSavingTracker::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && less(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && less(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    pos_[heap_[i].item] = static_cast<std::uint32_t>(i);
+    pos_[heap_[smallest].item] = static_cast<std::uint32_t>(smallest);
+    i = smallest;
+  }
+}
+
+void SpaceSavingTracker::add(ItemId item, std::uint64_t weight) {
+  total_ += weight;
+  if (const auto it = pos_.find(item); it != pos_.end()) {
+    // Tracked: counts only grow, so the entry can only move toward leaves.
+    heap_[it->second].count += weight;
+    sift_down(it->second);
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back({item, weight, 0});
+    pos_[item] = static_cast<std::uint32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  // Evict the minimum counter: the newcomer inherits its count as error —
+  // the classic Space-Saving replacement that keeps the bounds valid.
+  HeavyHitter& root = heap_.front();
+  pos_.erase(root.item);
+  const std::uint64_t floor_count = root.count;
+  root = {item, floor_count + weight, floor_count};
+  pos_[item] = 0;
+  sift_down(0);
+}
+
+std::vector<HeavyHitter> SpaceSavingTracker::top(std::size_t k) const {
+  std::vector<HeavyHitter> out = heap_;
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.count != b.count ? a.count > b.count : a.item < b.item;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::uint64_t SpaceSavingTracker::count_upper_bound(ItemId item) const {
+  const auto it = pos_.find(item);
+  return it == pos_.end() ? 0 : heap_[it->second].count;
+}
+
+}  // namespace rnb

@@ -1,0 +1,67 @@
+// Space-Saving heavy-hitter tracking (Metwally, Agrawal & El Abbadi 2005).
+//
+// The count-min sketch answers "how often was THIS item seen" but cannot
+// enumerate the hot set; Space-Saving maintains the candidate set itself:
+// `capacity` counters such that any item with true count > total/capacity is
+// guaranteed to be tracked, with per-counter bounds
+//     count - error <= true count <= count.
+// The adaptive policy asks the tracker WHO is hot and the sketch HOW hot
+// (the sketch ages epoch-over-epoch; Space-Saving counts are monotone).
+//
+// Implementation: an indexed binary min-heap keyed on (count, item). All
+// three operations — hit, insert, evict-min-and-replace — are O(log k),
+// fully deterministic, and allocation-free after construction.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnb {
+
+struct HeavyHitter {
+  ItemId item = 0;
+  std::uint64_t count = 0;  // upper bound on the true count
+  std::uint64_t error = 0;  // overestimate inherited from the evicted min
+};
+
+class SpaceSavingTracker {
+ public:
+  explicit SpaceSavingTracker(std::uint32_t capacity);
+
+  /// Record `weight` occurrences of `item`.
+  void add(ItemId item, std::uint64_t weight = 1);
+
+  /// Tracked items, hottest first (count desc, item id asc for ties).
+  /// `k` caps the result; k >= size() returns everything.
+  std::vector<HeavyHitter> top(std::size_t k) const;
+
+  /// Upper-bound count for `item`, 0 when untracked.
+  std::uint64_t count_upper_bound(ItemId item) const;
+
+  bool tracked(ItemId item) const { return pos_.contains(item); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::uint64_t total_weight() const noexcept { return total_; }
+
+  /// Smallest tracked count — every untracked item's true count is <= this.
+  std::uint64_t min_count() const noexcept {
+    return heap_.empty() ? 0 : heap_.front().count;
+  }
+
+ private:
+  bool less(const HeavyHitter& a, const HeavyHitter& b) const noexcept {
+    return a.count != b.count ? a.count < b.count : a.item < b.item;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::uint32_t capacity_;
+  std::uint64_t total_ = 0;
+  std::vector<HeavyHitter> heap_;
+  std::unordered_map<ItemId, std::uint32_t> pos_;  // item -> heap index
+};
+
+}  // namespace rnb

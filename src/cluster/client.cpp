@@ -74,11 +74,11 @@ RequestPlan RnbClient::plan(std::span<const ItemId> request_items) {
   const std::size_t m = out.items.size();
   out.locations.resize(m);
   out.unavailable.assign(m, false);
-  const std::uint32_t r = cluster_.replication();
-  for (std::size_t i = 0; i < m; ++i) {
-    out.locations[i].resize(r);
-    cluster_.replicas_of(out.items[i], out.locations[i]);
-  }
+  // Per-item location lists may have different lengths: with an adaptive
+  // locator attached, hot items carry extra replicas and cold ones only
+  // their distinguished copy. The cover solver takes candidates as-is.
+  for (std::size_t i = 0; i < m; ++i)
+    cluster_.locations_of(out.items[i], out.locations[i]);
 
   if (cluster_.down_count() == 0) {
     // Fast path: every replica is a live candidate.
@@ -151,6 +151,7 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
   // Round 1. satisfied[i] means a server returned the item.
   std::vector<bool> satisfied(m, false);
   for (const ServerId s : p.servers) {
+    cluster_.note_transaction(s);
     TwoClassStore& server = cluster_.server(s);
     std::uint64_t keys_in_txn = 0;
     for (const std::size_t i : assigned[s]) {
@@ -217,6 +218,7 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
   std::sort(fallback_servers.begin(), fallback_servers.end());
   for (const ServerId home : fallback_servers) {
     const std::vector<std::size_t>& idxs = fallback[home];
+    cluster_.note_transaction(home);
     TwoClassStore& server = cluster_.server(home);
     for (const std::size_t i : idxs) {
       const bool hit = server.read(p.items[i]);
@@ -241,6 +243,7 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
       std::count(satisfied.begin(), satisfied.end(), true));
 
   if (metrics != nullptr) metrics->add(outcome);
+  if (observer_ != nullptr) observer_->on_request(p.items);
   return outcome;
 }
 
@@ -264,9 +267,9 @@ RequestOutcome RnbClient::execute_write(std::span<const ItemId> items,
   // server carries all the keys it stores for this batch.
   std::unordered_map<ServerId, std::vector<std::pair<ItemId, bool>>> batches;
   std::vector<ServerId> order;  // deterministic first-use server order
-  std::vector<ServerId> locations(cluster_.replication());
+  std::vector<ServerId> locations;
   for (const ItemId item : unique) {
-    cluster_.replicas_of(item, locations);
+    cluster_.locations_of(item, locations);
     for (std::size_t rank = 0; rank < locations.size(); ++rank) {
       auto [it, inserted] = batches.try_emplace(locations[rank]);
       if (inserted) order.push_back(locations[rank]);
@@ -275,6 +278,7 @@ RequestOutcome RnbClient::execute_write(std::span<const ItemId> items,
   }
 
   for (const ServerId s : order) {
+    cluster_.note_transaction(s);
     TwoClassStore& server = cluster_.server(s);
     for (const auto& [item, is_distinguished] : batches[s]) {
       if (is_distinguished) continue;  // pinned copy updates in place

@@ -15,8 +15,9 @@
 //      distinguished servers (always hits), plus write-back of the missing
 //      replica to the round-1 server that was supposed to have it.
 //
-// The client is stateless across requests — all cross-request adaptation
-// lives in the servers' LRU state, exactly as the paper argues.
+// The client is stateless across requests — cross-request adaptation lives
+// in the servers' LRU state, exactly as the paper argues, or (opt-in) in an
+// attached RequestObserver such as the adaptive-replication controller.
 #pragma once
 
 #include <span>
@@ -29,6 +30,19 @@
 #include "setcover/cover.hpp"
 
 namespace rnb {
+
+/// Post-execution hook for online adaptation. The adaptive-replication
+/// controller implements this to feed its popularity sketches from the
+/// client's executed requests; the callback runs after the request has
+/// completed and its metrics are recorded, so a rebalance triggered inside
+/// it affects only subsequent requests.
+class RequestObserver {
+ public:
+  virtual ~RequestObserver() = default;
+
+  /// Called once per executed read request with its deduplicated items.
+  virtual void on_request(std::span<const ItemId> items) = 0;
+};
 
 /// A fully planned request, before touching any server. Exposed separately
 /// from execution so tests and the locality bench can inspect plans.
@@ -59,6 +73,12 @@ class RnbClient {
 
   const ClientPolicy& policy() const noexcept { return policy_; }
 
+  /// Attach a post-execution observer (non-owning, nullable). Used by the
+  /// adaptive-replication subsystem; see src/adaptive/controller.hpp.
+  void set_observer(RequestObserver* observer) noexcept {
+    observer_ = observer;
+  }
+
   /// Plan without executing (no server state is touched).
   RequestPlan plan(std::span<const ItemId> request_items);
 
@@ -81,6 +101,7 @@ class RnbClient {
 
   RnbCluster& cluster_;
   ClientPolicy policy_;
+  RequestObserver* observer_ = nullptr;
   Xoshiro256 rng_;
 };
 

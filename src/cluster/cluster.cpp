@@ -30,6 +30,7 @@ RnbCluster::RnbCluster(const ClusterConfig& config, std::uint64_t num_items)
   for (ServerId s = 0; s < config_.num_servers; ++s)
     servers_.emplace_back(replica_slots_per_server_, config_.eviction);
   down_.assign(config_.num_servers, false);
+  txn_counts_.assign(config_.num_servers, 0);
 
   std::vector<ServerId> locations(placement_->replication());
   for (ItemId item = 0; item < num_items; ++item) {
@@ -39,6 +40,15 @@ RnbCluster::RnbCluster(const ClusterConfig& config, std::uint64_t num_items)
       for (std::size_t r = 1; r < locations.size(); ++r)
         servers_[locations[r]].write_replica(item);
   }
+}
+
+void RnbCluster::locations_of(ItemId item, std::vector<ServerId>& out) const {
+  if (locator_ != nullptr) {
+    locator_->locations(item, out);
+    return;
+  }
+  out.resize(placement_->replication());
+  placement_->replicas(item, std::span<ServerId>(out));
 }
 
 void RnbCluster::fail_server(ServerId s) {

@@ -58,8 +58,33 @@ class RnbCluster {
   const TwoClassStore& server(ServerId s) const { return servers_[s]; }
 
   /// Replica servers of `item`, replica order (index 0 = distinguished).
+  /// Always the BASE placement, ignoring any attached locator.
   void replicas_of(ItemId item, std::span<ServerId> out) const {
     placement_->replicas(item, out);
+  }
+
+  /// Attach a variable-degree replica locator (the adaptive-replication
+  /// overlay). Non-owning and nullable; nullptr restores base placement.
+  /// The locator's rank-0 server must match the base placement's — pinned
+  /// distinguished copies never move.
+  void attach_locator(const ReplicaLocator* locator) noexcept {
+    locator_ = locator;
+  }
+  const ReplicaLocator* locator() const noexcept { return locator_; }
+
+  /// Replica servers of `item` through the attached locator when present
+  /// (per-item degree), else the base placement. `out` is resized.
+  void locations_of(ItemId item, std::vector<ServerId>& out) const;
+
+  /// Transaction accounting: the client notes every server a round-1,
+  /// round-2, write, or migration transaction touches, so benches can
+  /// report per-server load imbalance without replanning requests.
+  void note_transaction(ServerId s) {
+    RNB_REQUIRE(s < txn_counts_.size());
+    ++txn_counts_[s];
+  }
+  const std::vector<std::uint64_t>& per_server_transactions() const noexcept {
+    return txn_counts_;
   }
 
   /// Per-server replica-class slot budget implied by the config.
@@ -87,9 +112,11 @@ class RnbCluster {
   ClusterConfig config_;
   std::uint64_t num_items_;
   std::unique_ptr<PlacementPolicy> placement_;
+  const ReplicaLocator* locator_ = nullptr;
   std::size_t replica_slots_per_server_ = 0;
   std::vector<TwoClassStore> servers_;
   std::vector<bool> down_;
+  std::vector<std::uint64_t> txn_counts_;
   std::uint32_t down_count_ = 0;
 };
 

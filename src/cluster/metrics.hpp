@@ -35,9 +35,10 @@ class MetricsAccumulator {
 
   /// Transactions Per Request — the paper's headline metric.
   double tpr() const noexcept { return tpr_.mean(); }
-  /// TPR Per Server.
+  /// TPR Per Server. A zero-server fleet has no per-server rate; returns
+  /// 0.0 instead of inf/NaN so reports and JSON output stay finite.
   double tprps(std::uint32_t num_servers) const noexcept {
-    return tpr() / static_cast<double>(num_servers);
+    return num_servers == 0 ? 0.0 : tpr() / static_cast<double>(num_servers);
   }
   double mean_round2() const noexcept { return round2_.mean(); }
   double mean_misses() const noexcept { return misses_.mean(); }

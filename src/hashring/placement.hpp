@@ -53,6 +53,22 @@ class PlacementPolicy {
   virtual std::string name() const = 0;
 };
 
+/// Variable-degree replica resolver. Where PlacementPolicy produces a fixed
+/// number of replicas for every item, a ReplicaLocator may return a
+/// different count per item — the adaptive-replication overlay boosts hot
+/// items and sheds cold ones back to the distinguished copy. Implementations
+/// must be stateless-per-lookup and deterministic: the same item always
+/// resolves to the same ordered list, and out[0] must equal the underlying
+/// placement's distinguished server (the pinned copy never moves).
+class ReplicaLocator {
+ public:
+  virtual ~ReplicaLocator() = default;
+
+  /// Resize `out` to the item's current logical degree and fill it with the
+  /// item's replica servers, distinguished copy first, all distinct.
+  virtual void locations(ItemId item, std::vector<ServerId>& out) const = 0;
+};
+
 /// Placement scheme selector for configs and benches.
 enum class PlacementScheme { kRangedConsistentHash, kMultiHash, kRendezvous };
 

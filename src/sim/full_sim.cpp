@@ -1,11 +1,21 @@
 #include "sim/full_sim.hpp"
 
+#include <optional>
+
+#include "adaptive/controller.hpp"
+
 namespace rnb {
 
 FullSimResult run_full_sim(RequestSource& source,
                            const FullSimConfig& config) {
   RnbCluster cluster(config.cluster, source.universe_size());
   RnbClient client(cluster, config.policy, config.client_seed);
+
+  std::optional<AdaptiveController> adaptive;
+  if (config.adaptive) {
+    adaptive.emplace(cluster, config.adaptive_config);
+    client.set_observer(&*adaptive);
+  }
 
   std::vector<ItemId> request;
   for (std::uint64_t i = 0; i < config.warmup_requests; ++i) {
@@ -21,6 +31,11 @@ FullSimResult run_full_sim(RequestSource& source,
   result.resident_copies = cluster.resident_copies();
   result.num_items = cluster.num_items();
   result.num_servers = cluster.num_servers();
+  result.per_server_transactions = cluster.per_server_transactions();
+  if (adaptive) {
+    result.rebalance = adaptive->stats();
+    result.overlay_extra_replicas = adaptive->overlay().extra_replicas();
+  }
   return result;
 }
 

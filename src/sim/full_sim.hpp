@@ -7,10 +7,20 @@
 // the simulator is a sequential request loop, and all its outputs are
 // per-request statistics plus the transaction-size histogram that the
 // calibration model converts into throughput.
+//
+// Adaptive mode (config.adaptive = true) goes beyond the paper: an
+// AdaptiveController rides the client's request stream, tracks item
+// popularity in streaming sketches, and rebalances per-item replica
+// degrees every epoch under a replica-memory budget. Warmup requests feed
+// the sketches too — that is how the system reaches its adapted steady
+// state before measurement begins.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "adaptive/policy.hpp"
+#include "adaptive/rebalancer.hpp"
 #include "cluster/client.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/metrics.hpp"
@@ -22,11 +32,17 @@ namespace rnb {
 struct FullSimConfig {
   ClusterConfig cluster;
   ClientPolicy policy;
-  /// Requests run before measurement to warm replica caches. Irrelevant
-  /// (and skippable) in unlimited-memory mode, where caches never change.
+  /// Requests run before measurement to warm replica caches (and, in
+  /// adaptive mode, the popularity sketches). Irrelevant (and skippable)
+  /// in static unlimited-memory mode, where caches never change.
   std::uint64_t warmup_requests = 0;
   std::uint64_t measure_requests = 10000;
   std::uint64_t client_seed = 0x9e3779b9u;
+
+  /// Enable the adaptive-replication subsystem; cluster.logical_replicas
+  /// acts as the base degree r_min.
+  bool adaptive = false;
+  AdaptiveConfig adaptive_config;
 };
 
 struct FullSimResult {
@@ -35,6 +51,13 @@ struct FullSimResult {
   std::uint64_t resident_copies = 0;
   std::uint64_t num_items = 0;
   std::uint32_t num_servers = 0;
+  /// Transactions each server saw over the whole run (warmup + measure,
+  /// including adaptive migrations) — the load-imbalance probe.
+  std::vector<std::uint64_t> per_server_transactions;
+  /// Adaptive-mode accounting; zero-valued when adaptive is off.
+  RebalanceStats rebalance;
+  /// Extra logical replicas the overlay held when the run ended.
+  std::uint64_t overlay_extra_replicas = 0;
 };
 
 /// Run the simulator: builds a cluster sized to source.universe_size().

@@ -1,0 +1,91 @@
+// Count-min sketch accuracy bounds: estimates never undercount, and the
+// overestimate obeys the e * total / width bound with high probability.
+#include "adaptive/count_min_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(CountMinSketch, ExactOnSparseStreams) {
+  // Fewer distinct items than a row has cells: collisions are unlikely in
+  // every row simultaneously; min over rows should be exact.
+  CountMinSketch sketch(4, 4096, 42);
+  for (ItemId item = 0; item < 50; ++item)
+    sketch.add(item, item + 1);
+  for (ItemId item = 0; item < 50; ++item)
+    EXPECT_EQ(sketch.estimate(item), item + 1) << "item " << item;
+}
+
+TEST(CountMinSketch, NeverUndercounts) {
+  CountMinSketch sketch(4, 256, 7);  // deliberately tight width
+  std::unordered_map<ItemId, std::uint64_t> truth;
+  Xoshiro256 rng(99);
+  ZipfSampler zipf(10000, 1.1);
+  for (int i = 0; i < 50000; ++i) {
+    const ItemId item = zipf(rng);
+    sketch.add(item);
+    ++truth[item];
+  }
+  for (const auto& [item, count] : truth)
+    EXPECT_GE(sketch.estimate(item), count) << "item " << item;
+  EXPECT_EQ(sketch.total_weight(), 50000u);
+}
+
+TEST(CountMinSketch, OverestimateWithinTheoreticalBound) {
+  // Pr[err > e*total/width] <= e^-depth per query; with depth 5 the failure
+  // probability is < 1%, so over 200 cold items expect at most a handful of
+  // violations — assert none exceeds 4x the bound (vanishingly unlikely).
+  const std::uint32_t width = 1024;
+  CountMinSketch sketch(5, width, 11);
+  Xoshiro256 rng(3);
+  ZipfSampler zipf(100000, 1.0);
+  const std::uint64_t n = 100000;
+  for (std::uint64_t i = 0; i < n; ++i) sketch.add(zipf(rng));
+  const double bound =
+      2.718281828 * static_cast<double>(n) / static_cast<double>(width);
+  for (ItemId cold = 2'000'000; cold < 2'000'200; ++cold)
+    EXPECT_LE(static_cast<double>(sketch.estimate(cold)), 4.0 * bound);
+}
+
+TEST(CountMinSketch, HalveAgesCountsAndTotal) {
+  CountMinSketch sketch(3, 512, 5);
+  sketch.add(1, 100);
+  sketch.add(2, 7);
+  sketch.halve();
+  EXPECT_EQ(sketch.estimate(1), 50u);
+  EXPECT_EQ(sketch.estimate(2), 3u);
+  EXPECT_EQ(sketch.total_weight(), 53u);
+}
+
+TEST(CountMinSketch, DeterministicAcrossInstances) {
+  CountMinSketch a(4, 2048, 123), b(4, 2048, 123);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const ItemId item = rng.below(3000);
+    a.add(item);
+    b.add(item);
+  }
+  for (ItemId item = 0; item < 3000; ++item)
+    ASSERT_EQ(a.estimate(item), b.estimate(item));
+}
+
+TEST(CountMinSketch, SeedChangesCollisionPattern) {
+  CountMinSketch a(1, 64, 1), b(1, 64, 2);
+  for (ItemId item = 0; item < 5000; ++item) {
+    a.add(item);
+    b.add(item);
+  }
+  // Same load, different seeds: at least one estimate must differ.
+  bool differs = false;
+  for (ItemId item = 0; item < 5000 && !differs; ++item)
+    differs = a.estimate(item) != b.estimate(item);
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,141 @@
+// PlacementOverlay invariants: determinism, distinctness, prefix stability,
+// degree clamping, and cold items shedding back to the distinguished copy.
+#include "adaptive/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rnb {
+namespace {
+
+constexpr ServerId kServers = 16;
+constexpr std::uint64_t kSeed = 42;
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  OverlayTest()
+      : placement_(make_placement(PlacementScheme::kRangedConsistentHash,
+                                  kServers, 1, kSeed)),
+        overlay_(*placement_, /*r_max=*/8, /*seed=*/7) {}
+
+  std::unique_ptr<PlacementPolicy> placement_;
+  PlacementOverlay overlay_;
+};
+
+TEST_F(OverlayTest, ColdItemsResolveToBasePlacement) {
+  std::vector<ServerId> locs;
+  for (ItemId item = 0; item < 500; ++item) {
+    overlay_.locations(item, locs);
+    ASSERT_EQ(locs.size(), 1u);
+    EXPECT_EQ(locs[0], placement_->distinguished(item));
+  }
+  EXPECT_EQ(overlay_.extra_replicas(), 0u);
+}
+
+TEST_F(OverlayTest, BoostedLocationsAreDistinctAndKeepDistinguishedFirst) {
+  std::vector<ServerId> locs;
+  for (ItemId item = 0; item < 200; ++item) {
+    overlay_.set_degree(item, 6);
+    overlay_.locations(item, locs);
+    ASSERT_EQ(locs.size(), 6u);
+    EXPECT_EQ(locs[0], placement_->distinguished(item));
+    const std::set<ServerId> distinct(locs.begin(), locs.end());
+    EXPECT_EQ(distinct.size(), locs.size()) << "duplicate for item " << item;
+    for (const ServerId s : locs) EXPECT_LT(s, kServers);
+  }
+}
+
+TEST_F(OverlayTest, PrefixStableAcrossDegreeChanges) {
+  // Raising a degree must append servers; lowering must trim the tail.
+  // The rebalancer's promotion/demotion diffs rely on exactly this.
+  std::vector<ServerId> small, large;
+  for (ItemId item = 0; item < 300; ++item) {
+    overlay_.locations_with_degree(item, 3, small);
+    overlay_.locations_with_degree(item, 8, large);
+    ASSERT_EQ(small.size(), 3u);
+    ASSERT_EQ(large.size(), 8u);
+    for (std::size_t i = 0; i < small.size(); ++i)
+      EXPECT_EQ(small[i], large[i]) << "item " << item << " rank " << i;
+  }
+}
+
+TEST_F(OverlayTest, DeterministicAcrossInstances) {
+  PlacementOverlay other(*placement_, 8, 7);
+  std::vector<ServerId> a, b;
+  for (ItemId item = 0; item < 300; ++item) {
+    overlay_.set_degree(item, 5);
+    other.set_degree(item, 5);
+    overlay_.locations(item, a);
+    other.locations(item, b);
+    EXPECT_EQ(a, b) << "item " << item;
+  }
+}
+
+TEST_F(OverlayTest, SeedChangesExtraReplicaPlacement) {
+  PlacementOverlay other(*placement_, 8, 8888);
+  std::vector<ServerId> a, b;
+  bool differs = false;
+  for (ItemId item = 0; item < 100 && !differs; ++item) {
+    overlay_.locations_with_degree(item, 8, a);
+    other.locations_with_degree(item, 8, b);
+    // Rank 0 (distinguished) must agree; extras may differ.
+    EXPECT_EQ(a[0], b[0]);
+    differs = !std::equal(a.begin() + 1, a.end(), b.begin() + 1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(OverlayTest, DegreeClampsToCapAndBase) {
+  overlay_.set_degree(1, 100);  // above r_max
+  EXPECT_EQ(overlay_.degree(1), 8u);
+  overlay_.set_degree(1, 0);  // below base
+  EXPECT_EQ(overlay_.degree(1), 1u);
+  EXPECT_EQ(overlay_.boosted_items(), 0u);
+}
+
+TEST_F(OverlayTest, ExtraReplicaAccounting) {
+  overlay_.set_degree(10, 4);   // +3
+  overlay_.set_degree(11, 8);   // +7
+  EXPECT_EQ(overlay_.extra_replicas(), 10u);
+  overlay_.set_degree(10, 2);   // demote to +1
+  EXPECT_EQ(overlay_.extra_replicas(), 8u);
+  overlay_.set_degree(11, 1);   // shed entirely
+  EXPECT_EQ(overlay_.extra_replicas(), 1u);
+  EXPECT_EQ(overlay_.boosted_items(), 1u);
+  const auto ids = overlay_.boosted_ids_sorted();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 10u);
+}
+
+TEST_F(OverlayTest, RCapClampedToNumServers) {
+  const auto few = make_placement(PlacementScheme::kMultiHash, 4, 1, 3);
+  PlacementOverlay tight(*few, /*r_max=*/32, /*seed=*/1);
+  EXPECT_EQ(tight.r_cap(), 4u);
+  tight.set_degree(5, 32);
+  std::vector<ServerId> locs;
+  tight.locations(5, locs);
+  ASSERT_EQ(locs.size(), 4u);  // every server, exactly once
+  const std::set<ServerId> distinct(locs.begin(), locs.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST_F(OverlayTest, WorksOverWiderBasePlacement) {
+  // Base degree 2 (r_min = 2): the first two ranks are the base
+  // placement's, extras start at rank 2.
+  const auto base2 = make_placement(PlacementScheme::kRangedConsistentHash,
+                                    kServers, 2, kSeed);
+  PlacementOverlay wide(*base2, 6, 9);
+  std::vector<ServerId> locs;
+  wide.locations(3, locs);
+  EXPECT_EQ(locs.size(), 2u);
+  const std::vector<ServerId> base = base2->replicas(3);
+  wide.set_degree(3, 6);
+  wide.locations(3, locs);
+  ASSERT_EQ(locs.size(), 6u);
+  EXPECT_EQ(locs[0], base[0]);
+  EXPECT_EQ(locs[1], base[1]);
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,123 @@
+// AdaptiveReplicationPolicy: budget enforcement, degree bounds, and
+// frequency monotonicity.
+#include "adaptive/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace rnb {
+namespace {
+
+struct PlanFixture {
+  PlanFixture(std::uint64_t budget, std::uint32_t r_max = 8,
+              std::uint32_t tracker_capacity = 256)
+      : sketch(4, 1u << 12, 5), tracker(tracker_capacity) {
+    config.extra_replica_budget = budget;
+    config.r_max = r_max;
+  }
+
+  void feed_zipf(std::uint64_t universe, double skew, int n) {
+    Xoshiro256 rng(11);
+    ZipfSampler zipf(universe, skew);
+    for (int i = 0; i < n; ++i) {
+      const ItemId item = zipf(rng);
+      sketch.add(item);
+      tracker.add(item);
+    }
+  }
+
+  std::vector<ReplicaTarget> plan(std::uint32_t r_min = 1,
+                                  std::uint32_t r_cap = 8) {
+    AdaptiveReplicationPolicy policy(config);
+    return policy.plan(tracker, sketch, r_min, r_cap);
+  }
+
+  AdaptiveConfig config;
+  CountMinSketch sketch;
+  SpaceSavingTracker tracker;
+};
+
+std::uint64_t extra_sum(const std::vector<ReplicaTarget>& targets,
+                        std::uint32_t r_min) {
+  std::uint64_t sum = 0;
+  for (const ReplicaTarget& t : targets) sum += t.degree - r_min;
+  return sum;
+}
+
+TEST(AdaptivePolicy, RespectsBudgetExactlyWhenSpendable) {
+  PlanFixture fx(500);
+  fx.feed_zipf(20000, 1.0, 50000);
+  const auto targets = fx.plan();
+  EXPECT_EQ(extra_sum(targets, 1), 500u);  // enough candidates to spend all
+  for (const ReplicaTarget& t : targets) {
+    EXPECT_GE(t.degree, 2u);
+    EXPECT_LE(t.degree, 8u);
+  }
+}
+
+TEST(AdaptivePolicy, NeverExceedsBudget) {
+  for (const std::uint64_t budget : {1ull, 7ull, 100ull, 10000ull}) {
+    PlanFixture fx(budget);
+    fx.feed_zipf(5000, 1.2, 30000);
+    EXPECT_LE(extra_sum(fx.plan(), 1), budget) << "budget " << budget;
+  }
+}
+
+TEST(AdaptivePolicy, BudgetCappedByCandidateCount) {
+  // 64 tracker slots, cap 8 replicas: at most 64 * 7 extras can be placed
+  // no matter how large the budget is.
+  PlanFixture fx(1'000'000, 8, 64);
+  fx.feed_zipf(5000, 1.0, 30000);
+  const auto targets = fx.plan();
+  EXPECT_LE(targets.size(), 64u);
+  EXPECT_EQ(extra_sum(targets, 1), 64u * 7u);  // every candidate capped
+}
+
+TEST(AdaptivePolicy, HotterItemsGetAtLeastAsManyReplicas) {
+  PlanFixture fx(300);
+  fx.feed_zipf(10000, 1.1, 60000);
+  const auto targets = fx.plan();
+  ASSERT_FALSE(targets.empty());
+  // Targets come back hottest first; degrees must be non-increasing.
+  for (std::size_t i = 1; i < targets.size(); ++i)
+    EXPECT_LE(targets[i].degree, targets[i - 1].degree)
+        << "rank " << i << " hotter-ranked item got fewer replicas";
+}
+
+TEST(AdaptivePolicy, EmptyWhenNoBudgetOrNoHeadroom) {
+  {
+    PlanFixture fx(0);
+    fx.feed_zipf(1000, 1.0, 5000);
+    EXPECT_TRUE(fx.plan().empty());
+  }
+  {
+    PlanFixture fx(100);
+    fx.feed_zipf(1000, 1.0, 5000);
+    EXPECT_TRUE(fx.plan(/*r_min=*/4, /*r_cap=*/4).empty());
+  }
+}
+
+TEST(AdaptivePolicy, RMaxCapsPerItemDegree) {
+  PlanFixture fx(10000, /*r_max=*/3);
+  fx.feed_zipf(100, 1.4, 50000);  // tiny universe: everything is hot
+  for (const ReplicaTarget& t : fx.plan())
+    EXPECT_LE(t.degree, 3u);
+}
+
+TEST(AdaptivePolicy, DeterministicPlan) {
+  PlanFixture a(400), b(400);
+  a.feed_zipf(8000, 1.0, 40000);
+  b.feed_zipf(8000, 1.0, 40000);
+  const auto ta = a.plan(), tb = b.plan();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].item, tb[i].item);
+    EXPECT_EQ(ta[i].degree, tb[i].degree);
+  }
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,117 @@
+// Space-Saving guarantees: per-counter bounds, guaranteed tracking of items
+// above total/capacity, and top-k recall on Zipf streams.
+#include "adaptive/space_saving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace rnb {
+namespace {
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSavingTracker tracker(64);
+  for (ItemId item = 0; item < 32; ++item)
+    for (ItemId k = 0; k <= item; ++k) tracker.add(item);
+  EXPECT_EQ(tracker.size(), 32u);
+  const auto top = tracker.top(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].item, 31u);
+  EXPECT_EQ(top[0].count, 32u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[4].item, 27u);
+}
+
+TEST(SpaceSaving, CountBoundsHoldUnderEviction) {
+  SpaceSavingTracker tracker(128);
+  std::unordered_map<ItemId, std::uint64_t> truth;
+  Xoshiro256 rng(17);
+  ZipfSampler zipf(50000, 1.0);
+  for (int i = 0; i < 100000; ++i) {
+    const ItemId item = zipf(rng);
+    tracker.add(item);
+    ++truth[item];
+  }
+  EXPECT_EQ(tracker.total_weight(), 100000u);
+  for (const HeavyHitter& hh : tracker.top(tracker.size())) {
+    const std::uint64_t true_count = truth[hh.item];
+    EXPECT_LE(true_count, hh.count) << "item " << hh.item;
+    EXPECT_GE(true_count, hh.count - hh.error) << "item " << hh.item;
+  }
+}
+
+TEST(SpaceSaving, TopKRecallOnZipf) {
+  // Space-Saving guarantees any item with count > total/capacity is
+  // tracked; on Zipf(1.0) the true top-10 of 50k items all clear that bar
+  // for capacity 256 comfortably.
+  SpaceSavingTracker tracker(256);
+  std::unordered_map<ItemId, std::uint64_t> truth;
+  Xoshiro256 rng(23);
+  ZipfSampler zipf(50000, 1.0);
+  for (int i = 0; i < 200000; ++i) {
+    const ItemId item = zipf(rng);
+    tracker.add(item);
+    ++truth[item];
+  }
+  std::vector<std::pair<std::uint64_t, ItemId>> ranked;
+  for (const auto& [item, count] : truth) ranked.emplace_back(count, item);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  const auto tracked_top = tracker.top(64);
+  for (int rank = 0; rank < 10; ++rank) {
+    const ItemId hot = ranked[rank].second;
+    EXPECT_TRUE(std::any_of(tracked_top.begin(), tracked_top.end(),
+                            [&](const HeavyHitter& hh) {
+                              return hh.item == hot;
+                            }))
+        << "true rank-" << rank << " item " << hot
+        << " missing from tracked top-64";
+  }
+}
+
+TEST(SpaceSaving, GuaranteedHeavyHitterNeverEvicted) {
+  // One item is 30% of the stream; with capacity 16 its count dwarfs the
+  // eviction floor, so it must be tracked at the end.
+  SpaceSavingTracker tracker(16);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    if (rng.chance(0.3))
+      tracker.add(7777);
+    else
+      tracker.add(rng.below(10000));
+  }
+  EXPECT_TRUE(tracker.tracked(7777));
+  EXPECT_GT(tracker.count_upper_bound(7777), 30000u * 3 / 20);
+}
+
+TEST(SpaceSaving, MinCountBoundsUntrackedItems) {
+  SpaceSavingTracker tracker(8);
+  for (ItemId item = 0; item < 100; ++item) tracker.add(item % 10);
+  // Every untracked item's true count <= min tracked count.
+  EXPECT_GT(tracker.min_count(), 0u);
+  EXPECT_EQ(tracker.size(), 8u);
+}
+
+TEST(SpaceSaving, DeterministicAcrossInstances) {
+  SpaceSavingTracker a(64), b(64);
+  Xoshiro256 rng(77);
+  ZipfSampler zipf(5000, 0.9);
+  for (int i = 0; i < 30000; ++i) {
+    const ItemId item = zipf(rng);
+    a.add(item);
+    b.add(item);
+  }
+  const auto ta = a.top(a.size()), tb = b.top(b.size());
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].item, tb[i].item);
+    EXPECT_EQ(ta[i].count, tb[i].count);
+    EXPECT_EQ(ta[i].error, tb[i].error);
+  }
+}
+
+}  // namespace
+}  // namespace rnb

@@ -35,6 +35,16 @@ TEST(MetricsAccumulator, TprpsDividesByServers) {
   EXPECT_DOUBLE_EQ(m.tprps(16), 0.5);
 }
 
+TEST(MetricsAccumulator, TprpsZeroServersIsZeroNotInf) {
+  // Regression: dividing by num_servers == 0 used to produce inf (or NaN
+  // on an empty accumulator), which poisoned reports and JSON output.
+  MetricsAccumulator m;
+  m.add(outcome(8, 0));
+  EXPECT_DOUBLE_EQ(m.tprps(0), 0.0);
+  const MetricsAccumulator empty;
+  EXPECT_DOUBLE_EQ(empty.tprps(0), 0.0);
+}
+
 TEST(MetricsAccumulator, TracksMisses) {
   MetricsAccumulator m;
   m.add(outcome(1, 1, 3));
@@ -54,6 +64,75 @@ TEST(MetricsAccumulator, MergeCombinesEverything) {
   EXPECT_EQ(a.transaction_sizes().total(), 2u);
   EXPECT_EQ(a.transaction_sizes().count_at(5), 1u);
   EXPECT_EQ(a.transaction_sizes().count_at(7), 1u);
+}
+
+TEST(MetricsAccumulator, MergeCombinesTransactionSizeHistogram) {
+  MetricsAccumulator a, b;
+  a.record_transaction_size(3);
+  a.record_transaction_size(3);
+  b.record_transaction_size(3);
+  b.record_transaction_size(9);
+  a.merge(b);
+  EXPECT_EQ(a.transaction_sizes().total(), 4u);
+  EXPECT_EQ(a.transaction_sizes().count_at(3), 3u);
+  EXPECT_EQ(a.transaction_sizes().count_at(9), 1u);
+  EXPECT_EQ(a.transaction_sizes().max_key(), 9u);
+  EXPECT_DOUBLE_EQ(a.transaction_sizes().mean(), 4.5);
+}
+
+TEST(MetricsAccumulator, MergeCombinesHitchhikerCounters) {
+  RequestOutcome with_hitch = outcome(2, 0);
+  with_hitch.hitchhiker_keys = 6;
+  with_hitch.hitchhiker_saves = 2;
+  MetricsAccumulator a, b;
+  a.add(outcome(2, 0));  // no hitchhikers
+  b.add(with_hitch);
+  b.add(with_hitch);
+  a.merge(b);
+  EXPECT_EQ(a.requests(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean_hitchhiker_keys(), 4.0);
+  EXPECT_DOUBLE_EQ(a.mean_hitchhiker_saves(), 4.0 / 3.0);
+}
+
+TEST(MetricsAccumulator, MergeWithEmptyEitherWay) {
+  MetricsAccumulator a, empty;
+  a.add(outcome(5, 1, 2));
+  a.record_transaction_size(4);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.requests(), 1u);
+  EXPECT_DOUBLE_EQ(a.tpr(), 6.0);
+  EXPECT_EQ(a.transaction_sizes().total(), 1u);
+
+  MetricsAccumulator fresh;
+  fresh.merge(a);  // adopt everything
+  EXPECT_EQ(fresh.requests(), 1u);
+  EXPECT_DOUBLE_EQ(fresh.tpr(), 6.0);
+  EXPECT_DOUBLE_EQ(fresh.mean_misses(), 2.0);
+  EXPECT_EQ(fresh.transaction_sizes().count_at(4), 1u);
+}
+
+TEST(MetricsAccumulator, MergeMatchesSequentialAccumulation) {
+  // Shard outcomes across two accumulators, merge, and compare against one
+  // accumulator fed everything — the exact pattern the parallel sweep uses.
+  MetricsAccumulator sharded_a, sharded_b, sequential;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    RequestOutcome o = outcome(i, i % 3, i % 4);
+    o.hitchhiker_keys = i;
+    (i % 2 == 0 ? sharded_a : sharded_b).add(o);
+    (i % 2 == 0 ? sharded_a : sharded_b).record_transaction_size(i);
+    sequential.add(o);
+    sequential.record_transaction_size(i);
+  }
+  sharded_a.merge(sharded_b);
+  EXPECT_EQ(sharded_a.requests(), sequential.requests());
+  EXPECT_DOUBLE_EQ(sharded_a.tpr(), sequential.tpr());
+  EXPECT_DOUBLE_EQ(sharded_a.mean_misses(), sequential.mean_misses());
+  EXPECT_DOUBLE_EQ(sharded_a.mean_hitchhiker_keys(),
+                   sequential.mean_hitchhiker_keys());
+  EXPECT_NEAR(sharded_a.tpr_stat().stddev(), sequential.tpr_stat().stddev(),
+              1e-12);
+  EXPECT_EQ(sharded_a.transaction_sizes().items(),
+            sequential.transaction_sizes().items());
 }
 
 TEST(MetricsAccumulator, EmptyIsZero) {

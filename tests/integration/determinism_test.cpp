@@ -46,6 +46,39 @@ TEST(Determinism, FullSimulatorIdenticalTwice) {
             b.metrics.transaction_sizes().items());
 }
 
+TEST(Determinism, AdaptiveModeIdenticalTwice) {
+  // Adaptive replication adds sketches, a heavy-hitter heap, and epoch
+  // rebalancing to the loop; all of it must still be a pure function of the
+  // seeds — same TPR, same rebalance decisions, same per-server load.
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 3000, .edges = 20000, .max_degree = 300, .seed = 5});
+  FullSimConfig cfg;
+  cfg.cluster.num_servers = 16;
+  cfg.cluster.logical_replicas = 1;
+  cfg.cluster.seed = 9;
+  cfg.warmup_requests = 400;
+  cfg.measure_requests = 400;
+  cfg.adaptive = true;
+  cfg.adaptive_config.extra_replica_budget = 2000;
+  cfg.adaptive_config.epoch_requests = 150;
+  cfg.adaptive_config.seed = 31;
+
+  SocialWorkload s1(g, 13), s2(g, 13);
+  const FullSimResult a = run_full_sim(s1, cfg);
+  const FullSimResult b = run_full_sim(s2, cfg);
+  EXPECT_DOUBLE_EQ(a.metrics.tpr(), b.metrics.tpr());
+  EXPECT_EQ(a.resident_copies, b.resident_copies);
+  EXPECT_EQ(a.overlay_extra_replicas, b.overlay_extra_replicas);
+  EXPECT_EQ(a.rebalance.epochs, b.rebalance.epochs);
+  EXPECT_EQ(a.rebalance.items_promoted, b.rebalance.items_promoted);
+  EXPECT_EQ(a.rebalance.items_demoted, b.rebalance.items_demoted);
+  EXPECT_EQ(a.rebalance.replicas_added, b.rebalance.replicas_added);
+  EXPECT_EQ(a.rebalance.replicas_dropped, b.rebalance.replicas_dropped);
+  EXPECT_DOUBLE_EQ(a.rebalance.migration.tpr(), b.rebalance.migration.tpr());
+  EXPECT_EQ(a.per_server_transactions, b.per_server_transactions);
+  EXPECT_GT(a.rebalance.epochs, 0u);
+}
+
 TEST(Determinism, DifferentSeedsDifferentButClose) {
   // Different seeds must change the exact trajectory while agreeing on the
   // statistic (sanity against accidental seed-independence).
