@@ -15,10 +15,14 @@
 //
 //   # record 10k requests for later replay
 //   build/examples/rnbsim --record-trace=requests.txt --requests=10000
+//
+//   # 5% message drop everywhere plus a crash window on server 3
+//   build/examples/rnbsim --replicas=2 --faults="drop=0.05;crash@3=100:600"
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "faultsim/fault_spec.hpp"
 #include "graph/generators.hpp"
 #include "graph/loader.hpp"
 #include "sim/calibration.hpp"
@@ -50,6 +54,7 @@ struct Args {
   std::string placement = "rch";
   std::string strategy = "greedy";
   std::string eviction = "lru";
+  std::string faults;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -80,6 +85,7 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (key == "placement") args.placement = value;
     else if (key == "strategy") args.strategy = value;
     else if (key == "eviction") args.eviction = value;
+    else if (key == "faults") args.faults = value;
     else {
       std::cerr << "unknown flag: --" << key << "\n";
       return false;
@@ -149,6 +155,15 @@ int main(int argc, char** argv) {
   cfg.policy.limit_fraction = args.limit;
   cfg.warmup_requests = args.warmup;
   cfg.measure_requests = args.requests;
+  if (!args.faults.empty()) {
+    std::string error;
+    const auto spec = faultsim::parse_fault_spec(args.faults, &error);
+    if (!spec) {
+      std::cerr << "bad --faults spec: " << error << "\n";
+      return 1;
+    }
+    cfg.faults = *spec;
+  }
 
   const FullSimResult result = run_full_sim(*source, cfg);
   const ThroughputModel model = ThroughputModel::paper_default();
@@ -176,5 +191,22 @@ int main(int argc, char** argv) {
             << "resident copies    " << result.resident_copies << "\n"
             << "est. throughput    " << static_cast<long>(tput)
             << " requests/s (calibrated)\n";
+  if (cfg.faults.any())
+    std::cout << "-- faults: " << faultsim::to_spec_string(cfg.faults)
+              << " --\n"
+              << "availability       " << result.metrics.availability()
+              << "\n"
+              << "retries/request    " << result.metrics.mean_retries()
+              << "\n"
+              << "dropped sends/req  " << result.metrics.mean_dropped_sends()
+              << "\n"
+              << "recover rounds/req " << result.metrics.mean_recover_rounds()
+              << "\n"
+              << "deadline misses    " << result.metrics.deadline_miss_rate()
+              << "\n"
+              << "db fetches/req     " << result.metrics.mean_db_fetches()
+              << "\n"
+              << "p99 TPR            " << result.metrics.tpr_quantile(0.99)
+              << "\n";
   return 0;
 }

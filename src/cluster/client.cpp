@@ -148,10 +148,41 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
     }
   }
 
+  // Servers that ate every attempt this request gave them. Only meaningful
+  // under an attached fault injector — a clean run never fails a send.
+  std::vector<char> failed(fault_ == nullptr ? 0 : cluster_.num_servers(), 0);
+  const auto has_failed = [&failed](ServerId s) {
+    return !failed.empty() && failed[s] != 0;
+  };
+
+  // One transaction send with bounded same-server retries. Counts every
+  // attempt into `txn_counter` (client+network cost), server work only when
+  // delivered. `wave` rises to the sequential roundtrips this server used,
+  // so parallel fan-out charges the request max-over-servers, not the sum.
+  const auto send_with_retries = [&](ServerId s, std::uint32_t& txn_counter,
+                                     std::uint32_t& wave) -> bool {
+    const std::uint32_t attempts =
+        fault_ == nullptr ? 1 : std::max(1u, policy_.max_attempts);
+    for (std::uint32_t a = 0; a < attempts; ++a) {
+      ++txn_counter;
+      if (a > 0) ++outcome.retries;
+      wave = std::max(wave, a + 1);
+      if (fault_ == nullptr || fault_->on_send(s)) {
+        cluster_.note_transaction(s);
+        return true;
+      }
+      ++outcome.dropped_sends;
+    }
+    failed[s] = 1;
+    return false;
+  };
+
   // Round 1. satisfied[i] means a server returned the item.
   std::vector<bool> satisfied(m, false);
+  std::uint32_t round1_wave = 0;
   for (const ServerId s : p.servers) {
-    cluster_.note_transaction(s);
+    if (!send_with_retries(s, outcome.round1_transactions, round1_wave))
+      continue;
     TwoClassStore& server = cluster_.server(s);
     std::uint64_t keys_in_txn = 0;
     for (const std::size_t i : assigned[s]) {
@@ -174,12 +205,56 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
     }
     if (metrics != nullptr) metrics->record_transaction_size(keys_in_txn);
   }
-  outcome.round1_transactions = static_cast<std::uint32_t>(p.servers.size());
+  std::uint32_t waves_used = round1_wave;
+
+  // Recover rounds: items stranded on a failed server get the greedy cover
+  // re-run over their surviving replica locations — the bundling step
+  // replayed on whatever replication has left standing. Each re-plan is a
+  // fresh chance to bundle, so a failure costs extra waves, not the items.
+  while (fault_ != nullptr &&
+         outcome.recover_rounds < policy_.max_recover_rounds) {
+    CoverInstance instance;
+    std::vector<std::size_t> pool;  // instance index -> item index
+    for (std::size_t i = 0; i < m; ++i) {
+      if (satisfied[i] || p.assignment[i] == kInvalidServer ||
+          !has_failed(p.assignment[i]))
+        continue;
+      std::vector<ServerId> live;
+      for (const ServerId s : p.locations[i])
+        if (!cluster_.is_down(s) && !has_failed(s)) live.push_back(s);
+      if (live.empty()) continue;  // round 2 / database will pick this up
+      pool.push_back(i);
+      instance.candidates.push_back(std::move(live));
+    }
+    if (pool.empty()) break;
+    if (waves_used >= policy_.deadline_waves) {
+      outcome.deadline_missed = 1;
+      break;
+    }
+    ++outcome.recover_rounds;
+    const CoverResult cover = greedy_cover(instance);
+    std::unordered_map<ServerId, std::vector<std::size_t>> bundles;
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      p.assignment[pool[j]] = cover.assignment[j];
+      bundles[cover.assignment[j]].push_back(pool[j]);
+    }
+    std::uint32_t recover_wave = 0;
+    for (const ServerId s : cover.servers_used) {
+      if (!send_with_retries(s, outcome.recover_transactions, recover_wave))
+        continue;
+      TwoClassStore& server = cluster_.server(s);
+      for (const std::size_t i : bundles[s])
+        if (server.read(p.items[i])) satisfied[i] = true;
+      if (metrics != nullptr)
+        metrics->record_transaction_size(bundles[s].size());
+    }
+    waves_used += recover_wave;
+  }
 
   // Round 2: unsatisfied items fall back to their distinguished copies —
-  // or, when the distinguished server is down, to the first LIVE replica —
-  // bundled per fallback server. (An item assigned to its own distinguished
-  // server cannot reach here — pinned copies always hit.)
+  // or, when the distinguished server is down or failed, to the first
+  // usable replica — bundled per fallback server. (An item assigned to its
+  // own distinguished server cannot reach here — pinned copies always hit.)
   std::unordered_map<ServerId, std::vector<std::size_t>> fallback;
   for (std::size_t i = 0; i < m; ++i) {
     const ServerId s = p.assignment[i];
@@ -192,23 +267,31 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
     }
     if (satisfied[i]) continue;
     ++outcome.replica_misses;
-    // Fallback target: the first live replica other than the server that
-    // just missed. If none exists, there is no point in a second round —
-    // the item comes straight from the database.
+    // Fallback target: the first live, non-failed replica other than the
+    // server that just missed. If none exists, there is no point in a
+    // second round — the item comes straight from the database.
     ServerId target = kInvalidServer;
     for (const ServerId candidate : p.locations[i])
-      if (candidate != s && !cluster_.is_down(candidate)) {
+      if (candidate != s && !cluster_.is_down(candidate) &&
+          !has_failed(candidate)) {
         target = candidate;
         break;
       }
     if (target == kInvalidServer) {
       ++outcome.db_fetches;
       satisfied[i] = true;
-      if (policy_.write_back_misses)
+      if (policy_.write_back_misses && !has_failed(s))
         cluster_.server(s).write_replica(p.items[i]);
       continue;
     }
     fallback[target].push_back(i);
+  }
+  if (!fallback.empty() && waves_used >= policy_.deadline_waves) {
+    // Out of budget before the fallback wave: the request returns without
+    // these items. They are neither skipped nor unavailable — the deadline
+    // ate them, which is exactly what the metric records.
+    outcome.deadline_missed = 1;
+    fallback.clear();
   }
   // Ordered iteration keeps cross-server write-back order — and therefore
   // every LRU's exact state — independent of the hash map implementation.
@@ -216,17 +299,27 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
   fallback_servers.reserve(fallback.size());
   for (const auto& [home, idxs] : fallback) fallback_servers.push_back(home);
   std::sort(fallback_servers.begin(), fallback_servers.end());
+  std::uint32_t round2_wave = 0;
   for (const ServerId home : fallback_servers) {
     const std::vector<std::size_t>& idxs = fallback[home];
-    cluster_.note_transaction(home);
+    if (!send_with_retries(home, outcome.round2_transactions, round2_wave)) {
+      // Fallback unreachable too: the last resort is the database.
+      for (const std::size_t i : idxs) {
+        ++outcome.db_fetches;
+        satisfied[i] = true;
+      }
+      continue;
+    }
     TwoClassStore& server = cluster_.server(home);
     for (const std::size_t i : idxs) {
       const bool hit = server.read(p.items[i]);
       if (!hit) {
-        // Only possible when the true distinguished server is down and the
-        // fallback replica was cold: the item comes from the database
-        // (paper Section I-B's miss path). It still reaches the user.
-        RNB_ENSURE(cluster_.is_down(p.locations[i][0]));
+        // Only possible when the true distinguished server is down (or ate
+        // this request's attempts) and the fallback replica was cold: the
+        // item comes from the database (paper Section I-B's miss path). It
+        // still reaches the user.
+        RNB_ENSURE(cluster_.is_down(p.locations[i][0]) ||
+                   has_failed(p.locations[i][0]));
         ++outcome.db_fetches;
       }
       satisfied[i] = true;
@@ -238,7 +331,6 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
     if (metrics != nullptr)
       metrics->record_transaction_size(idxs.size());
   }
-  outcome.round2_transactions = static_cast<std::uint32_t>(fallback.size());
   outcome.items_fetched = static_cast<std::uint32_t>(
       std::count(satisfied.begin(), satisfied.end(), true));
 

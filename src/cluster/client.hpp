@@ -44,6 +44,19 @@ class RequestObserver {
   virtual void on_request(std::span<const ItemId> items) = 0;
 };
 
+/// Per-send fault decision for the simulated transport. The faultsim
+/// module implements this over a deterministic schedule; with no injector
+/// attached every send is delivered and execution is byte-identical to
+/// pre-faultsim builds. Called once per attempted transaction send (so
+/// retries consult it again), in the client's deterministic send order.
+class TransactionFaultInjector {
+ public:
+  virtual ~TransactionFaultInjector() = default;
+
+  /// True when the message reaches the server and its response returns.
+  virtual bool on_send(ServerId s) = 0;
+};
+
 /// A fully planned request, before touching any server. Exposed separately
 /// from execution so tests and the locality bench can inspect plans.
 struct RequestPlan {
@@ -79,6 +92,12 @@ class RnbClient {
     observer_ = observer;
   }
 
+  /// Attach a per-send fault injector (non-owning, nullable). Used by the
+  /// faultsim subsystem; see src/faultsim/sim_fault_driver.hpp.
+  void set_fault_injector(TransactionFaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
   /// Plan without executing (no server state is touched).
   RequestPlan plan(std::span<const ItemId> request_items);
 
@@ -102,6 +121,7 @@ class RnbClient {
   RnbCluster& cluster_;
   ClientPolicy policy_;
   RequestObserver* observer_ = nullptr;
+  TransactionFaultInjector* fault_ = nullptr;
   Xoshiro256 rng_;
 };
 

@@ -4,24 +4,36 @@ namespace rnb {
 
 void MetricsAccumulator::add(const RequestOutcome& outcome) {
   tpr_.add(static_cast<double>(outcome.transactions()));
+  tpr_samples_.add(static_cast<double>(outcome.transactions()));
   round2_.add(static_cast<double>(outcome.round2_transactions));
   misses_.add(static_cast<double>(outcome.replica_misses));
+  requested_.add(static_cast<double>(outcome.items_requested));
   items_fetched_.add(static_cast<double>(outcome.items_fetched));
   hitch_keys_.add(static_cast<double>(outcome.hitchhiker_keys));
   hitch_saves_.add(static_cast<double>(outcome.hitchhiker_saves));
   unavailable_.add(static_cast<double>(outcome.items_unavailable));
   db_fetches_.add(static_cast<double>(outcome.db_fetches));
+  retries_.add(static_cast<double>(outcome.retries));
+  drops_.add(static_cast<double>(outcome.dropped_sends));
+  recovers_.add(static_cast<double>(outcome.recover_rounds));
+  deadline_.add(static_cast<double>(outcome.deadline_missed));
 }
 
 void MetricsAccumulator::merge(const MetricsAccumulator& other) {
   tpr_.merge(other.tpr_);
+  tpr_samples_.merge(other.tpr_samples_);
   round2_.merge(other.round2_);
   misses_.merge(other.misses_);
+  requested_.merge(other.requested_);
   items_fetched_.merge(other.items_fetched_);
   hitch_keys_.merge(other.hitch_keys_);
   hitch_saves_.merge(other.hitch_saves_);
   unavailable_.merge(other.unavailable_);
   db_fetches_.merge(other.db_fetches_);
+  retries_.merge(other.retries_);
+  drops_.merge(other.drops_);
+  recovers_.merge(other.recovers_);
+  deadline_.merge(other.deadline_);
   txn_sizes_.merge(other.txn_sizes_);
 }
 

@@ -21,8 +21,18 @@ struct RequestOutcome {
   std::uint32_t hitchhiker_saves = 0;     // misses rescued by a hitchhiker
   std::uint32_t hitchhiker_keys = 0;      // extra keys added to transactions
 
+  // Failure-policy accounting; all zero unless a fault injector is
+  // attached (clean runs are unchanged).
+  std::uint32_t retries = 0;        // extra attempts beyond each first send
+  std::uint32_t dropped_sends = 0;  // attempts the network lost
+  std::uint32_t recover_transactions = 0;  // sends issued by cover re-plans
+  std::uint32_t recover_rounds = 0;        // cover re-plans run
+  std::uint32_t deadline_missed = 0;       // 1 when the wave budget ran out
+
+  /// Round-1 counts include retries; recover-round sends are separate so
+  /// the clean-path TPR definition is untouched when faults are off.
   std::uint32_t transactions() const noexcept {
-    return round1_transactions + round2_transactions;
+    return round1_transactions + round2_transactions + recover_transactions;
   }
 };
 
@@ -42,13 +52,34 @@ class MetricsAccumulator {
   }
   double mean_round2() const noexcept { return round2_.mean(); }
   double mean_misses() const noexcept { return misses_.mean(); }
+  double mean_items_requested() const noexcept { return requested_.mean(); }
   double mean_items_fetched() const noexcept { return items_fetched_.mean(); }
   double mean_hitchhiker_keys() const noexcept { return hitch_keys_.mean(); }
   double mean_hitchhiker_saves() const noexcept { return hitch_saves_.mean(); }
   double mean_unavailable() const noexcept { return unavailable_.mean(); }
   double mean_db_fetches() const noexcept { return db_fetches_.mean(); }
 
+  // Failure-policy aggregates (zero on clean runs).
+  double mean_retries() const noexcept { return retries_.mean(); }
+  double mean_dropped_sends() const noexcept { return drops_.mean(); }
+  double mean_recover_rounds() const noexcept { return recovers_.mean(); }
+  /// Fraction of requests that blew their wave budget.
+  double deadline_miss_rate() const noexcept { return deadline_.mean(); }
+  /// Fraction of requested items the cache tier actually served (fetched
+  /// minus database rescues, over requested). The availability axis of the
+  /// degradation benchmark.
+  double availability() const noexcept {
+    const double requested = requested_.sum();
+    if (requested == 0.0) return 1.0;
+    return (items_fetched_.sum() - db_fetches_.sum()) / requested;
+  }
+
   const RunningStat& tpr_stat() const noexcept { return tpr_; }
+
+  /// Per-request transaction-count tail (p99 TPR of the degradation bench).
+  double tpr_quantile(double q) const {
+    return tpr_samples_.count() == 0 ? 0.0 : tpr_samples_.quantile(q);
+  }
 
   /// Histogram of items per transaction (assigned + hitchhiker keys); the
   /// calibration model converts this into throughput.
@@ -61,11 +92,17 @@ class MetricsAccumulator {
   RunningStat tpr_;
   RunningStat round2_;
   RunningStat misses_;
+  RunningStat requested_;
   RunningStat items_fetched_;
   RunningStat hitch_keys_;
   RunningStat hitch_saves_;
   RunningStat unavailable_;
   RunningStat db_fetches_;
+  RunningStat retries_;
+  RunningStat drops_;
+  RunningStat recovers_;
+  RunningStat deadline_;
+  Percentiles tpr_samples_;
   Histogram txn_sizes_;
 };
 

@@ -60,6 +60,23 @@ struct ClientPolicy {
   /// After a replica miss, install the item in the replica class of the
   /// server the cover had assigned it to (Section III-C2's write-back rule).
   bool write_back_misses = true;
+
+  // --- Failure policy (only exercised when a TransactionFaultInjector is
+  // attached; with none, every send is delivered on the first attempt and
+  // these knobs are inert). The simulator has no clock, so its deadline is
+  // measured in "waves": sequential network roundtrips, where all
+  // transactions of one round fly in parallel.
+
+  /// Sends attempted per transaction before the server is written off for
+  /// this request (1 = no retry).
+  std::uint32_t max_attempts = 3;
+  /// After a server exhausts its attempts, how many times the client may
+  /// re-run the greedy cover over the surviving replica locations of the
+  /// still-missing items (the paper's bundling, replayed on the survivors).
+  std::uint32_t max_recover_rounds = 2;
+  /// Total waves a request may spend (round 1 + recover rounds + round 2);
+  /// past it the request stops fetching and reports a deadline miss.
+  std::uint32_t deadline_waves = 16;
 };
 
 }  // namespace rnb

@@ -69,6 +69,11 @@ class Percentiles {
   void add(double x) { samples_.push_back(x); }
   std::size_t count() const noexcept { return samples_.size(); }
 
+  /// Concatenate another accumulator's samples (sweep-shard fold).
+  void merge(const Percentiles& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+  }
+
   /// Quantile by linear interpolation between closest ranks; q in [0, 1].
   double quantile(double q) const {
     RNB_REQUIRE(!samples_.empty());

@@ -1,0 +1,84 @@
+// Compiled fault schedule: pure-function fault decisions.
+//
+// Every decision ("does server s drop the message at tick t, attempt a?")
+// is derived by hashing (seed, decision kind, server, tick, attempt) into a
+// uniform [0,1) draw — a counter-based RNG rather than a stateful stream.
+// That makes decisions independent of query order and thread interleaving,
+// which is what lets the parallel sweep driver and the golden determinism
+// tests treat fault-injected runs exactly like clean ones. Retries see
+// fresh draws (the attempt index is part of the counter), so a dropped
+// message is not doomed to drop forever.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "faultsim/fault_spec.hpp"
+
+namespace rnb::faultsim {
+
+class FaultSchedule {
+ public:
+  FaultSchedule(FaultSpec spec, ServerId num_servers)
+      : spec_(std::move(spec)), num_servers_(num_servers) {}
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  ServerId num_servers() const noexcept { return num_servers_; }
+  const FaultClause& clause(ServerId s) const noexcept {
+    return spec_.clause(s);
+  }
+
+  /// Crash windows: true while tick t lies in one of server s's down
+  /// epochs. Scanning the (short) window list beats precomputing bitmaps
+  /// for the sparse schedules specs actually describe.
+  bool is_down(ServerId s, Tick t) const noexcept {
+    for (const auto& [start, end] : clause(s).crash)
+      if (t >= start && t < end) return true;
+    return false;
+  }
+
+  bool drops(ServerId s, Tick t, std::uint32_t attempt) const noexcept {
+    return draw(kDropSalt, s, t, attempt) < clause(s).drop;
+  }
+
+  bool truncates(ServerId s, Tick t) const noexcept {
+    return draw(kTruncSalt, s, t, 0) < clause(s).trunc;
+  }
+
+  bool partials(ServerId s, Tick t) const noexcept {
+    return draw(kPartialSalt, s, t, 0) < clause(s).partial;
+  }
+
+  /// Virtual roundtrip latency of a delivered attempt:
+  /// base service scaled by the slow factor, plus fixed extra, plus
+  /// deterministic jitter.
+  double latency(ServerId s, Tick t, std::uint32_t attempt) const noexcept {
+    const FaultClause& c = clause(s);
+    double lat = spec_.base_latency * c.slow + c.extra_latency;
+    if (c.jitter > 0.0) lat += c.jitter * draw(kJitterSalt, s, t, attempt);
+    return lat;
+  }
+
+  /// Uniform [0,1) draw for decision `salt` at (server, tick, attempt);
+  /// exposed for custom fault dimensions layered on the same stream.
+  double draw(std::uint64_t salt, ServerId s, Tick t,
+              std::uint32_t attempt) const noexcept {
+    std::uint64_t x = hash_combine(spec_.seed, salt);
+    x = hash_combine(x, s);
+    x = hash_combine(x, t);
+    x = hash_combine(x, attempt);
+    return static_cast<double>(splitmix64(fmix64(x)) >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr std::uint64_t kDropSalt = 0xd309;
+  static constexpr std::uint64_t kTruncSalt = 0x7239c;
+  static constexpr std::uint64_t kPartialSalt = 0x9a127;
+  static constexpr std::uint64_t kJitterSalt = 0x217e6;
+
+ private:
+  FaultSpec spec_;
+  ServerId num_servers_;
+};
+
+}  // namespace rnb::faultsim

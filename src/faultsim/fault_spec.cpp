@@ -1,0 +1,161 @@
+#include "faultsim/fault_spec.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace rnb::faultsim {
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool parse_f64(std::string_view token, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+/// One raw `key[@server]=value` assignment, in spec order. Applied in two
+/// passes (all-server first, then per-server) so override semantics do not
+/// depend on clause order within the string.
+struct Assignment {
+  std::string key;
+  std::optional<ServerId> server;
+  std::string value;
+};
+
+bool apply_to_clause(const Assignment& a, FaultClause& clause,
+                     std::string* error) {
+  if (a.key == "crash") {
+    const std::size_t colon = a.value.find(':');
+    std::uint64_t start = 0, end = 0;
+    if (colon == std::string::npos ||
+        !parse_u64(std::string_view(a.value).substr(0, colon), start) ||
+        !parse_u64(std::string_view(a.value).substr(colon + 1), end) ||
+        end <= start)
+      return fail(error, "crash wants start:end with end > start, got '" +
+                             a.value + "'");
+    clause.crash.emplace_back(start, end);
+    return true;
+  }
+  double v = 0.0;
+  if (!parse_f64(a.value, v))
+    return fail(error, "bad number '" + a.value + "' for " + a.key);
+  if (a.key == "drop" || a.key == "trunc" || a.key == "partial") {
+    if (v < 0.0 || v > 1.0)
+      return fail(error, a.key + " wants a probability in [0,1]");
+    (a.key == "drop" ? clause.drop
+                     : a.key == "trunc" ? clause.trunc : clause.partial) = v;
+    return true;
+  }
+  if (a.key == "latency" || a.key == "jitter") {
+    if (v < 0.0) return fail(error, a.key + " must be >= 0");
+    (a.key == "latency" ? clause.extra_latency : clause.jitter) = v;
+    return true;
+  }
+  if (a.key == "slow") {
+    if (v < 1.0) return fail(error, "slow wants a multiplier >= 1");
+    clause.slow = v;
+    return true;
+  }
+  return fail(error, "unknown fault key '" + a.key + "'");
+}
+
+}  // namespace
+
+std::optional<FaultSpec> parse_fault_spec(std::string_view spec,
+                                          std::string* error) {
+  FaultSpec out;
+  std::vector<Assignment> assignments;
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    std::string_view clause = spec.substr(0, semi);
+    spec.remove_prefix(semi == std::string_view::npos ? spec.size()
+                                                      : semi + 1);
+    while (!clause.empty() && clause.front() == ' ') clause.remove_prefix(1);
+    while (!clause.empty() && clause.back() == ' ') clause.remove_suffix(1);
+    if (clause.empty()) continue;
+
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      fail(error, "clause '" + std::string(clause) + "' has no '='");
+      return std::nullopt;
+    }
+    Assignment a;
+    std::string_view key = clause.substr(0, eq);
+    a.value = std::string(clause.substr(eq + 1));
+    const std::size_t at = key.find('@');
+    if (at != std::string_view::npos) {
+      std::uint64_t server = 0;
+      if (!parse_u64(key.substr(at + 1), server)) {
+        fail(error, "bad server index in '" + std::string(key) + "'");
+        return std::nullopt;
+      }
+      a.server = static_cast<ServerId>(server);
+      key = key.substr(0, at);
+    }
+    a.key = std::string(key);
+
+    if (a.key == "seed") {
+      if (a.server || !parse_u64(a.value, out.seed)) {
+        fail(error, "bad seed clause");
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (a.key == "base" || a.key == "base_latency") {
+      double base = 0.0;
+      if (a.server || !parse_f64(a.value, base) || base <= 0.0) {
+        fail(error, "base wants a positive latency in seconds");
+        return std::nullopt;
+      }
+      out.base_latency = base;
+      continue;
+    }
+    assignments.push_back(std::move(a));
+  }
+
+  // Pass 1: the all-server defaults.
+  for (const Assignment& a : assignments)
+    if (!a.server && !apply_to_clause(a, out.all, error)) return std::nullopt;
+  // Pass 2: per-server overrides start from the finished defaults.
+  for (const Assignment& a : assignments) {
+    if (!a.server) continue;
+    auto [it, inserted] = out.per_server.try_emplace(*a.server, out.all);
+    if (!apply_to_clause(a, it->second, error)) return std::nullopt;
+  }
+  return out;
+}
+
+std::string to_spec_string(const FaultSpec& spec) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  const auto emit = [&os](const FaultClause& c, const std::string& at) {
+    if (c.drop > 0.0) os << "drop" << at << "=" << c.drop << ";";
+    if (c.trunc > 0.0) os << "trunc" << at << "=" << c.trunc << ";";
+    if (c.partial > 0.0) os << "partial" << at << "=" << c.partial << ";";
+    if (c.extra_latency > 0.0)
+      os << "latency" << at << "=" << c.extra_latency << ";";
+    if (c.jitter > 0.0) os << "jitter" << at << "=" << c.jitter << ";";
+    if (c.slow != 1.0) os << "slow" << at << "=" << c.slow << ";";
+    for (const auto& [start, end] : c.crash)
+      os << "crash" << at << "=" << start << ":" << end << ";";
+  };
+  emit(spec.all, "");
+  for (const auto& [s, clause] : spec.per_server)
+    emit(clause, "@" + std::to_string(s));
+  if (spec.base_latency != FaultSpec{}.base_latency)
+    os << "base=" << spec.base_latency << ";";
+  os << "seed=" << spec.seed;
+  return os.str();
+}
+
+}  // namespace rnb::faultsim

@@ -1,0 +1,105 @@
+// Declarative fault schedules for deterministic failure injection.
+//
+// A FaultSpec describes, per server, what can go wrong on the wire and
+// when: message drops, added latency, degraded ("slow") service, truncated
+// or partial multi-get responses, and crash/restart epochs. Everything is a
+// pure function of (spec seed, server, tick) — no wall clock, no global
+// RNG — so an injected-fault run is exactly as reproducible as a clean one,
+// and schedules can be queried from any thread in any order.
+//
+// Specs are written as a compact string so benches and simulators can take
+// them on the command line (`--faults=SPEC`). Grammar: semicolon-separated
+// clauses, each `key[@server]=value`; a clause without `@server` applies to
+// every server, per-server clauses override it field-by-field.
+//
+//   drop=0.05              every server drops 5% of messages
+//   drop@3=0.5             ... but server 3 drops half of them
+//   latency=0.002          2 ms added to every roundtrip
+//   jitter=0.001           plus uniform [0, 1ms) deterministic jitter
+//   slow@2=4               server 2 serves 4x slower
+//   trunc=0.01             1% of responses are cut mid-frame (malformed)
+//   partial=0.02           2% of multi-get responses lose trailing values
+//   crash@1=100:500        server 1 is down for ticks [100, 500)
+//   seed=7                 decision-stream seed (default 1)
+//
+// Multiple crash clauses per server accumulate; `crash=A:B` without a
+// server index crashes every server over that window (rarely useful, but
+// consistent).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnb::faultsim {
+
+/// A tick is the schedule's logical clock: the fault transport advances it
+/// once per roundtrip; the simulators advance it once per request.
+using Tick = std::uint64_t;
+
+/// Fault behaviour of one server (or the all-server default).
+struct FaultClause {
+  /// Probability a message (request or response) is lost.
+  double drop = 0.0;
+  /// Probability a response frame is cut mid-frame (arrives malformed).
+  double trunc = 0.0;
+  /// Probability a multi-get response loses its trailing values while
+  /// remaining a well-formed frame (the "short read" servers really send).
+  double partial = 0.0;
+  /// Fixed virtual seconds added to every roundtrip.
+  double extra_latency = 0.0;
+  /// Uniform [0, jitter) virtual seconds added on top, deterministically.
+  double jitter = 0.0;
+  /// Service-time multiplier; > 1 models a degraded ("limping") server.
+  double slow = 1.0;
+  /// Down windows [start, end) in ticks. A server inside a window accepts
+  /// nothing; leaving the window restores it (crash/restart epochs).
+  std::vector<std::pair<Tick, Tick>> crash;
+
+  bool any() const noexcept {
+    return drop > 0.0 || trunc > 0.0 || partial > 0.0 ||
+           extra_latency > 0.0 || jitter > 0.0 || slow != 1.0 ||
+           !crash.empty();
+  }
+};
+
+struct FaultSpec {
+  /// Default clause, applied to servers without an override.
+  FaultClause all;
+  /// Per-server overrides (already merged onto `all` by the parser).
+  std::map<ServerId, FaultClause> per_server;
+  /// Seed of the decision stream (independent of workload seeds).
+  std::uint64_t seed = 1;
+  /// Healthy per-roundtrip virtual service time, scaled by `slow`.
+  double base_latency = 1e-3;
+
+  /// True when any clause injects anything — the sims skip all fault
+  /// machinery for an empty spec, keeping clean runs byte-identical to
+  /// pre-faultsim builds.
+  bool any() const noexcept {
+    if (all.any()) return true;
+    for (const auto& [s, c] : per_server)
+      if (c.any()) return true;
+    return false;
+  }
+
+  const FaultClause& clause(ServerId s) const noexcept {
+    const auto it = per_server.find(s);
+    return it == per_server.end() ? all : it->second;
+  }
+};
+
+/// Parse a spec string (see grammar above). Returns nullopt and fills
+/// `error` on malformed input. The empty string parses to an empty spec.
+std::optional<FaultSpec> parse_fault_spec(std::string_view spec,
+                                          std::string* error = nullptr);
+
+/// Canonical spec string for a parsed spec (diagnostics and golden tests).
+std::string to_spec_string(const FaultSpec& spec);
+
+}  // namespace rnb::faultsim

@@ -1,0 +1,82 @@
+#include "faultsim/fault_transport.hpp"
+
+#include "kv/protocol.hpp"
+
+namespace rnb::faultsim {
+namespace {
+
+/// Cut the response mid-frame at a schedule-determined offset, always
+/// removing at least one byte so the frame cannot stay parseable.
+void truncate_frame(const FaultSchedule& schedule, ServerId s, Tick t,
+                    std::string& response) {
+  if (response.empty()) return;
+  const auto cut = static_cast<std::size_t>(
+      schedule.draw(FaultSchedule::kTruncSalt + 1, s, t, 0) *
+      static_cast<double>(response.size()));
+  response.resize(cut >= response.size() ? response.size() - 1 : cut);
+}
+
+/// Strip trailing VALUE blocks from a well-formed multi-get response,
+/// keeping at least the END terminator — a valid frame that silently under-
+/// delivers. Non-value frames (STORED etc.) pass through untouched.
+void shorten_values(const FaultSchedule& schedule, ServerId s, Tick t,
+                    std::string& response) {
+  auto values = kv::parse_values(response, /*with_versions=*/false);
+  if (!values || values->empty()) return;
+  const auto keep = static_cast<std::size_t>(
+      schedule.draw(FaultSchedule::kPartialSalt + 1, s, t, 0) *
+      static_cast<double>(values->size()));
+  values->resize(keep);
+  response.clear();
+  kv::encode_values(*values, /*with_versions=*/false, response);
+}
+
+}  // namespace
+
+kv::TransportResult FaultInjectingTransport::roundtrip(
+    ServerId s, std::string_view request, std::string& response) {
+  Tick t;
+  {
+    const std::lock_guard lock(mu_);
+    t = tick_++;
+    ++stats_.attempts;
+  }
+  const double latency = schedule_.latency(s, t, 0);
+
+  if (schedule_.is_down(s, t)) {
+    const std::lock_guard lock(mu_);
+    ++stats_.down_rejections;
+    response.clear();
+    // A refused connection fails fast: no service time, just the wire.
+    return {kv::TransportStatus::kServerDown, schedule_.spec().base_latency};
+  }
+  if (schedule_.drops(s, t, 0)) {
+    const std::lock_guard lock(mu_);
+    ++stats_.drops;
+    response.clear();
+    return {kv::TransportStatus::kDropped, latency};
+  }
+
+  const kv::TransportResult inner = inner_.roundtrip(s, request, response);
+  if (!inner.ok()) return {inner.status, latency + inner.latency};
+
+  if (schedule_.truncates(s, t)) {
+    truncate_frame(schedule_, s, t, response);
+    const std::lock_guard lock(mu_);
+    ++stats_.truncations;
+  } else if (schedule_.partials(s, t)) {
+    const std::size_t before = response.size();
+    shorten_values(schedule_, s, t, response);
+    if (response.size() != before) {
+      const std::lock_guard lock(mu_);
+      ++stats_.partials;
+    }
+  }
+  {
+    const std::lock_guard lock(mu_);
+    ++stats_.delivered;
+  }
+  return {kv::TransportStatus::kOk, latency + inner.latency};
+}
+
+}  // namespace rnb::faultsim

@@ -1,0 +1,63 @@
+// Fault schedule adapter for the in-process simulators.
+//
+// The full simulator has no byte-level transport — RnbClient probes
+// TwoClassStores directly — so faults enter through two hooks:
+//
+//   * advance_to(request_index, cluster): replays the schedule's crash
+//     windows onto the cluster (fail_server/restore_server) with the
+//     request index as the tick, BEFORE the request is planned — the
+//     client then plans around down servers exactly as the paper's
+//     degraded mode does.
+//   * on_send(server): the per-send message-drop decision consulted by
+//     RnbClient during execution (TransactionFaultInjector).
+//
+// Drop decisions are drawn at an internal send counter, which advances in
+// the client's deterministic send order, so a (spec, workload, seeds)
+// triple fixes the entire fault pattern. Each sweep cell owns its driver.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/client.hpp"
+#include "cluster/cluster.hpp"
+#include "faultsim/fault_schedule.hpp"
+
+namespace rnb::faultsim {
+
+class SimFaultDriver final : public TransactionFaultInjector {
+ public:
+  SimFaultDriver(const FaultSpec& spec, ServerId num_servers)
+      : schedule_(spec, num_servers) {}
+
+  /// Apply crash windows for the given request tick: fail servers entering
+  /// a window, restore servers leaving one.
+  void advance_to(Tick request_tick, RnbCluster& cluster) {
+    tick_ = request_tick;
+    for (ServerId s = 0; s < schedule_.num_servers(); ++s) {
+      const bool want_down = schedule_.is_down(s, request_tick);
+      if (want_down && !cluster.is_down(s))
+        cluster.fail_server(s);
+      else if (!want_down && cluster.is_down(s))
+        cluster.restore_server(s);
+    }
+  }
+
+  bool on_send(ServerId s) override {
+    const bool dropped = schedule_.drops(s, send_counter_++, 0);
+    if (dropped) ++drops_;
+    return !dropped;
+  }
+
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+  Tick tick() const noexcept { return tick_; }
+  std::uint64_t sends() const noexcept { return send_counter_; }
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  FaultSchedule schedule_;
+  Tick tick_ = 0;
+  std::uint64_t send_counter_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace rnb::faultsim

@@ -15,6 +15,28 @@
 
 namespace rnb::kv {
 
+/// What happened to one roundtrip attempt, as far as the transport can
+/// tell. kOk only promises that *some* bytes came back — the client still
+/// validates the frame (a faulty link may deliver truncated garbage).
+enum class TransportStatus : std::uint8_t {
+  kOk,
+  kDropped,     // request or response lost in flight
+  kServerDown,  // endpoint refused / crashed
+  kTimeout,     // transport-level wait expired
+};
+
+struct TransportResult {
+  TransportStatus status = TransportStatus::kOk;
+  /// Virtual (fault-injected) or measured seconds this attempt took; 0 for
+  /// transports that model no time. Failure policies (hedging, deadlines)
+  /// consume this instead of a wall clock so runs stay deterministic.
+  double latency = 0.0;
+
+  bool ok() const noexcept { return status == TransportStatus::kOk; }
+};
+
+const char* to_string(TransportStatus status) noexcept;
+
 class KvTransport {
  public:
   virtual ~KvTransport() = default;
@@ -22,10 +44,12 @@ class KvTransport {
   virtual ServerId num_servers() const noexcept = 0;
 
   /// Send one request frame to server `s`; fill `response` with the
-  /// complete response frame. Implementations must be safe for concurrent
-  /// calls targeting different transports, and may serialize per server.
-  virtual void roundtrip(ServerId s, std::string_view request,
-                         std::string& response) = 0;
+  /// complete response frame and report the attempt's outcome. On any
+  /// non-kOk status `response` is cleared. Implementations must be safe for
+  /// concurrent calls targeting different transports, and may serialize per
+  /// server.
+  virtual TransportResult roundtrip(ServerId s, std::string_view request,
+                                    std::string& response) = 0;
 };
 
 }  // namespace rnb::kv

@@ -1,6 +1,7 @@
 #include "kv/rnb_kv_client.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "common/error.hpp"
@@ -20,32 +21,172 @@ RnbKvClient::RnbKvClient(KvTransport& transport,
     : transport_(transport),
       config_(config),
       placement_(make_placement(config.placement, transport.num_servers(),
-                                config.replication, config.placement_seed)) {}
+                                config.replication, config.placement_seed)),
+      backoff_rng_(config.failure.rng_seed) {
+  RNB_REQUIRE(config.failure.hedge_quantile >= 0.0 &&
+              config.failure.hedge_quantile <= 1.0);
+}
 
 std::vector<ServerId> RnbKvClient::servers_for(std::string_view key) const {
   return placement_->replicas(key_to_item(key));
 }
 
+bool RnbKvClient::deadline_exceeded(double elapsed) {
+  const double deadline = config_.failure.deadline;
+  return deadline > 0.0 && elapsed >= deadline;
+}
+
+double RnbKvClient::hedge_threshold() const {
+  // Quantile of the recent-latency ring; only meaningful once the window
+  // has a baseline (16 samples), which keeps cold starts from hedging on
+  // the very first slightly-slow response.
+  const std::size_t n =
+      latency_full_ ? latency_window_.size() : latency_next_;
+  if (n < 16) return std::numeric_limits<double>::infinity();
+  std::vector<double> sorted(latency_window_.begin(),
+                             latency_window_.begin() +
+                                 static_cast<std::ptrdiff_t>(n));
+  std::sort(sorted.begin(), sorted.end());
+  const double pos =
+      config_.failure.hedge_quantile * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void RnbKvClient::observe_latency(double latency) {
+  if (config_.failure.latency_window == 0) return;
+  if (latency_window_.size() < config_.failure.latency_window) {
+    latency_window_.push_back(latency);
+    latency_next_ = latency_window_.size();
+    return;
+  }
+  if (latency_next_ >= latency_window_.size()) {
+    latency_next_ = 0;
+    latency_full_ = true;
+  }
+  latency_window_[latency_next_++] = latency;
+}
+
+bool RnbKvClient::exchange(
+    ServerId server, double& elapsed,
+    const std::function<bool(const std::string&)>& valid, bool allow_hedge) {
+  const KvFailurePolicy& fp = config_.failure;
+  const std::uint32_t attempts = std::max(1u, fp.max_attempts);
+  double backoff = fp.base_backoff;
+  for (std::uint32_t a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      // Decorrelated jitter: each wait is uniform between the base and
+      // three times the previous wait, capped. Seeded stream, no clock.
+      const double hi = std::min(fp.max_backoff, 3.0 * backoff);
+      backoff = fp.base_backoff +
+                (hi - fp.base_backoff) * backoff_rng_.uniform01();
+      elapsed += backoff;
+      ++stats_.retries;
+    }
+    if (deadline_exceeded(elapsed)) return false;
+    ++stats_.attempts;
+    const TransportResult r = transport_.roundtrip(server, request_,
+                                                   response_);
+    double cost = r.latency;
+    bool ok = r.ok();
+    if (!ok) {
+      ++stats_.transport_errors;
+    } else if (response_.empty()) {
+      // A zero-byte response is a closed or dying peer, never a valid
+      // frame (every reply ends in a verb line or END) — treat it as a
+      // transport error, not a clean miss.
+      ++stats_.empty_responses;
+      ok = false;
+    } else if (valid && !valid(response_)) {
+      ++stats_.malformed_responses;
+      ok = false;
+    }
+    if (fp.hedging && allow_hedge) {
+      const double threshold = hedge_threshold();
+      if (!ok || r.latency > threshold) {
+        // The duplicate would have been launched `threshold` after the
+        // primary; synchronously, the winner costs min(primary, threshold
+        // + hedge). Same server, same frame — duplicates are idempotent.
+        ++stats_.hedged_sends;
+        std::string hedge_response;
+        const TransportResult h =
+            transport_.roundtrip(server, request_, hedge_response);
+        const double hedge_cost =
+            std::min(threshold, r.latency) + h.latency;
+        bool hedge_ok = h.ok() && !hedge_response.empty() &&
+                        (!valid || valid(hedge_response));
+        if (hedge_ok && (!ok || hedge_cost < cost)) {
+          ++stats_.hedge_wins;
+          response_ = std::move(hedge_response);
+          cost = ok ? std::min(cost, hedge_cost) : hedge_cost;
+          ok = true;
+        }
+      }
+    }
+    elapsed += cost;
+    if (ok) {
+      observe_latency(cost);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<Value>> RnbKvClient::exchange_values(
+    ServerId server, bool with_versions, double& elapsed) {
+  const bool ok = exchange(server, elapsed,
+                           [with_versions](const std::string& response) {
+                             return parse_values(response, with_versions)
+                                 .has_value();
+                           });
+  if (!ok) return std::nullopt;
+  return parse_values(response_, with_versions);
+}
+
 std::uint32_t RnbKvClient::set(std::string_view key, std::string_view value) {
   const std::vector<ServerId> servers = servers_for(key);
   std::uint32_t stored = 0;
+  double elapsed = 0.0;
   for (std::size_t r = 0; r < servers.size(); ++r) {
+    if (r > 0 && deadline_exceeded(elapsed)) {
+      ++stats_.deadline_misses;
+      break;
+    }
     request_.clear();
     encode_set(key, value, /*pin=*/r == 0, request_);
-    transport_.roundtrip(servers[r], request_, response_);
+    if (!exchange(servers[r], elapsed)) continue;
     if (parse_simple(response_) == "STORED") ++stored;
   }
   return stored;
 }
 
 std::optional<std::string> RnbKvClient::get(std::string_view key) {
-  const ServerId home = servers_for(key)[0];
-  request_.clear();
-  encode_get({std::string(key)}, /*with_versions=*/false, request_);
-  transport_.roundtrip(home, request_, response_);
-  const auto values = parse_values(response_, /*with_versions=*/false);
-  if (!values || values->empty()) return std::nullopt;
-  return values->front().data;
+  // Distinguished copy first (the paper's rule for unbundled fetches);
+  // when it is unreachable, degrade through the remaining replicas — a
+  // replica may be cold (clean miss) but a hit there is still a hit.
+  const std::vector<ServerId> servers = servers_for(key);
+  double elapsed = 0.0;
+  for (std::size_t r = 0; r < servers.size(); ++r) {
+    request_.clear();
+    encode_get({std::string(key)}, /*with_versions=*/false, request_);
+    const auto values =
+        exchange_values(servers[r], /*with_versions=*/false, elapsed);
+    if (values) {
+      if (!values->empty()) return values->front().data;
+      if (r == 0) return std::nullopt;  // distinguished miss: key absent
+      // An empty frame from a fallback replica is ambiguous — the replica
+      // may simply be cold. Keep degrading; if every reachable replica is
+      // empty the caller treats it as a miss and consults the database.
+      continue;
+    }
+    if (deadline_exceeded(elapsed)) {
+      ++stats_.deadline_misses;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
 }
 
 RnbKvClient::MultiGetResult RnbKvClient::multi_get(
@@ -78,12 +219,27 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   }
   const std::size_t target = CoverInstance::target_from_fraction(m, fraction);
   const CoverResult cover = greedy_cover_partial(instance, target);
+  // Mutable: recover rounds re-assign items stranded on failed servers.
+  std::vector<ServerId> assignment = cover.assignment;
+
+  const KvFailureStats before = stats_;
+  double elapsed = 0.0;
+  // Servers that ate every attempt of a bundled get this operation.
+  std::unordered_set<ServerId> failed;
+  const auto out_of_time = [&]() {
+    if (!deadline_exceeded(elapsed)) return false;
+    if (!result.deadline_missed) {
+      result.deadline_missed = true;
+      ++stats_.deadline_misses;
+    }
+    return true;
+  };
 
   // Round 1: bundled gets.
   std::unordered_map<ServerId, std::vector<std::size_t>> by_server;
   for (std::size_t i = 0; i < m; ++i)
-    if (cover.assignment[i] != kInvalidServer)
-      by_server[cover.assignment[i]].push_back(i);
+    if (assignment[i] != kInvalidServer)
+      by_server[assignment[i]].push_back(i);
 
   // Hitchhikers: covered keys appended to transactions whose server also
   // holds one of their replicas (zero extra transactions).
@@ -92,9 +248,9 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     std::unordered_set<ServerId> in_plan(cover.servers_used.begin(),
                                          cover.servers_used.end());
     for (std::size_t i = 0; i < m; ++i) {
-      if (cover.assignment[i] == kInvalidServer) continue;
+      if (assignment[i] == kInvalidServer) continue;
       for (const ServerId s : locations[i])
-        if (s != cover.assignment[i] && in_plan.contains(s))
+        if (s != assignment[i] && in_plan.contains(s))
           hitchhikers[s].push_back(i);
     }
   }
@@ -102,34 +258,93 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   std::vector<bool> satisfied(m, false);
   std::unordered_map<std::string_view, std::size_t> index_of;
   for (std::size_t i = 0; i < m; ++i) index_of.emplace(items[i], i);
-  for (const ServerId s : cover.servers_used) {
-    const auto& idxs = by_server.at(s);
+
+  // One bundled get with the failure policy; records values on success,
+  // marks the server failed otherwise. Used by all three rounds.
+  const auto bundled_get = [&](ServerId s,
+                               const std::vector<std::size_t>& idxs,
+                               const std::vector<std::size_t>* extra,
+                               std::uint32_t& txn_counter) {
     std::vector<std::string> bundle;
     bundle.reserve(idxs.size());
     for (const std::size_t i : idxs) bundle.push_back(items[i]);
-    if (const auto hit_it = hitchhikers.find(s); hit_it != hitchhikers.end())
-      for (const std::size_t i : hit_it->second) {
+    if (extra != nullptr)
+      for (const std::size_t i : *extra) {
         bundle.push_back(items[i]);
         ++result.hitchhiker_keys;
       }
     request_.clear();
     encode_get(bundle, /*with_versions=*/false, request_);
-    transport_.roundtrip(s, request_, response_);
-    ++result.round1_transactions;
-    const auto values = parse_values(response_, /*with_versions=*/false);
-    RNB_ENSURE(values.has_value() && "server returned malformed response");
+    ++txn_counter;
+    const auto values =
+        exchange_values(s, /*with_versions=*/false, elapsed);
+    if (!values) {
+      failed.insert(s);
+      return;
+    }
     for (const Value& v : *values) {
       result.values[v.key] = v.data;
       satisfied[index_of.at(v.key)] = true;
     }
+  };
+
+  for (const ServerId s : cover.servers_used) {
+    if (out_of_time()) break;
+    const auto hit_it = hitchhikers.find(s);
+    bundled_get(s, by_server.at(s),
+                hit_it == hitchhikers.end() ? nullptr : &hit_it->second,
+                result.round1_transactions);
   }
 
-  // Round 2: bundled distinguished-copy fallbacks for evicted replicas.
+  // Recover rounds: items stranded on a failed server get the greedy cover
+  // re-run over their surviving replicas — replication means a dead bundle
+  // costs extra transactions, not the keys.
+  for (std::uint32_t round = 0;
+       round < config_.failure.max_recover_rounds && !failed.empty();
+       ++round) {
+    if (out_of_time()) break;
+    CoverInstance recover;
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (satisfied[i] || assignment[i] == kInvalidServer ||
+          !failed.contains(assignment[i]))
+        continue;
+      std::vector<ServerId> live;
+      for (const ServerId s : locations[i])
+        if (!failed.contains(s)) live.push_back(s);
+      if (live.empty()) continue;
+      pool.push_back(i);
+      recover.candidates.push_back(std::move(live));
+    }
+    if (pool.empty()) break;
+    ++stats_.recover_rounds;
+    const CoverResult replan = greedy_cover(recover);
+    std::unordered_map<ServerId, std::vector<std::size_t>> bundles;
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      assignment[pool[j]] = replan.assignment[j];
+      bundles[replan.assignment[j]].push_back(pool[j]);
+    }
+    for (const ServerId s : replan.servers_used) {
+      if (out_of_time()) break;
+      bundled_get(s, bundles.at(s), nullptr, result.recover_transactions);
+    }
+  }
+
+  // Round 2: bundled fallbacks for evicted replicas — the distinguished
+  // copy by default, or the first reachable replica when servers failed.
   std::unordered_map<ServerId, std::vector<std::size_t>> fallback;
-  for (std::size_t i = 0; i < m; ++i)
-    if (!satisfied[i] && cover.assignment[i] != kInvalidServer &&
-        cover.assignment[i] != locations[i][0])
-      fallback[locations[i][0]].push_back(i);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (satisfied[i] || assignment[i] == kInvalidServer) continue;
+    // A miss on a *reachable* distinguished server is authoritative — the
+    // key does not exist; no fallback can change that.
+    if (!failed.contains(assignment[i]) && assignment[i] == locations[i][0])
+      continue;
+    for (const ServerId s : locations[i])
+      if (s != assignment[i] && !failed.contains(s)) {
+        fallback[s].push_back(i);
+        break;
+      }
+  }
 
   std::vector<ServerId> fallback_servers;
   fallback_servers.reserve(fallback.size());
@@ -137,38 +352,42 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   std::sort(fallback_servers.begin(), fallback_servers.end());
 
   for (const ServerId s : fallback_servers) {
+    if (out_of_time()) break;
     const auto& idxs = fallback.at(s);
     std::vector<std::string> bundle;
     bundle.reserve(idxs.size());
     for (const std::size_t i : idxs) bundle.push_back(items[i]);
     request_.clear();
     encode_get(bundle, /*with_versions=*/false, request_);
-    transport_.roundtrip(s, request_, response_);
     ++result.round2_transactions;
-    const auto values = parse_values(response_, /*with_versions=*/false);
-    RNB_ENSURE(values.has_value() && "server returned malformed response");
+    const auto values =
+        exchange_values(s, /*with_versions=*/false, elapsed);
+    if (!values) {
+      failed.insert(s);
+      continue;
+    }
     for (const Value& v : *values) {
       result.values[v.key] = v.data;
-      // Re-install the replica round 1 expected (write-back rule).
-      if (config_.write_back_misses) {
-        const auto it = std::find(items.begin(), items.end(), v.key);
-        const auto i = static_cast<std::size_t>(it - items.begin());
-        satisfied[i] = true;
+      const std::size_t i = index_of.at(v.key);
+      satisfied[i] = true;
+      // Re-install the replica round 1 expected (write-back rule) —
+      // best-effort: a lost write-back only costs a future round 2.
+      if (config_.write_back_misses && !failed.contains(assignment[i])) {
         request_.clear();
         encode_set(v.key, v.data, /*pin=*/false, request_);
         std::string ack;
-        transport_.roundtrip(cover.assignment[i], request_, ack);
+        transport_.roundtrip(assignment[i], request_, ack);
       }
     }
-    if (!config_.write_back_misses)
-      for (const std::size_t i : idxs)
-        if (result.values.contains(items[i])) satisfied[i] = true;
   }
 
-  // Anything fetched-but-absent is genuinely missing.
+  // Anything fetched-but-absent is genuinely missing (or unreachable).
   for (std::size_t i = 0; i < m; ++i)
-    if (cover.assignment[i] != kInvalidServer && !satisfied[i])
+    if (assignment[i] != kInvalidServer && !satisfied[i])
       result.missing.push_back(items[i]);
+  result.retries = static_cast<std::uint32_t>(stats_.retries - before.retries);
+  result.hedged_sends =
+      static_cast<std::uint32_t>(stats_.hedged_sends - before.hedged_sends);
   return result;
 }
 
@@ -198,13 +417,19 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_within(
     if (cover.assignment[i] != kInvalidServer)
       bundles[cover.assignment[i]].push_back(items[i]);
 
+  double elapsed = 0.0;
   for (const ServerId s : cover.servers_used) {
+    if (deadline_exceeded(elapsed)) {
+      result.deadline_missed = true;
+      ++stats_.deadline_misses;
+      break;
+    }
     request_.clear();
     encode_get(bundles.at(s), /*with_versions=*/false, request_);
-    transport_.roundtrip(s, request_, response_);
     ++result.round1_transactions;
-    const auto values = parse_values(response_, /*with_versions=*/false);
-    RNB_ENSURE(values.has_value() && "server returned malformed response");
+    const auto values =
+        exchange_values(s, /*with_versions=*/false, elapsed);
+    if (!values) continue;  // budgeted fetch: no fallback, keys go missing
     for (const Value& v : *values) result.values[v.key] = v.data;
   }
   for (const std::string& k : items)
@@ -215,12 +440,13 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_within(
 bool RnbKvClient::remove(std::string_view key) {
   const std::vector<ServerId> servers = servers_for(key);
   bool existed = false;
+  double elapsed = 0.0;
   // Distinguished copy last: a concurrent reader that misses a replica
   // falls back to the distinguished copy, so it must outlive the others.
   for (std::size_t r = servers.size(); r-- > 0;) {
     request_.clear();
     encode_delete(key, request_);
-    transport_.roundtrip(servers[r], request_, response_);
+    if (!exchange(servers[r], elapsed)) continue;
     if (r == 0) existed = parse_simple(response_) == "DELETED";
   }
   return existed;
@@ -231,26 +457,29 @@ RnbKvClient::UpdateOutcome RnbKvClient::atomic_update(
     const std::function<std::string(std::string_view)>& mutate, int retries) {
   const std::vector<ServerId> servers = servers_for(key);
 
+  double elapsed = 0.0;
   // Step 1 (paper Section IV): remove all but the distinguished copy, so no
   // reader can observe a stale replica after the CAS lands.
   for (std::size_t r = 1; r < servers.size(); ++r) {
     request_.clear();
     encode_delete(key, request_);
-    transport_.roundtrip(servers[r], request_, response_);
+    exchange(servers[r], elapsed);
   }
 
   // Step 2: CAS the distinguished copy, retrying on version conflicts.
   for (int attempt = 0; attempt <= retries; ++attempt) {
     request_.clear();
     encode_get({std::string(key)}, /*with_versions=*/true, request_);
-    transport_.roundtrip(servers[0], request_, response_);
-    const auto values = parse_values(response_, /*with_versions=*/true);
-    if (!values || values->empty()) return UpdateOutcome::kNotFound;
+    const auto values =
+        exchange_values(servers[0], /*with_versions=*/true, elapsed);
+    if (!values) return UpdateOutcome::kConflict;  // unreachable, not absent
+    if (values->empty()) return UpdateOutcome::kNotFound;
 
     const std::string next = mutate(values->front().data);
     request_.clear();
     encode_cas(key, next, values->front().version, request_);
-    transport_.roundtrip(servers[0], request_, response_);
+    if (!exchange(servers[0], elapsed, {}, /*allow_hedge=*/false))
+      return UpdateOutcome::kConflict;
     const std::string_view verdict = parse_simple(response_);
     if (verdict == "STORED") return UpdateOutcome::kUpdated;
     if (verdict == "NOT_FOUND") return UpdateOutcome::kNotFound;

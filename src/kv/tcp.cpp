@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -245,12 +246,17 @@ TcpClientTransport::TcpClientTransport(
                                     std::make_unique<std::mutex>()});
 }
 
-void TcpClientTransport::roundtrip(ServerId s, std::string_view request,
-                                   std::string& response) {
+TransportResult TcpClientTransport::roundtrip(ServerId s,
+                                              std::string_view request,
+                                              std::string& response) {
   RNB_REQUIRE(s < connections_.size());
   Endpoint& ep = connections_[s];
   const std::lock_guard lock(*ep.mu);
+  const auto start = std::chrono::steady_clock::now();
   ep.connection->roundtrip(request, response);
+  const std::chrono::duration<double> took =
+      std::chrono::steady_clock::now() - start;
+  return {TransportStatus::kOk, took.count()};
 }
 
 }  // namespace rnb::kv

@@ -126,8 +126,11 @@ class TcpClientTransport final : public KvTransport {
     return static_cast<ServerId>(connections_.size());
   }
 
-  void roundtrip(ServerId s, std::string_view request,
-                 std::string& response) override;
+  /// Latency in the result is wall-clock measured (the one transport where
+  /// real time exists); deterministic tests use the loopback or fault
+  /// transports instead.
+  TransportResult roundtrip(ServerId s, std::string_view request,
+                            std::string& response) override;
 
  private:
   struct Endpoint {

@@ -3,6 +3,17 @@
 // Explicit instantiations of both shipped fleets, compiled under the
 // library's full warning set.
 namespace rnb::kv {
+
+const char* to_string(TransportStatus status) noexcept {
+  switch (status) {
+    case TransportStatus::kOk: return "ok";
+    case TransportStatus::kDropped: return "dropped";
+    case TransportStatus::kServerDown: return "server_down";
+    case TransportStatus::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
 template class BasicLoopbackTransport<KvServer>;
 template class BasicLoopbackTransport<SlabKvServer>;
 }  // namespace rnb::kv

@@ -43,12 +43,14 @@ class BasicLoopbackTransport final : public KvTransport {
 
   /// Send `request` to server `s`; the response lands in `response`.
   /// Thread-safe per server (serialized by the server's dispatch mutex).
-  void roundtrip(ServerId s, std::string_view request,
-                 std::string& response) override {
+  /// In-process delivery never fails and models no time.
+  TransportResult roundtrip(ServerId s, std::string_view request,
+                            std::string& response) override {
     RNB_REQUIRE(s < servers_.size());
     Endpoint& ep = servers_[s];
     const std::lock_guard lock(*ep.dispatch);
     ep.server->handle(request, response);
+    return {};
   }
 
   /// Unsynchronized access for setup/inspection (not during benchmarks).

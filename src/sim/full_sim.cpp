@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "adaptive/controller.hpp"
+#include "faultsim/sim_fault_driver.hpp"
 
 namespace rnb {
 
@@ -17,17 +18,30 @@ FullSimResult run_full_sim(RequestSource& source,
     client.set_observer(&*adaptive);
   }
 
+  // Fault injection: the request index (warmup included) is the schedule
+  // tick, so crash windows land at the same workload position every run.
+  std::optional<faultsim::SimFaultDriver> faults;
+  if (config.faults.any()) {
+    faults.emplace(config.faults, cluster.num_servers());
+    client.set_fault_injector(&*faults);
+  }
+
   std::vector<ItemId> request;
   for (std::uint64_t i = 0; i < config.warmup_requests; ++i) {
     source.next(request);
+    if (faults) faults->advance_to(i, cluster);
     client.execute(request, nullptr);
   }
 
   FullSimResult result;
   for (std::uint64_t i = 0; i < config.measure_requests; ++i) {
     source.next(request);
+    if (faults) faults->advance_to(config.warmup_requests + i, cluster);
     client.execute(request, &result.metrics);
   }
+  // Schedules ending inside a crash window would otherwise leave servers
+  // down for whoever inspects the cluster after the run.
+  if (faults) faults->advance_to(~faultsim::Tick{0}, cluster);
   result.resident_copies = cluster.resident_copies();
   result.num_items = cluster.num_items();
   result.num_servers = cluster.num_servers();

@@ -25,6 +25,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/policies.hpp"
+#include "faultsim/fault_spec.hpp"
 #include "workload/request_source.hpp"
 
 namespace rnb {
@@ -43,6 +44,11 @@ struct FullSimConfig {
   /// acts as the base degree r_min.
   bool adaptive = false;
   AdaptiveConfig adaptive_config;
+
+  /// Deterministic fault schedule (see faultsim/fault_spec.hpp for the
+  /// spec grammar). Ticks are request indices over warmup + measurement.
+  /// An empty spec attaches no injector and changes nothing.
+  faultsim::FaultSpec faults;
 };
 
 struct FullSimResult {

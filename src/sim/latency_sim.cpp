@@ -4,9 +4,12 @@
 #include <cmath>
 #include <vector>
 
+#include <optional>
+
 #include "cluster/client.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "faultsim/sim_fault_driver.hpp"
 
 namespace rnb {
 
@@ -25,6 +28,8 @@ LatencySimResult run_latency_sim(RequestSource& source,
 
   Xoshiro256 rng(config.seed);
   const ServerId n = cluster.num_servers();
+  std::optional<faultsim::SimFaultDriver> faults;
+  if (config.faults.any()) faults.emplace(config.faults, n);
   std::vector<double> server_free(n, 0.0);
   std::vector<double> server_busy(n, 0.0);
   std::vector<std::size_t> keys_per_server(n, 0);
@@ -41,6 +46,7 @@ LatencySimResult run_latency_sim(RequestSource& source,
   for (std::uint64_t r = 0; r < config.requests; ++r) {
     // Poisson arrivals: exponential inter-arrival gaps.
     now += -std::log1p(-rng.uniform01()) / config.arrival_rate;
+    if (faults) faults->advance_to(r, cluster);
     source.next(request);
     const RequestPlan plan = client.plan(request);
 
@@ -51,12 +57,38 @@ LatencySimResult run_latency_sim(RequestSource& source,
 
     double done = now;
     for (const ServerId s : plan.servers) {
-      const double service = config.model.transaction_seconds(
+      double service = config.model.transaction_seconds(
           static_cast<double>(keys_per_server[s]));
-      const double start = std::max(server_free[s], now);
+      double dispatch = now;
+      double net_extra = 0.0;
+      if (faults) {
+        const faultsim::FaultSchedule& sched = faults->schedule();
+        const faultsim::FaultClause& c = sched.clause(s);
+        // Dropped sends burn retransmit timeouts before the transaction
+        // reaches the server queue; a send that exhausts every attempt is
+        // charged the full timeout budget and never occupies the server.
+        std::uint32_t attempt = 0;
+        const std::uint32_t max_attempts =
+            std::max(1u, config.policy.max_attempts);
+        while (attempt < max_attempts && sched.drops(s, r, attempt)) {
+          dispatch += config.retransmit_timeout;
+          ++attempt;
+        }
+        if (attempt == max_attempts) {
+          done = std::max(done, dispatch);
+          continue;
+        }
+        service *= c.slow;
+        net_extra = c.extra_latency;
+        if (c.jitter > 0.0)
+          net_extra += c.jitter *
+                       sched.draw(faultsim::FaultSchedule::kJitterSalt, s, r,
+                                  attempt);
+      }
+      const double start = std::max(server_free[s], dispatch);
       server_free[s] = start + service;
       server_busy[s] += service;
-      done = std::max(done, server_free[s]);
+      done = std::max(done, server_free[s] + net_extra);
     }
     if (r >= warmup) {
       const double latency = (done - now) + config.network_rtt;

@@ -22,6 +22,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/policies.hpp"
 #include "common/stats.hpp"
+#include "faultsim/fault_spec.hpp"
 #include "sim/calibration.hpp"
 #include "workload/request_source.hpp"
 
@@ -40,6 +41,18 @@ struct LatencySimConfig {
   /// Fixed one-way network + client overhead added once per request.
   double network_rtt = 200e-6;
   std::uint64_t seed = 1;
+
+  /// Deterministic fault schedule (ticks are request indices). In this
+  /// model: crash windows remove servers from planning, `slow` scales a
+  /// server's service time, `extra_latency`/`jitter` stretch a
+  /// transaction's network path, and `drop` costs one retransmit timeout
+  /// (policy.max_attempts bounds the re-sends) before the transaction
+  /// queues. Empty spec == the clean model, bit for bit.
+  faultsim::FaultSpec faults;
+  /// Client-side retransmit timer charged per dropped send; the paper-
+  /// default transaction cost is ~1ms, so a few RTTs of timeout dominate
+  /// the tail exactly as real timeout-based recovery does.
+  double retransmit_timeout = 2e-3;
 };
 
 struct LatencySimResult {

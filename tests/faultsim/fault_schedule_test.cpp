@@ -1,0 +1,107 @@
+// FaultSchedule: counter-based decisions are deterministic, independent of
+// query order, statistically faithful to the configured probabilities, and
+// fresh across retry attempts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faultsim/fault_schedule.hpp"
+
+namespace rnb::faultsim {
+namespace {
+
+FaultSpec drop_spec(double p, std::uint64_t seed) {
+  FaultSpec spec;
+  spec.all.drop = p;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(FaultSchedule, DecisionsAreDeterministicAcrossInstances) {
+  const FaultSchedule a(drop_spec(0.3, 42), 8);
+  const FaultSchedule b(drop_spec(0.3, 42), 8);
+  for (ServerId s = 0; s < 8; ++s)
+    for (Tick t = 0; t < 200; ++t)
+      ASSERT_EQ(a.drops(s, t, 0), b.drops(s, t, 0))
+          << "server " << s << " tick " << t;
+}
+
+TEST(FaultSchedule, DecisionsAreIndependentOfQueryOrder) {
+  const FaultSchedule sched(drop_spec(0.3, 42), 4);
+  // Forward and reverse sweeps must observe the identical pattern — the
+  // draw is a pure function, not a stream.
+  std::vector<bool> forward, reverse;
+  for (Tick t = 0; t < 500; ++t) forward.push_back(sched.drops(1, t, 0));
+  for (Tick t = 500; t-- > 0;) reverse.push_back(sched.drops(1, t, 0));
+  for (std::size_t i = 0; i < forward.size(); ++i)
+    ASSERT_EQ(forward[i], reverse[forward.size() - 1 - i]);
+}
+
+TEST(FaultSchedule, SeedsProduceDifferentPatterns) {
+  const FaultSchedule a(drop_spec(0.5, 1), 1);
+  const FaultSchedule b(drop_spec(0.5, 2), 1);
+  int differing = 0;
+  for (Tick t = 0; t < 500; ++t)
+    if (a.drops(0, t, 0) != b.drops(0, t, 0)) ++differing;
+  EXPECT_GT(differing, 100);
+}
+
+TEST(FaultSchedule, DropRateApproximatesProbability) {
+  const FaultSchedule sched(drop_spec(0.2, 7), 1);
+  int dropped = 0;
+  const int trials = 20000;
+  for (Tick t = 0; t < trials; ++t)
+    if (sched.drops(0, t, 0)) ++dropped;
+  const double rate = static_cast<double>(dropped) / trials;
+  EXPECT_NEAR(rate, 0.2, 0.01);
+}
+
+TEST(FaultSchedule, RetriesDrawFreshDecisions) {
+  const FaultSchedule sched(drop_spec(0.5, 11), 1);
+  // A drop at attempt 0 must not doom attempts 1, 2, ... — count ticks
+  // where attempt 0 dropped but a later attempt went through.
+  int saved = 0, doomed = 0;
+  for (Tick t = 0; t < 2000; ++t) {
+    if (!sched.drops(0, t, 0)) continue;
+    (!sched.drops(0, t, 1) || !sched.drops(0, t, 2)) ? ++saved : ++doomed;
+  }
+  EXPECT_GT(saved, doomed);  // p(both retries drop) = 0.25
+}
+
+TEST(FaultSchedule, ZeroAndOneProbabilitiesAreExact) {
+  const FaultSchedule never(drop_spec(0.0, 3), 1);
+  const FaultSchedule always(drop_spec(1.0, 3), 1);
+  for (Tick t = 0; t < 300; ++t) {
+    EXPECT_FALSE(never.drops(0, t, 0));
+    EXPECT_TRUE(always.drops(0, t, 0));
+  }
+}
+
+TEST(FaultSchedule, CrashWindowsAreHalfOpen) {
+  FaultSpec spec;
+  spec.all.crash.push_back({100, 200});
+  const FaultSchedule sched(spec, 2);
+  EXPECT_FALSE(sched.is_down(0, 99));
+  EXPECT_TRUE(sched.is_down(0, 100));
+  EXPECT_TRUE(sched.is_down(0, 199));
+  EXPECT_FALSE(sched.is_down(0, 200));
+}
+
+TEST(FaultSchedule, LatencyComposesSlowExtraAndJitter) {
+  FaultSpec spec;
+  spec.base_latency = 1e-3;
+  spec.all.slow = 4.0;
+  spec.all.extra_latency = 2e-3;
+  spec.all.jitter = 1e-3;
+  const FaultSchedule sched(spec, 1);
+  for (Tick t = 0; t < 100; ++t) {
+    const double lat = sched.latency(0, t, 0);
+    EXPECT_GE(lat, 4e-3 + 2e-3);
+    EXPECT_LT(lat, 4e-3 + 2e-3 + 1e-3);
+  }
+  // Jitter varies across ticks.
+  EXPECT_NE(sched.latency(0, 0, 0), sched.latency(0, 1, 0));
+}
+
+}  // namespace
+}  // namespace rnb::faultsim

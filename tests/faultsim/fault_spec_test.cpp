@@ -1,0 +1,104 @@
+// FaultSpec grammar: parsing, per-server merging, validation, round-trip.
+#include <gtest/gtest.h>
+
+#include "faultsim/fault_spec.hpp"
+
+namespace rnb::faultsim {
+namespace {
+
+TEST(FaultSpec, EmptyStringParsesToInertSpec) {
+  const auto spec = parse_fault_spec("");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->any());
+}
+
+TEST(FaultSpec, WhitespaceOnlyIsInert) {
+  const auto spec = parse_fault_spec("  ;  ; ");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->any());
+}
+
+TEST(FaultSpec, GlobalClauseAppliesToEveryServer) {
+  const auto spec = parse_fault_spec("drop=0.05;latency=0.002");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->any());
+  EXPECT_DOUBLE_EQ(spec->clause(0).drop, 0.05);
+  EXPECT_DOUBLE_EQ(spec->clause(7).drop, 0.05);
+  EXPECT_DOUBLE_EQ(spec->clause(7).extra_latency, 0.002);
+}
+
+TEST(FaultSpec, PerServerOverridesMergeOntoGlobalDefaults) {
+  const auto spec = parse_fault_spec("drop=0.05;drop@3=0.5;slow@3=4");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->clause(0).drop, 0.05);
+  EXPECT_DOUBLE_EQ(spec->clause(3).drop, 0.5);
+  EXPECT_DOUBLE_EQ(spec->clause(3).slow, 4.0);
+  // The override inherits the global fields it did not set.
+  EXPECT_DOUBLE_EQ(spec->clause(0).slow, 1.0);
+}
+
+TEST(FaultSpec, GlobalClauseOrderDoesNotMatter) {
+  // Per-server overrides win even when written before the global default.
+  const auto spec = parse_fault_spec("drop@3=0.5;drop=0.05");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->clause(3).drop, 0.5);
+  EXPECT_DOUBLE_EQ(spec->clause(1).drop, 0.05);
+}
+
+TEST(FaultSpec, CrashWindowsAccumulatePerServer) {
+  const auto spec = parse_fault_spec("crash@1=100:500;crash@1=900:1000");
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_EQ(spec->clause(1).crash.size(), 2u);
+  EXPECT_EQ(spec->clause(1).crash[0].first, 100u);
+  EXPECT_EQ(spec->clause(1).crash[0].second, 500u);
+  EXPECT_EQ(spec->clause(1).crash[1].first, 900u);
+  EXPECT_TRUE(spec->clause(0).crash.empty());
+}
+
+TEST(FaultSpec, SeedAndBaseLatencyClauses) {
+  const auto spec = parse_fault_spec("seed=7;base_latency=0.004;drop=0.1");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->base_latency, 0.004);
+}
+
+TEST(FaultSpec, AllFaultKindsParse) {
+  const auto spec = parse_fault_spec(
+      "drop=0.1;trunc=0.01;partial=0.02;latency=0.001;jitter=0.0005;"
+      "slow@2=4;crash@0=5:10");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->clause(1).trunc, 0.01);
+  EXPECT_DOUBLE_EQ(spec->clause(1).partial, 0.02);
+  EXPECT_DOUBLE_EQ(spec->clause(1).jitter, 0.0005);
+  EXPECT_DOUBLE_EQ(spec->clause(2).slow, 4.0);
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_fault_spec("drop", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_fault_spec("drop=1.5", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("drop=-0.1", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("slow=0.5", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("crash@1=500:100", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("crash@1=abc", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("bogus=1", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("drop@x=0.1", &error).has_value());
+  EXPECT_FALSE(parse_fault_spec("seed@1=3", &error).has_value());
+}
+
+TEST(FaultSpec, SpecStringRoundTrips) {
+  const auto spec = parse_fault_spec(
+      "drop=0.05;latency=0.002;slow@2=4;crash@1=100:500;seed=7");
+  ASSERT_TRUE(spec.has_value());
+  const std::string canonical = to_spec_string(*spec);
+  const auto reparsed = parse_fault_spec(canonical);
+  ASSERT_TRUE(reparsed.has_value()) << canonical;
+  EXPECT_EQ(to_spec_string(*reparsed), canonical);
+  EXPECT_EQ(reparsed->seed, spec->seed);
+  EXPECT_DOUBLE_EQ(reparsed->clause(2).slow, 4.0);
+  ASSERT_EQ(reparsed->clause(1).crash.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rnb::faultsim

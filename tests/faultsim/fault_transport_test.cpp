@@ -1,0 +1,149 @@
+// FaultInjectingTransport over the in-process loopback fleet: statuses,
+// frame corruption, stats, and bit-identical replay.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "faultsim/fault_transport.hpp"
+#include "kv/protocol.hpp"
+#include "kv/transport.hpp"
+
+namespace rnb::faultsim {
+namespace {
+
+using kv::TransportStatus;
+
+constexpr std::size_t kBudget = 1 << 20;
+
+void store(kv::KvTransport& transport, ServerId s, const std::string& key,
+           const std::string& value) {
+  std::string request, response;
+  kv::encode_set(key, value, /*pin=*/true, request);
+  transport.roundtrip(s, request, response);
+  ASSERT_EQ(kv::parse_simple(response), "STORED");
+}
+
+std::string get_frame(const std::vector<std::string>& keys) {
+  std::string request;
+  kv::encode_get(keys, /*with_versions=*/false, request);
+  return request;
+}
+
+TEST(FaultTransport, CleanSpecDelegatesUntouched) {
+  kv::LoopbackTransport inner(2, kBudget);
+  FaultInjectingTransport transport(inner, FaultSchedule({}, 2));
+  store(transport, 0, "k", "v");
+  std::string response;
+  const auto r = transport.roundtrip(0, get_frame({"k"}), response);
+  EXPECT_TRUE(r.ok());
+  const auto values = kv::parse_values(response, false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ(values->front().data, "v");
+  EXPECT_EQ(transport.stats().delivered, 2u);  // set + get
+  EXPECT_EQ(transport.stats().drops, 0u);
+}
+
+TEST(FaultTransport, CertainDropLosesEveryMessage) {
+  kv::LoopbackTransport inner(1, kBudget);
+  FaultSpec spec;
+  spec.all.drop = 1.0;
+  FaultInjectingTransport transport(inner, FaultSchedule(spec, 1));
+  std::string response = "stale";
+  const auto r = transport.roundtrip(0, get_frame({"k"}), response);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, TransportStatus::kDropped);
+  EXPECT_TRUE(response.empty()) << "dropped sends must clear the response";
+  EXPECT_EQ(transport.stats().drops, 1u);
+  EXPECT_EQ(transport.stats().delivered, 0u);
+}
+
+TEST(FaultTransport, CrashWindowRejectsThenRecovers) {
+  kv::LoopbackTransport inner(1, kBudget);
+  FaultSpec spec;
+  spec.all.crash.push_back({0, 3});  // first three roundtrips down
+  FaultInjectingTransport transport(inner, FaultSchedule(spec, 1));
+  std::string response;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = transport.roundtrip(0, get_frame({"k"}), response);
+    EXPECT_EQ(r.status, TransportStatus::kServerDown) << "tick " << i;
+  }
+  const auto r = transport.roundtrip(0, get_frame({"k"}), response);
+  EXPECT_TRUE(r.ok()) << "server must restore after the window";
+  EXPECT_EQ(transport.stats().down_rejections, 3u);
+}
+
+TEST(FaultTransport, TruncationYieldsUnparseableOrShorterFrame) {
+  kv::LoopbackTransport inner(1, kBudget);
+  FaultSpec spec;
+  spec.all.trunc = 1.0;
+  FaultInjectingTransport transport(inner, FaultSchedule(spec, 1));
+  store(inner, 0, "key", "0123456789");  // store via inner: no faults
+  std::string clean;
+  inner.roundtrip(0, get_frame({"key"}), clean);
+
+  std::string response;
+  const auto r = transport.roundtrip(0, get_frame({"key"}), response);
+  EXPECT_TRUE(r.ok()) << "truncation corrupts bytes, not delivery status";
+  EXPECT_LT(response.size(), clean.size());
+  EXPECT_GE(transport.stats().truncations, 1u);
+}
+
+TEST(FaultTransport, PartialResponseStaysWellFormedButUnderDelivers) {
+  kv::LoopbackTransport inner(1, kBudget);
+  FaultSpec spec;
+  spec.all.partial = 1.0;
+  FaultInjectingTransport transport(inner, FaultSchedule(spec, 1));
+  for (int i = 0; i < 6; ++i)
+    store(inner, 0, "key" + std::to_string(i), "value");
+
+  std::string response;
+  const auto r = transport.roundtrip(
+      0, get_frame({"key0", "key1", "key2", "key3", "key4", "key5"}),
+      response);
+  EXPECT_TRUE(r.ok());
+  const auto values = kv::parse_values(response, false);
+  ASSERT_TRUE(values.has_value()) << "partial frames must stay well-formed";
+  EXPECT_LT(values->size(), 6u);
+  EXPECT_EQ(transport.stats().partials, 1u);
+}
+
+TEST(FaultTransport, LatencyReflectsSlowAndExtra) {
+  kv::LoopbackTransport inner(1, kBudget);
+  FaultSpec spec;
+  spec.base_latency = 1e-3;
+  spec.all.slow = 3.0;
+  spec.all.extra_latency = 5e-3;
+  FaultInjectingTransport transport(inner, FaultSchedule(spec, 1));
+  std::string response;
+  const auto r = transport.roundtrip(0, get_frame({"k"}), response);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GE(r.latency, 3e-3 + 5e-3);
+}
+
+TEST(FaultTransport, IdenticalRunsProduceIdenticalFaultPatterns) {
+  FaultSpec spec;
+  spec.all.drop = 0.3;
+  spec.all.trunc = 0.1;
+  spec.seed = 99;
+
+  const auto run = [&spec] {
+    kv::LoopbackTransport inner(4, kBudget);
+    FaultInjectingTransport transport(inner, FaultSchedule(spec, 4));
+    std::string trace;
+    std::string response;
+    for (int i = 0; i < 200; ++i) {
+      const auto r = transport.roundtrip(static_cast<ServerId>(i % 4),
+                                         get_frame({"k"}), response);
+      trace += kv::to_string(r.status);
+      trace += '|';
+      trace += response;
+      trace += '\n';
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rnb::faultsim

@@ -1,0 +1,77 @@
+// SimFaultDriver: crash-window replay onto an RnbCluster and deterministic
+// per-send drop decisions for the in-process client.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "faultsim/sim_fault_driver.hpp"
+
+namespace rnb::faultsim {
+namespace {
+
+RnbCluster make_cluster(ServerId servers) {
+  ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.logical_replicas = 2;
+  return RnbCluster(cfg, 100);
+}
+
+TEST(SimFaultDriver, CrashWindowFailsAndRestoresServers) {
+  FaultSpec spec;
+  spec.per_server[1].crash.push_back({10, 20});
+  RnbCluster cluster = make_cluster(4);
+  SimFaultDriver driver(spec, 4);
+
+  driver.advance_to(9, cluster);
+  EXPECT_FALSE(cluster.is_down(1));
+  driver.advance_to(10, cluster);
+  EXPECT_TRUE(cluster.is_down(1));
+  EXPECT_FALSE(cluster.is_down(0));
+  driver.advance_to(19, cluster);
+  EXPECT_TRUE(cluster.is_down(1));
+  driver.advance_to(20, cluster);
+  EXPECT_FALSE(cluster.is_down(1));
+}
+
+TEST(SimFaultDriver, OverlappingWindowsOnDifferentServers) {
+  FaultSpec spec;
+  spec.per_server[0].crash.push_back({5, 15});
+  spec.per_server[2].crash.push_back({10, 12});
+  RnbCluster cluster = make_cluster(4);
+  SimFaultDriver driver(spec, 4);
+
+  driver.advance_to(11, cluster);
+  EXPECT_TRUE(cluster.is_down(0));
+  EXPECT_TRUE(cluster.is_down(2));
+  EXPECT_FALSE(cluster.is_down(1));
+  driver.advance_to(13, cluster);
+  EXPECT_TRUE(cluster.is_down(0));
+  EXPECT_FALSE(cluster.is_down(2));
+}
+
+TEST(SimFaultDriver, OnSendSequenceIsDeterministic) {
+  FaultSpec spec;
+  spec.all.drop = 0.4;
+  spec.seed = 5;
+  SimFaultDriver a(spec, 4);
+  SimFaultDriver b(spec, 4);
+  for (int i = 0; i < 500; ++i) {
+    const auto s = static_cast<ServerId>(i % 4);
+    ASSERT_EQ(a.on_send(s), b.on_send(s)) << "send " << i;
+  }
+  EXPECT_EQ(a.sends(), 500u);
+  EXPECT_EQ(a.drops(), b.drops());
+  EXPECT_GT(a.drops(), 0u);
+  EXPECT_LT(a.drops(), 500u);
+}
+
+TEST(SimFaultDriver, CleanSpecNeverDrops) {
+  SimFaultDriver driver({}, 4);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(driver.on_send(static_cast<ServerId>(i % 4)));
+  EXPECT_EQ(driver.drops(), 0u);
+}
+
+}  // namespace
+}  // namespace rnb::faultsim

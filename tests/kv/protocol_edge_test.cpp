@@ -1,0 +1,131 @@
+// Protocol edge cases: empty multi-gets, maximum-size keys and values, and
+// truncated frames. The invariant for truncation is "fail cleanly or
+// return a well-formed prefix" — a cut frame must never crash the parser,
+// and anything it does return must be data that was really in the frame.
+// The fault-injection transport produces exactly these frames (see
+// faultsim/fault_transport.cpp), so this is the parser-side half of that
+// contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kv/protocol.hpp"
+
+namespace rnb::kv {
+namespace {
+
+TEST(ProtocolEdge, EmptyGetCommandLineIsRejected) {
+  std::string frame;
+  encode_get({}, /*with_versions=*/false, frame);
+  std::string error;
+  const auto cmd = parse_command(frame, &error);
+  EXPECT_FALSE(cmd.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ProtocolEdge, EmptyValuesResponseRoundTrips) {
+  std::string frame;
+  encode_values({}, /*with_versions=*/false, frame);
+  const auto values = parse_values(frame, /*with_versions=*/false);
+  ASSERT_TRUE(values.has_value());
+  EXPECT_TRUE(values->empty());
+}
+
+TEST(ProtocolEdge, ZeroByteFrameIsNotAValidResponse) {
+  EXPECT_FALSE(parse_values("", /*with_versions=*/false).has_value());
+  EXPECT_FALSE(parse_values("", /*with_versions=*/true).has_value());
+  EXPECT_TRUE(parse_simple("").empty());
+  std::string error;
+  EXPECT_FALSE(parse_command("", &error).has_value());
+}
+
+TEST(ProtocolEdge, MaxSizeKeyAndValueRoundTrip) {
+  // Stock memcached's documented limits: 250-byte keys, 1 MiB values.
+  const std::string key(250, 'k');
+  const std::string data(1 << 20, 'v');
+
+  std::string frame;
+  encode_set(key, data, /*pin=*/true, frame);
+  std::string error;
+  const auto cmd = parse_command(frame, &error);
+  ASSERT_TRUE(cmd.has_value()) << error;
+  const auto* set = std::get_if<SetCommand>(&*cmd);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->key, key);
+  EXPECT_EQ(set->data, data);
+  EXPECT_TRUE(set->pin);
+
+  frame.clear();
+  encode_values({{key, data, 7}}, /*with_versions=*/true, frame);
+  const auto values = parse_values(frame, /*with_versions=*/true);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ(values->front().key, key);
+  EXPECT_EQ(values->front().data, data);
+  EXPECT_EQ(values->front().version, 7u);
+}
+
+TEST(ProtocolEdge, ValueDataMayContainCrLf) {
+  // The data block is length-delimited, so CRLF inside it must survive.
+  const std::string data = "line one\r\nline two\r\n";
+  std::string frame;
+  encode_values({{"k", data, 0}}, /*with_versions=*/false, frame);
+  const auto values = parse_values(frame, /*with_versions=*/false);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ(values->front().data, data);
+}
+
+TEST(ProtocolEdge, EveryTruncationOfAValuesFrameFailsCleanlyOrPrefixes) {
+  std::string frame;
+  encode_values({{"alpha", "0123456789", 1},
+                 {"beta", "abcdefghij", 2},
+                 {"gamma", "XYZ", 3}},
+                /*with_versions=*/false, frame);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const auto values =
+        parse_values(frame.substr(0, cut), /*with_versions=*/false);
+    if (!values.has_value()) continue;  // clean failure
+    // A parse that survives truncation may only yield keys that were in
+    // the frame, with their exact payloads, in order.
+    const std::vector<std::string> keys = {"alpha", "beta", "gamma"};
+    const std::vector<std::string> payloads = {"0123456789", "abcdefghij",
+                                               "XYZ"};
+    ASSERT_LE(values->size(), keys.size()) << "cut at " << cut;
+    for (std::size_t i = 0; i < values->size(); ++i) {
+      EXPECT_EQ((*values)[i].key, keys[i]) << "cut at " << cut;
+      EXPECT_EQ((*values)[i].data, payloads[i]) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(ProtocolEdge, EveryTruncationOfASetFrameFailsCleanly) {
+  std::string frame;
+  encode_set("key", "payload", /*pin=*/false, frame);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::string error;
+    const auto cmd = parse_command(frame.substr(0, cut), &error);
+    EXPECT_FALSE(cmd.has_value()) << "cut at " << cut;
+    EXPECT_FALSE(error.empty()) << "cut at " << cut;
+  }
+}
+
+TEST(ProtocolEdge, EveryTruncationOfAGetCommandFailsCleanlyOrDropsKeys) {
+  std::string frame;
+  encode_get({"one", "two", "three"}, /*with_versions=*/true, frame);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    std::string error;
+    const auto cmd = parse_command(frame.substr(0, cut), &error);
+    if (!cmd.has_value()) continue;  // clean failure
+    const auto* get = std::get_if<GetCommand>(&*cmd);
+    ASSERT_NE(get, nullptr) << "cut at " << cut;
+    // Whatever keys survive must be a subset of the original tokens (the
+    // final key may itself be cut short — that is still a token the
+    // server can answer with a miss, not a crash).
+    EXPECT_LE(get->keys.size(), 3u) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace rnb::kv

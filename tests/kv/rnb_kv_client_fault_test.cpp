@@ -1,0 +1,238 @@
+// RnbKvClient failure policy over faulty transports: the zero-byte
+// response regression, retry/backoff, cover re-planning, hedging, and
+// virtual deadlines. All fault patterns are schedule-driven, so every
+// assertion here is deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "faultsim/fault_transport.hpp"
+#include "kv/rnb_kv_client.hpp"
+#include "kv/transport.hpp"
+
+namespace rnb::kv {
+namespace {
+
+constexpr std::size_t kBudget = 1 << 20;
+
+std::vector<std::string> test_keys(int count) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < count; ++i) keys.push_back("key" + std::to_string(i));
+  return keys;
+}
+
+/// kOk with zero bytes — what a peer that died mid-accept produces. The
+/// old client treated this as a clean miss (get) or crashed on the
+/// malformed frame (multi_get); it must be handled as a transport error.
+class EmptyResponseTransport final : public KvTransport {
+ public:
+  ServerId num_servers() const noexcept override { return 4; }
+  TransportResult roundtrip(ServerId, std::string_view,
+                            std::string& response) override {
+    ++calls_;
+    response.clear();
+    return {};
+  }
+  int calls() const noexcept { return calls_; }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(KvClientFault, ZeroByteResponseIsATransportErrorNotAMiss) {
+  EmptyResponseTransport transport;
+  RnbKvClientConfig config;
+  config.replication = 2;
+  RnbKvClient client(transport, config);
+
+  EXPECT_EQ(client.get("anything"), std::nullopt);
+  EXPECT_GT(client.failure_stats().empty_responses, 0u);
+  // Every configured attempt was spent refusing to trust the empty frame.
+  EXPECT_GT(client.failure_stats().retries, 0u);
+}
+
+TEST(KvClientFault, ZeroByteResponsesDoNotCrashMultiGet) {
+  EmptyResponseTransport transport;
+  RnbKvClientConfig config;
+  config.replication = 2;
+  RnbKvClient client(transport, config);
+
+  const auto keys = test_keys(6);
+  const auto result = client.multi_get(keys);  // used to RNB_ENSURE-crash
+  EXPECT_TRUE(result.values.empty());
+  EXPECT_EQ(result.missing.size(), keys.size());
+  EXPECT_GT(client.failure_stats().empty_responses, 0u);
+}
+
+TEST(KvClientFault, RetriesRecoverFromTransientDrops) {
+  LoopbackTransport inner(4, kBudget);
+  faultsim::FaultSpec spec;
+  spec.all.drop = 0.3;
+  spec.seed = 23;
+  faultsim::FaultInjectingTransport faulty(inner,
+                                           faultsim::FaultSchedule(spec, 4));
+  RnbKvClientConfig config;
+  config.replication = 3;
+  config.failure.max_attempts = 6;
+  // Populate through the clean inner transport so setup cannot fail.
+  {
+    RnbKvClient loader(inner, config);
+    for (const auto& k : test_keys(20)) loader.set(k, "value-" + k);
+  }
+  RnbKvClient client(faulty, config);
+  const auto keys = test_keys(20);
+  // Several batches so the 30% drop rate is certain to be observed; every
+  // batch must still come back complete.
+  std::uint64_t retries = 0;
+  for (int batch = 0; batch < 5; ++batch) {
+    const auto result = client.multi_get(keys);
+    EXPECT_EQ(result.values.size(), keys.size())
+        << result.missing.size() << " keys lost despite retries";
+    retries += result.retries;
+  }
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(client.failure_stats().transport_errors, 0u);
+}
+
+TEST(KvClientFault, AlwaysTruncatedFramesFailCleanlyAsMissing) {
+  LoopbackTransport inner(4, kBudget);
+  faultsim::FaultSpec spec;
+  spec.all.trunc = 1.0;
+  faultsim::FaultInjectingTransport faulty(inner,
+                                           faultsim::FaultSchedule(spec, 4));
+  RnbKvClientConfig config;
+  config.replication = 2;
+  config.failure.max_attempts = 2;
+  {
+    RnbKvClient loader(inner, config);
+    for (const auto& k : test_keys(5)) loader.set(k, "v");
+  }
+  RnbKvClient client(faulty, config);
+  const auto keys = test_keys(5);
+  const auto result = client.multi_get(keys);
+  EXPECT_EQ(result.missing.size(), keys.size());
+  EXPECT_GT(client.failure_stats().malformed_responses +
+                client.failure_stats().empty_responses,
+            0u);
+}
+
+TEST(KvClientFault, CrashedServerIsRecoveredViaReplicaCover) {
+  LoopbackTransport inner(4, kBudget);
+  RnbKvClientConfig config;
+  // r=2 over 4 servers: the bundling cover cannot avoid the dead server,
+  // yet every key keeps exactly one live replica.
+  config.replication = 2;
+  {
+    RnbKvClient loader(inner, config);
+    for (const auto& k : test_keys(24)) loader.set(k, "value-" + k);
+  }
+  // Server 1 refuses every roundtrip for the whole run.
+  faultsim::FaultSpec spec;
+  spec.per_server[1].crash.push_back({0, ~faultsim::Tick{0}});
+  faultsim::FaultInjectingTransport faulty(inner,
+                                           faultsim::FaultSchedule(spec, 4));
+  config.failure.max_attempts = 2;
+  RnbKvClient client(faulty, config);
+
+  const auto keys = test_keys(24);
+  const auto result = client.multi_get(keys);
+  EXPECT_EQ(result.values.size(), keys.size())
+      << result.missing.size() << " keys lost to a single crashed server";
+  for (const auto& [key, value] : result.values)
+    EXPECT_EQ(value, "value-" + key);
+  EXPECT_GT(result.recover_transactions + result.round2_transactions, 0u);
+}
+
+TEST(KvClientFault, VirtualDeadlineCutsTheOperationShort) {
+  LoopbackTransport inner(4, kBudget);
+  faultsim::FaultSpec spec;
+  spec.all.extra_latency = 0.050;  // every roundtrip costs >= 50 ms
+  faultsim::FaultInjectingTransport faulty(inner,
+                                           faultsim::FaultSchedule(spec, 4));
+  RnbKvClientConfig config;
+  config.replication = 2;
+  config.failure.deadline = 0.060;  // budget for barely one roundtrip
+  {
+    RnbKvClient loader(inner, config);
+    for (const auto& k : test_keys(40)) loader.set(k, "v");
+  }
+  RnbKvClient client(faulty, config);
+  const auto keys = test_keys(40);
+  const auto result = client.multi_get(keys);
+  EXPECT_TRUE(result.deadline_missed);
+  EXPECT_LT(result.values.size(), keys.size());
+  EXPECT_GT(client.failure_stats().deadline_misses, 0u);
+}
+
+/// Delivers through a loopback fleet but scripts latency: fast for the
+/// first `fast_calls` roundtrips, then a 100x tail.
+class TailLatencyTransport final : public KvTransport {
+ public:
+  TailLatencyTransport(KvTransport& inner, int fast_calls)
+      : inner_(inner), fast_calls_(fast_calls) {}
+  ServerId num_servers() const noexcept override {
+    return inner_.num_servers();
+  }
+  TransportResult roundtrip(ServerId s, std::string_view request,
+                            std::string& response) override {
+    TransportResult r = inner_.roundtrip(s, request, response);
+    r.latency = (calls_++ < fast_calls_) ? 1e-3 : 1e-1;
+    return r;
+  }
+
+ private:
+  KvTransport& inner_;
+  int fast_calls_;
+  int calls_ = 0;
+};
+
+TEST(KvClientFault, HedgingFiresOnTailLatency) {
+  LoopbackTransport inner(4, kBudget);
+  TailLatencyTransport scripted(inner, /*fast_calls=*/30);
+  RnbKvClientConfig config;
+  config.replication = 1;
+  config.failure.hedging = true;
+  config.failure.hedge_quantile = 0.9;
+  {
+    RnbKvClient loader(inner, config);
+    for (const auto& k : test_keys(60)) loader.set(k, "v");
+  }
+  RnbKvClient client(scripted, config);
+  // The first 30 gets fill the latency window with 1 ms samples; once the
+  // transport degrades to 100 ms, responses land far past the learned p90
+  // and the client must start issuing hedged duplicates.
+  for (const auto& k : test_keys(60)) ASSERT_TRUE(client.get(k).has_value());
+  EXPECT_GT(client.failure_stats().hedged_sends, 0u);
+  EXPECT_EQ(client.failure_stats().transport_errors, 0u);
+}
+
+TEST(KvClientFault, FaultedRunsAreReproducible) {
+  const auto run = [] {
+    LoopbackTransport inner(4, kBudget);
+    RnbKvClientConfig config;
+    config.replication = 2;
+    config.failure.max_attempts = 3;
+    {
+      RnbKvClient loader(inner, config);
+      for (const auto& k : test_keys(30)) loader.set(k, "value-" + k);
+    }
+    faultsim::FaultSpec spec;
+    spec.all.drop = 0.2;
+    spec.all.trunc = 0.05;
+    spec.seed = 31;
+    faultsim::FaultInjectingTransport faulty(
+        inner, faultsim::FaultSchedule(spec, 4));
+    RnbKvClient client(faulty, config);
+    const auto keys = test_keys(30);
+    const auto result = client.multi_get(keys);
+    const KvFailureStats& stats = client.failure_stats();
+    return std::tuple{result.values.size(), result.missing.size(),
+                      result.transactions(), result.retries, stats.attempts,
+                      stats.transport_errors, stats.malformed_responses};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rnb::kv

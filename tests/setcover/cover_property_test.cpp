@@ -81,6 +81,44 @@ TEST_P(CoverSolverProperty, NeverUsesMoreTransactionsThanItems) {
   }
 }
 
+// Cross-solver ordering over 500 independently seeded instances (kept small
+// enough that the exact branch-and-bound solver stays fast): every solver's
+// cover is valid, costs are sandwiched exact <= greedy <= trivial
+// one-transaction-per-item, and lazy-greedy is cost-identical to greedy
+// (same marginal-gain maximization, different evaluation schedule).
+TEST(CoverSolverCrossProperty, FiveHundredRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+    CoverInstance instance;
+    instance.candidates.resize(1 + rng.below(12));
+    for (auto& cand : instance.candidates) {
+      const std::uint32_t repl = 1 + static_cast<std::uint32_t>(rng.below(3));
+      while (cand.size() < repl) {
+        const auto s = static_cast<ServerId>(rng.below(8));
+        if (std::find(cand.begin(), cand.end(), s) == cand.end())
+          cand.push_back(s);
+      }
+    }
+
+    const CoverResult greedy = greedy_cover(instance);
+    const CoverResult lazy = lazy_greedy_cover(instance);
+    const auto exact = exact_cover(instance);
+    ASSERT_TRUE(exact.has_value()) << "instance seed " << seed;
+
+    const std::size_t all = instance.num_items();
+    ASSERT_TRUE(greedy.valid_for(instance, all)) << "greedy, seed " << seed;
+    ASSERT_TRUE(lazy.valid_for(instance, all)) << "lazy, seed " << seed;
+    ASSERT_TRUE(exact->valid_for(instance, all)) << "exact, seed " << seed;
+
+    EXPECT_LE(exact->transactions(), greedy.transactions())
+        << "exact beat by greedy at seed " << seed;
+    EXPECT_LE(greedy.transactions(), all)
+        << "greedy beat by trivial per-item fetch at seed " << seed;
+    EXPECT_EQ(greedy.transactions(), lazy.transactions())
+        << "lazy-greedy diverged from greedy at seed " << seed;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllSolvers, CoverSolverProperty,
     ::testing::Values(
