@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "cluster/client.hpp"
 #include "common/table.hpp"
+#include "obs/hdr_histogram.hpp"
 #include "workload/social_workload.hpp"
 
 int main(int argc, char** argv) {
@@ -34,18 +35,19 @@ int main(int argc, char** argv) {
     RnbCluster cluster(cfg, graph.num_nodes());
     RnbClient client(cluster, {});
     SocialWorkload source(graph, seed + 3);
-    Percentiles fan_out;
+    obs::Histogram fan_out;
     RunningStat mean;
     std::vector<ItemId> request;
     for (std::uint64_t i = 0; i < requests; ++i) {
       source.next(request);
       const RequestOutcome out = client.execute(request);
-      fan_out.add(out.round1_transactions);
+      fan_out.record(out.round1_transactions);
       mean.add(out.round1_transactions);
     }
     table.add_row({static_cast<std::int64_t>(replicas), mean.mean(),
-                   fan_out.quantile(0.5), fan_out.quantile(0.9),
-                   fan_out.quantile(0.99), mean.max()});
+                   static_cast<double>(fan_out.quantile(0.5)),
+                   static_cast<double>(fan_out.quantile(0.9)),
+                   static_cast<double>(fan_out.quantile(0.99)), mean.max()});
   }
   table.print(std::cout);
   std::cout << "\nShape check: RnB compresses both the mean and, more "

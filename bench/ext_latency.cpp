@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
                "micro-benchmark service times. Latencies in microseconds; "
                "util = busiest server's busy fraction.");
 
+  bench::JsonResult json("ext_latency");
+  json.param("requests", requests);
+  json.param("seed", seed);
   Table table({"load_rps", "replicas", "tpr", "p50_us", "p99_us", "util"});
   table.set_precision(2);
   for (const double load : {50e3, 150e3, 250e3, 350e3, 450e3}) {
@@ -36,6 +39,19 @@ int main(int argc, char** argv) {
       const LatencySimResult r = run_latency_sim(source, cfg);
       table.add_row({load, static_cast<std::int64_t>(replicas), r.tpr,
                      r.p50() * 1e6, r.p99() * 1e6, r.max_utilization});
+      json.add_row();
+      json.field("load_rps", load);
+      json.field("replicas", static_cast<std::uint64_t>(replicas));
+      json.field("tpr", r.tpr);
+      json.field("p50_ns",
+                 static_cast<std::uint64_t>(r.latency_ns.quantile(0.5)));
+      json.field("p90_ns",
+                 static_cast<std::uint64_t>(r.latency_ns.quantile(0.9)));
+      json.field("p99_ns",
+                 static_cast<std::uint64_t>(r.latency_ns.quantile(0.99)));
+      json.field("p999_ns",
+                 static_cast<std::uint64_t>(r.latency_ns.quantile(0.999)));
+      json.field("max_utilization", r.max_utilization);
     }
   }
   table.print(std::cout);
@@ -43,5 +59,5 @@ int main(int argc, char** argv) {
                "load grows, the baseline's extra transactions saturate "
                "servers first — its p99 explodes at an offered load RnB "
                "still absorbs comfortably.\n";
-  return 0;
+  return bench::maybe_write_json(flags, json) ? 0 : 1;
 }

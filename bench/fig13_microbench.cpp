@@ -12,10 +12,12 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "kv/protocol.hpp"
 #include "kv/tcp.hpp"
 #include "kv/transport.hpp"
+#include "obs/hdr_histogram.hpp"
 #include "sim/calibration.hpp"
 
 namespace {
@@ -73,7 +75,8 @@ void BM_MultiGet(benchmark::State& state) {
 /// send/recv syscalls and wakeups dominate, exactly like memcached's
 /// testbed), so the affine fit comes from here.
 MicrobenchSample time_transaction_tcp(kv::TcpKvConnection& conn,
-                                      std::size_t keys_per_txn) {
+                                      std::size_t keys_per_txn,
+                                      obs::Histogram& latency_ns) {
   std::vector<std::string> keys(keys_per_txn);
   std::size_t cursor = 1234;
   for (auto& k : keys) {
@@ -87,14 +90,23 @@ MicrobenchSample time_transaction_tcp(kv::TcpKvConnection& conn,
     kv::encode_get(keys, false, request);
     conn.roundtrip(request, response);
   }
-  const auto start = std::chrono::steady_clock::now();
+  // Per-roundtrip timing feeds the latency distribution; the throughput
+  // number is the sum of the same timings, so the two agree by
+  // construction (the extra clock read is ~nanoseconds against a
+  // multi-microsecond socket roundtrip).
+  std::chrono::steady_clock::duration total{0};
   for (std::size_t i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
     request.clear();
     kv::encode_get(keys, false, request);
     conn.roundtrip(request, response);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    total += elapsed;
+    latency_ns.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
   }
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+  const std::chrono::duration<double> elapsed = total;
   return {static_cast<double>(keys_per_txn),
           static_cast<double>(reps) / elapsed.count()};
 }
@@ -105,6 +117,7 @@ BENCHMARK(BM_MultiGet)->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50)
     ->Arg(100)->Arg(200);
 
 int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
   std::cout << "== Figure 13: items/s vs items per transaction (1 client) =="
             << "\nMini-memcached over loopback transport; see DESIGN.md §4 "
                "for the testbed substitution.\n\n";
@@ -127,14 +140,30 @@ int main(int argc, char** argv) {
   }
   kv::TcpKvConnection conn(tcp_server.port());
   std::vector<MicrobenchSample> samples;
-  Table table({"items_per_txn", "txns_per_s", "items_per_s"});
+  bench::JsonResult json("fig13_microbench");
+  json.param("universe", static_cast<std::uint64_t>(kUniverse));
+  json.param("value_bytes", static_cast<std::uint64_t>(kValueBytes));
+  Table table({"items_per_txn", "txns_per_s", "items_per_s", "p50_us",
+               "p99_us"});
   table.set_precision(0);
   for (const std::size_t k : {1u, 2u, 5u, 10u, 20u, 50u, 100u, 200u}) {
-    samples.push_back(time_transaction_tcp(conn, k));
-    table.add_row({static_cast<std::int64_t>(k),
-                   samples.back().transactions_per_second,
-                   samples.back().transactions_per_second *
-                       static_cast<double>(k)});
+    obs::Histogram latency_ns;
+    samples.push_back(time_transaction_tcp(conn, k, latency_ns));
+    const double txns_per_s = samples.back().transactions_per_second;
+    table.add_row({static_cast<std::int64_t>(k), txns_per_s,
+                   txns_per_s * static_cast<double>(k),
+                   static_cast<double>(latency_ns.quantile(0.5)) * 1e-3,
+                   static_cast<double>(latency_ns.quantile(0.99)) * 1e-3});
+    json.add_row();
+    json.field("items_per_txn", static_cast<std::uint64_t>(k));
+    json.field("txns_per_s", txns_per_s);
+    json.field("items_per_s", txns_per_s * static_cast<double>(k));
+    json.field("p50_ns",
+               static_cast<std::uint64_t>(latency_ns.quantile(0.5)));
+    json.field("p90_ns",
+               static_cast<std::uint64_t>(latency_ns.quantile(0.9)));
+    json.field("p99_ns",
+               static_cast<std::uint64_t>(latency_ns.quantile(0.99)));
   }
   table.print(std::cout);
 
@@ -148,5 +177,5 @@ int main(int argc, char** argv) {
   std::cout << "Shape check (paper): over the socket path, items/s grows "
                "near-linearly with transaction size — per-transaction cost "
                "dominates, which is the multi-get hole's precondition.\n";
-  return 0;
+  return bench::maybe_write_json(flags, json) ? 0 : 1;
 }

@@ -10,14 +10,18 @@
 //   build/examples/rnbsim --network=epinions --replicas=4 --memory=2.0
 //       --unlimited=0 --hitchhiking=1 --warmup=60000   (one line)
 //
-//   # replay a recorded trace against 32 servers
-//   build/examples/rnbsim --trace=requests.txt --servers=32
+//   # replay a recorded request log against 32 servers
+//   build/examples/rnbsim --replay=requests.txt --servers=32
 //
 //   # record 10k requests for later replay
 //   build/examples/rnbsim --record-trace=requests.txt --requests=10000
 //
 //   # 5% message drop everywhere plus a crash window on server 3
 //   build/examples/rnbsim --replicas=2 --faults="drop=0.05;crash@3=100:600"
+//
+//   # observability: Chrome trace (chrome://tracing, Perfetto) + Prometheus
+//   build/examples/rnbsim --requests=500 --trace=out.json --metrics=out.prom
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -25,8 +29,10 @@
 #include "faultsim/fault_spec.hpp"
 #include "graph/generators.hpp"
 #include "graph/loader.hpp"
+#include "obs/trace.hpp"
 #include "sim/calibration.hpp"
 #include "sim/full_sim.hpp"
+#include "sim/metrics_export.hpp"
 #include "workload/merged_source.hpp"
 #include "workload/social_workload.hpp"
 #include "workload/trace.hpp"
@@ -49,8 +55,10 @@ struct Args {
   std::uint64_t seed = 1;
   std::string network = "slashdot";
   std::string graph_path;
-  std::string trace_path;
+  std::string replay_path;
   std::string record_path;
+  std::string trace_out;    // Chrome trace_event JSON
+  std::string metrics_out;  // Prometheus text exposition
   std::string placement = "rch";
   std::string strategy = "greedy";
   std::string eviction = "lru";
@@ -80,8 +88,10 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (key == "seed") args.seed = std::stoull(value);
     else if (key == "network") args.network = value;
     else if (key == "graph") args.graph_path = value;
-    else if (key == "trace") args.trace_path = value;
+    else if (key == "replay") args.replay_path = value;
     else if (key == "record-trace") args.record_path = value;
+    else if (key == "trace") args.trace_out = value;
+    else if (key == "metrics") args.metrics_out = value;
     else if (key == "placement") args.placement = value;
     else if (key == "strategy") args.strategy = value;
     else if (key == "eviction") args.eviction = value;
@@ -97,9 +107,9 @@ bool parse_args(int argc, char** argv, Args& args) {
 std::unique_ptr<RequestSource> build_source(const Args& args,
                                             std::unique_ptr<DirectedGraph>& graph) {
   std::unique_ptr<RequestSource> source;
-  if (!args.trace_path.empty()) {
+  if (!args.replay_path.empty()) {
     source = std::make_unique<TraceReplaySource>(
-        TraceReplaySource::from_file(args.trace_path));
+        TraceReplaySource::from_file(args.replay_path));
   } else {
     if (!args.graph_path.empty())
       graph = std::make_unique<DirectedGraph>(
@@ -165,7 +175,38 @@ int main(int argc, char** argv) {
     cfg.faults = *spec;
   }
 
+  // Tracing: a virtual-clock tracer makes the exported JSON a pure function
+  // of (workload, seeds) — two same-seed runs emit byte-identical files.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!args.trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>(obs::Tracer::ClockMode::kVirtual);
+    obs::Tracer::set_current(tracer.get());
+  }
+
   const FullSimResult result = run_full_sim(*source, cfg);
+
+  if (tracer != nullptr) {
+    obs::Tracer::set_current(nullptr);
+    std::ofstream out(args.trace_out);
+    if (!out) {
+      std::cerr << "cannot write --trace file: " << args.trace_out << "\n";
+      return 1;
+    }
+    tracer->export_chrome_json(out);
+    std::cout << "wrote " << tracer->events_recorded() << " trace events ("
+              << tracer->events_dropped() << " dropped) to " << args.trace_out
+              << "\n";
+  }
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out);
+    if (!out) {
+      std::cerr << "cannot write --metrics file: " << args.metrics_out << "\n";
+      return 1;
+    }
+    write_prometheus(out, result);
+    std::cout << "wrote metrics exposition to " << args.metrics_out << "\n";
+  }
+
   const ThroughputModel model = ThroughputModel::paper_default();
   const double tput = model.system_requests_per_second(
       result.metrics.transaction_sizes(), result.metrics.requests(),

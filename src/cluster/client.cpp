@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "setcover/baselines.hpp"
 #include "setcover/greedy.hpp"
 #include "setcover/lazy_greedy.hpp"
@@ -62,6 +63,7 @@ void RnbClient::redirect_singletons(RequestPlan& plan) const {
 }
 
 RequestPlan RnbClient::plan(std::span<const ItemId> request_items) {
+  obs::SpanScope cover_span("cover", "client");
   RequestPlan out;
   // Deduplicate, preserving first-appearance order (merged requests can
   // contain the same item twice; it is fetched once).
@@ -118,13 +120,17 @@ RequestPlan RnbClient::plan(std::span<const ItemId> request_items) {
   }
 
   if (policy_.redirect_singletons) redirect_singletons(out);
+  cover_span.arg("items", static_cast<std::int64_t>(m));
+  cover_span.arg("transactions", static_cast<std::int64_t>(out.servers.size()));
   return out;
 }
 
 RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
                                   MetricsAccumulator* metrics) {
+  obs::SpanScope req_span("request", "client");
   RequestPlan p = plan(request_items);
   const std::size_t m = p.items.size();
+  req_span.arg("items", static_cast<std::int64_t>(m));
 
   RequestOutcome outcome;
   outcome.items_requested = static_cast<std::uint32_t>(m);
@@ -160,18 +166,26 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
   // delivered. `wave` rises to the sequential roundtrips this server used,
   // so parallel fan-out charges the request max-over-servers, not the sum.
   const auto send_with_retries = [&](ServerId s, std::uint32_t& txn_counter,
-                                     std::uint32_t& wave) -> bool {
+                                     std::uint32_t& wave,
+                                     obs::SpanScope* span = nullptr) -> bool {
     const std::uint32_t attempts =
         fault_ == nullptr ? 1 : std::max(1u, policy_.max_attempts);
     for (std::uint32_t a = 0; a < attempts; ++a) {
       ++txn_counter;
-      if (a > 0) ++outcome.retries;
+      if (a > 0) {
+        ++outcome.retries;
+        if (obs::Tracer* t = obs::Tracer::current())
+          t->instant("retry", "client",
+                     {{"server", static_cast<std::int64_t>(s)},
+                      {"attempt", static_cast<std::int64_t>(a)}});
+      }
       wave = std::max(wave, a + 1);
       if (fault_ == nullptr || fault_->on_send(s)) {
         cluster_.note_transaction(s);
         return true;
       }
       ++outcome.dropped_sends;
+      if (span != nullptr) span->note("fault", "drop");
     }
     failed[s] = 1;
     return false;
@@ -180,30 +194,39 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
   // Round 1. satisfied[i] means a server returned the item.
   std::vector<bool> satisfied(m, false);
   std::uint32_t round1_wave = 0;
-  for (const ServerId s : p.servers) {
-    if (!send_with_retries(s, outcome.round1_transactions, round1_wave))
-      continue;
-    TwoClassStore& server = cluster_.server(s);
-    std::uint64_t keys_in_txn = 0;
-    for (const std::size_t i : assigned[s]) {
-      ++keys_in_txn;
-      if (server.read(p.items[i])) satisfied[i] = true;
-    }
-    if (const auto hit_it = hitchhikers.find(s);
-        hit_it != hitchhikers.end()) {
-      for (const std::size_t i : hit_it->second) {
+  {
+    obs::SpanScope wave_span("wave", "client");
+    wave_span.note("kind", "round1");
+    wave_span.arg("transactions", static_cast<std::int64_t>(p.servers.size()));
+    for (const ServerId s : p.servers) {
+      obs::SpanScope txn_span("transaction", "client");
+      txn_span.arg("server", static_cast<std::int64_t>(s));
+      if (!send_with_retries(s, outcome.round1_transactions, round1_wave,
+                             &txn_span))
+        continue;
+      TwoClassStore& server = cluster_.server(s);
+      std::uint64_t keys_in_txn = 0;
+      for (const std::size_t i : assigned[s]) {
         ++keys_in_txn;
-        ++outcome.hitchhiker_keys;
-        // Paper rule: update the LRU only upon a hitchhiker hit — probe
-        // first, and only touch recency when the copy is actually there.
-        if (server.contains(p.items[i])) {
-          server.read(p.items[i]);
-          if (!satisfied[i]) ++outcome.hitchhiker_saves;
-          satisfied[i] = true;
+        if (server.read(p.items[i])) satisfied[i] = true;
+      }
+      if (const auto hit_it = hitchhikers.find(s);
+          hit_it != hitchhikers.end()) {
+        for (const std::size_t i : hit_it->second) {
+          ++keys_in_txn;
+          ++outcome.hitchhiker_keys;
+          // Paper rule: update the LRU only upon a hitchhiker hit — probe
+          // first, and only touch recency when the copy is actually there.
+          if (server.contains(p.items[i])) {
+            server.read(p.items[i]);
+            if (!satisfied[i]) ++outcome.hitchhiker_saves;
+            satisfied[i] = true;
+          }
         }
       }
+      txn_span.arg("keys", static_cast<std::int64_t>(keys_in_txn));
+      if (metrics != nullptr) metrics->record_transaction_size(keys_in_txn);
     }
-    if (metrics != nullptr) metrics->record_transaction_size(keys_in_txn);
   }
   std::uint32_t waves_used = round1_wave;
 
@@ -232,6 +255,10 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
       break;
     }
     ++outcome.recover_rounds;
+    obs::SpanScope wave_span("wave", "client");
+    wave_span.note("kind", "recover");
+    wave_span.arg("round",
+                  static_cast<std::int64_t>(outcome.recover_rounds));
     const CoverResult cover = greedy_cover(instance);
     std::unordered_map<ServerId, std::vector<std::size_t>> bundles;
     for (std::size_t j = 0; j < pool.size(); ++j) {
@@ -240,11 +267,15 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
     }
     std::uint32_t recover_wave = 0;
     for (const ServerId s : cover.servers_used) {
-      if (!send_with_retries(s, outcome.recover_transactions, recover_wave))
+      obs::SpanScope txn_span("transaction", "client");
+      txn_span.arg("server", static_cast<std::int64_t>(s));
+      if (!send_with_retries(s, outcome.recover_transactions, recover_wave,
+                             &txn_span))
         continue;
       TwoClassStore& server = cluster_.server(s);
       for (const std::size_t i : bundles[s])
         if (server.read(p.items[i])) satisfied[i] = true;
+      txn_span.arg("keys", static_cast<std::int64_t>(bundles[s].size()));
       if (metrics != nullptr)
         metrics->record_transaction_size(bundles[s].size());
     }
@@ -300,39 +331,54 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
   for (const auto& [home, idxs] : fallback) fallback_servers.push_back(home);
   std::sort(fallback_servers.begin(), fallback_servers.end());
   std::uint32_t round2_wave = 0;
-  for (const ServerId home : fallback_servers) {
-    const std::vector<std::size_t>& idxs = fallback[home];
-    if (!send_with_retries(home, outcome.round2_transactions, round2_wave)) {
-      // Fallback unreachable too: the last resort is the database.
+  if (!fallback_servers.empty()) {
+    obs::SpanScope wave_span("wave", "client");
+    wave_span.note("kind", "round2");
+    wave_span.arg("transactions",
+                  static_cast<std::int64_t>(fallback_servers.size()));
+    for (const ServerId home : fallback_servers) {
+      const std::vector<std::size_t>& idxs = fallback[home];
+      obs::SpanScope txn_span("transaction", "client");
+      txn_span.arg("server", static_cast<std::int64_t>(home));
+      txn_span.arg("keys", static_cast<std::int64_t>(idxs.size()));
+      if (!send_with_retries(home, outcome.round2_transactions, round2_wave,
+                             &txn_span)) {
+        // Fallback unreachable too: the last resort is the database.
+        for (const std::size_t i : idxs) {
+          ++outcome.db_fetches;
+          satisfied[i] = true;
+        }
+        continue;
+      }
+      TwoClassStore& server = cluster_.server(home);
       for (const std::size_t i : idxs) {
-        ++outcome.db_fetches;
+        const bool hit = server.read(p.items[i]);
+        if (!hit) {
+          // Only possible when the true distinguished server is down (or ate
+          // this request's attempts) and the fallback replica was cold: the
+          // item comes from the database (paper Section I-B's miss path). It
+          // still reaches the user.
+          RNB_ENSURE(cluster_.is_down(p.locations[i][0]) ||
+                     has_failed(p.locations[i][0]));
+          ++outcome.db_fetches;
+        }
         satisfied[i] = true;
+        // Write-back: install the replica where round 1 expected it, so the
+        // next similar request hits (Section III-C2's write rule).
+        if (policy_.write_back_misses)
+          cluster_.server(p.assignment[i]).write_replica(p.items[i]);
       }
-      continue;
+      if (metrics != nullptr)
+        metrics->record_transaction_size(idxs.size());
     }
-    TwoClassStore& server = cluster_.server(home);
-    for (const std::size_t i : idxs) {
-      const bool hit = server.read(p.items[i]);
-      if (!hit) {
-        // Only possible when the true distinguished server is down (or ate
-        // this request's attempts) and the fallback replica was cold: the
-        // item comes from the database (paper Section I-B's miss path). It
-        // still reaches the user.
-        RNB_ENSURE(cluster_.is_down(p.locations[i][0]) ||
-                   has_failed(p.locations[i][0]));
-        ++outcome.db_fetches;
-      }
-      satisfied[i] = true;
-      // Write-back: install the replica where round 1 expected it, so the
-      // next similar request hits (Section III-C2's write rule).
-      if (policy_.write_back_misses)
-        cluster_.server(p.assignment[i]).write_replica(p.items[i]);
-    }
-    if (metrics != nullptr)
-      metrics->record_transaction_size(idxs.size());
   }
   outcome.items_fetched = static_cast<std::uint32_t>(
       std::count(satisfied.begin(), satisfied.end(), true));
+  req_span.arg("transactions",
+               static_cast<std::int64_t>(outcome.round1_transactions +
+                                         outcome.recover_transactions +
+                                         outcome.round2_transactions));
+  req_span.arg("retries", static_cast<std::int64_t>(outcome.retries));
 
   if (metrics != nullptr) metrics->add(outcome);
   if (observer_ != nullptr) observer_->on_request(p.items);
@@ -342,6 +388,7 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
 RequestOutcome RnbClient::execute_write(std::span<const ItemId> items,
                                         WritePolicy write_policy,
                                         MetricsAccumulator* metrics) {
+  obs::SpanScope req_span("write_request", "client");
   // Dedup, first-appearance order.
   std::vector<ItemId> unique;
   {
@@ -382,6 +429,8 @@ RequestOutcome RnbClient::execute_write(std::span<const ItemId> items,
     if (metrics != nullptr) metrics->record_transaction_size(batches[s].size());
   }
   outcome.round1_transactions = static_cast<std::uint32_t>(order.size());
+  req_span.arg("items", static_cast<std::int64_t>(unique.size()));
+  req_span.arg("transactions", static_cast<std::int64_t>(order.size()));
   if (metrics != nullptr) metrics->add(outcome);
   return outcome;
 }

@@ -4,7 +4,8 @@ namespace rnb {
 
 void MetricsAccumulator::add(const RequestOutcome& outcome) {
   tpr_.add(static_cast<double>(outcome.transactions()));
-  tpr_samples_.add(static_cast<double>(outcome.transactions()));
+  tpr_hist_.record(outcome.transactions());
+  miss_hist_.record(outcome.replica_misses);
   round2_.add(static_cast<double>(outcome.round2_transactions));
   misses_.add(static_cast<double>(outcome.replica_misses));
   requested_.add(static_cast<double>(outcome.items_requested));
@@ -21,7 +22,8 @@ void MetricsAccumulator::add(const RequestOutcome& outcome) {
 
 void MetricsAccumulator::merge(const MetricsAccumulator& other) {
   tpr_.merge(other.tpr_);
-  tpr_samples_.merge(other.tpr_samples_);
+  tpr_hist_.merge(other.tpr_hist_);
+  miss_hist_.merge(other.miss_hist_);
   round2_.merge(other.round2_);
   misses_.merge(other.misses_);
   requested_.merge(other.requested_);

@@ -5,6 +5,7 @@
 
 #include "common/histogram.hpp"
 #include "common/stats.hpp"
+#include "obs/hdr_histogram.hpp"
 
 namespace rnb {
 
@@ -76,9 +77,25 @@ class MetricsAccumulator {
 
   const RunningStat& tpr_stat() const noexcept { return tpr_; }
 
-  /// Per-request transaction-count tail (p99 TPR of the degradation bench).
+  /// Per-request transaction-count tail (p99 TPR of the degradation
+  /// bench). Backed by an HDR histogram instead of retained samples:
+  /// per-request transaction counts are small integers, well inside the
+  /// histogram's exact range, so the read is exact — and the accumulator's
+  /// memory no longer grows with the request count.
   double tpr_quantile(double q) const {
-    return tpr_samples_.count() == 0 ? 0.0 : tpr_samples_.quantile(q);
+    return static_cast<double>(tpr_hist_.quantile(q));
+  }
+  /// Per-request replica-miss tail. Miss counts are regime-dependent (they
+  /// explode when the cache tier leaves its operating region), so the
+  /// distribution — not the mean — is the honest report.
+  double miss_quantile(double q) const {
+    return static_cast<double>(miss_hist_.quantile(q));
+  }
+
+  /// Full distributions, for exposition and traces.
+  const obs::Histogram& tpr_histogram() const noexcept { return tpr_hist_; }
+  const obs::Histogram& miss_histogram() const noexcept {
+    return miss_hist_;
   }
 
   /// Histogram of items per transaction (assigned + hitchhiker keys); the
@@ -102,7 +119,8 @@ class MetricsAccumulator {
   RunningStat drops_;
   RunningStat recovers_;
   RunningStat deadline_;
-  Percentiles tpr_samples_;
+  obs::Histogram tpr_hist_;
+  obs::Histogram miss_hist_;
   Histogram txn_sizes_;
 };
 

@@ -2,16 +2,15 @@
 //
 // Every simulator in this repository reports means over tens of thousands of
 // requests; Welford's algorithm keeps those numerically stable without
-// storing samples. Summary extends it with min/max, and Percentiles keeps
-// the full sample when quantiles are needed (transaction-size tails).
+// storing samples. Quantiles live elsewhere: obs::Histogram
+// (src/obs/hdr_histogram.hpp) provides mergeable log-bucketed distributions
+// with bounded error and O(buckets) memory, replacing the sample-retaining
+// Percentiles accumulator that used to sit here.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <vector>
-
-#include "common/error.hpp"
 
 namespace rnb {
 
@@ -61,34 +60,6 @@ class RunningStat {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
-};
-
-/// Sample-retaining accumulator for quantiles.
-class Percentiles {
- public:
-  void add(double x) { samples_.push_back(x); }
-  std::size_t count() const noexcept { return samples_.size(); }
-
-  /// Concatenate another accumulator's samples (sweep-shard fold).
-  void merge(const Percentiles& o) {
-    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
-  }
-
-  /// Quantile by linear interpolation between closest ranks; q in [0, 1].
-  double quantile(double q) const {
-    RNB_REQUIRE(!samples_.empty());
-    RNB_REQUIRE(q >= 0.0 && q <= 1.0);
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    const double pos = q * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-  }
-
- private:
-  std::vector<double> samples_;
 };
 
 }  // namespace rnb

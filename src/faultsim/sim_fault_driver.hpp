@@ -21,6 +21,7 @@
 #include "cluster/client.hpp"
 #include "cluster/cluster.hpp"
 #include "faultsim/fault_schedule.hpp"
+#include "obs/trace.hpp"
 
 namespace rnb::faultsim {
 
@@ -35,10 +36,19 @@ class SimFaultDriver final : public TransactionFaultInjector {
     tick_ = request_tick;
     for (ServerId s = 0; s < schedule_.num_servers(); ++s) {
       const bool want_down = schedule_.is_down(s, request_tick);
-      if (want_down && !cluster.is_down(s))
+      if (want_down && !cluster.is_down(s)) {
         cluster.fail_server(s);
-      else if (!want_down && cluster.is_down(s))
+        if (obs::Tracer* t = obs::Tracer::current())
+          t->instant("server_crash", "fault",
+                     {{"server", static_cast<std::int64_t>(s)},
+                      {"tick", static_cast<std::int64_t>(request_tick)}});
+      } else if (!want_down && cluster.is_down(s)) {
         cluster.restore_server(s);
+        if (obs::Tracer* t = obs::Tracer::current())
+          t->instant("server_restore", "fault",
+                     {{"server", static_cast<std::int64_t>(s)},
+                      {"tick", static_cast<std::int64_t>(request_tick)}});
+      }
     }
   }
 

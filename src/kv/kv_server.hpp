@@ -13,12 +13,15 @@
 #pragma once
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <string_view>
 
 #include "kv/memtable.hpp"
 #include "kv/protocol.hpp"
 #include "kv/slab_memtable.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rnb::kv {
 
@@ -44,11 +47,13 @@ class BasicKvServer {
   /// (cleared first). Never throws; malformed input yields CLIENT_ERROR.
   void handle(std::string_view request, std::string& response) {
     response.clear();
+    obs::SpanScope txn_span("transaction", "server");
     ++counters_.transactions;
     std::string error;
     const std::optional<Command> cmd = parse_command(request, &error);
     if (!cmd) {
       ++counters_.protocol_errors;
+      txn_span.note("outcome", "protocol_error");
       encode_simple("CLIENT_ERROR " + error, response);
       return;
     }
@@ -63,7 +68,13 @@ class BasicKvServer {
         }
       }
       counters_.keys_returned += values.size();
+      txn_span.arg("keys", static_cast<std::int64_t>(get->keys.size()));
+      txn_span.arg("hits", static_cast<std::int64_t>(values.size()));
       encode_values(values, get->with_versions, response);
+      return;
+    }
+    if (std::holds_alternative<StatsCommand>(*cmd)) {
+      write_stats(response);
       return;
     }
     if (const auto* set = std::get_if<SetCommand>(&*cmd)) {
@@ -99,6 +110,39 @@ class BasicKvServer {
   const Store& table() const noexcept { return table_; }
 
  private:
+  /// `stats` response: Prometheus text exposition (0.0.4) framed by a
+  /// trailing "END\r\n". Built fresh per call — stats is a cold path and a
+  /// throwaway registry keeps the hot counters plain uint64 increments.
+  void write_stats(std::string& response) const {
+    obs::MetricsRegistry registry;
+    registry
+        .counter("rnb_kv_transactions_total",
+                 "Request frames handled (stats included)")
+        .inc(counters_.transactions);
+    registry
+        .counter("rnb_kv_keys_requested_total",
+                 "Keys asked for across all get/gets frames")
+        .inc(counters_.keys_requested);
+    registry
+        .counter("rnb_kv_keys_returned_total",
+                 "Keys found and returned across all get/gets frames")
+        .inc(counters_.keys_returned);
+    registry.counter("rnb_kv_stores_total", "set and cas frames handled")
+        .inc(counters_.stores);
+    registry.counter("rnb_kv_deletes_total", "delete frames handled")
+        .inc(counters_.deletes);
+    registry
+        .counter("rnb_kv_protocol_errors_total",
+                 "Frames rejected with CLIENT_ERROR")
+        .inc(counters_.protocol_errors);
+    registry.gauge("rnb_kv_entries", "Live entries in the store")
+        .set(static_cast<double>(table_.entries()));
+    std::ostringstream os;
+    registry.write_prometheus(os);
+    response += os.str();
+    encode_simple("END", response);
+  }
+
   Store table_;
   ServerCounters counters_;
 };

@@ -126,6 +126,13 @@ std::optional<Command> parse_command(std::string_view frame,
     }
     return cmd;
   }
+  if (verb == "stats") {
+    if (!next_token(line).empty()) {
+      fail(error, "stats takes no arguments");
+      return std::nullopt;
+    }
+    return StatsCommand{};
+  }
   fail(error, "unknown verb");
   return std::nullopt;
 }
@@ -168,6 +175,11 @@ void encode_cas(std::string_view key, std::string_view data,
 void encode_delete(std::string_view key, std::string& out) {
   out += "delete ";
   out += key;
+  out += kCrlf;
+}
+
+void encode_stats(std::string& out) {
+  out += "stats";
   out += kCrlf;
 }
 

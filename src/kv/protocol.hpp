@@ -15,6 +15,12 @@
 //   set <key> <flags> <exptime> <bytes>[ pin]\r\n<data>\r\n
 //   cas <key> <flags> <exptime> <bytes> <version>\r\n<data>\r\n
 //   delete <key>\r\n
+//   stats\r\n                                      -> Prometheus text
+//                                                     exposition, END-framed
+//
+// `stats` is the second extension: instead of memcached's STAT lines it
+// returns the server's metrics in Prometheus text format (0.0.4), followed
+// by "END\r\n" so existing response framing can delimit it.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +55,11 @@ struct DeleteCommand {
   std::string key;
 };
 
-using Command = std::variant<GetCommand, SetCommand, CasCommand, DeleteCommand>;
+struct StatsCommand {};
+
+using Command =
+    std::variant<GetCommand, SetCommand, CasCommand, DeleteCommand,
+                 StatsCommand>;
 
 /// Parse one complete request frame (command line + optional data block).
 /// Returns nullopt and fills `error` on malformed input.
@@ -64,6 +74,7 @@ void encode_set(std::string_view key, std::string_view data, bool pin,
 void encode_cas(std::string_view key, std::string_view data,
                 std::uint64_t version, std::string& out);
 void encode_delete(std::string_view key, std::string& out);
+void encode_stats(std::string& out);
 
 /// One returned value in a get/gets response.
 struct Value {

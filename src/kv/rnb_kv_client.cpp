@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "kv/protocol.hpp"
+#include "obs/trace.hpp"
 #include "setcover/greedy.hpp"
 
 namespace rnb::kv {
@@ -73,6 +74,8 @@ bool RnbKvClient::exchange(
     ServerId server, double& elapsed,
     const std::function<bool(const std::string&)>& valid, bool allow_hedge) {
   const KvFailurePolicy& fp = config_.failure;
+  obs::SpanScope txn_span("transaction", "kv_client");
+  txn_span.arg("server", static_cast<std::int64_t>(server));
   const std::uint32_t attempts = std::max(1u, fp.max_attempts);
   double backoff = fp.base_backoff;
   for (std::uint32_t a = 0; a < attempts; ++a) {
@@ -84,6 +87,10 @@ bool RnbKvClient::exchange(
                 (hi - fp.base_backoff) * backoff_rng_.uniform01();
       elapsed += backoff;
       ++stats_.retries;
+      if (obs::Tracer* t = obs::Tracer::current())
+        t->instant("retry", "kv_client",
+                   {{"server", static_cast<std::int64_t>(server)},
+                    {"attempt", static_cast<std::int64_t>(a)}});
     }
     if (deadline_exceeded(elapsed)) return false;
     ++stats_.attempts;
@@ -110,6 +117,10 @@ bool RnbKvClient::exchange(
         // primary; synchronously, the winner costs min(primary, threshold
         // + hedge). Same server, same frame — duplicates are idempotent.
         ++stats_.hedged_sends;
+        if (obs::Tracer* t = obs::Tracer::current())
+          t->instant("hedge", "kv_client",
+                     {{"server", static_cast<std::int64_t>(server)},
+                      {"attempt", static_cast<std::int64_t>(a)}});
         std::string hedge_response;
         const TransportResult h =
             transport_.roundtrip(server, request_, hedge_response);
@@ -131,6 +142,7 @@ bool RnbKvClient::exchange(
       return true;
     }
   }
+  txn_span.note("outcome", "failed");
   return false;
 }
 
@@ -197,6 +209,7 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get(
 RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     std::span<const std::string> keys, double fraction) {
   RNB_REQUIRE(fraction > 0.0 && fraction <= 1.0);
+  obs::SpanScope req_span("request", "kv_client");
   MultiGetResult result;
 
   // Deduplicate, first-appearance order.
@@ -288,12 +301,18 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     }
   };
 
-  for (const ServerId s : cover.servers_used) {
-    if (out_of_time()) break;
-    const auto hit_it = hitchhikers.find(s);
-    bundled_get(s, by_server.at(s),
-                hit_it == hitchhikers.end() ? nullptr : &hit_it->second,
-                result.round1_transactions);
+  {
+    obs::SpanScope wave_span("wave", "kv_client");
+    wave_span.note("kind", "round1");
+    wave_span.arg("transactions",
+                  static_cast<std::int64_t>(cover.servers_used.size()));
+    for (const ServerId s : cover.servers_used) {
+      if (out_of_time()) break;
+      const auto hit_it = hitchhikers.find(s);
+      bundled_get(s, by_server.at(s),
+                  hit_it == hitchhikers.end() ? nullptr : &hit_it->second,
+                  result.round1_transactions);
+    }
   }
 
   // Recover rounds: items stranded on a failed server get the greedy cover
@@ -318,6 +337,9 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     }
     if (pool.empty()) break;
     ++stats_.recover_rounds;
+    obs::SpanScope wave_span("wave", "kv_client");
+    wave_span.note("kind", "recover");
+    wave_span.arg("round", static_cast<std::int64_t>(round + 1));
     const CoverResult replan = greedy_cover(recover);
     std::unordered_map<ServerId, std::vector<std::size_t>> bundles;
     for (std::size_t j = 0; j < pool.size(); ++j) {
@@ -351,32 +373,38 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   for (const auto& [s, idxs] : fallback) fallback_servers.push_back(s);
   std::sort(fallback_servers.begin(), fallback_servers.end());
 
-  for (const ServerId s : fallback_servers) {
-    if (out_of_time()) break;
-    const auto& idxs = fallback.at(s);
-    std::vector<std::string> bundle;
-    bundle.reserve(idxs.size());
-    for (const std::size_t i : idxs) bundle.push_back(items[i]);
-    request_.clear();
-    encode_get(bundle, /*with_versions=*/false, request_);
-    ++result.round2_transactions;
-    const auto values =
-        exchange_values(s, /*with_versions=*/false, elapsed);
-    if (!values) {
-      failed.insert(s);
-      continue;
-    }
-    for (const Value& v : *values) {
-      result.values[v.key] = v.data;
-      const std::size_t i = index_of.at(v.key);
-      satisfied[i] = true;
-      // Re-install the replica round 1 expected (write-back rule) —
-      // best-effort: a lost write-back only costs a future round 2.
-      if (config_.write_back_misses && !failed.contains(assignment[i])) {
-        request_.clear();
-        encode_set(v.key, v.data, /*pin=*/false, request_);
-        std::string ack;
-        transport_.roundtrip(assignment[i], request_, ack);
+  if (!fallback_servers.empty()) {
+    obs::SpanScope wave_span("wave", "kv_client");
+    wave_span.note("kind", "round2");
+    wave_span.arg("transactions",
+                  static_cast<std::int64_t>(fallback_servers.size()));
+    for (const ServerId s : fallback_servers) {
+      if (out_of_time()) break;
+      const auto& idxs = fallback.at(s);
+      std::vector<std::string> bundle;
+      bundle.reserve(idxs.size());
+      for (const std::size_t i : idxs) bundle.push_back(items[i]);
+      request_.clear();
+      encode_get(bundle, /*with_versions=*/false, request_);
+      ++result.round2_transactions;
+      const auto values =
+          exchange_values(s, /*with_versions=*/false, elapsed);
+      if (!values) {
+        failed.insert(s);
+        continue;
+      }
+      for (const Value& v : *values) {
+        result.values[v.key] = v.data;
+        const std::size_t i = index_of.at(v.key);
+        satisfied[i] = true;
+        // Re-install the replica round 1 expected (write-back rule) —
+        // best-effort: a lost write-back only costs a future round 2.
+        if (config_.write_back_misses && !failed.contains(assignment[i])) {
+          request_.clear();
+          encode_set(v.key, v.data, /*pin=*/false, request_);
+          std::string ack;
+          transport_.roundtrip(assignment[i], request_, ack);
+        }
       }
     }
   }
@@ -388,6 +416,12 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   result.retries = static_cast<std::uint32_t>(stats_.retries - before.retries);
   result.hedged_sends =
       static_cast<std::uint32_t>(stats_.hedged_sends - before.hedged_sends);
+  req_span.arg("items", static_cast<std::int64_t>(m));
+  req_span.arg("transactions",
+               static_cast<std::int64_t>(result.round1_transactions +
+                                         result.recover_transactions +
+                                         result.round2_transactions));
+  req_span.arg("retries", static_cast<std::int64_t>(result.retries));
   return result;
 }
 

@@ -1,0 +1,114 @@
+#include "obs/hdr_histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace rnb::obs {
+
+// Layout recap: let k = significant_bits.
+//   values v < 2^(k+1)           -> index v                      (exact)
+//   values with e = floor(log2 v) >= k+1
+//                                -> index (e - k + 1) * 2^k + sub
+//      where sub = (v >> (e - k)) - 2^k  in [0, 2^k)
+// Index ranges are contiguous: the exact region ends at 2^(k+1) - 1, and
+// e = k+1 starts exactly at index 2^(k+1).
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
+  const std::uint64_t exact_limit = std::uint64_t{1} << (bits_ + 1);
+  if (value < exact_limit) return static_cast<std::size_t>(value);
+  const unsigned e = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned shift = e - bits_;
+  const std::uint64_t sub =
+      (value >> shift) - (std::uint64_t{1} << bits_);
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(e - bits_ + 1) << bits_) + sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) const noexcept {
+  const std::uint64_t exact_limit = std::uint64_t{1} << (bits_ + 1);
+  if (index < exact_limit) return index;
+  const std::uint64_t j = index - exact_limit;
+  const unsigned block = static_cast<unsigned>(j >> bits_);  // e - (k+1)
+  const std::uint64_t sub = j & ((std::uint64_t{1} << bits_) - 1);
+  const unsigned e = bits_ + 1 + block;
+  const unsigned width_log2 = e - bits_;  // block + 1
+  return (std::uint64_t{1} << e) + (sub << width_log2);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) const noexcept {
+  const std::uint64_t exact_limit = std::uint64_t{1} << (bits_ + 1);
+  if (index < exact_limit) return index;
+  const std::uint64_t j = index - exact_limit;
+  const unsigned block = static_cast<unsigned>(j >> bits_);
+  const unsigned width_log2 = block + 1;
+  return bucket_lower(index) + (std::uint64_t{1} << width_log2) - 1;
+}
+
+void Histogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::size_t index = bucket_index(value);
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  counts_[index] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  count_ += count;
+  sum_ += value * count;
+}
+
+std::size_t Histogram::index_for_rank(std::uint64_t rank) const noexcept {
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return i;
+  }
+  return counts_.empty() ? 0 : counts_.size() - 1;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  RNB_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t upper =
+      bucket_upper(index_for_rank(rank == 0 ? 1 : rank));
+  // The bucket bound can overshoot what was actually recorded; the true
+  // maximum is known exactly, so clamp to it (this also makes quantile(1)
+  // exact).
+  return upper < max_ ? upper : max_;
+}
+
+std::uint64_t Histogram::quantile_lower_bound(double q) const {
+  RNB_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t lower =
+      bucket_lower(index_for_rank(rank == 0 ? 1 : rank));
+  return lower > min_ ? lower : min_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  RNB_REQUIRE(bits_ == other.bits_);
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size())
+    counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace rnb::obs

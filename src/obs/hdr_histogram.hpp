@@ -1,0 +1,105 @@
+// HDR-style log-bucketed histogram with exact quantile error bounds.
+//
+// The observability subsystem's core data structure: records non-negative
+// 64-bit integer values (latencies in nanoseconds, per-request transaction
+// counts, bundle sizes) into logarithmically spaced buckets whose relative
+// width is bounded by 2^-significant_bits. Unlike the sample-retaining
+// Percentiles accumulator it replaces, memory is O(buckets) regardless of
+// sample count, merging two histograms is exact (bucket-wise addition, so
+// merge is associative and commutative), and every quantile read comes with
+// a guaranteed error bound:
+//
+//     quantile_lower_bound(q)  <=  true q-quantile  <=  quantile(q)
+//     quantile(q) <= quantile_lower_bound(q) * (1 + 2^-significant_bits) + 1
+//
+// Bucket layout (the HdrHistogram scheme, re-derived for unit magnitude 0):
+// values below 2^(significant_bits+1) are their own bucket (exact); above
+// that, each power-of-two range [2^e, 2^(e+1)) is split into
+// 2^significant_bits equal sub-buckets of width 2^(e - significant_bits).
+// With the default 7 significant bits the worst-case relative error is
+// 2^-7 < 0.8% and the full 64-bit range needs 7,424 buckets (~58 KiB when
+// fully dense; storage grows on demand so small-valued histograms stay
+// small).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rnb::obs {
+
+class Histogram {
+ public:
+  /// `significant_bits` sets the precision/size trade-off: relative bucket
+  /// width is 2^-significant_bits, and values below 2^(significant_bits+1)
+  /// are recorded exactly. Histograms merge only with equal precision.
+  explicit Histogram(unsigned significant_bits = 7)
+      : bits_(significant_bits) {
+    RNB_REQUIRE(significant_bits >= 1 && significant_bits <= 14);
+  }
+
+  unsigned significant_bits() const noexcept { return bits_; }
+  /// Worst-case relative half-width of any bucket: 2^-significant_bits.
+  double relative_error() const noexcept {
+    return 1.0 / static_cast<double>(std::uint64_t{1} << bits_);
+  }
+
+  void record(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  /// Exact extrema and sum of recorded values (tracked outside the buckets,
+  /// so min()/max()/mean() carry no bucketing error).
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Upper bound for the q-quantile (q in [0, 1]): the highest value that
+  /// could be at rank ceil(q * count). quantile(0) == min(), quantile(1)
+  /// == max(), and reads are monotone in q. Returns 0 on an empty
+  /// histogram.
+  std::uint64_t quantile(double q) const;
+  /// Matching lower bound: the smallest value the same bucket could hold.
+  std::uint64_t quantile_lower_bound(double q) const;
+
+  /// Merge another histogram (bucket-wise addition; exact, associative).
+  /// Both histograms must share the same significant_bits.
+  void merge(const Histogram& other);
+
+  /// Bucket index for a value — exposed for boundary tests.
+  std::size_t bucket_index(std::uint64_t value) const noexcept;
+  /// Smallest / largest value mapping to bucket `index`.
+  std::uint64_t bucket_lower(std::size_t index) const noexcept;
+  std::uint64_t bucket_upper(std::size_t index) const noexcept;
+
+  struct Bucket {
+    std::uint64_t lower = 0;  // smallest value in the bucket
+    std::uint64_t upper = 0;  // largest value in the bucket
+    std::uint64_t count = 0;
+  };
+
+  /// Visit non-empty buckets in ascending value order.
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      if (counts_[i] != 0)
+        fn(Bucket{bucket_lower(i), bucket_upper(i), counts_[i]});
+  }
+
+ private:
+  std::size_t index_for_rank(std::uint64_t rank) const noexcept;
+
+  unsigned bits_;
+  std::vector<std::uint64_t> counts_;  // grown on demand
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rnb::obs

@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace rnb::obs {
+namespace {
+
+// Locale-independent, deterministic number formatting. %.17g round-trips
+// doubles; trailing "inf"/"nan" never appear (callers sanitize).
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN"));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void write_series_name(std::ostream& os, const std::string& name,
+                       const std::string& labels,
+                       const std::string& extra = "") {
+  os << name;
+  if (labels.empty() && extra.empty()) return;
+  os << '{' << labels;
+  if (!labels.empty() && !extra.empty()) os << ',';
+  os << extra << '}';
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 const std::string& help,
+                                                 Kind kind) {
+  for (Family& fam : families_) {
+    if (fam.name == name) {
+      RNB_REQUIRE(fam.kind == kind &&
+                  "metric family re-registered with a different type");
+      return fam;
+    }
+  }
+  families_.push_back(Family{name, help, kind, {}});
+  return families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series(Family& fam,
+                                                 const std::string& labels) {
+  for (Series& s : fam.series)
+    if (s.labels == labels) return s;
+  fam.series.emplace_back();
+  fam.series.back().labels = labels;
+  return fam.series.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  return series(family(name, help, Kind::kCounter), labels).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help,
+                              const std::string& labels) {
+  return series(family(name, help, Kind::kGauge), labels).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels,
+                                      unsigned significant_bits,
+                                      double scale) {
+  Series& s = series(family(name, help, Kind::kHistogram), labels);
+  if (s.histogram.empty() &&
+      s.histogram.significant_bits() != significant_bits)
+    s.histogram = Histogram(significant_bits);
+  s.scale = scale;
+  return s.histogram;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  for (const Family& fam : families_) {
+    os << "# HELP " << fam.name << ' ' << fam.help << '\n';
+    os << "# TYPE " << fam.name << ' '
+       << (fam.kind == Kind::kCounter
+               ? "counter"
+               : (fam.kind == Kind::kGauge ? "gauge" : "histogram"))
+       << '\n';
+    for (const Series& s : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          write_series_name(os, fam.name, s.labels);
+          os << ' ' << s.counter.value() << '\n';
+          break;
+        case Kind::kGauge: {
+          write_series_name(os, fam.name, s.labels);
+          os << ' ';
+          const double v = s.gauge.value();
+          write_double(os, std::isfinite(v) ? v : 0.0);
+          os << '\n';
+          break;
+        }
+        case Kind::kHistogram: {
+          // Cumulative buckets over the non-empty HDR buckets; `le` is each
+          // bucket's inclusive upper bound in exposed (scaled) units.
+          std::uint64_t cumulative = 0;
+          s.histogram.for_each_bucket([&](const Histogram::Bucket& b) {
+            cumulative += b.count;
+            os << fam.name << "_bucket{";
+            if (!s.labels.empty()) os << s.labels << ',';
+            os << "le=\"";
+            write_double(os, static_cast<double>(b.upper) / s.scale);
+            os << "\"} " << cumulative << '\n';
+          });
+          os << fam.name << "_bucket{";
+          if (!s.labels.empty()) os << s.labels << ',';
+          os << "le=\"+Inf\"} " << s.histogram.count() << '\n';
+          write_series_name(os, fam.name + "_sum", s.labels);
+          os << ' ';
+          write_double(os, static_cast<double>(s.histogram.sum()) / s.scale);
+          os << '\n';
+          write_series_name(os, fam.name + "_count", s.labels);
+          os << ' ' << s.histogram.count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rnb::obs

@@ -1,0 +1,110 @@
+// Metrics registry with Prometheus text exposition.
+//
+// A deliberately small surface: named counters (monotone uint64), gauges
+// (double), and HDR histograms (obs::Histogram, exposed as cumulative
+// Prometheus buckets). Families keep insertion order and series within a
+// family keep insertion order, so exposition output is deterministic —
+// the CI smoke job diffs it and the promtool-style regex validates every
+// line.
+//
+// Threading: counters are relaxed atomics (safe to bump from anywhere);
+// gauges are atomic doubles; histograms are single-writer (each simulator
+// or server owns its own and exposition happens after, or between,
+// requests). Handles returned by the registry are stable for the
+// registry's lifetime.
+//
+// Exposition format (text/plain version 0.0.4):
+//   # HELP name help text
+//   # TYPE name counter|gauge|histogram
+//   name{label="value"} 123
+//   name_bucket{le="0.001"} 4   (cumulative; +Inf, _sum, _count for
+//                                histograms, with an optional value scale
+//                                so nanosecond-recorded histograms expose
+//                                seconds)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/hdr_histogram.hpp"
+
+namespace rnb::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Get or create a counter series. `labels` is the raw label body
+  /// without braces, e.g. `server="3",round="1"`; empty means no labels.
+  /// The first registration of a family fixes its help text and type;
+  /// registering the same name with a different type is an error.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const std::string& labels = "");
+  /// Histogram series. `scale` divides recorded values on exposition
+  /// (record nanoseconds, expose seconds with scale = 1e9); quantile reads
+  /// on the returned histogram stay in recorded units.
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::string& labels = "",
+                       unsigned significant_bits = 7, double scale = 1.0);
+
+  /// Write every family in registration order.
+  void write_prometheus(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string labels;
+    // Exactly one is engaged, per the family's kind. deque-backed so
+    // handles stay stable as series are added.
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram{7};
+    double scale = 1.0;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::deque<Series> series;
+  };
+
+  Family& family(const std::string& name, const std::string& help,
+                 Kind kind);
+  Series& series(Family& fam, const std::string& labels);
+
+  std::deque<Family> families_;
+};
+
+}  // namespace rnb::obs

@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+namespace rnb::obs {
+
+Tracer* Tracer::current_ = nullptr;
+
+namespace {
+
+std::uint64_t steady_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// JSON string escaping for names/categories/annotations. Instrumentation
+// uses plain-ASCII literals, but a tracer must never emit invalid JSON no
+// matter what a caller passes.
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t cap = events_.size();
+  const std::uint64_t surviving = pushed_ < cap ? pushed_ : cap;
+  out.reserve(static_cast<std::size_t>(surviving));
+  // Oldest surviving event first.
+  const std::uint64_t start = pushed_ - surviving;
+  for (std::uint64_t i = start; i < pushed_; ++i)
+    out.push_back(events_[static_cast<std::size_t>(i % cap)]);
+  return out;
+}
+
+Tracer::Tracer(ClockMode mode, std::size_t ring_capacity)
+    : mode_(mode),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      id_(next_tracer_id()) {
+  if (mode_ == ClockMode::kWall) wall_epoch_ = steady_micros();
+}
+
+Tracer::~Tracer() {
+  if (current_ == this) current_ = nullptr;
+}
+
+std::uint64_t Tracer::now() noexcept {
+  if (mode_ == ClockMode::kWall) return steady_micros() - wall_epoch_;
+  // Virtual clock: strictly increasing, one microsecond tick per read, and
+  // re-based by set_virtual_time so events group into request time slots.
+  last_ts_ = std::max(virtual_base_, last_ts_ + 1);
+  return last_ts_;
+}
+
+TraceRing& Tracer::ring_for_current_thread() {
+  // Cache the (tracer id -> ring) binding per thread; the id check makes a
+  // stale cache entry from a destroyed tracer harmless.
+  thread_local std::uint64_t cached_tracer_id = 0;
+  thread_local TraceRing* cached_ring = nullptr;
+  if (cached_tracer_id != id_) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings_.push_back(std::make_unique<TraceRing>(
+        ring_capacity_, static_cast<std::uint32_t>(rings_.size() + 1)));
+    cached_ring = rings_.back().get();
+    cached_tracer_id = id_;
+  }
+  return *cached_ring;
+}
+
+void Tracer::record(TraceEvent event) {
+  event.seq = next_seq();
+  TraceRing& ring = ring_for_current_thread();
+  event.tid = ring.tid();
+  ring.push(event);
+}
+
+void Tracer::instant(const char* name, const char* cat,
+                     std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'i';
+  event.ts = now();
+  for (const TraceArg& a : args) event.add_arg(a.key, a.value);
+  record(event);
+}
+
+std::uint64_t Tracer::events_recorded() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->pushed();
+  return total;
+}
+
+std::uint64_t Tracer::events_dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void Tracer::export_chrome_json(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& ring : rings_) {
+      const std::vector<TraceEvent> part = ring->snapshot();
+      events.insert(events.end(), part.begin(), part.end());
+    }
+  }
+  // The global sequence is the deterministic total order (record order in
+  // a single-threaded run; a consistent interleaving otherwise).
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+
+  // All numbers are integers and all strings pass through one escaper, so
+  // identical event streams serialize to identical bytes.
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << (i == 0 ? "\n" : ",\n") << "{\"name\":";
+    write_json_string(os, e.name == nullptr ? "?" : e.name);
+    os << ",\"cat\":";
+    write_json_string(os, e.cat == nullptr ? "?" : e.cat);
+    os << ",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts;
+    if (e.phase == 'X') os << ",\"dur\":" << e.dur;
+    if (e.phase == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+    os << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.num_args != 0 || e.note_key != nullptr) {
+      os << ",\"args\":{";
+      bool first = true;
+      for (std::uint32_t a = 0; a < e.num_args; ++a) {
+        if (!first) os << ',';
+        first = false;
+        write_json_string(os, e.args[a].key == nullptr ? "?" : e.args[a].key);
+        os << ':' << e.args[a].value;
+      }
+      if (e.note_key != nullptr) {
+        if (!first) os << ',';
+        write_json_string(os, e.note_key);
+        os << ':';
+        write_json_string(os,
+                          e.note_value == nullptr ? "?" : e.note_value);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << (events.empty() ? "]" : "\n]") << ",\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace rnb::obs

@@ -1,0 +1,213 @@
+// Structured request tracing: spans, per-thread ring buffers, Chrome JSON.
+//
+// Design constraints, in order:
+//
+//   1. Zero overhead when disabled. Instrumentation sites construct a
+//      SpanScope; when no tracer is installed that is one static pointer
+//      load and a branch — no allocation, no clock read, no atomics.
+//   2. Deterministic in the simulation stack. Timestamps come from the
+//      tracer's clock, which in kVirtual mode is a counter advanced by the
+//      simulator (one tick per event, re-based per request), so two runs
+//      with the same seed produce byte-identical exports. kWall mode reads
+//      the steady clock for the real kv stack.
+//   3. Lock-free on the hot path. Each thread records into its own
+//      fixed-capacity ring buffer (single producer, wraparound overwrites
+//      the oldest events); the only cross-thread state is a relaxed
+//      sequence counter that provides a deterministic total order for
+//      export. Ring registration (first event of a thread) takes a mutex.
+//
+// Span taxonomy used by the instrumentation seams (docs/ARCHITECTURE.md):
+//   request > cover | wave{round1,recover,round2} > transaction > retry
+// with fault decisions (drops, crashes, restores, hedges) attached as
+// annotations or instant events.
+//
+// Event names, categories, and annotation strings MUST be string literals
+// (or otherwise outlive the tracer): events store the pointers, never
+// copies, to keep recording allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rnb::obs {
+
+struct TraceArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 4;
+
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char phase = 'X';        // 'X' complete span, 'i' instant
+  std::uint64_t ts = 0;    // microseconds (virtual or wall)
+  std::uint64_t dur = 0;   // phase 'X' only
+  std::uint32_t tid = 0;   // ring id, 1-based registration order
+  std::uint64_t seq = 0;   // global record order (export sort key)
+  std::uint32_t num_args = 0;
+  TraceArg args[kMaxArgs];
+  // One optional string-valued annotation ("fault": "drop", ...).
+  const char* note_key = nullptr;
+  const char* note_value = nullptr;
+
+  void add_arg(const char* key, std::int64_t value) noexcept {
+    if (num_args < kMaxArgs) args[num_args++] = {key, value};
+  }
+};
+
+/// Fixed-capacity single-producer event ring. The owning thread pushes;
+/// snapshots happen after the run (or from tests) when the producer is
+/// quiescent.
+class TraceRing {
+ public:
+  TraceRing(std::size_t capacity, std::uint32_t tid)
+      : events_(capacity), tid_(tid) {}
+
+  std::uint32_t tid() const noexcept { return tid_; }
+  std::size_t capacity() const noexcept { return events_.size(); }
+  /// Total events ever pushed (>= surviving events).
+  std::uint64_t pushed() const noexcept { return pushed_; }
+  /// Events overwritten by wraparound.
+  std::uint64_t dropped() const noexcept {
+    return pushed_ > events_.size() ? pushed_ - events_.size() : 0;
+  }
+
+  void push(const TraceEvent& event) noexcept {
+    events_[static_cast<std::size_t>(pushed_ % events_.size())] = event;
+    ++pushed_;
+  }
+
+  /// Surviving events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t pushed_ = 0;
+  std::uint32_t tid_;
+};
+
+class Tracer {
+ public:
+  enum class ClockMode {
+    kWall,     // steady-clock microseconds since tracer construction
+    kVirtual,  // deterministic: simulator-driven base + one tick per event
+  };
+
+  explicit Tracer(ClockMode mode, std::size_t ring_capacity = 1u << 16);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide installed tracer (nullptr when tracing is off). A
+  /// plain pointer read — this is the entire disabled-path cost.
+  static Tracer* current() noexcept { return current_; }
+  /// Install / remove the process-wide tracer. Not thread-safe against
+  /// concurrent recording: install before the run, remove after.
+  static void set_current(Tracer* tracer) noexcept { current_ = tracer; }
+
+  ClockMode mode() const noexcept { return mode_; }
+
+  /// Current timestamp in microseconds. Virtual mode: strictly increasing,
+  /// max(virtual base, last + 1) — deterministic and free of clock reads.
+  std::uint64_t now() noexcept;
+
+  /// Advance the virtual clock base (no-op in wall mode). The simulators
+  /// call this once per request with a per-request time slot, so span
+  /// timestamps group by request when a trace is viewed.
+  void set_virtual_time(std::uint64_t micros) noexcept {
+    if (mode_ == ClockMode::kVirtual && micros > virtual_base_)
+      virtual_base_ = micros;
+  }
+
+  /// Record an instant event ('i' phase).
+  void instant(const char* name, const char* cat,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Record a fully built event (SpanScope's close path).
+  void record(TraceEvent event);
+
+  /// Events recorded / lost to ring wraparound, across all threads.
+  std::uint64_t events_recorded() const;
+  std::uint64_t events_dropped() const;
+
+  /// Write all surviving events as Chrome trace_event JSON (the
+  /// "traceEvents" array form; loads in chrome://tracing and Perfetto).
+  /// Events are ordered by the global sequence counter, so single-threaded
+  /// runs export byte-identically for identical event streams.
+  void export_chrome_json(std::ostream& os) const;
+
+ private:
+  friend class SpanScope;
+
+  TraceRing& ring_for_current_thread();
+  std::uint64_t next_seq() noexcept {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static Tracer* current_;
+
+  ClockMode mode_;
+  std::size_t ring_capacity_;
+  std::uint64_t wall_epoch_ = 0;  // steady-clock micros at construction
+  // Virtual-clock state; only touched in kVirtual mode, whose contract is
+  // single-threaded recording (the deterministic sim stack).
+  std::uint64_t virtual_base_ = 0;
+  std::uint64_t last_ts_ = 0;
+  std::atomic<std::uint64_t> seq_{0};
+  std::uint64_t id_ = 0;  // process-unique, for thread-local cache checks
+
+  mutable std::mutex registry_mutex_;
+  std::deque<std::unique_ptr<TraceRing>> rings_;
+};
+
+/// RAII span: opens at construction, records one 'X' (complete) event at
+/// destruction covering the scope's duration. Inactive (all methods no-op)
+/// when no tracer is installed at construction time.
+class SpanScope {
+ public:
+  SpanScope(const char* name, const char* cat) : tracer_(Tracer::current()) {
+    if (tracer_ == nullptr) return;
+    event_.name = name;
+    event_.cat = cat;
+    event_.ts = tracer_->now();
+  }
+
+  ~SpanScope() {
+    if (tracer_ == nullptr) return;
+    const std::uint64_t end = tracer_->now();
+    event_.dur = end - event_.ts;
+    tracer_->record(event_);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool active() const noexcept { return tracer_ != nullptr; }
+
+  /// Attach an integer argument (first TraceEvent::kMaxArgs stick).
+  void arg(const char* key, std::int64_t value) noexcept {
+    if (tracer_ != nullptr) event_.add_arg(key, value);
+  }
+
+  /// Attach the span's one string annotation (static strings only).
+  void note(const char* key, const char* value) noexcept {
+    if (tracer_ != nullptr) {
+      event_.note_key = key;
+      event_.note_value = value;
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+};
+
+}  // namespace rnb::obs

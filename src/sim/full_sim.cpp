@@ -4,6 +4,7 @@
 
 #include "adaptive/controller.hpp"
 #include "faultsim/sim_fault_driver.hpp"
+#include "obs/trace.hpp"
 
 namespace rnb {
 
@@ -26,8 +27,12 @@ FullSimResult run_full_sim(RequestSource& source,
     client.set_fault_injector(&*faults);
   }
 
+  // One virtual-time slot (1ms) per request: spans of request i land at
+  // [i*1000, ...) microseconds, so traces group visibly by request.
+  obs::Tracer* const tracer = obs::Tracer::current();
   std::vector<ItemId> request;
   for (std::uint64_t i = 0; i < config.warmup_requests; ++i) {
+    if (tracer != nullptr) tracer->set_virtual_time(i * 1000);
     source.next(request);
     if (faults) faults->advance_to(i, cluster);
     client.execute(request, nullptr);
@@ -35,6 +40,8 @@ FullSimResult run_full_sim(RequestSource& source,
 
   FullSimResult result;
   for (std::uint64_t i = 0; i < config.measure_requests; ++i) {
+    if (tracer != nullptr)
+      tracer->set_virtual_time((config.warmup_requests + i) * 1000);
     source.next(request);
     if (faults) faults->advance_to(config.warmup_requests + i, cluster);
     client.execute(request, &result.metrics);

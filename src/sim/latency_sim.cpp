@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "faultsim/sim_fault_driver.hpp"
+#include "obs/trace.hpp"
 
 namespace rnb {
 
@@ -43,9 +44,13 @@ LatencySimResult run_latency_sim(RequestSource& source,
   std::uint64_t measured = 0;
   std::vector<ItemId> request;
 
+  obs::Tracer* const tracer = obs::Tracer::current();
   for (std::uint64_t r = 0; r < config.requests; ++r) {
     // Poisson arrivals: exponential inter-arrival gaps.
     now += -std::log1p(-rng.uniform01()) / config.arrival_rate;
+    // Virtual trace time follows the simulated arrival clock (micros).
+    if (tracer != nullptr)
+      tracer->set_virtual_time(static_cast<std::uint64_t>(now * 1e6));
     if (faults) faults->advance_to(r, cluster);
     source.next(request);
     const RequestPlan plan = client.plan(request);
@@ -93,7 +98,8 @@ LatencySimResult run_latency_sim(RequestSource& source,
     if (r >= warmup) {
       const double latency = (done - now) + config.network_rtt;
       result.latency.add(latency);
-      result.percentiles.add(latency);
+      result.latency_ns.record(
+          static_cast<std::uint64_t>(std::max(latency, 0.0) * 1e9));
       measured_tpr += static_cast<double>(plan.servers.size());
       ++measured;
     }

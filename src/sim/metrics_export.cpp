@@ -1,0 +1,123 @@
+#include "sim/metrics_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace rnb {
+namespace {
+
+std::string cell_label(std::size_t index) {
+  return "cell=\"" + std::to_string(index) + "\"";
+}
+
+}  // namespace
+
+void fill_registry(obs::MetricsRegistry& registry,
+                   const MetricsAccumulator& metrics,
+                   const std::string& labels) {
+  registry
+      .counter("rnb_sim_requests_total", "Requests measured in the run",
+               labels)
+      .inc(metrics.requests());
+  registry
+      .gauge("rnb_sim_tpr", "Mean transactions per request (paper headline)",
+             labels)
+      .set(metrics.tpr());
+  registry
+      .gauge("rnb_sim_replica_misses_mean",
+             "Mean assigned-replica misses per request", labels)
+      .set(metrics.mean_misses());
+  registry
+      .gauge("rnb_sim_availability",
+             "Fraction of requested items served by the cache tier", labels)
+      .set(metrics.availability());
+  registry
+      .gauge("rnb_sim_deadline_miss_rate",
+             "Fraction of requests that blew the wave budget", labels)
+      .set(metrics.deadline_miss_rate());
+  registry
+      .gauge("rnb_sim_retries_mean", "Mean retried sends per request", labels)
+      .set(metrics.mean_retries());
+  registry
+      .histogram("rnb_sim_tpr_distribution",
+                 "Per-request transaction counts (HDR buckets)", labels)
+      .merge(metrics.tpr_histogram());
+  registry
+      .histogram("rnb_sim_replica_misses",
+                 "Per-request replica-miss counts (HDR buckets)", labels)
+      .merge(metrics.miss_histogram());
+  obs::Histogram& txn_keys = registry.histogram(
+      "rnb_sim_transaction_keys",
+      "Keys per transaction (assigned + hitchhikers)", labels);
+  metrics.transaction_sizes().for_each(
+      [&txn_keys](std::uint64_t keys, std::uint64_t count) {
+        txn_keys.record(keys, count);
+      });
+}
+
+void fill_registry(obs::MetricsRegistry& registry, const FullSimResult& result,
+                   const std::string& labels) {
+  fill_registry(registry, result.metrics, labels);
+  registry.gauge("rnb_sim_servers", "Servers in the simulated fleet", labels)
+      .set(static_cast<double>(result.num_servers));
+  registry.gauge("rnb_sim_items", "Distinct items in the universe", labels)
+      .set(static_cast<double>(result.num_items));
+  registry
+      .gauge("rnb_sim_resident_copies",
+             "Copies resident across the fleet after the run", labels)
+      .set(static_cast<double>(result.resident_copies));
+  std::uint64_t busiest = 0;
+  for (const std::uint64_t t : result.per_server_transactions)
+    busiest = std::max(busiest, t);
+  registry
+      .gauge("rnb_sim_busiest_server_transactions",
+             "Transactions seen by the most-loaded server", labels)
+      .set(static_cast<double>(busiest));
+}
+
+void fill_registry(obs::MetricsRegistry& registry,
+                   const LatencySimResult& result, const std::string& labels) {
+  registry
+      .counter("rnb_latency_requests_total", "Requests measured in the run",
+               labels)
+      .inc(result.latency_ns.count());
+  // Recorded in nanoseconds; scale = 1e9 exposes seconds, the Prometheus
+  // base unit for time.
+  registry
+      .histogram("rnb_latency_seconds", "Per-request latency", labels,
+                 /*significant_bits=*/7, /*scale=*/1e9)
+      .merge(result.latency_ns);
+  registry
+      .gauge("rnb_latency_mean_utilization", "Mean server busy fraction",
+             labels)
+      .set(result.mean_utilization);
+  registry
+      .gauge("rnb_latency_max_utilization", "Busiest server's busy fraction",
+             labels)
+      .set(result.max_utilization);
+  registry
+      .gauge("rnb_latency_tpr", "Mean transactions per request", labels)
+      .set(result.tpr);
+}
+
+void fill_registry(obs::MetricsRegistry& registry,
+                   std::span<const FullSimResult> results) {
+  for (std::size_t i = 0; i < results.size(); ++i)
+    fill_registry(registry, results[i], cell_label(i));
+}
+
+void write_prometheus(std::ostream& os, const FullSimResult& result) {
+  obs::MetricsRegistry registry;
+  fill_registry(registry, result);
+  registry.write_prometheus(os);
+}
+
+void write_prometheus(std::ostream& os, const LatencySimResult& result) {
+  obs::MetricsRegistry registry;
+  fill_registry(registry, result);
+  registry.write_prometheus(os);
+}
+
+}  // namespace rnb

@@ -1,0 +1,47 @@
+// Prometheus exposition for simulator results.
+//
+// The obs layer deliberately knows nothing about simulators (it sits just
+// above common/); this adapter lives in sim/ and maps MetricsAccumulator /
+// FullSimResult / LatencySimResult onto an obs::MetricsRegistry. Drivers
+// (rnbsim --metrics=FILE, sweep tools) call fill_registry with a label body
+// per run — e.g. `cell="3"` — so one exposition file can carry a whole
+// grid, then write_prometheus once.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "cluster/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "sim/full_sim.hpp"
+#include "sim/latency_sim.hpp"
+
+namespace rnb {
+
+/// One series per headline metric of the accumulator, all under `labels`
+/// (raw label body without braces; empty = unlabelled).
+void fill_registry(obs::MetricsRegistry& registry,
+                   const MetricsAccumulator& metrics,
+                   const std::string& labels = "");
+
+/// Accumulator series plus the cluster-shape gauges a full-sim run carries
+/// (servers, items, resident copies, per-server transaction imbalance).
+void fill_registry(obs::MetricsRegistry& registry, const FullSimResult& result,
+                   const std::string& labels = "");
+
+/// Latency-sim series: the nanosecond latency histogram (exposed in
+/// seconds), utilization gauges, and the TPR cross-check.
+void fill_registry(obs::MetricsRegistry& registry,
+                   const LatencySimResult& result,
+                   const std::string& labels = "");
+
+/// Sweep results as one registry, labelled cell="0", cell="1", ...
+void fill_registry(obs::MetricsRegistry& registry,
+                   std::span<const FullSimResult> results);
+
+/// Convenience: fill a fresh registry from one result and write it.
+void write_prometheus(std::ostream& os, const FullSimResult& result);
+void write_prometheus(std::ostream& os, const LatencySimResult& result);
+
+}  // namespace rnb

@@ -135,6 +135,59 @@ TEST(MetricsAccumulator, MergeMatchesSequentialAccumulation) {
             sequential.transaction_sizes().items());
 }
 
+TEST(MetricsAccumulator, MergeIsAssociative) {
+  // The parallel sweep reduces per-shard accumulators in whatever order the
+  // worker threads finish; the result must not depend on that order.
+  auto fill = [](MetricsAccumulator& m, std::uint32_t salt) {
+    for (std::uint32_t i = 1; i <= 8; ++i) {
+      RequestOutcome o = outcome(i + salt, (i + salt) % 2, (i + salt) % 5);
+      o.hitchhiker_keys = salt;
+      m.add(o);
+      m.record_transaction_size(i + salt);
+    }
+  };
+  MetricsAccumulator a, b, c;
+  fill(a, 0);
+  fill(b, 10);
+  fill(c, 100);
+
+  MetricsAccumulator left_first = a;  // (a + b) + c
+  {
+    MetricsAccumulator ab = a;
+    ab.merge(b);
+    left_first = ab;
+    left_first.merge(c);
+  }
+  MetricsAccumulator right_first = a;  // a + (b + c)
+  {
+    MetricsAccumulator bc = b;
+    bc.merge(c);
+    right_first = a;
+    right_first.merge(bc);
+  }
+
+  EXPECT_EQ(left_first.requests(), right_first.requests());
+  EXPECT_DOUBLE_EQ(left_first.tpr(), right_first.tpr());
+  EXPECT_DOUBLE_EQ(left_first.mean_misses(), right_first.mean_misses());
+  EXPECT_DOUBLE_EQ(left_first.mean_hitchhiker_keys(),
+                   right_first.mean_hitchhiker_keys());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(left_first.tpr_quantile(q), right_first.tpr_quantile(q))
+        << q;
+    EXPECT_DOUBLE_EQ(left_first.miss_quantile(q),
+                     right_first.miss_quantile(q))
+        << q;
+  }
+  EXPECT_EQ(left_first.tpr_histogram().count(),
+            right_first.tpr_histogram().count());
+  EXPECT_EQ(left_first.miss_histogram().sum(),
+            right_first.miss_histogram().sum());
+  EXPECT_EQ(left_first.transaction_sizes().items(),
+            right_first.transaction_sizes().items());
+  EXPECT_NEAR(left_first.tpr_stat().stddev(), right_first.tpr_stat().stddev(),
+              1e-12);
+}
+
 TEST(MetricsAccumulator, EmptyIsZero) {
   const MetricsAccumulator m;
   EXPECT_EQ(m.requests(), 0u);

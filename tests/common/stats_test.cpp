@@ -64,21 +64,5 @@ TEST(RunningStat, MergeWithEmpty) {
   EXPECT_EQ(b.count(), 2u);
 }
 
-TEST(Percentiles, MedianAndTails) {
-  Percentiles p;
-  for (int i = 1; i <= 101; ++i) p.add(static_cast<double>(i));
-  EXPECT_DOUBLE_EQ(p.quantile(0.5), 51.0);
-  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
-  EXPECT_DOUBLE_EQ(p.quantile(1.0), 101.0);
-  EXPECT_DOUBLE_EQ(p.quantile(0.9), 91.0);
-}
-
-TEST(Percentiles, InterpolatesBetweenRanks) {
-  Percentiles p;
-  p.add(0.0);
-  p.add(10.0);
-  EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
-}
-
 }  // namespace
 }  // namespace rnb

@@ -3,7 +3,11 @@
 // EXPERIMENTS.md's numbers are only meaningful if reruns reproduce them.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "sim/full_sim.hpp"
 #include "sim/monte_carlo.hpp"
 #include "workload/social_workload.hpp"
@@ -135,6 +139,69 @@ TEST(Determinism, FaultInjectedRunDiffersFromCleanRun) {
   EXPECT_GT(faulted.metrics.mean_dropped_sends(), 0.0);
   EXPECT_LT(faulted.metrics.availability(), 1.0);
   EXPECT_EQ(clean.metrics.availability(), 1.0);
+}
+
+TEST(Determinism, TracedFullSimExportsByteIdenticalChromeJson) {
+  // The observability layer must not weaken the determinism guarantee:
+  // with a virtual-clock tracer installed, two same-seed runs produce
+  // byte-identical Chrome trace exports — the property the CI smoke step
+  // and `rnbsim --trace` rely on.
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 2000, .edges = 10000, .max_degree = 200, .seed = 3});
+  FullSimConfig cfg;
+  cfg.cluster.num_servers = 8;
+  cfg.cluster.logical_replicas = 2;
+  cfg.warmup_requests = 50;
+  cfg.measure_requests = 100;
+  cfg.policy.max_attempts = 3;
+  cfg.faults.all.drop = 0.05;  // faults show up as trace annotations too
+  cfg.faults.seed = 21;
+
+  auto traced_run = [&] {
+    obs::Tracer tracer(obs::Tracer::ClockMode::kVirtual);
+    obs::Tracer::set_current(&tracer);
+    SocialWorkload source(g, 7);
+    run_full_sim(source, cfg);
+    obs::Tracer::set_current(nullptr);
+    EXPECT_GT(tracer.events_recorded(), 0u);
+    std::ostringstream json;
+    tracer.export_chrome_json(json);
+    return json.str();
+  };
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  EXPECT_EQ(first, second);
+  // Spot-check the taxonomy made it into the export.
+  EXPECT_NE(first.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(first.find("\"name\":\"wave\""), std::string::npos);
+  EXPECT_NE(first.find("\"name\":\"transaction\""), std::string::npos);
+}
+
+TEST(Determinism, TracedRunMatchesUntracedMetrics) {
+  // Observer effect check: installing a tracer must not change a single
+  // simulation outcome (spans only read state, never draw randomness).
+  const DirectedGraph g = make_power_law_graph(
+      {.nodes = 2000, .edges = 10000, .max_degree = 200, .seed = 3});
+  FullSimConfig cfg;
+  cfg.cluster.num_servers = 8;
+  cfg.cluster.logical_replicas = 2;
+  cfg.measure_requests = 200;
+  cfg.faults.all.drop = 0.05;
+  cfg.policy.max_attempts = 3;
+
+  SocialWorkload s1(g, 7);
+  const FullSimResult untraced = run_full_sim(s1, cfg);
+
+  obs::Tracer tracer(obs::Tracer::ClockMode::kVirtual);
+  obs::Tracer::set_current(&tracer);
+  SocialWorkload s2(g, 7);
+  const FullSimResult traced = run_full_sim(s2, cfg);
+  obs::Tracer::set_current(nullptr);
+
+  EXPECT_DOUBLE_EQ(traced.metrics.tpr(), untraced.metrics.tpr());
+  EXPECT_DOUBLE_EQ(traced.metrics.mean_retries(),
+                   untraced.metrics.mean_retries());
+  EXPECT_EQ(traced.resident_copies, untraced.resident_copies);
 }
 
 TEST(Determinism, DifferentSeedsDifferentButClose) {

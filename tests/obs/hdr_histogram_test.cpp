@@ -1,0 +1,241 @@
+#include "obs/hdr_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rnb::obs {
+namespace {
+
+TEST(HdrHistogram, EmptyIsZero) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HdrHistogram, SmallValuesAreExact) {
+  // Every value below 2^(bits+1) is its own bucket: quantiles over small
+  // integers (per-request transaction counts) carry no bucketing error.
+  Histogram h(7);
+  const std::uint64_t exact_limit = 1u << 8;  // 2^(7+1)
+  for (std::uint64_t v = 0; v < exact_limit; ++v) {
+    EXPECT_EQ(h.bucket_lower(h.bucket_index(v)), v) << v;
+    EXPECT_EQ(h.bucket_upper(h.bucket_index(v)), v) << v;
+  }
+  h.record(3);
+  h.record(5);
+  h.record(7);
+  EXPECT_EQ(h.quantile(0.0), 3u);
+  EXPECT_EQ(h.quantile(0.5), 5u);
+  EXPECT_EQ(h.quantile(1.0), 7u);
+  EXPECT_EQ(h.quantile_lower_bound(0.5), 5u);
+}
+
+TEST(HdrHistogram, BucketBoundariesRoundTrip) {
+  // For any value v: lower(index(v)) <= v <= upper(index(v)), and the
+  // bucket's width obeys the advertised relative-error bound.
+  Histogram h(7);
+  Xoshiro256 rng(42);
+  std::vector<std::uint64_t> probes = {0,    1,   255,  256,  257,
+                                       511,  512, 1023, 1024, 1u << 20,
+                                       (1u << 20) + 1};
+  for (int i = 0; i < 2000; ++i)
+    probes.push_back(rng() >> (i % 50));  // cover many magnitudes
+  probes.push_back(~std::uint64_t{0});
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = h.bucket_index(v);
+    const std::uint64_t lo = h.bucket_lower(index);
+    const std::uint64_t hi = h.bucket_upper(index);
+    ASSERT_LE(lo, v) << v;
+    ASSERT_GE(hi, v) << v;
+    // Width bound: (hi - lo) <= lo * 2^-bits (+1 for integer truncation).
+    const double width = static_cast<double>(hi - lo);
+    const double bound =
+        static_cast<double>(lo) * h.relative_error() + 1.0;
+    ASSERT_LE(width, bound) << v;
+    // Indexing is consistent across the whole bucket.
+    ASSERT_EQ(h.bucket_index(lo), index) << v;
+    ASSERT_EQ(h.bucket_index(hi), index) << v;
+  }
+}
+
+TEST(HdrHistogram, BucketIndexIsMonotone) {
+  Histogram h(5);
+  std::size_t prev = 0;
+  // Walk bucket lower bounds upward over the entire representable range;
+  // indexes must round-trip and be strictly increasing.
+  const std::size_t last = h.bucket_index(~std::uint64_t{0});
+  for (std::size_t i = 1; i <= last; ++i) {
+    const std::uint64_t lo = h.bucket_lower(i);
+    const std::size_t index = h.bucket_index(lo);
+    ASSERT_EQ(index, i);
+    ASSERT_GT(index, prev);
+    prev = index;
+  }
+}
+
+TEST(HdrHistogram, QuantileBoundsAgainstSortedSamples) {
+  // Property: for random heavy-tailed data, the histogram's quantile upper
+  // bound is >= the true sample quantile, the lower bound is <= it, and
+  // the relative gap stays within 2^-bits (+1 for integer truncation).
+  Histogram h(7);
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Exponentiated uniform -> values spanning ~6 decades.
+    const double mag = rng.uniform01() * 20.0;
+    const auto v = static_cast<std::uint64_t>(std::pow(2.0, mag));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    // The histogram's rank convention: ceil(q * count), 1-based.
+    const auto rank = static_cast<std::uint64_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(
+                                                samples.size()))));
+    const std::uint64_t truth = samples[rank - 1];
+    const std::uint64_t upper = h.quantile(q);
+    const std::uint64_t lower = h.quantile_lower_bound(q);
+    ASSERT_GE(upper, truth) << q;
+    ASSERT_LE(lower, truth) << q;
+    ASSERT_LE(static_cast<double>(upper),
+              static_cast<double>(lower) * (1.0 + h.relative_error()) + 1.0)
+        << q;
+  }
+  EXPECT_EQ(h.quantile(0.0), samples.front());
+  EXPECT_EQ(h.quantile(1.0), samples.back());
+}
+
+TEST(HdrHistogram, QuantileIsMonotoneInQ) {
+  Histogram h;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) h.record(rng() % 1000000);
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t v = h.quantile(q);
+    ASSERT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HdrHistogram, RecordWithCountMatchesRepeatedRecord) {
+  Histogram bulk, repeat;
+  bulk.record(123, 500);
+  for (int i = 0; i < 500; ++i) repeat.record(123);
+  EXPECT_EQ(bulk.count(), repeat.count());
+  EXPECT_EQ(bulk.sum(), repeat.sum());
+  EXPECT_EQ(bulk.quantile(0.5), repeat.quantile(0.5));
+}
+
+TEST(HdrHistogram, MergeMatchesSequential) {
+  Xoshiro256 rng(99);
+  Histogram whole, left, right;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = rng() % (1u << 30);
+    whole.record(v);
+    (i % 2 == 0 ? left : right).record(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.sum(), whole.sum());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(left.quantile(q), whole.quantile(q)) << q;
+}
+
+TEST(HdrHistogram, MergeIsAssociativeAndCommutative) {
+  Xoshiro256 rng(1234);
+  Histogram a, b, c;
+  for (int i = 0; i < 1000; ++i) {
+    a.record(rng() % 100000);
+    b.record(rng() % 1000);
+    c.record(rng());
+  }
+  // (a + b) + c
+  Histogram ab = a;
+  ab.merge(b);
+  Histogram ab_c = ab;
+  ab_c.merge(c);
+  // a + (b + c)
+  Histogram bc = b;
+  bc.merge(c);
+  Histogram a_bc = a;
+  a_bc.merge(bc);
+  // c + (b + a)
+  Histogram ba = b;
+  ba.merge(a);
+  Histogram c_ba = c;
+  c_ba.merge(ba);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    ASSERT_EQ(ab_c.quantile(q), a_bc.quantile(q)) << q;
+    ASSERT_EQ(ab_c.quantile(q), c_ba.quantile(q)) << q;
+  }
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_EQ(ab_c.sum(), c_ba.sum());
+}
+
+TEST(HdrHistogram, MergeWithEmpty) {
+  Histogram a, empty;
+  a.record(7);
+  a.record(9);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.quantile(1.0), 9u);
+  Histogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 7u);
+}
+
+TEST(HdrHistogram, ExtremeValues) {
+  Histogram h;
+  h.record(0);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  // quantile clamps its bucket upper bound to the exact observed max.
+  EXPECT_EQ(h.quantile(1.0), ~std::uint64_t{0});
+}
+
+TEST(HdrHistogram, ForEachBucketVisitsAscendingAndSumsToCount) {
+  Histogram h;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 3000; ++i) h.record(rng() % (1u << 22));
+  std::uint64_t total = 0;
+  std::uint64_t prev_upper = 0;
+  bool first = true;
+  h.for_each_bucket([&](const Histogram::Bucket& b) {
+    EXPECT_LE(b.lower, b.upper);
+    if (!first) {
+      EXPECT_GT(b.lower, prev_upper);
+    }
+    first = false;
+    prev_upper = b.upper;
+    total += b.count;
+  });
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(HdrHistogramDeathTest, MergeRequiresSamePrecision) {
+  // Mixing precisions would silently mis-bin counts, so merge enforces the
+  // contract hard (RNB_REQUIRE aborts) instead of degrading accuracy.
+  Histogram a(7), b(8);
+  b.record(1);
+  EXPECT_DEATH(a.merge(b), "precondition");
+}
+
+}  // namespace
+}  // namespace rnb::obs

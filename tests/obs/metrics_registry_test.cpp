@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rnb::obs {
+namespace {
+
+std::string exposition(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(MetricsRegistry, CounterAndGaugeExposition) {
+  MetricsRegistry registry;
+  registry.counter("rnb_requests_total", "Requests issued.").inc(3);
+  registry.gauge("rnb_tpr", "Transactions per request.").set(1.5);
+  EXPECT_EQ(exposition(registry),
+            "# HELP rnb_requests_total Requests issued.\n"
+            "# TYPE rnb_requests_total counter\n"
+            "rnb_requests_total 3\n"
+            "# HELP rnb_tpr Transactions per request.\n"
+            "# TYPE rnb_tpr gauge\n"
+            "rnb_tpr 1.5\n");
+}
+
+TEST(MetricsRegistry, HelpAndTypeOncePerFamilyAcrossLabeledSeries) {
+  MetricsRegistry registry;
+  registry.counter("rnb_cell_requests_total", "Per-cell requests.",
+                   "cell=\"0\"")
+      .inc(7);
+  registry.counter("rnb_cell_requests_total", "Per-cell requests.",
+                   "cell=\"1\"")
+      .inc(9);
+  const std::string text = exposition(registry);
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 4u) << text;
+  EXPECT_EQ(lines[0], "# HELP rnb_cell_requests_total Per-cell requests.");
+  EXPECT_EQ(lines[1], "# TYPE rnb_cell_requests_total counter");
+  EXPECT_EQ(lines[2], "rnb_cell_requests_total{cell=\"0\"} 7");
+  EXPECT_EQ(lines[3], "rnb_cell_requests_total{cell=\"1\"} 9");
+}
+
+TEST(MetricsRegistry, ReRegistrationReturnsSameSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("rnb_total", "Things.");
+  Counter& b = registry.counter("rnb_total", "Things.");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2u);
+  Histogram& h1 = registry.histogram("rnb_hist", "Values.");
+  h1.record(5);
+  Histogram& h2 = registry.histogram("rnb_hist", "Values.");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.count(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulativeAndEndAtCount) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rnb_latency", "Latencies.");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v * 7);
+  const std::string text = exposition(registry);
+  const std::regex bucket_re(
+      "^rnb_latency_bucket\\{le=\"([^\"]+)\"\\} ([0-9]+)$");
+  std::uint64_t prev = 0;
+  std::uint64_t last_finite = 0;
+  std::uint64_t inf_value = 0;
+  bool saw_inf = false;
+  for (const std::string& line : lines_of(text)) {
+    std::smatch m;
+    if (!std::regex_match(line, m, bucket_re)) continue;
+    const std::uint64_t cumulative = std::stoull(m[2].str());
+    ASSERT_GE(cumulative, prev) << line;  // cumulative, never decreasing
+    prev = cumulative;
+    if (m[1].str() == "+Inf") {
+      saw_inf = true;
+      inf_value = cumulative;
+    } else {
+      last_finite = cumulative;
+    }
+  }
+  ASSERT_TRUE(saw_inf) << text;
+  EXPECT_EQ(inf_value, h.count());
+  EXPECT_EQ(last_finite, h.count());  // all samples fall in finite buckets
+  EXPECT_NE(text.find("rnb_latency_count 1000"), std::string::npos);
+  EXPECT_NE(text.find("rnb_latency_sum " + std::to_string(h.sum())),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, HistogramScaleExposesSeconds) {
+  // Record nanoseconds, expose seconds: le bounds and _sum are divided by
+  // the scale while quantile reads on the handle stay in recorded units.
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("rnb_latency_seconds", "Latency.", "", 7, 1e9);
+  h.record(1'000'000'000);  // exactly one second
+  EXPECT_EQ(h.quantile(0.5), 1'000'000'000u);
+  const std::string text = exposition(registry);
+  EXPECT_NE(text.find("rnb_latency_seconds_sum 1\n"), std::string::npos)
+      << text;
+  const std::regex bucket_re(
+      "^rnb_latency_seconds_bucket\\{le=\"([0-9.e+-]+)\"\\} 1$");
+  bool found_scaled_bucket = false;
+  for (const std::string& line : lines_of(text)) {
+    std::smatch m;
+    if (!std::regex_match(line, m, bucket_re)) continue;
+    const double le = std::stod(m[1].str());
+    EXPECT_GT(le, 0.99);
+    EXPECT_LT(le, 1.01);
+    found_scaled_bucket = true;
+  }
+  EXPECT_TRUE(found_scaled_bucket) << text;
+}
+
+TEST(MetricsRegistry, LabeledHistogramCarriesLabelsOnEveryLine) {
+  MetricsRegistry registry;
+  registry.histogram("rnb_cell_latency", "Per-cell latency.", "cell=\"3\"")
+      .record(42);
+  const std::string text = exposition(registry);
+  EXPECT_NE(text.find("rnb_cell_latency_bucket{cell=\"3\",le=\"42\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rnb_cell_latency_bucket{cell=\"3\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnb_cell_latency_sum{cell=\"3\"} 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnb_cell_latency_count{cell=\"3\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, EveryLinePassesPromtoolStyleValidation) {
+  // The same shape of check the CI smoke step applies to rnbsim's
+  // --metrics output: each line is a HELP/TYPE comment or a sample.
+  MetricsRegistry registry;
+  registry.counter("rnb_a_total", "A.").inc(1);
+  registry.gauge("rnb_b", "B.").set(-2.75);
+  registry.gauge("rnb_c", "C.", "cell=\"0\"").set(1e-9);
+  Histogram& h = registry.histogram("rnb_d_seconds", "D.", "", 7, 1e9);
+  h.record(123456);
+  h.record(98765432);
+  const std::regex comment_re("^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$");
+  const std::regex sample_re(
+      "^[a-zA-Z_:][a-zA-Z0-9_:]*(\\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+      "(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\\})? "
+      "(-?[0-9][0-9.e+-]*|[+]Inf|NaN)$");
+  for (const std::string& line : lines_of(exposition(registry))) {
+    EXPECT_TRUE(std::regex_match(line, comment_re) ||
+                std::regex_match(line, sample_re))
+        << "invalid exposition line: " << line;
+  }
+}
+
+TEST(MetricsRegistry, OutputIsDeterministic) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.counter("rnb_x_total", "X.").inc(5);
+    registry.gauge("rnb_y", "Y.").set(0.125);
+    Histogram& h = registry.histogram("rnb_z", "Z.");
+    for (std::uint64_t v = 1; v < 100; ++v) h.record(v * v);
+    return exposition(registry);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MetricsRegistryDeathTest, TypeMismatchIsAContractViolation) {
+  MetricsRegistry registry;
+  registry.counter("rnb_dual", "First registration.");
+  EXPECT_DEATH(registry.gauge("rnb_dual", "Second, wrong type."),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace rnb::obs

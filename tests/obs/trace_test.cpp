@@ -1,0 +1,247 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <regex>
+#include <sstream>
+#include <string>
+
+namespace rnb::obs {
+namespace {
+
+std::string export_json(const Tracer& tracer) {
+  std::ostringstream out;
+  tracer.export_chrome_json(out);
+  return out.str();
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+/// Minimal structural JSON check: strings/escapes honored, braces and
+/// brackets balanced, no trailing commas. Close enough to a parse for a
+/// format we also load with a real JSON parser in the CI smoke step.
+bool json_is_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  char prev_significant = '\0';
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (depth == 0) return false;
+        if (prev_significant == ',') return false;  // trailing comma
+        --depth;
+        break;
+      default: break;
+    }
+    if (c != ' ' && c != '\n' && c != '\t') prev_significant = c;
+  }
+  return depth == 0 && !in_string;
+}
+
+// Installs a tracer for the scope of a test and guarantees removal even on
+// early assertion failure, so tests can't leak a tracer into one another.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer& tracer) { Tracer::set_current(&tracer); }
+  ~ScopedTracer() { Tracer::set_current(nullptr); }
+};
+
+TEST(Trace, DisabledTracerSpansAreInert) {
+  Tracer::set_current(nullptr);
+  SpanScope span("request", "client");
+  EXPECT_FALSE(span.active());
+  // All methods must be safe no-ops without an installed tracer.
+  span.arg("items", 5);
+  span.note("fault", "drop");
+}
+
+TEST(Trace, EmptyTracerExportsValidSkeleton) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  EXPECT_EQ(export_json(tracer),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+  EXPECT_EQ(tracer.events_recorded(), 0u);
+  EXPECT_EQ(tracer.events_dropped(), 0u);
+}
+
+TEST(Trace, SpanRecordsCompleteEventWithArgsAndNote) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  {
+    ScopedTracer install(tracer);
+    SpanScope span("request", "client");
+    EXPECT_TRUE(span.active());
+    span.arg("items", 5);
+    span.arg("retries", 0);
+    span.note("fault", "drop");
+  }
+  EXPECT_EQ(tracer.events_recorded(), 1u);
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"client\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"fault\":\"drop\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+}
+
+TEST(Trace, ArgsBeyondCapacityAreDropped) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  {
+    ScopedTracer install(tracer);
+    SpanScope span("request", "client");
+    span.arg("a0", 0);
+    span.arg("a1", 1);
+    span.arg("a2", 2);
+    span.arg("a3", 3);
+    span.arg("a4", 4);  // beyond TraceEvent::kMaxArgs, silently ignored
+  }
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"a3\":3"), std::string::npos);
+  EXPECT_EQ(json.find("\"a4\""), std::string::npos) << json;
+}
+
+TEST(Trace, VirtualClockIsStrictlyMonotone) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  const std::uint64_t t1 = tracer.now();
+  const std::uint64_t t2 = tracer.now();
+  EXPECT_GT(t2, t1);
+  tracer.set_virtual_time(1000);
+  const std::uint64_t t3 = tracer.now();
+  EXPECT_EQ(t3, 1000u);
+  // Re-basing backwards is a no-op: the clock never goes back.
+  tracer.set_virtual_time(500);
+  const std::uint64_t t4 = tracer.now();
+  EXPECT_GT(t4, t3);
+}
+
+TEST(Trace, NestedSpansAreContainedInVirtualTime) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  {
+    ScopedTracer install(tracer);
+    SpanScope outer("request", "client");
+    {
+      SpanScope inner("transaction", "client");
+    }
+  }
+  const std::string json = export_json(tracer);
+  // Events carry no args here, so ts/dur sit in a flat object per event.
+  const std::regex event_re(
+      "\\{\"name\":\"(request|transaction)\"[^{}]*\"ts\":([0-9]+),"
+      "\"dur\":([0-9]+)");
+  std::uint64_t outer_ts = 0, outer_end = 0, inner_ts = 0, inner_end = 0;
+  for (std::sregex_iterator it(json.begin(), json.end(), event_re), end;
+       it != end; ++it) {
+    const std::uint64_t ts = std::stoull((*it)[2].str());
+    const std::uint64_t span_end = ts + std::stoull((*it)[3].str());
+    if ((*it)[1].str() == "request") {
+      outer_ts = ts;
+      outer_end = span_end;
+    } else {
+      inner_ts = ts;
+      inner_end = span_end;
+    }
+  }
+  ASSERT_GT(outer_end, 0u) << json;
+  ASSERT_GT(inner_end, 0u) << json;
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_LE(inner_end, outer_end);
+  EXPECT_LT(inner_ts, inner_end);
+}
+
+TEST(Trace, InstantEventsCarryArgs) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  {
+    ScopedTracer install(tracer);
+    tracer.instant("retry", "client", {{"server", 3}, {"attempt", 1}});
+  }
+  EXPECT_EQ(tracer.events_recorded(), 1u);
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"name\":\"retry\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"server\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"attempt\":1"), std::string::npos);
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+}
+
+TEST(Trace, RingWraparoundKeepsNewestEventsAndCounts) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::int64_t kTotal = 20;
+  Tracer tracer(Tracer::ClockMode::kVirtual, kCapacity);
+  {
+    ScopedTracer install(tracer);
+    for (std::int64_t i = 0; i < kTotal; ++i)
+      tracer.instant("tick", "test", {{"i", i}});
+  }
+  EXPECT_EQ(tracer.events_recorded(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(tracer.events_dropped(),
+            static_cast<std::uint64_t>(kTotal) - kCapacity);
+  const std::string json = export_json(tracer);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), kCapacity);
+  // The survivors are exactly the newest kCapacity events.
+  for (std::int64_t i = kTotal - kCapacity; i < kTotal; ++i)
+    EXPECT_NE(json.find("\"i\":" + std::to_string(i) + "}"),
+              std::string::npos)
+        << i;
+  EXPECT_EQ(json.find("\"i\":11}"), std::string::npos) << json;
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+}
+
+TEST(Trace, ExportIsByteDeterministic) {
+  // Two tracers fed the same event stream must serialize identically —
+  // the property the sim-stack determinism test relies on end to end.
+  auto run = [] {
+    Tracer tracer(Tracer::ClockMode::kVirtual);
+    ScopedTracer install(tracer);
+    for (int request = 0; request < 5; ++request) {
+      tracer.set_virtual_time(static_cast<std::uint64_t>(request) * 1000);
+      SpanScope req("request", "client");
+      req.arg("items", request + 1);
+      {
+        SpanScope wave("wave", "client");
+        wave.note("kind", "round1");
+        tracer.instant("retry", "client", {{"server", request}});
+      }
+    }
+    return export_json(tracer);
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(json_is_well_formed(first));
+  EXPECT_EQ(count_occurrences(first, "\"name\":\"request\""), 5u);
+}
+
+TEST(Trace, TracerDestructionUninstallsItself) {
+  {
+    Tracer tracer(Tracer::ClockMode::kVirtual);
+    Tracer::set_current(&tracer);
+    EXPECT_EQ(Tracer::current(), &tracer);
+  }
+  EXPECT_EQ(Tracer::current(), nullptr);
+}
+
+}  // namespace
+}  // namespace rnb::obs
