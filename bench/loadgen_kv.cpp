@@ -1,0 +1,378 @@
+// loadgen_kv: multithreaded closed-loop load generator for the kv serving
+// path — the harness behind the sharding scaling curve.
+//
+// N worker threads each run a closed loop of Zipf-distributed multi-gets
+// against ONE server, timing every roundtrip into a per-thread
+// obs::Histogram (merged exactly at the end — merge is associative, so the
+// fleet-wide quantiles are the same regardless of thread count). Two
+// serving paths are compared:
+//
+//   baseline   LoopbackTransport — plain MemTable engine behind the
+//              per-server dispatch mutex (the historical single-dispatch
+//              model; every request serializes).
+//   sharded    ShardedLoopbackTransport — striped per-shard locks, no
+//              transport mutex; swept over shard counts 1, 2, 4, ... so the
+//              output is the scaling curve directly.
+//
+// `--mode=tcp` runs the same loop over real sockets (TcpKvServer, M
+// connections per thread), paying syscall + copy costs; there is no
+// single-mutex TCP baseline because the sharded engine replaced it — use
+// `--shards=1` for the single-lock-domain point.
+//
+// The workload is deterministic per (seed, thread): each thread owns a
+// Xoshiro256 stream and a rejection-inversion Zipf sampler. Only the
+// timing is wall-clock (this bench measures real contention, unlike the
+// simulator benches).
+//
+//   build/bench/loadgen_kv --threads=8 --batch=10 --json=scaling.json
+//   build/bench/loadgen_kv --mode=tcp --threads=4 --connections=2
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/sharding.hpp"
+#include "kv/kv_server.hpp"
+#include "kv/protocol.hpp"
+#include "kv/tcp.hpp"
+#include "kv/transport.hpp"
+#include "obs/contention.hpp"
+#include "obs/hdr_histogram.hpp"
+
+namespace rnb::kv {
+namespace {
+
+struct Params {
+  unsigned threads = 0;
+  std::uint64_t requests = 0;  // measured requests per thread
+  std::uint64_t warmup = 0;    // untimed requests per thread
+  std::uint64_t batch = 0;     // keys per multi-get
+  std::uint64_t keys = 0;      // key universe size
+  double zipf = 0.0;
+  std::uint64_t value_bytes = 0;
+  std::uint64_t seed = 0;
+  bool pinned = false;  // preload keys pinned (read path never escalates)
+};
+
+std::string key_name(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%010" PRIu64, id);
+  return buf;
+}
+
+/// One thread's view of the server: send a frame, get the response.
+using Dispatch = std::function<void(std::string_view, std::string&)>;
+
+struct RunResult {
+  double wall_s = 0.0;
+  std::uint64_t txns = 0;
+  obs::Histogram latency;
+};
+
+/// Run the closed loop: every thread performs `warmup` untimed then
+/// `requests` timed multi-gets; the wall clock covers first timed request
+/// to last completion (all threads start together at a barrier).
+RunResult run_load(const Params& p, const std::vector<std::string>& universe,
+                   const std::function<Dispatch(unsigned)>& make_dispatch) {
+  struct WorkerState {
+    obs::Histogram hist;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point end;
+  };
+  std::vector<WorkerState> workers(p.threads);
+  std::barrier start_line(static_cast<std::ptrdiff_t>(p.threads) + 1);
+
+  std::vector<std::thread> threads;
+  threads.reserve(p.threads);
+  for (unsigned tid = 0; tid < p.threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Dispatch dispatch = make_dispatch(tid);
+      Xoshiro256 rng(p.seed * 0x9E3779B97F4A7C15ull + tid + 1);
+      const ZipfSampler zipf(p.keys, p.zipf);
+      std::vector<std::string> batch(p.batch);
+      std::string frame;
+      std::string response;
+      const auto build = [&] {
+        for (auto& key : batch) key = universe[zipf(rng)];
+        frame.clear();
+        encode_get(batch, /*with_versions=*/false, frame);
+      };
+      for (std::uint64_t i = 0; i < p.warmup; ++i) {
+        build();
+        dispatch(frame, response);
+      }
+      start_line.arrive_and_wait();
+      workers[tid].start = std::chrono::steady_clock::now();
+      for (std::uint64_t i = 0; i < p.requests; ++i) {
+        build();
+        const auto t0 = std::chrono::steady_clock::now();
+        dispatch(frame, response);
+        const auto t1 = std::chrono::steady_clock::now();
+        workers[tid].hist.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+      }
+      workers[tid].end = std::chrono::steady_clock::now();
+    });
+  }
+
+  start_line.arrive_and_wait();
+  for (auto& t : threads) t.join();
+
+  // Wall clock spans first worker start to last worker completion (the
+  // main thread may be scheduled arbitrarily late after the barrier, so
+  // its own clock reads would under-measure).
+  RunResult result;
+  auto first = workers.front().start;
+  auto last = workers.front().end;
+  for (const auto& w : workers) {
+    result.latency.merge(w.hist);
+    if (w.start < first) first = w.start;
+    if (w.end > last) last = w.end;
+  }
+  result.txns = p.requests * p.threads;
+  result.wall_s = std::chrono::duration<double>(last - first).count();
+  if (result.wall_s <= 0.0) result.wall_s = 1e-9;  // degenerate tiny runs
+  return result;
+}
+
+/// Populate a server through its own protocol path (same bytes every mode).
+template <typename Dispatchable>
+void preload(const Params& p, const std::vector<std::string>& universe,
+             Dispatchable&& dispatch) {
+  const std::string value(p.value_bytes, 'x');
+  std::string frame;
+  std::string response;
+  for (const auto& key : universe) {
+    frame.clear();
+    encode_set(key, value, p.pinned, frame);
+    dispatch(frame, response);
+    RNB_REQUIRE(response.starts_with("STORED"));
+  }
+}
+
+/// Byte budget with ample headroom so the measured phase never evicts —
+/// the bench measures serving cost, not replacement policy.
+std::size_t budget_for(const Params& p) {
+  return static_cast<std::size_t>(p.keys * (p.value_bytes + 128) * 4);
+}
+
+struct Row {
+  std::string engine;
+  std::uint64_t shards = 0;
+  RunResult run;
+  double hit_rate = 0.0;
+  obs::ContentionSnapshot locks;  // measured-phase delta; zero for baseline
+};
+
+void report(const Params& p, const std::vector<Row>& rows,
+            bench::JsonResult& json) {
+  std::printf(
+      "%-10s %7s %8s %12s %12s %10s %10s %10s %12s %10s\n", "engine",
+      "shards", "threads", "txns/s", "items/s", "p50_ns", "p90_ns", "p99_ns",
+      "lock_waits", "hit_rate");
+  const double baseline =
+      rows.empty() ? 0.0
+                   : static_cast<double>(rows.front().run.txns) /
+                         rows.front().run.wall_s;
+  for (const Row& row : rows) {
+    const double txns_per_s =
+        static_cast<double>(row.run.txns) / row.run.wall_s;
+    const double items_per_s = txns_per_s * static_cast<double>(p.batch);
+    std::printf("%-10s %7" PRIu64 " %8u %12.0f %12.0f %10" PRIu64
+                " %10" PRIu64 " %10" PRIu64 " %12" PRIu64 " %9.3f%%\n",
+                row.engine.c_str(), row.shards, p.threads, txns_per_s,
+                items_per_s, row.run.latency.quantile(0.50),
+                row.run.latency.quantile(0.90), row.run.latency.quantile(0.99),
+                row.locks.contended_acquisitions, row.hit_rate * 100.0);
+    json.add_row();
+    json.field("engine", row.engine);
+    json.field("shards", row.shards);
+    json.field("threads", static_cast<std::uint64_t>(p.threads));
+    json.field("txns_per_s", txns_per_s);
+    json.field("items_per_s", items_per_s);
+    json.field("speedup_vs_first_row",
+               baseline > 0.0 ? txns_per_s / baseline : 0.0);
+    json.field("wall_s", row.run.wall_s);
+    json.field("p50_ns", row.run.latency.quantile(0.50));
+    json.field("p90_ns", row.run.latency.quantile(0.90));
+    json.field("p99_ns", row.run.latency.quantile(0.99));
+    json.field("mean_ns", row.run.latency.mean());
+    json.field("hit_rate", row.hit_rate);
+    json.field("lock_acquisitions", row.locks.total_acquisitions());
+    json.field("lock_contended", row.locks.contended_acquisitions);
+  }
+}
+
+double hit_rate_of(const ServerCounters& before, const ServerCounters& after) {
+  const std::uint64_t asked = after.keys_requested - before.keys_requested;
+  const std::uint64_t got = after.keys_returned - before.keys_returned;
+  return asked == 0 ? 0.0
+                    : static_cast<double>(got) / static_cast<double>(asked);
+}
+
+obs::ContentionSnapshot delta(const obs::ContentionSnapshot& before,
+                              const obs::ContentionSnapshot& after) {
+  obs::ContentionSnapshot d;
+  d.shared_acquisitions = after.shared_acquisitions - before.shared_acquisitions;
+  d.exclusive_acquisitions =
+      after.exclusive_acquisitions - before.exclusive_acquisitions;
+  d.contended_acquisitions =
+      after.contended_acquisitions - before.contended_acquisitions;
+  return d;
+}
+
+Row run_baseline(const Params& p, const std::vector<std::string>& universe) {
+  LoopbackTransport transport(1, budget_for(p));
+  std::string response;
+  preload(p, universe,
+          [&](std::string_view frame, std::string& out) {
+            transport.roundtrip(0, frame, out);
+          });
+  const ServerCounters before = transport.server(0).counters();
+  Row row;
+  row.engine = "baseline";
+  row.run = run_load(p, universe, [&](unsigned) -> Dispatch {
+    return [&](std::string_view frame, std::string& out) {
+      transport.roundtrip(0, frame, out);
+    };
+  });
+  row.hit_rate = hit_rate_of(before, transport.server(0).counters());
+  return row;
+}
+
+Row run_sharded(const Params& p, const std::vector<std::string>& universe,
+                std::uint64_t shards) {
+  ShardedLoopbackTransport transport(1, budget_for(p), shards);
+  preload(p, universe,
+          [&](std::string_view frame, std::string& out) {
+            transport.roundtrip(0, frame, out);
+          });
+  const ServerCounters before = transport.server(0).counters();
+  const obs::ContentionSnapshot locks_before =
+      transport.server(0).table().lock_counters();
+  Row row;
+  row.engine = "sharded";
+  row.shards = transport.server(0).table().shard_count();
+  row.run = run_load(p, universe, [&](unsigned) -> Dispatch {
+    return [&](std::string_view frame, std::string& out) {
+      transport.roundtrip(0, frame, out);
+    };
+  });
+  row.hit_rate = hit_rate_of(before, transport.server(0).counters());
+  row.locks =
+      delta(locks_before, transport.server(0).table().lock_counters());
+  return row;
+}
+
+Row run_tcp(const Params& p, const std::vector<std::string>& universe,
+            std::uint64_t shards, std::uint64_t connections) {
+  TcpKvServer server(budget_for(p), /*port=*/0, shards);
+  {
+    TcpKvConnection setup(server.port());
+    preload(p, universe,
+            [&](std::string_view frame, std::string& out) {
+              setup.roundtrip(frame, out);
+            });
+  }
+  const ServerCounters before = server.server().counters();
+  const obs::ContentionSnapshot locks_before =
+      server.server().table().lock_counters();
+  Row row;
+  row.engine = "tcp";
+  row.shards = server.server().table().shard_count();
+  row.run = run_load(p, universe, [&](unsigned) -> Dispatch {
+    // Each worker owns `connections` sockets used round-robin, so one
+    // thread exercises several server-side connection threads.
+    auto conns = std::make_shared<std::vector<std::unique_ptr<TcpKvConnection>>>();
+    for (std::uint64_t c = 0; c < connections; ++c)
+      conns->push_back(std::make_unique<TcpKvConnection>(server.port()));
+    auto next = std::make_shared<std::size_t>(0);
+    return [conns, next](std::string_view frame, std::string& out) {
+      TcpKvConnection& conn = *(*conns)[*next];
+      *next = (*next + 1) % conns->size();
+      conn.roundtrip(frame, out);
+    };
+  });
+  row.hit_rate = hit_rate_of(before, server.server().counters());
+  row.locks = delta(locks_before, server.server().table().lock_counters());
+  return row;
+}
+
+int run(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  Params p;
+  p.threads = static_cast<unsigned>(flags.u64("threads", 0));
+  if (p.threads == 0) {
+    p.threads = std::thread::hardware_concurrency();
+    if (p.threads == 0) p.threads = 4;
+  }
+  p.requests = flags.u64("requests", 20000);
+  p.warmup = flags.u64("warmup", 2000);
+  p.batch = flags.u64("batch", 10);
+  p.keys = flags.u64("keys", 100000);
+  p.zipf = flags.f64("zipf", 0.99);
+  p.value_bytes = flags.u64("value-bytes", 100);
+  p.seed = flags.u64("seed", 42);
+  p.pinned = flags.boolean("pinned", false);
+  const std::string mode = flags.str("mode", "loopback");
+  const std::uint64_t fixed_shards = flags.u64("shards", 0);
+  const std::uint64_t connections = flags.u64("connections", 1);
+  const bool with_baseline = flags.boolean("baseline", true);
+
+  std::vector<std::string> universe;
+  universe.reserve(p.keys);
+  for (std::uint64_t id = 0; id < p.keys; ++id)
+    universe.push_back(key_name(id));
+
+  // Shard counts to sweep: a fixed `--shards=N`, or 1, 2, 4, ... up to
+  // next_pow2(hardware threads).
+  std::vector<std::uint64_t> shard_counts;
+  if (flags.has("shards")) {
+    shard_counts.push_back(fixed_shards);
+  } else {
+    const std::size_t max_shards = resolve_shard_count(0);
+    for (std::size_t s = 1; s <= max_shards; s *= 2) shard_counts.push_back(s);
+  }
+
+  bench::JsonResult json("loadgen_kv");
+  json.param("mode", mode);
+  json.param("threads", static_cast<std::uint64_t>(p.threads));
+  json.param("requests_per_thread", p.requests);
+  json.param("warmup_per_thread", p.warmup);
+  json.param("batch", p.batch);
+  json.param("keys", p.keys);
+  json.param("zipf", p.zipf);
+  json.param("value_bytes", p.value_bytes);
+  json.param("seed", p.seed);
+  json.param("pinned", p.pinned);
+  if (mode == "tcp") json.param("connections_per_thread", connections);
+
+  std::vector<Row> rows;
+  if (mode == "tcp") {
+    for (const std::uint64_t s : shard_counts)
+      rows.push_back(run_tcp(p, universe, s, connections));
+  } else {
+    if (with_baseline) rows.push_back(run_baseline(p, universe));
+    for (const std::uint64_t s : shard_counts)
+      rows.push_back(run_sharded(p, universe, s));
+  }
+
+  report(p, rows, json);
+  return bench::maybe_write_json(flags, json) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rnb::kv
+
+int main(int argc, char** argv) { return rnb::kv::run(argc, argv); }

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Verify that relative links in the repo's markdown docs resolve.
+
+Walks the given markdown files (default: README, EXPERIMENTS, DESIGN,
+ROADMAP, and everything under docs/), extracts inline links and checks that
+every relative target exists on disk. External links (http/https/mailto)
+and pure intra-page anchors (#section) are skipped — this is a docs-drift
+guard, not a crawler. Anchors on relative links are checked against the
+target file's headings.
+
+Exit code 0 when every link resolves, 1 otherwise (one line per breakage).
+Stdlib only; run from anywhere inside the repository.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+DEFAULT_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"]
+
+
+def repo_root() -> Path:
+    here = Path(__file__).resolve().parent
+    for candidate in (here, *here.parents):
+        if (candidate / ".git").exists() or (candidate / "README.md").exists():
+            return candidate
+    return here
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading anchor: lowercase, spaces to dashes, strip
+    everything that is not alphanumeric, dash, or underscore."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    problems = []
+    text = CODE_FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+    for regex in (LINK_RE, IMAGE_RE):
+        for match in regex.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel, _, anchor = target.partition("#")
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(root)}: broken link -> {target}")
+            elif anchor and resolved.suffix == ".md":
+                if slugify(anchor) not in anchors_of(resolved):
+                    problems.append(
+                        f"{md.relative_to(root)}: missing anchor -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = repo_root()
+    if len(argv) > 1:
+        files = [Path(a).resolve() for a in argv[1:]]
+    else:
+        files = [root / f for f in DEFAULT_FILES if (root / f).exists()]
+        files += sorted((root / "docs").glob("*.md"))
+    problems = []
+    for md in files:
+        if not md.exists():
+            problems.append(f"missing file: {md}")
+            continue
+        problems.extend(check_file(md, root))
+    for p in problems:
+        print(p)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,90 @@
+#include "cache/concurrent_two_class_store.hpp"
+
+#include "common/sharding.hpp"
+
+namespace rnb {
+
+ConcurrentTwoClassStore::ConcurrentTwoClassStore(std::size_t replica_capacity,
+                                                 ReplicaEvictionPolicy policy,
+                                                 std::size_t num_shards)
+    : replica_capacity_(replica_capacity) {
+  const std::size_t n = resolve_shard_count(num_shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>(replica_capacity / n, policy));
+}
+
+void ConcurrentTwoClassStore::pin(ItemId item) {
+  Shard& s = shard(item);
+  const std::unique_lock lock(s.mu);
+  s.store.pin(item);
+}
+
+bool ConcurrentTwoClassStore::is_pinned(ItemId item) const {
+  const Shard& s = shard(item);
+  const std::shared_lock lock(s.mu);
+  return s.store.is_pinned(item);
+}
+
+std::size_t ConcurrentTwoClassStore::pinned_count() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    const std::shared_lock lock(s->mu);
+    total += s->store.pinned_count();
+  }
+  return total;
+}
+
+bool ConcurrentTwoClassStore::read(ItemId item) {
+  Shard& s = shard(item);
+  const std::unique_lock lock(s.mu);
+  return s.store.read(item);
+}
+
+bool ConcurrentTwoClassStore::contains(ItemId item) const {
+  const Shard& s = shard(item);
+  const std::shared_lock lock(s.mu);
+  return s.store.contains(item);
+}
+
+void ConcurrentTwoClassStore::write_replica(ItemId item) {
+  Shard& s = shard(item);
+  const std::unique_lock lock(s.mu);
+  s.store.write_replica(item);
+}
+
+bool ConcurrentTwoClassStore::drop_replica(ItemId item) {
+  Shard& s = shard(item);
+  const std::unique_lock lock(s.mu);
+  return s.store.drop_replica(item);
+}
+
+std::size_t ConcurrentTwoClassStore::replica_count() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    const std::shared_lock lock(s->mu);
+    total += s->store.replica_count();
+  }
+  return total;
+}
+
+CacheStats ConcurrentTwoClassStore::replica_stats() const {
+  CacheStats total;
+  for (const auto& s : shards_) {
+    const std::shared_lock lock(s->mu);
+    const CacheStats st = s->store.replica_stats();
+    total.hits += st.hits;
+    total.misses += st.misses;
+    total.insertions += st.insertions;
+    total.evictions += st.evictions;
+  }
+  return total;
+}
+
+obs::ContentionSnapshot ConcurrentTwoClassStore::lock_counters() const {
+  obs::ContentionSnapshot total;
+  for (const auto& s : shards_) total += s->mu.counters();
+  return total;
+}
+
+}  // namespace rnb

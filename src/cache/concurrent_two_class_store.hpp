@@ -1,0 +1,88 @@
+// Thread-safe two-service-class store: the server side of overbooking,
+// sharded for concurrent access.
+//
+// TwoClassStore models one server's memory for the single-threaded
+// simulators; this wrapper partitions the item space across S power-of-two
+// shards (deterministic fmix64 of the item id), each shard owning a
+// complete TwoClassStore — its pinned distinguished-copy set and its slice
+// of the evictable replica class — behind one striped
+// obs::InstrumentedSharedMutex:
+//   shared     contains / is_pinned (hitchhike probes, no recency)
+//   exclusive  read (recency moves), pin, write_replica, drop_replica
+//
+// Per-shard replica LRU over uniformly hashed item ids behaves like the
+// global replica LRU at simulation sizes (Ji, Quan & Tan,
+// arXiv:1801.02436); with one shard the wrapper is operation-for-operation
+// identical to TwoClassStore, which the determinism tests pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "cache/two_class_store.hpp"
+#include "common/hash.hpp"
+#include "obs/contention.hpp"
+
+namespace rnb {
+
+class ConcurrentTwoClassStore {
+ public:
+  /// `replica_capacity` is the total evictable-slot budget, split evenly
+  /// across shards. `num_shards` is rounded up to a power of two; 0 picks
+  /// next_pow2(hardware threads).
+  explicit ConcurrentTwoClassStore(
+      std::size_t replica_capacity,
+      ReplicaEvictionPolicy policy = ReplicaEvictionPolicy::kLru,
+      std::size_t num_shards = 0);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_index(ItemId item) const noexcept {
+    return fmix64(item) & (shards_.size() - 1);
+  }
+
+  void pin(ItemId item);
+  bool is_pinned(ItemId item) const;
+  std::size_t pinned_count() const;
+
+  /// Serve a read for `item`: pinned hits never miss, replica hits refresh
+  /// recency (hence the exclusive shard lock). Returns true on hit.
+  bool read(ItemId item);
+
+  /// Peek without touching recency or stats (shared shard lock).
+  bool contains(ItemId item) const;
+
+  void write_replica(ItemId item);
+  bool drop_replica(ItemId item);
+
+  std::size_t replica_count() const;
+  std::size_t replica_capacity() const noexcept { return replica_capacity_; }
+  /// Aggregate replica-class stats across shards (associative sums).
+  CacheStats replica_stats() const;
+
+  /// Aggregate lock counters across shards; per-shard via shard_counters().
+  obs::ContentionSnapshot lock_counters() const;
+  obs::ContentionSnapshot shard_counters(std::size_t index) const {
+    return shards_[index]->mu.counters();
+  }
+
+ private:
+  struct alignas(64) Shard {
+    Shard(std::size_t capacity, ReplicaEvictionPolicy policy)
+        : store(capacity, policy) {}
+    mutable obs::InstrumentedSharedMutex mu;
+    TwoClassStore store;
+  };
+
+  Shard& shard(ItemId item) noexcept { return *shards_[shard_index(item)]; }
+  const Shard& shard(ItemId item) const noexcept {
+    return *shards_[shard_index(item)];
+  }
+
+  std::size_t replica_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rnb

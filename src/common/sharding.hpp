@@ -1,0 +1,27 @@
+// Shard-count resolution shared by the concurrent stores.
+//
+// Sharded structures in this codebase always use a power-of-two shard
+// count so shard selection is a hash-and-mask — pure, branchless, and
+// deterministic across processes (multi-probe consistent hashing keeps the
+// cluster-level placement pure for the same reason; arXiv:1505.00062).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <thread>
+
+namespace rnb {
+
+/// Shard count for a requested value: 0 means "auto" — the next power of
+/// two >= the hardware thread count (one shard per core removes the lock
+/// convoy). Explicit requests are rounded up to a power of two. Clamped to
+/// [1, 1024].
+inline std::size_t resolve_shard_count(std::size_t requested) noexcept {
+  std::size_t n = requested;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;  // hardware_concurrency may report "unknown"
+  if (n > 1024) n = 1024;
+  return std::bit_ceil(n);
+}
+
+}  // namespace rnb

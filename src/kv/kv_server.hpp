@@ -7,24 +7,35 @@
 // lookup, value copy).
 //
 // BasicKvServer is generic over the engine: MemTable (byte-budget global
-// LRU — the default, simple and predictable) or SlabMemTable (memcached's
-// slab classes with per-class LRU). Both expose the same store interface;
-// the type aliases at the bottom are the two shipped configurations.
+// LRU — the default, simple and predictable), SlabMemTable (memcached's
+// slab classes with per-class LRU), or the sharded wrappers of either
+// (striped locks, one LRU domain per shard). Request counters are relaxed
+// atomics, so handle() is exactly as thread-safe as the engine underneath:
+// with a sharded engine concurrent handle() calls are safe and scale; with
+// a plain engine the caller serializes (the loopback transport's dispatch
+// mutex, or the old single-dispatch TCP loop).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "kv/memtable.hpp"
 #include "kv/protocol.hpp"
+#include "kv/sharded_memtable.hpp"
 #include "kv/slab_memtable.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace rnb::kv {
 
+/// Snapshot of a server's request counters (plain integers; the live
+/// counters are relaxed atomics so concurrent handle() calls never race).
 struct ServerCounters {
   std::uint64_t transactions = 0;
   std::uint64_t keys_requested = 0;
@@ -38,21 +49,23 @@ template <typename Store>
 class BasicKvServer {
  public:
   /// Construct the underlying store from whatever it takes (byte budget for
-  /// MemTable, SlabConfig for SlabMemTable).
+  /// MemTable, SlabConfig for SlabMemTable, budget + shard count for
+  /// ShardedMemTable).
   template <typename... StoreArgs>
   explicit BasicKvServer(StoreArgs&&... store_args)
       : table_(std::forward<StoreArgs>(store_args)...) {}
 
   /// Process one request frame, appending the response to `response`
   /// (cleared first). Never throws; malformed input yields CLIENT_ERROR.
+  /// Safe to call concurrently iff the engine is (see the header comment).
   void handle(std::string_view request, std::string& response) {
     response.clear();
     obs::SpanScope txn_span("transaction", "server");
-    ++counters_.transactions;
+    counters_.transactions.fetch_add(1, std::memory_order_relaxed);
     std::string error;
     const std::optional<Command> cmd = parse_command(request, &error);
     if (!cmd) {
-      ++counters_.protocol_errors;
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       txn_span.note("outcome", "protocol_error");
       encode_simple("CLIENT_ERROR " + error, response);
       return;
@@ -61,13 +74,28 @@ class BasicKvServer {
     if (const auto* get = std::get_if<GetCommand>(&*cmd)) {
       std::vector<Value> values;
       values.reserve(get->keys.size());
-      counters_.keys_requested += get->keys.size();
-      for (const std::string& key : get->keys) {
-        if (auto hit = table_.get(key)) {
-          values.push_back(Value{key, std::move(hit->value), hit->version});
+      counters_.keys_requested.fetch_add(get->keys.size(),
+                                         std::memory_order_relaxed);
+      if constexpr (kBatchedReads) {
+        // Sharded engine: decompose the transaction into per-shard
+        // sub-batches, one lock acquisition per involved shard, no global
+        // ordering. Results come back positionally so the response keeps
+        // request key order — byte-identical to the sequential loop.
+        std::vector<std::optional<typename Store::GetResult>> results;
+        table_.multi_get(get->keys, results);
+        for (std::size_t i = 0; i < get->keys.size(); ++i) {
+          if (results[i])
+            values.push_back(Value{get->keys[i], std::move(results[i]->value),
+                                   results[i]->version});
+        }
+      } else {
+        for (const std::string& key : get->keys) {
+          if (auto hit = table_.get(key))
+            values.push_back(Value{key, std::move(hit->value), hit->version});
         }
       }
-      counters_.keys_returned += values.size();
+      counters_.keys_returned.fetch_add(values.size(),
+                                        std::memory_order_relaxed);
       txn_span.arg("keys", static_cast<std::int64_t>(get->keys.size()));
       txn_span.arg("hits", static_cast<std::int64_t>(values.size()));
       encode_values(values, get->with_versions, response);
@@ -78,13 +106,13 @@ class BasicKvServer {
       return;
     }
     if (const auto* set = std::get_if<SetCommand>(&*cmd)) {
-      ++counters_.stores;
+      counters_.stores.fetch_add(1, std::memory_order_relaxed);
       const bool ok = table_.set(set->key, set->data, set->pin);
       encode_simple(ok ? "STORED" : "SERVER_ERROR out of memory", response);
       return;
     }
     if (const auto* cas = std::get_if<CasCommand>(&*cmd)) {
-      ++counters_.stores;
+      counters_.stores.fetch_add(1, std::memory_order_relaxed);
       switch (table_.cas(cas->key, cas->version, cas->data)) {
         case MemTable::CasOutcome::kStored:
           encode_simple("STORED", response);
@@ -98,45 +126,100 @@ class BasicKvServer {
       }
     }
     if (const auto* del = std::get_if<DeleteCommand>(&*cmd)) {
-      ++counters_.deletes;
+      counters_.deletes.fetch_add(1, std::memory_order_relaxed);
       encode_simple(table_.erase(del->key) ? "DELETED" : "NOT_FOUND",
                     response);
       return;
     }
   }
 
-  const ServerCounters& counters() const noexcept { return counters_; }
+  ServerCounters counters() const noexcept { return counters_.snapshot(); }
   Store& table() noexcept { return table_; }
   const Store& table() const noexcept { return table_; }
 
  private:
+  /// True when the engine supports the batched per-shard read path.
+  static constexpr bool kBatchedReads = requires(
+      Store& t, std::span<const std::string> keys,
+      std::vector<std::optional<typename Store::GetResult>>& out) {
+    t.multi_get(keys, out);
+  };
+  /// True when the engine reports per-shard lock/eviction counters.
+  static constexpr bool kShardMetrics = requires(const Store& t) {
+    t.shard_count();
+    t.shard_snapshot(0);
+  };
+
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> transactions{0};
+    std::atomic<std::uint64_t> keys_requested{0};
+    std::atomic<std::uint64_t> keys_returned{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> deletes{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+
+    ServerCounters snapshot() const noexcept {
+      return {transactions.load(std::memory_order_relaxed),
+              keys_requested.load(std::memory_order_relaxed),
+              keys_returned.load(std::memory_order_relaxed),
+              stores.load(std::memory_order_relaxed),
+              deletes.load(std::memory_order_relaxed),
+              protocol_errors.load(std::memory_order_relaxed)};
+    }
+  };
+
   /// `stats` response: Prometheus text exposition (0.0.4) framed by a
   /// trailing "END\r\n". Built fresh per call — stats is a cold path and a
-  /// throwaway registry keeps the hot counters plain uint64 increments.
+  /// throwaway registry keeps the hot counters plain relaxed increments.
   void write_stats(std::string& response) const {
+    const ServerCounters snap = counters_.snapshot();
     obs::MetricsRegistry registry;
     registry
         .counter("rnb_kv_transactions_total",
                  "Request frames handled (stats included)")
-        .inc(counters_.transactions);
+        .inc(snap.transactions);
     registry
         .counter("rnb_kv_keys_requested_total",
                  "Keys asked for across all get/gets frames")
-        .inc(counters_.keys_requested);
+        .inc(snap.keys_requested);
     registry
         .counter("rnb_kv_keys_returned_total",
                  "Keys found and returned across all get/gets frames")
-        .inc(counters_.keys_returned);
+        .inc(snap.keys_returned);
     registry.counter("rnb_kv_stores_total", "set and cas frames handled")
-        .inc(counters_.stores);
+        .inc(snap.stores);
     registry.counter("rnb_kv_deletes_total", "delete frames handled")
-        .inc(counters_.deletes);
+        .inc(snap.deletes);
     registry
         .counter("rnb_kv_protocol_errors_total",
                  "Frames rejected with CLIENT_ERROR")
-        .inc(counters_.protocol_errors);
+        .inc(snap.protocol_errors);
     registry.gauge("rnb_kv_entries", "Live entries in the store")
         .set(static_cast<double>(table_.entries()));
+    if constexpr (kShardMetrics) {
+      registry.gauge("rnb_kv_shards", "Store shards (striped lock domains)")
+          .set(static_cast<double>(table_.shard_count()));
+      for (std::size_t i = 0; i < table_.shard_count(); ++i) {
+        const auto shard = table_.shard_snapshot(i);
+        const std::string label = "shard=\"" + std::to_string(i) + "\"";
+        registry
+            .counter("rnb_kv_shard_lock_acquisitions_total",
+                     "Shard lock acquisitions (shared + exclusive)", label)
+            .inc(shard.lock.total_acquisitions());
+        registry
+            .counter("rnb_kv_shard_lock_contended_total",
+                     "Shard lock acquisitions that had to wait", label)
+            .inc(shard.lock.contended_acquisitions);
+        registry
+            .counter("rnb_kv_shard_evictions_total",
+                     "LRU evictions performed by the shard", label)
+            .inc(shard.engine_stats.evictions);
+        registry
+            .gauge("rnb_kv_shard_entries", "Live entries in the shard",
+                   label)
+            .set(static_cast<double>(shard.entries));
+      }
+    }
     std::ostringstream os;
     registry.write_prometheus(os);
     response += os.str();
@@ -144,13 +227,22 @@ class BasicKvServer {
   }
 
   Store table_;
-  ServerCounters counters_;
+  AtomicCounters counters_;
 };
 
-/// Default engine: byte-budget global-LRU MemTable.
+/// Default engine: byte-budget global-LRU MemTable (single lock domain;
+/// callers serialize).
 using KvServer = BasicKvServer<MemTable>;
 
 /// Memcached-faithful engine: slab classes with per-class LRU.
 using SlabKvServer = BasicKvServer<SlabMemTable>;
+
+/// Concurrent engine: sharded MemTable with striped locks — handle() is
+/// thread-safe and scales with cores. One shard reproduces KvServer's
+/// responses byte-for-byte.
+using ShardedKvServer = BasicKvServer<ShardedMemTable>;
+
+/// Concurrent memcached-faithful engine: sharded slab arenas.
+using ShardedSlabKvServer = BasicKvServer<ShardedSlabMemTable>;
 
 }  // namespace rnb::kv

@@ -77,6 +77,18 @@ std::optional<MemTable::GetResult> MemTable::get(std::string_view key) {
   return GetResult{e.value, e.version};
 }
 
+MemTable::FastGetOutcome MemTable::fast_get(std::string_view key,
+                                            GetResult& out) const {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return FastGetOutcome::kMiss;
+  const Entry& e = it->second;
+  if (!e.pinned && e.lru_pos != lru_.begin())
+    return FastGetOutcome::kNeedsRecency;
+  out.value = e.value;
+  out.version = e.version;
+  return FastGetOutcome::kHit;
+}
+
 std::optional<MemTable::GetResult> MemTable::peek(std::string_view key) const {
   const auto it = table_.find(key);
   if (it == table_.end()) return std::nullopt;

@@ -54,6 +54,18 @@ class MemTable {
   /// Fetch without touching recency (hitchhiker probes, tests).
   std::optional<GetResult> peek(std::string_view key) const;
 
+  /// Outcome of a mutation-free read attempt (see fast_get).
+  enum class FastGetOutcome { kHit, kMiss, kNeedsRecency };
+
+  /// Resolve a get if — and only if — doing so mutates nothing: the entry
+  /// is pinned (no recency) or already at the MRU position. Misses also
+  /// resolve (a miss moves nothing). kNeedsRecency means the entry exists
+  /// but its LRU position must move; the caller retries with get() under
+  /// whatever write exclusion it maintains. Never touches stats() — the
+  /// sharded wrapper counts fast-path hits/misses itself, so aggregate
+  /// accounting matches the plain-get path exactly.
+  FastGetOutcome fast_get(std::string_view key, GetResult& out) const;
+
   /// Compare-and-swap: store only if the entry exists with `expected`
   /// version. Returns kStored, kExists (version mismatch) or kNotFound.
   enum class CasOutcome { kStored, kExists, kNotFound };

@@ -82,6 +82,18 @@ std::optional<SlabMemTable::GetResult> SlabMemTable::get(
   return GetResult{std::string(e.value_view()), e.version};
 }
 
+MemTable::FastGetOutcome SlabMemTable::fast_get(std::string_view key,
+                                                GetResult& out) const {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return MemTable::FastGetOutcome::kMiss;
+  const Entry& e = it->second;
+  if (!e.pinned && e.lru_pos != class_lru_[e.chunk.size_class].begin())
+    return MemTable::FastGetOutcome::kNeedsRecency;
+  out.value.assign(e.value_view());
+  out.version = e.version;
+  return MemTable::FastGetOutcome::kHit;
+}
+
 std::optional<SlabMemTable::GetResult> SlabMemTable::peek(
     std::string_view key) const {
   const auto it = table_.find(key);

@@ -42,6 +42,12 @@ class SlabMemTable {
   std::optional<GetResult> get(std::string_view key);
   std::optional<GetResult> peek(std::string_view key) const;
 
+  /// Mutation-free read attempt (same contract as MemTable::fast_get):
+  /// resolves pinned entries, entries already at their class's MRU
+  /// position, and misses; kNeedsRecency otherwise. Never touches stats().
+  MemTable::FastGetOutcome fast_get(std::string_view key,
+                                    GetResult& out) const;
+
   MemTable::CasOutcome cas(std::string_view key, std::uint64_t expected,
                            std::string_view value);
 

@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -72,8 +74,9 @@ bool FrameSplitter::next_frame(std::string& frame) {
   return true;
 }
 
-TcpKvServer::TcpKvServer(std::size_t byte_budget, std::uint16_t port)
-    : server_(byte_budget) {
+TcpKvServer::TcpKvServer(std::size_t byte_budget, std::uint16_t port,
+                         std::size_t num_shards)
+    : server_(byte_budget, num_shards) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("tcp: socket() failed");
   const int one = 1;
@@ -84,7 +87,10 @@ TcpKvServer::TcpKvServer(std::size_t byte_budget, std::uint16_t port)
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
     throw std::runtime_error("tcp: bind() failed");
-  if (::listen(listen_fd_, 16) < 0)
+  // Full SOMAXCONN backlog: the multithreaded load generator opens its
+  // whole connection fan (threads x connections) in a burst, and a short
+  // backlog would silently refuse part of it.
+  if (::listen(listen_fd_, SOMAXCONN) < 0)
     throw std::runtime_error("tcp: listen() failed");
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
@@ -110,7 +116,15 @@ void TcpKvServer::shutdown() {
 void TcpKvServer::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // listener closed during shutdown
+    if (fd < 0) {
+      if (stopping_.load()) return;  // orderly shutdown closed the listener
+      if (errno == EINTR || errno == ECONNABORTED) continue;  // transient
+      // A real listener failure (EMFILE, ENFILE, EBADF, ...): surface it
+      // instead of silently ending the accept loop with clients unserved.
+      accept_errors_.fetch_add(1);
+      std::perror("tcp: accept() failed");
+      return;
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard lock(threads_mu_);
@@ -127,10 +141,9 @@ void TcpKvServer::connection_loop(int fd) {
     if (n <= 0) break;  // peer closed (or shutdown)
     splitter.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
     while (splitter.next_frame(frame)) {
-      {
-        std::lock_guard lock(server_mu_);
-        server_.handle(frame, response);
-      }
+      // The sharded engine synchronizes internally; connection threads
+      // whose keys hit different shards proceed in parallel.
+      server_.handle(frame, response);
       try {
         write_all(fd, response);
       } catch (const std::runtime_error&) {
@@ -223,11 +236,13 @@ void TcpKvConnection::read_response(std::string& response) {
   }
 }
 
-TcpFleet::TcpFleet(ServerId num_servers, std::size_t bytes_per_server) {
+TcpFleet::TcpFleet(ServerId num_servers, std::size_t bytes_per_server,
+                   std::size_t shards_per_server) {
   RNB_REQUIRE(num_servers > 0);
   servers_.reserve(num_servers);
   for (ServerId s = 0; s < num_servers; ++s)
-    servers_.push_back(std::make_unique<TcpKvServer>(bytes_per_server));
+    servers_.push_back(std::make_unique<TcpKvServer>(bytes_per_server, 0,
+                                                     shards_per_server));
 }
 
 std::vector<std::uint16_t> TcpFleet::ports() const {

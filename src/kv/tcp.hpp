@@ -4,9 +4,13 @@
 // makes the testbed substitution (DESIGN.md §4) faithful: requests cross a
 // genuine kernel socket, pay syscall and copy costs, and the server runs a
 // thread-per-connection loop like classic memcached's worker threads.
-// Framing is the same text protocol; requests are delimited exactly as
-// memcached's are (command line + optional <bytes>-long data block), so the
-// reader must parse the header to know the frame length.
+// Connection threads dispatch into a sharded engine (striped per-shard
+// locks, kv/sharded_memtable.hpp), so requests from different connections
+// execute in parallel whenever their keys land on different shards — the
+// old whole-server dispatch mutex is gone. Framing is the same text
+// protocol; requests are delimited exactly as memcached's are (command
+// line + optional <bytes>-long data block), so the reader must parse the
+// header to know the frame length.
 //
 // Scope: IPv4 loopback, blocking sockets, thread-per-connection. This is a
 // proof-of-concept transport, not a production network stack — but every
@@ -44,19 +48,31 @@ class FrameSplitter {
   std::string buffer_;
 };
 
-/// A TCP server wrapping one KvServer. Listens on 127.0.0.1:<port> (port 0
-/// picks a free port; read it back with port()). Each accepted connection
-/// gets a reader thread that parses frames and writes responses back.
+/// A TCP server wrapping one sharded kv engine. Listens on
+/// 127.0.0.1:<port> (port 0 picks a free port; read it back with port()).
+/// Each accepted connection gets a reader thread that parses frames,
+/// dispatches straight into the thread-safe sharded server (no global
+/// mutex), and writes responses back. `num_shards` 0 picks
+/// next_pow2(hardware threads); 1 reproduces the old single-lock-domain
+/// behaviour byte-for-byte.
 class TcpKvServer {
  public:
-  explicit TcpKvServer(std::size_t byte_budget, std::uint16_t port = 0);
+  explicit TcpKvServer(std::size_t byte_budget, std::uint16_t port = 0,
+                       std::size_t num_shards = 0);
   ~TcpKvServer();
 
   TcpKvServer(const TcpKvServer&) = delete;
   TcpKvServer& operator=(const TcpKvServer&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
-  KvServer& server() noexcept { return server_; }
+  ShardedKvServer& server() noexcept { return server_; }
+
+  /// accept() failures that were not part of an orderly shutdown (reported
+  /// on stderr as they happen; transient per-connection errors — EINTR,
+  /// ECONNABORTED — are retried and not counted).
+  std::uint64_t accept_errors() const noexcept {
+    return accept_errors_.load();
+  }
 
   /// Ask the accept loop and all connection threads to finish; joins them.
   void shutdown();
@@ -65,11 +81,11 @@ class TcpKvServer {
   void accept_loop();
   void connection_loop(int fd);
 
-  KvServer server_;
-  std::mutex server_mu_;  // serializes handle() across connections
+  ShardedKvServer server_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accept_errors_{0};
   std::thread acceptor_;
   std::mutex threads_mu_;
   std::vector<std::thread> connections_;
@@ -101,13 +117,14 @@ class TcpKvConnection {
 /// of LoopbackTransport's server side, for end-to-end RnB-over-TCP runs.
 class TcpFleet {
  public:
-  TcpFleet(ServerId num_servers, std::size_t bytes_per_server);
+  TcpFleet(ServerId num_servers, std::size_t bytes_per_server,
+           std::size_t shards_per_server = 0);
 
   ServerId num_servers() const noexcept {
     return static_cast<ServerId>(servers_.size());
   }
   std::uint16_t port(ServerId s) const { return servers_[s]->port(); }
-  KvServer& server(ServerId s) { return servers_[s]->server(); }
+  ShardedKvServer& server(ServerId s) { return servers_[s]->server(); }
 
   std::vector<std::uint16_t> ports() const;
 

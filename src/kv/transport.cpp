@@ -16,4 +16,5 @@ const char* to_string(TransportStatus status) noexcept {
 
 template class BasicLoopbackTransport<KvServer>;
 template class BasicLoopbackTransport<SlabKvServer>;
+template class BasicLoopbackTransport<ShardedKvServer, false>;
 }  // namespace rnb::kv

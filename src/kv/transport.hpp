@@ -1,15 +1,25 @@
 // In-process loopback transport to a fleet of kv servers.
 //
 // Substitutes for the paper testbed's TCP path (DESIGN.md Section 4): each
-// roundtrip serializes a real request frame, crosses a per-server mutex
-// (standing in for the server's single dispatch thread), executes the full
-// parse/handle/format path, and hands back response bytes. The mutex is
-// what makes the two-client experiment of Fig. 14 meaningful in-process:
-// concurrent clients contend for the same server exactly as two memaslap
-// instances contend for one memcached.
+// roundtrip serializes a real request frame, executes the full
+// parse/handle/format path on the target server, and hands back response
+// bytes. How calls are synchronized depends on the engine:
+//
+//   * Plain engines (MemTable, SlabMemTable) are not thread-safe, so every
+//     roundtrip crosses a per-server dispatch mutex — the historical
+//     "single dispatch thread" model. That mutex is what makes the
+//     two-client experiment of Fig. 14 meaningful in-process: concurrent
+//     clients contend for the same server exactly as two memaslap
+//     instances contend for one single-threaded memcached. It is also the
+//     lock convoy the sharded path exists to remove.
+//   * Sharded engines synchronize internally (striped per-shard locks; see
+//     kv/sharded_memtable.hpp), so ShardedLoopbackTransport dispatches
+//     concurrently with no transport-level lock at all — the loadgen_kv
+//     bench measures exactly this difference.
 //
 // Generic over the storage engine: LoopbackTransport uses the byte-budget
-// MemTable, SlabLoopbackTransport the memcached-faithful slab engine.
+// MemTable, SlabLoopbackTransport the memcached-faithful slab engine, and
+// ShardedLoopbackTransport the concurrent sharded engine.
 #pragma once
 
 #include <memory>
@@ -23,11 +33,16 @@
 
 namespace rnb::kv {
 
-template <typename Server>
+/// `kSerializeDispatch` selects the synchronization model above: true
+/// wraps every roundtrip in the per-server mutex (required for engines
+/// that are not thread-safe), false calls handle() concurrently (the
+/// server must synchronize internally).
+template <typename Server, bool kSerializeDispatch = true>
 class BasicLoopbackTransport final : public KvTransport {
  public:
   /// Spin up `num_servers` servers, each constructed from `args` (byte
-  /// budget for KvServer, SlabConfig for SlabKvServer).
+  /// budget for KvServer, SlabConfig for SlabKvServer, budget + shard
+  /// count for ShardedKvServer).
   template <typename... Args>
   explicit BasicLoopbackTransport(ServerId num_servers, const Args&... args) {
     RNB_REQUIRE(num_servers > 0);
@@ -42,14 +57,18 @@ class BasicLoopbackTransport final : public KvTransport {
   }
 
   /// Send `request` to server `s`; the response lands in `response`.
-  /// Thread-safe per server (serialized by the server's dispatch mutex).
-  /// In-process delivery never fails and models no time.
+  /// Thread-safe per server (dispatch mutex or the server's own striped
+  /// locks). In-process delivery never fails and models no time.
   TransportResult roundtrip(ServerId s, std::string_view request,
                             std::string& response) override {
     RNB_REQUIRE(s < servers_.size());
     Endpoint& ep = servers_[s];
-    const std::lock_guard lock(*ep.dispatch);
-    ep.server->handle(request, response);
+    if constexpr (kSerializeDispatch) {
+      const std::lock_guard lock(*ep.dispatch);
+      ep.server->handle(request, response);
+    } else {
+      ep.server->handle(request, response);
+    }
     return {};
   }
 
@@ -65,10 +84,16 @@ class BasicLoopbackTransport final : public KvTransport {
   std::vector<Endpoint> servers_;
 };
 
-/// Default fleet: byte-budget global-LRU MemTable engines.
+/// Default fleet: byte-budget global-LRU MemTable engines behind the
+/// per-server dispatch mutex (deterministic; the Fig. 13/14 baseline).
 using LoopbackTransport = BasicLoopbackTransport<KvServer>;
 
 /// Memcached-faithful fleet: slab classes with per-class LRU.
 using SlabLoopbackTransport = BasicLoopbackTransport<SlabKvServer>;
+
+/// Concurrent fleet: sharded engines, no dispatch mutex — roundtrips from
+/// many client threads execute in parallel on one server.
+using ShardedLoopbackTransport =
+    BasicLoopbackTransport<ShardedKvServer, /*kSerializeDispatch=*/false>;
 
 }  // namespace rnb::kv

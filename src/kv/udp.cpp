@@ -28,8 +28,9 @@ UdpFrameHeader decode_udp_header(const char in[kUdpHeaderBytes]) {
                         ntohs(fields[3])};
 }
 
-UdpKvServer::UdpKvServer(std::size_t byte_budget, std::uint16_t port)
-    : server_(byte_budget) {
+UdpKvServer::UdpKvServer(std::size_t byte_budget, std::uint16_t port,
+                         std::size_t num_shards)
+    : server_(byte_budget, num_shards) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) throw std::runtime_error("udp: socket() failed");
   sockaddr_in addr{};
@@ -69,13 +70,10 @@ void UdpKvServer::receive_loop() {
     if (static_cast<std::size_t>(n) <= kUdpHeaderBytes) continue;
     const UdpFrameHeader header = decode_udp_header(datagram.data());
     if (header.total_datagrams != 1) continue;  // multi-datagram unsupported
-    {
-      std::lock_guard lock(server_mu_);
-      server_.handle(std::string_view(datagram.data() + kUdpHeaderBytes,
-                                      static_cast<std::size_t>(n) -
-                                          kUdpHeaderBytes),
-                     response);
-    }
+    server_.handle(std::string_view(datagram.data() + kUdpHeaderBytes,
+                                    static_cast<std::size_t>(n) -
+                                        kUdpHeaderBytes),
+                   response);
     if (response.size() > kUdpMaxPayload) {
       // Exactly what UDP memcached does to oversized multi-get responses:
       // nothing reaches the client, who eventually times out.

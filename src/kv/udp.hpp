@@ -46,14 +46,15 @@ UdpFrameHeader decode_udp_header(const char in[kUdpHeaderBytes]);
 /// experience when a multi-get overflows the datagram budget).
 class UdpKvServer {
  public:
-  explicit UdpKvServer(std::size_t byte_budget, std::uint16_t port = 0);
+  explicit UdpKvServer(std::size_t byte_budget, std::uint16_t port = 0,
+                       std::size_t num_shards = 0);
   ~UdpKvServer();
 
   UdpKvServer(const UdpKvServer&) = delete;
   UdpKvServer& operator=(const UdpKvServer&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
-  KvServer& server() noexcept { return server_; }
+  ShardedKvServer& server() noexcept { return server_; }
 
   /// Responses dropped because they exceeded one datagram.
   std::uint64_t oversize_drops() const noexcept {
@@ -65,8 +66,10 @@ class UdpKvServer {
  private:
   void receive_loop();
 
-  KvServer server_;
-  std::mutex server_mu_;
+  // The sharded engine synchronizes internally; the single receive thread
+  // needs no dispatch mutex, and inspection through server() is safe while
+  // the loop runs.
+  ShardedKvServer server_;
   int fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

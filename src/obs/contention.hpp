@@ -1,0 +1,95 @@
+// Lock-contention observability: a shared_mutex that counts itself.
+//
+// The sharded kv serving path replaces the old global dispatch mutex with
+// one striped InstrumentedSharedMutex per shard. Whether that actually
+// bought parallelism is an empirical question — a shard count mismatched to
+// the key distribution just moves the convoy — so the lock itself records
+// how often it was taken and how often the taker had to wait. Counters are
+// relaxed atomics (the lock acquisition that follows provides all the
+// ordering anyone needs) and snapshots merge associatively, the same
+// contract as obs::Histogram::merge, so per-shard numbers roll up into
+// per-server and per-fleet totals without coordination.
+//
+// "Contended" is detected by a try-lock-first acquisition: if the fast path
+// fails we count one contended acquisition and fall back to the blocking
+// path. try_lock is allowed to fail spuriously, so the count is a slight
+// over-estimate under load — fine for a signal whose job is "is this shard
+// a convoy", not an exact wait-time integral.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+
+namespace rnb::obs {
+
+/// Point-in-time counter values; plain integers so snapshots can be
+/// compared, diffed, and merged (operator+ is associative & commutative).
+struct ContentionSnapshot {
+  std::uint64_t shared_acquisitions = 0;
+  std::uint64_t exclusive_acquisitions = 0;
+  std::uint64_t contended_acquisitions = 0;
+
+  std::uint64_t total_acquisitions() const noexcept {
+    return shared_acquisitions + exclusive_acquisitions;
+  }
+
+  ContentionSnapshot& operator+=(const ContentionSnapshot& other) noexcept {
+    shared_acquisitions += other.shared_acquisitions;
+    exclusive_acquisitions += other.exclusive_acquisitions;
+    contended_acquisitions += other.contended_acquisitions;
+    return *this;
+  }
+  friend ContentionSnapshot operator+(ContentionSnapshot a,
+                                      const ContentionSnapshot& b) noexcept {
+    return a += b;
+  }
+};
+
+/// std::shared_mutex plus acquisition/contention counters. Satisfies the
+/// SharedLockable requirements, so std::shared_lock / std::unique_lock /
+/// std::scoped_lock all work on it directly.
+class InstrumentedSharedMutex {
+ public:
+  void lock() {
+    if (!mu_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
+    exclusive_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    exclusive_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  void unlock() { mu_.unlock(); }
+
+  void lock_shared() {
+    if (!mu_.try_lock_shared()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock_shared();
+    }
+    shared_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    shared_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+  ContentionSnapshot counters() const noexcept {
+    return {shared_.load(std::memory_order_relaxed),
+            exclusive_.load(std::memory_order_relaxed),
+            contended_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<std::uint64_t> shared_{0};
+  std::atomic<std::uint64_t> exclusive_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+}  // namespace rnb::obs

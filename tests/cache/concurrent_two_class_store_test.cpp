@@ -1,0 +1,142 @@
+#include "cache/concurrent_two_class_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cache/two_class_store.hpp"
+
+namespace rnb {
+namespace {
+
+/// One shard must behave operation-for-operation like the plain store.
+TEST(ConcurrentTwoClassStore, SingleShardMatchesTwoClassStore) {
+  TwoClassStore plain(16);
+  ConcurrentTwoClassStore sharded(16, ReplicaEvictionPolicy::kLru, 1);
+  ASSERT_EQ(sharded.shard_count(), 1u);
+
+  Xoshiro256 rng(3);
+  for (int op = 0; op < 4000; ++op) {
+    const ItemId item = rng.below(64);
+    switch (rng.below(5)) {
+      case 0:
+        plain.pin(item);
+        sharded.pin(item);
+        break;
+      case 1:
+        EXPECT_EQ(plain.read(item), sharded.read(item)) << "op " << op;
+        break;
+      case 2:
+        EXPECT_EQ(plain.contains(item), sharded.contains(item));
+        break;
+      case 3:
+        plain.write_replica(item);
+        sharded.write_replica(item);
+        break;
+      case 4:
+        EXPECT_EQ(plain.drop_replica(item), sharded.drop_replica(item));
+        break;
+    }
+  }
+  EXPECT_EQ(plain.pinned_count(), sharded.pinned_count());
+  EXPECT_EQ(plain.replica_count(), sharded.replica_count());
+  const CacheStats ps = plain.replica_stats();
+  const CacheStats ss = sharded.replica_stats();
+  EXPECT_EQ(ps.hits, ss.hits);
+  EXPECT_EQ(ps.misses, ss.misses);
+  EXPECT_EQ(ps.evictions, ss.evictions);
+}
+
+TEST(ConcurrentTwoClassStore, CapacitySplitsAcrossShards) {
+  const ConcurrentTwoClassStore store(64, ReplicaEvictionPolicy::kLru, 4);
+  EXPECT_EQ(store.shard_count(), 4u);
+  EXPECT_EQ(store.replica_capacity(), 64u);
+}
+
+TEST(ConcurrentTwoClassStore, ShardIndexDeterministicAndInRange) {
+  const ConcurrentTwoClassStore store(64, ReplicaEvictionPolicy::kLru, 8);
+  for (ItemId item = 0; item < 1000; ++item) {
+    EXPECT_LT(store.shard_index(item), 8u);
+    EXPECT_EQ(store.shard_index(item), store.shard_index(item));
+  }
+}
+
+/// Pinned (distinguished) copies must keep serving hits while writers
+/// churn the replica class hard enough to evict constantly.
+TEST(ConcurrentTwoClassStore, PinnedCopiesAlwaysHitUnderReplicaChurn) {
+  ConcurrentTwoClassStore store(32, ReplicaEvictionPolicy::kLru, 4);
+  constexpr ItemId kPinned = 24;
+  for (ItemId i = 0; i < kPinned; ++i) store.pin(i);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(40 + t);
+      while (!stop.load()) store.write_replica(1000 + rng.below(4096));
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < 2000; ++round)
+        for (ItemId i = 0; i < kPinned; ++i)
+          ASSERT_TRUE(store.read(i)) << "pinned item missed";
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(store.pinned_count(), kPinned);
+  EXPECT_LE(store.replica_count(), 32u);
+}
+
+TEST(ConcurrentTwoClassStore, ConcurrentMixedOpsKeepAccountingSane) {
+  ConcurrentTwoClassStore store(64, ReplicaEvictionPolicy::kLru, 8);
+  constexpr int kThreads = 6;
+  constexpr int kOps = 3000;
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(70 + t);
+      for (int op = 0; op < kOps; ++op) {
+        const ItemId item = rng.below(256);
+        switch (rng.below(4)) {
+          case 0:
+            store.write_replica(item);
+            break;
+          case 1:
+            store.read(item);
+            reads.fetch_add(1);
+            break;
+          case 2:
+            store.contains(item);
+            break;
+          case 3:
+            store.drop_replica(item);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const CacheStats stats = store.replica_stats();
+  EXPECT_EQ(stats.hits + stats.misses, reads.load());
+  EXPECT_LE(store.replica_count(), 64u);
+  const obs::ContentionSnapshot locks = store.lock_counters();
+  EXPECT_GT(locks.shared_acquisitions, 0u);
+  EXPECT_GT(locks.exclusive_acquisitions, 0u);
+  // Per-shard counters sum to the aggregate (associative roll-up).
+  obs::ContentionSnapshot summed;
+  for (std::size_t i = 0; i < store.shard_count(); ++i)
+    summed += store.shard_counters(i);
+  EXPECT_EQ(summed.total_acquisitions(), locks.total_acquisitions());
+}
+
+}  // namespace
+}  // namespace rnb

@@ -1,0 +1,124 @@
+#include "obs/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+namespace rnb::obs {
+namespace {
+
+TEST(InstrumentedSharedMutex, CountsSharedAndExclusiveAcquisitions) {
+  InstrumentedSharedMutex mu;
+  { const std::unique_lock lock(mu); }
+  { const std::shared_lock lock(mu); }
+  { const std::shared_lock lock(mu); }
+  const ContentionSnapshot snap = mu.counters();
+  EXPECT_EQ(snap.exclusive_acquisitions, 1u);
+  EXPECT_EQ(snap.shared_acquisitions, 2u);
+  EXPECT_EQ(snap.total_acquisitions(), 3u);
+  EXPECT_EQ(snap.contended_acquisitions, 0u);
+}
+
+TEST(InstrumentedSharedMutex, UncontendedAcquisitionsAreNotContended) {
+  InstrumentedSharedMutex mu;
+  for (int i = 0; i < 100; ++i) {
+    const std::unique_lock lock(mu);
+  }
+  EXPECT_EQ(mu.counters().contended_acquisitions, 0u);
+}
+
+TEST(InstrumentedSharedMutex, TryLockSuccessCountsAcquisition) {
+  InstrumentedSharedMutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock_shared());
+  mu.unlock_shared();
+  const ContentionSnapshot snap = mu.counters();
+  EXPECT_EQ(snap.exclusive_acquisitions, 1u);
+  EXPECT_EQ(snap.shared_acquisitions, 1u);
+}
+
+TEST(InstrumentedSharedMutex, TryLockFailureCountsNothing) {
+  InstrumentedSharedMutex mu;
+  mu.lock();
+  std::thread other([&] {
+    EXPECT_FALSE(mu.try_lock());
+    EXPECT_FALSE(mu.try_lock_shared());
+  });
+  other.join();
+  mu.unlock();
+  const ContentionSnapshot snap = mu.counters();
+  EXPECT_EQ(snap.exclusive_acquisitions, 1u);
+  EXPECT_EQ(snap.shared_acquisitions, 0u);
+}
+
+TEST(InstrumentedSharedMutex, BlockedAcquisitionCountsAsContended) {
+  InstrumentedSharedMutex mu;
+  std::atomic<bool> holder_ready{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    const std::unique_lock lock(mu);
+    holder_ready.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!holder_ready.load()) std::this_thread::yield();
+  std::thread waiter([&] {
+    const std::unique_lock lock(mu);  // must wait for holder
+  });
+  // The waiter bumps the contended counter before blocking, so observing
+  // it is a deterministic "the waiter is parked" signal.
+  while (mu.counters().contended_acquisitions == 0) std::this_thread::yield();
+  release.store(true);
+  holder.join();
+  waiter.join();
+  const ContentionSnapshot snap = mu.counters();
+  EXPECT_EQ(snap.exclusive_acquisitions, 2u);
+  EXPECT_GE(snap.contended_acquisitions, 1u);
+}
+
+TEST(ContentionSnapshot, MergeIsAssociativeAndCommutative) {
+  const ContentionSnapshot a{1, 2, 3};
+  const ContentionSnapshot b{10, 20, 30};
+  const ContentionSnapshot c{100, 200, 300};
+  const ContentionSnapshot left = (a + b) + c;
+  const ContentionSnapshot right = a + (b + c);
+  EXPECT_EQ(left.shared_acquisitions, right.shared_acquisitions);
+  EXPECT_EQ(left.exclusive_acquisitions, right.exclusive_acquisitions);
+  EXPECT_EQ(left.contended_acquisitions, right.contended_acquisitions);
+  const ContentionSnapshot ab = a + b;
+  const ContentionSnapshot ba = b + a;
+  EXPECT_EQ(ab.shared_acquisitions, ba.shared_acquisitions);
+  EXPECT_EQ(ab.exclusive_acquisitions, ba.exclusive_acquisitions);
+  EXPECT_EQ(left.shared_acquisitions, 111u);
+  EXPECT_EQ(left.exclusive_acquisitions, 222u);
+  EXPECT_EQ(left.contended_acquisitions, 333u);
+}
+
+TEST(InstrumentedSharedMutex, ManyThreadsAllAcquisitionsAccounted) {
+  InstrumentedSharedMutex mu;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if ((i + t) % 4 == 0) {
+          const std::unique_lock lock(mu);
+        } else {
+          const std::shared_lock lock(mu);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const ContentionSnapshot snap = mu.counters();
+  EXPECT_EQ(snap.total_acquisitions(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace rnb::obs
