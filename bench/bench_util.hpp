@@ -51,8 +51,16 @@ inline DirectedGraph load_workload_graph(const Flags& flags,
 /// are not finite serialize as null (never bare NaN, which is invalid JSON).
 class JsonResult {
  public:
+  /// Pre-serialized JSON spliced in verbatim — for structured values
+  /// (objects, arrays) produced by other exporters, e.g. the stitched-trace
+  /// example and slow-request dump loadgen_kv embeds. The caller guarantees
+  /// the text is valid JSON.
+  struct Raw {
+    std::string json;
+  };
+
   using Value = std::variant<std::string, double, std::int64_t,
-                             std::uint64_t, bool>;
+                             std::uint64_t, bool, Raw>;
 
   explicit JsonResult(std::string name) : name_(std::move(name)) {}
 
@@ -122,6 +130,8 @@ class JsonResult {
       os << *i;
     } else if (const auto* u = std::get_if<std::uint64_t>(&v)) {
       os << *u;
+    } else if (const auto* r = std::get_if<Raw>(&v)) {
+      os << (r->json.empty() ? "null" : r->json);
     } else {
       os << (std::get<bool>(v) ? "true" : "false");
     }

@@ -24,16 +24,28 @@
 // timing is wall-clock (this bench measures real contention, unlike the
 // simulator benches).
 //
+// Distributed tracing (`--trace=FILE`): the measured phase runs under a
+// wall-clock tracer installed at the start barrier (warmup is untraced).
+// Every request opens a root "transaction" span whose context rides the
+// frame's @trace tag, so the exported Chrome JSON stitches client spans to
+// the server-side parse/dispatch/handle/format tree — across real sockets
+// in tcp mode. `--slowlog=N` keeps the N most expensive requests and
+// prints them (plus their span trees, when tracing) after the run.
+//
 //   build/bench/loadgen_kv --threads=8 --batch=10 --json=scaling.json
 //   build/bench/loadgen_kv --mode=tcp --threads=4 --connections=2
+//   build/bench/loadgen_kv --mode=tcp --shards=4 --trace=kv.trace.json
+//       --slowlog=10 --requests=500   (one line)
 #include <atomic>
 #include <barrier>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -48,6 +60,8 @@
 #include "kv/transport.hpp"
 #include "obs/contention.hpp"
 #include "obs/hdr_histogram.hpp"
+#include "obs/slow_log.hpp"
+#include "obs/trace.hpp"
 
 namespace rnb::kv {
 namespace {
@@ -81,16 +95,27 @@ struct RunResult {
 
 /// Run the closed loop: every thread performs `warmup` untimed then
 /// `requests` timed multi-gets; the wall clock covers first timed request
-/// to last completion (all threads start together at a barrier).
+/// to last completion (all threads start together at a barrier). When
+/// `tracer` / `slow` are given they are installed process-wide by the
+/// start-barrier completion step — after every thread has finished its
+/// (untraced) warmup and before any timed request — and removed again once
+/// the workers have joined.
 RunResult run_load(const Params& p, const std::vector<std::string>& universe,
-                   const std::function<Dispatch(unsigned)>& make_dispatch) {
+                   const std::function<Dispatch(unsigned)>& make_dispatch,
+                   obs::Tracer* tracer = nullptr,
+                   obs::SlowLog* slow = nullptr) {
   struct WorkerState {
     obs::Histogram hist;
     std::chrono::steady_clock::time_point start;
     std::chrono::steady_clock::time_point end;
   };
   std::vector<WorkerState> workers(p.threads);
-  std::barrier start_line(static_cast<std::ptrdiff_t>(p.threads) + 1);
+  const auto arm_observers = [tracer, slow]() noexcept {
+    if (tracer != nullptr) obs::Tracer::set_current(tracer);
+    if (slow != nullptr) obs::SlowLog::set_current(slow);
+  };
+  std::barrier start_line(static_cast<std::ptrdiff_t>(p.threads) + 1,
+                          arm_observers);
 
   std::vector<std::thread> threads;
   threads.reserve(p.threads);
@@ -115,12 +140,37 @@ RunResult run_load(const Params& p, const std::vector<std::string>& universe,
       workers[tid].start = std::chrono::steady_clock::now();
       for (std::uint64_t i = 0; i < p.requests; ++i) {
         build();
+        std::uint64_t trace_id = 0;
         const auto t0 = std::chrono::steady_clock::now();
-        dispatch(frame, response);
+        {
+          // Root of this request's distributed trace; its context rides
+          // the frame so the server's span tree stitches underneath. A
+          // no-op (one branch) when no tracer is installed.
+          obs::SpanScope txn_span("transaction", "loadgen",
+                                  obs::SpanScope::Kind::kRoot);
+          const obs::TraceContext ctx = txn_span.context();
+          if (ctx.valid()) {
+            trace_id = ctx.trace_id;
+            append_trace_tag(frame,
+                             TraceTag{ctx.trace_id, ctx.span_id, ctx.sampled});
+          }
+          dispatch(frame, response);
+        }
         const auto t1 = std::chrono::steady_clock::now();
-        workers[tid].hist.record(static_cast<std::uint64_t>(
+        const auto ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                .count()));
+                .count());
+        workers[tid].hist.record_traced(ns, trace_id);
+        if (obs::SlowLog* log = obs::SlowLog::current()) {
+          obs::SlowRequest sr;
+          sr.trace_id = trace_id;
+          sr.cost = ns;
+          sr.items = static_cast<std::uint32_t>(p.batch);
+          sr.transactions = 1;
+          sr.waves = 1;
+          sr.servers = 1;
+          log->record(sr);
+        }
       }
       workers[tid].end = std::chrono::steady_clock::now();
     });
@@ -128,6 +178,8 @@ RunResult run_load(const Params& p, const std::vector<std::string>& universe,
 
   start_line.arrive_and_wait();
   for (auto& t : threads) t.join();
+  if (tracer != nullptr) obs::Tracer::set_current(nullptr);
+  if (slow != nullptr) obs::SlowLog::set_current(nullptr);
 
   // Wall clock spans first worker start to last worker completion (the
   // main thread may be scheduled arbitrarily late after the barrier, so
@@ -232,7 +284,8 @@ obs::ContentionSnapshot delta(const obs::ContentionSnapshot& before,
   return d;
 }
 
-Row run_baseline(const Params& p, const std::vector<std::string>& universe) {
+Row run_baseline(const Params& p, const std::vector<std::string>& universe,
+                 obs::Tracer* tracer, obs::SlowLog* slow) {
   LoopbackTransport transport(1, budget_for(p));
   std::string response;
   preload(p, universe,
@@ -242,17 +295,21 @@ Row run_baseline(const Params& p, const std::vector<std::string>& universe) {
   const ServerCounters before = transport.server(0).counters();
   Row row;
   row.engine = "baseline";
-  row.run = run_load(p, universe, [&](unsigned) -> Dispatch {
-    return [&](std::string_view frame, std::string& out) {
-      transport.roundtrip(0, frame, out);
-    };
-  });
+  row.run = run_load(
+      p, universe,
+      [&](unsigned) -> Dispatch {
+        return [&](std::string_view frame, std::string& out) {
+          transport.roundtrip(0, frame, out);
+        };
+      },
+      tracer, slow);
   row.hit_rate = hit_rate_of(before, transport.server(0).counters());
   return row;
 }
 
 Row run_sharded(const Params& p, const std::vector<std::string>& universe,
-                std::uint64_t shards) {
+                std::uint64_t shards, obs::Tracer* tracer,
+                obs::SlowLog* slow) {
   ShardedLoopbackTransport transport(1, budget_for(p), shards);
   preload(p, universe,
           [&](std::string_view frame, std::string& out) {
@@ -264,11 +321,14 @@ Row run_sharded(const Params& p, const std::vector<std::string>& universe,
   Row row;
   row.engine = "sharded";
   row.shards = transport.server(0).table().shard_count();
-  row.run = run_load(p, universe, [&](unsigned) -> Dispatch {
-    return [&](std::string_view frame, std::string& out) {
-      transport.roundtrip(0, frame, out);
-    };
-  });
+  row.run = run_load(
+      p, universe,
+      [&](unsigned) -> Dispatch {
+        return [&](std::string_view frame, std::string& out) {
+          transport.roundtrip(0, frame, out);
+        };
+      },
+      tracer, slow);
   row.hit_rate = hit_rate_of(before, transport.server(0).counters());
   row.locks =
       delta(locks_before, transport.server(0).table().lock_counters());
@@ -276,7 +336,8 @@ Row run_sharded(const Params& p, const std::vector<std::string>& universe,
 }
 
 Row run_tcp(const Params& p, const std::vector<std::string>& universe,
-            std::uint64_t shards, std::uint64_t connections) {
+            std::uint64_t shards, std::uint64_t connections,
+            obs::Tracer* tracer, obs::SlowLog* slow) {
   TcpKvServer server(budget_for(p), /*port=*/0, shards);
   {
     TcpKvConnection setup(server.port());
@@ -291,22 +352,78 @@ Row run_tcp(const Params& p, const std::vector<std::string>& universe,
   Row row;
   row.engine = "tcp";
   row.shards = server.server().table().shard_count();
-  row.run = run_load(p, universe, [&](unsigned) -> Dispatch {
-    // Each worker owns `connections` sockets used round-robin, so one
-    // thread exercises several server-side connection threads.
-    auto conns = std::make_shared<std::vector<std::unique_ptr<TcpKvConnection>>>();
-    for (std::uint64_t c = 0; c < connections; ++c)
-      conns->push_back(std::make_unique<TcpKvConnection>(server.port()));
-    auto next = std::make_shared<std::size_t>(0);
-    return [conns, next](std::string_view frame, std::string& out) {
-      TcpKvConnection& conn = *(*conns)[*next];
-      *next = (*next + 1) % conns->size();
-      conn.roundtrip(frame, out);
-    };
-  });
+  row.run = run_load(
+      p, universe,
+      [&](unsigned) -> Dispatch {
+        // Each worker owns `connections` sockets used round-robin, so one
+        // thread exercises several server-side connection threads.
+        auto conns =
+            std::make_shared<std::vector<std::unique_ptr<TcpKvConnection>>>();
+        for (std::uint64_t c = 0; c < connections; ++c)
+          conns->push_back(std::make_unique<TcpKvConnection>(server.port()));
+        auto next = std::make_shared<std::size_t>(0);
+        return [conns, next](std::string_view frame, std::string& out) {
+          TcpKvConnection& conn = *(*conns)[*next];
+          *next = (*next + 1) % conns->size();
+          conn.roundtrip(frame, out);
+        };
+      },
+      tracer, slow);
   row.hit_rate = hit_rate_of(before, server.server().counters());
   row.locks = delta(locks_before, server.server().table().lock_counters());
   return row;
+}
+
+/// Re-emit each retained histogram-bucket exemplar as an "exemplar"
+/// instant attached to its trace, so the Chrome trace file itself links
+/// latency buckets to the stitched request that produced them.
+void emit_exemplars(obs::Tracer& tracer, const obs::Histogram& latency) {
+  latency.for_each_bucket([&](const obs::Histogram::Bucket& b) {
+    const obs::Histogram::Exemplar* ex = latency.bucket_exemplar(b.index);
+    if (ex == nullptr) return;
+    tracer.instant_in_trace(
+        "exemplar", "loadgen", {ex->trace_id, 0, true},
+        {{"value_ns", static_cast<std::int64_t>(ex->value)},
+         {"bucket_upper_ns", static_cast<std::int64_t>(b.upper)}});
+  });
+}
+
+/// One stitched client→server example for the JSON schema: the first
+/// traced loadgen transaction with a server-side child, plus the names of
+/// the server span's children (parse/dispatch/handle/format).
+bench::JsonResult::Raw stitched_example(const obs::Tracer& tracer) {
+  const std::vector<obs::TraceEvent> events = tracer.snapshot_events();
+  const auto is_txn = [](const obs::TraceEvent& e, const char* cat) {
+    return e.phase == 'X' && e.name != nullptr && e.cat != nullptr &&
+           std::string_view(e.name) == "transaction" &&
+           std::string_view(e.cat) == cat;
+  };
+  for (const obs::TraceEvent& c : events) {
+    if (c.trace_id == 0 || !is_txn(c, "loadgen")) continue;
+    for (const obs::TraceEvent& s : events) {
+      if (s.trace_id != c.trace_id || s.parent_id != c.span_id ||
+          !is_txn(s, "server"))
+        continue;
+      std::ostringstream out;
+      out << "{\"trace_id\":";
+      obs::write_hex_id(out, c.trace_id);
+      out << ",\"client_span_id\":";
+      obs::write_hex_id(out, c.span_id);
+      out << ",\"server_span_id\":";
+      obs::write_hex_id(out, s.span_id);
+      out << ",\"server_children\":[";
+      bool first = true;
+      for (const obs::TraceEvent& g : events) {
+        if (g.trace_id != c.trace_id || g.parent_id != s.span_id) continue;
+        if (!first) out << ',';
+        first = false;
+        obs::write_json_string(out, g.name == nullptr ? "?" : g.name);
+      }
+      out << "]}";
+      return {out.str()};
+    }
+  }
+  return {};
 }
 
 int run(int argc, char** argv) {
@@ -329,6 +446,24 @@ int run(int argc, char** argv) {
   const std::uint64_t fixed_shards = flags.u64("shards", 0);
   const std::uint64_t connections = flags.u64("connections", 1);
   const bool with_baseline = flags.boolean("baseline", true);
+  const std::string trace_path = flags.str("trace", "");
+  const std::uint64_t slowlog_n = flags.u64("slowlog", 0);
+
+  // One wall-clock tracer shared by every row (installed only during each
+  // measured phase). Rings are sized so a --trace run keeps every event —
+  // roughly 8 spans per request end up on the busiest thread — which is
+  // why traced runs should use small --requests counts.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_path.empty()) {
+    const std::size_t ring_capacity = static_cast<std::size_t>(
+        p.requests * std::max(1u, p.threads) * 8 + 4096);
+    tracer = std::make_unique<obs::Tracer>(obs::Tracer::ClockMode::kWall,
+                                           ring_capacity);
+  }
+  std::unique_ptr<obs::SlowLog> slow;
+  if (slowlog_n > 0)
+    slow = std::make_unique<obs::SlowLog>(
+        static_cast<std::size_t>(slowlog_n));
 
   std::vector<std::string> universe;
   universe.reserve(p.keys);
@@ -361,14 +496,41 @@ int run(int argc, char** argv) {
   std::vector<Row> rows;
   if (mode == "tcp") {
     for (const std::uint64_t s : shard_counts)
-      rows.push_back(run_tcp(p, universe, s, connections));
+      rows.push_back(
+          run_tcp(p, universe, s, connections, tracer.get(), slow.get()));
   } else {
-    if (with_baseline) rows.push_back(run_baseline(p, universe));
+    if (with_baseline)
+      rows.push_back(run_baseline(p, universe, tracer.get(), slow.get()));
     for (const std::uint64_t s : shard_counts)
-      rows.push_back(run_sharded(p, universe, s));
+      rows.push_back(
+          run_sharded(p, universe, s, tracer.get(), slow.get()));
   }
 
   report(p, rows, json);
+
+  if (tracer != nullptr) {
+    for (const Row& row : rows) emit_exemplars(*tracer, row.run.latency);
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write --trace=%s\n", trace_path.c_str());
+      return 1;
+    }
+    tracer->export_chrome_json(trace_out);
+    std::fprintf(stderr, "wrote Chrome trace to %s (%" PRIu64
+                         " events, %" PRIu64 " dropped)\n",
+                 trace_path.c_str(), tracer->events_recorded(),
+                 tracer->events_dropped());
+    json.param("trace_file", trace_path);
+    json.param("stitched_example", stitched_example(*tracer));
+  }
+  if (slow != nullptr) {
+    std::ostringstream text;
+    slow->write_text(text);
+    std::fputs(text.str().c_str(), stdout);
+    std::ostringstream dump;
+    slow->write_json(dump, tracer.get());
+    json.param("slow_requests", bench::JsonResult::Raw{dump.str()});
+  }
   return bench::maybe_write_json(flags, json) ? 0 : 1;
 }
 

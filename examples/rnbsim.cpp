@@ -21,6 +21,10 @@
 //
 //   # observability: Chrome trace (chrome://tracing, Perfetto) + Prometheus
 //   build/examples/rnbsim --requests=500 --trace=out.json --metrics=out.prom
+//
+//   # slow-request log: keep the 10 most expensive requests (add --trace to
+//   # dump their full span trees too)
+//   build/examples/rnbsim --requests=500 --slowlog=10 --trace=out.json
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -29,6 +33,7 @@
 #include "faultsim/fault_spec.hpp"
 #include "graph/generators.hpp"
 #include "graph/loader.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/trace.hpp"
 #include "sim/calibration.hpp"
 #include "sim/full_sim.hpp"
@@ -59,6 +64,7 @@ struct Args {
   std::string record_path;
   std::string trace_out;    // Chrome trace_event JSON
   std::string metrics_out;  // Prometheus text exposition
+  std::uint64_t slowlog = 0;  // keep the N most expensive requests
   std::string placement = "rch";
   std::string strategy = "greedy";
   std::string eviction = "lru";
@@ -92,6 +98,7 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (key == "record-trace") args.record_path = value;
     else if (key == "trace") args.trace_out = value;
     else if (key == "metrics") args.metrics_out = value;
+    else if (key == "slowlog") args.slowlog = std::stoull(value);
     else if (key == "placement") args.placement = value;
     else if (key == "strategy") args.strategy = value;
     else if (key == "eviction") args.eviction = value;
@@ -182,9 +189,18 @@ int main(int argc, char** argv) {
     tracer = std::make_unique<obs::Tracer>(obs::Tracer::ClockMode::kVirtual);
     obs::Tracer::set_current(tracer.get());
   }
+  // Slow-request log: the N highest-cost requests (cost = transactions, the
+  // paper's unit). Records during the run; dumped after the report.
+  std::unique_ptr<obs::SlowLog> slow_log;
+  if (args.slowlog > 0) {
+    slow_log = std::make_unique<obs::SlowLog>(
+        static_cast<std::size_t>(args.slowlog));
+    obs::SlowLog::set_current(slow_log.get());
+  }
 
   const FullSimResult result = run_full_sim(*source, cfg);
 
+  if (slow_log != nullptr) obs::SlowLog::set_current(nullptr);
   if (tracer != nullptr) {
     obs::Tracer::set_current(nullptr);
     std::ofstream out(args.trace_out);
@@ -249,5 +265,9 @@ int main(int argc, char** argv) {
               << "\n"
               << "p99 TPR            " << result.metrics.tpr_quantile(0.99)
               << "\n";
+  if (slow_log != nullptr) {
+    std::cout << "-- slow requests (cost = transactions) --\n";
+    slow_log->write_text(std::cout);
+  }
   return 0;
 }

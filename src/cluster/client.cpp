@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/trace.hpp"
 #include "setcover/baselines.hpp"
 #include "setcover/greedy.hpp"
@@ -127,7 +128,9 @@ RequestPlan RnbClient::plan(std::span<const ItemId> request_items) {
 
 RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
                                   MetricsAccumulator* metrics) {
-  obs::SpanScope req_span("request", "client");
+  // Root span: cover, waves, and transactions all trace back to it, and
+  // its trace id is what the slow-request log reports for this request.
+  obs::SpanScope req_span("request", "client", obs::SpanScope::Kind::kRoot);
   RequestPlan p = plan(request_items);
   const std::size_t m = p.items.size();
   req_span.arg("items", static_cast<std::int64_t>(m));
@@ -154,6 +157,8 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
     }
   }
 
+  // Every server this request sent at least one transaction to.
+  std::unordered_set<ServerId> contacted;
   // Servers that ate every attempt this request gave them. Only meaningful
   // under an attached fault injector — a clean run never fails a send.
   std::vector<char> failed(fault_ == nullptr ? 0 : cluster_.num_servers(), 0);
@@ -170,6 +175,7 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
                                      obs::SpanScope* span = nullptr) -> bool {
     const std::uint32_t attempts =
         fault_ == nullptr ? 1 : std::max(1u, policy_.max_attempts);
+    contacted.insert(s);
     for (std::uint32_t a = 0; a < attempts; ++a) {
       ++txn_counter;
       if (a > 0) {
@@ -379,6 +385,22 @@ RequestOutcome RnbClient::execute(std::span<const ItemId> request_items,
                                          outcome.recover_transactions +
                                          outcome.round2_transactions));
   req_span.arg("retries", static_cast<std::int64_t>(outcome.retries));
+  if (obs::SlowLog* slow = obs::SlowLog::current()) {
+    obs::SlowRequest sr;
+    sr.trace_id = req_span.context().trace_id;
+    // The simulator has no latency model; its cost unit is transactions
+    // (the paper's own y-axis), so "slow" means "expensive to serve".
+    sr.cost = outcome.round1_transactions + outcome.recover_transactions +
+              outcome.round2_transactions;
+    sr.items = outcome.items_requested;
+    sr.transactions = static_cast<std::uint32_t>(sr.cost);
+    sr.waves = waves_used + round2_wave;
+    sr.hitchhikes = outcome.hitchhiker_keys;
+    sr.retries = outcome.retries;
+    sr.servers = static_cast<std::uint32_t>(contacted.size());
+    sr.deadline_missed = outcome.deadline_missed != 0;
+    slow->record(sr);
+  }
 
   if (metrics != nullptr) metrics->add(outcome);
   if (observer_ != nullptr) observer_->on_request(p.items);

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -30,9 +31,18 @@
 #include "kv/sharded_memtable.hpp"
 #include "kv/slab_memtable.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/trace.hpp"
 
 namespace rnb::kv {
+
+/// Out-parameters a transport can ask handle() for. `trace` is the
+/// request's propagated trace tag (absent for untagged frames), letting
+/// the transport attribute its post-handle work — the socket write — to
+/// the same trace the server spans joined.
+struct HandleInfo {
+  TraceTag trace;
+};
 
 /// Snapshot of a server's request counters (plain integers; the live
 /// counters are relaxed atomics so concurrent handle() calls never race).
@@ -59,78 +69,50 @@ class BasicKvServer {
   /// (cleared first). Never throws; malformed input yields CLIENT_ERROR.
   /// Safe to call concurrently iff the engine is (see the header comment).
   void handle(std::string_view request, std::string& response) {
+    handle(request, response, nullptr);
+  }
+
+  /// handle() plus out-parameters for trace-aware transports. When a
+  /// tracer is installed, the frame's trace tag (if any) is adopted as
+  /// the ambient context and the request unfolds into server child spans:
+  ///
+  ///   transaction             child of the client span in the tag
+  ///   ├─ parse                frame grammar -> Command
+  ///   ├─ dispatch             shard routing + lock acquisition
+  ///   │  └─ handle            the engine operation itself
+  ///   └─ format               response assembly
+  ///
+  /// Untraced calls skip all of it: one static pointer load per seam.
+  void handle(std::string_view request, std::string& response,
+              HandleInfo* info) {
     response.clear();
-    obs::SpanScope txn_span("transaction", "server");
+    obs::Tracer* const tracer = obs::Tracer::current();
     counters_.transactions.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t parse_start = tracer != nullptr ? tracer->now() : 0;
     std::string error;
     const std::optional<Command> cmd = parse_command(request, &error);
+    const std::uint64_t parse_end = tracer != nullptr ? tracer->now() : 0;
+    const TraceTag trace = cmd ? command_trace(*cmd) : TraceTag{};
+    if (info != nullptr) info->trace = trace;
+    // Join the caller's trace: every span below becomes a child of the
+    // client span named in the tag. Untagged frames trace locally rooted.
+    obs::ScopedTraceContext adopt(
+        {trace.trace_id, trace.span_id, trace.sampled});
+    obs::SpanScope txn_span("transaction", "server");
+    txn_span.set_start(parse_start);  // fold in the parse we just measured
+    if (tracer != nullptr)
+      tracer->complete(
+          "parse", "server", parse_start, parse_end - parse_start,
+          {{"bytes", static_cast<std::int64_t>(request.size())}});
     if (!cmd) {
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       txn_span.note("outcome", "protocol_error");
       encode_simple("CLIENT_ERROR " + error, response);
       return;
     }
-
-    if (const auto* get = std::get_if<GetCommand>(&*cmd)) {
-      std::vector<Value> values;
-      values.reserve(get->keys.size());
-      counters_.keys_requested.fetch_add(get->keys.size(),
-                                         std::memory_order_relaxed);
-      if constexpr (kBatchedReads) {
-        // Sharded engine: decompose the transaction into per-shard
-        // sub-batches, one lock acquisition per involved shard, no global
-        // ordering. Results come back positionally so the response keeps
-        // request key order — byte-identical to the sequential loop.
-        std::vector<std::optional<typename Store::GetResult>> results;
-        table_.multi_get(get->keys, results);
-        for (std::size_t i = 0; i < get->keys.size(); ++i) {
-          if (results[i])
-            values.push_back(Value{get->keys[i], std::move(results[i]->value),
-                                   results[i]->version});
-        }
-      } else {
-        for (const std::string& key : get->keys) {
-          if (auto hit = table_.get(key))
-            values.push_back(Value{key, std::move(hit->value), hit->version});
-        }
-      }
-      counters_.keys_returned.fetch_add(values.size(),
-                                        std::memory_order_relaxed);
-      txn_span.arg("keys", static_cast<std::int64_t>(get->keys.size()));
-      txn_span.arg("hits", static_cast<std::int64_t>(values.size()));
-      encode_values(values, get->with_versions, response);
-      return;
-    }
-    if (std::holds_alternative<StatsCommand>(*cmd)) {
-      write_stats(response);
-      return;
-    }
-    if (const auto* set = std::get_if<SetCommand>(&*cmd)) {
-      counters_.stores.fetch_add(1, std::memory_order_relaxed);
-      const bool ok = table_.set(set->key, set->data, set->pin);
-      encode_simple(ok ? "STORED" : "SERVER_ERROR out of memory", response);
-      return;
-    }
-    if (const auto* cas = std::get_if<CasCommand>(&*cmd)) {
-      counters_.stores.fetch_add(1, std::memory_order_relaxed);
-      switch (table_.cas(cas->key, cas->version, cas->data)) {
-        case MemTable::CasOutcome::kStored:
-          encode_simple("STORED", response);
-          return;
-        case MemTable::CasOutcome::kExists:
-          encode_simple("EXISTS", response);
-          return;
-        case MemTable::CasOutcome::kNotFound:
-          encode_simple("NOT_FOUND", response);
-          return;
-      }
-    }
-    if (const auto* del = std::get_if<DeleteCommand>(&*cmd)) {
-      counters_.deletes.fetch_add(1, std::memory_order_relaxed);
-      encode_simple(table_.erase(del->key) ? "DELETED" : "NOT_FOUND",
-                    response);
-      return;
-    }
+    dispatch_command(*cmd, response, txn_span);
+    if (tracer != nullptr)
+      observe_latency(trace, tracer->now() - parse_start, *cmd);
   }
 
   ServerCounters counters() const noexcept { return counters_.snapshot(); }
@@ -149,6 +131,214 @@ class BasicKvServer {
     t.shard_count();
     t.shard_snapshot(0);
   };
+  /// True when the engine routes keys to shards (dispatch spans can then
+  /// carry the shard index a key resolved to).
+  static constexpr bool kShardRouting =
+      requires(const Store& t, std::string_view key) { t.shard_index(key); };
+  /// True when the engine aggregates striped-lock contention counters.
+  static constexpr bool kLockCounters =
+      requires(const Store& t) { t.lock_counters(); };
+
+  /// Execute one parsed command. Spans (dispatch > handle, then format)
+  /// only materialize when a tracer is installed.
+  void dispatch_command(const Command& cmd, std::string& response,
+                        obs::SpanScope& txn_span) {
+    if (const auto* get = std::get_if<GetCommand>(&cmd)) {
+      std::vector<Value> values;
+      values.reserve(get->keys.size());
+      counters_.keys_requested.fetch_add(get->keys.size(),
+                                         std::memory_order_relaxed);
+      {
+        obs::SpanScope dispatch_span("dispatch", "server");
+        annotate_dispatch(dispatch_span, get->keys);
+        const std::uint64_t contended = contended_before(dispatch_span);
+        {
+          obs::SpanScope handle_span("handle", "server");
+          if constexpr (kBatchedReads) {
+            // Sharded engine: decompose the transaction into per-shard
+            // sub-batches, one lock acquisition per involved shard, no
+            // global ordering. Results come back positionally so the
+            // response keeps request key order — byte-identical to the
+            // sequential loop.
+            std::vector<std::optional<typename Store::GetResult>> results;
+            table_.multi_get(get->keys, results);
+            for (std::size_t i = 0; i < get->keys.size(); ++i) {
+              if (results[i])
+                values.push_back(Value{get->keys[i],
+                                       std::move(results[i]->value),
+                                       results[i]->version});
+            }
+          } else {
+            for (const std::string& key : get->keys) {
+              if (auto hit = table_.get(key))
+                values.push_back(
+                    Value{key, std::move(hit->value), hit->version});
+            }
+          }
+          handle_span.arg("keys",
+                          static_cast<std::int64_t>(get->keys.size()));
+          handle_span.arg("hits", static_cast<std::int64_t>(values.size()));
+        }
+        annotate_lock_wait(dispatch_span, contended);
+      }
+      counters_.keys_returned.fetch_add(values.size(),
+                                        std::memory_order_relaxed);
+      txn_span.arg("keys", static_cast<std::int64_t>(get->keys.size()));
+      txn_span.arg("hits", static_cast<std::int64_t>(values.size()));
+      format_response(
+          [&] { encode_values(values, get->with_versions, response); },
+          response);
+      return;
+    }
+    if (std::holds_alternative<StatsCommand>(cmd)) {
+      obs::SpanScope handle_span("handle", "server");
+      write_stats(response);
+      return;
+    }
+    if (const auto* set = std::get_if<SetCommand>(&cmd)) {
+      counters_.stores.fetch_add(1, std::memory_order_relaxed);
+      bool ok = false;
+      {
+        obs::SpanScope dispatch_span("dispatch", "server");
+        annotate_dispatch(dispatch_span, std::span(&set->key, 1));
+        const std::uint64_t contended = contended_before(dispatch_span);
+        {
+          obs::SpanScope handle_span("handle", "server");
+          ok = table_.set(set->key, set->data, set->pin);
+          handle_span.arg("bytes",
+                          static_cast<std::int64_t>(set->data.size()));
+        }
+        annotate_lock_wait(dispatch_span, contended);
+      }
+      format_response(
+          [&] {
+            encode_simple(ok ? "STORED" : "SERVER_ERROR out of memory",
+                          response);
+          },
+          response);
+      return;
+    }
+    if (const auto* cas = std::get_if<CasCommand>(&cmd)) {
+      counters_.stores.fetch_add(1, std::memory_order_relaxed);
+      MemTable::CasOutcome outcome = MemTable::CasOutcome::kNotFound;
+      {
+        obs::SpanScope dispatch_span("dispatch", "server");
+        annotate_dispatch(dispatch_span, std::span(&cas->key, 1));
+        const std::uint64_t contended = contended_before(dispatch_span);
+        {
+          obs::SpanScope handle_span("handle", "server");
+          outcome = table_.cas(cas->key, cas->version, cas->data);
+        }
+        annotate_lock_wait(dispatch_span, contended);
+      }
+      format_response(
+          [&] {
+            switch (outcome) {
+              case MemTable::CasOutcome::kStored:
+                encode_simple("STORED", response);
+                break;
+              case MemTable::CasOutcome::kExists:
+                encode_simple("EXISTS", response);
+                break;
+              case MemTable::CasOutcome::kNotFound:
+                encode_simple("NOT_FOUND", response);
+                break;
+            }
+          },
+          response);
+      return;
+    }
+    if (const auto* del = std::get_if<DeleteCommand>(&cmd)) {
+      counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+      bool erased = false;
+      {
+        obs::SpanScope dispatch_span("dispatch", "server");
+        annotate_dispatch(dispatch_span, std::span(&del->key, 1));
+        const std::uint64_t contended = contended_before(dispatch_span);
+        {
+          obs::SpanScope handle_span("handle", "server");
+          erased = table_.erase(del->key);
+        }
+        annotate_lock_wait(dispatch_span, contended);
+      }
+      format_response(
+          [&] { encode_simple(erased ? "DELETED" : "NOT_FOUND", response); },
+          response);
+      return;
+    }
+  }
+
+  /// Run the encoder under a "format" span that reports response bytes.
+  template <typename Encode>
+  void format_response(Encode&& encode, std::string& response) {
+    obs::SpanScope format_span("format", "server");
+    encode();
+    format_span.arg("bytes", static_cast<std::int64_t>(response.size()));
+  }
+
+  /// Dispatch-span routing annotation: the shard a single key resolves
+  /// to, or the shard fan-out bound for a batch.
+  template <typename Keys>
+  void annotate_dispatch(obs::SpanScope& span,
+                         const Keys& keys) const {
+    if (!span.active()) return;
+    if constexpr (kShardRouting) {
+      if (keys.size() == 1)
+        span.arg("shard",
+                 static_cast<std::int64_t>(table_.shard_index(keys[0])));
+      else
+        span.arg("shards",
+                 static_cast<std::int64_t>(table_.shard_count()));
+    } else {
+      (void)keys;
+      span.arg("shard", 0);
+    }
+  }
+
+  std::uint64_t contended_before(const obs::SpanScope& span) const {
+    if constexpr (kLockCounters) {
+      if (span.active())
+        return table_.lock_counters().contended_acquisitions;
+    }
+    (void)span;
+    return 0;
+  }
+
+  /// Attach the striped-lock contention delta observed across the engine
+  /// call — the "how long did this request wait on locks" attribution the
+  /// contention counters afford (acquisition counts, not wall time).
+  void annotate_lock_wait(obs::SpanScope& span,
+                          std::uint64_t contended_before_count) const {
+    if constexpr (kLockCounters) {
+      if (span.active())
+        span.arg("lock_contended",
+                 static_cast<std::int64_t>(
+                     table_.lock_counters().contended_acquisitions -
+                     contended_before_count));
+    } else {
+      (void)span;
+      (void)contended_before_count;
+    }
+  }
+
+  /// Traced-only tail attribution: handle latency histogram (exemplars
+  /// link buckets to trace ids) and the server-side slow-transaction log,
+  /// both exposed by the `stats` verb. Never touched without a tracer, so
+  /// the untraced hot path stays mutex-free.
+  void observe_latency(const TraceTag& trace, std::uint64_t elapsed,
+                       const Command& cmd) {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    handle_latency_.record_traced(elapsed, trace.trace_id);
+    obs::SlowRequest req;
+    req.trace_id = trace.trace_id;
+    req.cost = elapsed;
+    req.transactions = 1;
+    if (const auto* get = std::get_if<GetCommand>(&cmd))
+      req.items = static_cast<std::uint32_t>(get->keys.size());
+    else
+      req.items = 1;
+    slow_log_.record(req);
+  }
 
   struct AtomicCounters {
     std::atomic<std::uint64_t> transactions{0};
@@ -201,7 +391,8 @@ class BasicKvServer {
           .set(static_cast<double>(table_.shard_count()));
       for (std::size_t i = 0; i < table_.shard_count(); ++i) {
         const auto shard = table_.shard_snapshot(i);
-        const std::string label = "shard=\"" + std::to_string(i) + "\"";
+        const std::string label =
+            obs::format_label("shard", std::to_string(i));
         registry
             .counter("rnb_kv_shard_lock_acquisitions_total",
                      "Shard lock acquisitions (shared + exclusive)", label)
@@ -220,14 +411,57 @@ class BasicKvServer {
             .set(static_cast<double>(shard.entries));
       }
     }
+    // Traced-only attribution series. Both stay empty until a traced run
+    // records something, so tracer-off stats output is byte-identical to
+    // the pre-tracing exposition.
+    {
+      std::lock_guard<std::mutex> lock(latency_mutex_);
+      if (!handle_latency_.empty()) {
+        registry
+            .histogram("rnb_kv_handle_latency_seconds",
+                       "Traced handle() latency; exemplars link buckets to "
+                       "trace ids",
+                       "", 7, 1e6)
+            .merge(handle_latency_);
+      }
+      const std::vector<obs::SlowRequest> slow = slow_log_.top();
+      for (std::size_t rank = 0; rank < slow.size(); ++rank) {
+        registry
+            .gauge("rnb_kv_slow_transaction_cost",
+                   "Worst traced transactions by handle latency (tracer "
+                   "time units), with the trace id to look up",
+                   obs::format_label("rank", std::to_string(rank)) + "," +
+                       obs::format_label("trace_id",
+                                         hex_string(slow[rank].trace_id)))
+            .set(static_cast<double>(slow[rank].cost));
+      }
+    }
     std::ostringstream os;
     registry.write_prometheus(os);
     response += os.str();
     encode_simple("END", response);
   }
 
+  static std::string hex_string(std::uint64_t id) {
+    char buf[17];
+    std::size_t n = 0;
+    do {
+      buf[n++] = "0123456789abcdef"[id & 0xf];
+      id >>= 4;
+    } while (id != 0);
+    std::string out;
+    while (n != 0) out += buf[--n];
+    return out;
+  }
+
   Store table_;
   AtomicCounters counters_;
+  // Traced-only attribution state (see observe_latency); a server-private
+  // slow log, distinct from any process-wide obs::SlowLog the client side
+  // installs.
+  mutable std::mutex latency_mutex_;
+  obs::Histogram handle_latency_{7};
+  obs::SlowLog slow_log_{8};
 };
 
 /// Default engine: byte-budget global-LRU MemTable (single lock domain;

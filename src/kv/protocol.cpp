@@ -28,6 +28,63 @@ bool fail(std::string* error, std::string message) {
   return false;
 }
 
+constexpr std::string_view kTracePrefix = "@trace=";
+
+void append_hex(std::uint64_t id, std::string& out) {
+  char buf[16];
+  std::size_t n = 0;
+  do {
+    buf[n++] = "0123456789abcdef"[id & 0xf];
+    id >>= 4;
+  } while (id != 0);
+  while (n != 0) out += buf[--n];
+}
+
+bool parse_hex(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] = std::from_chars(
+      token.data(), token.data() + token.size(), out, 16);
+  return ec == std::errc{} && ptr == token.data() + token.size() &&
+         !token.empty();
+}
+
+void format_trace_tag(const TraceTag& trace, std::string& out) {
+  out += kTracePrefix;
+  append_hex(trace.trace_id, out);
+  out += ':';
+  append_hex(trace.span_id, out);
+  out += ':';
+  append_hex(trace.sampled ? 1 : 0, out);
+}
+
+/// If the final token of `line` is a trace tag, parse it into `trace` and
+/// strip it (plus its separating spaces) from `line`. Returns false only
+/// for a malformed tag — the prefix is reserved, so "@trace=garbage" is a
+/// parse error rather than a surprising key.
+bool peel_trace_tag(std::string_view& line, TraceTag& trace,
+                    std::string* error) {
+  const std::size_t space = line.find_last_of(' ');
+  std::string_view token =
+      space == std::string_view::npos ? line : line.substr(space + 1);
+  if (token.substr(0, kTracePrefix.size()) != kTracePrefix) return true;
+  token.remove_prefix(kTracePrefix.size());
+  const std::size_t c1 = token.find(':');
+  const std::size_t c2 =
+      c1 == std::string_view::npos ? c1 : token.find(':', c1 + 1);
+  std::uint64_t trace_id = 0, span_id = 0, flags = 0;
+  if (c2 == std::string_view::npos ||
+      token.find(':', c2 + 1) != std::string_view::npos ||
+      !parse_hex(token.substr(0, c1), trace_id) ||
+      !parse_hex(token.substr(c1 + 1, c2 - c1 - 1), span_id) ||
+      !parse_hex(token.substr(c2 + 1), flags) || trace_id == 0)
+    return fail(error, "bad trace tag");
+  trace.trace_id = trace_id;
+  trace.span_id = span_id;
+  trace.sampled = (flags & 1) != 0;
+  line = space == std::string_view::npos ? std::string_view{}
+                                         : line.substr(0, space);
+  return true;
+}
+
 /// Parse "<key> <flags> <exptime> <bytes>" and the following data block.
 /// Returns false on malformed input. `tail` must start at the byte after
 /// the command-line CRLF.
@@ -59,10 +116,15 @@ std::optional<Command> parse_command(std::string_view frame,
   }
   std::string_view line = frame.substr(0, eol);
   const std::string_view tail = frame.substr(eol + kCrlf.size());
+  // The trace tag, when present, is the final command-line token no matter
+  // the verb; peeling it up front keeps every per-verb parser tag-blind.
+  TraceTag trace;
+  if (!peel_trace_tag(line, trace, error)) return std::nullopt;
   const std::string_view verb = next_token(line);
 
   if (verb == "get" || verb == "gets") {
     GetCommand cmd;
+    cmd.trace = trace;
     cmd.with_versions = verb == "gets";
     for (std::string_view key = next_token(line); !key.empty();
          key = next_token(line))
@@ -75,6 +137,7 @@ std::optional<Command> parse_command(std::string_view frame,
   }
   if (verb == "set") {
     SetCommand cmd;
+    cmd.trace = trace;
     // The optional "pin" extension rides after <bytes>; peel it off the
     // line before delegating (parse_storage_head consumes exactly 4 fields).
     if (!parse_storage_head(line, tail, cmd.key, cmd.flags, cmd.data, error))
@@ -92,6 +155,7 @@ std::optional<Command> parse_command(std::string_view frame,
     // cas layout: <key> <flags> <exptime> <bytes> <version>; reuse the
     // storage-head parser by reading the version token afterwards.
     CasCommand cmd;
+    cmd.trace = trace;
     // parse_storage_head validates data length against <bytes>, which for
     // cas sits before the version token; split manually.
     std::string_view line_copy = line;
@@ -119,6 +183,7 @@ std::optional<Command> parse_command(std::string_view frame,
   }
   if (verb == "delete") {
     DeleteCommand cmd;
+    cmd.trace = trace;
     cmd.key = std::string(next_token(line));
     if (cmd.key.empty()) {
       fail(error, "delete with no key");
@@ -131,56 +196,89 @@ std::optional<Command> parse_command(std::string_view frame,
       fail(error, "stats takes no arguments");
       return std::nullopt;
     }
-    return StatsCommand{};
+    StatsCommand cmd;
+    cmd.trace = trace;
+    return cmd;
   }
   fail(error, "unknown verb");
   return std::nullopt;
 }
 
+namespace {
+
+void append_tag_if_present(const TraceTag& trace, std::string& out) {
+  if (!trace.present()) return;
+  out += ' ';
+  format_trace_tag(trace, out);
+}
+
+}  // namespace
+
 void encode_get(const std::vector<std::string>& keys, bool with_versions,
-                std::string& out) {
+                std::string& out, const TraceTag& trace) {
   out += with_versions ? "gets" : "get";
   for (const auto& k : keys) {
     out += ' ';
     out += k;
   }
+  append_tag_if_present(trace, out);
   out += kCrlf;
 }
 
 void encode_set(std::string_view key, std::string_view data, bool pin,
-                std::string& out) {
+                std::string& out, const TraceTag& trace) {
   out += "set ";
   out += key;
   out += " 0 0 ";
   out += std::to_string(data.size());
   if (pin) out += " pin";
+  append_tag_if_present(trace, out);
   out += kCrlf;
   out += data;
   out += kCrlf;
 }
 
 void encode_cas(std::string_view key, std::string_view data,
-                std::uint64_t version, std::string& out) {
+                std::uint64_t version, std::string& out,
+                const TraceTag& trace) {
   out += "cas ";
   out += key;
   out += " 0 0 ";
   out += std::to_string(data.size());
   out += ' ';
   out += std::to_string(version);
+  append_tag_if_present(trace, out);
   out += kCrlf;
   out += data;
   out += kCrlf;
 }
 
-void encode_delete(std::string_view key, std::string& out) {
+void encode_delete(std::string_view key, std::string& out,
+                   const TraceTag& trace) {
   out += "delete ";
   out += key;
+  append_tag_if_present(trace, out);
   out += kCrlf;
 }
 
-void encode_stats(std::string& out) {
+void encode_stats(std::string& out, const TraceTag& trace) {
   out += "stats";
+  append_tag_if_present(trace, out);
   out += kCrlf;
+}
+
+void append_trace_tag(std::string& frame, const TraceTag& trace) {
+  if (!trace.present()) return;
+  const std::size_t eol = frame.find(kCrlf);
+  if (eol == std::string::npos) return;
+  std::string token(1, ' ');
+  format_trace_tag(trace, token);
+  frame.insert(eol, token);
+}
+
+const TraceTag& command_trace(const Command& cmd) {
+  return std::visit([](const auto& c) -> const TraceTag& { return c.trace; },
+                    cmd);
 }
 
 void encode_values(const std::vector<Value>& values, bool with_versions,

@@ -10,17 +10,26 @@
 // (stock memcached would simply ignore RnB's pinning and evict normally).
 //
 // Grammar (subset):
-//   get <key>+\r\n                                 -> VALUE.../END
-//   gets <key>+\r\n                                 (VALUEs carry versions)
-//   set <key> <flags> <exptime> <bytes>[ pin]\r\n<data>\r\n
-//   cas <key> <flags> <exptime> <bytes> <version>\r\n<data>\r\n
-//   delete <key>\r\n
-//   stats\r\n                                      -> Prometheus text
+//   get <key>+[ @trace=T]\r\n                      -> VALUE.../END
+//   gets <key>+[ @trace=T]\r\n                      (VALUEs carry versions)
+//   set <key> <flags> <exptime> <bytes>[ pin][ @trace=T]\r\n<data>\r\n
+//   cas <key> <flags> <exptime> <bytes> <version>[ @trace=T]\r\n<data>\r\n
+//   delete <key>[ @trace=T]\r\n
+//   stats[ @trace=T]\r\n                           -> Prometheus text
 //                                                     exposition, END-framed
 //
 // `stats` is the second extension: instead of memcached's STAT lines it
 // returns the server's metrics in Prometheus text format (0.0.4), followed
 // by "END\r\n" so existing response framing can delimit it.
+//
+// The third extension is the optional trace-context tag: when present it
+// is always the FINAL token of the command line, spelled
+//   @trace=<trace_id>:<parent_span_id>:<flags>
+// with unpadded lowercase-hex ids and flags bit 0 = sampled. Untagged
+// frames encode and parse byte-identically to the pre-tag grammar, so
+// tag-unaware peers interoperate with untagged traffic unchanged. The
+// `@trace=` prefix is reserved: it cannot appear as a key, and a
+// malformed tag is a parse error rather than silently becoming one.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +41,26 @@
 
 namespace rnb::kv {
 
+/// Trace context carried by the optional trailing `@trace=` token of a
+/// request's command line. A zero trace id means "no tag": encoding such
+/// a tag appends nothing, keeping untagged frames byte-identical to the
+/// pre-tag wire format.
+struct TraceTag {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;  // the client span awaiting this request
+  bool sampled = false;
+
+  bool present() const noexcept { return trace_id != 0; }
+
+  friend bool operator==(const TraceTag&, const TraceTag&) = default;
+};
+
 struct GetCommand {
   std::vector<std::string> keys;
   bool with_versions = false;  // true for `gets`
+  TraceTag trace;
+
+  friend bool operator==(const GetCommand&, const GetCommand&) = default;
 };
 
 struct SetCommand {
@@ -42,6 +68,9 @@ struct SetCommand {
   std::string data;
   std::uint32_t flags = 0;
   bool pin = false;
+  TraceTag trace;
+
+  friend bool operator==(const SetCommand&, const SetCommand&) = default;
 };
 
 struct CasCommand {
@@ -49,13 +78,23 @@ struct CasCommand {
   std::string data;
   std::uint32_t flags = 0;
   std::uint64_t version = 0;
+  TraceTag trace;
+
+  friend bool operator==(const CasCommand&, const CasCommand&) = default;
 };
 
 struct DeleteCommand {
   std::string key;
+  TraceTag trace;
+
+  friend bool operator==(const DeleteCommand&, const DeleteCommand&) = default;
 };
 
-struct StatsCommand {};
+struct StatsCommand {
+  TraceTag trace;
+
+  friend bool operator==(const StatsCommand&, const StatsCommand&) = default;
+};
 
 using Command =
     std::variant<GetCommand, SetCommand, CasCommand, DeleteCommand,
@@ -67,14 +106,26 @@ std::optional<Command> parse_command(std::string_view frame,
                                      std::string* error);
 
 /// Encoders for client use. All append to `out` to allow buffer reuse.
+/// A default-constructed (absent) TraceTag appends no tag token, so the
+/// output is byte-identical to the tagless encoders of old clients.
 void encode_get(const std::vector<std::string>& keys, bool with_versions,
-                std::string& out);
+                std::string& out, const TraceTag& trace = {});
 void encode_set(std::string_view key, std::string_view data, bool pin,
-                std::string& out);
+                std::string& out, const TraceTag& trace = {});
 void encode_cas(std::string_view key, std::string_view data,
-                std::uint64_t version, std::string& out);
-void encode_delete(std::string_view key, std::string& out);
-void encode_stats(std::string& out);
+                std::uint64_t version, std::string& out,
+                const TraceTag& trace = {});
+void encode_delete(std::string_view key, std::string& out,
+                   const TraceTag& trace = {});
+void encode_stats(std::string& out, const TraceTag& trace = {});
+
+/// Retrofit a trace tag onto an already-encoded request frame by inserting
+/// the token before the command line's CRLF. No-op for an absent tag or a
+/// frame with no CRLF. Lets clients build frames once and tag per-attempt.
+void append_trace_tag(std::string& frame, const TraceTag& trace);
+
+/// The trace tag of a parsed command, whichever verb it is.
+const TraceTag& command_trace(const Command& cmd);
 
 /// One returned value in a get/gets response.
 struct Value {

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "kv/protocol.hpp"
+#include "obs/slow_log.hpp"
 #include "obs/trace.hpp"
 #include "setcover/greedy.hpp"
 
@@ -74,8 +75,18 @@ bool RnbKvClient::exchange(
     ServerId server, double& elapsed,
     const std::function<bool(const std::string&)>& valid, bool allow_hedge) {
   const KvFailurePolicy& fp = config_.failure;
-  obs::SpanScope txn_span("transaction", "kv_client");
+  // Inside a multi_get the transaction joins the request's trace; a bare
+  // single-key operation roots its own, so every frame that leaves the
+  // client carries an identity whenever a tracer is installed.
+  obs::SpanScope txn_span("transaction", "kv_client",
+                          obs::Tracer::ambient_context().valid()
+                              ? obs::SpanScope::Kind::kChild
+                              : obs::SpanScope::Kind::kRoot);
   txn_span.arg("server", static_cast<std::int64_t>(server));
+  const obs::TraceContext ctx = txn_span.context();
+  if (ctx.valid())
+    append_trace_tag(request_,
+                     TraceTag{ctx.trace_id, ctx.span_id, ctx.sampled});
   const std::uint32_t attempts = std::max(1u, fp.max_attempts);
   double backoff = fp.base_backoff;
   for (std::uint32_t a = 0; a < attempts; ++a) {
@@ -209,7 +220,10 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get(
 RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     std::span<const std::string> keys, double fraction) {
   RNB_REQUIRE(fraction > 0.0 && fraction <= 1.0);
-  obs::SpanScope req_span("request", "kv_client");
+  // Root of the distributed trace: every wave, transaction, and remote
+  // server span of this operation hangs off this span's trace id.
+  obs::SpanScope req_span("request", "kv_client",
+                          obs::SpanScope::Kind::kRoot);
   MultiGetResult result;
 
   // Deduplicate, first-appearance order.
@@ -237,6 +251,9 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
 
   const KvFailureStats before = stats_;
   double elapsed = 0.0;
+  std::uint32_t waves = 0;
+  // Every server this operation sent at least one transaction to.
+  std::unordered_set<ServerId> contacted;
   // Servers that ate every attempt of a bundled get this operation.
   std::unordered_set<ServerId> failed;
   const auto out_of_time = [&]() {
@@ -289,6 +306,7 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     request_.clear();
     encode_get(bundle, /*with_versions=*/false, request_);
     ++txn_counter;
+    contacted.insert(s);
     const auto values =
         exchange_values(s, /*with_versions=*/false, elapsed);
     if (!values) {
@@ -302,6 +320,7 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   };
 
   {
+    ++waves;
     obs::SpanScope wave_span("wave", "kv_client");
     wave_span.note("kind", "round1");
     wave_span.arg("transactions",
@@ -337,6 +356,7 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     }
     if (pool.empty()) break;
     ++stats_.recover_rounds;
+    ++waves;
     obs::SpanScope wave_span("wave", "kv_client");
     wave_span.note("kind", "recover");
     wave_span.arg("round", static_cast<std::int64_t>(round + 1));
@@ -374,6 +394,7 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   std::sort(fallback_servers.begin(), fallback_servers.end());
 
   if (!fallback_servers.empty()) {
+    ++waves;
     obs::SpanScope wave_span("wave", "kv_client");
     wave_span.note("kind", "round2");
     wave_span.arg("transactions",
@@ -387,6 +408,7 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
       request_.clear();
       encode_get(bundle, /*with_versions=*/false, request_);
       ++result.round2_transactions;
+      contacted.insert(s);
       const auto values =
           exchange_values(s, /*with_versions=*/false, elapsed);
       if (!values) {
@@ -422,6 +444,21 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
                                          result.recover_transactions +
                                          result.round2_transactions));
   req_span.arg("retries", static_cast<std::int64_t>(result.retries));
+  if (obs::SlowLog* slow = obs::SlowLog::current()) {
+    obs::SlowRequest sr;
+    sr.trace_id = req_span.context().trace_id;
+    // Cost is the operation's virtual elapsed time in microseconds — the
+    // same unit trace timestamps use.
+    sr.cost = static_cast<std::uint64_t>(elapsed * 1e6);
+    sr.items = static_cast<std::uint32_t>(m);
+    sr.transactions = result.transactions();
+    sr.waves = waves;
+    sr.hitchhikes = result.hitchhiker_keys;
+    sr.retries = result.retries;
+    sr.servers = static_cast<std::uint32_t>(contacted.size());
+    sr.deadline_missed = result.deadline_missed;
+    slow->record(sr);
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace rnb::kv {
 namespace {
@@ -143,8 +144,17 @@ void TcpKvServer::connection_loop(int fd) {
     while (splitter.next_frame(frame)) {
       // The sharded engine synchronizes internally; connection threads
       // whose keys hit different shards proceed in parallel.
-      server_.handle(frame, response);
+      HandleInfo info;
+      server_.handle(frame, response, &info);
       try {
+        // The socket write happens after the server transaction span has
+        // closed; re-adopting the frame's tag makes the "write" span a
+        // sibling of that transaction under the same client span.
+        obs::ScopedTraceContext adopt({info.trace.trace_id,
+                                       info.trace.span_id,
+                                       info.trace.sampled});
+        obs::SpanScope write_span("write", "server");
+        write_span.arg("bytes", static_cast<std::int64_t>(response.size()));
         write_all(fd, response);
       } catch (const std::runtime_error&) {
         ::close(fd);

@@ -64,7 +64,15 @@ class BasicLoopbackTransport final : public KvTransport {
     RNB_REQUIRE(s < servers_.size());
     Endpoint& ep = servers_[s];
     if constexpr (kSerializeDispatch) {
-      const std::lock_guard lock(*ep.dispatch);
+      // The dispatch mutex is the single-threaded server's queue; a
+      // "queue" span makes the convoy wait visible in stitched traces
+      // (child of the calling client's span, sibling of the server
+      // transaction that follows).
+      std::unique_lock lock(*ep.dispatch, std::defer_lock);
+      {
+        obs::SpanScope queue_span("queue", "transport");
+        lock.lock();
+      }
       ep.server->handle(request, response);
     } else {
       ep.server->handle(request, response);

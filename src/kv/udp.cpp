@@ -70,16 +70,27 @@ void UdpKvServer::receive_loop() {
     if (static_cast<std::size_t>(n) <= kUdpHeaderBytes) continue;
     const UdpFrameHeader header = decode_udp_header(datagram.data());
     if (header.total_datagrams != 1) continue;  // multi-datagram unsupported
+    HandleInfo info;
     server_.handle(std::string_view(datagram.data() + kUdpHeaderBytes,
                                     static_cast<std::size_t>(n) -
                                         kUdpHeaderBytes),
-                   response);
+                   response, &info);
+    // Reply under the frame's trace tag so the datagram send (or drop)
+    // shows up beside the server transaction in stitched traces.
+    obs::ScopedTraceContext adopt(
+        {info.trace.trace_id, info.trace.span_id, info.trace.sampled});
     if (response.size() > kUdpMaxPayload) {
       // Exactly what UDP memcached does to oversized multi-get responses:
       // nothing reaches the client, who eventually times out.
       oversize_drops_.fetch_add(1);
+      if (obs::Tracer* tracer = obs::Tracer::current())
+        tracer->instant(
+            "oversize_drop", "server",
+            {{"bytes", static_cast<std::int64_t>(response.size())}});
       continue;
     }
+    obs::SpanScope write_span("write", "server");
+    write_span.arg("bytes", static_cast<std::int64_t>(response.size()));
     out.resize(kUdpHeaderBytes + response.size());
     UdpFrameHeader reply_header = header;
     encode_udp_header(reply_header, out.data());

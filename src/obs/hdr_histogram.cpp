@@ -59,6 +59,21 @@ void Histogram::record(std::uint64_t value, std::uint64_t count) {
   sum_ += value * count;
 }
 
+void Histogram::record_traced(std::uint64_t value, std::uint64_t trace_id) {
+  record(value);
+  if (trace_id == 0) return;
+  Exemplar& ex = exemplars_[bucket_index(value)];
+  // >= so the most recent of equally bad samples wins; a fresh entry has
+  // value 0 and any sample displaces it.
+  if (ex.trace_id == 0 || value >= ex.value) ex = {value, trace_id};
+}
+
+const Histogram::Exemplar* Histogram::bucket_exemplar(
+    std::size_t index) const noexcept {
+  const auto it = exemplars_.find(index);
+  return it == exemplars_.end() ? nullptr : &it->second;
+}
+
 std::size_t Histogram::index_for_rank(std::uint64_t rank) const noexcept {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -109,6 +124,13 @@ void Histogram::merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  // Exemplars merge with the same worst-sample rule as record_traced (the
+  // incoming histogram counts as "more recent"), keeping merge order
+  // deterministic for deterministic inputs.
+  for (const auto& [index, ex] : other.exemplars_) {
+    Exemplar& mine = exemplars_[index];
+    if (mine.trace_id == 0 || ex.value >= mine.value) mine = ex;
+  }
 }
 
 }  // namespace rnb::obs

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -31,6 +32,14 @@ namespace rnb::obs {
 
 class Histogram {
  public:
+  /// Back-reference from a bucket to a concrete trace: the worst (and, on
+  /// ties, most recent) sample the bucket absorbed via record_traced. Lets
+  /// a p99 bucket in an exposition link to the stitched trace behind it.
+  struct Exemplar {
+    std::uint64_t value = 0;
+    std::uint64_t trace_id = 0;
+  };
+
   /// `significant_bits` sets the precision/size trade-off: relative bucket
   /// width is 2^-significant_bits, and values below 2^(significant_bits+1)
   /// are recorded exactly. Histograms merge only with equal precision.
@@ -46,6 +55,18 @@ class Histogram {
   }
 
   void record(std::uint64_t value, std::uint64_t count = 1);
+
+  /// record() plus exemplar retention: the value's bucket remembers
+  /// {value, trace_id} when the value is at least as large as the bucket's
+  /// current exemplar (so ties prefer the most recent sample). A zero
+  /// trace id degrades to a plain record().
+  void record_traced(std::uint64_t value, std::uint64_t trace_id);
+
+  /// The exemplar retained by bucket `index`, or nullptr when the bucket
+  /// never absorbed a traced sample.
+  const Exemplar* bucket_exemplar(std::size_t index) const noexcept;
+  /// True when any bucket holds an exemplar.
+  bool has_exemplars() const noexcept { return !exemplars_.empty(); }
 
   std::uint64_t count() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
@@ -81,6 +102,7 @@ class Histogram {
     std::uint64_t lower = 0;  // smallest value in the bucket
     std::uint64_t upper = 0;  // largest value in the bucket
     std::uint64_t count = 0;
+    std::size_t index = 0;  // bucket index (for bucket_exemplar lookups)
   };
 
   /// Visit non-empty buckets in ascending value order.
@@ -88,7 +110,7 @@ class Histogram {
   void for_each_bucket(Fn&& fn) const {
     for (std::size_t i = 0; i < counts_.size(); ++i)
       if (counts_[i] != 0)
-        fn(Bucket{bucket_lower(i), bucket_upper(i), counts_[i]});
+        fn(Bucket{bucket_lower(i), bucket_upper(i), counts_[i], i});
   }
 
  private:
@@ -96,6 +118,9 @@ class Histogram {
 
   unsigned bits_;
   std::vector<std::uint64_t> counts_;  // grown on demand
+  // Sparse: only buckets that absorbed traced samples, which in practice
+  // is a handful even for million-sample histograms.
+  std::map<std::size_t, Exemplar> exemplars_;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = 0;

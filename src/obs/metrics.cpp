@@ -31,7 +31,41 @@ void write_series_name(std::ostream& os, const std::string& name,
   os << extra << '}';
 }
 
+// Unpadded lowercase hex, matching trace exports and the wire tag, so an
+// exemplar's trace id greps straight into the trace file.
+void write_hex(std::ostream& os, std::uint64_t id) {
+  char buf[17];
+  std::size_t n = 0;
+  do {
+    buf[n++] = "0123456789abcdef"[id & 0xf];
+    id >>= 4;
+  } while (id != 0);
+  while (n != 0) os << buf[--n];
+}
+
 }  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_label(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  out += escape_label_value(value);
+  out += '"';
+  return out;
+}
 
 MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
                                                  const std::string& help,
@@ -83,7 +117,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
   for (const Family& fam : families_) {
-    os << "# HELP " << fam.name << ' ' << fam.help << '\n';
+    // HELP text has its own escaping rules (backslash and newline only).
+    os << "# HELP " << fam.name << ' ';
+    for (const char c : fam.help) {
+      if (c == '\\')
+        os << "\\\\";
+      else if (c == '\n')
+        os << "\\n";
+      else
+        os << c;
+    }
+    os << '\n';
     os << "# TYPE " << fam.name << ' '
        << (fam.kind == Kind::kCounter
                ? "counter"
@@ -113,7 +157,18 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
             if (!s.labels.empty()) os << s.labels << ',';
             os << "le=\"";
             write_double(os, static_cast<double>(b.upper) / s.scale);
-            os << "\"} " << cumulative << '\n';
+            os << "\"} " << cumulative;
+            // OpenMetrics exemplar: link the bucket to the trace behind
+            // its worst sample. Only traced histograms carry these, so
+            // exemplar-free expositions stay byte-identical.
+            if (const Histogram::Exemplar* ex =
+                    s.histogram.bucket_exemplar(b.index)) {
+              os << " # {trace_id=\"";
+              write_hex(os, ex->trace_id);
+              os << "\"} ";
+              write_double(os, static_cast<double>(ex->value) / s.scale);
+            }
+            os << '\n';
           });
           os << fam.name << "_bucket{";
           if (!s.labels.empty()) os << s.labels << ',';

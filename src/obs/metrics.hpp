@@ -28,11 +28,23 @@
 #include <deque>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/hdr_histogram.hpp"
 
 namespace rnb::obs {
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote, and newline become \\, \", and \n. Every label value built from
+/// runtime data must pass through here (or format_label) — raw
+/// interpolation produces unparseable exposition text the moment a key
+/// contains a quote.
+std::string escape_label_value(std::string_view value);
+
+/// Format one `key="value"` label pair with the value escaped. Join pairs
+/// with ',' to build the registry's label-body strings.
+std::string format_label(std::string_view key, std::string_view value);
 
 class Counter {
  public:

@@ -1,0 +1,177 @@
+#include "obs/slow_log.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace rnb::obs {
+
+SlowLog* SlowLog::current_ = nullptr;
+
+namespace {
+
+// Heap "less": the root under this ordering is the entry the next
+// admission evicts — the cheapest retained request, ties broken toward
+// the most recently admitted.
+bool evicts_later(const SlowRequest& a, const SlowRequest& b) {
+  if (a.cost != b.cost) return a.cost > b.cost;
+  return a.seq < b.seq;
+}
+
+void write_request_fields(std::ostream& os, const SlowRequest& r) {
+  os << "\"trace_id\":";
+  write_hex_id(os, r.trace_id);
+  os << ",\"cost\":" << r.cost << ",\"items\":" << r.items
+     << ",\"transactions\":" << r.transactions << ",\"waves\":" << r.waves
+     << ",\"hitchhikes\":" << r.hitchhikes << ",\"retries\":" << r.retries
+     << ",\"servers\":" << r.servers << ",\"deadline_missed\":"
+     << (r.deadline_missed ? "true" : "false");
+}
+
+void write_span_tree(
+    std::ostream& os, const TraceEvent& e,
+    const std::map<std::uint64_t, std::vector<const TraceEvent*>>& children) {
+  os << "{\"name\":";
+  write_json_string(os, e.name == nullptr ? "?" : e.name);
+  os << ",\"cat\":";
+  write_json_string(os, e.cat == nullptr ? "?" : e.cat);
+  os << ",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts;
+  if (e.phase == 'X') os << ",\"dur\":" << e.dur;
+  os << ",\"span_id\":";
+  write_hex_id(os, e.span_id);
+  for (std::uint32_t a = 0; a < e.num_args; ++a) {
+    os << ',';
+    write_json_string(os, e.args[a].key == nullptr ? "?" : e.args[a].key);
+    os << ':' << e.args[a].value;
+  }
+  if (e.note_key != nullptr) {
+    os << ',';
+    write_json_string(os, e.note_key);
+    os << ':';
+    write_json_string(os, e.note_value == nullptr ? "?" : e.note_value);
+  }
+  const auto kids = children.find(e.span_id);
+  if (kids != children.end()) {
+    os << ",\"children\":[";
+    for (std::size_t i = 0; i < kids->second.size(); ++i) {
+      if (i != 0) os << ',';
+      write_span_tree(os, *kids->second[i], children);
+    }
+    os << ']';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+SlowLog::SlowLog(std::size_t capacity, std::uint64_t threshold)
+    : capacity_(capacity), threshold_(threshold) {
+  heap_.reserve(capacity_);
+}
+
+SlowLog::~SlowLog() {
+  if (current_ == this) current_ = nullptr;
+}
+
+void SlowLog::record(SlowRequest request) {
+  considered_.fetch_add(1, std::memory_order_relaxed);
+  if (capacity_ == 0) return;
+  if (threshold_ != 0 && request.cost < threshold_) return;
+  // Once the log is full the floor only rises, so a stale read can only
+  // send us to the mutex unnecessarily — never wrongly reject.
+  if (admissions_.load(std::memory_order_relaxed) >= capacity_ &&
+      request.cost <= floor_.load(std::memory_order_relaxed))
+    return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (heap_.size() == capacity_ && request.cost <= heap_.front().cost)
+    return;
+  request.seq = admissions_.fetch_add(1, std::memory_order_relaxed);
+  heap_.push_back(request);
+  std::push_heap(heap_.begin(), heap_.end(), evicts_later);
+  if (heap_.size() > capacity_) {
+    std::pop_heap(heap_.begin(), heap_.end(), evicts_later);
+    heap_.pop_back();
+  }
+  if (heap_.size() == capacity_)
+    floor_.store(heap_.front().cost, std::memory_order_relaxed);
+}
+
+std::vector<SlowRequest> SlowLog::top() const {
+  std::vector<SlowRequest> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              if (a.cost != b.cost) return a.cost > b.cost;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void SlowLog::write_text(std::ostream& os) const {
+  const std::vector<SlowRequest> requests = top();
+  os << "slow-request log: " << requests.size() << " retained of "
+     << considered() << " considered (capacity " << capacity_;
+  if (threshold_ != 0) os << ", threshold " << threshold_;
+  os << ")\n";
+  std::size_t rank = 0;
+  for (const SlowRequest& r : requests) {
+    os << "  #" << rank++ << " trace=";
+    write_hex_id(os, r.trace_id);
+    os << " cost=" << r.cost << " items=" << r.items
+       << " txns=" << r.transactions << " waves=" << r.waves
+       << " hitchhikes=" << r.hitchhikes << " retries=" << r.retries
+       << " servers=" << r.servers
+       << (r.deadline_missed ? " deadline_missed" : "") << '\n';
+  }
+}
+
+void SlowLog::write_json(std::ostream& os, const Tracer* tracer) const {
+  const std::vector<SlowRequest> requests = top();
+  std::vector<TraceEvent> events;
+  if (tracer != nullptr) events = tracer->snapshot_events();
+
+  os << "{\"considered\":" << considered() << ",\"capacity\":" << capacity_
+     << ",\"slow_requests\":[";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const SlowRequest& r = requests[i];
+    os << (i == 0 ? "\n" : ",\n") << '{';
+    write_request_fields(os, r);
+    if (tracer != nullptr) {
+      // Join the trace by id and nest spans by parent span id; children
+      // stay in record order (events arrive seq-sorted). A span whose
+      // parent did not survive ring wraparound surfaces as an extra root
+      // rather than disappearing.
+      std::vector<const TraceEvent*> trace_events;
+      std::map<std::uint64_t, std::vector<const TraceEvent*>> children;
+      for (const TraceEvent& e : events) {
+        if (e.trace_id != r.trace_id) continue;
+        trace_events.push_back(&e);
+        if (e.parent_id != 0) children[e.parent_id].push_back(&e);
+      }
+      os << ",\"spans\":[";
+      bool first = true;
+      for (const TraceEvent* e : trace_events) {
+        const bool parent_present =
+            e->parent_id != 0 &&
+            std::any_of(trace_events.begin(), trace_events.end(),
+                        [&](const TraceEvent* p) {
+                          return p->span_id == e->parent_id;
+                        });
+        if (parent_present) continue;  // reached via its parent
+        if (!first) os << ',';
+        first = false;
+        write_span_tree(os, *e, children);
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << (requests.empty() ? "]" : "\n]") << "}\n";
+}
+
+}  // namespace rnb::obs

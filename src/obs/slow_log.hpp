@@ -1,0 +1,102 @@
+// Bounded slow-request log: the "why was THAT request slow" layer.
+//
+// Histograms say a p99 exists; exemplars point one bucket at one trace;
+// the slow log retains the full story for the worst offenders — trace id,
+// latency, and the cover decision that produced it (how many servers were
+// contacted, how many waves ran, how many keys hitchhiked) — so a tail
+// investigation starts from a ranked list instead of a trace-file grep.
+//
+// Admission is top-K by cost with an optional hard threshold: a request
+// is considered when its cost meets the threshold (if any) and either the
+// log has room or the cost beats the current K-th worst. A lock-free
+// floor read rejects the common (fast-request) case without taking the
+// mutex, so a shared log on a multithreaded serving path stays cheap.
+//
+// Like the Tracer, at most one SlowLog is installed process-wide
+// (install before the run, remove after); servers can also own private
+// instances for their `stats` exposition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace rnb::obs {
+
+class Tracer;
+
+/// One retained request. `cost` is whatever the recording client ranks
+/// by — virtual-time latency in the sim stack, wall nanoseconds in the
+/// kv stack, transaction count where no clock applies.
+struct SlowRequest {
+  std::uint64_t trace_id = 0;
+  std::uint64_t cost = 0;
+  std::uint64_t seq = 0;  // admission order, assigned by record()
+  std::uint32_t items = 0;
+  std::uint32_t transactions = 0;
+  std::uint32_t waves = 0;
+  std::uint32_t hitchhikes = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t servers = 0;
+  bool deadline_missed = false;
+};
+
+class SlowLog {
+ public:
+  /// Retain at most `capacity` requests; ignore requests cheaper than
+  /// `threshold` outright (0 = pure top-K).
+  explicit SlowLog(std::size_t capacity, std::uint64_t threshold = 0);
+  ~SlowLog();
+
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  /// The process-wide installed log (nullptr when none) — same install
+  /// discipline as Tracer::current().
+  static SlowLog* current() noexcept { return current_; }
+  static void set_current(SlowLog* log) noexcept { current_ = log; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t threshold() const noexcept { return threshold_; }
+
+  /// Offer a request. Thread-safe; cheap when the request is obviously
+  /// too fast to qualify.
+  void record(SlowRequest request);
+
+  /// Requests offered to record() (admitted or not).
+  std::uint64_t considered() const noexcept {
+    return considered_.load(std::memory_order_relaxed);
+  }
+
+  /// Retained requests, worst first (ties: earliest admission first).
+  std::vector<SlowRequest> top() const;
+
+  /// Human-readable ranked report, one line per request.
+  void write_text(std::ostream& os) const;
+
+  /// JSON report. When `tracer` is non-null, each entry carries the full
+  /// span tree of its trace (events joined by trace id, nested by parent
+  /// span id, children in record order) — the "slow request with its
+  /// stitched trace attached" artifact.
+  void write_json(std::ostream& os, const Tracer* tracer = nullptr) const;
+
+ private:
+  static SlowLog* current_;
+
+  const std::size_t capacity_;
+  const std::uint64_t threshold_;
+  // Cost of the K-th worst retained request once full; a request below
+  // this floor cannot qualify, so record() skips the mutex entirely.
+  std::atomic<std::uint64_t> floor_{0};
+  std::atomic<std::uint64_t> considered_{0};
+  std::atomic<std::uint64_t> admissions_{0};
+
+  mutable std::mutex mutex_;
+  // Min-heap by (cost asc, seq desc): the root is the entry the next
+  // admission evicts, and ties evict the most recent entry first.
+  std::vector<SlowRequest> heap_;
+};
+
+}  // namespace rnb::obs

@@ -22,6 +22,8 @@ std::uint64_t next_tracer_id() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+}  // namespace
+
 // JSON string escaping for names/categories/annotations. Instrumentation
 // uses plain-ASCII literals, but a tracer must never emit invalid JSON no
 // matter what a caller passes.
@@ -46,7 +48,19 @@ void write_json_string(std::ostream& os, const char* s) {
   os << '"';
 }
 
-}  // namespace
+// Trace/span ids serialize as unpadded lowercase hex, matching the wire
+// tag format, so ids in a trace file grep-match ids in frames, exemplars,
+// and slow-request reports.
+void write_hex_id(std::ostream& os, std::uint64_t id) {
+  char buf[17];
+  char* p = buf + sizeof(buf);
+  *--p = '\0';
+  do {
+    *--p = "0123456789abcdef"[id & 0xf];
+    id >>= 4;
+  } while (id != 0);
+  os << '"' << p << '"';
+}
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
   std::vector<TraceEvent> out;
@@ -103,11 +117,44 @@ void Tracer::record(TraceEvent event) {
 
 void Tracer::instant(const char* name, const char* cat,
                      std::initializer_list<TraceArg> args) {
+  // Instants join the ambient trace like spans do (retry/hedge markers
+  // belong to the request that retried); outside any trace they record
+  // id-free, exactly as before contexts existed.
+  instant_in_trace(name, cat, ambient_context(), args);
+}
+
+void Tracer::instant_in_trace(const char* name, const char* cat,
+                              const TraceContext& ctx,
+                              std::initializer_list<TraceArg> args) {
   TraceEvent event;
   event.name = name;
   event.cat = cat;
   event.phase = 'i';
   event.ts = now();
+  if (ctx.valid()) {
+    event.trace_id = ctx.trace_id;
+    event.parent_id = ctx.span_id;
+    event.span_id = new_span_id();
+  }
+  for (const TraceArg& a : args) event.add_arg(a.key, a.value);
+  record(event);
+}
+
+void Tracer::complete(const char* name, const char* cat, std::uint64_t ts,
+                      std::uint64_t dur,
+                      std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'X';
+  event.ts = ts;
+  event.dur = dur;
+  const TraceContext& ambient = ambient_context();
+  if (ambient.valid()) {
+    event.trace_id = ambient.trace_id;
+    event.parent_id = ambient.span_id;
+    event.span_id = new_span_id();
+  }
   for (const TraceArg& a : args) event.add_arg(a.key, a.value);
   record(event);
 }
@@ -126,7 +173,7 @@ std::uint64_t Tracer::events_dropped() const {
   return total;
 }
 
-void Tracer::export_chrome_json(std::ostream& os) const {
+std::vector<TraceEvent> Tracer::snapshot_events() const {
   std::vector<TraceEvent> events;
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -141,6 +188,11 @@ void Tracer::export_chrome_json(std::ostream& os) const {
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.seq < b.seq;
             });
+  return events;
+}
+
+void Tracer::export_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot_events();
 
   // All numbers are integers and all strings pass through one escaper, so
   // identical event streams serialize to identical bytes.
@@ -155,9 +207,22 @@ void Tracer::export_chrome_json(std::ostream& os) const {
     if (e.phase == 'X') os << ",\"dur\":" << e.dur;
     if (e.phase == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
     os << ",\"pid\":1,\"tid\":" << e.tid;
-    if (e.num_args != 0 || e.note_key != nullptr) {
+    if (e.num_args != 0 || e.note_key != nullptr || e.trace_id != 0) {
       os << ",\"args\":{";
       bool first = true;
+      // Trace identity rides in "args" so context-free events keep their
+      // exact pre-context serialization.
+      if (e.trace_id != 0) {
+        os << "\"trace_id\":";
+        write_hex_id(os, e.trace_id);
+        os << ",\"span_id\":";
+        write_hex_id(os, e.span_id);
+        if (e.parent_id != 0) {
+          os << ",\"parent_id\":";
+          write_hex_id(os, e.parent_id);
+        }
+        first = false;
+      }
       for (std::uint32_t a = 0; a < e.num_args; ++a) {
         if (!first) os << ',';
         first = false;

@@ -36,9 +36,33 @@
 
 namespace rnb::obs {
 
+/// Deterministic JSON string escaping shared by the trace and slow-log
+/// exporters (escapes quote, backslash, and control characters).
+void write_json_string(std::ostream& os, const char* s);
+/// Trace/span ids as a quoted unpadded lowercase-hex JSON string — the
+/// one id spelling used by traces, exemplars, and the wire tag.
+void write_hex_id(std::ostream& os, std::uint64_t id);
+
 struct TraceArg {
   const char* key = nullptr;
   std::int64_t value = 0;
+};
+
+/// Propagated trace identity: which trace a span belongs to and which span
+/// is its parent. A zero trace id means "no trace" — spans recorded without
+/// a context export exactly as before contexts existed.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool sampled = true;
+
+  bool valid() const noexcept { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext& a,
+                         const TraceContext& b) noexcept {
+    return a.trace_id == b.trace_id && a.span_id == b.span_id &&
+           a.sampled == b.sampled;
+  }
 };
 
 struct TraceEvent {
@@ -51,6 +75,11 @@ struct TraceEvent {
   std::uint64_t dur = 0;   // phase 'X' only
   std::uint32_t tid = 0;   // ring id, 1-based registration order
   std::uint64_t seq = 0;   // global record order (export sort key)
+  // Trace identity; all zero for events recorded outside any trace, in
+  // which case the export omits the fields entirely (pre-context bytes).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
   std::uint32_t num_args = 0;
   TraceArg args[kMaxArgs];
   // One optional string-valued annotation ("fault": "drop", ...).
@@ -131,8 +160,38 @@ class Tracer {
   void instant(const char* name, const char* cat,
                std::initializer_list<TraceArg> args = {});
 
+  /// Record an instant event attached to a specific trace (exemplar
+  /// back-references from histograms use this to point at a trace id).
+  void instant_in_trace(const char* name, const char* cat,
+                        const TraceContext& ctx,
+                        std::initializer_list<TraceArg> args = {});
+
+  /// Record a complete ('X') event with explicit timing as a child of the
+  /// ambient context. Used for work measured before a context could be
+  /// adopted (the server's parse span: the trace tag only exists after
+  /// parsing finishes).
+  void complete(const char* name, const char* cat, std::uint64_t ts,
+                std::uint64_t dur, std::initializer_list<TraceArg> args = {});
+
   /// Record a fully built event (SpanScope's close path).
   void record(TraceEvent event);
+
+  /// Allocate a fresh trace id / span id. Counters are per-tracer so two
+  /// tracers fed the same event stream export byte-identically.
+  std::uint64_t new_trace_id() noexcept {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t new_span_id() noexcept {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The calling thread's ambient trace context (zero trace id = none).
+  /// SpanScope and ScopedTraceContext push/restore it RAII-style; reading
+  /// it is how instrumentation learns "which request am I part of".
+  static TraceContext& ambient_context() noexcept {
+    thread_local TraceContext ctx;
+    return ctx;
+  }
 
   /// Events recorded / lost to ring wraparound, across all threads.
   std::uint64_t events_recorded() const;
@@ -143,6 +202,11 @@ class Tracer {
   /// Events are ordered by the global sequence counter, so single-threaded
   /// runs export byte-identically for identical event streams.
   void export_chrome_json(std::ostream& os) const;
+
+  /// All surviving events in export order (global sequence). For post-run
+  /// consumers like the slow-request log's span-tree dump; call while
+  /// producers are quiescent.
+  std::vector<TraceEvent> snapshot_events() const;
 
  private:
   friend class SpanScope;
@@ -162,21 +226,76 @@ class Tracer {
   std::uint64_t virtual_base_ = 0;
   std::uint64_t last_ts_ = 0;
   std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::atomic<std::uint64_t> next_span_id_{1};
   std::uint64_t id_ = 0;  // process-unique, for thread-local cache checks
 
   mutable std::mutex registry_mutex_;
   std::deque<std::unique_ptr<TraceRing>> rings_;
 };
 
+/// Adopts a propagated trace context (e.g. parsed off the wire) as the
+/// calling thread's ambient context for the scope's lifetime. Spans opened
+/// inside become children of the remote span. No-op when no tracer is
+/// installed or the context is invalid.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) {
+    if (Tracer::current() == nullptr || !ctx.valid()) return;
+    TraceContext& ambient = Tracer::ambient_context();
+    saved_ = ambient;
+    ambient = ctx;
+    active_ = true;
+  }
+
+  ~ScopedTraceContext() {
+    if (active_) Tracer::ambient_context() = saved_;
+  }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  bool active() const noexcept { return active_; }
+
+ private:
+  TraceContext saved_;
+  bool active_ = false;
+};
+
 /// RAII span: opens at construction, records one 'X' (complete) event at
 /// destruction covering the scope's duration. Inactive (all methods no-op)
 /// when no tracer is installed at construction time.
+///
+/// Trace identity: kChild spans join the ambient context when one is set
+/// (and stay context-free otherwise — exports are byte-identical to the
+/// pre-context format); kRoot spans always start a fresh trace. Either
+/// way, a span with an identity installs itself as the ambient context so
+/// nested spans become its children, and restores the previous context on
+/// close.
 class SpanScope {
  public:
-  SpanScope(const char* name, const char* cat) : tracer_(Tracer::current()) {
+  enum class Kind { kChild, kRoot };
+
+  SpanScope(const char* name, const char* cat, Kind kind = Kind::kChild)
+      : tracer_(Tracer::current()) {
     if (tracer_ == nullptr) return;
     event_.name = name;
     event_.cat = cat;
+    TraceContext& ambient = Tracer::ambient_context();
+    if (kind == Kind::kRoot) {
+      saved_ = ambient;
+      event_.trace_id = tracer_->new_trace_id();
+      event_.span_id = tracer_->new_span_id();
+      ambient = {event_.trace_id, event_.span_id, true};
+      restore_ = true;
+    } else if (ambient.valid()) {
+      saved_ = ambient;
+      event_.trace_id = ambient.trace_id;
+      event_.parent_id = ambient.span_id;
+      event_.span_id = tracer_->new_span_id();
+      ambient = {event_.trace_id, event_.span_id, ambient.sampled};
+      restore_ = true;
+    }
     event_.ts = tracer_->now();
   }
 
@@ -185,12 +304,26 @@ class SpanScope {
     const std::uint64_t end = tracer_->now();
     event_.dur = end - event_.ts;
     tracer_->record(event_);
+    if (restore_) Tracer::ambient_context() = saved_;
   }
 
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
 
   bool active() const noexcept { return tracer_ != nullptr; }
+
+  /// The span's own trace identity (invalid when the span carries none);
+  /// this is what goes on the wire so remote spans become our children.
+  TraceContext context() const noexcept {
+    return {event_.trace_id, event_.span_id,
+            restore_ ? Tracer::ambient_context().sampled : true};
+  }
+
+  /// Rewind the span's start (e.g. to fold in work measured before the
+  /// span could be opened). Only moves backwards; timestamps stay ordered.
+  void set_start(std::uint64_t ts) noexcept {
+    if (tracer_ != nullptr && ts < event_.ts) event_.ts = ts;
+  }
 
   /// Attach an integer argument (first TraceEvent::kMaxArgs stick).
   void arg(const char* key, std::int64_t value) noexcept {
@@ -208,6 +341,8 @@ class SpanScope {
  private:
   Tracer* tracer_;
   TraceEvent event_;
+  TraceContext saved_;
+  bool restore_ = false;
 };
 
 }  // namespace rnb::obs

@@ -120,6 +120,162 @@ TEST(ProtocolFuzz, ServerAnswersGarbageWithWellFormedError) {
   }
 }
 
+TraceTag random_tag(Xoshiro256& rng) {
+  TraceTag tag;
+  tag.trace_id = rng() | 1;  // any nonzero id is a valid tag
+  tag.span_id = rng();
+  tag.sampled = rng.chance(0.5);
+  return tag;
+}
+
+TEST(ProtocolFuzz, TaggedAndUntaggedCommandsRoundtripExactly) {
+  // decode(encode(x)) == x for every verb, with and without a trace tag —
+  // including the tag itself (the command structs compare it).
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 500; ++trial) {
+    const TraceTag tag = rng.chance(0.5) ? random_tag(rng) : TraceTag{};
+    std::string frame;
+    Command expected;
+    switch (rng.below(5)) {
+      case 0: {
+        GetCommand cmd;
+        const std::size_t n = 1 + rng.below(20);
+        for (std::size_t i = 0; i < n; ++i)
+          cmd.keys.push_back(random_key(rng));
+        cmd.with_versions = rng.chance(0.5);
+        cmd.trace = tag;
+        encode_get(cmd.keys, cmd.with_versions, frame, tag);
+        expected = std::move(cmd);
+        break;
+      }
+      case 1: {
+        SetCommand cmd;
+        cmd.key = random_key(rng);
+        cmd.data = random_bytes(rng, 100);
+        cmd.pin = rng.chance(0.3);
+        cmd.trace = tag;
+        encode_set(cmd.key, cmd.data, cmd.pin, frame, tag);
+        expected = std::move(cmd);
+        break;
+      }
+      case 2: {
+        CasCommand cmd;
+        cmd.key = random_key(rng);
+        cmd.data = random_bytes(rng, 100);
+        cmd.version = rng();
+        cmd.trace = tag;
+        encode_cas(cmd.key, cmd.data, cmd.version, frame, tag);
+        expected = std::move(cmd);
+        break;
+      }
+      case 3: {
+        DeleteCommand cmd;
+        cmd.key = random_key(rng);
+        cmd.trace = tag;
+        encode_delete(cmd.key, frame, tag);
+        expected = std::move(cmd);
+        break;
+      }
+      default: {
+        StatsCommand cmd;
+        cmd.trace = tag;
+        encode_stats(frame, tag);
+        expected = std::move(cmd);
+        break;
+      }
+    }
+    std::string error;
+    const auto parsed = parse_command(frame, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << " frame: " << frame;
+    ASSERT_TRUE(*parsed == expected) << "frame: " << frame;
+  }
+}
+
+TEST(ProtocolFuzz, UntaggedFramesAreByteIdenticalToPreTagGrammar) {
+  // The exact bytes the encoders produced before the trace-tag extension
+  // existed — pinned literally so a tag-default regression cannot slip in.
+  std::string frame;
+  encode_get({"a", "bb"}, false, frame);
+  EXPECT_EQ(frame, "get a bb\r\n");
+  frame.clear();
+  encode_get({"a"}, true, frame);
+  EXPECT_EQ(frame, "gets a\r\n");
+  frame.clear();
+  encode_set("k", "hello", false, frame);
+  EXPECT_EQ(frame, "set k 0 0 5\r\nhello\r\n");
+  frame.clear();
+  encode_set("k", "hello", true, frame);
+  EXPECT_EQ(frame, "set k 0 0 5 pin\r\nhello\r\n");
+  frame.clear();
+  encode_cas("k", "hi", 7, frame);
+  EXPECT_EQ(frame, "cas k 0 0 2 7\r\nhi\r\n");
+  frame.clear();
+  encode_delete("k", frame);
+  EXPECT_EQ(frame, "delete k\r\n");
+  frame.clear();
+  encode_stats(frame);
+  EXPECT_EQ(frame, "stats\r\n");
+}
+
+TEST(ProtocolFuzz, AppendTraceTagMatchesDirectTaggedEncoding) {
+  // Retro-tagging an already encoded frame (what the clients do to their
+  // reused request buffers) must produce the same bytes as encoding with
+  // the tag in the first place — for every verb, including storage frames
+  // whose data block follows the command line.
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    const TraceTag tag = random_tag(rng);
+    const std::string key = random_key(rng);
+    const std::string data = random_bytes(rng, 60);
+    std::string direct, retro;
+    switch (rng.below(5)) {
+      case 0:
+        encode_get({key}, false, direct, tag);
+        encode_get({key}, false, retro);
+        break;
+      case 1: {
+        const bool pin = rng.chance(0.5);
+        encode_set(key, data, pin, direct, tag);
+        encode_set(key, data, pin, retro);
+        break;
+      }
+      case 2:
+        encode_cas(key, data, 3, direct, tag);
+        encode_cas(key, data, 3, retro);
+        break;
+      case 3:
+        encode_delete(key, direct, tag);
+        encode_delete(key, retro);
+        break;
+      default:
+        encode_stats(direct, tag);
+        encode_stats(retro);
+        break;
+    }
+    append_trace_tag(retro, tag);
+    ASSERT_EQ(retro, direct);
+  }
+}
+
+TEST(ProtocolFuzz, TracePrefixIsReservedAndMalformedTagsAreRejected) {
+  EXPECT_FALSE(parse_command("get a @trace=zz\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("get a @trace=1:2\r\n", nullptr).has_value());
+  EXPECT_FALSE(
+      parse_command("get a @trace=1:2:3:4\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("get a @trace=0:1:0\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("get a @trace=\r\n", nullptr).has_value());
+  std::string error;
+  EXPECT_FALSE(parse_command("get @trace=1:2:3\r\n", &error).has_value())
+      << "a tag with no keys left must not parse as a bare get";
+  const auto tagged = parse_command("get a @trace=deadbeef:7:1\r\n", nullptr);
+  ASSERT_TRUE(tagged.has_value());
+  const auto& get = std::get<GetCommand>(*tagged);
+  ASSERT_EQ(get.keys, std::vector<std::string>{"a"});
+  EXPECT_EQ(get.trace.trace_id, 0xdeadbeefull);
+  EXPECT_EQ(get.trace.span_id, 7u);
+  EXPECT_TRUE(get.trace.sampled);
+}
+
 TEST(ProtocolFuzz, ServerStateConsistentUnderRandomOperations) {
   // Differential test: random set/get/delete against a std::map reference.
   KvServer server(8u << 20);

@@ -229,6 +229,62 @@ TEST(HdrHistogram, ForEachBucketVisitsAscendingAndSumsToCount) {
   EXPECT_EQ(total, h.count());
 }
 
+TEST(HdrHistogram, ExemplarKeepsWorstSamplePerBucket) {
+  Histogram h;
+  EXPECT_FALSE(h.has_exemplars());
+  // 1000 and 1001 share a bucket with 7 significant bits; the larger value
+  // wins regardless of arrival order.
+  ASSERT_EQ(h.bucket_index(1000), h.bucket_index(1001));
+  h.record_traced(1001, 11);
+  h.record_traced(1000, 22);
+  const Histogram::Exemplar* ex = h.bucket_exemplar(h.bucket_index(1000));
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->value, 1001u);
+  EXPECT_EQ(ex->trace_id, 11u);
+  // A tie prefers the most recent sample (its trace is the fresher lead).
+  h.record_traced(1001, 33);
+  ex = h.bucket_exemplar(h.bucket_index(1001));
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->trace_id, 33u);
+  EXPECT_TRUE(h.has_exemplars());
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HdrHistogram, ZeroTraceIdDegradesToPlainRecord) {
+  Histogram h;
+  h.record_traced(500, 0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_FALSE(h.has_exemplars());
+  EXPECT_EQ(h.bucket_exemplar(h.bucket_index(500)), nullptr);
+  // An untraced sample never displaces an existing exemplar either.
+  h.record_traced(500, 9);
+  h.record_traced(600, 0);
+  ASSERT_NE(h.bucket_exemplar(h.bucket_index(500)), nullptr);
+  EXPECT_EQ(h.bucket_exemplar(h.bucket_index(600)), nullptr);
+}
+
+TEST(HdrHistogram, MergeCarriesExemplars) {
+  Histogram a, b;
+  a.record_traced(100, 1);
+  b.record_traced(100000, 2);
+  b.record_traced(101, 3);  // below 2^8: its own exact bucket
+  ASSERT_NE(a.bucket_index(100), a.bucket_index(101));
+  a.merge(b);
+  const Histogram::Exemplar* far = a.bucket_exemplar(a.bucket_index(100000));
+  ASSERT_NE(far, nullptr);
+  EXPECT_EQ(far->trace_id, 2u);
+  // Same-bucket conflict during merge resolves worst-wins too.
+  Histogram c, d;
+  c.record_traced(1000, 7);
+  d.record_traced(1001, 8);
+  ASSERT_EQ(c.bucket_index(1000), d.bucket_index(1001));
+  c.merge(d);
+  const Histogram::Exemplar* ex = c.bucket_exemplar(c.bucket_index(1000));
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->value, 1001u);
+  EXPECT_EQ(ex->trace_id, 8u);
+}
+
 TEST(HdrHistogramDeathTest, MergeRequiresSamePrecision) {
   // Mixing precisions would silently mis-bin counts, so merge enforces the
   // contract hard (RNB_REQUIRE aborts) instead of degrading accuracy.

@@ -177,6 +177,66 @@ TEST(MetricsRegistry, OutputIsDeterministic) {
   EXPECT_EQ(build(), build());
 }
 
+TEST(MetricsRegistry, LabelValueEscaping) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  // The dangerous composite: a backslash before a quote must stay two
+  // independently escaped characters, not collapse into \\".
+  EXPECT_EQ(escape_label_value("\\\""), "\\\\\\\"");
+  EXPECT_EQ(format_label("key", "va\"lue"), "key=\"va\\\"lue\"");
+  EXPECT_EQ(format_label("key", ""), "key=\"\"");
+}
+
+TEST(MetricsRegistry, EscapedLabelsSurviveExposition) {
+  MetricsRegistry registry;
+  registry
+      .counter("rnb_keys_total", "Per-key counts.",
+               format_label("key", "he said \"hi\"\nand \\ left"))
+      .inc(1);
+  const std::string text = exposition(registry);
+  EXPECT_NE(
+      text.find(
+          "rnb_keys_total{key=\"he said \\\"hi\\\"\\nand \\\\ left\"} 1"),
+      std::string::npos)
+      << text;
+  // Still one line per sample: the newline was escaped, not emitted.
+  EXPECT_EQ(lines_of(text).size(), 3u) << text;
+}
+
+TEST(MetricsRegistry, TracedHistogramExposesExemplars) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rnb_lat", "Latency.");
+  h.record(100);
+  h.record_traced(200, 0xbeef);
+  const std::string text = exposition(registry);
+  // The traced bucket carries an OpenMetrics exemplar...
+  EXPECT_NE(text.find("rnb_lat_bucket{le=\"200\"} 2 # {trace_id=\"beef\"} "
+                      "200\n"),
+            std::string::npos)
+      << text;
+  // ...the untraced bucket does not.
+  EXPECT_NE(text.find("rnb_lat_bucket{le=\"100\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, UntracedExpositionHasNoExemplarSyntax) {
+  // Tracer-off neutrality at the exposition layer: a histogram that never
+  // saw record_traced emits the exact pre-exemplar bytes.
+  auto build = [](bool traced) {
+    MetricsRegistry registry;
+    Histogram& h = registry.histogram("rnb_lat", "Latency.");
+    for (std::uint64_t v = 1; v <= 100; ++v)
+      traced ? h.record_traced(v * 3, 0) : h.record(v * 3);
+    return exposition(registry);
+  };
+  const std::string untraced = build(false);
+  EXPECT_EQ(untraced.find(" # {"), std::string::npos);
+  // record_traced with a zero trace id is byte-identical to record().
+  EXPECT_EQ(build(true), untraced);
+}
+
 TEST(MetricsRegistryDeathTest, TypeMismatchIsAContractViolation) {
   MetricsRegistry registry;
   registry.counter("rnb_dual", "First registration.");

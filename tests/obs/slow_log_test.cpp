@@ -1,0 +1,148 @@
+#include "obs/slow_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace rnb::obs {
+namespace {
+
+SlowRequest request(std::uint64_t cost, std::uint64_t trace_id = 0) {
+  SlowRequest r;
+  r.trace_id = trace_id;
+  r.cost = cost;
+  return r;
+}
+
+TEST(SlowLog, TopKRetentionEvictsTheCheapest) {
+  SlowLog log(3);
+  for (const std::uint64_t cost : {10u, 30u, 20u, 40u, 5u})
+    log.record(request(cost));
+  EXPECT_EQ(log.considered(), 5u);
+  const std::vector<SlowRequest> top = log.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].cost, 40u);
+  EXPECT_EQ(top[1].cost, 30u);
+  EXPECT_EQ(top[2].cost, 20u);
+}
+
+TEST(SlowLog, TiesEvictTheMostRecentAndRankTheEarliestFirst) {
+  SlowLog log(2);
+  SlowRequest first = request(10);
+  first.items = 1;
+  SlowRequest second = request(10);
+  second.items = 2;
+  log.record(first);
+  log.record(second);
+  // An equal-cost request cannot displace a full log...
+  log.record(request(10));
+  std::vector<SlowRequest> top = log.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].items, 1u);  // earliest admission ranks first on ties
+  EXPECT_EQ(top[1].items, 2u);
+  // ...and when a worse request arrives, the most recent tie is evicted.
+  log.record(request(20));
+  top = log.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].cost, 20u);
+  EXPECT_EQ(top[1].cost, 10u);
+  EXPECT_EQ(top[1].items, 1u);
+}
+
+TEST(SlowLog, ThresholdRejectsFastRequestsOutright) {
+  SlowLog log(4, /*threshold=*/100);
+  EXPECT_EQ(log.threshold(), 100u);
+  log.record(request(99));
+  log.record(request(100));
+  log.record(request(250));
+  EXPECT_EQ(log.considered(), 3u);
+  const std::vector<SlowRequest> top = log.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].cost, 250u);
+  EXPECT_EQ(top[1].cost, 100u);  // threshold is inclusive
+}
+
+TEST(SlowLog, CapacityZeroCountsButRetainsNothing) {
+  SlowLog log(0);
+  log.record(request(1000));
+  EXPECT_EQ(log.considered(), 1u);
+  EXPECT_TRUE(log.top().empty());
+}
+
+TEST(SlowLog, InstallAndDestructorUninstall) {
+  EXPECT_EQ(SlowLog::current(), nullptr);
+  {
+    SlowLog log(1);
+    SlowLog::set_current(&log);
+    EXPECT_EQ(SlowLog::current(), &log);
+  }
+  // Destruction removes a still-installed log, like Tracer does.
+  EXPECT_EQ(SlowLog::current(), nullptr);
+}
+
+TEST(SlowLog, WriteTextRanksWorstFirst) {
+  SlowLog log(5);
+  SlowRequest slow = request(300, 0xabc);
+  slow.items = 4;
+  slow.transactions = 2;
+  slow.waves = 2;
+  slow.hitchhikes = 1;
+  slow.servers = 2;
+  slow.deadline_missed = true;
+  log.record(slow);
+  log.record(request(100, 0x7));
+  std::ostringstream os;
+  log.write_text(os);
+  EXPECT_EQ(os.str(),
+            "slow-request log: 2 retained of 2 considered (capacity 5)\n"
+            "  #0 trace=\"abc\" cost=300 items=4 txns=2 waves=2"
+            " hitchhikes=1 retries=0 servers=2 deadline_missed\n"
+            "  #1 trace=\"7\" cost=100 items=0 txns=0 waves=0"
+            " hitchhikes=0 retries=0 servers=0\n");
+}
+
+TEST(SlowLog, WriteJsonAttachesNestedSpanTrees) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  Tracer::set_current(&tracer);
+  std::uint64_t trace_id = 0;
+  {
+    SpanScope root("request", "client", SpanScope::Kind::kRoot);
+    trace_id = root.context().trace_id;
+    SpanScope child("transaction", "client");
+    child.arg("server", 3);
+  }
+  Tracer::set_current(nullptr);
+
+  SlowLog log(2);
+  log.record(request(500, trace_id));
+  std::ostringstream os;
+  log.write_json(os, &tracer);
+  const std::string json = os.str();
+  // One slow request whose span tree nests transaction under request.
+  EXPECT_NE(json.find("\"considered\":1"), std::string::npos) << json;
+  const std::size_t root_at = json.find("\"spans\":[{\"name\":\"request\"");
+  ASSERT_NE(root_at, std::string::npos) << json;
+  const std::size_t child_at =
+      json.find("\"children\":[{\"name\":\"transaction\"", root_at);
+  EXPECT_NE(child_at, std::string::npos) << json;
+  EXPECT_NE(json.find("\"server\":3", child_at), std::string::npos) << json;
+}
+
+TEST(SlowLog, WriteJsonWithoutTracerOmitsSpans) {
+  SlowLog log(1);
+  log.record(request(42, 0x9));
+  std::ostringstream os;
+  log.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"trace_id\":\"9\",\"cost\":42"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"spans\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace rnb::obs

@@ -234,6 +234,134 @@ TEST(Trace, ExportIsByteDeterministic) {
   EXPECT_EQ(count_occurrences(first, "\"name\":\"request\""), 5u);
 }
 
+TEST(Trace, RootSpanStartsFreshTraceAndRestoresAmbient) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  ScopedTracer install(tracer);
+  EXPECT_FALSE(Tracer::ambient_context().valid());
+  TraceContext root_ctx, child_ctx;
+  {
+    SpanScope root("request", "client", SpanScope::Kind::kRoot);
+    root_ctx = root.context();
+    EXPECT_TRUE(root_ctx.valid());
+    // The root installs itself as the ambient context...
+    EXPECT_TRUE(Tracer::ambient_context() == root_ctx);
+    {
+      // ...so a nested child joins its trace with the root as parent.
+      SpanScope child("transaction", "client");
+      child_ctx = child.context();
+      EXPECT_EQ(child_ctx.trace_id, root_ctx.trace_id);
+      EXPECT_NE(child_ctx.span_id, root_ctx.span_id);
+      EXPECT_TRUE(Tracer::ambient_context() == child_ctx);
+    }
+    EXPECT_TRUE(Tracer::ambient_context() == root_ctx);
+  }
+  EXPECT_FALSE(Tracer::ambient_context().valid());
+  const std::string json = export_json(tracer);
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+  EXPECT_EQ(count_occurrences(json, "\"trace_id\":"), 2u) << json;
+  // Only the child has a parent; the root's parent field is omitted.
+  EXPECT_EQ(count_occurrences(json, "\"parent_id\":"), 1u) << json;
+}
+
+TEST(Trace, ChildSpansWithoutAmbientContextStayContextFree) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  {
+    ScopedTracer install(tracer);
+    SpanScope span("request", "client");
+    EXPECT_FALSE(span.context().valid());
+    span.arg("items", 1);
+  }
+  // Context-free events must serialize exactly as before trace contexts
+  // existed: no identity fields anywhere in the export.
+  const std::string json = export_json(tracer);
+  EXPECT_EQ(json.find("trace_id"), std::string::npos) << json;
+  EXPECT_EQ(json.find("span_id"), std::string::npos) << json;
+}
+
+TEST(Trace, ScopedTraceContextAdoptsAndRestores) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  ScopedTracer install(tracer);
+  const TraceContext wire{0xabcdefull, 0x42ull, true};
+  {
+    ScopedTraceContext adopt(wire);
+    EXPECT_TRUE(adopt.active());
+    EXPECT_TRUE(Tracer::ambient_context() == wire);
+    SpanScope span("handle", "server");
+    EXPECT_EQ(span.context().trace_id, 0xabcdefull);
+  }
+  EXPECT_FALSE(Tracer::ambient_context().valid());
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"trace_id\":\"abcdef\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent_id\":\"42\""), std::string::npos) << json;
+}
+
+TEST(Trace, ScopedTraceContextIsInertWithoutTracerOrValidContext) {
+  Tracer::set_current(nullptr);
+  ScopedTraceContext no_tracer({1, 2, true});
+  EXPECT_FALSE(no_tracer.active());
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  ScopedTracer install(tracer);
+  ScopedTraceContext no_context(TraceContext{});
+  EXPECT_FALSE(no_context.active());
+}
+
+TEST(Trace, InstantsAndCompletesJoinAmbientContext) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  ScopedTracer install(tracer);
+  {
+    ScopedTraceContext adopt({0x9ull, 0x3ull, true});
+    tracer.instant("retry", "client", {{"attempt", 1}});
+    tracer.complete("parse", "server", 10, 5,
+                    {{"bytes", 12}});
+  }
+  tracer.instant("lonely", "client");
+  const std::string json = export_json(tracer);
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+  // Both in-context events carry the adopted identity; each got a fresh
+  // span id; the out-of-context instant carries none.
+  EXPECT_EQ(count_occurrences(json, "\"trace_id\":\"9\""), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "\"parent_id\":\"3\""), 2u) << json;
+  EXPECT_NE(json.find("\"ts\":10,\"dur\":5"), std::string::npos) << json;
+  const std::size_t lonely = json.find("\"name\":\"lonely\"");
+  ASSERT_NE(lonely, std::string::npos);
+  EXPECT_EQ(json.find("trace_id", lonely), std::string::npos) << json;
+}
+
+TEST(Trace, InstantInTraceTargetsAnExplicitTrace) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  tracer.instant_in_trace("exemplar", "loadgen", {0xfeedull, 0, true},
+                          {{"value_ns", 123}});
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"trace_id\":\"feed\""), std::string::npos) << json;
+  // No parent: the exemplar hangs directly off the trace.
+  EXPECT_EQ(json.find("parent_id"), std::string::npos) << json;
+}
+
+TEST(Trace, SetStartOnlyRewindsTheSpan) {
+  Tracer tracer(Tracer::ClockMode::kVirtual);
+  ScopedTracer install(tracer);
+  {
+    SpanScope span("transaction", "server");
+    span.set_start(0);      // rewind: folds in pre-span work
+    span.set_start(1000);   // forward jumps are ignored
+  }
+  const std::string json = export_json(tracer);
+  EXPECT_NE(json.find("\"ts\":0,"), std::string::npos) << json;
+}
+
+TEST(Trace, PerTracerIdCountersMakeTwoTracersExportIdentically) {
+  const auto run = [](Tracer& tracer) {
+    ScopedTracer install(tracer);
+    SpanScope root("request", "client", SpanScope::Kind::kRoot);
+    SpanScope child("transaction", "client");
+  };
+  Tracer a(Tracer::ClockMode::kVirtual);
+  Tracer b(Tracer::ClockMode::kVirtual);
+  run(a);
+  run(b);
+  EXPECT_EQ(export_json(a), export_json(b));
+}
+
 TEST(Trace, TracerDestructionUninstallsItself) {
   {
     Tracer tracer(Tracer::ClockMode::kVirtual);
