@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare a bench --json result against a pinned baseline.
+
+Both files are the JsonResult shape every bench emits: {"name", "params",
+"rows"} with one flat dict per row. Rows are matched between the two files
+by their identity fields (every key whose value is a string, plus any key
+named in --key), and each matched pair is compared on the throughput
+metric (--metric, default txns_per_s): the check FAILS when the candidate
+is more than --threshold (default 10%) below the baseline.
+
+Higher-is-better is assumed for the metric; improvements never fail, they
+are just reported. Rows present in only one file are reported and fail the
+check (a vanished configuration is a regression of coverage), unless
+--allow-missing.
+
+Usage:
+  build/bench/loadgen_kv ... --json=candidate.json
+  scripts/check_bench_regression.py candidate.json BENCH_loadgen.json
+  scripts/check_bench_regression.py lm.json BENCH_live_multiget.json \
+      --key batch
+
+Exit code 0 when every matched row holds, 1 otherwise. Stdlib only.
+Timing noise note: 10% is deliberately loose — these benches run on shared
+CI runners; the check exists to catch step-function regressions (a lost
+bundling path, an accidental O(n^2)), not single-digit drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "rows" not in doc or not isinstance(doc["rows"], list):
+        sys.exit(f"{path}: not a bench JsonResult (no rows array)")
+    return doc
+
+
+def row_identity(row, extra_keys):
+    """Stable identity for matching a row across the two files: every
+    string-valued field (strategy/engine/mode names) plus the requested
+    numeric sweep keys."""
+    parts = []
+    for key in sorted(row):
+        if isinstance(row[key], str) or key in extra_keys:
+            parts.append(f"{key}={row[key]}")
+    return ", ".join(parts) if parts else "<row>"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", help="fresh bench --json output")
+    parser.add_argument("baseline", help="pinned BENCH_*.json to compare to")
+    parser.add_argument("--metric", default="txns_per_s",
+                        help="row field to compare, higher is better")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed fractional drop below baseline")
+    parser.add_argument("--key", action="append", default=[],
+                        help="extra row field(s) forming the row identity "
+                             "(numeric sweep axes like batch or replicas)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="don't fail when a baseline row has no "
+                             "candidate counterpart")
+    opts = parser.parse_args(argv[1:])
+
+    candidate = load_rows(opts.candidate)
+    baseline = load_rows(opts.baseline)
+    if candidate.get("name") != baseline.get("name"):
+        print(f"note: comparing different benches: "
+              f"{candidate.get('name')!r} vs {baseline.get('name')!r}")
+
+    def index(doc, path):
+        rows = {}
+        for row in doc["rows"]:
+            if opts.metric not in row:
+                continue  # e.g. summary rows without the metric
+            identity = row_identity(row, opts.key)
+            if identity in rows:
+                sys.exit(f"{path}: duplicate row identity {identity!r}; "
+                         f"pass --key to disambiguate the sweep axis")
+            rows[identity] = row[opts.metric]
+        return rows
+
+    cand_rows = index(candidate, opts.candidate)
+    base_rows = index(baseline, opts.baseline)
+    if not base_rows:
+        sys.exit(f"{opts.baseline}: no rows carry metric {opts.metric!r}")
+
+    failures = 0
+    checked = 0
+    for identity, base_value in sorted(base_rows.items()):
+        if identity not in cand_rows:
+            print(f"MISSING  {identity}: in baseline only")
+            failures += 0 if opts.allow_missing else 1
+            continue
+        cand_value = cand_rows[identity]
+        checked += 1
+        if base_value <= 0:
+            continue  # nothing meaningful to compare against
+        change = (cand_value - base_value) / base_value
+        status = "OK"
+        if change < -opts.threshold:
+            status = "REGRESSED"
+            failures += 1
+        print(f"{status:9} {identity}: {opts.metric} "
+              f"{base_value:.0f} -> {cand_value:.0f} ({change:+.1%})")
+    for identity in sorted(set(cand_rows) - set(base_rows)):
+        print(f"NEW      {identity}: in candidate only")
+
+    verdict = "FAIL" if failures else "OK"
+    print(f"checked {checked} rows against {opts.baseline}: "
+          f"{failures} regression(s) beyond {opts.threshold:.0%}: {verdict}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,89 +1,80 @@
-#include "kv/rnb_kv_client.hpp"
+#include "dserve/cluster_client.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <unordered_set>
 
 #include "common/error.hpp"
-#include "common/hash.hpp"
-#include "kv/protocol.hpp"
 #include "obs/slow_log.hpp"
 #include "obs/trace.hpp"
+#include "setcover/cover.hpp"
 #include "setcover/greedy.hpp"
 
-namespace rnb::kv {
-namespace {
+namespace rnb::dserve {
 
-ItemId key_to_item(std::string_view key) { return fnv1a64(key); }
+using kv::Value;
 
-}  // namespace
-
-RnbKvClient::RnbKvClient(KvTransport& transport,
-                         const RnbKvClientConfig& config)
+KvClusterClient::KvClusterClient(kv::KvTransport& transport, ClusterView& view,
+                                 const KvClusterClientConfig& config)
     : transport_(transport),
+      view_(view),
       config_(config),
-      placement_(make_placement(config.placement, transport.num_servers(),
-                                config.replication, config.placement_seed)),
-      exchange_(transport, config.failure) {}
-
-std::vector<ServerId> RnbKvClient::servers_for(std::string_view key) const {
-  return placement_->replicas(key_to_item(key));
+      exchange_(transport, config.failure) {
+  RNB_REQUIRE(transport.num_servers() == view.num_servers());
 }
 
-bool RnbKvClient::deadline_exceeded(double elapsed) const {
-  return exchange_.deadline_exceeded(elapsed);
-}
-
-bool RnbKvClient::exchange(
+bool KvClusterClient::exchange(
     ServerId server, double& elapsed,
     const std::function<bool(const std::string&)>& valid, bool allow_hedge) {
-  return exchange_.exchange(server, request_, response_, elapsed, valid,
-                            allow_hedge);
+  const bool ok = exchange_.exchange(server, request_, response_, elapsed,
+                                     valid, allow_hedge);
+  if (ok && view_.marked(server)) view_.mark_up(server);
+  return ok;
 }
 
-std::optional<std::vector<Value>> RnbKvClient::exchange_values(
-    ServerId server, bool with_versions, double& elapsed) {
-  return exchange_.exchange_values(server, request_, response_, with_versions,
-                                   elapsed);
+std::optional<std::vector<Value>> KvClusterClient::exchange_values(
+    ServerId server, double& elapsed) {
+  const auto values = exchange_.exchange_values(
+      server, request_, response_, /*with_versions=*/false, elapsed);
+  if (values && view_.marked(server)) view_.mark_up(server);
+  return values;
 }
 
-std::uint32_t RnbKvClient::set(std::string_view key, std::string_view value) {
-  const std::vector<ServerId> servers = servers_for(key);
+std::uint32_t KvClusterClient::set(std::string_view key,
+                                   std::string_view value) {
+  view_.tick();
+  const std::vector<ServerId> servers = view_.replicas(key);
   std::uint32_t stored = 0;
   double elapsed = 0.0;
   for (std::size_t r = 0; r < servers.size(); ++r) {
-    if (r > 0 && deadline_exceeded(elapsed)) {
+    if (r > 0 && exchange_.deadline_exceeded(elapsed)) {
       ++exchange_.stats().deadline_misses;
       break;
     }
     request_.clear();
-    encode_set(key, value, /*pin=*/r == 0, request_);
+    kv::encode_set(key, value, /*pin=*/r == 0, request_);
     if (!exchange(servers[r], elapsed)) continue;
-    if (parse_simple(response_) == "STORED") ++stored;
+    if (kv::parse_simple(response_) == "STORED") ++stored;
   }
   return stored;
 }
 
-std::optional<std::string> RnbKvClient::get(std::string_view key) {
+std::optional<std::string> KvClusterClient::get(std::string_view key) {
+  view_.tick();
   // Distinguished copy first (the paper's rule for unbundled fetches);
-  // when it is unreachable, degrade through the remaining replicas — a
-  // replica may be cold (clean miss) but a hit there is still a hit.
-  const std::vector<ServerId> servers = servers_for(key);
+  // degrade through the remaining replicas when it is unreachable.
+  const std::vector<ServerId> servers = view_.replicas(key);
   double elapsed = 0.0;
   for (std::size_t r = 0; r < servers.size(); ++r) {
     request_.clear();
-    encode_get({std::string(key)}, /*with_versions=*/false, request_);
-    const auto values =
-        exchange_values(servers[r], /*with_versions=*/false, elapsed);
+    kv::encode_get({std::string(key)}, /*with_versions=*/false, request_);
+    const auto values = exchange_values(servers[r], elapsed);
     if (values) {
       if (!values->empty()) return values->front().data;
       if (r == 0) return std::nullopt;  // distinguished miss: key absent
-      // An empty frame from a fallback replica is ambiguous — the replica
-      // may simply be cold. Keep degrading; if every reachable replica is
-      // empty the caller treats it as a miss and consults the database.
-      continue;
+      continue;  // cold replica — keep degrading
     }
-    if (deadline_exceeded(elapsed)) {
+    view_.mark_down(servers[r]);
+    if (exchange_.deadline_exceeded(elapsed)) {
       ++exchange_.stats().deadline_misses;
       return std::nullopt;
     }
@@ -91,16 +82,11 @@ std::optional<std::string> RnbKvClient::get(std::string_view key) {
   return std::nullopt;
 }
 
-RnbKvClient::MultiGetResult RnbKvClient::multi_get(
+KvClusterClient::MultiGetResult KvClusterClient::multi_get(
     std::span<const std::string> keys) {
-  return multi_get_at_least(keys, 1.0);
-}
-
-RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
-    std::span<const std::string> keys, double fraction) {
-  RNB_REQUIRE(fraction > 0.0 && fraction <= 1.0);
-  // Root of the distributed trace: every wave, transaction, and remote
-  // server span of this operation hangs off this span's trace id.
+  view_.tick();
+  // Root of the distributed trace for this operation; every transaction
+  // and remote server span hangs off this span's trace id.
   obs::SpanScope req_span("request", "kv_client",
                           obs::SpanScope::Kind::kRoot);
   MultiGetResult result;
@@ -115,40 +101,48 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   const std::size_t m = items.size();
   if (m == 0) return result;
 
-  // Plan: greedy partial cover over replica locations.
+  // Plan over surviving replicas: a server the view believes dead is not
+  // a bundling candidate, so its crash costs this request nothing — the
+  // difference between one client discovering a crash (retry budget) and
+  // every client re-discovering it per request. A key whose replicas are
+  // all marked down keeps its full list: probing a possibly-restored
+  // server beats reporting the key unavailable without trying.
   CoverInstance instance;
   instance.candidates.resize(m);
   std::vector<std::vector<ServerId>> locations(m);
   for (std::size_t i = 0; i < m; ++i) {
-    locations[i] = servers_for(items[i]);
-    instance.candidates[i] = locations[i];
+    locations[i] = view_.replicas(items[i]);
+    std::vector<ServerId> live;
+    for (const ServerId s : locations[i])
+      if (!view_.is_down(s)) live.push_back(s);
+    instance.candidates[i] = live.empty() ? locations[i] : std::move(live);
   }
-  const std::size_t target = CoverInstance::target_from_fraction(m, fraction);
-  const CoverResult cover = greedy_cover_partial(instance, target);
+  const CoverResult cover = greedy_cover(instance);
   // Mutable: recover rounds re-assign items stranded on failed servers.
   std::vector<ServerId> assignment = cover.assignment;
 
-  const KvFailureStats before = exchange_.stats();
+  const kv::KvFailureStats before = exchange_.stats();
   double elapsed = 0.0;
   std::uint32_t waves = 0;
-  // Every server this operation sent at least one transaction to.
   std::unordered_set<ServerId> contacted;
   // Servers that ate every attempt of a bundled get this operation.
   std::unordered_set<ServerId> failed;
   const auto out_of_time = [&]() {
-    if (!deadline_exceeded(elapsed)) return false;
+    if (!exchange_.deadline_exceeded(elapsed)) return false;
     if (!result.deadline_missed) {
       result.deadline_missed = true;
       ++exchange_.stats().deadline_misses;
     }
     return true;
   };
+  const auto unreachable = [&](ServerId s) {
+    return failed.contains(s) || view_.is_down(s);
+  };
 
-  // Round 1: bundled gets.
+  // Round 1 bundles.
   std::unordered_map<ServerId, std::vector<std::size_t>> by_server;
   for (std::size_t i = 0; i < m; ++i)
-    if (assignment[i] != kInvalidServer)
-      by_server[assignment[i]].push_back(i);
+    by_server[assignment[i]].push_back(i);
 
   // Hitchhikers: covered keys appended to transactions whose server also
   // holds one of their replicas (zero extra transactions).
@@ -156,20 +150,18 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   if (config_.hitchhiking) {
     std::unordered_set<ServerId> in_plan(cover.servers_used.begin(),
                                          cover.servers_used.end());
-    for (std::size_t i = 0; i < m; ++i) {
-      if (assignment[i] == kInvalidServer) continue;
+    for (std::size_t i = 0; i < m; ++i)
       for (const ServerId s : locations[i])
         if (s != assignment[i] && in_plan.contains(s))
           hitchhikers[s].push_back(i);
-    }
   }
 
   std::vector<bool> satisfied(m, false);
   std::unordered_map<std::string_view, std::size_t> index_of;
   for (std::size_t i = 0; i < m; ++i) index_of.emplace(items[i], i);
 
-  // One bundled get with the failure policy; records values on success,
-  // marks the server failed otherwise. Used by all three rounds.
+  // One bundled get under the failure policy; a server that eats every
+  // attempt is marked down in the shared view.
   const auto bundled_get = [&](ServerId s,
                                const std::vector<std::size_t>& idxs,
                                const std::vector<std::size_t>* extra,
@@ -183,13 +175,14 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
         ++result.hitchhiker_keys;
       }
     request_.clear();
-    encode_get(bundle, /*with_versions=*/false, request_);
+    kv::encode_get(bundle, /*with_versions=*/false, request_);
     ++txn_counter;
     contacted.insert(s);
-    const auto values =
-        exchange_values(s, /*with_versions=*/false, elapsed);
+    const auto values = exchange_values(s, elapsed);
     if (!values) {
       failed.insert(s);
+      view_.mark_down(s);
+      ++result.servers_marked_down;
       return;
     }
     for (const Value& v : *values) {
@@ -213,9 +206,9 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     }
   }
 
-  // Recover rounds: items stranded on a failed server get the greedy cover
-  // re-run over their surviving replicas — replication means a dead bundle
-  // costs extra transactions, not the keys.
+  // Recover rounds: items stranded on a failed server get the cover re-run
+  // over their surviving replicas — replication means a dead bundle costs
+  // extra transactions, not the keys.
   for (std::uint32_t round = 0;
        round < config_.failure.max_recover_rounds && !failed.empty();
        ++round) {
@@ -223,12 +216,10 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     CoverInstance recover;
     std::vector<std::size_t> pool;
     for (std::size_t i = 0; i < m; ++i) {
-      if (satisfied[i] || assignment[i] == kInvalidServer ||
-          !failed.contains(assignment[i]))
-        continue;
+      if (satisfied[i] || !failed.contains(assignment[i])) continue;
       std::vector<ServerId> live;
       for (const ServerId s : locations[i])
-        if (!failed.contains(s)) live.push_back(s);
+        if (!unreachable(s)) live.push_back(s);
       if (live.empty()) continue;
       pool.push_back(i);
       recover.candidates.push_back(std::move(live));
@@ -255,13 +246,13 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   // copy by default, or the first reachable replica when servers failed.
   std::unordered_map<ServerId, std::vector<std::size_t>> fallback;
   for (std::size_t i = 0; i < m; ++i) {
-    if (satisfied[i] || assignment[i] == kInvalidServer) continue;
+    if (satisfied[i]) continue;
     // A miss on a *reachable* distinguished server is authoritative — the
     // key does not exist; no fallback can change that.
     if (!failed.contains(assignment[i]) && assignment[i] == locations[i][0])
       continue;
     for (const ServerId s : locations[i])
-      if (s != assignment[i] && !failed.contains(s)) {
+      if (s != assignment[i] && !unreachable(s)) {
         fallback[s].push_back(i);
         break;
       }
@@ -285,13 +276,14 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
       bundle.reserve(idxs.size());
       for (const std::size_t i : idxs) bundle.push_back(items[i]);
       request_.clear();
-      encode_get(bundle, /*with_versions=*/false, request_);
+      kv::encode_get(bundle, /*with_versions=*/false, request_);
       ++result.round2_transactions;
       contacted.insert(s);
-      const auto values =
-          exchange_values(s, /*with_versions=*/false, elapsed);
+      const auto values = exchange_values(s, elapsed);
       if (!values) {
         failed.insert(s);
+        view_.mark_down(s);
+        ++result.servers_marked_down;
         continue;
       }
       for (const Value& v : *values) {
@@ -300,9 +292,9 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
         satisfied[i] = true;
         // Re-install the replica round 1 expected (write-back rule) —
         // best-effort: a lost write-back only costs a future round 2.
-        if (config_.write_back_misses && !failed.contains(assignment[i])) {
+        if (config_.write_back_misses && !unreachable(assignment[i])) {
           request_.clear();
-          encode_set(v.key, v.data, /*pin=*/false, request_);
+          kv::encode_set(v.key, v.data, /*pin=*/false, request_);
           std::string ack;
           transport_.roundtrip(assignment[i], request_, ack);
         }
@@ -310,24 +302,19 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
     }
   }
 
-  // Anything fetched-but-absent is genuinely missing (or unreachable).
   for (std::size_t i = 0; i < m; ++i)
-    if (assignment[i] != kInvalidServer && !satisfied[i])
-      result.missing.push_back(items[i]);
-  result.retries = static_cast<std::uint32_t>(exchange_.stats().retries - before.retries);
-  result.hedged_sends =
-      static_cast<std::uint32_t>(exchange_.stats().hedged_sends - before.hedged_sends);
+    if (!satisfied[i]) result.missing.push_back(items[i]);
+  result.retries =
+      static_cast<std::uint32_t>(exchange_.stats().retries - before.retries);
+  result.hedged_sends = static_cast<std::uint32_t>(
+      exchange_.stats().hedged_sends - before.hedged_sends);
   req_span.arg("items", static_cast<std::int64_t>(m));
   req_span.arg("transactions",
-               static_cast<std::int64_t>(result.round1_transactions +
-                                         result.recover_transactions +
-                                         result.round2_transactions));
+               static_cast<std::int64_t>(result.transactions()));
   req_span.arg("retries", static_cast<std::int64_t>(result.retries));
   if (obs::SlowLog* slow = obs::SlowLog::current()) {
     obs::SlowRequest sr;
     sr.trace_id = req_span.context().trace_id;
-    // Cost is the operation's virtual elapsed time in microseconds — the
-    // same unit trace timestamps use.
     sr.cost = static_cast<std::uint64_t>(elapsed * 1e6);
     sr.items = static_cast<std::uint32_t>(m);
     sr.transactions = result.transactions();
@@ -341,101 +328,20 @@ RnbKvClient::MultiGetResult RnbKvClient::multi_get_at_least(
   return result;
 }
 
-RnbKvClient::MultiGetResult RnbKvClient::multi_get_within(
-    std::span<const std::string> keys, std::uint32_t max_transactions) {
-  MultiGetResult result;
-  std::vector<std::string> items;
-  {
-    std::unordered_set<std::string_view> seen;
-    for (const std::string& k : keys)
-      if (seen.insert(k).second) items.push_back(k);
-  }
-  if (items.empty() || max_transactions == 0) {
-    result.missing.assign(items.begin(), items.end());
-    return result;
-  }
-
-  CoverInstance instance;
-  instance.candidates.resize(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i)
-    instance.candidates[i] = servers_for(items[i]);
-  const CoverResult cover =
-      greedy_cover_budget(instance, max_transactions);
-
-  std::unordered_map<ServerId, std::vector<std::string>> bundles;
-  for (std::size_t i = 0; i < items.size(); ++i)
-    if (cover.assignment[i] != kInvalidServer)
-      bundles[cover.assignment[i]].push_back(items[i]);
-
-  double elapsed = 0.0;
-  for (const ServerId s : cover.servers_used) {
-    if (deadline_exceeded(elapsed)) {
-      result.deadline_missed = true;
-      ++exchange_.stats().deadline_misses;
-      break;
-    }
-    request_.clear();
-    encode_get(bundles.at(s), /*with_versions=*/false, request_);
-    ++result.round1_transactions;
-    const auto values =
-        exchange_values(s, /*with_versions=*/false, elapsed);
-    if (!values) continue;  // budgeted fetch: no fallback, keys go missing
-    for (const Value& v : *values) result.values[v.key] = v.data;
-  }
-  for (const std::string& k : items)
-    if (!result.values.contains(k)) result.missing.push_back(k);
-  return result;
-}
-
-bool RnbKvClient::remove(std::string_view key) {
-  const std::vector<ServerId> servers = servers_for(key);
+bool KvClusterClient::remove(std::string_view key) {
+  view_.tick();
+  const std::vector<ServerId> servers = view_.replicas(key);
   bool existed = false;
   double elapsed = 0.0;
   // Distinguished copy last: a concurrent reader that misses a replica
   // falls back to the distinguished copy, so it must outlive the others.
   for (std::size_t r = servers.size(); r-- > 0;) {
     request_.clear();
-    encode_delete(key, request_);
+    kv::encode_delete(key, request_);
     if (!exchange(servers[r], elapsed)) continue;
-    if (r == 0) existed = parse_simple(response_) == "DELETED";
+    if (r == 0) existed = kv::parse_simple(response_) == "DELETED";
   }
   return existed;
 }
 
-RnbKvClient::UpdateOutcome RnbKvClient::atomic_update(
-    std::string_view key,
-    const std::function<std::string(std::string_view)>& mutate, int retries) {
-  const std::vector<ServerId> servers = servers_for(key);
-
-  double elapsed = 0.0;
-  // Step 1 (paper Section IV): remove all but the distinguished copy, so no
-  // reader can observe a stale replica after the CAS lands.
-  for (std::size_t r = 1; r < servers.size(); ++r) {
-    request_.clear();
-    encode_delete(key, request_);
-    exchange(servers[r], elapsed);
-  }
-
-  // Step 2: CAS the distinguished copy, retrying on version conflicts.
-  for (int attempt = 0; attempt <= retries; ++attempt) {
-    request_.clear();
-    encode_get({std::string(key)}, /*with_versions=*/true, request_);
-    const auto values =
-        exchange_values(servers[0], /*with_versions=*/true, elapsed);
-    if (!values) return UpdateOutcome::kConflict;  // unreachable, not absent
-    if (values->empty()) return UpdateOutcome::kNotFound;
-
-    const std::string next = mutate(values->front().data);
-    request_.clear();
-    encode_cas(key, next, values->front().version, request_);
-    if (!exchange(servers[0], elapsed, {}, /*allow_hedge=*/false))
-      return UpdateOutcome::kConflict;
-    const std::string_view verdict = parse_simple(response_);
-    if (verdict == "STORED") return UpdateOutcome::kUpdated;
-    if (verdict == "NOT_FOUND") return UpdateOutcome::kNotFound;
-    // EXISTS: someone raced us; re-read and retry.
-  }
-  return UpdateOutcome::kConflict;
-}
-
-}  // namespace rnb::kv
+}  // namespace rnb::dserve

@@ -1,0 +1,112 @@
+// KvClusterClient: the RnB read/write strategy against a live ServerGroup.
+//
+// This is RnbKvClient's cover/bundle/recover pipeline re-based onto the
+// shared ClusterView: placement comes from the view (one policy object for
+// the whole process instead of one per client), and covers are planned
+// over *surviving* replicas — a server that ate every attempt of a bundled
+// get is marked down in the view, so the next thousand requests from every
+// worker route around it instead of each burning a retry budget
+// rediscovering the crash. Down marks expire in view-op time and the next
+// cover probes the server; a success clears the mark (restore), a failure
+// renews it.
+//
+// The failure machinery (bounded retries, decorrelated-jitter backoff,
+// quantile hedging, virtual deadlines) is the shared KvExchange engine
+// (kv/failure_policy.hpp), and every frame carries the ambient `@trace`
+// tag, so multi-server runs stitch into the same client→server span trees
+// the single-server path produces.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dserve/cluster_view.hpp"
+#include "kv/failure_policy.hpp"
+#include "kv/kv_transport.hpp"
+#include "kv/protocol.hpp"
+
+namespace rnb::dserve {
+
+struct KvClusterClientConfig {
+  /// Replica write-back after a fallback hit (Section III-C2 write rule).
+  bool write_back_misses = true;
+  /// Hitchhiking (Section III-C2): piggyback covered keys onto
+  /// transactions already visiting a server that holds one of their
+  /// replicas.
+  bool hitchhiking = false;
+  /// Retry / hedging / deadline policy; defaults are inert on a clean
+  /// transport.
+  kv::KvFailurePolicy failure;
+};
+
+class KvClusterClient {
+ public:
+  /// One client per worker thread, all sharing one ClusterView. The
+  /// transport is this worker's own connection (ServerGroup::connect()).
+  KvClusterClient(kv::KvTransport& transport, ClusterView& view,
+                  const KvClusterClientConfig& config);
+
+  /// Store `value` on every logical replica (replica 0 pinned). Returns
+  /// the number of STORED acks.
+  std::uint32_t set(std::string_view key, std::string_view value);
+
+  /// Single-key read: distinguished copy first, degrading through the
+  /// remaining replicas when it is unreachable. This is also the per-item
+  /// baseline the multi-get-hole bench compares bundling against.
+  std::optional<std::string> get(std::string_view key);
+
+  struct MultiGetResult {
+    std::unordered_map<std::string, std::string> values;
+    /// Keys found on no reachable server.
+    std::vector<std::string> missing;
+    std::uint32_t round1_transactions = 0;
+    std::uint32_t round2_transactions = 0;
+    std::uint32_t recover_transactions = 0;
+    std::uint32_t hitchhiker_keys = 0;
+    /// This operation's slice of the failure counters.
+    std::uint32_t retries = 0;
+    std::uint32_t hedged_sends = 0;
+    /// Servers newly marked down by this operation.
+    std::uint32_t servers_marked_down = 0;
+    bool deadline_missed = false;
+
+    std::uint32_t transactions() const noexcept {
+      return round1_transactions + round2_transactions +
+             recover_transactions;
+    }
+  };
+
+  /// Fetch all keys with RnB bundling over surviving replicas.
+  MultiGetResult multi_get(std::span<const std::string> keys);
+
+  /// Delete every replica (distinguished last, so concurrent fallback
+  /// readers never outlive it). True if the distinguished copy existed.
+  bool remove(std::string_view key);
+
+  ClusterView& view() noexcept { return view_; }
+  const kv::KvFailureStats& failure_stats() const noexcept {
+    return exchange_.stats();
+  }
+
+ private:
+  bool exchange(ServerId server, double& elapsed,
+                const std::function<bool(const std::string&)>& valid = {},
+                bool allow_hedge = true);
+  std::optional<std::vector<kv::Value>> exchange_values(ServerId server,
+                                                        double& elapsed);
+
+  kv::KvTransport& transport_;
+  ClusterView& view_;
+  KvClusterClientConfig config_;
+  // Reused I/O buffers; one client per thread, like RnbKvClient.
+  std::string request_;
+  std::string response_;
+  kv::KvExchange exchange_;
+};
+
+}  // namespace rnb::dserve

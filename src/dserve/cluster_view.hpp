@@ -1,0 +1,138 @@
+// Shared cluster topology and health view for the live serving tier.
+//
+// Every client worker planning a bundled multi-get needs the same two
+// facts: where each key's replicas live (the deterministic placement the
+// simulator validated — any client recomputes it from the key alone), and
+// which servers are currently believed dead (so covers are planned over
+// surviving replicas instead of burning a full retry budget per request).
+// ClusterView holds both. Placement is immutable after construction;
+// health is a lock-free per-server mark that any client thread may set
+// when a bundled get exhausts its attempts and clear when a later probe
+// succeeds.
+//
+// Health marks expire in *virtual* time: the view keeps a global operation
+// counter (tick() once per client operation) and a down mark older than
+// `reprobe_interval` ops stops being authoritative — the next cover may
+// pick the server again, and the outcome of that probe either clears the
+// mark or renews it. No wall clock is read, so fault-injected runs replay
+// deterministically.
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb::dserve {
+
+struct ClusterViewConfig {
+  /// Logical replicas per item, distinguished copy included.
+  std::uint32_t replication = 3;
+  PlacementScheme placement = PlacementScheme::kRangedConsistentHash;
+  std::uint64_t placement_seed = 1;
+  /// Client operations a down mark stays authoritative before the server
+  /// is offered to covers again (reprobe). Virtual time: the view's op
+  /// counter, never a clock.
+  std::uint64_t reprobe_interval = 256;
+};
+
+class ClusterView {
+ public:
+  ClusterView(ServerId num_servers, const ClusterViewConfig& config)
+      : config_(config),
+        placement_(make_placement(config.placement, num_servers,
+                                  config.replication, config.placement_seed)),
+        down_since_(num_servers) {
+    RNB_REQUIRE(num_servers > 0);
+    for (auto& d : down_since_) d.store(kUp, std::memory_order_relaxed);
+  }
+
+  ServerId num_servers() const noexcept { return placement_->num_servers(); }
+  std::uint32_t replication() const noexcept {
+    return placement_->replication();
+  }
+  const ClusterViewConfig& config() const noexcept { return config_; }
+  const PlacementPolicy& placement() const noexcept { return *placement_; }
+
+  /// Key -> item id, the same hash the wire clients use (kv/rnb_kv_client),
+  /// so live placement agrees with everything validated in the simulator.
+  static ItemId item_of(std::string_view key) noexcept {
+    return fnv1a64(key);
+  }
+
+  /// Replica servers of `key` in replica order; [0] is the distinguished
+  /// copy. Ignores health — callers filter with is_down() when planning.
+  std::vector<ServerId> replicas(std::string_view key) const {
+    return placement_->replicas(item_of(key));
+  }
+
+  ServerId distinguished(std::string_view key) const {
+    return placement_->distinguished(item_of(key));
+  }
+
+  /// Advance the view's virtual clock; call once per client operation.
+  void tick() noexcept { ops_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// True while the server's down mark is younger than reprobe_interval.
+  /// An expired mark reads as up — the next cover probes the server and
+  /// the result either clears (mark_up) or renews (mark_down) the mark.
+  bool is_down(ServerId s) const noexcept {
+    const std::uint64_t d = down_since_[s].load(std::memory_order_relaxed);
+    if (d == kUp) return false;
+    return ops_.load(std::memory_order_relaxed) - d <
+           config_.reprobe_interval;
+  }
+
+  /// True when any client currently holds a down mark on `s`, expired or
+  /// not (a probe target keeps its mark until a success clears it).
+  bool marked(ServerId s) const noexcept {
+    return down_since_[s].load(std::memory_order_relaxed) != kUp;
+  }
+
+  /// Record that `s` ate every attempt of a transaction just now.
+  void mark_down(ServerId s) noexcept {
+    down_since_[s].store(ops_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    down_marks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Record a successful transaction against `s`; clears any mark.
+  void mark_up(ServerId s) noexcept {
+    if (down_since_[s].exchange(kUp, std::memory_order_relaxed) != kUp)
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Servers currently considered down (availability metric).
+  ServerId down_count() const noexcept {
+    ServerId n = 0;
+    for (ServerId s = 0; s < num_servers(); ++s)
+      if (is_down(s)) ++n;
+    return n;
+  }
+
+  std::uint64_t down_marks() const noexcept {
+    return down_marks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recoveries() const noexcept {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kUp =
+      std::numeric_limits<std::uint64_t>::max();
+
+  ClusterViewConfig config_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::vector<std::atomic<std::uint64_t>> down_since_;
+  std::atomic<std::uint64_t> down_marks_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+};
+
+}  // namespace rnb::dserve

@@ -1,0 +1,137 @@
+#include "dserve/server_group.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "kv/protocol.hpp"
+
+namespace rnb::dserve {
+namespace {
+
+// MemTable budgets bound *evictable* bytes only, so "unlimited" is just a
+// budget nothing realistic reaches.
+constexpr std::size_t kUnlimitedBudget = std::size_t{1} << 44;
+
+// Mirrors MemTable::entry_cost's fixed overhead (kv/memtable.hpp): item
+// header + hash chain pointers. Kept in sync by ServerGroupTest.
+constexpr std::size_t kEntryOverhead = 48;
+
+/// Non-owning forwarder onto the group's shared in-process fleet, so every
+/// loopback GroupConnection can own its transport like a TCP one does.
+class LoopbackForwarder final : public kv::KvTransport {
+ public:
+  explicit LoopbackForwarder(kv::ShardedLoopbackTransport& fleet)
+      : fleet_(fleet) {}
+
+  ServerId num_servers() const noexcept override {
+    return fleet_.num_servers();
+  }
+
+  kv::TransportResult roundtrip(ServerId s, std::string_view request,
+                                std::string& response) override {
+    return fleet_.roundtrip(s, request, response);
+  }
+
+ private:
+  kv::ShardedLoopbackTransport& fleet_;
+};
+
+}  // namespace
+
+GroupConnection::GroupConnection(std::unique_ptr<kv::KvTransport> wire,
+                                 const faultsim::FaultSpec* faults)
+    : wire_(std::move(wire)) {
+  if (faults != nullptr) {
+    faults_ = std::make_unique<faultsim::FaultInjectingTransport>(
+        *wire_, faultsim::FaultSchedule(*faults, wire_->num_servers()));
+    top_ = faults_.get();
+  } else {
+    top_ = wire_.get();
+  }
+}
+
+ServerGroup::ServerGroup(const ServerGroupConfig& config)
+    : config_(config), view_(config.num_servers, config.view) {
+  RNB_REQUIRE(config.num_servers > 0);
+  const std::size_t budget = config_.bytes_per_server == 0
+                                 ? kUnlimitedBudget
+                                 : config_.bytes_per_server;
+  if (config_.wire == GroupWire::kLoopback) {
+    loopback_ = std::make_unique<kv::ShardedLoopbackTransport>(
+        config_.num_servers, budget, config_.shards_per_server);
+  } else {
+    tcp_ = std::make_unique<kv::TcpFleet>(config_.num_servers, budget,
+                                          config_.shards_per_server);
+  }
+  if (!config_.fault_spec.empty()) {
+    std::string error;
+    const auto spec = faultsim::parse_fault_spec(config_.fault_spec, &error);
+    RNB_REQUIRE(spec.has_value() && "fault_spec must parse");
+    faults_ = *spec;
+    inject_faults_ = faults_.any();
+  }
+}
+
+ServerGroup::~ServerGroup() = default;
+
+kv::ShardedKvServer& ServerGroup::server(ServerId s) {
+  RNB_REQUIRE(s < config_.num_servers);
+  return loopback_ != nullptr ? loopback_->server(s) : tcp_->server(s);
+}
+
+std::uint16_t ServerGroup::port(ServerId s) const {
+  RNB_REQUIRE(tcp_ != nullptr && s < config_.num_servers);
+  return tcp_->port(s);
+}
+
+std::unique_ptr<kv::KvTransport> ServerGroup::make_wire() {
+  if (loopback_ != nullptr)
+    return std::make_unique<LoopbackForwarder>(*loopback_);
+  return std::make_unique<kv::TcpClientTransport>(tcp_->ports());
+}
+
+std::unique_ptr<GroupConnection> ServerGroup::connect() {
+  return std::make_unique<GroupConnection>(
+      make_wire(), inject_faults_ ? &faults_ : nullptr);
+}
+
+ServerGroup::LoadStats ServerGroup::load(
+    std::span<const std::string> keys,
+    const std::function<std::string(std::string_view)>& value_of,
+    bool preinstall_replicas) {
+  const std::unique_ptr<kv::KvTransport> wire = make_wire();
+  LoadStats stats;
+  std::string request;
+  std::string response;
+  for (const std::string& key : keys) {
+    const std::string value = value_of(key);
+    const std::vector<ServerId> servers = view_.replicas(key);
+    const std::size_t copies = preinstall_replicas ? servers.size() : 1;
+    ++stats.keys;
+    for (std::size_t r = 0; r < copies; ++r) {
+      request.clear();
+      kv::encode_set(key, value, /*pin=*/r == 0, request);
+      wire->roundtrip(servers[r], request, response);
+      if (kv::parse_simple(response) == "STORED")
+        ++(r == 0 ? stats.pinned : stats.replicas);
+      else
+        ++stats.rejected;
+    }
+  }
+  return stats;
+}
+
+std::size_t ServerGroup::replica_budget(std::uint64_t num_items,
+                                        std::size_t key_bytes,
+                                        std::size_t value_bytes,
+                                        double relative_memory,
+                                        ServerId num_servers) {
+  RNB_REQUIRE(relative_memory >= 1.0 && num_servers > 0);
+  const double entry =
+      static_cast<double>(key_bytes + value_bytes + kEntryOverhead);
+  const double total =
+      (relative_memory - 1.0) * static_cast<double>(num_items) * entry;
+  return static_cast<std::size_t>(total / static_cast<double>(num_servers));
+}
+
+}  // namespace rnb::dserve

@@ -1,0 +1,155 @@
+// ServerGroup: boot a live multi-server kv fleet under RnB placement.
+//
+// The simulator's RnbCluster owns N TwoClassStore servers; this is its
+// wire counterpart: N mini-memcached servers, each an overbooked two-class
+// sharded store (pinned distinguished copies outside the byte budget,
+// evictable replica class inside it — kv/memtable.hpp), reachable either
+// in-process (deterministic loopback, no kernel in the path) or over real
+// TCP sockets (thread-per-connection servers on loopback ports).
+//
+// load() installs a key set through the same deterministic placement the
+// simulators use: every distinguished copy pinned on its replica-0 server
+// (the paper's "same amount of memory the original system had"), replica
+// copies either pre-installed (unlimited-memory regime, Fig. 6) or left
+// cold for multi-get write-backs to fill (limited regime, Fig. 8).
+//
+// connect() hands each client worker its own transport — per-server TCP
+// connections or a thin forwarder onto the shared in-process fleet —
+// optionally wrapped in faultsim's fault-injecting decorator, so
+// crash/restore schedules run against real servers with real bytes on the
+// wire.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "dserve/cluster_view.hpp"
+#include "faultsim/fault_transport.hpp"
+#include "kv/kv_transport.hpp"
+#include "kv/tcp.hpp"
+#include "kv/transport.hpp"
+
+namespace rnb::dserve {
+
+/// How client bytes reach the servers.
+enum class GroupWire {
+  kLoopback,  // in-process, deterministic, no kernel in the path
+  kTcp,       // real sockets on 127.0.0.1, thread-per-connection servers
+};
+
+struct ServerGroupConfig {
+  ServerId num_servers = 4;
+  GroupWire wire = GroupWire::kLoopback;
+  /// Evictable-byte budget per server — the replica class. Pinned
+  /// distinguished copies live outside the budget (kv/memtable.hpp), so
+  /// this is exactly the paper's "extra" memory knob. 0 = unlimited.
+  std::size_t bytes_per_server = 0;
+  /// Striped-lock shards per server engine; 0 picks a power of two from
+  /// the hardware thread count.
+  std::size_t shards_per_server = 0;
+  /// Placement + health-view parameters shared by every client.
+  ClusterViewConfig view;
+  /// faultsim spec (faultsim/fault_spec.hpp grammar) applied to every
+  /// connection made after construction; "" = clean wire.
+  std::string fault_spec;
+};
+
+/// A client worker's connection to the group: the wire transport (owned),
+/// optionally wrapped in a fault-injecting decorator. One per thread, like
+/// every other KvTransport in the tree.
+class GroupConnection final : public kv::KvTransport {
+ public:
+  GroupConnection(std::unique_ptr<kv::KvTransport> wire,
+                  const faultsim::FaultSpec* faults);
+
+  ServerId num_servers() const noexcept override {
+    return wire_->num_servers();
+  }
+
+  kv::TransportResult roundtrip(ServerId s, std::string_view request,
+                                std::string& response) override {
+    return top_->roundtrip(s, request, response);
+  }
+
+  /// The fault decorator, when the group injects faults (else nullptr) —
+  /// benches read per-connection fault stats here.
+  const faultsim::FaultInjectingTransport* faults() const noexcept {
+    return faults_.get();
+  }
+
+ private:
+  std::unique_ptr<kv::KvTransport> wire_;
+  std::unique_ptr<faultsim::FaultInjectingTransport> faults_;
+  kv::KvTransport* top_;  // faults_ if present, else wire_
+};
+
+class ServerGroup {
+ public:
+  explicit ServerGroup(const ServerGroupConfig& config);
+  ~ServerGroup();
+
+  ServerGroup(const ServerGroup&) = delete;
+  ServerGroup& operator=(const ServerGroup&) = delete;
+
+  const ServerGroupConfig& config() const noexcept { return config_; }
+  ServerId num_servers() const noexcept { return config_.num_servers; }
+
+  /// The shared topology + health view all clients plan covers against.
+  ClusterView& view() noexcept { return view_; }
+  const ClusterView& view() const noexcept { return view_; }
+
+  /// Direct engine access for tests and stats scrapes (not during load).
+  kv::ShardedKvServer& server(ServerId s);
+
+  /// TCP listen port of server `s` (kTcp wire only).
+  std::uint16_t port(ServerId s) const;
+
+  /// A fresh client transport: TCP connections or a loopback forwarder,
+  /// fault-wrapped when the config carries a spec. Thread-compatible: each
+  /// worker calls connect() once and keeps its connection.
+  std::unique_ptr<GroupConnection> connect();
+
+  struct LoadStats {
+    std::uint64_t keys = 0;      // distinct keys installed
+    std::uint64_t pinned = 0;    // distinguished copies stored (pinned)
+    std::uint64_t replicas = 0;  // replica copies stored (evictable)
+    std::uint64_t rejected = 0;  // SERVER_ERROR acks (budget too small)
+  };
+
+  /// Install `keys` through the placement: distinguished copy pinned on
+  /// its replica-0 server; when `preinstall_replicas`, every further
+  /// logical replica is stored evictable (unlimited-memory regime) —
+  /// otherwise replicas start cold and are filled by client write-backs
+  /// (limited regime). Runs on a clean internal connection: preload never
+  /// sees injected faults, mirroring the simulators' populate step.
+  LoadStats load(std::span<const std::string> keys,
+                 const std::function<std::string(std::string_view)>& value_of,
+                 bool preinstall_replicas);
+
+  /// Paper Section III-E sizing: evictable replica-class bytes per server
+  /// when the fleet's total memory is `relative_memory` copies of the data
+  /// (>= 1.0; 1.0 = no replica space). Entry cost mirrors the MemTable's
+  /// accounting (key + value + fixed overhead).
+  static std::size_t replica_budget(std::uint64_t num_items,
+                                    std::size_t key_bytes,
+                                    std::size_t value_bytes,
+                                    double relative_memory,
+                                    ServerId num_servers);
+
+ private:
+  /// An unfaulted wire transport (load() and connect() both build on it).
+  std::unique_ptr<kv::KvTransport> make_wire();
+
+  ServerGroupConfig config_;
+  faultsim::FaultSpec faults_;
+  bool inject_faults_ = false;
+  // Exactly one of the fleets exists, per config_.wire.
+  std::unique_ptr<kv::ShardedLoopbackTransport> loopback_;
+  std::unique_ptr<kv::TcpFleet> tcp_;
+  ClusterView view_;
+};
+
+}  // namespace rnb::dserve

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -118,6 +119,16 @@ class BasicKvServer {
   ServerCounters counters() const noexcept { return counters_.snapshot(); }
   Store& table() noexcept { return table_; }
   const Store& table() const noexcept { return table_; }
+
+  /// Install a callback that contributes extra series to the `stats`
+  /// exposition — the seam transports use to publish wire-level state
+  /// (connection counts, accept errors) the engine can't see. Called with
+  /// the throwaway per-request registry right before it is written out.
+  /// Install before serving begins; the hook runs on whatever thread
+  /// handles the stats frame and must be safe to call concurrently.
+  void set_stats_hook(std::function<void(obs::MetricsRegistry&)> hook) {
+    stats_hook_ = std::move(hook);
+  }
 
  private:
   /// True when the engine supports the batched per-shard read path.
@@ -436,6 +447,7 @@ class BasicKvServer {
             .set(static_cast<double>(slow[rank].cost));
       }
     }
+    if (stats_hook_) stats_hook_(registry);
     std::ostringstream os;
     registry.write_prometheus(os);
     response += os.str();
@@ -456,6 +468,7 @@ class BasicKvServer {
 
   Store table_;
   AtomicCounters counters_;
+  std::function<void(obs::MetricsRegistry&)> stats_hook_;
   // Traced-only attribution state (see observe_latency); a server-private
   // slow log, distinct from any process-wide obs::SlowLog the client side
   // installs.

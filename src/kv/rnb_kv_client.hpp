@@ -24,54 +24,11 @@
 
 #include "common/rng.hpp"
 #include "hashring/placement.hpp"
+#include "kv/failure_policy.hpp"
 #include "kv/kv_transport.hpp"
 #include "kv/protocol.hpp"
 
 namespace rnb::kv {
-
-/// Failure policy for every client operation. All timing is virtual: the
-/// transport reports each roundtrip's latency and the client accumulates it
-/// (plus computed backoff waits) into a per-operation elapsed total — no
-/// wall clock is ever read, so runs are reproducible under fault injection.
-struct KvFailurePolicy {
-  /// Total sends per transaction, first try included. 1 disables retries.
-  std::uint32_t max_attempts = 3;
-  /// Decorrelated-jitter exponential backoff (seeded, deterministic):
-  /// wait_k = min(max_backoff, uniform(base_backoff, 3 * wait_{k-1})).
-  double base_backoff = 1e-4;
-  double max_backoff = 5e-2;
-  /// Per-operation virtual deadline in seconds; 0 disables it. When the
-  /// accumulated elapsed time crosses the deadline, the operation stops
-  /// issuing transactions and reports what it has.
-  double deadline = 0.0;
-  /// Hedged duplicate sends: when a delivered response was slower than the
-  /// `hedge_quantile` of recently observed latencies, a duplicate of the
-  /// same request is issued and the faster answer wins. Emulates "send a
-  /// backup request after the p-th percentile delay" synchronously: the
-  /// winner's cost is min(primary, threshold + hedge latency).
-  bool hedging = false;
-  double hedge_quantile = 0.95;
-  /// Observed-latency window feeding the hedge threshold; hedging stays
-  /// idle until the window holds at least 16 samples.
-  std::size_t latency_window = 128;
-  /// Cover re-planning rounds in multi_get when a server eats all attempts.
-  std::uint32_t max_recover_rounds = 2;
-  /// Seed for the backoff jitter stream (independent of placement).
-  std::uint64_t rng_seed = 0xb0ffULL;
-};
-
-/// Cumulative failure-handling counters across a client's lifetime.
-struct KvFailureStats {
-  std::uint64_t attempts = 0;       // every transaction send
-  std::uint64_t retries = 0;        // attempts beyond each first send
-  std::uint64_t transport_errors = 0;  // dropped / down / timeout results
-  std::uint64_t malformed_responses = 0;  // delivered but unparseable
-  std::uint64_t empty_responses = 0;  // delivered zero-byte (peer died)
-  std::uint64_t hedged_sends = 0;   // duplicate sends issued
-  std::uint64_t hedge_wins = 0;     // duplicates that beat the primary
-  std::uint64_t deadline_misses = 0;  // operations cut short
-  std::uint64_t recover_rounds = 0;   // multi_get cover re-plans
-};
 
 struct RnbKvClientConfig {
   std::uint32_t replication = 3;
@@ -162,16 +119,13 @@ class RnbKvClient {
 
   /// Lifetime failure-handling counters (all zero on a clean transport
   /// with default policy, except `attempts` which counts every send).
-  const KvFailureStats& failure_stats() const noexcept { return stats_; }
+  const KvFailureStats& failure_stats() const noexcept {
+    return exchange_.stats();
+  }
 
  private:
-  /// One transaction with the failure policy applied: bounded retries with
-  /// decorrelated-jitter backoff, hedged duplicate on a slow response, and
-  /// virtual-deadline accounting via `elapsed`. Success means the response
-  /// in `response_` was delivered, is non-empty (a zero-byte "response" is
-  /// a dead peer, never a valid frame), and passes `valid` when given.
-  /// `allow_hedge` must be false for non-idempotent frames (CAS): a hedged
-  /// duplicate that loses the race would report EXISTS for its own twin.
+  /// Run one transaction through the shared failure-policy engine
+  /// (kv/failure_policy.hpp) using this client's reused I/O buffers.
   bool exchange(ServerId server, double& elapsed,
                 const std::function<bool(const std::string&)>& valid = {},
                 bool allow_hedge = true);
@@ -182,11 +136,8 @@ class RnbKvClient {
                                                    bool with_versions,
                                                    double& elapsed);
 
-  /// True when `elapsed` crossed the policy deadline (and counts the miss).
-  bool deadline_exceeded(double elapsed);
-
-  double hedge_threshold() const;
-  void observe_latency(double latency);
+  /// True when `elapsed` crossed the policy deadline.
+  bool deadline_exceeded(double elapsed) const;
 
   KvTransport& transport_;
   RnbKvClientConfig config_;
@@ -194,12 +145,8 @@ class RnbKvClient {
   // Reused I/O buffers; the client is single-threaded like a web worker.
   std::string request_;
   std::string response_;
-  // Failure-policy state: jitter stream, recent-latency ring, counters.
-  Xoshiro256 backoff_rng_;
-  std::vector<double> latency_window_;
-  std::size_t latency_next_ = 0;
-  bool latency_full_ = false;
-  KvFailureStats stats_;
+  // Shared retry/hedging/deadline engine (owns the failure counters).
+  KvExchange exchange_;
 };
 
 }  // namespace rnb::kv

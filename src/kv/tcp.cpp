@@ -96,6 +96,22 @@ TcpKvServer::TcpKvServer(std::size_t byte_budget, std::uint16_t port,
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  // Publish wire-level health through the engine's `stats` verb. Installed
+  // before the acceptor starts, so no stats frame can race the assignment.
+  server_.set_stats_hook([this](obs::MetricsRegistry& registry) {
+    registry
+        .counter("rnb_kv_connections_accepted_total",
+                 "TCP connections accepted since boot")
+        .inc(connections_accepted_.load());
+    registry
+        .gauge("rnb_kv_connections_active",
+               "TCP connections currently being served")
+        .set(static_cast<double>(connections_active_.load()));
+    registry
+        .counter("rnb_kv_accept_errors_total",
+                 "accept() failures outside orderly shutdown")
+        .inc(accept_errors_.load());
+  });
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -128,12 +144,18 @@ void TcpKvServer::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1);
     std::lock_guard lock(threads_mu_);
     connections_.emplace_back([this, fd] { connection_loop(fd); });
   }
 }
 
 void TcpKvServer::connection_loop(int fd) {
+  connections_active_.fetch_add(1);
+  const auto active_guard = std::unique_ptr<void, void (*)(void*)>(
+      this, [](void* self) {
+        static_cast<TcpKvServer*>(self)->connections_active_.fetch_sub(1);
+      });
   FrameSplitter splitter;
   std::string frame, response;
   char chunk[16384];

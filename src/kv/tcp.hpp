@@ -74,6 +74,18 @@ class TcpKvServer {
     return accept_errors_.load();
   }
 
+  /// Connections accepted since boot (monotonic) and currently being
+  /// served. Both are also published by the `stats` verb as Prometheus
+  /// series, so a scrape sees wire-level health next to the engine's
+  /// counters: rnb_kv_connections_accepted_total, rnb_kv_connections_active,
+  /// rnb_kv_accept_errors_total.
+  std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load();
+  }
+  std::uint64_t connections_active() const noexcept {
+    return connections_active_.load();
+  }
+
   /// Ask the accept loop and all connection threads to finish; joins them.
   void shutdown();
 
@@ -86,6 +98,8 @@ class TcpKvServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
   std::thread acceptor_;
   std::mutex threads_mu_;
   std::vector<std::thread> connections_;

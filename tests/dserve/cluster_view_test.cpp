@@ -1,0 +1,96 @@
+#include "dserve/cluster_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb::dserve {
+namespace {
+
+ClusterViewConfig small_config() {
+  ClusterViewConfig config;
+  config.replication = 3;
+  config.placement_seed = 7;
+  config.reprobe_interval = 4;
+  return config;
+}
+
+TEST(ClusterView, PlacementMatchesFactoryPolicy) {
+  const ClusterViewConfig config = small_config();
+  ClusterView view(8, config);
+  const auto reference = make_placement(config.placement, 8,
+                                        config.replication,
+                                        config.placement_seed);
+  for (const std::string key : {"alpha", "beta", "gamma", "user:42"}) {
+    EXPECT_EQ(ClusterView::item_of(key), fnv1a64(key));
+    EXPECT_EQ(view.replicas(key), reference->replicas(fnv1a64(key)));
+    EXPECT_EQ(view.distinguished(key), view.replicas(key)[0]);
+  }
+  EXPECT_EQ(view.num_servers(), 8u);
+  EXPECT_EQ(view.replication(), 3u);
+}
+
+TEST(ClusterView, ReplicasAreDistinctServers) {
+  ClusterView view(8, small_config());
+  for (int k = 0; k < 64; ++k) {
+    const auto replicas = view.replicas("key:" + std::to_string(k));
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_NE(replicas[0], replicas[2]);
+    EXPECT_NE(replicas[1], replicas[2]);
+  }
+}
+
+TEST(ClusterView, DownMarksExpireAfterReprobeInterval) {
+  ClusterView view(4, small_config());  // reprobe_interval = 4
+  EXPECT_FALSE(view.is_down(2));
+  view.mark_down(2);
+  EXPECT_TRUE(view.is_down(2));
+  EXPECT_TRUE(view.marked(2));
+  EXPECT_EQ(view.down_count(), 1u);
+  // Three ops later the mark is still authoritative...
+  view.tick();
+  view.tick();
+  view.tick();
+  EXPECT_TRUE(view.is_down(2));
+  // ...the fourth op expires it: the server reads up (probe-able) but the
+  // mark itself stays until a success clears it.
+  view.tick();
+  EXPECT_FALSE(view.is_down(2));
+  EXPECT_TRUE(view.marked(2));
+  EXPECT_EQ(view.down_count(), 0u);
+}
+
+TEST(ClusterView, MarkUpClearsAndCountsRecovery) {
+  ClusterView view(4, small_config());
+  view.mark_down(1);
+  EXPECT_EQ(view.down_marks(), 1u);
+  EXPECT_EQ(view.recoveries(), 0u);
+  view.mark_up(1);
+  EXPECT_FALSE(view.is_down(1));
+  EXPECT_FALSE(view.marked(1));
+  EXPECT_EQ(view.recoveries(), 1u);
+  // mark_up on an unmarked server is a no-op, not a recovery.
+  view.mark_up(1);
+  EXPECT_EQ(view.recoveries(), 1u);
+}
+
+TEST(ClusterView, RenewedMarkRestartsTheInterval) {
+  ClusterView view(4, small_config());
+  view.mark_down(0);
+  view.tick();
+  view.tick();
+  view.tick();
+  // A failed probe renews the mark at the current op count.
+  view.mark_down(0);
+  view.tick();
+  EXPECT_TRUE(view.is_down(0));  // only 1 op since the renewal
+  view.tick();
+  view.tick();
+  view.tick();
+  EXPECT_FALSE(view.is_down(0));
+}
+
+}  // namespace
+}  // namespace rnb::dserve

@@ -1,0 +1,133 @@
+#include "dserve/server_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dserve/cluster_client.hpp"
+
+namespace rnb::dserve {
+namespace {
+
+std::vector<std::string> make_keys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) keys.push_back("item:" + std::to_string(k));
+  return keys;
+}
+
+std::string value_of(std::string_view key) {
+  return "value-of-" + std::string(key);
+}
+
+ServerGroupConfig loopback_config(ServerId servers = 4) {
+  ServerGroupConfig config;
+  config.num_servers = servers;
+  config.wire = GroupWire::kLoopback;
+  config.view.replication = 3;
+  config.view.placement_seed = 11;
+  return config;
+}
+
+TEST(ServerGroup, LoadPinsDistinguishedAndPreinstallsReplicas) {
+  ServerGroup group(loopback_config());
+  const auto keys = make_keys(64);
+  const auto stats = group.load(keys, value_of, /*preinstall_replicas=*/true);
+  EXPECT_EQ(stats.keys, 64u);
+  EXPECT_EQ(stats.pinned, 64u);
+  EXPECT_EQ(stats.replicas, 64u * 2);  // replication 3 => 2 extra copies
+  EXPECT_EQ(stats.rejected, 0u);
+  // Every copy is resident on exactly the servers the placement names.
+  for (const std::string& key : keys) {
+    const auto replicas = group.view().replicas(key);
+    for (const ServerId s : replicas)
+      EXPECT_TRUE(group.server(s).table().contains(key))
+          << key << " missing on server " << s;
+  }
+}
+
+TEST(ServerGroup, ColdLoadInstallsOnlyDistinguishedCopies) {
+  ServerGroup group(loopback_config());
+  const auto keys = make_keys(32);
+  const auto stats =
+      group.load(keys, value_of, /*preinstall_replicas=*/false);
+  EXPECT_EQ(stats.pinned, 32u);
+  EXPECT_EQ(stats.replicas, 0u);
+  for (const std::string& key : keys) {
+    const auto replicas = group.view().replicas(key);
+    EXPECT_TRUE(group.server(replicas[0]).table().contains(key));
+    for (std::size_t r = 1; r < replicas.size(); ++r)
+      EXPECT_FALSE(group.server(replicas[r]).table().contains(key));
+  }
+}
+
+TEST(ServerGroup, PinnedCopiesSurviveATinyBudget) {
+  // The distinguished class lives outside the evictable budget: even a
+  // near-zero replica budget keeps every pinned copy resident (the paper's
+  // "same memory the original system had" guarantee).
+  ServerGroupConfig config = loopback_config();
+  config.bytes_per_server = 64;  // roughly one evictable entry
+  ServerGroup group(config);
+  const auto keys = make_keys(48);
+  const auto stats = group.load(keys, value_of, /*preinstall_replicas=*/true);
+  EXPECT_EQ(stats.pinned, 48u);
+  for (const std::string& key : keys)
+    EXPECT_TRUE(
+        group.server(group.view().distinguished(key)).table().contains(key));
+}
+
+TEST(ServerGroup, ReplicaBudgetFollowsTheSizingRule) {
+  // (relative_memory - 1) * num_items * entry_cost / num_servers, with the
+  // MemTable's 48-byte per-entry overhead.
+  EXPECT_EQ(ServerGroup::replica_budget(1000, 8, 100, 2.0, 4),
+            1000u * (8 + 100 + 48) / 4);
+  EXPECT_EQ(ServerGroup::replica_budget(1000, 8, 100, 1.0, 4), 0u);
+  EXPECT_EQ(ServerGroup::replica_budget(100, 16, 64, 1.5, 8),
+            static_cast<std::size_t>(0.5 * 100 * (16 + 64 + 48) / 8));
+}
+
+TEST(ServerGroup, TcpGroupServesBundledGetsOverRealSockets) {
+  ServerGroupConfig config = loopback_config();
+  config.wire = GroupWire::kTcp;
+  ServerGroup group(config);
+  const auto keys = make_keys(24);
+  group.load(keys, value_of, /*preinstall_replicas=*/true);
+
+  const auto connection = group.connect();
+  EXPECT_EQ(connection->faults(), nullptr);  // clean wire
+  KvClusterClient client(*connection, group.view(), {});
+  const auto result = client.multi_get(keys);
+  EXPECT_TRUE(result.missing.empty());
+  EXPECT_EQ(result.values.size(), 24u);
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(result.values.contains(key));
+    EXPECT_EQ(result.values.at(key), value_of(key));
+  }
+  // Bundling: with all replicas resident, the cover touches at most every
+  // server once — far fewer transactions than one per key.
+  EXPECT_LE(result.round1_transactions, group.num_servers());
+  EXPECT_EQ(result.round2_transactions, 0u);
+}
+
+TEST(ServerGroup, FaultSpecWrapsConnectionsButNotPreload) {
+  ServerGroupConfig config = loopback_config();
+  config.fault_spec = "drop=0.3;seed=5";
+  ServerGroup group(config);
+  const auto keys = make_keys(16);
+  // load() uses a clean internal wire: nothing is dropped.
+  const auto stats = group.load(keys, value_of, /*preinstall_replicas=*/true);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.pinned, 16u);
+
+  const auto connection = group.connect();
+  ASSERT_NE(connection->faults(), nullptr);
+  KvClusterClient client(*connection, group.view(), {});
+  const auto result = client.multi_get(keys);
+  EXPECT_TRUE(result.missing.empty());  // retries absorb 30% drops
+  EXPECT_GT(connection->faults()->stats().attempts, 0u);
+  EXPECT_GT(connection->faults()->stats().drops, 0u);
+}
+
+}  // namespace
+}  // namespace rnb::dserve

@@ -276,6 +276,109 @@ TEST(ProtocolFuzz, TracePrefixIsReservedAndMalformedTagsAreRejected) {
   EXPECT_TRUE(get.trace.sampled);
 }
 
+TEST(ProtocolFuzz, MgetPartialMissesPreserveRequestOrderOfHits) {
+  // An MGET over a mix of present and absent keys must answer with exactly
+  // the present keys, in request order, and silently omit the misses —
+  // the contract the cluster client's recover planning relies on to tell
+  // a missing replica from a transport error.
+  KvServer server(8u << 20);
+  Xoshiro256 rng(10);
+  std::string req, resp;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Fresh namespace per trial so earlier trials can't turn a planned
+    // miss into a hit.
+    const std::string ns = "t" + std::to_string(trial) + ":";
+    std::vector<std::string> keys;
+    std::vector<bool> present;
+    const std::size_t n = 1 + rng.below(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(ns + random_key(rng) + ":" + std::to_string(i));
+      present.push_back(rng.chance(0.5));
+      if (present.back()) {
+        req.clear();
+        encode_set(keys.back(), "v:" + keys.back(), false, req);
+        server.handle(req, resp);
+        ASSERT_EQ(parse_simple(resp), "STORED");
+      }
+    }
+    req.clear();
+    encode_get(keys, rng.chance(0.5), req);
+    const bool versions = std::get<GetCommand>(*parse_command(req, nullptr))
+                              .with_versions;
+    server.handle(req, resp);
+    const auto values = parse_values(resp, versions);
+    ASSERT_TRUE(values.has_value()) << resp;
+    std::size_t vi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!present[i]) continue;
+      ASSERT_LT(vi, values->size());
+      ASSERT_EQ((*values)[vi].key, keys[i]) << "hits out of request order";
+      ASSERT_EQ((*values)[vi].data, "v:" + keys[i]);
+      ++vi;
+    }
+    ASSERT_EQ(vi, values->size()) << "response contains a key never stored";
+  }
+}
+
+TEST(ProtocolFuzz, MgetAllMissesYieldsBareEndFrame) {
+  KvServer server(1 << 20);
+  Xoshiro256 rng(11);
+  std::string req, resp;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::string> keys;
+    const std::size_t n = 1 + rng.below(20);
+    for (std::size_t i = 0; i < n; ++i)
+      keys.push_back("absent:" + random_key(rng));
+    req.clear();
+    encode_get(keys, false, req);
+    server.handle(req, resp);
+    ASSERT_EQ(resp, "END\r\n");
+    const auto values = parse_values(resp, false);
+    ASSERT_TRUE(values.has_value());
+    ASSERT_TRUE(values->empty());
+  }
+}
+
+TEST(ProtocolFuzz, EmptyValueFramesRoundtripAndServeCorrectly) {
+  // Zero-length values produce a "VALUE <key> ... 0" header followed by an
+  // empty data block — an edge the frame splitter and parser must both
+  // treat as a hit, not a miss, including mixed into partial-miss MGETs.
+  Xoshiro256 rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> values;
+    const std::size_t n = 1 + rng.below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool empty = rng.chance(0.5);
+      values.push_back(Value{random_key(rng) + ":" + std::to_string(i),
+                             empty ? "" : random_bytes(rng, 40), rng()});
+    }
+    const bool versions = rng.chance(0.5);
+    std::string frame;
+    encode_values(values, versions, frame);
+    const auto parsed = parse_values(frame, versions);
+    ASSERT_TRUE(parsed.has_value()) << frame;
+    ASSERT_EQ(parsed->size(), values.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ((*parsed)[i].key, values[i].key);
+      ASSERT_EQ((*parsed)[i].data, values[i].data);
+    }
+  }
+
+  KvServer server(1 << 20);
+  std::string req, resp;
+  encode_set("empty", "", false, req);
+  server.handle(req, resp);
+  ASSERT_EQ(parse_simple(resp), "STORED");
+  req.clear();
+  encode_get({"miss:a", "empty", "miss:b"}, false, req);
+  server.handle(req, resp);
+  const auto values = parse_values(resp, false);
+  ASSERT_TRUE(values.has_value()) << resp;
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].key, "empty");
+  EXPECT_EQ((*values)[0].data, "");
+}
+
 TEST(ProtocolFuzz, ServerStateConsistentUnderRandomOperations) {
   // Differential test: random set/get/delete against a std::map reference.
   KvServer server(8u << 20);

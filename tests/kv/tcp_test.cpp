@@ -116,6 +116,47 @@ TEST(TcpKv, MultipleConnectionsShareTheStore) {
   EXPECT_EQ(parse_values(resp, false)->size(), 1u);
 }
 
+TEST(TcpKv, StatsVerbPublishesConnectionCounters) {
+  TcpKvServer server(1 << 20);
+  TcpKvConnection first(server.port());
+  std::string req, resp;
+  encode_set("probe", "v", false, req);
+  first.roundtrip(req, resp);  // guarantees the accept has been processed
+
+  TcpKvConnection second(server.port());
+  req.clear();
+  encode_stats(req);
+  second.roundtrip(req, resp);
+  // Wire-level health rides in the same Prometheus exposition as the
+  // engine counters: both live connections, the monotonic accept count,
+  // and a zero accept-error series.
+  EXPECT_NE(resp.find("rnb_kv_connections_accepted_total 2"),
+            std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("rnb_kv_connections_active 2"), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("rnb_kv_accept_errors_total 0"), std::string::npos)
+      << resp;
+  EXPECT_EQ(server.connections_accepted(), 2u);
+  EXPECT_EQ(server.accept_errors(), 0u);
+}
+
+TEST(TcpKv, ActiveConnectionGaugeFallsWhenPeersDisconnect) {
+  TcpKvServer server(1 << 20);
+  {
+    TcpKvConnection transient(server.port());
+    std::string req, resp;
+    encode_set("x", "1", false, req);
+    transient.roundtrip(req, resp);
+    EXPECT_EQ(server.connections_active(), 1u);
+  }
+  // The reader thread notices the close asynchronously; poll briefly.
+  for (int i = 0; i < 200 && server.connections_active() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.connections_active(), 0u);
+  EXPECT_EQ(server.connections_accepted(), 1u);
+}
+
 TEST(TcpKv, ConcurrentClientsAreSerialized) {
   TcpKvServer server(8u << 20);
   constexpr int kOps = 300;
