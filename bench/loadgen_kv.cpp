@@ -14,10 +14,19 @@
 //              transport mutex; swept over shard counts 1, 2, 4, ... so the
 //              output is the scaling curve directly.
 //
-// `--mode=tcp` runs the same loop over real sockets (TcpKvServer, M
-// connections per thread), paying syscall + copy costs; there is no
-// single-mutex TCP baseline because the sharded engine replaced it — use
-// `--shards=1` for the single-lock-domain point.
+// `--mode=tcp` runs the same loop over real sockets (M connections per
+// thread), paying syscall + copy costs; there is no single-mutex TCP
+// baseline because the sharded engine replaced it — use `--shards=1` for
+// the single-lock-domain point. `--model=threads|reactor|both` picks the
+// serving core: blocking thread-per-connection (TcpKvServer) or the epoll
+// reactor (ReactorKvServer); rows are named `tcp-threads` / `tcp-reactor`.
+//
+// `--sweep-connections=64,256,1024` replaces the shard sweep with a
+// connection-count sweep at a fixed shard count: every listed total is
+// split across the worker threads and each (model, connections) pair
+// becomes one row. This is the reactor acceptance curve — the thread
+// server pays one OS thread per connection, the reactor one loop thread
+// per server, so the gap opens as the fan grows.
 //
 // The workload is deterministic per (seed, thread): each thread owns a
 // Xoshiro256 stream and a rejection-inversion Zipf sampler. Only the
@@ -42,6 +51,7 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -56,6 +66,7 @@
 #include "common/sharding.hpp"
 #include "kv/kv_server.hpp"
 #include "kv/protocol.hpp"
+#include "kv/reactor.hpp"
 #include "kv/tcp.hpp"
 #include "kv/transport.hpp"
 #include "obs/contention.hpp"
@@ -222,6 +233,7 @@ std::size_t budget_for(const Params& p) {
 struct Row {
   std::string engine;
   std::uint64_t shards = 0;
+  std::uint64_t connections = 0;  // total client sockets; 0 for loopback
   RunResult run;
   double hit_rate = 0.0;
   obs::ContentionSnapshot locks;  // measured-phase delta; zero for baseline
@@ -230,9 +242,9 @@ struct Row {
 void report(const Params& p, const std::vector<Row>& rows,
             bench::JsonResult& json) {
   std::printf(
-      "%-10s %7s %8s %12s %12s %10s %10s %10s %12s %10s\n", "engine",
-      "shards", "threads", "txns/s", "items/s", "p50_ns", "p90_ns", "p99_ns",
-      "lock_waits", "hit_rate");
+      "%-12s %7s %6s %8s %12s %12s %10s %10s %10s %12s %10s\n", "engine",
+      "shards", "conns", "threads", "txns/s", "items/s", "p50_ns", "p90_ns",
+      "p99_ns", "lock_waits", "hit_rate");
   const double baseline =
       rows.empty() ? 0.0
                    : static_cast<double>(rows.front().run.txns) /
@@ -241,15 +253,16 @@ void report(const Params& p, const std::vector<Row>& rows,
     const double txns_per_s =
         static_cast<double>(row.run.txns) / row.run.wall_s;
     const double items_per_s = txns_per_s * static_cast<double>(p.batch);
-    std::printf("%-10s %7" PRIu64 " %8u %12.0f %12.0f %10" PRIu64
+    std::printf("%-12s %7" PRIu64 " %6" PRIu64 " %8u %12.0f %12.0f %10" PRIu64
                 " %10" PRIu64 " %10" PRIu64 " %12" PRIu64 " %9.3f%%\n",
-                row.engine.c_str(), row.shards, p.threads, txns_per_s,
-                items_per_s, row.run.latency.quantile(0.50),
+                row.engine.c_str(), row.shards, row.connections, p.threads,
+                txns_per_s, items_per_s, row.run.latency.quantile(0.50),
                 row.run.latency.quantile(0.90), row.run.latency.quantile(0.99),
                 row.locks.contended_acquisitions, row.hit_rate * 100.0);
     json.add_row();
     json.field("engine", row.engine);
     json.field("shards", row.shards);
+    json.field("connections", row.connections);
     json.field("threads", static_cast<std::uint64_t>(p.threads));
     json.field("txns_per_s", txns_per_s);
     json.field("items_per_s", items_per_s);
@@ -336,31 +349,39 @@ Row run_sharded(const Params& p, const std::vector<std::string>& universe,
 }
 
 Row run_tcp(const Params& p, const std::vector<std::string>& universe,
-            std::uint64_t shards, std::uint64_t connections,
+            std::uint64_t shards, std::uint64_t connections, ServerModel model,
             obs::Tracer* tracer, obs::SlowLog* slow) {
-  TcpKvServer server(budget_for(p), /*port=*/0, shards);
+  std::unique_ptr<WireServer> server;
+  if (model == ServerModel::kReactor)
+    server = std::make_unique<ReactorKvServer>(budget_for(p), /*port=*/0,
+                                               shards);
+  else
+    server = std::make_unique<TcpKvServer>(budget_for(p), /*port=*/0, shards);
   {
-    TcpKvConnection setup(server.port());
+    TcpKvConnection setup(server->port());
     preload(p, universe,
             [&](std::string_view frame, std::string& out) {
               setup.roundtrip(frame, out);
             });
   }
-  const ServerCounters before = server.server().counters();
+  const ServerCounters before = server->server().counters();
   const obs::ContentionSnapshot locks_before =
-      server.server().table().lock_counters();
+      server->server().table().lock_counters();
   Row row;
-  row.engine = "tcp";
-  row.shards = server.server().table().shard_count();
+  row.engine = model == ServerModel::kReactor ? "tcp-reactor" : "tcp-threads";
+  row.shards = server->server().table().shard_count();
+  row.connections = connections * p.threads;
   row.run = run_load(
       p, universe,
       [&](unsigned) -> Dispatch {
         // Each worker owns `connections` sockets used round-robin, so one
-        // thread exercises several server-side connection threads.
+        // thread exercises several server-side connections concurrently —
+        // reader threads under the thread model, reactor state machines
+        // under the epoll model.
         auto conns =
             std::make_shared<std::vector<std::unique_ptr<TcpKvConnection>>>();
         for (std::uint64_t c = 0; c < connections; ++c)
-          conns->push_back(std::make_unique<TcpKvConnection>(server.port()));
+          conns->push_back(std::make_unique<TcpKvConnection>(server->port()));
         auto next = std::make_shared<std::size_t>(0);
         return [conns, next](std::string_view frame, std::string& out) {
           TcpKvConnection& conn = *(*conns)[*next];
@@ -369,8 +390,8 @@ Row run_tcp(const Params& p, const std::vector<std::string>& universe,
         };
       },
       tracer, slow);
-  row.hit_rate = hit_rate_of(before, server.server().counters());
-  row.locks = delta(locks_before, server.server().table().lock_counters());
+  row.hit_rate = hit_rate_of(before, server->server().counters());
+  row.locks = delta(locks_before, server->server().table().lock_counters());
   return row;
 }
 
@@ -445,6 +466,8 @@ int run(int argc, char** argv) {
   const std::string mode = flags.str("mode", "loopback");
   const std::uint64_t fixed_shards = flags.u64("shards", 0);
   const std::uint64_t connections = flags.u64("connections", 1);
+  const std::string model_name = flags.str("model", "threads");
+  const std::string sweep_spec = flags.str("sweep-connections", "");
   const bool with_baseline = flags.boolean("baseline", true);
   const std::string trace_path = flags.str("trace", "");
   const std::uint64_t slowlog_n = flags.u64("slowlog", 0);
@@ -493,11 +516,51 @@ int run(int argc, char** argv) {
   json.param("pinned", p.pinned);
   if (mode == "tcp") json.param("connections_per_thread", connections);
 
+  // Which serving cores to bench in tcp mode.
+  std::vector<ServerModel> models;
+  if (model_name == "reactor") {
+    models = {ServerModel::kReactor};
+  } else if (model_name == "both") {
+    models = {ServerModel::kThreadPerConnection, ServerModel::kReactor};
+  } else if (model_name == "threads") {
+    models = {ServerModel::kThreadPerConnection};
+  } else {
+    std::fprintf(stderr, "unknown --model=%s (threads|reactor|both)\n",
+                 model_name.c_str());
+    return 1;
+  }
+
   std::vector<Row> rows;
-  if (mode == "tcp") {
-    for (const std::uint64_t s : shard_counts)
-      rows.push_back(
-          run_tcp(p, universe, s, connections, tracer.get(), slow.get()));
+  if (mode == "tcp" && !sweep_spec.empty()) {
+    // Connection-count sweep at a fixed shard count: every listed total is
+    // split evenly across the worker threads (rounded up so the requested
+    // fan is never under-provisioned).
+    json.param("sweep_connections", sweep_spec);
+    std::vector<std::uint64_t> sweep;
+    std::stringstream list(sweep_spec);
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      const std::uint64_t total = std::strtoull(item.c_str(), nullptr, 10);
+      if (total == 0) {
+        std::fprintf(stderr, "bad --sweep-connections entry %s\n",
+                     item.c_str());
+        return 1;
+      }
+      sweep.push_back(total);
+    }
+    // Models outer, fan inner: each model's scaling curve reads top to
+    // bottom, and with --model=both the first row is the thread server at
+    // the smallest fan — the reference speedup_vs_first_row divides by.
+    for (const ServerModel model : models)
+      for (const std::uint64_t total : sweep)
+        rows.push_back(run_tcp(p, universe, shard_counts.front(),
+                               (total + p.threads - 1) / p.threads, model,
+                               tracer.get(), slow.get()));
+  } else if (mode == "tcp") {
+    for (const ServerModel model : models)
+      for (const std::uint64_t s : shard_counts)
+        rows.push_back(run_tcp(p, universe, s, connections, model,
+                               tracer.get(), slow.get()));
   } else {
     if (with_baseline)
       rows.push_back(run_baseline(p, universe, tracer.get(), slow.get()));

@@ -19,7 +19,9 @@ Usage:
   scripts/check_bench_regression.py lm.json BENCH_live_multiget.json \
       --key batch
 
-Exit code 0 when every matched row holds, 1 otherwise. Stdlib only.
+Exit code 0 when every matched row holds, 1 otherwise. Matching zero rows
+is always an error, --allow-missing or not: a gate that compared nothing
+must not pass. Stdlib only.
 Timing noise note: 10% is deliberately loose — these benches run on shared
 CI runners; the check exists to catch step-function regressions (a lost
 bundling path, an accidental O(n^2)), not single-digit drift.
@@ -108,6 +110,15 @@ def main(argv):
               f"{base_value:.0f} -> {cand_value:.0f} ({change:+.1%})")
     for identity in sorted(set(cand_rows) - set(base_rows)):
         print(f"NEW      {identity}: in candidate only")
+
+    if checked == 0:
+        # Zero matched rows means the files describe disjoint sweeps (a
+        # renamed engine, a changed axis): every row silently escaped the
+        # comparison. That must fail even under --allow-missing — an
+        # enforcing CI gate that compared nothing has not gated anything.
+        sys.exit(f"no candidate row matched any baseline row in "
+                 f"{opts.baseline}; row identities are disjoint "
+                 f"(renamed sweep? pass --key for numeric axes)")
 
     verdict = "FAIL" if failures else "OK"
     print(f"checked {checked} rows against {opts.baseline}: "

@@ -61,7 +61,8 @@ ServerGroup::ServerGroup(const ServerGroupConfig& config)
         config_.num_servers, budget, config_.shards_per_server);
   } else {
     tcp_ = std::make_unique<kv::TcpFleet>(config_.num_servers, budget,
-                                          config_.shards_per_server);
+                                          config_.shards_per_server,
+                                          config_.server_model);
   }
   if (!config_.fault_spec.empty()) {
     std::string error;
@@ -82,6 +83,11 @@ kv::ShardedKvServer& ServerGroup::server(ServerId s) {
 std::uint16_t ServerGroup::port(ServerId s) const {
   RNB_REQUIRE(tcp_ != nullptr && s < config_.num_servers);
   return tcp_->port(s);
+}
+
+kv::WireServer& ServerGroup::wire_server(ServerId s) {
+  RNB_REQUIRE(tcp_ != nullptr && s < config_.num_servers);
+  return tcp_->wire(s);
 }
 
 std::unique_ptr<kv::KvTransport> ServerGroup::make_wire() {

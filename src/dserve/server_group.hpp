@@ -43,6 +43,9 @@ enum class GroupWire {
 struct ServerGroupConfig {
   ServerId num_servers = 4;
   GroupWire wire = GroupWire::kLoopback;
+  /// Serving core for kTcp servers: blocking thread-per-connection or the
+  /// epoll reactor (kv/reactor.hpp). Ignored for kLoopback.
+  kv::ServerModel server_model = kv::ServerModel::kThreadPerConnection;
   /// Evictable-byte budget per server — the replica class. Pinned
   /// distinguished copies live outside the budget (kv/memtable.hpp), so
   /// this is exactly the paper's "extra" memory knob. 0 = unlimited.
@@ -106,6 +109,10 @@ class ServerGroup {
 
   /// TCP listen port of server `s` (kTcp wire only).
   std::uint16_t port(ServerId s) const;
+
+  /// Wire-level server `s` — connection counters, accept errors — for
+  /// soak tests and health scrapes (kTcp wire only).
+  kv::WireServer& wire_server(ServerId s);
 
   /// A fresh client transport: TCP connections or a loopback forwarder,
   /// fault-wrapped when the config carries a spec. Thread-compatible: each

@@ -1,0 +1,148 @@
+#include "kv/poller.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace rnb::kv {
+namespace {
+
+constexpr std::size_t kMaxIov = 64;  // IOV_MAX is >= 1024 everywhere; 64
+                                     // chunks per writev is plenty per flush
+
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  // EPOLLERR/EPOLLHUP are always reported; no need to request them.
+  return mask;
+}
+
+}  // namespace
+
+EpollPoller::EpollPoller() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+}
+
+EpollPoller::~EpollPoller() {
+  ::close(wakeup_fd_);
+  ::close(epoll_fd_);
+}
+
+void EpollPoller::add(int handle, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = epoll_mask(want_read, want_write);
+  ev.data.fd = handle;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, handle, &ev);
+}
+
+void EpollPoller::modify(int handle, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = epoll_mask(want_read, want_write);
+  ev.data.fd = handle;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, handle, &ev);
+}
+
+void EpollPoller::remove(int handle) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, handle, nullptr);
+}
+
+std::size_t EpollPoller::wait(std::vector<PollEvent>& events,
+                              int timeout_ms) {
+  events.clear();
+  epoll_event raw[128];
+  const int n = ::epoll_wait(epoll_fd_, raw, 128, timeout_ms);
+  if (n <= 0) return 0;  // timeout, EINTR, or interrupt
+  events.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (raw[i].data.fd == wakeup_fd_) {
+      std::uint64_t drain = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(wakeup_fd_, &drain, sizeof(drain));
+      continue;
+    }
+    PollEvent ev;
+    ev.handle = raw[i].data.fd;
+    ev.readable = (raw[i].events & EPOLLIN) != 0;
+    ev.writable = (raw[i].events & EPOLLOUT) != 0;
+    ev.hangup = (raw[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+    events.push_back(ev);
+  }
+  return events.size();
+}
+
+IoResult EpollPoller::read(int handle, char* buffer, std::size_t capacity) {
+  const ssize_t n = ::recv(handle, buffer, capacity, 0);
+  if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (n == 0) return {IoStatus::kEof, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return {IoStatus::kWouldBlock, 0};
+  return {IoStatus::kError, 0};
+}
+
+IoResult EpollPoller::writev(int handle,
+                             std::span<const std::string_view> chunks) {
+  iovec iov[kMaxIov];
+  std::size_t iov_count = 0;
+  for (const std::string_view chunk : chunks) {
+    if (iov_count == kMaxIov) break;
+    if (chunk.empty()) continue;
+    iov[iov_count].iov_base = const_cast<char*>(chunk.data());
+    iov[iov_count].iov_len = chunk.size();
+    ++iov_count;
+  }
+  if (iov_count == 0) return {IoStatus::kOk, 0};
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = iov_count;
+  // sendmsg rather than writev for MSG_NOSIGNAL: a peer that reset mid
+  // write must surface as kError, not kill the process with SIGPIPE.
+  const ssize_t n = ::sendmsg(handle, &msg, MSG_NOSIGNAL);
+  if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return {IoStatus::kWouldBlock, 0};
+  return {IoStatus::kError, 0};
+}
+
+int EpollPoller::accept(int listen_handle) {
+  const int fd = ::accept4(listen_handle, nullptr, nullptr, SOCK_NONBLOCK);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+      errno == ECONNABORTED)
+    return -1;
+  return -2;
+}
+
+void EpollPoller::close(int handle) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, handle, nullptr);
+  ::close(handle);
+}
+
+void EpollPoller::interrupt() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r =
+      ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+}  // namespace rnb::kv

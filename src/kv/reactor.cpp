@@ -1,0 +1,301 @@
+#include "kv/reactor.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rnb::kv {
+namespace {
+
+constexpr std::size_t kMaxFlushChunks = 64;  // matches EpollPoller's iovec cap
+
+}  // namespace
+
+EventLoop::EventLoop(PollSource& poll, ShardedKvServer& engine,
+                     Config config)
+    : poll_(poll), engine_(engine), config_(config) {
+  read_chunk_.resize(config_.read_chunk);
+  if (config_.listen_handle >= 0)
+    poll_.add(config_.listen_handle, /*want_read=*/true,
+              /*want_write=*/false);
+}
+
+EventLoop::~EventLoop() { close_all(); }
+
+void EventLoop::adopt(int handle) {
+  auto conn = std::make_unique<Connection>();
+  conn->handle = handle;
+  poll_.add(handle, /*want_read=*/true, /*want_write=*/false);
+  connections_.emplace(handle, std::move(conn));
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  active_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t EventLoop::step(int timeout_ms) {
+  const std::size_t n = poll_.wait(events_, timeout_ms);
+  stats_.record_batch(n);
+  for (const PollEvent& event : events_) {
+    if (event.handle == config_.listen_handle) {
+      do_accept();
+      continue;
+    }
+    // An earlier event in this batch may have destroyed the connection
+    // (e.g. a reset seen while its write event was still queued).
+    if (connections_.find(event.handle) != connections_.end())
+      on_event(event);
+  }
+  return n;
+}
+
+void EventLoop::run() {
+  while (!stop_.load(std::memory_order_acquire)) step(/*timeout_ms=*/-1);
+}
+
+void EventLoop::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  poll_.interrupt();
+}
+
+void EventLoop::close_all() {
+  for (auto& [handle, conn] : connections_) {
+    stats_.sub_queued(conn->outbox_bytes);
+    poll_.close(handle);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  connections_.clear();
+}
+
+void EventLoop::do_accept() {
+  for (;;) {
+    const int handle = poll_.accept(config_.listen_handle);
+    if (handle == -1) return;  // drained the backlog
+    if (handle < 0) {
+      // Fatal acceptor error (EMFILE and friends): count it and retry on
+      // the next readiness report rather than wedging the whole loop.
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    adopt(handle);
+  }
+}
+
+void EventLoop::on_event(const PollEvent& event) {
+  Connection& conn = *connections_.at(event.handle);
+  if (event.readable || event.hangup) {
+    on_readable(conn);
+    return;  // on_readable flushes; conn may be gone
+  }
+  if (event.writable) {
+    if (!flush(conn)) return;
+    if (conn.draining && conn.outbox.empty())
+      destroy(conn, /*reset=*/false);
+  }
+}
+
+void EventLoop::on_readable(Connection& conn) {
+  for (std::size_t reads = 0; reads < config_.max_reads_per_event;
+       ++reads) {
+    const IoResult r =
+        poll_.read(conn.handle, read_chunk_.data(), read_chunk_.size());
+    if (r.status == IoStatus::kOk) {
+      conn.splitter.feed(std::string_view(read_chunk_.data(), r.bytes));
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status == IoStatus::kEof) {
+      conn.draining = true;
+      break;
+    }
+    // Reset mid-anything: whatever sits torn in the splitter is
+    // abandoned, queued responses die with the socket.
+    destroy(conn, /*reset=*/true);
+    return;
+  }
+  process_frames(conn);
+  if (!flush(conn)) return;
+  if (conn.draining && conn.outbox.empty()) destroy(conn, /*reset=*/false);
+}
+
+void EventLoop::process_frames(Connection& conn) {
+  while (conn.splitter.next_frame(frame_)) {
+    std::string response = acquire_buffer();
+    HandleInfo info;
+    // The same parse > dispatch{shard} > handle > format span tree and
+    // trace-tag adoption as every other transport: it all lives inside
+    // BasicKvServer::handle.
+    engine_.handle(frame_, response, &info);
+    conn.outbox_bytes += response.size();
+    stats_.add_queued(response.size());
+    conn.outbox.push_back(OutEntry{std::move(response), 0, info.trace});
+    responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool EventLoop::flush(Connection& conn) {
+  obs::Tracer* const tracer = obs::Tracer::current();
+  while (!conn.outbox.empty()) {
+    std::string_view chunks[kMaxFlushChunks];
+    std::size_t count = 0;
+    std::size_t offered = 0;
+    for (const OutEntry& entry : conn.outbox) {
+      if (count == kMaxFlushChunks) break;
+      if (entry.bytes.size() == entry.offset) continue;
+      chunks[count] = std::string_view(entry.bytes).substr(entry.offset);
+      offered += chunks[count].size();
+      ++count;
+    }
+    if (offered == 0) {
+      // Only zero-length responses queued (cannot happen today, but keep
+      // the loop total): drop them and carry on.
+      conn.outbox.clear();
+      break;
+    }
+    const std::uint64_t t0 = tracer != nullptr ? tracer->now() : 0;
+    const IoResult r =
+        poll_.writev(conn.handle, std::span(chunks, count));
+    if (r.status == IoStatus::kWouldBlock ||
+        (r.status == IoStatus::kOk && r.bytes == 0)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        poll_.modify(conn.handle, /*want_read=*/true, /*want_write=*/true);
+      }
+      return true;
+    }
+    if (r.status != IoStatus::kOk) {
+      destroy(conn, /*reset=*/true);
+      return false;
+    }
+    const std::uint64_t t1 = tracer != nullptr ? tracer->now() : 0;
+    stats_.sub_queued(r.bytes);
+    conn.outbox_bytes -= r.bytes;
+    std::size_t remaining = r.bytes;
+    while (remaining > 0 && !conn.outbox.empty()) {
+      OutEntry& entry = conn.outbox.front();
+      const std::size_t pending = entry.bytes.size() - entry.offset;
+      if (remaining < pending) {
+        entry.offset += remaining;
+        remaining = 0;
+        break;
+      }
+      remaining -= pending;
+      // The response has fully left the socket: attribute the batched
+      // write to its trace, mirroring the thread-server's per-response
+      // "write" span (a sibling of the server transaction span).
+      if (tracer != nullptr) {
+        obs::ScopedTraceContext adopt({entry.trace.trace_id,
+                                       entry.trace.span_id,
+                                       entry.trace.sampled});
+        tracer->complete(
+            "write", "server", t0, t1 - t0,
+            {{"bytes", static_cast<std::int64_t>(entry.bytes.size())}});
+      }
+      release_buffer(std::move(entry.bytes));
+      conn.outbox.pop_front();
+    }
+    if (r.bytes < offered) {
+      // Short write: the kernel (or script) refused the rest for now.
+      if (!conn.want_write) {
+        conn.want_write = true;
+        poll_.modify(conn.handle, /*want_read=*/true, /*want_write=*/true);
+      }
+      return true;
+    }
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    poll_.modify(conn.handle, /*want_read=*/true, /*want_write=*/false);
+  }
+  return true;
+}
+
+void EventLoop::destroy(Connection& conn, bool reset) {
+  const int handle = conn.handle;
+  stats_.sub_queued(conn.outbox_bytes);
+  if (reset) resets_.fetch_add(1, std::memory_order_relaxed);
+  poll_.close(handle);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  connections_.erase(handle);  // invalidates conn
+}
+
+std::string EventLoop::acquire_buffer() {
+  if (buffer_pool_.empty()) return std::string();
+  std::string buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buffer;
+}
+
+void EventLoop::release_buffer(std::string&& buffer) {
+  buffer.clear();
+  buffer_pool_.push_back(std::move(buffer));
+}
+
+ReactorKvServer::ReactorKvServer(std::size_t byte_budget, std::uint16_t port,
+                                 std::size_t num_shards)
+    : server_(byte_budget, num_shards) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("reactor: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("reactor: bind() failed");
+  }
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("reactor: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  EventLoop::Config config;
+  config.listen_handle = listen_fd_;
+  loop_ = std::make_unique<EventLoop>(poller_, server_, config);
+  // Same wire-health series as TcpKvServer, plus the loop-level signals
+  // only a reactor has. Installed before the loop thread starts, so no
+  // stats frame can race the assignment.
+  server_.set_stats_hook([this](obs::MetricsRegistry& registry) {
+    registry
+        .counter("rnb_kv_connections_accepted_total",
+                 "TCP connections accepted since boot")
+        .inc(loop_->connections_accepted());
+    registry
+        .gauge("rnb_kv_connections_active",
+               "TCP connections currently being served")
+        .set(static_cast<double>(loop_->open_connections()));
+    registry
+        .counter("rnb_kv_accept_errors_total",
+                 "accept() failures outside orderly shutdown")
+        .inc(loop_->accept_errors());
+    registry
+        .counter("rnb_kv_connection_resets_total",
+                 "Connections torn down by peer reset or socket error")
+        .inc(loop_->resets());
+    loop_->stats().publish(registry);
+  });
+  loop_thread_ = std::thread([this] { loop_->run(); });
+}
+
+ReactorKvServer::~ReactorKvServer() { shutdown(); }
+
+void ReactorKvServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  loop_->request_stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  loop_->close_all();
+  poller_.close(listen_fd_);
+}
+
+}  // namespace rnb::kv

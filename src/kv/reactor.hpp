@@ -1,0 +1,196 @@
+// Event-driven kv server core: one event loop, per-connection request
+// state machines, zero blocking reads.
+//
+// The thread-per-connection model (kv/tcp.hpp) spends one OS thread — a
+// stack, a scheduler slot, two context switches per request — on every
+// connection, which caps the serving tier far below the connection counts
+// an RnB front end generates when it fans one multiget into many small
+// per-server transactions. The reactor replaces it with the classic
+// non-blocking shape (cf. memcached's libevent workers, cortx-motr's
+// fop/fom request state machines): an EventLoop waits on a PollSource,
+// and each ready connection runs its state machine —
+//
+//   read     drain the socket into a pooled chunk buffer until EAGAIN
+//   frame    incremental FrameSplitter: torn frames stay buffered, any
+//            number of pipelined frames pop at once
+//   handle   dispatch{shard} into the sharded engine (the same
+//            BasicKvServer::handle as every other transport, so the span
+//            tree, trace-tag adoption, and engine counters are identical)
+//   write    responses batch into an outbox flushed with one gather
+//            write; a short write arms EPOLLOUT and the flush resumes on
+//            the next writable event
+//
+// The loop never blocks on any single peer: a stalled connection just
+// keeps its outbox buffered while everyone else proceeds.
+//
+// Testability is the point of the PollSource seam: EpollPoller serves
+// real sockets, SimPoller (kv/sim_poller.hpp) replays scripted
+// readiness / partial-read / EAGAIN / short-write / reset schedules, so
+// the state machine transitions are unit-tested deterministically —
+// including every torn-frame byte boundary — without a kernel in the way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/poller.hpp"
+#include "kv/tcp.hpp"
+#include "kv/wire_server.hpp"
+#include "obs/loop_stats.hpp"
+
+namespace rnb::kv {
+
+/// The reactor: owns the connection state machines, drives them from a
+/// PollSource. One thread runs run() (or a test drives step() directly —
+/// the loop has no thread of its own).
+class EventLoop {
+ public:
+  struct Config {
+    /// Listening handle to accept from; -1 = none (tests adopt handles).
+    int listen_handle = -1;
+    /// Pooled read-chunk size. Small values exercise short-read paths.
+    std::size_t read_chunk = 16384;
+    /// Fairness bound: max read() calls per readiness event before the
+    /// connection yields to the rest of the batch (level-triggered
+    /// readiness re-reports it on the next wait).
+    std::size_t max_reads_per_event = 16;
+  };
+
+  EventLoop(PollSource& poll, ShardedKvServer& engine, Config config);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Serve an already-connected handle (what accept would have produced).
+  void adopt(int handle);
+
+  /// One wait-and-dispatch batch; returns the number of readiness events
+  /// processed. `timeout_ms` 0 = poll (sim tests), -1 = block.
+  std::size_t step(int timeout_ms);
+
+  /// step(-1) until request_stop(). Meant for a dedicated loop thread.
+  void run();
+
+  /// Ask run() to return; safe from any thread (interrupts the wait).
+  void request_stop();
+
+  /// Close every live connection (call after run() returned / between
+  /// step()s — loop-thread context only).
+  void close_all();
+
+  std::size_t open_connections() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t accept_errors() const noexcept {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+  /// Connections torn down by peer reset / fatal socket error (orderly
+  /// EOFs are not resets).
+  std::uint64_t resets() const noexcept {
+    return resets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t responses_sent() const noexcept {
+    return responses_.load(std::memory_order_relaxed);
+  }
+
+  const obs::LoopStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// One queued response: bytes, how much already left the socket, and
+  /// the trace tag to attribute the eventual write span to.
+  struct OutEntry {
+    std::string bytes;
+    std::size_t offset = 0;
+    TraceTag trace;
+  };
+
+  struct Connection {
+    int handle = -1;
+    FrameSplitter splitter;
+    std::deque<OutEntry> outbox;
+    std::size_t outbox_bytes = 0;
+    bool want_write = false;  // EPOLLOUT armed
+    bool draining = false;    // peer EOF seen: close once outbox empties
+  };
+
+  void do_accept();
+  void on_event(const PollEvent& event);
+  /// Drain readable bytes, pop complete frames, dispatch, queue responses.
+  void on_readable(Connection& conn);
+  /// Parse-and-dispatch every complete frame buffered so far.
+  void process_frames(Connection& conn);
+  /// Gather-write the outbox; arms/disarms EPOLLOUT as needed. Returns
+  /// false when the connection died mid-write.
+  bool flush(Connection& conn);
+  /// Tear down: deregister, close, forget. `reset` counts it as one.
+  void destroy(Connection& conn, bool reset);
+
+  std::string acquire_buffer();
+  void release_buffer(std::string&& buffer);
+
+  PollSource& poll_;
+  ShardedKvServer& engine_;
+  Config config_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::vector<PollEvent> events_;
+  std::string read_chunk_;   // loop-owned, reused every read
+  std::string frame_;        // loop-owned, reused every frame
+  std::vector<std::string> buffer_pool_;  // response strings, recycled
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  obs::LoopStats stats_;
+};
+
+/// A TCP server with the same engine, protocol, counters, and stats
+/// exposition as TcpKvServer — but one epoll loop thread instead of a
+/// thread per connection. Drop-in via the WireServer seam.
+class ReactorKvServer final : public WireServer {
+ public:
+  explicit ReactorKvServer(std::size_t byte_budget, std::uint16_t port = 0,
+                           std::size_t num_shards = 0);
+  ~ReactorKvServer() override;
+
+  ReactorKvServer(const ReactorKvServer&) = delete;
+  ReactorKvServer& operator=(const ReactorKvServer&) = delete;
+
+  std::uint16_t port() const noexcept override { return port_; }
+  ShardedKvServer& server() noexcept override { return server_; }
+  std::uint64_t connections_accepted() const noexcept override {
+    return loop_->connections_accepted();
+  }
+  std::uint64_t connections_active() const noexcept override {
+    return loop_->open_connections();
+  }
+  std::uint64_t accept_errors() const noexcept override {
+    return loop_->accept_errors();
+  }
+  void shutdown() override;
+
+  /// Loop internals for tests and benches (resets, batch stats).
+  EventLoop& loop() noexcept { return *loop_; }
+
+ private:
+  ShardedKvServer server_;
+  EpollPoller poller_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace rnb::kv

@@ -1,0 +1,170 @@
+#include "kv/sim_poller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rnb::kv {
+
+int SimPoller::add_connection(SimConnectionScript script) {
+  const int handle = next_handle_++;
+  Connection c;
+  c.reads.assign(script.reads.begin(), script.reads.end());
+  c.writes.assign(script.writes.begin(), script.writes.end());
+  connections_.emplace(handle, std::move(c));
+  pending_accepts_.push_back(handle);
+  return handle;
+}
+
+const std::string& SimPoller::output(int handle) const {
+  return conn(handle).output;
+}
+
+bool SimPoller::closed(int handle) const { return conn(handle).closed; }
+
+void SimPoller::extend_reads(int handle, std::vector<SimReadStep> steps) {
+  Connection& c = conn(handle);
+  for (auto& step : steps) c.reads.push_back(std::move(step));
+}
+
+void SimPoller::extend_writes(int handle, std::vector<SimWriteStep> steps) {
+  Connection& c = conn(handle);
+  for (auto& step : steps) c.writes.push_back(std::move(step));
+}
+
+SimPoller::Connection& SimPoller::conn(int handle) {
+  const auto it = connections_.find(handle);
+  if (it == connections_.end())
+    throw std::logic_error("SimPoller: unknown handle");
+  return it->second;
+}
+
+const SimPoller::Connection& SimPoller::conn(int handle) const {
+  const auto it = connections_.find(handle);
+  if (it == connections_.end())
+    throw std::logic_error("SimPoller: unknown handle");
+  return it->second;
+}
+
+void SimPoller::add(int handle, bool want_read, bool want_write) {
+  if (handle == kListener) {
+    listener_registered_ = true;
+    listener_want_read_ = want_read;
+    return;
+  }
+  Connection& c = conn(handle);
+  c.registered = true;
+  c.want_read = want_read;
+  c.want_write = want_write;
+}
+
+void SimPoller::modify(int handle, bool want_read, bool want_write) {
+  add(handle, want_read, want_write);
+}
+
+void SimPoller::remove(int handle) {
+  if (handle == kListener) {
+    listener_registered_ = false;
+    return;
+  }
+  conn(handle).registered = false;
+}
+
+std::size_t SimPoller::wait(std::vector<PollEvent>& events,
+                            int /*timeout_ms*/) {
+  events.clear();
+  if (listener_registered_ && listener_want_read_ &&
+      !pending_accepts_.empty()) {
+    PollEvent ev;
+    ev.handle = kListener;
+    ev.readable = true;
+    events.push_back(ev);
+  }
+  // std::map iteration order makes the report deterministic: ascending
+  // handle, i.e. connection-creation order.
+  for (const auto& [handle, c] : connections_) {
+    if (!c.registered || c.closed) continue;
+    PollEvent ev;
+    ev.handle = handle;
+    ev.readable = c.want_read && sim_readable(c);
+    ev.writable = c.want_write && sim_writable(c);
+    if (ev.readable || ev.writable) events.push_back(ev);
+  }
+  return events.size();
+}
+
+IoResult SimPoller::read(int handle, char* buffer, std::size_t capacity) {
+  Connection& c = conn(handle);
+  if (c.reads.empty()) return {IoStatus::kWouldBlock, 0};
+  SimReadStep& step = c.reads.front();
+  switch (step.kind) {
+    case SimReadStep::Kind::kWouldBlock:
+      c.reads.pop_front();
+      return {IoStatus::kWouldBlock, 0};
+    case SimReadStep::Kind::kEof:
+      // Sticky, like a real half-closed socket: every further read sees
+      // EOF again. The reactor must close, not spin.
+      return {IoStatus::kEof, 0};
+    case SimReadStep::Kind::kReset:
+      return {IoStatus::kError, 0};
+    case SimReadStep::Kind::kData: {
+      // One step == one read() return, so a 3-byte step against a 16 KiB
+      // buffer models a short read of exactly 3 bytes.
+      const std::size_t n = std::min(capacity, step.bytes.size());
+      std::copy_n(step.bytes.data(), n, buffer);
+      if (n == step.bytes.size()) {
+        c.reads.pop_front();
+      } else {
+        step.bytes.erase(0, n);
+      }
+      return {IoStatus::kOk, n};
+    }
+  }
+  return {IoStatus::kError, 0};  // unreachable
+}
+
+IoResult SimPoller::writev(int handle,
+                           std::span<const std::string_view> chunks) {
+  Connection& c = conn(handle);
+  std::size_t total = 0;
+  for (const std::string_view chunk : chunks) total += chunk.size();
+  std::size_t cap = total;
+  if (!c.writes.empty()) {
+    const SimWriteStep step = c.writes.front();
+    switch (step.kind) {
+      case SimWriteStep::Kind::kWouldBlock:
+        c.writes.pop_front();
+        return {IoStatus::kWouldBlock, 0};
+      case SimWriteStep::Kind::kReset:
+        return {IoStatus::kError, 0};
+      case SimWriteStep::Kind::kAccept:
+        cap = std::min(total, step.cap);
+        c.writes.pop_front();
+        break;
+    }
+  }
+  std::size_t taken = 0;
+  for (const std::string_view chunk : chunks) {
+    if (taken == cap) break;
+    const std::size_t n = std::min(chunk.size(), cap - taken);
+    c.output.append(chunk.data(), n);
+    taken += n;
+  }
+  return {IoStatus::kOk, taken};
+}
+
+int SimPoller::accept(int listen_handle) {
+  if (listen_handle != kListener)
+    throw std::logic_error("SimPoller: accept on non-listener");
+  if (pending_accepts_.empty()) return -1;
+  const int handle = pending_accepts_.front();
+  pending_accepts_.pop_front();
+  return handle;
+}
+
+void SimPoller::close(int handle) {
+  Connection& c = conn(handle);
+  c.closed = true;
+  c.registered = false;
+}
+
+}  // namespace rnb::kv

@@ -1,0 +1,137 @@
+// SimPoller: a deterministic PollSource that replays scripted schedules.
+//
+// The reactor's connection state machines are where timing-sensitive bugs
+// live — torn frames, EAGAIN between header and body, short writes that
+// stop mid-response, peers that reset with half a frame buffered. Over
+// real sockets those interleavings depend on kernel buffer luck; here they
+// are *scripted*: a test builds connections whose read side is a sequence
+// of explicit steps (deliver exactly these bytes / report EAGAIN once /
+// EOF / reset) and whose write side is a sequence of acceptance caps
+// (take at most N bytes / would-block once / reset). wait() then reports
+// level-triggered readiness derived purely from those scripts, in
+// ascending handle order, so a reactor driven by step() executes the same
+// transition sequence on every run — under TSan, under ASan, forever.
+//
+// Everything is single-threaded by design: the test thread IS the loop
+// thread. interrupt() is a no-op.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kv/poller.hpp"
+
+namespace rnb::kv {
+
+/// One scripted read-side step.
+struct SimReadStep {
+  enum class Kind {
+    kData,        // deliver `bytes` (short reads: one step = one read())
+    kWouldBlock,  // report readable, then EAGAIN on the actual read
+    kEof,         // orderly close from the peer
+    kReset,       // connection reset (ECONNRESET-style kError)
+  };
+  Kind kind = Kind::kData;
+  std::string bytes;
+
+  static SimReadStep data(std::string b) {
+    return {Kind::kData, std::move(b)};
+  }
+  static SimReadStep would_block() { return {Kind::kWouldBlock, {}}; }
+  static SimReadStep eof() { return {Kind::kEof, {}}; }
+  static SimReadStep reset() { return {Kind::kReset, {}}; }
+};
+
+/// One scripted write-side step. An exhausted write script accepts
+/// everything (the common case: only the interesting prefix is scripted).
+struct SimWriteStep {
+  enum class Kind {
+    kAccept,      // take at most `cap` bytes of the gather write
+    kWouldBlock,  // report EAGAIN for this write attempt
+    kReset,       // peer reset: the write fails fatally
+  };
+  Kind kind = Kind::kAccept;
+  std::size_t cap = 0;
+
+  static SimWriteStep accept(std::size_t cap) {
+    return {Kind::kAccept, cap};
+  }
+  static SimWriteStep would_block() { return {Kind::kWouldBlock, 0}; }
+  static SimWriteStep reset() { return {Kind::kReset, 0}; }
+};
+
+/// Full schedule for one scripted connection.
+struct SimConnectionScript {
+  std::vector<SimReadStep> reads;
+  std::vector<SimWriteStep> writes;
+};
+
+class SimPoller final : public PollSource {
+ public:
+  /// The handle reactors treat as the listening socket.
+  static constexpr int kListener = 0;
+
+  /// Queue a scripted inbound connection on the listener; returns the
+  /// handle it will get once accepted. Deterministic: handles are assigned
+  /// 1, 2, 3, ... in add_connection order.
+  int add_connection(SimConnectionScript script);
+
+  /// Everything the connection's writes produced so far (also available
+  /// after close — tests assert on response bytes).
+  const std::string& output(int handle) const;
+
+  /// True once the reactor closed the handle.
+  bool closed(int handle) const;
+
+  /// Append more scripted read steps to a live connection — lets a test
+  /// interleave "deliver, step the loop, deliver more" sequences.
+  void extend_reads(int handle, std::vector<SimReadStep> steps);
+  void extend_writes(int handle, std::vector<SimWriteStep> steps);
+
+  // PollSource:
+  void add(int handle, bool want_read, bool want_write) override;
+  void modify(int handle, bool want_read, bool want_write) override;
+  void remove(int handle) override;
+  std::size_t wait(std::vector<PollEvent>& events, int timeout_ms) override;
+  IoResult read(int handle, char* buffer, std::size_t capacity) override;
+  IoResult writev(int handle,
+                  std::span<const std::string_view> chunks) override;
+  int accept(int listen_handle) override;
+  void close(int handle) override;
+
+ private:
+  struct Connection {
+    std::deque<SimReadStep> reads;
+    std::deque<SimWriteStep> writes;
+    std::string output;     // bytes the reactor successfully wrote
+    bool want_read = false;
+    bool want_write = false;
+    bool registered = false;
+    bool closed = false;
+  };
+
+  Connection& conn(int handle);
+  const Connection& conn(int handle) const;
+
+  /// Readable = the read script has a pending step (level-triggered: the
+  /// reactor keeps getting told until it drains the script).
+  static bool sim_readable(const Connection& c) { return !c.reads.empty(); }
+  /// Writable = the next write attempt would make progress (or the script
+  /// ran out, meaning "accept everything").
+  static bool sim_writable(const Connection& c) {
+    return c.writes.empty() ||
+           c.writes.front().kind != SimWriteStep::Kind::kWouldBlock;
+  }
+
+  std::map<int, Connection> connections_;  // ordered => deterministic events
+  std::deque<int> pending_accepts_;
+  bool listener_registered_ = false;
+  bool listener_want_read_ = false;
+  int next_handle_ = 1;
+};
+
+}  // namespace rnb::kv

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "common/error.hpp"
+#include "kv/reactor.hpp"
 #include "obs/trace.hpp"
 
 namespace rnb::kv {
@@ -212,6 +213,8 @@ void TcpKvConnection::roundtrip(std::string_view request,
   read_response(response);
 }
 
+void TcpKvConnection::send(std::string_view frame) { write_all(fd_, frame); }
+
 void TcpKvConnection::read_response(std::string& response) {
   response.clear();
   // A response is either a VALUE.../END block or one simple line. Scan the
@@ -269,12 +272,17 @@ void TcpKvConnection::read_response(std::string& response) {
 }
 
 TcpFleet::TcpFleet(ServerId num_servers, std::size_t bytes_per_server,
-                   std::size_t shards_per_server) {
+                   std::size_t shards_per_server, ServerModel model) {
   RNB_REQUIRE(num_servers > 0);
   servers_.reserve(num_servers);
-  for (ServerId s = 0; s < num_servers; ++s)
-    servers_.push_back(std::make_unique<TcpKvServer>(bytes_per_server, 0,
-                                                     shards_per_server));
+  for (ServerId s = 0; s < num_servers; ++s) {
+    if (model == ServerModel::kReactor)
+      servers_.push_back(std::make_unique<ReactorKvServer>(
+          bytes_per_server, 0, shards_per_server));
+    else
+      servers_.push_back(std::make_unique<TcpKvServer>(bytes_per_server, 0,
+                                                       shards_per_server));
+  }
 }
 
 std::vector<std::uint16_t> TcpFleet::ports() const {

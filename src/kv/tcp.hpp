@@ -26,6 +26,7 @@
 
 #include "kv/kv_server.hpp"
 #include "kv/kv_transport.hpp"
+#include "kv/wire_server.hpp"
 
 namespace rnb::kv {
 
@@ -55,22 +56,22 @@ class FrameSplitter {
 /// mutex), and writes responses back. `num_shards` 0 picks
 /// next_pow2(hardware threads); 1 reproduces the old single-lock-domain
 /// behaviour byte-for-byte.
-class TcpKvServer {
+class TcpKvServer final : public WireServer {
  public:
   explicit TcpKvServer(std::size_t byte_budget, std::uint16_t port = 0,
                        std::size_t num_shards = 0);
-  ~TcpKvServer();
+  ~TcpKvServer() override;
 
   TcpKvServer(const TcpKvServer&) = delete;
   TcpKvServer& operator=(const TcpKvServer&) = delete;
 
-  std::uint16_t port() const noexcept { return port_; }
-  ShardedKvServer& server() noexcept { return server_; }
+  std::uint16_t port() const noexcept override { return port_; }
+  ShardedKvServer& server() noexcept override { return server_; }
 
   /// accept() failures that were not part of an orderly shutdown (reported
   /// on stderr as they happen; transient per-connection errors — EINTR,
   /// ECONNABORTED — are retried and not counted).
-  std::uint64_t accept_errors() const noexcept {
+  std::uint64_t accept_errors() const noexcept override {
     return accept_errors_.load();
   }
 
@@ -79,15 +80,15 @@ class TcpKvServer {
   /// series, so a scrape sees wire-level health next to the engine's
   /// counters: rnb_kv_connections_accepted_total, rnb_kv_connections_active,
   /// rnb_kv_accept_errors_total.
-  std::uint64_t connections_accepted() const noexcept {
+  std::uint64_t connections_accepted() const noexcept override {
     return connections_accepted_.load();
   }
-  std::uint64_t connections_active() const noexcept {
+  std::uint64_t connections_active() const noexcept override {
     return connections_active_.load();
   }
 
   /// Ask the accept loop and all connection threads to finish; joins them.
-  void shutdown();
+  void shutdown() override;
 
  private:
   void accept_loop();
@@ -118,32 +119,42 @@ class TcpKvConnection {
   /// Send one request frame and block for its complete response.
   void roundtrip(std::string_view request, std::string& response);
 
- private:
+  /// Pipelining primitives: queue frames with send() back-to-back, then
+  /// collect each response in order with read_response(). roundtrip() is
+  /// exactly send() + read_response().
+  void send(std::string_view frame);
+
   /// Read until the buffer holds one complete *response* (either a
   /// "VALUE.../END" block or a single simple line).
   void read_response(std::string& response);
 
+ private:
   int fd_ = -1;
   std::string inbox_;
 };
 
 /// A fleet of TCP servers on loopback ports — the multi-server counterpart
 /// of LoopbackTransport's server side, for end-to-end RnB-over-TCP runs.
+/// `model` picks the serving core per server: blocking thread-per-
+/// connection (the default) or the epoll reactor (kv/reactor.hpp).
 class TcpFleet {
  public:
   TcpFleet(ServerId num_servers, std::size_t bytes_per_server,
-           std::size_t shards_per_server = 0);
+           std::size_t shards_per_server = 0,
+           ServerModel model = ServerModel::kThreadPerConnection);
 
   ServerId num_servers() const noexcept {
     return static_cast<ServerId>(servers_.size());
   }
   std::uint16_t port(ServerId s) const { return servers_[s]->port(); }
   ShardedKvServer& server(ServerId s) { return servers_[s]->server(); }
+  /// Wire-level health (connection counters) of server `s`.
+  WireServer& wire(ServerId s) { return *servers_[s]; }
 
   std::vector<std::uint16_t> ports() const;
 
  private:
-  std::vector<std::unique_ptr<TcpKvServer>> servers_;
+  std::vector<std::unique_ptr<WireServer>> servers_;
 };
 
 /// KvTransport over real sockets: one connection per server, serialized per

@@ -1,0 +1,39 @@
+// The seam between a kv engine and whatever serves it over a wire.
+//
+// Two server models implement it: the historical thread-per-connection
+// TcpKvServer (kv/tcp.hpp) and the epoll reactor ReactorKvServer
+// (kv/reactor.hpp). TcpFleet and dserve::ServerGroup hold WireServer
+// pointers so the model is a boot-time choice, not a type change rippling
+// through the serving tier.
+#pragma once
+
+#include <cstdint>
+
+#include "kv/kv_server.hpp"
+
+namespace rnb::kv {
+
+/// Which connection-handling model a TCP server boots with.
+enum class ServerModel {
+  kThreadPerConnection,  // one blocking reader thread per accepted socket
+  kReactor,              // one epoll event loop, non-blocking state machines
+};
+
+class WireServer {
+ public:
+  virtual ~WireServer() = default;
+
+  virtual std::uint16_t port() const noexcept = 0;
+  virtual ShardedKvServer& server() noexcept = 0;
+
+  /// Wire-level health counters, also published via the `stats` verb:
+  /// rnb_kv_connections_accepted_total / _active / rnb_kv_accept_errors_total.
+  virtual std::uint64_t connections_accepted() const noexcept = 0;
+  virtual std::uint64_t connections_active() const noexcept = 0;
+  virtual std::uint64_t accept_errors() const noexcept = 0;
+
+  /// Stop serving and join all server-side threads. Idempotent.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace rnb::kv

@@ -1,0 +1,84 @@
+// Event-loop health counters: how busy each readiness wait is, and how
+// much response data sits queued behind slow peers.
+//
+// An epoll-style reactor has two load signals the engine counters can't
+// see. "Ready events per wait batch" tells whether the loop wakes for one
+// connection at a time (idle fleet) or drains dozens per syscall
+// (incast); "queue depth" — bytes buffered in connection outboxes — tells
+// whether peers are consuming responses as fast as the engine produces
+// them. Both are published through the server's `stats` hook next to the
+// wire-level connection counters.
+//
+// Counters are relaxed atomics: the loop thread is the only writer, but
+// stats scrapes (and tests) read from other threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace rnb::obs {
+
+class LoopStats {
+ public:
+  /// One wait() returned `ready` events (0 = timeout/interrupt wakeup).
+  void record_batch(std::uint64_t ready) noexcept {
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    ready_events_.fetch_add(ready, std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+    while (ready > seen &&
+           !max_batch_.compare_exchange_weak(seen, ready,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Outbox bytes grew/shrank by `bytes` (queued minus flushed).
+  void add_queued(std::uint64_t bytes) noexcept {
+    queued_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void sub_queued(std::uint64_t bytes) noexcept {
+    queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t wakeups() const noexcept {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ready_events() const noexcept {
+    return ready_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_batch() const noexcept {
+    return max_batch_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queued_bytes() const noexcept {
+    return queued_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Contribute the loop series to a stats exposition.
+  void publish(MetricsRegistry& registry) const {
+    registry
+        .counter("rnb_kv_loop_wakeups_total",
+                 "Reactor wait() calls that returned")
+        .inc(wakeups());
+    registry
+        .counter("rnb_kv_loop_ready_events_total",
+                 "Readiness events delivered across all wait() batches")
+        .inc(ready_events());
+    registry
+        .gauge("rnb_kv_loop_max_ready_batch",
+               "Largest single wait() batch observed")
+        .set(static_cast<double>(max_batch()));
+    registry
+        .gauge("rnb_kv_loop_queued_bytes",
+               "Response bytes buffered in connection outboxes")
+        .set(static_cast<double>(queued_bytes()));
+  }
+
+ private:
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> ready_events_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> queued_bytes_{0};
+};
+
+}  // namespace rnb::obs

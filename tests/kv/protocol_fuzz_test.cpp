@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "kv/kv_server.hpp"
 #include "kv/protocol.hpp"
+#include "kv/tcp.hpp"
 
 namespace rnb::kv {
 namespace {
@@ -377,6 +378,102 @@ TEST(ProtocolFuzz, EmptyValueFramesRoundtripAndServeCorrectly) {
   ASSERT_EQ(values->size(), 1u);
   EXPECT_EQ((*values)[0].key, "empty");
   EXPECT_EQ((*values)[0].data, "");
+}
+
+/// One frame per verb shape — get/mget/gets/set(+pin)/cas/delete/stats —
+/// each in tagged and untagged form, plus a data block that embeds CRLFs
+/// and a full fake command line (the splitter must honor <bytes>, never
+/// scan the body for terminators).
+std::vector<std::string> representative_frames() {
+  const TraceTag tag{0x1234u, 0x9u, true};
+  std::vector<std::string> frames;
+  std::string f;
+  const auto take = [&frames, &f] {
+    frames.push_back(f);
+    f.clear();
+  };
+  encode_get({"alpha"}, false, f);
+  take();
+  encode_get({"alpha"}, false, f, tag);
+  take();
+  encode_get({"a", "bb", "ccc"}, false, f);
+  take();
+  encode_get({"a", "bb", "ccc"}, true, f, tag);
+  take();
+  encode_set("key", "some value bytes", false, f);
+  take();
+  encode_set("key", "some value bytes", true, f, tag);
+  take();
+  encode_set("empty", "", false, f);
+  take();
+  encode_set("tricky", "body with \r\n and a fake\r\nget x\r\n inside", false,
+             f);
+  take();
+  encode_cas("key", "data", 42, f, tag);
+  take();
+  encode_delete("key", f);
+  take();
+  encode_delete("key", f, tag);
+  take();
+  encode_stats(f);
+  take();
+  encode_stats(f, tag);
+  take();
+  return frames;
+}
+
+TEST(ProtocolFuzz, IncrementalSplitAtEveryByteOffsetMatchesOneShotParse) {
+  // The reactor's framing guarantee, tested at the parser layer: a frame
+  // torn at ANY byte boundary reassembles byte-identically through the
+  // incremental FrameSplitter and parses to the same Command as the
+  // unsplit frame — for every verb, with and without a trace tag.
+  for (const std::string& frame : representative_frames()) {
+    std::string error;
+    const auto one_shot = parse_command(frame, &error);
+    ASSERT_TRUE(one_shot.has_value()) << error << " frame: " << frame;
+    for (std::size_t split = 1; split < frame.size(); ++split) {
+      FrameSplitter splitter;
+      std::string out;
+      splitter.feed(std::string_view(frame).substr(0, split));
+      ASSERT_FALSE(splitter.next_frame(out))
+          << "strict prefix yielded a frame at split " << split << " of "
+          << frame;
+      splitter.feed(std::string_view(frame).substr(split));
+      ASSERT_TRUE(splitter.next_frame(out)) << "split " << split;
+      ASSERT_EQ(out, frame) << "split " << split;
+      const auto incremental = parse_command(out, &error);
+      ASSERT_TRUE(incremental.has_value()) << error;
+      ASSERT_TRUE(*incremental == *one_shot) << "split " << split;
+      ASSERT_FALSE(splitter.next_frame(out)) << "residue after split "
+                                             << split;
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomManyWayChopsReassembleExactly) {
+  // Generalize the single-boundary sweep: a frame delivered as k random
+  // fragments (including empty ones) still yields exactly one identical
+  // frame, and a pipelined pair chopped together yields both in order.
+  Xoshiro256 rng(13);
+  const std::vector<std::string> frames = representative_frames();
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string& a = frames[rng.below(frames.size())];
+    const std::string& b = frames[rng.below(frames.size())];
+    const std::string wire = a + b;
+    FrameSplitter splitter;
+    std::vector<std::string> got;
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n = rng.below(9);  // 0..8 byte fragments
+      splitter.feed(std::string_view(wire).substr(pos, n));
+      pos += std::min(n, wire.size() - pos);
+      while (splitter.next_frame(out)) got.push_back(out);
+    }
+    ASSERT_EQ(got.size(), 2u) << "a: " << a << " b: " << b;
+    ASSERT_EQ(got[0], a);
+    ASSERT_EQ(got[1], b);
+  }
 }
 
 TEST(ProtocolFuzz, ServerStateConsistentUnderRandomOperations) {

@@ -1,0 +1,165 @@
+// SimPoller semantics: the scripted PollSource must behave like a
+// level-triggered poller over non-blocking sockets, because the reactor
+// state machines are verified against it — a sim that is too forgiving
+// would certify a state machine that breaks on real epoll.
+#include "kv/sim_poller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rnb::kv {
+namespace {
+
+TEST(SimPoller, ListenerReportsReadableWhilePendingAcceptsExist) {
+  SimPoller sim;
+  sim.add(SimPoller::kListener, true, false);
+  std::vector<PollEvent> events;
+  EXPECT_EQ(sim.wait(events, 0), 0u);  // nothing queued yet
+
+  const int h = sim.add_connection({});
+  ASSERT_EQ(sim.wait(events, 0), 1u);
+  EXPECT_EQ(events[0].handle, SimPoller::kListener);
+  EXPECT_TRUE(events[0].readable);
+
+  EXPECT_EQ(sim.accept(SimPoller::kListener), h);
+  EXPECT_EQ(sim.accept(SimPoller::kListener), -1);  // backlog drained
+  EXPECT_EQ(sim.wait(events, 0), 0u);
+}
+
+TEST(SimPoller, DataStepsAreShortReads) {
+  SimPoller sim;
+  SimConnectionScript script;
+  script.reads.push_back(SimReadStep::data("abc"));
+  script.reads.push_back(SimReadStep::data("defgh"));
+  const int h = sim.add_connection(std::move(script));
+  (void)sim.accept(SimPoller::kListener);
+  sim.add(h, true, false);
+
+  char buf[64];
+  // A 3-byte step against a 64-byte buffer delivers exactly 3 bytes.
+  IoResult r = sim.read(h, buf, sizeof(buf));
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(std::string_view(buf, r.bytes), "abc");
+  // A small buffer splits a step across reads.
+  r = sim.read(h, buf, 2);
+  EXPECT_EQ(std::string_view(buf, r.bytes), "de");
+  r = sim.read(h, buf, sizeof(buf));
+  EXPECT_EQ(std::string_view(buf, r.bytes), "fgh");
+  // Script exhausted: EAGAIN, and no more readiness.
+  EXPECT_EQ(sim.read(h, buf, sizeof(buf)).status, IoStatus::kWouldBlock);
+  std::vector<PollEvent> events;
+  EXPECT_EQ(sim.wait(events, 0), 0u);
+}
+
+TEST(SimPoller, WouldBlockStepIsASpuriousWakeup) {
+  SimPoller sim;
+  SimConnectionScript script;
+  script.reads.push_back(SimReadStep::would_block());
+  script.reads.push_back(SimReadStep::data("x"));
+  const int h = sim.add_connection(std::move(script));
+  (void)sim.accept(SimPoller::kListener);
+  sim.add(h, true, false);
+
+  std::vector<PollEvent> events;
+  ASSERT_EQ(sim.wait(events, 0), 1u);  // reported readable...
+  char buf[8];
+  EXPECT_EQ(sim.read(h, buf, sizeof(buf)).status,
+            IoStatus::kWouldBlock);  // ...but the read says try again
+  const IoResult r = sim.read(h, buf, sizeof(buf));
+  EXPECT_EQ(std::string_view(buf, r.bytes), "x");
+}
+
+TEST(SimPoller, EofAndResetAreSticky) {
+  SimPoller sim;
+  SimConnectionScript eof_script;
+  eof_script.reads.push_back(SimReadStep::eof());
+  const int h1 = sim.add_connection(std::move(eof_script));
+  SimConnectionScript reset_script;
+  reset_script.reads.push_back(SimReadStep::reset());
+  const int h2 = sim.add_connection(std::move(reset_script));
+  (void)sim.accept(SimPoller::kListener);
+  (void)sim.accept(SimPoller::kListener);
+  sim.add(h1, true, false);
+  sim.add(h2, true, false);
+
+  char buf[8];
+  EXPECT_EQ(sim.read(h1, buf, sizeof(buf)).status, IoStatus::kEof);
+  EXPECT_EQ(sim.read(h1, buf, sizeof(buf)).status, IoStatus::kEof);
+  EXPECT_EQ(sim.read(h2, buf, sizeof(buf)).status, IoStatus::kError);
+  EXPECT_EQ(sim.read(h2, buf, sizeof(buf)).status, IoStatus::kError);
+}
+
+TEST(SimPoller, WriteCapsProduceShortWrites) {
+  SimPoller sim;
+  SimConnectionScript script;
+  script.writes.push_back(SimWriteStep::accept(4));
+  script.writes.push_back(SimWriteStep::would_block());
+  const int h = sim.add_connection(std::move(script));
+  (void)sim.accept(SimPoller::kListener);
+  sim.add(h, true, false);
+
+  const std::string_view chunks[] = {"hello ", "world"};
+  IoResult r = sim.writev(h, chunks);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);  // capped mid-first-chunk
+  EXPECT_EQ(sim.output(h), "hell");
+  r = sim.writev(h, chunks);
+  EXPECT_EQ(r.status, IoStatus::kWouldBlock);
+  // Script exhausted: everything offered is taken, across chunks.
+  r = sim.writev(h, chunks);
+  EXPECT_EQ(r.bytes, 11u);
+  EXPECT_EQ(sim.output(h), "hellhello world");
+}
+
+TEST(SimPoller, WritabilityTracksTheScript) {
+  SimPoller sim;
+  SimConnectionScript script;
+  script.writes.push_back(SimWriteStep::would_block());
+  const int h = sim.add_connection(std::move(script));
+  (void)sim.accept(SimPoller::kListener);
+  sim.add(h, false, true);
+
+  std::vector<PollEvent> events;
+  // Front write step is would-block => not writable.
+  EXPECT_EQ(sim.wait(events, 0), 0u);
+  const std::string_view chunks[] = {"x"};
+  EXPECT_EQ(sim.writev(h, chunks).status, IoStatus::kWouldBlock);
+  // Step consumed; now the (empty) script accepts everything.
+  ASSERT_EQ(sim.wait(events, 0), 1u);
+  EXPECT_TRUE(events[0].writable);
+}
+
+TEST(SimPoller, EventsArriveInHandleOrder) {
+  SimPoller sim;
+  std::vector<int> handles;
+  for (int i = 0; i < 5; ++i) {
+    SimConnectionScript script;
+    script.reads.push_back(SimReadStep::data("d"));
+    handles.push_back(sim.add_connection(std::move(script)));
+    (void)sim.accept(SimPoller::kListener);
+    sim.add(handles.back(), true, false);
+  }
+  std::vector<PollEvent> events;
+  ASSERT_EQ(sim.wait(events, 0), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(events[i].handle, handles[i]);
+}
+
+TEST(SimPoller, CloseSilencesAndRecordsTheHandle) {
+  SimPoller sim;
+  SimConnectionScript script;
+  script.reads.push_back(SimReadStep::data("d"));
+  const int h = sim.add_connection(std::move(script));
+  (void)sim.accept(SimPoller::kListener);
+  sim.add(h, true, false);
+  EXPECT_FALSE(sim.closed(h));
+  sim.close(h);
+  EXPECT_TRUE(sim.closed(h));
+  std::vector<PollEvent> events;
+  EXPECT_EQ(sim.wait(events, 0), 0u);
+}
+
+}  // namespace
+}  // namespace rnb::kv

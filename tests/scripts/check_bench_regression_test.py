@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_bench_regression.py — the CI bench gate.
+
+The gate became enforcing (no continue-on-error), so its matching and
+exit-code behavior needs the same coverage any other tier-1 component
+gets: row identity (string fields + --key extras), the regression
+threshold, missing-row handling, and the zero-matched-rows hard failure.
+Registered as a ctest (see tests/CMakeLists.txt); stdlib only.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "scripts"))
+import check_bench_regression as gate  # noqa: E402
+
+
+def bench_doc(rows, name="loadgen_kv"):
+    return {"name": name, "params": {}, "rows": rows}
+
+
+class GateTest(unittest.TestCase):
+    def run_gate(self, candidate, baseline, *args):
+        """Run main() against two JsonResult docs; returns the exit code
+        (sys.exit with a message counts as code 1, matching the CLI)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            cand_path = os.path.join(tmp, "candidate.json")
+            base_path = os.path.join(tmp, "baseline.json")
+            with open(cand_path, "w", encoding="utf-8") as f:
+                json.dump(candidate, f)
+            with open(base_path, "w", encoding="utf-8") as f:
+                json.dump(baseline, f)
+            argv = ["check", cand_path, base_path, *args]
+            try:
+                return gate.main(argv)
+            except SystemExit as e:
+                return 1 if isinstance(e.code, str) else (e.code or 0)
+
+    # --- row identity -----------------------------------------------------
+
+    def test_identity_uses_every_string_field(self):
+        row = {"engine": "tcp-reactor", "mode": "sweep",
+               "txns_per_s": 100.0, "threads": 2}
+        self.assertEqual(gate.row_identity(row, []),
+                         "engine=tcp-reactor, mode=sweep")
+
+    def test_identity_includes_requested_numeric_keys(self):
+        row = {"engine": "tcp", "connections": 256, "txns_per_s": 1.0}
+        self.assertEqual(gate.row_identity(row, ["connections"]),
+                         "connections=256, engine=tcp")
+
+    def test_identity_fields_are_sorted_for_stability(self):
+        row = {"zeta": "z", "alpha": "a", "txns_per_s": 1.0}
+        self.assertEqual(gate.row_identity(row, []), "alpha=a, zeta=z")
+
+    def test_rows_differing_only_in_numeric_axis_need_key(self):
+        # Without --key the two connection counts collapse to one identity
+        # and the gate must refuse (duplicate identity), not silently
+        # compare the wrong pair.
+        rows = [{"engine": "tcp", "connections": 64, "txns_per_s": 100.0},
+                {"engine": "tcp", "connections": 1024, "txns_per_s": 90.0}]
+        self.assertEqual(self.run_gate(bench_doc(rows), bench_doc(rows)), 1)
+        self.assertEqual(
+            self.run_gate(bench_doc(rows), bench_doc(rows),
+                          "--key", "connections"), 0)
+
+    # --- threshold behavior ----------------------------------------------
+
+    def test_equal_throughput_passes(self):
+        rows = [{"engine": "tcp", "txns_per_s": 1000.0}]
+        self.assertEqual(self.run_gate(bench_doc(rows), bench_doc(rows)), 0)
+
+    def test_drop_beyond_threshold_fails(self):
+        base = [{"engine": "tcp", "txns_per_s": 1000.0}]
+        cand = [{"engine": "tcp", "txns_per_s": 800.0}]  # -20%
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base)), 1)
+
+    def test_drop_within_threshold_passes(self):
+        base = [{"engine": "tcp", "txns_per_s": 1000.0}]
+        cand = [{"engine": "tcp", "txns_per_s": 950.0}]  # -5%
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base)), 0)
+
+    def test_improvement_never_fails(self):
+        base = [{"engine": "tcp", "txns_per_s": 1000.0}]
+        cand = [{"engine": "tcp", "txns_per_s": 5000.0}]
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base)), 0)
+
+    def test_custom_threshold_is_honored(self):
+        base = [{"engine": "tcp", "txns_per_s": 1000.0}]
+        cand = [{"engine": "tcp", "txns_per_s": 930.0}]  # -7%
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base),
+                                       "--threshold", "0.05"), 1)
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base),
+                                       "--threshold", "0.10"), 0)
+
+    # --- coverage behavior -----------------------------------------------
+
+    def test_vanished_row_fails_without_allow_missing(self):
+        base = [{"engine": "tcp", "txns_per_s": 1.0},
+                {"engine": "udp", "txns_per_s": 1.0}]
+        cand = [{"engine": "tcp", "txns_per_s": 1.0}]
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base)), 1)
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base),
+                                       "--allow-missing"), 0)
+
+    def test_zero_matched_rows_fails_even_with_allow_missing(self):
+        # A renamed engine makes every identity disjoint; before the gate
+        # became enforcing this passed silently under --allow-missing.
+        base = [{"engine": "tcp", "txns_per_s": 1.0}]
+        cand = [{"engine": "tcp-reactor", "txns_per_s": 1.0}]
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base),
+                                       "--allow-missing"), 1)
+
+    def test_rows_without_the_metric_are_ignored(self):
+        base = [{"engine": "tcp", "txns_per_s": 1000.0},
+                {"engine": "summary-only", "note_rows": 3}]
+        cand = [{"engine": "tcp", "txns_per_s": 1000.0}]
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base)), 0)
+
+    def test_alternate_metric_flag(self):
+        base = [{"engine": "tcp", "items_per_s": 1000.0}]
+        cand = [{"engine": "tcp", "items_per_s": 500.0}]
+        self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base),
+                                       "--metric", "items_per_s"), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
