@@ -19,7 +19,9 @@ KvClusterClient::KvClusterClient(kv::KvTransport& transport, ClusterView& view,
       view_(view),
       config_(config),
       exchange_(transport, config.failure) {
-  RNB_REQUIRE(transport.num_servers() == view.num_servers());
+  // Elastic fleets size the transport to capacity; the view may know the
+  // same capacity or (a static view over a subset) fewer servers.
+  RNB_REQUIRE(transport.num_servers() >= view.num_servers());
 }
 
 bool KvClusterClient::exchange(
@@ -32,52 +34,95 @@ bool KvClusterClient::exchange(
 }
 
 std::optional<std::vector<Value>> KvClusterClient::exchange_values(
-    ServerId server, double& elapsed) {
-  const auto values = exchange_.exchange_values(
-      server, request_, response_, /*with_versions=*/false, elapsed);
-  if (values && view_.marked(server)) view_.mark_up(server);
-  return values;
+    ServerId server, double& elapsed, bool* stale) {
+  // A WRONG_EPOCH bounce is a well-formed response from a healthy server —
+  // it must pass validity (retrying the same stale frame cannot help) and
+  // must not be confused with a truncated VALUE block.
+  const auto valid = [](const std::string& frame) {
+    return kv::parse_values(frame, /*with_versions=*/false).has_value() ||
+           kv::parse_wrong_epoch(frame).has_value();
+  };
+  if (!exchange(server, elapsed, valid)) return std::nullopt;
+  if (kv::parse_wrong_epoch(response_).has_value()) {
+    if (stale != nullptr) *stale = true;
+    return std::nullopt;
+  }
+  return kv::parse_values(response_, /*with_versions=*/false);
+}
+
+void KvClusterClient::tag_epoch(std::uint64_t epoch) {
+  kv::append_epoch_tag(request_, epoch);
 }
 
 std::uint32_t KvClusterClient::set(std::string_view key,
                                    std::string_view value) {
   view_.tick();
-  const std::vector<ServerId> servers = view_.replicas(key);
-  std::uint32_t stored = 0;
+  const std::uint64_t op_started = view_.ops();
   double elapsed = 0.0;
-  for (std::size_t r = 0; r < servers.size(); ++r) {
-    if (r > 0 && exchange_.deadline_exceeded(elapsed)) {
-      ++exchange_.stats().deadline_misses;
-      break;
+  std::uint32_t stored = 0;
+  // One bounded replan: a WRONG_EPOCH bounce means the view moved under
+  // us; re-read epoch + placement once and redo the bounced writes (a
+  // re-set is idempotent, so redoing acked replicas is harmless).
+  for (int plan = 0; plan < 2; ++plan) {
+    const std::uint64_t epoch = view_.epoch();
+    const std::vector<ServerId> servers = view_.replicas(key);
+    bool bounced = false;
+    stored = 0;
+    for (std::size_t r = 0; r < servers.size(); ++r) {
+      if (r > 0 && exchange_.deadline_exceeded(elapsed)) {
+        ++exchange_.stats().deadline_misses;
+        return stored;
+      }
+      request_.clear();
+      kv::encode_set(key, value, /*pin=*/r == 0, request_);
+      tag_epoch(epoch);
+      if (!exchange(servers[r], elapsed)) {
+        view_.mark_down(servers[r], op_started);
+        continue;
+      }
+      if (kv::parse_simple(response_) == "STORED")
+        ++stored;
+      else if (kv::parse_wrong_epoch(response_).has_value())
+        bounced = true;
     }
-    request_.clear();
-    kv::encode_set(key, value, /*pin=*/r == 0, request_);
-    if (!exchange(servers[r], elapsed)) continue;
-    if (kv::parse_simple(response_) == "STORED") ++stored;
+    if (!bounced) break;
   }
   return stored;
 }
 
 std::optional<std::string> KvClusterClient::get(std::string_view key) {
   view_.tick();
-  // Distinguished copy first (the paper's rule for unbundled fetches);
-  // degrade through the remaining replicas when it is unreachable.
-  const std::vector<ServerId> servers = view_.replicas(key);
+  const std::uint64_t op_started = view_.ops();
   double elapsed = 0.0;
-  for (std::size_t r = 0; r < servers.size(); ++r) {
-    request_.clear();
-    kv::encode_get({std::string(key)}, /*with_versions=*/false, request_);
-    const auto values = exchange_values(servers[r], elapsed);
-    if (values) {
-      if (!values->empty()) return values->front().data;
-      if (r == 0) return std::nullopt;  // distinguished miss: key absent
-      continue;  // cold replica — keep degrading
+  // One bounded replan on a WRONG_EPOCH bounce, as in set().
+  for (int plan = 0; plan < 2; ++plan) {
+    const std::uint64_t epoch = view_.epoch();
+    // Distinguished copy first (the paper's rule for unbundled fetches);
+    // degrade through the remaining replicas when it is unreachable.
+    const std::vector<ServerId> servers = view_.replicas(key);
+    bool bounced = false;
+    for (std::size_t r = 0; r < servers.size() && !bounced; ++r) {
+      request_.clear();
+      kv::encode_get({std::string(key)}, /*with_versions=*/false, request_);
+      tag_epoch(epoch);
+      bool stale = false;
+      const auto values = exchange_values(servers[r], elapsed, &stale);
+      if (values) {
+        if (!values->empty()) return values->front().data;
+        if (r == 0) return std::nullopt;  // distinguished miss: key absent
+        continue;  // cold replica — keep degrading
+      }
+      if (stale) {
+        bounced = true;
+        break;
+      }
+      view_.mark_down(servers[r], op_started);
+      if (exchange_.deadline_exceeded(elapsed)) {
+        ++exchange_.stats().deadline_misses;
+        return std::nullopt;
+      }
     }
-    view_.mark_down(servers[r]);
-    if (exchange_.deadline_exceeded(elapsed)) {
-      ++exchange_.stats().deadline_misses;
-      return std::nullopt;
-    }
+    if (!bounced) break;
   }
   return std::nullopt;
 }
@@ -85,6 +130,11 @@ std::optional<std::string> KvClusterClient::get(std::string_view key) {
 KvClusterClient::MultiGetResult KvClusterClient::multi_get(
     std::span<const std::string> keys) {
   view_.tick();
+  const std::uint64_t op_started = view_.ops();
+  // The whole cover is planned against one epoch; a WRONG_EPOCH bounce
+  // strands the bundle's keys and the next recover round refreshes the
+  // ring and re-plans them.
+  std::uint64_t op_epoch = view_.epoch();
   // Root of the distributed trace for this operation; every transaction
   // and remote server span hangs off this span's trace id.
   obs::SpanScope req_span("request", "kv_client",
@@ -127,6 +177,12 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
   std::unordered_set<ServerId> contacted;
   // Servers that ate every attempt of a bundled get this operation.
   std::unordered_set<ServerId> failed;
+  // Items whose assigned bundle died (server failure or epoch bounce);
+  // recover rounds re-plan exactly these.
+  std::vector<bool> stranded(m, false);
+  // Set when any bundle bounced WRONG_EPOCH: the next recover round
+  // refreshes the ring before re-planning.
+  bool stale_view = false;
   const auto out_of_time = [&]() {
     if (!exchange_.deadline_exceeded(elapsed)) return false;
     if (!result.deadline_missed) {
@@ -176,15 +232,25 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
       }
     request_.clear();
     kv::encode_get(bundle, /*with_versions=*/false, request_);
+    tag_epoch(op_epoch);
     ++txn_counter;
     contacted.insert(s);
-    const auto values = exchange_values(s, elapsed);
+    bool stale = false;
+    const auto values = exchange_values(s, elapsed, &stale);
     if (!values) {
+      for (const std::size_t i : idxs) stranded[i] = true;
+      if (stale) {
+        // Healthy server, old ring: strand the keys for a re-plan but
+        // leave the server's health alone.
+        stale_view = true;
+        return;
+      }
       failed.insert(s);
-      view_.mark_down(s);
+      view_.mark_down(s, op_started);
       ++result.servers_marked_down;
       return;
     }
+    for (const std::size_t i : idxs) stranded[i] = false;
     for (const Value& v : *values) {
       result.values[v.key] = v.data;
       satisfied[index_of.at(v.key)] = true;
@@ -208,15 +274,24 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
 
   // Recover rounds: items stranded on a failed server get the cover re-run
   // over their surviving replicas — replication means a dead bundle costs
-  // extra transactions, not the keys.
-  for (std::uint32_t round = 0;
-       round < config_.failure.max_recover_rounds && !failed.empty();
+  // extra transactions, not the keys. An epoch bounce strands the same way,
+  // but first the round refreshes the ring (the controller published the
+  // newer epoch before any server started bouncing) and re-derives the
+  // stranded items' replica lists against it.
+  for (std::uint32_t round = 0; round < config_.failure.max_recover_rounds;
        ++round) {
     if (out_of_time()) break;
+    if (stale_view) {
+      stale_view = false;
+      ++result.epoch_replans;
+      op_epoch = view_.epoch();
+      for (std::size_t i = 0; i < m; ++i)
+        if (!satisfied[i]) locations[i] = view_.replicas(items[i]);
+    }
     CoverInstance recover;
     std::vector<std::size_t> pool;
     for (std::size_t i = 0; i < m; ++i) {
-      if (satisfied[i] || !failed.contains(assignment[i])) continue;
+      if (satisfied[i] || !stranded[i]) continue;
       std::vector<ServerId> live;
       for (const ServerId s : locations[i])
         if (!unreachable(s)) live.push_back(s);
@@ -248,9 +323,9 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
   for (std::size_t i = 0; i < m; ++i) {
     if (satisfied[i]) continue;
     // A miss on a *reachable* distinguished server is authoritative — the
-    // key does not exist; no fallback can change that.
-    if (!failed.contains(assignment[i]) && assignment[i] == locations[i][0])
-      continue;
+    // key does not exist; no fallback can change that. (A stranded item
+    // never got an answer, so its miss proves nothing.)
+    if (!stranded[i] && assignment[i] == locations[i][0]) continue;
     for (const ServerId s : locations[i])
       if (s != assignment[i] && !unreachable(s)) {
         fallback[s].push_back(i);
@@ -277,12 +352,17 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
       for (const std::size_t i : idxs) bundle.push_back(items[i]);
       request_.clear();
       kv::encode_get(bundle, /*with_versions=*/false, request_);
+      tag_epoch(op_epoch);
       ++result.round2_transactions;
       contacted.insert(s);
-      const auto values = exchange_values(s, elapsed);
+      bool stale = false;
+      const auto values = exchange_values(s, elapsed, &stale);
       if (!values) {
+        // A bounce this late stays unrecovered (recover rounds are spent);
+        // the keys report missing rather than risk an unbounded loop.
+        if (stale) continue;
         failed.insert(s);
-        view_.mark_down(s);
+        view_.mark_down(s, op_started);
         ++result.servers_marked_down;
         continue;
       }
@@ -295,6 +375,7 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
         if (config_.write_back_misses && !unreachable(assignment[i])) {
           request_.clear();
           kv::encode_set(v.key, v.data, /*pin=*/false, request_);
+          tag_epoch(op_epoch);
           std::string ack;
           transport_.roundtrip(assignment[i], request_, ack);
         }
@@ -330,16 +411,24 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
 
 bool KvClusterClient::remove(std::string_view key) {
   view_.tick();
-  const std::vector<ServerId> servers = view_.replicas(key);
   bool existed = false;
   double elapsed = 0.0;
-  // Distinguished copy last: a concurrent reader that misses a replica
-  // falls back to the distinguished copy, so it must outlive the others.
-  for (std::size_t r = servers.size(); r-- > 0;) {
-    request_.clear();
-    kv::encode_delete(key, request_);
-    if (!exchange(servers[r], elapsed)) continue;
-    if (r == 0) existed = kv::parse_simple(response_) == "DELETED";
+  // One bounded replan on a WRONG_EPOCH bounce (deletes are idempotent).
+  for (int plan = 0; plan < 2; ++plan) {
+    const std::uint64_t epoch = view_.epoch();
+    const std::vector<ServerId> servers = view_.replicas(key);
+    bool bounced = false;
+    // Distinguished copy last: a concurrent reader that misses a replica
+    // falls back to the distinguished copy, so it must outlive the others.
+    for (std::size_t r = servers.size(); r-- > 0;) {
+      request_.clear();
+      kv::encode_delete(key, request_);
+      tag_epoch(epoch);
+      if (!exchange(servers[r], elapsed)) continue;
+      if (kv::parse_wrong_epoch(response_).has_value()) bounced = true;
+      if (r == 0) existed = kv::parse_simple(response_) == "DELETED";
+    }
+    if (!bounced) break;
   }
   return existed;
 }

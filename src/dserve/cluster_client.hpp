@@ -15,6 +15,13 @@
 // (kv/failure_policy.hpp), and every frame carries the ambient `@trace`
 // tag, so multi-server runs stitch into the same client→server span trees
 // the single-server path produces.
+//
+// Elastic views add stale-view tolerance: each operation captures the
+// view's epoch once, tags every frame with it, and treats a WRONG_EPOCH
+// bounce as "my ring is old" rather than a server failure — the operation
+// refreshes the ring (the controller publishes it before bumping servers,
+// so the newer ring is always there) and re-plans the unsatisfied keys in
+// a recover round. Static views carry epoch 0 and never tag.
 #pragma once
 
 #include <functional>
@@ -73,6 +80,8 @@ class KvClusterClient {
     std::uint32_t hedged_sends = 0;
     /// Servers newly marked down by this operation.
     std::uint32_t servers_marked_down = 0;
+    /// Ring refreshes after WRONG_EPOCH bounces (elastic views only).
+    std::uint32_t epoch_replans = 0;
     bool deadline_missed = false;
 
     std::uint32_t transactions() const noexcept {
@@ -97,8 +106,13 @@ class KvClusterClient {
   bool exchange(ServerId server, double& elapsed,
                 const std::function<bool(const std::string&)>& valid = {},
                 bool allow_hedge = true);
-  std::optional<std::vector<kv::Value>> exchange_values(ServerId server,
-                                                        double& elapsed);
+  /// `stale`, when given, is set instead of returning values if the server
+  /// bounced the frame with WRONG_EPOCH (the bounce is a healthy answer:
+  /// never retried, never a down mark — the caller refreshes and re-plans).
+  std::optional<std::vector<kv::Value>> exchange_values(
+      ServerId server, double& elapsed, bool* stale = nullptr);
+  /// Tag the pending request with the operation's epoch (no-op for 0).
+  void tag_epoch(std::uint64_t epoch);
 
   kv::KvTransport& transport_;
   ClusterView& view_;

@@ -1,6 +1,9 @@
 #include "dserve/server_group.hpp"
 
+#include <chrono>
 #include <limits>
+#include <mutex>
+#include <stdexcept>
 
 #include "common/error.hpp"
 #include "kv/protocol.hpp"
@@ -36,6 +39,109 @@ class LoopbackForwarder final : public kv::KvTransport {
   kv::ShardedLoopbackTransport& fleet_;
 };
 
+/// Loopback forwarder for elastic groups: every capacity slot has an
+/// engine, but only active slots serve — a stopped slot answers
+/// kServerDown exactly like a crashed TCP peer.
+class ElasticLoopbackForwarder final : public kv::KvTransport {
+ public:
+  ElasticLoopbackForwarder(kv::ShardedLoopbackTransport& fleet,
+                           std::span<const std::atomic<bool>> active)
+      : fleet_(fleet), active_(active) {}
+
+  ServerId num_servers() const noexcept override {
+    return fleet_.num_servers();
+  }
+
+  kv::TransportResult roundtrip(ServerId s, std::string_view request,
+                                std::string& response) override {
+    if (!active_[s].load(std::memory_order_relaxed)) {
+      response.clear();
+      return {kv::TransportStatus::kServerDown, 0.0};
+    }
+    return fleet_.roundtrip(s, request, response);
+  }
+
+ private:
+  kv::ShardedLoopbackTransport& fleet_;
+  std::span<const std::atomic<bool>> active_;
+};
+
+/// TCP transport for elastic groups. Unlike TcpClientTransport's fixed
+/// endpoint set, slots are the fleet *capacity*: a slot connects lazily
+/// the first time it is addressed (a joiner's port only exists after
+/// start_server), and a dead or stopped peer reports kServerDown instead
+/// of throwing — elastic clients must survive servers leaving.
+class ElasticTcpTransport final : public kv::KvTransport {
+ public:
+  ElasticTcpTransport(kv::TcpFleet& fleet,
+                      std::span<const std::atomic<bool>> active,
+                      ServerId capacity)
+      : fleet_(fleet), active_(active), slots_(capacity) {}
+
+  ServerId num_servers() const noexcept override {
+    return static_cast<ServerId>(slots_.size());
+  }
+
+  kv::TransportResult roundtrip(ServerId s, std::string_view request,
+                                std::string& response) override {
+    response.clear();
+    if (s >= slots_.size()) return {kv::TransportStatus::kServerDown, 0.0};
+    Slot& slot = slots_[s];
+    const std::lock_guard lock(slot.mu);
+    if (!active_[s].load(std::memory_order_relaxed)) {
+      slot.connection.reset();
+      return {kv::TransportStatus::kServerDown, 0.0};
+    }
+    try {
+      if (slot.connection == nullptr) {
+        if (s >= fleet_.num_servers())
+          return {kv::TransportStatus::kServerDown, 0.0};
+        slot.connection =
+            std::make_unique<kv::TcpKvConnection>(fleet_.port(s));
+      }
+      const auto start = std::chrono::steady_clock::now();
+      slot.connection->roundtrip(request, response);
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+      return {kv::TransportStatus::kOk, wall.count()};
+    } catch (const std::runtime_error&) {
+      // Connect refused or peer closed mid-exchange (a leaving server);
+      // drop the connection so a later attempt re-dials fresh.
+      slot.connection.reset();
+      response.clear();
+      return {kv::TransportStatus::kServerDown, 0.0};
+    }
+  }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::unique_ptr<kv::TcpKvConnection> connection;
+  };
+
+  kv::TcpFleet& fleet_;
+  std::span<const std::atomic<bool>> active_;
+  std::vector<Slot> slots_;
+};
+
+elastic::MemberRingConfig ring_config(const ServerGroupConfig& config) {
+  elastic::MemberRingConfig rc;
+  rc.scheme = config.ring_scheme;
+  rc.replication = config.view.replication;
+  rc.seed = config.view.placement_seed;
+  return rc;
+}
+
+std::unique_ptr<elastic::EpochStore> make_epochs(
+    const ServerGroupConfig& config) {
+  if (config.max_servers == 0) return nullptr;
+  RNB_REQUIRE(config.max_servers >= config.num_servers);
+  std::vector<ServerId> members(config.num_servers);
+  for (ServerId s = 0; s < config.num_servers; ++s) members[s] = s;
+  return std::make_unique<elastic::EpochStore>(ring_config(config),
+                                               std::move(members));
+}
+
 }  // namespace
 
 GroupConnection::GroupConnection(std::unique_ptr<kv::KvTransport> wire,
@@ -51,18 +157,30 @@ GroupConnection::GroupConnection(std::unique_ptr<kv::KvTransport> wire,
 }
 
 ServerGroup::ServerGroup(const ServerGroupConfig& config)
-    : config_(config), view_(config.num_servers, config.view) {
+    : config_(config),
+      epochs_(make_epochs(config)),
+      active_(config.max_servers == 0 ? config.num_servers
+                                      : config.max_servers),
+      view_(config.max_servers == 0 ? config.num_servers : config.max_servers,
+            config.view, epochs_ != nullptr ? epochs_->current() : nullptr) {
   RNB_REQUIRE(config.num_servers > 0);
   const std::size_t budget = config_.bytes_per_server == 0
                                  ? kUnlimitedBudget
                                  : config_.bytes_per_server;
   if (config_.wire == GroupWire::kLoopback) {
+    // Elastic loopback fleets build every capacity slot's engine up front
+    // (cheap: empty tables) and gate serving on active_; TCP slots boot
+    // lazily in start_server.
     loopback_ = std::make_unique<kv::ShardedLoopbackTransport>(
-        config_.num_servers, budget, config_.shards_per_server);
+        capacity(), budget, config_.shards_per_server);
   } else {
     tcp_ = std::make_unique<kv::TcpFleet>(config_.num_servers, budget,
                                           config_.shards_per_server,
                                           config_.server_model);
+  }
+  for (ServerId s = 0; s < config_.num_servers; ++s) {
+    active_[s].store(true, std::memory_order_relaxed);
+    if (elastic()) server(s).set_epoch(epochs_->epoch());
   }
   if (!config_.fault_spec.empty()) {
     std::string error;
@@ -75,22 +193,53 @@ ServerGroup::ServerGroup(const ServerGroupConfig& config)
 
 ServerGroup::~ServerGroup() = default;
 
+void ServerGroup::start_server(ServerId s) {
+  RNB_REQUIRE(elastic() && s < capacity());
+  if (tcp_ != nullptr && s >= tcp_->num_servers()) {
+    RNB_REQUIRE(s == tcp_->num_servers() &&
+                "TCP server ids boot densely; start the next index");
+    const std::size_t budget = config_.bytes_per_server == 0
+                                   ? kUnlimitedBudget
+                                   : config_.bytes_per_server;
+    tcp_->add_server(budget, config_.shards_per_server, config_.server_model);
+  }
+  server(s).set_epoch(epochs_->epoch());
+  active_[s].store(true, std::memory_order_relaxed);
+}
+
+void ServerGroup::stop_server(ServerId s) {
+  RNB_REQUIRE(s < capacity());
+  active_[s].store(false, std::memory_order_relaxed);
+  if (tcp_ != nullptr && s < tcp_->num_servers()) tcp_->wire(s).shutdown();
+}
+
 kv::ShardedKvServer& ServerGroup::server(ServerId s) {
-  RNB_REQUIRE(s < config_.num_servers);
-  return loopback_ != nullptr ? loopback_->server(s) : tcp_->server(s);
+  if (loopback_ != nullptr) {
+    RNB_REQUIRE(s < loopback_->num_servers());
+    return loopback_->server(s);
+  }
+  RNB_REQUIRE(s < tcp_->num_servers());
+  return tcp_->server(s);
 }
 
 std::uint16_t ServerGroup::port(ServerId s) const {
-  RNB_REQUIRE(tcp_ != nullptr && s < config_.num_servers);
+  RNB_REQUIRE(tcp_ != nullptr && s < tcp_->num_servers());
   return tcp_->port(s);
 }
 
 kv::WireServer& ServerGroup::wire_server(ServerId s) {
-  RNB_REQUIRE(tcp_ != nullptr && s < config_.num_servers);
+  RNB_REQUIRE(tcp_ != nullptr && s < tcp_->num_servers());
   return tcp_->wire(s);
 }
 
 std::unique_ptr<kv::KvTransport> ServerGroup::make_wire() {
+  if (elastic()) {
+    if (loopback_ != nullptr)
+      return std::make_unique<ElasticLoopbackForwarder>(
+          *loopback_, std::span<const std::atomic<bool>>(active_));
+    return std::make_unique<ElasticTcpTransport>(
+        *tcp_, std::span<const std::atomic<bool>>(active_), capacity());
+  }
   if (loopback_ != nullptr)
     return std::make_unique<LoopbackForwarder>(*loopback_);
   return std::make_unique<kv::TcpClientTransport>(tcp_->ports());

@@ -20,13 +20,16 @@
 // wire.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "dserve/cluster_view.hpp"
+#include "elastic/epoch.hpp"
 #include "faultsim/fault_transport.hpp"
 #include "kv/kv_transport.hpp"
 #include "kv/tcp.hpp"
@@ -58,6 +61,17 @@ struct ServerGroupConfig {
   /// faultsim spec (faultsim/fault_spec.hpp grammar) applied to every
   /// connection made after construction; "" = clean wire.
   std::string fault_spec;
+  /// Elastic membership. 0 = static fleet (the historical mode). Nonzero
+  /// sets the fleet *capacity* (must be >= num_servers): server ids
+  /// [0, num_servers) boot as the members of ring epoch 1, ids up to
+  /// max_servers may join later via start_server() + a
+  /// MembershipController. Placement then comes from a versioned
+  /// elastic::MemberRing — `view.placement` is ignored, though
+  /// `view.replication` and `view.placement_seed` still apply.
+  ServerId max_servers = 0;
+  /// Replica placement scheme for the elastic ring (the movement-cost
+  /// ablation knob: RCH vnode ring vs multi-probe).
+  elastic::RingScheme ring_scheme = elastic::RingScheme::kRch;
 };
 
 /// A client worker's connection to the group: the wire transport (owned),
@@ -98,7 +112,43 @@ class ServerGroup {
   ServerGroup& operator=(const ServerGroup&) = delete;
 
   const ServerGroupConfig& config() const noexcept { return config_; }
+  /// Servers booted as epoch-1 members (the static fleet size). Elastic
+  /// groups may serve from more or fewer afterwards — see capacity() and
+  /// the epoch store's current members.
   ServerId num_servers() const noexcept { return config_.num_servers; }
+
+  /// Highest server id the group can ever address, plus one. Equals
+  /// num_servers() for static groups, config.max_servers for elastic ones.
+  ServerId capacity() const noexcept {
+    return config_.max_servers == 0 ? config_.num_servers
+                                    : config_.max_servers;
+  }
+
+  bool elastic() const noexcept { return epochs_ != nullptr; }
+
+  /// The membership history (elastic groups only). A MembershipController
+  /// drives transitions against this store over a group connection.
+  elastic::EpochStore& epochs() {
+    RNB_REQUIRE(epochs_ != nullptr);
+    return *epochs_;
+  }
+
+  /// Boot (kTcp: bind + spawn; kLoopback: activate the pre-built engine)
+  /// server `s`, configured at the current epoch. Elastic groups only.
+  /// Call before MembershipController::join(s); the server holds no data
+  /// and receives no client traffic until the join commits. TCP ids are
+  /// dense: `s` must be the next unbooted index.
+  void start_server(ServerId s);
+
+  /// Stop serving from `s`: connections break (kTcp) or roundtrips report
+  /// kServerDown (kLoopback). Call after MembershipController::leave(s)
+  /// drained it — or before, to simulate a crash-stop.
+  void stop_server(ServerId s);
+
+  /// True while `s` is booted and serving.
+  bool server_active(ServerId s) const noexcept {
+    return s < capacity() && active_[s].load(std::memory_order_relaxed);
+  }
 
   /// The shared topology + health view all clients plan covers against.
   ClusterView& view() noexcept { return view_; }
@@ -156,6 +206,12 @@ class ServerGroup {
   // Exactly one of the fleets exists, per config_.wire.
   std::unique_ptr<kv::ShardedLoopbackTransport> loopback_;
   std::unique_ptr<kv::TcpFleet> tcp_;
+  /// Membership history; null for static groups. Declared before view_ —
+  /// the view's construction captures the initial epoch snapshot.
+  std::unique_ptr<elastic::EpochStore> epochs_;
+  /// Per-slot serving flag, sized to capacity(). Loopback engines exist
+  /// for every slot up front and are gated here; TCP servers boot lazily.
+  std::vector<std::atomic<bool>> active_;
   ClusterView view_;
 };
 

@@ -1,0 +1,159 @@
+#include "elastic/controller.hpp"
+
+#include "kv/protocol.hpp"
+#include "obs/trace.hpp"
+
+namespace rnb::elastic {
+
+MembershipController::MembershipController(
+    kv::KvTransport& transport, EpochStore& store,
+    const MembershipControllerConfig& config)
+    : transport_(transport), store_(store), config_(config) {}
+
+bool MembershipController::join(ServerId server) {
+  obs::SpanScope span("membership_join", "elastic");
+  span.arg("server", static_cast<std::int64_t>(server));
+  if (!transition(store_.propose_join(server))) return false;
+  ++joins_;
+  return true;
+}
+
+bool MembershipController::leave(ServerId server) {
+  obs::SpanScope span("membership_leave", "elastic");
+  span.arg("server", static_cast<std::int64_t>(server));
+  if (!transition(store_.propose_leave(server))) return false;
+  ++leaves_;
+  return true;
+}
+
+bool MembershipController::transition(
+    std::shared_ptr<const RingEpoch> next) {
+  const std::shared_ptr<const RingEpoch> cur = store_.current();
+  obs::SpanScope span("membership_transition", "elastic");
+  span.arg("epoch", static_cast<std::int64_t>(next->epoch()));
+  // The main pass only copies: clients are still planning against the old
+  // ring while it runs, so deleting outgoing copies here would serve them
+  // authoritative misses mid-transition. Deletes wait for the post-bump
+  // sweep, when every reachable plan resolves against the new ring.
+  MigrationConfig copy_config = config_.migration;
+  copy_config.delete_source = false;
+  MigrationDriver driver(transport_, copy_config);
+  bool ok = driver.migrate(*cur, *next);
+  for (std::uint32_t attempt = 0;
+       !ok && attempt < config_.resume_attempts; ++attempt) {
+    ++resumes_;
+    ok = driver.migrate(*cur, *next);
+  }
+  accumulate(driver.stats());
+  if (!ok) {
+    ++failed_transitions_;
+    span.note("outcome", "migration_failed");
+    return false;
+  }
+  store_.commit(next);
+  if (publish_) publish_(next);
+  if (!bump_epoch(*next)) {
+    ++failed_transitions_;
+    span.note("outcome", "bump_failed");
+    return false;
+  }
+  if (config_.catch_up_pass || config_.migration.delete_source) {
+    // Sweep writes that landed on the outgoing placement while the main
+    // pass ran, and (with delete_source) retire the outgoing copies the
+    // copy pass deliberately left behind — both are safe only now, post
+    // bump, when no stale-tagged operation can land. One pass converges;
+    // a failure here leaves only cache-class copies misplaced and shows up
+    // in failed_transfers rather than failing the committed transition.
+    MigrationDriver sweep(transport_, config_.migration);
+    sweep.migrate(*cur, *next);
+    accumulate(sweep.stats());
+  }
+  return true;
+}
+
+bool MembershipController::sync_epoch() {
+  return bump_epoch(*store_.current());
+}
+
+bool MembershipController::bump_epoch(const RingEpoch& next) {
+  kv::KvExchange exchange(transport_, config_.migration.failure);
+  for (const ServerId s : next.members()) {
+    request_.clear();
+    kv::encode_epoch(next.epoch(), request_);
+    double elapsed = 0.0;
+    const bool ok = exchange.exchange(
+        s, request_, response_, elapsed,
+        [](const std::string& r) { return kv::parse_simple(r) == "OK"; });
+    migration_stats_.elapsed += elapsed;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void MembershipController::accumulate(const MigrationStats& stats) {
+  migration_stats_.pages += stats.pages;
+  migration_stats_.entries_scanned += stats.entries_scanned;
+  migration_stats_.pinned_moved += stats.pinned_moved;
+  migration_stats_.replicas_copied += stats.replicas_copied;
+  migration_stats_.demotions += stats.demotions;
+  migration_stats_.source_deletes += stats.source_deletes;
+  migration_stats_.failed_transfers += stats.failed_transfers;
+  migration_stats_.elapsed += stats.elapsed;
+}
+
+void MembershipController::export_metrics(
+    obs::MetricsRegistry& registry) const {
+  registry
+      .gauge("rnb_elastic_epoch", "Current committed ring epoch")
+      .set(static_cast<double>(store_.epoch()));
+  registry
+      .gauge("rnb_elastic_members",
+             "Members in the current ring epoch")
+      .set(static_cast<double>(store_.current()->members().size()));
+  registry.counter("rnb_elastic_joins_total", "Committed join transitions")
+      .inc(joins_);
+  registry.counter("rnb_elastic_leaves_total", "Committed leave transitions")
+      .inc(leaves_);
+  registry
+      .counter("rnb_elastic_failed_transitions_total",
+               "Transitions abandoned past the resume budget")
+      .inc(failed_transitions_);
+  registry
+      .counter("rnb_elastic_migration_resumes_total",
+               "Checkpoint resumes across all transitions")
+      .inc(resumes_);
+  registry
+      .counter("rnb_elastic_migration_pages_total",
+               "Scan pages streamed by migration")
+      .inc(migration_stats_.pages);
+  registry
+      .counter("rnb_elastic_entries_scanned_total",
+               "Entries examined by migration scans")
+      .inc(migration_stats_.entries_scanned);
+  registry
+      .counter("rnb_elastic_pinned_moved_total",
+               "Distinguished copies re-homed")
+      .inc(migration_stats_.pinned_moved);
+  registry
+      .counter("rnb_elastic_replicas_copied_total",
+               "Replica-class copies placed on new homes")
+      .inc(migration_stats_.replicas_copied);
+  registry
+      .counter("rnb_elastic_demotions_total",
+               "Pinned copies demoted to the evictable class")
+      .inc(migration_stats_.demotions);
+  registry
+      .counter("rnb_elastic_source_deletes_total",
+               "Copies deleted from their outgoing homes")
+      .inc(migration_stats_.source_deletes);
+  registry
+      .counter("rnb_elastic_failed_transfers_total",
+               "Migration exchanges that exhausted retries")
+      .inc(migration_stats_.failed_transfers);
+  registry
+      .gauge("rnb_elastic_migration_seconds",
+             "Virtual seconds spent in migration exchanges")
+      .set(migration_stats_.elapsed);
+}
+
+}  // namespace rnb::elastic

@@ -1,0 +1,101 @@
+// MembershipController: the join/leave state machine over an EpochStore.
+//
+// One transition = one epoch. The controller drives the two-phase protocol
+// end to end:
+//
+//   propose        build epoch N+1 (unpublished; epoch N keeps serving)
+//   migrate        MigrationDriver streams affected copies N -> N+1,
+//                  resuming from its checkpoint on transient failure
+//   commit         EpochStore publishes N+1
+//   publish        the serving tier's view (ClusterView) installs the new
+//                  ring — BEFORE servers learn the epoch, so a client
+//                  bounced with WRONG_EPOCH always finds the newer ring
+//                  when it refreshes
+//   bump           `epoch N+1` to every member; from here stale-tagged
+//                  frames bounce and re-plan
+//   catch-up       one more migration pass sweeping writes that landed on
+//                  old placement while the main pass ran (after the bump
+//                  no stale write can land, so the sweep converges)
+//
+// The controller deliberately knows nothing about dserve: the serving tier
+// hands it a publish callback, keeping the dependency arrow pointing one
+// way (dserve -> elastic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "elastic/epoch.hpp"
+#include "elastic/migration.hpp"
+#include "obs/metrics.hpp"
+
+namespace rnb::elastic {
+
+struct MembershipControllerConfig {
+  MigrationConfig migration;
+  /// migrate() resume attempts per transition before giving up.
+  std::uint32_t resume_attempts = 3;
+  /// Post-bump sweep for writes that raced the main migration pass.
+  bool catch_up_pass = true;
+};
+
+class MembershipController {
+ public:
+  /// `transport` must reach every server id any epoch will contain.
+  MembershipController(kv::KvTransport& transport, EpochStore& store,
+                       const MembershipControllerConfig& config);
+
+  /// Called with each committed epoch, before the member servers are
+  /// bumped to it (see the header comment for why that order).
+  using PublishFn =
+      std::function<void(std::shared_ptr<const RingEpoch>)>;
+  void set_publish(PublishFn publish) { publish_ = std::move(publish); }
+
+  /// Add / remove one member. Returns false when migration failed past
+  /// its resume budget — the store then still holds the old epoch and the
+  /// call may simply be repeated (every transfer is an idempotent re-set).
+  bool join(ServerId server);
+  bool leave(ServerId server);
+
+  /// Install the store's *current* epoch on its members (boot-time: until
+  /// a server hears an epoch it accepts any tag, so a freshly started
+  /// elastic group syncs once before serving).
+  bool sync_epoch();
+
+  std::uint64_t epoch() const { return store_.epoch(); }
+  const MigrationStats& migration_stats() const noexcept {
+    return migration_stats_;
+  }
+  std::uint64_t joins() const noexcept { return joins_; }
+  std::uint64_t leaves() const noexcept { return leaves_; }
+  std::uint64_t failed_transitions() const noexcept {
+    return failed_transitions_;
+  }
+  std::uint64_t resumes() const noexcept { return resumes_; }
+
+  /// Contribute the rnb_elastic_* series (membership + migration totals)
+  /// to a metrics registry — the seam benches and stats hooks use.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  bool transition(std::shared_ptr<const RingEpoch> next);
+  bool bump_epoch(const RingEpoch& next);
+  void accumulate(const MigrationStats& stats);
+
+  kv::KvTransport& transport_;
+  EpochStore& store_;
+  MembershipControllerConfig config_;
+  PublishFn publish_;
+  MigrationStats migration_stats_;  // summed across all transitions
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t failed_transitions_ = 0;
+  std::uint64_t resumes_ = 0;
+  std::string request_;
+  std::string response_;
+};
+
+}  // namespace rnb::elastic

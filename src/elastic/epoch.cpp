@@ -1,0 +1,46 @@
+#include "elastic/epoch.hpp"
+
+#include "common/error.hpp"
+
+namespace rnb::elastic {
+
+EpochStore::EpochStore(const MemberRingConfig& config,
+                       std::vector<ServerId> initial_members)
+    : current_(std::make_shared<const RingEpoch>(
+          1, MemberRing(config, std::move(initial_members)))) {}
+
+std::shared_ptr<const RingEpoch> EpochStore::current() const {
+  const std::lock_guard lock(mu_);
+  return current_;
+}
+
+std::uint64_t EpochStore::epoch() const {
+  const std::lock_guard lock(mu_);
+  return current_->epoch();
+}
+
+std::shared_ptr<const RingEpoch> EpochStore::propose_join(
+    ServerId server) const {
+  const std::shared_ptr<const RingEpoch> cur = current();
+  RNB_REQUIRE(!cur->contains(server));
+  return std::make_shared<const RingEpoch>(cur->epoch() + 1,
+                                           cur->ring().with_member(server));
+}
+
+std::shared_ptr<const RingEpoch> EpochStore::propose_leave(
+    ServerId server) const {
+  const std::shared_ptr<const RingEpoch> cur = current();
+  RNB_REQUIRE(cur->contains(server));
+  RNB_REQUIRE(cur->members().size() > 1);
+  return std::make_shared<const RingEpoch>(cur->epoch() + 1,
+                                           cur->ring().without_member(server));
+}
+
+void EpochStore::commit(std::shared_ptr<const RingEpoch> next) {
+  RNB_REQUIRE(next != nullptr);
+  const std::lock_guard lock(mu_);
+  RNB_REQUIRE(next->epoch() == current_->epoch() + 1);
+  current_ = std::move(next);
+}
+
+}  // namespace rnb::elastic

@@ -1,0 +1,135 @@
+#include "elastic/member_ring.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace rnb::elastic {
+
+std::string_view to_string(RingScheme scheme) noexcept {
+  switch (scheme) {
+    case RingScheme::kRch:
+      return "rch";
+    case RingScheme::kMultiProbe:
+      return "multiprobe";
+  }
+  return "unknown";
+}
+
+MemberRing::MemberRing(const MemberRingConfig& config,
+                       std::vector<ServerId> members)
+    : config_(config), members_(std::move(members)) {
+  RNB_REQUIRE(!members_.empty());
+  RNB_REQUIRE(config_.replication >= 1);
+  RNB_REQUIRE(config_.vnodes >= 1 && config_.probes >= 1);
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  rebuild_points();
+}
+
+bool MemberRing::contains(ServerId server) const noexcept {
+  return std::binary_search(members_.begin(), members_.end(), server);
+}
+
+std::uint32_t MemberRing::replication() const noexcept {
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(config_.replication, members_.size()));
+}
+
+void MemberRing::rebuild_points() {
+  ring_.clear();
+  if (config_.scheme == RingScheme::kRch) {
+    // Same point formula as ConsistentHashRing::insert_points, so member
+    // set {0..N-1} is point-for-point the static RCH ring (pinned by
+    // MemberRingTest.RchMatchesStaticPlacement).
+    ring_.reserve(members_.size() * config_.vnodes);
+    for (const ServerId s : members_)
+      for (std::uint32_t v = 0; v < config_.vnodes; ++v)
+        ring_.push_back(Point{
+            fmix64(hash_combine(hash_combine(config_.seed, s + 1), v + 1)),
+            s});
+  } else {
+    // Multi-probe: exactly one point per member. The lookup does the load
+    // balancing, so the ring carries no vnode multiplier.
+    ring_.reserve(members_.size());
+    for (const ServerId s : members_)
+      ring_.push_back(Point{fmix64(hash_combine(config_.seed, s + 1)), s});
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void MemberRing::replicas(ItemId item, std::span<ServerId> out) const {
+  RNB_REQUIRE(out.size() == replication());
+  if (config_.scheme == RingScheme::kRch)
+    replicas_rch(item, out);
+  else
+    replicas_multi_probe(item, out);
+}
+
+void MemberRing::replicas_rch(ItemId item, std::span<ServerId> out) const {
+  const std::uint64_t h = fmix64(item ^ config_.seed);
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t key) { return p.hash < key; });
+  std::size_t point = start == ring_.end()
+                          ? 0
+                          : static_cast<std::size_t>(start - ring_.begin());
+  std::uint32_t found = 0;
+  // Clockwise walk keeping first-seen members — the RCH rule. Terminates:
+  // every member owns points, so ring_.size() steps suffice.
+  for (std::size_t step = 0; step < ring_.size() && found < out.size();
+       ++step, ++point) {
+    const ServerId s = ring_[point % ring_.size()].server;
+    const auto seen_end = out.begin() + found;
+    if (std::find(out.begin(), seen_end, s) == seen_end) out[found++] = s;
+  }
+  RNB_ENSURE(found == out.size());
+}
+
+void MemberRing::replicas_multi_probe(ItemId item,
+                                      std::span<ServerId> out) const {
+  // Score each member by its closest clockwise distance from any of the k
+  // probes to the member's single point; ranks are members ordered by
+  // ascending score. A new member perturbs the order only where its point
+  // beats every incumbent for some probe, which is what bounds movement
+  // per join to ~1/(N+1) per rank. O(members * probes) per lookup — fine
+  // for fleet-sized member counts; items-sized loops never call this.
+  const HashFamily probes(config_.seed);
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> score(ring_.size(), kMax);
+  for (std::uint32_t i = 0; i < config_.probes; ++i) {
+    const std::uint64_t h = probes(i, item);
+    for (std::size_t p = 0; p < ring_.size(); ++p) {
+      const std::uint64_t dist = ring_[p].hash - h;  // u64 wrap = clockwise
+      score[p] = std::min(score[p], dist);
+    }
+  }
+  std::vector<std::size_t> order(ring_.size());
+  for (std::size_t p = 0; p < ring_.size(); ++p) order[p] = p;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score[a] < score[b] ||
+           (score[a] == score[b] && ring_[a].server < ring_[b].server);
+  });
+  for (std::size_t r = 0; r < out.size(); ++r)
+    out[r] = ring_[order[r]].server;
+}
+
+MemberRing MemberRing::with_member(ServerId server) const {
+  std::vector<ServerId> next = members_;
+  next.push_back(server);
+  return MemberRing(config_, std::move(next));
+}
+
+MemberRing MemberRing::without_member(ServerId server) const {
+  std::vector<ServerId> next;
+  next.reserve(members_.size());
+  for (const ServerId s : members_)
+    if (s != server) next.push_back(s);
+  RNB_REQUIRE(next.size() == members_.size() - 1);
+  return MemberRing(config_, std::move(next));
+}
+
+}  // namespace rnb::elastic

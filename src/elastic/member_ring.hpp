@@ -1,0 +1,109 @@
+// Elastic replica placement over an explicit member set.
+//
+// The static placement policies (hashring/placement.hpp) map items onto the
+// fixed id range [0, num_servers); the elastic membership subsystem instead
+// places onto an explicit, mutable set of physical server ids, so a fleet
+// can add and remove members without renumbering anyone. Two minimal-
+// movement schemes live behind one interface so the migration cost of ring
+// churn can be ablated:
+//
+//   * kRch — the paper's Ranged Consistent Hashing on a vnode ring: each
+//     member contributes `vnodes` points; an item's replicas are the first
+//     r distinct members clockwise from its hash. Point positions depend
+//     only on (seed, member, vnode), so a ring over members {0..N-1} is
+//     point-for-point the ring RangedConsistentHashPlacement builds — an
+//     elastic group whose membership never changes places exactly like a
+//     static one.
+//   * kMultiProbe — multi-probe consistent hashing (Appleton & O'Reilly,
+//     PAPERS.md): one point per member, k probes per item; a member's rank
+//     is ordered by its closest clockwise distance to any probe. No vnodes
+//     means O(members) ring state, and a join still only captures the
+//     items whose best probe lands closer to the new point than to every
+//     incumbent — the same ~1/(N+1) movement bound with far less metadata.
+//
+// Lookups are stateless and deterministic: any client recomputes replica
+// sets from (config, member set, item) alone, which is what lets stale
+// clients re-plan against a newer RingEpoch without coordination.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnb::elastic {
+
+enum class RingScheme {
+  kRch,         // vnode ring, RCH clockwise walk
+  kMultiProbe,  // one point per member, k probes per item
+};
+
+std::string_view to_string(RingScheme scheme) noexcept;
+
+struct MemberRingConfig {
+  RingScheme scheme = RingScheme::kRch;
+  /// Replicas per item, distinguished copy included; clamped to the member
+  /// count when the ring is smaller.
+  std::uint32_t replication = 3;
+  std::uint64_t seed = 1;
+  /// Points per member for kRch — 64 matches the static RCH placement, so
+  /// an unchanged member set {0..N-1} reproduces its replica sets exactly.
+  std::uint32_t vnodes = 64;
+  /// Probes per lookup for kMultiProbe (the paper's load-balance knob; 21
+  /// probes give ~1.05 peak-to-average).
+  std::uint32_t probes = 21;
+};
+
+class MemberRing {
+ public:
+  /// Build a ring over `members` (physical server ids, any values; the set
+  /// is deduplicated and kept sorted).
+  MemberRing(const MemberRingConfig& config, std::vector<ServerId> members);
+
+  const MemberRingConfig& config() const noexcept { return config_; }
+  const std::vector<ServerId>& members() const noexcept { return members_; }
+  bool contains(ServerId server) const noexcept;
+
+  /// Effective replicas per item: min(configured replication, members).
+  std::uint32_t replication() const noexcept;
+
+  /// Write the replica members of `item` into `out` (size() ==
+  /// replication()) in replica order; out[0] is the distinguished copy.
+  /// All entries are distinct members.
+  void replicas(ItemId item, std::span<ServerId> out) const;
+
+  std::vector<ServerId> replicas(ItemId item) const {
+    std::vector<ServerId> out(replication());
+    replicas(item, out);
+    return out;
+  }
+
+  ServerId distinguished(ItemId item) const { return replicas(item)[0]; }
+
+  /// Minimal-movement derived rings: the returned ring shares every
+  /// incumbent's points, so only assignments the new (or removed) member's
+  /// points win (or owned) change.
+  MemberRing with_member(ServerId server) const;
+  MemberRing without_member(ServerId server) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    ServerId server;
+    friend bool operator<(const Point& a, const Point& b) noexcept {
+      return a.hash < b.hash || (a.hash == b.hash && a.server < b.server);
+    }
+  };
+
+  void rebuild_points();
+  void replicas_rch(ItemId item, std::span<ServerId> out) const;
+  void replicas_multi_probe(ItemId item, std::span<ServerId> out) const;
+
+  MemberRingConfig config_;
+  std::vector<ServerId> members_;  // sorted, unique
+  std::vector<Point> ring_;        // sorted by (hash, server)
+};
+
+}  // namespace rnb::elastic

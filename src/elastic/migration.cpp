@@ -1,0 +1,166 @@
+#include "elastic/migration.hpp"
+
+#include <cstddef>
+#include <optional>
+
+#include "common/hash.hpp"
+#include "kv/protocol.hpp"
+#include "obs/trace.hpp"
+
+namespace rnb::elastic {
+namespace {
+
+constexpr std::size_t kNoRank = static_cast<std::size_t>(-1);
+
+/// Key -> item id, the same hash every wire client uses
+/// (dserve::ClusterView::item_of), so migration re-places entries exactly
+/// where clients will look for them.
+ItemId item_of(std::string_view key) noexcept { return fnv1a64(key); }
+
+std::size_t rank_of(const std::vector<ServerId>& replicas, ServerId server) {
+  for (std::size_t r = 0; r < replicas.size(); ++r)
+    if (replicas[r] == server) return r;
+  return kNoRank;
+}
+
+/// Whether `source` owns the entry's distinguished copy. Decided by the
+/// *old ring*, not the scanned pin flag: earlier transfers in the same
+/// migration may already have demoted this copy in place (the old home is
+/// some other source's rank-preserving target), and trusting the mutated
+/// flag would skip moving the pin entirely. Entries the old ring never
+/// placed here (leftovers) fall back to the flag.
+bool owns_distinguished(ServerId source, const kv::Value& entry,
+                        const RingEpoch& from) {
+  const std::size_t rank = rank_of(from.replicas(item_of(entry.key)), source);
+  if (rank == kNoRank) return (entry.flags & kv::kValueFlagPinned) != 0;
+  return rank == 0;
+}
+
+}  // namespace
+
+MigrationDriver::MigrationDriver(kv::KvTransport& transport,
+                                 const MigrationConfig& config)
+    : transport_(transport),
+      config_(config),
+      exchange_(transport_, config.failure) {}
+
+bool MigrationDriver::migrate(const RingEpoch& from, const RingEpoch& to) {
+  const std::vector<ServerId>& sources = from.members();
+  if (checkpoint_ == MigrationCheckpoint{}) pending_deletes_.clear();
+  obs::SpanScope span("migrate", "elastic");
+  span.arg("from_epoch", static_cast<std::int64_t>(from.epoch()));
+  span.arg("to_epoch", static_cast<std::int64_t>(to.epoch()));
+  while (checkpoint_.member_index < sources.size()) {
+    const ServerId source = sources[checkpoint_.member_index];
+    obs::SpanScope source_span("migrate_source", "elastic");
+    source_span.arg("server", static_cast<std::int64_t>(source));
+    while (true) {
+      request_.clear();
+      kv::encode_scan(checkpoint_.cursor, config_.batch_keys, request_);
+      double elapsed = 0.0;
+      const bool ok = exchange_.exchange(
+          source, request_, response_, elapsed,
+          [](const std::string& r) {
+            return kv::parse_scan_page(r).has_value();
+          });
+      stats_.elapsed += elapsed;
+      if (!ok) {
+        ++stats_.failed_transfers;
+        return false;
+      }
+      const std::optional<kv::ScanPage> page =
+          kv::parse_scan_page(response_);
+      ++stats_.pages;
+      stats_.entries_scanned += page->entries.size();
+      // Distinguished copies first: the pinned copy must exist at its new
+      // home before any replica-class shuffling for the same page.
+      for (const kv::Value& v : page->entries)
+        if (owns_distinguished(source, v, from))
+          if (!transfer_pinned(source, v, to)) return false;
+      for (const kv::Value& v : page->entries)
+        if (!owns_distinguished(source, v, from))
+          if (!transfer_replica(source, v, from, to)) return false;
+      if (page->next_cursor == 0) break;
+      checkpoint_.cursor = page->next_cursor;
+    }
+    // Scan exhausted: now it is safe to shrink the source table.
+    while (!pending_deletes_.empty()) {
+      if (!erase(source, pending_deletes_.back())) return false;
+      ++stats_.source_deletes;
+      pending_deletes_.pop_back();
+    }
+    ++checkpoint_.member_index;
+    checkpoint_.cursor = 0;
+  }
+  checkpoint_ = {};
+  return true;
+}
+
+bool MigrationDriver::transfer_pinned(ServerId source, const kv::Value& entry,
+                                      const RingEpoch& to) {
+  const std::vector<ServerId> now = to.replicas(item_of(entry.key));
+  const std::size_t rank = rank_of(now, source);
+  if (now[0] != source) {
+    if (!store(now[0], entry.key, entry.data, /*pin=*/true)) return false;
+    ++stats_.pinned_moved;
+  }
+  if (rank == kNoRank) {
+    if (config_.delete_source) pending_deletes_.push_back(entry.key);
+  } else if (rank != 0) {
+    // Still a replica home, just not the distinguished one: re-set the
+    // same bytes unpinned, releasing the pinned accounting into the
+    // ordinary evictable class.
+    if (!store(source, entry.key, entry.data, /*pin=*/false)) return false;
+    ++stats_.demotions;
+  }
+  return true;
+}
+
+bool MigrationDriver::transfer_replica(ServerId source,
+                                       const kv::Value& entry,
+                                       const RingEpoch& from,
+                                       const RingEpoch& to) {
+  const ItemId item = item_of(entry.key);
+  const std::vector<ServerId> old_replicas = from.replicas(item);
+  const std::vector<ServerId> new_replicas = to.replicas(item);
+  const std::size_t rank = rank_of(old_replicas, source);
+  // Rank-preserving hand-off: the old holder of rank r feeds the new
+  // holder of rank r, so each receiving server hears from exactly one
+  // source and replication width is preserved without fan-out.
+  if (rank != kNoRank && rank < new_replicas.size()) {
+    const ServerId target = new_replicas[rank];
+    if (target != source) {
+      if (!store(target, entry.key, entry.data, /*pin=*/false)) return false;
+      ++stats_.replicas_copied;
+    }
+  }
+  if (config_.delete_source && rank_of(new_replicas, source) == kNoRank)
+    pending_deletes_.push_back(entry.key);
+  return true;
+}
+
+bool MigrationDriver::store(ServerId server, const std::string& key,
+                            const std::string& data, bool pin) {
+  request_.clear();
+  kv::encode_set(key, data, pin, request_);
+  double elapsed = 0.0;
+  const bool ok = exchange_.exchange(server, request_, response_, elapsed);
+  stats_.elapsed += elapsed;
+  if (!ok) ++stats_.failed_transfers;
+  // "SERVER_ERROR out of memory" on an unpinned copy is a valid outcome:
+  // the replica class is cache, and the receiver declined this entry the
+  // same way it would decline a client write-back.
+  return ok;
+}
+
+bool MigrationDriver::erase(ServerId server, const std::string& key) {
+  request_.clear();
+  kv::encode_delete(key, request_);
+  double elapsed = 0.0;
+  const bool ok = exchange_.exchange(server, request_, response_, elapsed);
+  stats_.elapsed += elapsed;
+  if (!ok) ++stats_.failed_transfers;
+  return ok;
+}
+
+}  // namespace rnb::elastic

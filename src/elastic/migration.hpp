@@ -1,0 +1,114 @@
+// MigrationDriver: stream affected replicas between servers across a ring
+// epoch change, over the ordinary kv wire protocol.
+//
+// The driver pages through every member of the outgoing epoch with the
+// `scan` verb (bounded batches of `batch_keys` entries) and re-places each
+// entry under the incoming epoch's ring:
+//
+//   * Distinguished copies first. A pinned entry whose new rank-0 server
+//     differs from its current home is `set ... pin`-ed onto the new
+//     distinguished server before anything else happens to it, so at every
+//     instant some server holds the pinned copy — the zero-key-loss
+//     invariant (replica-class copies are evictable cache; only the pinned
+//     copy is durable).
+//   * Replica classes second, within the receiving server's ordinary byte
+//     budget: copies are plain unpinned `set`s, so the receiver's LRU
+//     admits them by evicting its own cold tail, exactly like client
+//     write-backs. An out-of-memory refusal is a valid outcome, not an
+//     error.
+//   * Copy-then-delete: a copy the new ring disowns is deleted from its
+//     old home only after the new home stored it — and deletes are
+//     deferred until the source's scan is exhausted, because shrinking the
+//     table mid-scan would slide entries across the skip-count cursor.
+//
+// Every transfer is an idempotent re-set, so the driver is resumable: on a
+// persistent exchange failure it records a checkpoint (source index + scan
+// cursor) and returns false; calling migrate() again with the same epochs
+// re-scans from the checkpoint, re-sending at most one page's worth of
+// already-applied work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "elastic/epoch.hpp"
+#include "kv/failure_policy.hpp"
+
+namespace rnb::elastic {
+
+struct MigrationConfig {
+  /// Entries per scan page — the batch bound; one page's transfers are
+  /// in flight per roundtrip sequence, never the whole keyspace.
+  std::uint32_t batch_keys = 64;
+  /// Delete copies the incoming ring no longer assigns to their old home
+  /// (off = additive copy only, e.g. for a dry run).
+  bool delete_source = true;
+  /// Retry / backoff policy for migration traffic (virtual time).
+  kv::KvFailurePolicy failure;
+};
+
+struct MigrationStats {
+  std::uint64_t pages = 0;
+  std::uint64_t entries_scanned = 0;
+  std::uint64_t pinned_moved = 0;     // distinguished copies re-homed
+  std::uint64_t replicas_copied = 0;  // replica-class copies placed
+  std::uint64_t demotions = 0;        // pinned -> evictable on old home
+  std::uint64_t source_deletes = 0;   // copies removed from old homes
+  std::uint64_t failed_transfers = 0; // exchanges that exhausted retries
+  double elapsed = 0.0;               // virtual seconds across exchanges
+};
+
+/// Where a failed migration stopped: the next migrate() call with the same
+/// epoch pair resumes here.
+struct MigrationCheckpoint {
+  std::size_t member_index = 0;  // index into the outgoing epoch's members
+  std::uint64_t cursor = 0;      // scan cursor within that member
+
+  friend bool operator==(const MigrationCheckpoint&,
+                         const MigrationCheckpoint&) = default;
+};
+
+class MigrationDriver {
+ public:
+  MigrationDriver(kv::KvTransport& transport, const MigrationConfig& config);
+
+  /// Stream every affected copy from `from`'s placement to `to`'s.
+  /// Returns true when all sources are drained; false on a persistent
+  /// transfer failure (checkpoint() records where — call again to resume).
+  /// Migration frames carry no epoch tag, so they pass the servers' epoch
+  /// gate in either configuration.
+  bool migrate(const RingEpoch& from, const RingEpoch& to);
+
+  const MigrationStats& stats() const noexcept { return stats_; }
+  const MigrationCheckpoint& checkpoint() const noexcept {
+    return checkpoint_;
+  }
+  const kv::KvFailureStats& failure_stats() const noexcept {
+    return exchange_.stats();
+  }
+
+ private:
+  bool transfer_pinned(ServerId source, const kv::Value& entry,
+                       const RingEpoch& to);
+  bool transfer_replica(ServerId source, const kv::Value& entry,
+                        const RingEpoch& from, const RingEpoch& to);
+  bool store(ServerId server, const std::string& key, const std::string& data,
+             bool pin);
+  bool erase(ServerId server, const std::string& key);
+
+  kv::KvTransport& transport_;
+  MigrationConfig config_;
+  kv::KvExchange exchange_;
+  MigrationStats stats_;
+  MigrationCheckpoint checkpoint_;
+  /// Deletes queued while scanning the current source (flushed after its
+  /// scan exhausts; survives a resume, duplicates are harmless NOT_FOUNDs).
+  std::vector<std::string> pending_deletes_;
+  // Reused I/O buffers, one driver per controller thread.
+  std::string request_;
+  std::string response_;
+};
+
+}  // namespace rnb::elastic

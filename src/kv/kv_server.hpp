@@ -54,6 +54,8 @@ struct ServerCounters {
   std::uint64_t stores = 0;
   std::uint64_t deletes = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t wrong_epoch = 0;
 };
 
 template <typename Store>
@@ -120,6 +122,21 @@ class BasicKvServer {
   Store& table() noexcept { return table_; }
   const Store& table() const noexcept { return table_; }
 
+  /// The server's ring epoch. 0 (the default) disables epoch checking
+  /// entirely — a static fleet never answers WRONG_EPOCH. Nonzero, a
+  /// command tagged with an *older* epoch is rejected with
+  /// `WRONG_EPOCH <epoch>`; tags from a newer epoch serve (the client
+  /// heard a committed ring this server hasn't been bumped to yet — its
+  /// plan is the fresher one, and migration keeps both placements stocked
+  /// until every member is bumped); untagged frames (migration traffic,
+  /// legacy clients) always pass. Normally installed via the `epoch` verb.
+  void set_epoch(std::uint64_t epoch) noexcept {
+    epoch_.store(epoch, std::memory_order_relaxed);
+  }
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
   /// Install a callback that contributes extra series to the `stats`
   /// exposition — the seam transports use to publish wire-level state
   /// (connection counts, accept errors) the engine can't see. Called with
@@ -149,11 +166,36 @@ class BasicKvServer {
   /// True when the engine aggregates striped-lock contention counters.
   static constexpr bool kLockCounters =
       requires(const Store& t) { t.lock_counters(); };
+  /// True when the engine can page through its entries (the migration
+  /// `scan` verb). Slab engines can't; they answer SERVER_ERROR.
+  static constexpr bool kScan =
+      requires(const Store& t, std::vector<ScanEntry>& out) {
+        t.scan(std::uint64_t{}, std::size_t{}, out);
+      };
 
   /// Execute one parsed command. Spans (dispatch > handle, then format)
   /// only materialize when a tracer is installed.
   void dispatch_command(const Command& cmd, std::string& response,
                         obs::SpanScope& txn_span) {
+    // Epoch gate: an epoch-tagged command planned against an *older* ring
+    // than this server is configured for is answered WRONG_EPOCH instead of
+    // executing against stale placement. Newer tags serve — the client is
+    // ahead of this server's bump, not stale, and bouncing it would open
+    // an availability hole between the controller's publish and its
+    // per-server epoch sweep. Untagged frames always pass, and the `epoch`
+    // verb itself must pass so the controller can fix the very mismatch
+    // being reported.
+    const std::uint64_t server_epoch =
+        epoch_.load(std::memory_order_relaxed);
+    const std::uint64_t cmd_epoch = command_epoch(cmd);
+    if (cmd_epoch != 0 && server_epoch != 0 && cmd_epoch < server_epoch &&
+        !std::holds_alternative<EpochCommand>(cmd)) {
+      counters_.wrong_epoch.fetch_add(1, std::memory_order_relaxed);
+      txn_span.note("outcome", "wrong_epoch");
+      format_response(
+          [&] { encode_wrong_epoch(server_epoch, response); }, response);
+      return;
+    }
     if (const auto* get = std::get_if<GetCommand>(&cmd)) {
       std::vector<Value> values;
       values.reserve(get->keys.size());
@@ -259,6 +301,53 @@ class BasicKvServer {
           response);
       return;
     }
+    if (const auto* scan = std::get_if<ScanCommand>(&cmd)) {
+      counters_.scans.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (kScan) {
+        std::vector<ScanEntry> entries;
+        entries.reserve(scan->max_keys);
+        std::uint64_t next = 0;
+        {
+          obs::SpanScope dispatch_span("dispatch", "server");
+          obs::SpanScope handle_span("handle", "server");
+          next = table_.scan(scan->cursor, scan->max_keys, entries);
+          handle_span.arg("entries",
+                          static_cast<std::int64_t>(entries.size()));
+        }
+        ScanPage page;
+        page.next_cursor = next;
+        page.entries.reserve(entries.size());
+        for (ScanEntry& e : entries)
+          page.entries.push_back(
+              Value{std::move(e.key), std::move(e.value), e.version,
+                    e.pinned ? kValueFlagPinned : 0u});
+        txn_span.arg("entries",
+                     static_cast<std::int64_t>(page.entries.size()));
+        format_response([&] { encode_scan_page(page, response); }, response);
+      } else {
+        format_response(
+            [&] { encode_simple("SERVER_ERROR scan unsupported", response); },
+            response);
+      }
+      return;
+    }
+    if (const auto* ep = std::get_if<EpochCommand>(&cmd)) {
+      obs::SpanScope handle_span("handle", "server");
+      if (ep->set_epoch != 0) {
+        epoch_.store(ep->set_epoch, std::memory_order_relaxed);
+        txn_span.arg("epoch", static_cast<std::int64_t>(ep->set_epoch));
+        format_response([&] { encode_simple("OK", response); }, response);
+      } else {
+        format_response(
+            [&] {
+              encode_simple("EPOCH " + std::to_string(epoch_.load(
+                                           std::memory_order_relaxed)),
+                            response);
+            },
+            response);
+      }
+      return;
+    }
     if (const auto* del = std::get_if<DeleteCommand>(&cmd)) {
       counters_.deletes.fetch_add(1, std::memory_order_relaxed);
       bool erased = false;
@@ -358,6 +447,8 @@ class BasicKvServer {
     std::atomic<std::uint64_t> stores{0};
     std::atomic<std::uint64_t> deletes{0};
     std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> scans{0};
+    std::atomic<std::uint64_t> wrong_epoch{0};
 
     ServerCounters snapshot() const noexcept {
       return {transactions.load(std::memory_order_relaxed),
@@ -365,7 +456,9 @@ class BasicKvServer {
               keys_returned.load(std::memory_order_relaxed),
               stores.load(std::memory_order_relaxed),
               deletes.load(std::memory_order_relaxed),
-              protocol_errors.load(std::memory_order_relaxed)};
+              protocol_errors.load(std::memory_order_relaxed),
+              scans.load(std::memory_order_relaxed),
+              wrong_epoch.load(std::memory_order_relaxed)};
     }
   };
 
@@ -395,6 +488,23 @@ class BasicKvServer {
         .counter("rnb_kv_protocol_errors_total",
                  "Frames rejected with CLIENT_ERROR")
         .inc(snap.protocol_errors);
+    // Elastic-membership series appear only once touched, so a static
+    // fleet's stats output stays byte-identical to the pre-elastic
+    // exposition.
+    if (snap.scans != 0)
+      registry
+          .counter("rnb_kv_scans_total", "Migration scan frames handled")
+          .inc(snap.scans);
+    const std::uint64_t epoch_now = epoch_.load(std::memory_order_relaxed);
+    if (epoch_now != 0) {
+      registry
+          .gauge("rnb_kv_epoch", "Ring epoch this server is configured for")
+          .set(static_cast<double>(epoch_now));
+      registry
+          .counter("rnb_kv_wrong_epoch_total",
+                   "Epoch-tagged frames rejected with WRONG_EPOCH")
+          .inc(snap.wrong_epoch);
+    }
     registry.gauge("rnb_kv_entries", "Live entries in the store")
         .set(static_cast<double>(table_.entries()));
     if constexpr (kShardMetrics) {
@@ -468,6 +578,7 @@ class BasicKvServer {
 
   Store table_;
   AtomicCounters counters_;
+  std::atomic<std::uint64_t> epoch_{0};
   std::function<void(obs::MetricsRegistry&)> stats_hook_;
   // Traced-only attribution state (see observe_latency); a server-private
   // slow log, distinct from any process-wide obs::SlowLog the client side

@@ -123,4 +123,22 @@ bool MemTable::contains(std::string_view key) const {
   return table_.contains(key);
 }
 
+std::uint64_t MemTable::scan(std::uint64_t cursor, std::size_t max_keys,
+                             std::vector<ScanEntry>& out) const {
+  RNB_REQUIRE(max_keys >= 1);
+  auto it = table_.begin();
+  std::uint64_t position = 0;
+  while (it != table_.end() && position < cursor) {
+    ++it;
+    ++position;
+  }
+  std::size_t emitted = 0;
+  for (; it != table_.end() && emitted < max_keys; ++it, ++position) {
+    out.push_back(ScanEntry{it->first, it->second.value, it->second.version,
+                            it->second.pinned});
+    ++emitted;
+  }
+  return it == table_.end() ? 0 : position;
+}
+
 }  // namespace rnb

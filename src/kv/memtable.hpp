@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/lru_cache.hpp"  // CacheStats
 #include "common/hash.hpp"
@@ -30,6 +31,15 @@ struct TransparentStringHash {
   std::size_t operator()(const std::string& s) const noexcept {
     return (*this)(std::string_view(s));
   }
+};
+
+/// One entry surfaced by an engine scan (replica migration's unit of work).
+/// Carries the pinned bit so migration preserves the two service classes.
+struct ScanEntry {
+  std::string key;
+  std::string value;
+  std::uint64_t version = 0;
+  bool pinned = false;
 };
 
 class MemTable {
@@ -74,6 +84,16 @@ class MemTable {
 
   bool erase(std::string_view key);
   bool contains(std::string_view key) const;
+
+  /// Page through entries for migration: append up to `max_keys` entries
+  /// (`max_keys` >= 1) starting at skip-count `cursor`, returning the next
+  /// cursor (0 = exhausted). Weakly consistent under interleaved mutation —
+  /// like memcached's lru_crawler, entries written mid-scan may be seen
+  /// zero or more times; migration's idempotent re-sets absorb that. O(n)
+  /// positioning per page is acceptable: scans run in migration batches,
+  /// never on the serving fast path.
+  std::uint64_t scan(std::uint64_t cursor, std::size_t max_keys,
+                     std::vector<ScanEntry>& out) const;
 
   std::size_t entries() const noexcept { return table_.size(); }
   std::size_t evictable_bytes() const noexcept { return evictable_bytes_; }

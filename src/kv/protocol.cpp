@@ -29,6 +29,8 @@ bool fail(std::string* error, std::string message) {
 }
 
 constexpr std::string_view kTracePrefix = "@trace=";
+constexpr std::string_view kEpochPrefix = "@epoch=";
+constexpr std::string_view kWrongEpochToken = "WRONG_EPOCH";
 
 void append_hex(std::uint64_t id, std::string& out) {
   char buf[16];
@@ -85,6 +87,26 @@ bool peel_trace_tag(std::string_view& line, TraceTag& trace,
   return true;
 }
 
+/// If the final token of `line` is an epoch tag, parse it and strip it.
+/// Same contract as peel_trace_tag: the prefix is reserved, so a malformed
+/// or zero epoch is a parse error, and the caller peels the trace tag
+/// first (wire order is `... @epoch=N @trace=T`).
+bool peel_epoch_tag(std::string_view& line, std::uint64_t& epoch,
+                    std::string* error) {
+  const std::size_t space = line.find_last_of(' ');
+  std::string_view token =
+      space == std::string_view::npos ? line : line.substr(space + 1);
+  if (token.substr(0, kEpochPrefix.size()) != kEpochPrefix) return true;
+  token.remove_prefix(kEpochPrefix.size());
+  std::uint64_t value = 0;
+  if (token.empty() || !parse_int(token, value) || value == 0)
+    return fail(error, "bad epoch tag");
+  epoch = value;
+  line = space == std::string_view::npos ? std::string_view{}
+                                         : line.substr(0, space);
+  return true;
+}
+
 /// Parse "<key> <flags> <exptime> <bytes>" and the following data block.
 /// Returns false on malformed input. `tail` must start at the byte after
 /// the command-line CRLF.
@@ -118,13 +140,28 @@ std::optional<Command> parse_command(std::string_view frame,
   const std::string_view tail = frame.substr(eol + kCrlf.size());
   // The trace tag, when present, is the final command-line token no matter
   // the verb; peeling it up front keeps every per-verb parser tag-blind.
+  // The epoch tag sits immediately before it, so it is peeled second.
   TraceTag trace;
+  std::uint64_t epoch = 0;
   if (!peel_trace_tag(line, trace, error)) return std::nullopt;
+  if (!peel_epoch_tag(line, epoch, error)) return std::nullopt;
+  if (epoch != 0) {
+    // A trace tag surfacing only after the epoch peel means the tags were
+    // sent in the wrong order; the prefix is reserved, so reject the frame
+    // rather than read the tag as a key.
+    TraceTag misordered;
+    if (!peel_trace_tag(line, misordered, error)) return std::nullopt;
+    if (misordered.present()) {
+      fail(error, "trace tag must be the final token");
+      return std::nullopt;
+    }
+  }
   const std::string_view verb = next_token(line);
 
   if (verb == "get" || verb == "gets") {
     GetCommand cmd;
     cmd.trace = trace;
+    cmd.epoch = epoch;
     cmd.with_versions = verb == "gets";
     for (std::string_view key = next_token(line); !key.empty();
          key = next_token(line))
@@ -138,6 +175,7 @@ std::optional<Command> parse_command(std::string_view frame,
   if (verb == "set") {
     SetCommand cmd;
     cmd.trace = trace;
+    cmd.epoch = epoch;
     // The optional "pin" extension rides after <bytes>; peel it off the
     // line before delegating (parse_storage_head consumes exactly 4 fields).
     if (!parse_storage_head(line, tail, cmd.key, cmd.flags, cmd.data, error))
@@ -156,6 +194,7 @@ std::optional<Command> parse_command(std::string_view frame,
     // storage-head parser by reading the version token afterwards.
     CasCommand cmd;
     cmd.trace = trace;
+    cmd.epoch = epoch;
     // parse_storage_head validates data length against <bytes>, which for
     // cas sits before the version token; split manually.
     std::string_view line_copy = line;
@@ -184,6 +223,7 @@ std::optional<Command> parse_command(std::string_view frame,
   if (verb == "delete") {
     DeleteCommand cmd;
     cmd.trace = trace;
+    cmd.epoch = epoch;
     cmd.key = std::string(next_token(line));
     if (cmd.key.empty()) {
       fail(error, "delete with no key");
@@ -198,6 +238,35 @@ std::optional<Command> parse_command(std::string_view frame,
     }
     StatsCommand cmd;
     cmd.trace = trace;
+    cmd.epoch = epoch;
+    return cmd;
+  }
+  if (verb == "scan") {
+    ScanCommand cmd;
+    cmd.trace = trace;
+    cmd.epoch = epoch;
+    if (!parse_int(next_token(line), cmd.cursor) ||
+        !parse_int(next_token(line), cmd.max_keys) || cmd.max_keys == 0 ||
+        !next_token(line).empty()) {
+      fail(error, "bad scan arguments");
+      return std::nullopt;
+    }
+    return cmd;
+  }
+  if (verb == "epoch") {
+    EpochCommand cmd;
+    cmd.trace = trace;
+    cmd.epoch = epoch;
+    const std::string_view arg = next_token(line);
+    if (!arg.empty() &&
+        (!parse_int(arg, cmd.set_epoch) || cmd.set_epoch == 0)) {
+      fail(error, "bad epoch argument");
+      return std::nullopt;
+    }
+    if (!next_token(line).empty()) {
+      fail(error, "unexpected token after epoch");
+      return std::nullopt;
+    }
     return cmd;
   }
   fail(error, "unknown verb");
@@ -267,6 +336,27 @@ void encode_stats(std::string& out, const TraceTag& trace) {
   out += kCrlf;
 }
 
+void encode_scan(std::uint64_t cursor, std::uint32_t max_keys,
+                 std::string& out, const TraceTag& trace) {
+  out += "scan ";
+  out += std::to_string(cursor);
+  out += ' ';
+  out += std::to_string(max_keys);
+  append_tag_if_present(trace, out);
+  out += kCrlf;
+}
+
+void encode_epoch(std::uint64_t set_epoch, std::string& out,
+                  const TraceTag& trace) {
+  out += "epoch";
+  if (set_epoch != 0) {
+    out += ' ';
+    out += std::to_string(set_epoch);
+  }
+  append_tag_if_present(trace, out);
+  out += kCrlf;
+}
+
 void append_trace_tag(std::string& frame, const TraceTag& trace) {
   if (!trace.present()) return;
   const std::size_t eol = frame.find(kCrlf);
@@ -276,9 +366,25 @@ void append_trace_tag(std::string& frame, const TraceTag& trace) {
   frame.insert(eol, token);
 }
 
+void append_epoch_tag(std::string& frame, std::uint64_t epoch) {
+  if (epoch == 0) return;
+  const std::size_t eol = frame.find(kCrlf);
+  if (eol == std::string::npos) return;
+  std::string token(1, ' ');
+  token += kEpochPrefix;
+  token += std::to_string(epoch);
+  // Inserting at the CRLF means a later append_trace_tag (same insertion
+  // point) lands after us, producing the wire order `@epoch=N @trace=T`.
+  frame.insert(eol, token);
+}
+
 const TraceTag& command_trace(const Command& cmd) {
   return std::visit([](const auto& c) -> const TraceTag& { return c.trace; },
                     cmd);
+}
+
+std::uint64_t command_epoch(const Command& cmd) {
+  return std::visit([](const auto& c) { return c.epoch; }, cmd);
 }
 
 void encode_values(const std::vector<Value>& values, bool with_versions,
@@ -286,7 +392,9 @@ void encode_values(const std::vector<Value>& values, bool with_versions,
   for (const Value& v : values) {
     out += "VALUE ";
     out += v.key;
-    out += " 0 ";
+    out += ' ';
+    out += std::to_string(v.flags);
+    out += ' ';
     out += std::to_string(v.data.size());
     if (with_versions) {
       out += ' ';
@@ -318,9 +426,8 @@ std::optional<std::vector<Value>> parse_values(std::string_view frame,
     if (tag != "VALUE") return std::nullopt;
     Value v;
     v.key = std::string(next_token(line));
-    std::uint32_t flags = 0;
     std::size_t bytes = 0;
-    if (v.key.empty() || !parse_int(next_token(line), flags) ||
+    if (v.key.empty() || !parse_int(next_token(line), v.flags) ||
         !parse_int(next_token(line), bytes))
       return std::nullopt;
     if (with_versions && !parse_int(next_token(line), v.version))
@@ -337,6 +444,44 @@ std::optional<std::vector<Value>> parse_values(std::string_view frame,
 std::string_view parse_simple(std::string_view frame) {
   const std::size_t eol = frame.find(kCrlf);
   return eol == std::string_view::npos ? frame : frame.substr(0, eol);
+}
+
+void encode_wrong_epoch(std::uint64_t server_epoch, std::string& out) {
+  out += kWrongEpochToken;
+  out += ' ';
+  out += std::to_string(server_epoch);
+  out += kCrlf;
+}
+
+std::optional<std::uint64_t> parse_wrong_epoch(std::string_view frame) {
+  std::string_view line = parse_simple(frame);
+  if (next_token(line) != kWrongEpochToken) return std::nullopt;
+  std::uint64_t epoch = 0;
+  if (!parse_int(next_token(line), epoch) || !next_token(line).empty())
+    return std::nullopt;
+  return epoch;
+}
+
+void encode_scan_page(const ScanPage& page, std::string& out) {
+  std::vector<Value> values;
+  values.reserve(page.entries.size() + 1);
+  Value cursor;
+  cursor.key = std::string(kScanCursorKey);
+  cursor.data = std::to_string(page.next_cursor);
+  values.push_back(std::move(cursor));
+  values.insert(values.end(), page.entries.begin(), page.entries.end());
+  encode_values(values, /*with_versions=*/false, out);
+}
+
+std::optional<ScanPage> parse_scan_page(std::string_view frame) {
+  auto values = parse_values(frame, /*with_versions=*/false);
+  if (!values || values->empty() || values->front().key != kScanCursorKey)
+    return std::nullopt;
+  ScanPage page;
+  if (!parse_int(values->front().data, page.next_cursor)) return std::nullopt;
+  page.entries.assign(std::make_move_iterator(values->begin() + 1),
+                      std::make_move_iterator(values->end()));
+  return page;
 }
 
 }  // namespace rnb::kv

@@ -30,6 +30,25 @@
 // tag-unaware peers interoperate with untagged traffic unchanged. The
 // `@trace=` prefix is reserved: it cannot appear as a key, and a
 // malformed tag is a parse error rather than silently becoming one.
+//
+// The fourth extension set serves elastic membership (src/elastic):
+//
+//   * An optional `@epoch=<n>` token (decimal, n >= 1) carrying the ring
+//     epoch the client planned against. It sits immediately before the
+//     trace tag when both are present (`... @epoch=5 @trace=...`), obeys
+//     the same rules — reserved prefix, malformed tag = parse error,
+//     epoch-free frames byte-identical to the old grammar — and a server
+//     configured for a different epoch answers the simple line
+//     `WRONG_EPOCH <server_epoch>` instead of executing the command.
+//   * `scan <cursor> <max>\r\n` — page through a server's entries for
+//     replica migration. The response reuses VALUE/END framing: the first
+//     VALUE carries the reserved key `@cursor` whose data is the next
+//     cursor in decimal ("0" = exhausted), and each entry VALUE's <flags>
+//     field carries bit 0 = pinned (distinguished copy), so migration
+//     preserves the two service classes.
+//   * `epoch [<n>]\r\n` — membership admin: with <n> installs the server's
+//     epoch (-> OK), without queries it (-> `EPOCH <n>`). The epoch verb
+//     itself is never rejected with WRONG_EPOCH.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +78,7 @@ struct GetCommand {
   std::vector<std::string> keys;
   bool with_versions = false;  // true for `gets`
   TraceTag trace;
+  std::uint64_t epoch = 0;  // 0 = no @epoch tag
 
   friend bool operator==(const GetCommand&, const GetCommand&) = default;
 };
@@ -69,6 +89,7 @@ struct SetCommand {
   std::uint32_t flags = 0;
   bool pin = false;
   TraceTag trace;
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const SetCommand&, const SetCommand&) = default;
 };
@@ -79,6 +100,7 @@ struct CasCommand {
   std::uint32_t flags = 0;
   std::uint64_t version = 0;
   TraceTag trace;
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const CasCommand&, const CasCommand&) = default;
 };
@@ -86,19 +108,44 @@ struct CasCommand {
 struct DeleteCommand {
   std::string key;
   TraceTag trace;
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const DeleteCommand&, const DeleteCommand&) = default;
 };
 
 struct StatsCommand {
   TraceTag trace;
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const StatsCommand&, const StatsCommand&) = default;
 };
 
+/// Migration page request: `scan <cursor> <max>`. Single-line framed (no
+/// data block), so the incremental FrameSplitter needs no scan-specific
+/// rule. Cursor 0 starts a scan; servers hand the next cursor back in the
+/// response's reserved `@cursor` value.
+struct ScanCommand {
+  std::uint64_t cursor = 0;
+  std::uint32_t max_keys = 0;
+  TraceTag trace;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const ScanCommand&, const ScanCommand&) = default;
+};
+
+/// Membership admin verb: `epoch <n>` installs the server's ring epoch
+/// (set_epoch > 0), bare `epoch` queries it (set_epoch == 0).
+struct EpochCommand {
+  std::uint64_t set_epoch = 0;  // 0 = query
+  TraceTag trace;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const EpochCommand&, const EpochCommand&) = default;
+};
+
 using Command =
     std::variant<GetCommand, SetCommand, CasCommand, DeleteCommand,
-                 StatsCommand>;
+                 StatsCommand, ScanCommand, EpochCommand>;
 
 /// Parse one complete request frame (command line + optional data block).
 /// Returns nullopt and fills `error` on malformed input.
@@ -118,20 +165,42 @@ void encode_cas(std::string_view key, std::string_view data,
 void encode_delete(std::string_view key, std::string& out,
                    const TraceTag& trace = {});
 void encode_stats(std::string& out, const TraceTag& trace = {});
+void encode_scan(std::uint64_t cursor, std::uint32_t max_keys,
+                 std::string& out, const TraceTag& trace = {});
+/// `set_epoch` > 0 encodes the install form, 0 the query form.
+void encode_epoch(std::uint64_t set_epoch, std::string& out,
+                  const TraceTag& trace = {});
 
 /// Retrofit a trace tag onto an already-encoded request frame by inserting
 /// the token before the command line's CRLF. No-op for an absent tag or a
 /// frame with no CRLF. Lets clients build frames once and tag per-attempt.
 void append_trace_tag(std::string& frame, const TraceTag& trace);
 
+/// Retrofit an `@epoch=` tag the same way. Insert the epoch tag BEFORE the
+/// trace tag (epoch at plan time, trace per attempt) so the wire order is
+/// `... @epoch=N @trace=T`. No-op for epoch 0.
+void append_epoch_tag(std::string& frame, std::uint64_t epoch);
+
 /// The trace tag of a parsed command, whichever verb it is.
 const TraceTag& command_trace(const Command& cmd);
+
+/// The `@epoch=` tag of a parsed command (0 = untagged).
+std::uint64_t command_epoch(const Command& cmd);
+
+/// VALUE-line <flags> bit 0: the entry is a pinned distinguished copy.
+/// Only scan responses set it; get/gets keep flags 0 as always.
+inline constexpr std::uint32_t kValueFlagPinned = 1;
+
+/// Reserved key of the leading VALUE in a scan response; its data is the
+/// next cursor in decimal ("0" = scan exhausted).
+inline constexpr std::string_view kScanCursorKey = "@cursor";
 
 /// One returned value in a get/gets response.
 struct Value {
   std::string key;
   std::string data;
   std::uint64_t version = 0;  // only meaningful for `gets`
+  std::uint32_t flags = 0;    // pinned bit in scan responses
 };
 
 /// Response encoders for server use.
@@ -146,5 +215,27 @@ std::optional<std::vector<Value>> parse_values(std::string_view frame,
 
 /// Parse a one-token response line ("STORED", "NOT_FOUND", ...).
 std::string_view parse_simple(std::string_view frame);
+
+/// Server-side WRONG_EPOCH rejection line, carrying the server's epoch as
+/// the moved hint a stale client re-plans against.
+void encode_wrong_epoch(std::uint64_t server_epoch, std::string& out);
+
+/// The server epoch of a "WRONG_EPOCH <n>" line; nullopt for anything else.
+std::optional<std::uint64_t> parse_wrong_epoch(std::string_view frame);
+
+/// A parsed scan response: the next-cursor header plus the page's entries
+/// (flags carry the pinned bit).
+struct ScanPage {
+  std::uint64_t next_cursor = 0;  // 0 = scan exhausted
+  std::vector<Value> entries;
+};
+
+/// Encode a scan response: the reserved @cursor VALUE followed by the
+/// entries, END-framed like any get response.
+void encode_scan_page(const ScanPage& page, std::string& out);
+
+/// Parse a scan response. nullopt when the frame is not a VALUE block or
+/// lacks the leading @cursor header.
+std::optional<ScanPage> parse_scan_page(std::string_view frame);
 
 }  // namespace rnb::kv

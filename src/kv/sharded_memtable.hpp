@@ -175,6 +175,41 @@ class BasicShardedTable {
     return s.engine.contains(key);
   }
 
+  /// Migration paging across shards, available only when the wrapped engine
+  /// can scan (SlabMemTable engines lack it; the server answers
+  /// SERVER_ERROR there). Cursor layout: shard index in the top 16 bits,
+  /// the shard's own skip-count cursor below — so a page boundary resumes
+  /// inside the right shard without global coordination. Each shard is read
+  /// under its shared lock; the page is weakly consistent across shards,
+  /// which migration's idempotent re-sets tolerate.
+  std::uint64_t scan(std::uint64_t cursor, std::size_t max_keys,
+                     std::vector<ScanEntry>& out) const
+    requires requires(const Engine& e, std::vector<ScanEntry>& v) {
+      e.scan(std::uint64_t{}, std::size_t{}, v);
+    }
+  {
+    constexpr std::uint64_t kShardShift = 48;
+    constexpr std::uint64_t kOffsetMask =
+        (std::uint64_t{1} << kShardShift) - 1;
+    std::size_t shard = static_cast<std::size_t>(cursor >> kShardShift);
+    std::uint64_t offset = cursor & kOffsetMask;
+    const std::size_t want = out.size() + max_keys;
+    while (shard < shards_.size()) {
+      if (out.size() >= want)
+        return (static_cast<std::uint64_t>(shard) << kShardShift) | offset;
+      std::uint64_t next = 0;
+      {
+        const std::shared_lock lock(shards_[shard]->mu);
+        next = shards_[shard]->engine.scan(offset, want - out.size(), out);
+      }
+      if (next != 0)
+        return (static_cast<std::uint64_t>(shard) << kShardShift) | next;
+      ++shard;
+      offset = 0;
+    }
+    return 0;
+  }
+
   std::size_t entries() const noexcept {
     std::size_t total = 0;
     for (const auto& s : shards_) {

@@ -126,6 +126,10 @@ void TcpKvServer::shutdown() {
   std::vector<std::thread> to_join;
   {
     std::lock_guard lock(threads_mu_);
+    // Unblock connection readers whose peers are still connected (a live
+    // client holding its socket open would otherwise park the join below
+    // in recv() forever). The threads close their own fds on the way out.
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
     to_join.swap(connections_);
   }
   for (auto& t : to_join) t.join();
@@ -147,8 +151,18 @@ void TcpKvServer::accept_loop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1);
     std::lock_guard lock(threads_mu_);
+    connection_fds_.push_back(fd);
     connections_.emplace_back([this, fd] { connection_loop(fd); });
   }
+}
+
+void TcpKvServer::retire_connection(int fd) {
+  // Erase before close, both under the lock: once the fd leaves the list
+  // it can no longer race shutdown()'s wakeup, and the number cannot be
+  // reused by a concurrent dial until the close itself.
+  const std::lock_guard lock(threads_mu_);
+  std::erase(connection_fds_, fd);
+  ::close(fd);
 }
 
 void TcpKvServer::connection_loop(int fd) {
@@ -180,12 +194,12 @@ void TcpKvServer::connection_loop(int fd) {
         write_span.arg("bytes", static_cast<std::int64_t>(response.size()));
         write_all(fd, response);
       } catch (const std::runtime_error&) {
-        ::close(fd);
+        retire_connection(fd);
         return;
       }
     }
   }
-  ::close(fd);
+  retire_connection(fd);
 }
 
 TcpKvConnection::TcpKvConnection(std::uint16_t port) {
@@ -271,21 +285,37 @@ void TcpKvConnection::read_response(std::string& response) {
   }
 }
 
+std::unique_ptr<WireServer> TcpFleet::boot(std::size_t bytes_per_server,
+                                           std::size_t shards_per_server,
+                                           ServerModel model) {
+  if (model == ServerModel::kReactor)
+    return std::make_unique<ReactorKvServer>(bytes_per_server, 0,
+                                             shards_per_server);
+  return std::make_unique<TcpKvServer>(bytes_per_server, 0,
+                                       shards_per_server);
+}
+
 TcpFleet::TcpFleet(ServerId num_servers, std::size_t bytes_per_server,
                    std::size_t shards_per_server, ServerModel model) {
   RNB_REQUIRE(num_servers > 0);
   servers_.reserve(num_servers);
-  for (ServerId s = 0; s < num_servers; ++s) {
-    if (model == ServerModel::kReactor)
-      servers_.push_back(std::make_unique<ReactorKvServer>(
-          bytes_per_server, 0, shards_per_server));
-    else
-      servers_.push_back(std::make_unique<TcpKvServer>(bytes_per_server, 0,
-                                                       shards_per_server));
-  }
+  for (ServerId s = 0; s < num_servers; ++s)
+    servers_.push_back(boot(bytes_per_server, shards_per_server, model));
+}
+
+ServerId TcpFleet::add_server(std::size_t bytes_per_server,
+                              std::size_t shards_per_server,
+                              ServerModel model) {
+  // Bind + spawn outside the lock; only the append itself is serialized.
+  std::unique_ptr<WireServer> server =
+      boot(bytes_per_server, shards_per_server, model);
+  const std::lock_guard lock(mu_);
+  servers_.push_back(std::move(server));
+  return static_cast<ServerId>(servers_.size() - 1);
 }
 
 std::vector<std::uint16_t> TcpFleet::ports() const {
+  const std::lock_guard lock(mu_);
   std::vector<std::uint16_t> out;
   out.reserve(servers_.size());
   for (const auto& s : servers_) out.push_back(s->port());

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,6 +94,8 @@ class TcpKvServer final : public WireServer {
  private:
   void accept_loop();
   void connection_loop(int fd);
+  /// Unregister + close a connection fd (called by its own thread on exit).
+  void retire_connection(int fd);
 
   ShardedKvServer server_;
   int listen_fd_ = -1;
@@ -104,6 +107,10 @@ class TcpKvServer final : public WireServer {
   std::thread acceptor_;
   std::mutex threads_mu_;
   std::vector<std::thread> connections_;
+  /// fds of live connections, so shutdown() can unblock their readers; a
+  /// thread erases (and closes) its own fd on exit, both under threads_mu_,
+  /// so every fd in here is open and owned by a still-running thread.
+  std::vector<int> connection_fds_;
 };
 
 /// A blocking client connection speaking the text protocol over TCP.
@@ -143,17 +150,40 @@ class TcpFleet {
            std::size_t shards_per_server = 0,
            ServerModel model = ServerModel::kThreadPerConnection);
 
-  ServerId num_servers() const noexcept {
+  ServerId num_servers() const {
+    const std::lock_guard lock(mu_);
     return static_cast<ServerId>(servers_.size());
   }
-  std::uint16_t port(ServerId s) const { return servers_[s]->port(); }
-  ShardedKvServer& server(ServerId s) { return servers_[s]->server(); }
+  std::uint16_t port(ServerId s) const {
+    const std::lock_guard lock(mu_);
+    return servers_[s]->port();
+  }
+  ShardedKvServer& server(ServerId s) {
+    const std::lock_guard lock(mu_);
+    return servers_[s]->server();
+  }
   /// Wire-level health (connection counters) of server `s`.
-  WireServer& wire(ServerId s) { return *servers_[s]; }
+  WireServer& wire(ServerId s) {
+    const std::lock_guard lock(mu_);
+    return *servers_[s];
+  }
 
   std::vector<std::uint16_t> ports() const;
 
+  /// Boot one more server (elastic join) and return its index. Safe to
+  /// call while other threads use the accessors — servers live behind
+  /// stable unique_ptrs, so references handed out earlier stay valid
+  /// across the append.
+  ServerId add_server(std::size_t bytes_per_server,
+                      std::size_t shards_per_server = 0,
+                      ServerModel model = ServerModel::kThreadPerConnection);
+
  private:
+  static std::unique_ptr<WireServer> boot(std::size_t bytes_per_server,
+                                          std::size_t shards_per_server,
+                                          ServerModel model);
+
+  mutable std::mutex mu_;  // guards servers_ growth vs. the accessors
   std::vector<std::unique_ptr<WireServer>> servers_;
 };
 

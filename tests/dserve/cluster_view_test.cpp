@@ -92,5 +92,90 @@ TEST(ClusterView, RenewedMarkRestartsTheInterval) {
   EXPECT_FALSE(view.is_down(0));
 }
 
+TEST(ClusterView, StaleFailureCannotOverruleALaterSuccess) {
+  // Regression: a slow retry loop that began before the server recovered
+  // must not re-mark it. The op captures its start tick; a mark_up that
+  // postdates the capture suppresses the eventual mark_down.
+  ClusterView view(4, small_config());
+  const std::uint64_t op_started = view.ops();
+  view.tick();
+  view.mark_down(3);  // some other client marks it while we're in flight
+  view.tick();
+  view.mark_up(3);  // ...and a probe clears it: the server is healthy
+  EXPECT_FALSE(view.is_down(3));
+  const std::uint64_t marks_before = view.down_marks();
+  view.mark_down(3, op_started);  // our stale failure finally lands
+  EXPECT_FALSE(view.is_down(3)) << "stale evidence re-marked a healthy server";
+  EXPECT_FALSE(view.marked(3));
+  EXPECT_EQ(view.down_marks(), marks_before);
+}
+
+TEST(ClusterView, SameTickSuccessAndFailureBothLand) {
+  // The suppression is strict: evidence from the same view op stays live,
+  // so a server dying immediately after a success is still marked.
+  ClusterView view(4, small_config());
+  view.tick();
+  const std::uint64_t op_started = view.ops();
+  view.mark_up(2);
+  view.mark_down(2, op_started);
+  EXPECT_TRUE(view.is_down(2)) << "same-tick failure must not be suppressed";
+}
+
+TEST(ClusterView, ReprobeExpiryInterleavingNeverPermanentlySkips) {
+  // The bug this guards against: mark expires -> reprobe succeeds and
+  // clears it -> a stale in-flight failure re-marks -> the healthy server
+  // is skipped for another full interval, forever. With the op-started
+  // filter the stale failure can land at most once (before the first
+  // mark_up); after the recovery is stamped, every repeat is suppressed.
+  ClusterView view(4, small_config());  // reprobe_interval = 4
+  const std::uint64_t slow_op_started = view.ops();
+  view.tick();
+  view.mark_down(1);  // genuine failure: server really was down
+
+  bool recovered = false;
+  int ops_down_after_recovery = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) view.tick();  // burn a reprobe interval
+    EXPECT_FALSE(view.is_down(1)) << "mark must expire, round " << round;
+    if (!recovered) {
+      view.mark_up(1);  // first reprobe after restart succeeds
+      recovered = true;
+    }
+    // The wedged retry loop keeps reporting its pre-recovery failure.
+    view.mark_down(1, slow_op_started);
+    if (view.is_down(1)) ++ops_down_after_recovery;
+  }
+  EXPECT_EQ(ops_down_after_recovery, 0)
+      << "healthy server kept getting skipped by stale failures";
+  EXPECT_FALSE(view.marked(1));
+  EXPECT_EQ(view.recoveries(), 1u);
+}
+
+TEST(ClusterView, ElasticViewPlansAgainstTheInstalledRing) {
+  elastic::MemberRingConfig ring_config;
+  ring_config.replication = 2;
+  auto epoch1 = std::make_shared<const elastic::RingEpoch>(
+      1, elastic::MemberRing(ring_config, {0, 1, 2}));
+  ClusterViewConfig config;
+  config.replication = 2;
+  ClusterView view(/*num_servers=*/6, config, epoch1);
+  EXPECT_TRUE(view.elastic());
+  EXPECT_EQ(view.num_servers(), 6u) << "capacity, not membership";
+  EXPECT_EQ(view.epoch(), 1u);
+  EXPECT_EQ(view.replication(), 2u);
+  const auto before = view.replicas("item");
+  ASSERT_EQ(before.size(), 2u);
+  for (const ServerId s : before) EXPECT_LT(s, 3u);
+
+  auto epoch2 = std::make_shared<const elastic::RingEpoch>(
+      2, elastic::MemberRing(ring_config, {0, 1, 2, 3, 4, 5}));
+  view.install_ring(epoch2);
+  EXPECT_EQ(view.epoch(), 2u);
+  EXPECT_EQ(view.ring()->members().size(), 6u);
+  // Health state is capacity-wide and survives the epoch change.
+  view.mark_down(5);
+  EXPECT_TRUE(view.is_down(5));
+}
+
 }  // namespace
 }  // namespace rnb::dserve

@@ -1,0 +1,74 @@
+// EpochStore: the versioned membership history — propose/commit phases,
+// snapshot stability, and epoch numbering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "elastic/epoch.hpp"
+
+namespace rnb::elastic {
+namespace {
+
+MemberRingConfig small_config() {
+  MemberRingConfig config;
+  config.replication = 2;
+  return config;
+}
+
+TEST(EpochStore, StartsAtEpochOneWithInitialMembers) {
+  const EpochStore store(small_config(), {0, 1, 2});
+  EXPECT_EQ(store.epoch(), 1u);
+  const auto current = store.current();
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->epoch(), 1u);
+  EXPECT_EQ(current->members(), (std::vector<ServerId>{0, 1, 2}));
+}
+
+TEST(EpochStore, ProposeDoesNotPublish) {
+  EpochStore store(small_config(), {0, 1, 2});
+  const auto next = store.propose_join(3);
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(next->epoch(), 2u);
+  EXPECT_TRUE(next->contains(3));
+  // Still serving the old epoch until commit.
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_FALSE(store.current()->contains(3));
+  store.commit(next);
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_TRUE(store.current()->contains(3));
+}
+
+TEST(EpochStore, LeaveRemovesTheMember) {
+  EpochStore store(small_config(), {0, 1, 2, 3});
+  const auto next = store.propose_leave(1);
+  EXPECT_EQ(next->members(), (std::vector<ServerId>{0, 2, 3}));
+  store.commit(next);
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_FALSE(store.current()->contains(1));
+}
+
+TEST(EpochStore, CapturedSnapshotsSurviveLaterCommits) {
+  // The stale-client story depends on this: a client planning against a
+  // captured epoch keeps a fully usable ring while the store moves on.
+  EpochStore store(small_config(), {0, 1, 2});
+  const auto old_snapshot = store.current();
+  store.commit(store.propose_join(3));
+  store.commit(store.propose_leave(0));
+  EXPECT_EQ(store.epoch(), 3u);
+  EXPECT_EQ(old_snapshot->epoch(), 1u);
+  EXPECT_EQ(old_snapshot->members(), (std::vector<ServerId>{0, 1, 2}));
+  // The captured ring still answers lookups.
+  EXPECT_EQ(old_snapshot->replicas(42).size(), 2u);
+}
+
+TEST(EpochStore, SequentialTransitionsNumberMonotonically) {
+  EpochStore store(small_config(), {0, 1});
+  for (ServerId s = 2; s < 8; ++s) {
+    store.commit(store.propose_join(s));
+    EXPECT_EQ(store.epoch(), static_cast<std::uint64_t>(s));
+  }
+  EXPECT_EQ(store.current()->members().size(), 8u);
+}
+
+}  // namespace
+}  // namespace rnb::elastic

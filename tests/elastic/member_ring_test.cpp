@@ -1,0 +1,148 @@
+// MemberRing: elastic replica placement over an explicit member set —
+// static-RCH equivalence, minimal movement on join/leave, and the
+// multi-probe scheme's invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "elastic/member_ring.hpp"
+#include "hashring/placement.hpp"
+
+namespace rnb::elastic {
+namespace {
+
+std::vector<ServerId> iota_members(ServerId n) {
+  std::vector<ServerId> members(n);
+  for (ServerId s = 0; s < n; ++s) members[s] = s;
+  return members;
+}
+
+std::vector<ItemId> test_items(std::size_t n) {
+  std::vector<ItemId> items;
+  for (std::size_t i = 0; i < n; ++i)
+    items.push_back(fnv1a64("item:" + std::to_string(i)));
+  return items;
+}
+
+TEST(MemberRing, RchOverDenseMembersMatchesStaticPlacementExactly) {
+  // The promise that makes elastic mode a drop-in: a ring over {0..N-1}
+  // with the static placement's vnode count produces the *same* replica
+  // sets as RangedConsistentHashPlacement — so a never-churned elastic
+  // group serves from the placement every simulator validated.
+  for (const ServerId n : {3u, 4u, 8u, 16u}) {
+    MemberRingConfig config;
+    config.replication = 3;
+    config.seed = 1;
+    const MemberRing ring(config, iota_members(n));
+    const auto fixed =
+        make_placement(PlacementScheme::kRangedConsistentHash, n, 3, 1);
+    for (const ItemId item : test_items(500))
+      ASSERT_EQ(ring.replicas(item), fixed->replicas(item))
+          << "n=" << n << " item=" << item;
+  }
+}
+
+TEST(MemberRing, ReplicasAreDistinctMembersAndDeterministic) {
+  for (const RingScheme scheme : {RingScheme::kRch, RingScheme::kMultiProbe}) {
+    MemberRingConfig config;
+    config.scheme = scheme;
+    config.replication = 3;
+    const MemberRing a(config, {2, 5, 9, 11, 40});
+    const MemberRing b(config, {40, 11, 9, 5, 2});  // order-insensitive
+    for (const ItemId item : test_items(300)) {
+      const std::vector<ServerId> replicas = a.replicas(item);
+      ASSERT_EQ(replicas.size(), 3u);
+      const std::set<ServerId> uniq(replicas.begin(), replicas.end());
+      ASSERT_EQ(uniq.size(), replicas.size()) << "duplicate replica";
+      for (const ServerId s : replicas) ASSERT_TRUE(a.contains(s));
+      ASSERT_EQ(b.replicas(item), replicas);
+    }
+  }
+}
+
+TEST(MemberRing, ReplicationClampsToMemberCount) {
+  MemberRingConfig config;
+  config.replication = 3;
+  const MemberRing ring(config, {7, 9});
+  EXPECT_EQ(ring.replication(), 2u);
+  for (const ItemId item : test_items(50))
+    EXPECT_EQ(ring.replicas(item).size(), 2u);
+}
+
+TEST(MemberRing, JoinOnlyPullsAssignmentsTowardTheNewMember) {
+  // Minimal movement, the property migration cost rides on: after a join,
+  // any server an item gains must be the joiner — no replica ever moves
+  // between two incumbents.
+  for (const RingScheme scheme : {RingScheme::kRch, RingScheme::kMultiProbe}) {
+    MemberRingConfig config;
+    config.scheme = scheme;
+    config.replication = 3;
+    const MemberRing before(config, iota_members(8));
+    const MemberRing after = before.with_member(8);
+    ASSERT_TRUE(after.contains(8));
+    for (const ItemId item : test_items(2000)) {
+      const std::vector<ServerId> old_set = before.replicas(item);
+      for (const ServerId s : after.replicas(item))
+        ASSERT_TRUE(s == 8 || std::ranges::count(old_set, s) > 0)
+            << to_string(scheme) << ": replica moved between incumbents";
+    }
+  }
+}
+
+TEST(MemberRing, LeaveOnlyMovesTheLeaversAssignments) {
+  // The mirror property: removing a member only re-homes copies the
+  // leaver held; an item that never touched it keeps its exact set.
+  for (const RingScheme scheme : {RingScheme::kRch, RingScheme::kMultiProbe}) {
+    MemberRingConfig config;
+    config.scheme = scheme;
+    config.replication = 3;
+    const MemberRing before(config, iota_members(8));
+    const MemberRing after = before.without_member(3);
+    ASSERT_FALSE(after.contains(3));
+    for (const ItemId item : test_items(2000)) {
+      const std::vector<ServerId> old_set = before.replicas(item);
+      if (std::ranges::count(old_set, 3) == 0) {
+        ASSERT_EQ(after.replicas(item), old_set) << to_string(scheme);
+      }
+    }
+  }
+}
+
+TEST(MemberRing, JoinMovementIsNearTheFairShare) {
+  // A join should capture roughly 1/(N+1) of distinguished copies — the
+  // consistent-hashing bound both schemes advertise. Generous bracket: the
+  // point is catching a scheme that reshuffles half the keyspace.
+  for (const RingScheme scheme : {RingScheme::kRch, RingScheme::kMultiProbe}) {
+    MemberRingConfig config;
+    config.scheme = scheme;
+    config.replication = 3;
+    const MemberRing before(config, iota_members(8));
+    const MemberRing after = before.with_member(8);
+    const auto items = test_items(4000);
+    std::size_t moved = 0;
+    for (const ItemId item : items)
+      if (after.distinguished(item) != before.distinguished(item)) ++moved;
+    const double fraction =
+        static_cast<double>(moved) / static_cast<double>(items.size());
+    EXPECT_GT(fraction, 0.02) << to_string(scheme);
+    EXPECT_LT(fraction, 0.30) << to_string(scheme);
+  }
+}
+
+TEST(MemberRing, JoinThenLeaveRoundtripsToTheOriginalAssignments) {
+  for (const RingScheme scheme : {RingScheme::kRch, RingScheme::kMultiProbe}) {
+    MemberRingConfig config;
+    config.scheme = scheme;
+    const MemberRing before(config, iota_members(6));
+    const MemberRing roundtrip = before.with_member(9).without_member(9);
+    ASSERT_EQ(roundtrip.members(), before.members());
+    for (const ItemId item : test_items(500))
+      ASSERT_EQ(roundtrip.replicas(item), before.replicas(item));
+  }
+}
+
+}  // namespace
+}  // namespace rnb::elastic

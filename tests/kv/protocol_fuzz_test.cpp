@@ -419,6 +419,33 @@ std::vector<std::string> representative_frames() {
   take();
   encode_stats(f, tag);
   take();
+  // The migration/epoch verbs, in every tag combination that can appear on
+  // the wire: bare, traced, epoch-tagged, and both (`@epoch` before
+  // `@trace`, the canonical order).
+  encode_scan(0, 64, f);
+  take();
+  encode_scan(12345, 1, f, tag);
+  take();
+  encode_scan(7, 32, f);
+  append_epoch_tag(f, 9);
+  take();
+  encode_scan(7, 32, f);
+  append_epoch_tag(f, 9);
+  append_trace_tag(f, tag);
+  take();
+  encode_epoch(0, f);
+  take();
+  encode_epoch(42, f);
+  take();
+  encode_epoch(42, f, tag);
+  take();
+  encode_get({"a", "bb"}, false, f);
+  append_epoch_tag(f, 3);
+  take();
+  encode_set("key", "epoch tagged body", true, f);
+  append_epoch_tag(f, 3);
+  append_trace_tag(f, tag);
+  take();
   return frames;
 }
 
@@ -474,6 +501,189 @@ TEST(ProtocolFuzz, RandomManyWayChopsReassembleExactly) {
     ASSERT_EQ(got[0], a);
     ASSERT_EQ(got[1], b);
   }
+}
+
+TEST(ProtocolFuzz, EpochTaggedCommandsRoundtripExactly) {
+  // decode(encode(x) + epoch tag) == x for every verb, with and without a
+  // trace tag riding alongside — the epoch field included (the command
+  // structs compare it).
+  Xoshiro256 rng(14);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t epoch = 1 + rng.below(1u << 20);
+    const TraceTag tag = rng.chance(0.5) ? random_tag(rng) : TraceTag{};
+    std::string frame;
+    Command expected;
+    switch (rng.below(6)) {
+      case 0: {
+        GetCommand cmd;
+        cmd.keys.push_back(random_key(rng));
+        cmd.with_versions = rng.chance(0.5);
+        encode_get(cmd.keys, cmd.with_versions, frame);
+        cmd.trace = tag;
+        cmd.epoch = epoch;
+        expected = std::move(cmd);
+        break;
+      }
+      case 1: {
+        SetCommand cmd;
+        cmd.key = random_key(rng);
+        cmd.data = random_bytes(rng, 100);
+        cmd.pin = rng.chance(0.3);
+        encode_set(cmd.key, cmd.data, cmd.pin, frame);
+        cmd.trace = tag;
+        cmd.epoch = epoch;
+        expected = std::move(cmd);
+        break;
+      }
+      case 2: {
+        DeleteCommand cmd;
+        cmd.key = random_key(rng);
+        encode_delete(cmd.key, frame);
+        cmd.trace = tag;
+        cmd.epoch = epoch;
+        expected = std::move(cmd);
+        break;
+      }
+      case 3: {
+        ScanCommand cmd;
+        cmd.cursor = rng();
+        cmd.max_keys = 1 + rng.below(1000);
+        encode_scan(cmd.cursor, cmd.max_keys, frame);
+        cmd.trace = tag;
+        cmd.epoch = epoch;
+        expected = std::move(cmd);
+        break;
+      }
+      case 4: {
+        EpochCommand cmd;
+        cmd.set_epoch = rng.chance(0.5) ? 1 + rng.below(100) : 0;
+        encode_epoch(cmd.set_epoch, frame);
+        cmd.trace = tag;
+        cmd.epoch = epoch;
+        expected = std::move(cmd);
+        break;
+      }
+      default: {
+        StatsCommand cmd;
+        encode_stats(frame);
+        cmd.trace = tag;
+        cmd.epoch = epoch;
+        expected = std::move(cmd);
+        break;
+      }
+    }
+    append_epoch_tag(frame, epoch);
+    append_trace_tag(frame, tag);
+    std::string error;
+    const auto parsed = parse_command(frame, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << " frame: " << frame;
+    ASSERT_TRUE(*parsed == expected) << "frame: " << frame;
+  }
+}
+
+TEST(ProtocolFuzz, EpochFreeFramesAreByteIdenticalToTheOldGrammar) {
+  // Epoch-free encodings must not change by a byte: an epoch-0 tag is a
+  // no-op, and the new verbs pin their exact untagged spellings.
+  std::string frame;
+  encode_get({"a", "bb"}, false, frame);
+  const std::string before = frame;
+  append_epoch_tag(frame, 0);
+  EXPECT_EQ(frame, before) << "epoch 0 must encode as no tag at all";
+  frame.clear();
+  encode_scan(5, 64, frame);
+  EXPECT_EQ(frame, "scan 5 64\r\n");
+  frame.clear();
+  encode_scan(0, 1, frame);
+  EXPECT_EQ(frame, "scan 0 1\r\n");
+  frame.clear();
+  encode_epoch(0, frame);
+  EXPECT_EQ(frame, "epoch\r\n");
+  frame.clear();
+  encode_epoch(3, frame);
+  EXPECT_EQ(frame, "epoch 3\r\n");
+  frame.clear();
+  encode_get({"a"}, false, frame);
+  append_epoch_tag(frame, 7);
+  EXPECT_EQ(frame, "get a @epoch=7\r\n");
+  frame.clear();
+  encode_set("k", "hello", false, frame);
+  append_epoch_tag(frame, 7);
+  EXPECT_EQ(frame, "set k 0 0 5 @epoch=7\r\nhello\r\n")
+      << "epoch tag must land on the command line, never the data block";
+}
+
+TEST(ProtocolFuzz, EpochPrefixIsReservedAndMalformedTagsAreRejected) {
+  EXPECT_FALSE(parse_command("get a @epoch=0\r\n", nullptr).has_value())
+      << "epoch 0 means 'untagged' and must never appear explicitly";
+  EXPECT_FALSE(parse_command("get a @epoch=\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("get a @epoch=xy\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("get a @epoch=1z\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("get @epoch=2\r\n", nullptr).has_value())
+      << "a tag with no keys left must not parse as a bare get";
+  // Reversed tag order is rejected: the wire order is @epoch then @trace.
+  EXPECT_FALSE(
+      parse_command("get a @trace=1:2:1 @epoch=2\r\n", nullptr).has_value());
+  const auto ok = parse_command("get a @epoch=2 @trace=1:2:1\r\n", nullptr);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(std::get<GetCommand>(*ok).epoch, 2u);
+  EXPECT_EQ(std::get<GetCommand>(*ok).trace.trace_id, 1u);
+}
+
+TEST(ProtocolFuzz, ScanArgumentErrorsAreRejected) {
+  EXPECT_TRUE(parse_command("scan 0 10\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("scan\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("scan 0\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("scan 0 0\r\n", nullptr).has_value())
+      << "a zero-entry page could never make progress";
+  EXPECT_FALSE(parse_command("scan x 10\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("scan 0 10 extra\r\n", nullptr).has_value());
+  EXPECT_FALSE(parse_command("epoch 0\r\n", nullptr).has_value())
+      << "installing epoch 0 would re-open the staleness gate";
+  EXPECT_FALSE(parse_command("epoch 1 2\r\n", nullptr).has_value());
+}
+
+TEST(ProtocolFuzz, ScanPagesRoundtripWithFlags) {
+  Xoshiro256 rng(15);
+  for (int trial = 0; trial < 300; ++trial) {
+    ScanPage page;
+    page.next_cursor = rng.chance(0.3) ? 0 : rng();
+    const std::size_t n = rng.below(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      Value v{random_key(rng), random_bytes(rng, 60), rng()};
+      v.flags = rng.chance(0.4) ? kValueFlagPinned : 0;
+      page.entries.push_back(std::move(v));
+    }
+    std::string frame;
+    encode_scan_page(page, frame);
+    const auto parsed = parse_scan_page(frame);
+    ASSERT_TRUE(parsed.has_value()) << frame;
+    ASSERT_EQ(parsed->next_cursor, page.next_cursor);
+    ASSERT_EQ(parsed->entries.size(), page.entries.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(parsed->entries[i].key, page.entries[i].key);
+      ASSERT_EQ(parsed->entries[i].data, page.entries[i].data);
+      ASSERT_EQ(parsed->entries[i].flags, page.entries[i].flags);
+    }
+  }
+  // A plain VALUE block without the @cursor header is not a scan page.
+  std::string frame;
+  encode_values({Value{"k", "v", 0}}, false, frame);
+  EXPECT_FALSE(parse_scan_page(frame).has_value());
+  EXPECT_FALSE(parse_scan_page("garbage\r\n").has_value());
+}
+
+TEST(ProtocolFuzz, WrongEpochLineRoundtrips) {
+  Xoshiro256 rng(16);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t epoch = 1 + rng.below(1u << 30);
+    std::string frame;
+    encode_wrong_epoch(epoch, frame);
+    ASSERT_EQ(parse_wrong_epoch(frame), epoch);
+  }
+  EXPECT_FALSE(parse_wrong_epoch("STORED\r\n").has_value());
+  EXPECT_FALSE(parse_wrong_epoch("WRONG_EPOCH\r\n").has_value());
+  EXPECT_FALSE(parse_wrong_epoch("WRONG_EPOCH x\r\n").has_value());
+  EXPECT_FALSE(parse_wrong_epoch("WRONG_EPOCH 1 2\r\n").has_value());
 }
 
 TEST(ProtocolFuzz, ServerStateConsistentUnderRandomOperations) {
