@@ -21,6 +21,14 @@
 // serving core: blocking thread-per-connection (TcpKvServer) or the epoll
 // reactor (ReactorKvServer); rows are named `tcp-threads` / `tcp-reactor`.
 //
+// `--engine=map,slab,swiss` sweeps the storage engine behind the serving
+// path (std::unordered_map LRU, memcached-style slab classes, or the
+// open-addressing swiss table of kv/swiss_memtable.hpp); each listed
+// engine becomes one `store=<name>` row per (model, shards) point in the
+// same run, so speedup_vs_first_row reads directly as "vs the first
+// listed engine" — the engine-sweep rows in BENCH_loadgen.json pin
+// swiss-vs-map this way.
+//
 // `--sweep-connections=64,256,1024` replaces the shard sweep with a
 // connection-count sweep at a fixed shard count: every listed total is
 // split across the worker threads and each (model, connections) pair
@@ -67,6 +75,7 @@
 #include "kv/kv_server.hpp"
 #include "kv/protocol.hpp"
 #include "kv/reactor.hpp"
+#include "kv/slab.hpp"
 #include "kv/tcp.hpp"
 #include "kv/transport.hpp"
 #include "obs/contention.hpp"
@@ -232,6 +241,7 @@ std::size_t budget_for(const Params& p) {
 
 struct Row {
   std::string engine;
+  std::string store = "map";      // storage engine: map | slab | swiss
   std::uint64_t shards = 0;
   std::uint64_t connections = 0;  // total client sockets; 0 for loopback
   RunResult run;
@@ -242,9 +252,9 @@ struct Row {
 void report(const Params& p, const std::vector<Row>& rows,
             bench::JsonResult& json) {
   std::printf(
-      "%-12s %7s %6s %8s %12s %12s %10s %10s %10s %12s %10s\n", "engine",
-      "shards", "conns", "threads", "txns/s", "items/s", "p50_ns", "p90_ns",
-      "p99_ns", "lock_waits", "hit_rate");
+      "%-12s %-6s %7s %6s %8s %12s %12s %10s %10s %10s %12s %10s\n", "engine",
+      "store", "shards", "conns", "threads", "txns/s", "items/s", "p50_ns",
+      "p90_ns", "p99_ns", "lock_waits", "hit_rate");
   const double baseline =
       rows.empty() ? 0.0
                    : static_cast<double>(rows.front().run.txns) /
@@ -253,16 +263,19 @@ void report(const Params& p, const std::vector<Row>& rows,
     const double txns_per_s =
         static_cast<double>(row.run.txns) / row.run.wall_s;
     const double items_per_s = txns_per_s * static_cast<double>(p.batch);
-    std::printf("%-12s %7" PRIu64 " %6" PRIu64 " %8u %12.0f %12.0f %10" PRIu64
-                " %10" PRIu64 " %10" PRIu64 " %12" PRIu64 " %9.3f%%\n",
-                row.engine.c_str(), row.shards, row.connections, p.threads,
-                txns_per_s, items_per_s, row.run.latency.quantile(0.50),
-                row.run.latency.quantile(0.90), row.run.latency.quantile(0.99),
+    std::printf("%-12s %-6s %7" PRIu64 " %6" PRIu64 " %8u %12.0f %12.0f %10"
+                PRIu64 " %10" PRIu64 " %10" PRIu64 " %12" PRIu64 " %9.3f%%\n",
+                row.engine.c_str(), row.store.c_str(), row.shards,
+                row.connections, p.threads, txns_per_s, items_per_s,
+                row.run.latency.quantile(0.50), row.run.latency.quantile(0.90),
+                row.run.latency.quantile(0.99),
                 row.locks.contended_acquisitions, row.hit_rate * 100.0);
     json.add_row();
     json.field("engine", row.engine);
+    json.field("store", row.store);
     json.field("shards", row.shards);
     json.field("connections", row.connections);
+    json.field("batch", p.batch);
     json.field("threads", static_cast<std::uint64_t>(p.threads));
     json.field("txns_per_s", txns_per_s);
     json.field("items_per_s", items_per_s);
@@ -320,10 +333,23 @@ Row run_baseline(const Params& p, const std::vector<std::string>& universe,
   return row;
 }
 
+/// The slab engine takes an arena config where map/swiss take a byte
+/// budget; same headroom policy.
+SlabConfig slab_config_for(const Params& p) {
+  SlabConfig config;
+  config.total_bytes = budget_for(p);
+  return config;
+}
+
+/// Sharded loopback run, generic over the storage engine (`Transport` is
+/// one of the sharded BasicLoopbackTransport aliases; `budget` is whatever
+/// its engine's store takes first).
+template <typename Transport, typename BudgetT>
 Row run_sharded(const Params& p, const std::vector<std::string>& universe,
-                std::uint64_t shards, obs::Tracer* tracer,
+                const BudgetT& budget, std::uint64_t shards,
+                const std::string& store, obs::Tracer* tracer,
                 obs::SlowLog* slow) {
-  ShardedLoopbackTransport transport(1, budget_for(p), shards);
+  Transport transport(1, budget, shards);
   preload(p, universe,
           [&](std::string_view frame, std::string& out) {
             transport.roundtrip(0, frame, out);
@@ -333,6 +359,7 @@ Row run_sharded(const Params& p, const std::vector<std::string>& universe,
       transport.server(0).table().lock_counters();
   Row row;
   row.engine = "sharded";
+  row.store = store;
   row.shards = transport.server(0).table().shard_count();
   row.run = run_load(
       p, universe,
@@ -348,15 +375,50 @@ Row run_sharded(const Params& p, const std::vector<std::string>& universe,
   return row;
 }
 
+Row run_sharded_store(const Params& p,
+                      const std::vector<std::string>& universe,
+                      std::uint64_t shards, const std::string& store,
+                      obs::Tracer* tracer, obs::SlowLog* slow) {
+  if (store == "swiss")
+    return run_sharded<SwissLoopbackTransport>(p, universe, budget_for(p),
+                                               shards, store, tracer, slow);
+  if (store == "slab")
+    return run_sharded<ShardedSlabLoopbackTransport>(
+        p, universe, slab_config_for(p), shards, store, tracer, slow);
+  return run_sharded<ShardedLoopbackTransport>(p, universe, budget_for(p),
+                                               shards, store, tracer, slow);
+}
+
+/// Boot one TCP server for the requested (storage engine, serving model)
+/// pair. Both axes are boot-time choices thanks to the WireServer seam.
+std::unique_ptr<WireServer> boot_tcp(const Params& p, const std::string& store,
+                                     ServerModel model, std::uint64_t shards) {
+  const bool reactor = model == ServerModel::kReactor;
+  if (store == "swiss") {
+    if (reactor)
+      return std::make_unique<SwissReactorKvServer>(budget_for(p),
+                                                    /*port=*/0, shards);
+    return std::make_unique<SwissTcpKvServer>(budget_for(p), /*port=*/0,
+                                              shards);
+  }
+  if (store == "slab") {
+    if (reactor)
+      return std::make_unique<SlabReactorKvServer>(slab_config_for(p),
+                                                   /*port=*/0, shards);
+    return std::make_unique<SlabTcpKvServer>(slab_config_for(p), /*port=*/0,
+                                             shards);
+  }
+  if (reactor)
+    return std::make_unique<ReactorKvServer>(budget_for(p), /*port=*/0,
+                                             shards);
+  return std::make_unique<TcpKvServer>(budget_for(p), /*port=*/0, shards);
+}
+
 Row run_tcp(const Params& p, const std::vector<std::string>& universe,
             std::uint64_t shards, std::uint64_t connections, ServerModel model,
-            obs::Tracer* tracer, obs::SlowLog* slow) {
-  std::unique_ptr<WireServer> server;
-  if (model == ServerModel::kReactor)
-    server = std::make_unique<ReactorKvServer>(budget_for(p), /*port=*/0,
-                                               shards);
-  else
-    server = std::make_unique<TcpKvServer>(budget_for(p), /*port=*/0, shards);
+            const std::string& store, obs::Tracer* tracer,
+            obs::SlowLog* slow) {
+  std::unique_ptr<WireServer> server = boot_tcp(p, store, model, shards);
   {
     TcpKvConnection setup(server->port());
     preload(p, universe,
@@ -364,12 +426,12 @@ Row run_tcp(const Params& p, const std::vector<std::string>& universe,
               setup.roundtrip(frame, out);
             });
   }
-  const ServerCounters before = server->server().counters();
-  const obs::ContentionSnapshot locks_before =
-      server->server().table().lock_counters();
+  const ServerCounters before = server->counters();
+  const obs::ContentionSnapshot locks_before = server->lock_counters();
   Row row;
   row.engine = model == ServerModel::kReactor ? "tcp-reactor" : "tcp-threads";
-  row.shards = server->server().table().shard_count();
+  row.store = store;
+  row.shards = server->shard_count();
   row.connections = connections * p.threads;
   row.run = run_load(
       p, universe,
@@ -390,8 +452,8 @@ Row run_tcp(const Params& p, const std::vector<std::string>& universe,
         };
       },
       tracer, slow);
-  row.hit_rate = hit_rate_of(before, server->server().counters());
-  row.locks = delta(locks_before, server->server().table().lock_counters());
+  row.hit_rate = hit_rate_of(before, server->counters());
+  row.locks = delta(locks_before, server->lock_counters());
   return row;
 }
 
@@ -468,6 +530,7 @@ int run(int argc, char** argv) {
   const std::uint64_t connections = flags.u64("connections", 1);
   const std::string model_name = flags.str("model", "threads");
   const std::string sweep_spec = flags.str("sweep-connections", "");
+  const std::string engine_spec = flags.str("engine", "map");
   const bool with_baseline = flags.boolean("baseline", true);
   const std::string trace_path = flags.str("trace", "");
   const std::uint64_t slowlog_n = flags.u64("slowlog", 0);
@@ -516,6 +579,24 @@ int run(int argc, char** argv) {
   json.param("pinned", p.pinned);
   if (mode == "tcp") json.param("connections_per_thread", connections);
 
+  // Which storage engines to bench: `--engine=map,slab,swiss` sweeps them
+  // inside one run, so speedup_vs_first_row reads as "vs map" directly.
+  std::vector<std::string> stores;
+  {
+    std::stringstream list(engine_spec);
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (item != "map" && item != "slab" && item != "swiss") {
+        std::fprintf(stderr, "unknown --engine entry %s (map|slab|swiss)\n",
+                     item.c_str());
+        return 1;
+      }
+      stores.push_back(item);
+    }
+    if (stores.empty()) stores.push_back("map");
+  }
+  json.param("engines", engine_spec);
+
   // Which serving cores to bench in tcp mode.
   std::vector<ServerModel> models;
   if (model_name == "reactor") {
@@ -548,25 +629,29 @@ int run(int argc, char** argv) {
       }
       sweep.push_back(total);
     }
-    // Models outer, fan inner: each model's scaling curve reads top to
-    // bottom, and with --model=both the first row is the thread server at
-    // the smallest fan — the reference speedup_vs_first_row divides by.
+    // Models outer, then stores, fan inner: each (model, store) scaling
+    // curve reads top to bottom, and the first row is the thread server on
+    // the map engine at the smallest fan — the reference
+    // speedup_vs_first_row divides by.
     for (const ServerModel model : models)
-      for (const std::uint64_t total : sweep)
-        rows.push_back(run_tcp(p, universe, shard_counts.front(),
-                               (total + p.threads - 1) / p.threads, model,
-                               tracer.get(), slow.get()));
+      for (const std::string& store : stores)
+        for (const std::uint64_t total : sweep)
+          rows.push_back(run_tcp(p, universe, shard_counts.front(),
+                                 (total + p.threads - 1) / p.threads, model,
+                                 store, tracer.get(), slow.get()));
   } else if (mode == "tcp") {
     for (const ServerModel model : models)
-      for (const std::uint64_t s : shard_counts)
-        rows.push_back(run_tcp(p, universe, s, connections, model,
-                               tracer.get(), slow.get()));
+      for (const std::string& store : stores)
+        for (const std::uint64_t s : shard_counts)
+          rows.push_back(run_tcp(p, universe, s, connections, model, store,
+                                 tracer.get(), slow.get()));
   } else {
     if (with_baseline)
       rows.push_back(run_baseline(p, universe, tracer.get(), slow.get()));
-    for (const std::uint64_t s : shard_counts)
-      rows.push_back(
-          run_sharded(p, universe, s, tracer.get(), slow.get()));
+    for (const std::string& store : stores)
+      for (const std::uint64_t s : shard_counts)
+        rows.push_back(run_sharded_store(p, universe, s, store, tracer.get(),
+                                         slow.get()));
   }
 
   report(p, rows, json);

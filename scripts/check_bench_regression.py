@@ -21,7 +21,11 @@ Usage:
 
 Exit code 0 when every matched row holds, 1 otherwise. Matching zero rows
 is always an error, --allow-missing or not: a gate that compared nothing
-must not pass. Stdlib only.
+must not pass. --require KEY=VALUE (repeatable) additionally demands that
+at least one matched-and-checked row carries that field value — use it to
+pin the rows a gate exists for, so a schema rename cannot silently drop
+them from the comparison while other rows keep the gate green. Stdlib
+only.
 Timing noise note: 10% is deliberately loose — these benches run on shared
 CI runners; the check exists to catch step-function regressions (a lost
 bundling path, an accidental O(n^2)), not single-digit drift.
@@ -65,7 +69,21 @@ def main(argv):
     parser.add_argument("--allow-missing", action="store_true",
                         help="don't fail when a baseline row has no "
                              "candidate counterpart")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="hard-fail unless at least one matched-and-"
+                             "checked row carries this field value "
+                             "(repeatable). Guards against schema renames: "
+                             "without it, a renamed row under "
+                             "--allow-missing silently stops gating.")
     opts = parser.parse_args(argv[1:])
+
+    requirements = []
+    for spec in opts.require:
+        key, sep, value = spec.partition("=")
+        if not sep or not key:
+            sys.exit(f"--require {spec!r}: expected KEY=VALUE")
+        requirements.append((key, value))
 
     candidate = load_rows(opts.candidate)
     baseline = load_rows(opts.baseline)
@@ -82,7 +100,7 @@ def main(argv):
             if identity in rows:
                 sys.exit(f"{path}: duplicate row identity {identity!r}; "
                          f"pass --key to disambiguate the sweep axis")
-            rows[identity] = row[opts.metric]
+            rows[identity] = row
         return rows
 
     cand_rows = index(candidate, opts.candidate)
@@ -92,13 +110,16 @@ def main(argv):
 
     failures = 0
     checked = 0
-    for identity, base_value in sorted(base_rows.items()):
+    checked_rows = []
+    for identity, base_row in sorted(base_rows.items()):
         if identity not in cand_rows:
             print(f"MISSING  {identity}: in baseline only")
             failures += 0 if opts.allow_missing else 1
             continue
-        cand_value = cand_rows[identity]
+        base_value = base_row[opts.metric]
+        cand_value = cand_rows[identity][opts.metric]
         checked += 1
+        checked_rows.append(base_row)
         if base_value <= 0:
             continue  # nothing meaningful to compare against
         change = (cand_value - base_value) / base_value
@@ -110,6 +131,15 @@ def main(argv):
               f"{base_value:.0f} -> {cand_value:.0f} ({change:+.1%})")
     for identity in sorted(set(cand_rows) - set(base_rows)):
         print(f"NEW      {identity}: in candidate only")
+
+    for key, value in requirements:
+        if not any(str(row.get(key)) == value for row in checked_rows):
+            # Unlike MISSING (which --allow-missing can wave through), a
+            # violated --require is always fatal: the caller declared this
+            # row set load-bearing, so a rename that drops it from the
+            # comparison must not pass.
+            print(f"REQUIRED {key}={value}: no matched row carries it")
+            failures += 1
 
     if checked == 0:
         # Zero matched rows means the files describe disjoint sweeps (a

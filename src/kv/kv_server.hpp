@@ -530,6 +530,42 @@ class BasicKvServer {
             .gauge("rnb_kv_shard_entries", "Live entries in the shard",
                    label)
             .set(static_cast<double>(shard.entries));
+        // Probe-behaviour series exist only for open-addressing engines
+        // (the swiss table), so map/slab stats output is unchanged.
+        if constexpr (requires { shard.has_probe; }) {
+          if (shard.has_probe) {
+            registry
+                .counter("rnb_kv_shard_probe_groups_total",
+                         "Control-byte groups examined across key lookups",
+                         label)
+                .inc(shard.probe.probe_groups);
+            registry
+                .counter("rnb_kv_shard_lookups_total",
+                         "Key lookups that probed the table", label)
+                .inc(shard.probe.finds);
+            registry
+                .gauge("rnb_kv_shard_probe_max_groups",
+                       "Longest single lookup, in control groups", label)
+                .set(static_cast<double>(shard.probe.max_probe_groups));
+            registry
+                .counter("rnb_kv_shard_insert_displacement_total",
+                         "Groups stepped past home on inserts", label)
+                .inc(shard.probe.insert_displacement);
+            registry
+                .counter("rnb_kv_shard_rehashes_total",
+                         "Table rehashes (growth or tombstone purge)", label)
+                .inc(shard.probe.rehashes);
+            registry
+                .gauge("rnb_kv_shard_tombstones",
+                       "Current tombstoned slots", label)
+                .set(static_cast<double>(shard.probe.tombstones));
+            registry
+                .counter("rnb_kv_shard_slab_fallbacks_total",
+                         "Payloads served from the heap instead of the slab",
+                         label)
+                .inc(shard.probe.slab_fallbacks);
+          }
+        }
       }
     }
     // Traced-only attribution series. Both stay empty until a traced run
@@ -602,5 +638,14 @@ using ShardedKvServer = BasicKvServer<ShardedMemTable>;
 
 /// Concurrent memcached-faithful engine: sharded slab arenas.
 using ShardedSlabKvServer = BasicKvServer<ShardedSlabMemTable>;
+
+/// Open-addressing engine: swiss-table layout with slab-backed payloads.
+/// Observably identical responses to KvServer for the same operation
+/// sequence (the equivalence fuzz pins this).
+using SwissKvServer = BasicKvServer<SwissMemTable>;
+
+/// Concurrent swiss engine — the serving-path default candidate: sharded
+/// swiss tables with hash-once routing and batched per-shard reads.
+using ShardedSwissKvServer = BasicKvServer<ShardedSwissMemTable>;
 
 }  // namespace rnb::kv

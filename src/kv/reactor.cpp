@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -18,9 +19,9 @@ constexpr std::size_t kMaxFlushChunks = 64;  // matches EpollPoller's iovec cap
 
 }  // namespace
 
-EventLoop::EventLoop(PollSource& poll, ShardedKvServer& engine,
-                     Config config)
-    : poll_(poll), engine_(engine), config_(config) {
+EventLoop::EventLoop(PollSource& poll, RequestSink sink, Config config)
+    : poll_(poll), sink_(sink), config_(config) {
+  RNB_REQUIRE(sink_.valid());
   read_chunk_.resize(config_.read_chunk);
   if (config_.listen_handle >= 0)
     poll_.add(config_.listen_handle, /*want_read=*/true,
@@ -130,7 +131,7 @@ void EventLoop::process_frames(Connection& conn) {
     // The same parse > dispatch{shard} > handle > format span tree and
     // trace-tag adoption as every other transport: it all lives inside
     // BasicKvServer::handle.
-    engine_.handle(frame_, response, &info);
+    sink_.handle(frame_, response, &info);
     conn.outbox_bytes += response.size();
     stats_.add_queued(response.size());
     conn.outbox.push_back(OutEntry{std::move(response), 0, info.trace});
@@ -236,9 +237,8 @@ void EventLoop::release_buffer(std::string&& buffer) {
   buffer_pool_.push_back(std::move(buffer));
 }
 
-ReactorKvServer::ReactorKvServer(std::size_t byte_budget, std::uint16_t port,
-                                 std::size_t num_shards)
-    : server_(byte_budget, num_shards) {
+ReactorServerCore::ReactorServerCore(RequestSink sink, std::uint16_t port) {
+  RNB_REQUIRE(sink.valid());
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) throw std::runtime_error("reactor: socket() failed");
   const int one = 1;
@@ -262,35 +262,16 @@ ReactorKvServer::ReactorKvServer(std::size_t byte_budget, std::uint16_t port,
 
   EventLoop::Config config;
   config.listen_handle = listen_fd_;
-  loop_ = std::make_unique<EventLoop>(poller_, server_, config);
-  // Same wire-health series as TcpKvServer, plus the loop-level signals
-  // only a reactor has. Installed before the loop thread starts, so no
-  // stats frame can race the assignment.
-  server_.set_stats_hook([this](obs::MetricsRegistry& registry) {
-    registry
-        .counter("rnb_kv_connections_accepted_total",
-                 "TCP connections accepted since boot")
-        .inc(loop_->connections_accepted());
-    registry
-        .gauge("rnb_kv_connections_active",
-               "TCP connections currently being served")
-        .set(static_cast<double>(loop_->open_connections()));
-    registry
-        .counter("rnb_kv_accept_errors_total",
-                 "accept() failures outside orderly shutdown")
-        .inc(loop_->accept_errors());
-    registry
-        .counter("rnb_kv_connection_resets_total",
-                 "Connections torn down by peer reset or socket error")
-        .inc(loop_->resets());
-    loop_->stats().publish(registry);
-  });
+  loop_ = std::make_unique<EventLoop>(poller_, sink, config);
+}
+
+ReactorServerCore::~ReactorServerCore() { shutdown(); }
+
+void ReactorServerCore::start() {
   loop_thread_ = std::thread([this] { loop_->run(); });
 }
 
-ReactorKvServer::~ReactorKvServer() { shutdown(); }
-
-void ReactorKvServer::shutdown() {
+void ReactorServerCore::shutdown() {
   if (stopping_.exchange(true)) return;
   loop_->request_stop();
   if (loop_thread_.joinable()) loop_thread_.join();

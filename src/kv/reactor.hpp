@@ -31,11 +31,13 @@
 #pragma once
 
 #include <atomic>
+#include <concepts>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -62,7 +64,15 @@ class EventLoop {
     std::size_t max_reads_per_event = 16;
   };
 
-  EventLoop(PollSource& poll, ShardedKvServer& engine, Config config);
+  EventLoop(PollSource& poll, RequestSink sink, Config config);
+
+  /// Convenience: wrap any BasicKvServer instantiation directly (the shape
+  /// every SimPoller unit test uses).
+  template <typename KvServerT>
+    requires(!std::same_as<std::remove_cvref_t<KvServerT>, RequestSink>)
+  EventLoop(PollSource& poll, KvServerT& server, Config config)
+      : EventLoop(poll, RequestSink::of(server), config) {}
+
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -139,7 +149,7 @@ class EventLoop {
   void release_buffer(std::string&& buffer);
 
   PollSource& poll_;
-  ShardedKvServer& engine_;
+  RequestSink sink_;
   Config config_;
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   std::vector<PollEvent> events_;
@@ -155,36 +165,32 @@ class EventLoop {
   obs::LoopStats stats_;
 };
 
-/// A TCP server with the same engine, protocol, counters, and stats
-/// exposition as TcpKvServer — but one epoll loop thread instead of a
-/// thread per connection. Drop-in via the WireServer seam.
-class ReactorKvServer final : public WireServer {
+/// The reactor serving core: nonblocking listener, EpollPoller, EventLoop,
+/// one loop thread. Engine-agnostic via RequestSink, mirroring
+/// TcpServerCore: the constructor binds and listens but does NOT serve —
+/// the owning wrapper installs its stats hook first, then calls start().
+class ReactorServerCore {
  public:
-  explicit ReactorKvServer(std::size_t byte_budget, std::uint16_t port = 0,
-                           std::size_t num_shards = 0);
-  ~ReactorKvServer() override;
+  ReactorServerCore(RequestSink sink, std::uint16_t port);
+  ~ReactorServerCore();
 
-  ReactorKvServer(const ReactorKvServer&) = delete;
-  ReactorKvServer& operator=(const ReactorKvServer&) = delete;
+  ReactorServerCore(const ReactorServerCore&) = delete;
+  ReactorServerCore& operator=(const ReactorServerCore&) = delete;
 
-  std::uint16_t port() const noexcept override { return port_; }
-  ShardedKvServer& server() noexcept override { return server_; }
-  std::uint64_t connections_accepted() const noexcept override {
-    return loop_->connections_accepted();
-  }
-  std::uint64_t connections_active() const noexcept override {
-    return loop_->open_connections();
-  }
-  std::uint64_t accept_errors() const noexcept override {
-    return loop_->accept_errors();
-  }
-  void shutdown() override;
+  /// Launch the loop thread. Call exactly once.
+  void start();
 
-  /// Loop internals for tests and benches (resets, batch stats).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Loop internals for tests, benches, and stats hooks (resets, batch
+  /// stats, connection counters).
   EventLoop& loop() noexcept { return *loop_; }
+  const EventLoop& loop() const noexcept { return *loop_; }
+
+  /// Stop the loop thread, close every connection and the listener.
+  void shutdown();
 
  private:
-  ShardedKvServer server_;
   EpollPoller poller_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -192,5 +198,87 @@ class ReactorKvServer final : public WireServer {
   std::thread loop_thread_;
   std::atomic<bool> stopping_{false};
 };
+
+/// A TCP server with the same engine, protocol, counters, and stats
+/// exposition as BasicTcpKvServer — but one epoll loop thread instead of a
+/// thread per connection. Drop-in via the WireServer seam.
+template <typename KvServerT>
+class BasicReactorKvServer final : public WireServer {
+ public:
+  /// `budget` is whatever the engine's store takes first: a byte budget
+  /// for map/swiss engines, a SlabConfig for the slab engine.
+  template <typename BudgetT>
+  explicit BasicReactorKvServer(const BudgetT& budget,
+                                std::uint16_t port = 0,
+                                std::size_t num_shards = 0)
+      : server_(budget, num_shards), core_(RequestSink::of(server_), port) {
+    // Same wire-health series as the thread-per-connection server, plus
+    // the loop-level signals only a reactor has. Installed before the
+    // loop thread starts, so no stats frame can race the assignment.
+    server_.set_stats_hook([this](obs::MetricsRegistry& registry) {
+      registry
+          .counter("rnb_kv_connections_accepted_total",
+                   "TCP connections accepted since boot")
+          .inc(core_.loop().connections_accepted());
+      registry
+          .gauge("rnb_kv_connections_active",
+                 "TCP connections currently being served")
+          .set(static_cast<double>(core_.loop().open_connections()));
+      registry
+          .counter("rnb_kv_accept_errors_total",
+                   "accept() failures outside orderly shutdown")
+          .inc(core_.loop().accept_errors());
+      registry
+          .counter("rnb_kv_connection_resets_total",
+                   "Connections torn down by peer reset or socket error")
+          .inc(core_.loop().resets());
+      core_.loop().stats().publish(registry);
+    });
+    core_.start();
+  }
+  ~BasicReactorKvServer() override { core_.shutdown(); }
+
+  BasicReactorKvServer(const BasicReactorKvServer&) = delete;
+  BasicReactorKvServer& operator=(const BasicReactorKvServer&) = delete;
+
+  /// The wrapped engine server (concrete type; setup and tests).
+  KvServerT& server() noexcept { return server_; }
+
+  /// Loop internals for tests and benches (resets, batch stats).
+  EventLoop& loop() noexcept { return core_.loop(); }
+
+  std::uint16_t port() const noexcept override { return core_.port(); }
+  ServerCounters counters() const override { return server_.counters(); }
+  obs::ContentionSnapshot lock_counters() const override {
+    return server_.table().lock_counters();
+  }
+  std::size_t shard_count() const override {
+    return server_.table().shard_count();
+  }
+  std::uint64_t connections_accepted() const noexcept override {
+    return core_.loop().connections_accepted();
+  }
+  std::uint64_t connections_active() const noexcept override {
+    return core_.loop().open_connections();
+  }
+  std::uint64_t accept_errors() const noexcept override {
+    return core_.loop().accept_errors();
+  }
+  void shutdown() override { core_.shutdown(); }
+
+ private:
+  KvServerT server_;  // before core_: the sink must outlive the loop thread
+  ReactorServerCore core_;
+};
+
+/// The default reactor server: sharded map engine (the historical
+/// ReactorKvServer).
+using ReactorKvServer = BasicReactorKvServer<ShardedKvServer>;
+
+/// Sharded swiss engine over the same loop (`loadgen_kv --engine=swiss`).
+using SwissReactorKvServer = BasicReactorKvServer<ShardedSwissKvServer>;
+
+/// Sharded slab engine over the same loop (`loadgen_kv --engine=slab`).
+using SlabReactorKvServer = BasicReactorKvServer<ShardedSlabKvServer>;
 
 }  // namespace rnb::kv

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <bit>
+#include <concepts>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,7 @@
 #include "common/sharding.hpp"
 #include "kv/memtable.hpp"
 #include "kv/slab_memtable.hpp"
+#include "kv/swiss_memtable.hpp"
 #include "obs/contention.hpp"
 
 namespace rnb::kv {
@@ -56,6 +58,27 @@ class BasicShardedTable {
  public:
   using GetResult = typename Engine::GetResult;
   using CasOutcome = MemTable::CasOutcome;
+
+  /// Engines exposing *_hashed overloads (SwissMemTable) receive the raw
+  /// FNV-1a key hash the router already computed, so each key is hashed
+  /// exactly once per operation — routing, control bytes, and equality
+  /// prefilter all derive from that one pass over the key bytes.
+  static constexpr bool kHashedOps =
+      requires(Engine& e, const Engine& ce, typename Engine::GetResult& r) {
+        ce.fast_get_hashed(std::uint64_t{}, std::string_view{}, r);
+        e.get_hashed(std::uint64_t{}, std::string_view{});
+        e.set_hashed(std::uint64_t{}, std::string_view{}, std::string_view{},
+                     bool{});
+        e.cas_hashed(std::uint64_t{}, std::string_view{}, std::uint64_t{},
+                     std::string_view{});
+        e.erase_hashed(std::uint64_t{}, std::string_view{});
+        ce.contains_hashed(std::uint64_t{}, std::string_view{});
+      };
+
+  /// Probe-behaviour counters are surfaced only for engines that track them.
+  static constexpr bool kProbeStats = requires(const Engine& ce) {
+    { ce.swiss_stats() } -> std::same_as<SwissStats>;
+  };
 
   /// `num_shards` must already be resolved (power of two >= 1); every shard
   /// is constructed from the same `per_shard_args` — callers divide budgets
@@ -75,21 +98,29 @@ class BasicShardedTable {
   /// independent of both placement (seeded FNV-1a into the ring) and the
   /// hash table's bucket index (raw FNV-1a) thanks to the fmix64 mix.
   std::size_t shard_index(std::string_view key) const noexcept {
-    return fmix64(fnv1a64(key)) & (shards_.size() - 1);
+    return shard_index_of(fnv1a64(key));
+  }
+  std::size_t shard_index_of(std::uint64_t key_hash) const noexcept {
+    return fmix64(key_hash) & (shards_.size() - 1);
   }
 
   bool set(std::string_view key, std::string_view value, bool pinned = false) {
-    Shard& s = shard(key);
+    const std::uint64_t h = fnv1a64(key);
+    Shard& s = *shards_[shard_index_of(h)];
     const std::unique_lock lock(s.mu);
-    return s.engine.set(key, value, pinned);
+    if constexpr (kHashedOps)
+      return s.engine.set_hashed(h, key, value, pinned);
+    else
+      return s.engine.set(key, value, pinned);
   }
 
   std::optional<GetResult> get(std::string_view key) {
-    Shard& s = shard(key);
+    const std::uint64_t h = fnv1a64(key);
+    Shard& s = *shards_[shard_index_of(h)];
     {
       const std::shared_lock lock(s.mu);
       GetResult out;
-      switch (s.engine.fast_get(key, out)) {
+      switch (engine_fast_get(s.engine, h, key, out)) {
         case MemTable::FastGetOutcome::kHit:
           s.fast_hits.fetch_add(1, std::memory_order_relaxed);
           return out;
@@ -101,7 +132,10 @@ class BasicShardedTable {
       }
     }
     const std::unique_lock lock(s.mu);
-    return s.engine.get(key);
+    if constexpr (kHashedOps)
+      return s.engine.get_hashed(h, key);
+    else
+      return s.engine.get(key);
   }
 
   std::optional<GetResult> peek(std::string_view key) const {
@@ -125,54 +159,70 @@ class BasicShardedTable {
       out[0] = get(keys[0]);
       return;
     }
+    // Per-thread scratch: a pipelined connection issues thousands of
+    // batches, so the sort buffers are reused instead of reallocated.
+    Scratch& sc = scratch();
+    sc.hashes.resize(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      sc.hashes[i] = fnv1a64(keys[i]);
     if (n == 1) {
       // Single shard: the whole batch is one group in request order.
-      std::vector<std::uint32_t> order(keys.size());
+      sc.order.resize(keys.size());
       for (std::size_t i = 0; i < keys.size(); ++i)
-        order[i] = static_cast<std::uint32_t>(i);
-      resolve_group(*shards_[0], keys, order, out);
+        sc.order[i] = static_cast<std::uint32_t>(i);
+      resolve_group(*shards_[0], keys, sc.hashes, sc.order, out);
       return;
     }
     // Stable counting sort of key indices by shard: per-shard sub-batches
     // keep their request order (the LRU-equivalence argument above).
-    std::vector<std::uint32_t> shard_of(keys.size());
-    std::vector<std::uint32_t> begin(n + 1, 0);
+    sc.shard_of.resize(keys.size());
+    sc.begin.assign(n + 1, 0);
     for (std::size_t i = 0; i < keys.size(); ++i) {
-      shard_of[i] = static_cast<std::uint32_t>(shard_index(keys[i]));
-      ++begin[shard_of[i] + 1];
+      sc.shard_of[i] = static_cast<std::uint32_t>(shard_index_of(sc.hashes[i]));
+      ++sc.begin[sc.shard_of[i] + 1];
     }
-    for (std::size_t s = 0; s < n; ++s) begin[s + 1] += begin[s];
-    std::vector<std::uint32_t> order(keys.size());
-    {
-      std::vector<std::uint32_t> cursor(begin.begin(), begin.end() - 1);
-      for (std::size_t i = 0; i < keys.size(); ++i)
-        order[cursor[shard_of[i]]++] = static_cast<std::uint32_t>(i);
-    }
+    for (std::size_t s = 0; s < n; ++s) sc.begin[s + 1] += sc.begin[s];
+    sc.order.resize(keys.size());
+    sc.cursor.assign(sc.begin.begin(), sc.begin.end() - 1);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      sc.order[sc.cursor[sc.shard_of[i]]++] = static_cast<std::uint32_t>(i);
     for (std::size_t s = 0; s < n; ++s) {
-      if (begin[s] == begin[s + 1]) continue;
-      const std::span<const std::uint32_t> group(order.data() + begin[s],
-                                                 begin[s + 1] - begin[s]);
-      resolve_group(*shards_[s], keys, group, out);
+      if (sc.begin[s] == sc.begin[s + 1]) continue;
+      const std::span<const std::uint32_t> group(
+          sc.order.data() + sc.begin[s], sc.begin[s + 1] - sc.begin[s]);
+      resolve_group(*shards_[s], keys, sc.hashes, group, out);
     }
   }
 
   CasOutcome cas(std::string_view key, std::uint64_t expected,
                  std::string_view value) {
-    Shard& s = shard(key);
+    const std::uint64_t h = fnv1a64(key);
+    Shard& s = *shards_[shard_index_of(h)];
     const std::unique_lock lock(s.mu);
-    return s.engine.cas(key, expected, value);
+    if constexpr (kHashedOps)
+      return s.engine.cas_hashed(h, key, expected, value);
+    else
+      return s.engine.cas(key, expected, value);
   }
 
   bool erase(std::string_view key) {
-    Shard& s = shard(key);
+    const std::uint64_t h = fnv1a64(key);
+    Shard& s = *shards_[shard_index_of(h)];
     const std::unique_lock lock(s.mu);
-    return s.engine.erase(key);
+    if constexpr (kHashedOps)
+      return s.engine.erase_hashed(h, key);
+    else
+      return s.engine.erase(key);
   }
 
   bool contains(std::string_view key) const {
-    const Shard& s = shard(key);
+    const std::uint64_t h = fnv1a64(key);
+    const Shard& s = *shards_[shard_index_of(h)];
     const std::shared_lock lock(s.mu);
-    return s.engine.contains(key);
+    if constexpr (kHashedOps)
+      return s.engine.contains_hashed(h, key);
+    else
+      return s.engine.contains(key);
   }
 
   /// Migration paging across shards, available only when the wrapped engine
@@ -244,6 +294,9 @@ class BasicShardedTable {
     std::uint64_t fast_misses = 0;
     CacheStats engine_stats;
     std::size_t entries = 0;
+    /// Filled (and `has_probe` set) only for probe-counting engines.
+    bool has_probe = false;
+    SwissStats probe;
   };
 
   ShardSnapshot shard_snapshot(std::size_t index) const {
@@ -255,6 +308,10 @@ class BasicShardedTable {
     const std::shared_lock lock(s.mu);
     snap.engine_stats = s.engine.stats();
     snap.entries = s.engine.entries();
+    if constexpr (kProbeStats) {
+      snap.has_probe = true;
+      snap.probe = s.engine.swiss_stats();
+    }
     return snap;
   }
 
@@ -295,7 +352,23 @@ class BasicShardedTable {
     return *shards_[shard_index(key)];
   }
 
+  static MemTable::FastGetOutcome engine_fast_get(const Engine& e,
+                                                  std::uint64_t hash,
+                                                  std::string_view key,
+                                                  GetResult& out) {
+    if constexpr (kHashedOps)
+      return e.fast_get_hashed(hash, key, out);
+    else
+      return e.fast_get(key, out);
+  }
+
+  /// One shard's sub-batch: request order under the shared lock until the
+  /// first entry needing an LRU move, remainder under the exclusive lock —
+  /// at most two lock acquisitions per shard per batch, and a
+  /// single-threaded batch leaves the LRU chain exactly as the sequential
+  /// per-key loop would.
   void resolve_group(Shard& s, std::span<const std::string> keys,
+                     std::span<const std::uint64_t> hashes,
                      std::span<const std::uint32_t> group,
                      std::vector<std::optional<GetResult>>& out) {
     std::size_t i = 0;
@@ -303,7 +376,8 @@ class BasicShardedTable {
       const std::shared_lock lock(s.mu);
       for (; i < group.size(); ++i) {
         GetResult r;
-        const auto outcome = s.engine.fast_get(keys[group[i]], r);
+        const auto outcome =
+            engine_fast_get(s.engine, hashes[group[i]], keys[group[i]], r);
         if (outcome == MemTable::FastGetOutcome::kNeedsRecency) break;
         if (outcome == MemTable::FastGetOutcome::kHit) {
           s.fast_hits.fetch_add(1, std::memory_order_relaxed);
@@ -315,7 +389,24 @@ class BasicShardedTable {
       if (i == group.size()) return;
     }
     const std::unique_lock lock(s.mu);
-    for (; i < group.size(); ++i) out[group[i]] = s.engine.get(keys[group[i]]);
+    for (; i < group.size(); ++i) {
+      if constexpr (kHashedOps)
+        out[group[i]] = s.engine.get_hashed(hashes[group[i]], keys[group[i]]);
+      else
+        out[group[i]] = s.engine.get(keys[group[i]]);
+    }
+  }
+
+  struct Scratch {
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::uint32_t> shard_of;
+    std::vector<std::uint32_t> begin;
+    std::vector<std::uint32_t> cursor;
+    std::vector<std::uint32_t> order;
+  };
+  static Scratch& scratch() {
+    thread_local Scratch sc;
+    return sc;
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -340,6 +431,29 @@ class ShardedMemTable : public BasicShardedTable<MemTable> {
  private:
   ShardedMemTable(std::size_t byte_budget, std::size_t resolved, int)
       : BasicShardedTable<MemTable>(resolved, byte_budget / resolved) {}
+};
+
+/// Swiss-engine shards: same even byte-budget split as ShardedMemTable,
+/// with each shard owning its own slab arena (sized off its budget slice).
+/// The wrapper's hashed-op dispatch kicks in automatically, so every key is
+/// hashed once for routing + probing combined.
+class ShardedSwissMemTable : public BasicShardedTable<SwissMemTable> {
+ public:
+  explicit ShardedSwissMemTable(std::size_t byte_budget,
+                                std::size_t num_shards = 0)
+      : ShardedSwissMemTable(byte_budget, resolve_shard_count(num_shards), 0) {}
+
+  /// Sum of the per-shard budgets (total rounded down to a multiple of the
+  /// shard count).
+  std::size_t byte_budget() const noexcept {
+    std::size_t total = 0;
+    for_each_engine([&](const SwissMemTable& t) { total += t.byte_budget(); });
+    return total;
+  }
+
+ private:
+  ShardedSwissMemTable(std::size_t byte_budget, std::size_t resolved, int)
+      : BasicShardedTable<SwissMemTable>(resolved, byte_budget / resolved) {}
 };
 
 /// Slab-engine shards: each shard gets its own arena with 1/S of the page

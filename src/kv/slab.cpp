@@ -85,4 +85,14 @@ SlabAllocator::ClassStats SlabAllocator::class_stats(std::uint32_t cls) const {
   return ClassStats{c.chunk_bytes, c.pages, c.used, c.free_chunks.size()};
 }
 
+SlabAllocator::Totals SlabAllocator::totals() const noexcept {
+  Totals t;
+  for (const SizeClass& c : classes_) {
+    t.chunks_used += c.used;
+    t.chunks_free += c.free_chunks.size();
+    t.pages += c.pages;
+  }
+  return t;
+}
+
 }  // namespace rnb::kv

@@ -67,6 +67,19 @@ class SlabAllocator {
   std::size_t chunk_bytes(std::uint32_t cls) const {
     return classes_[cls].chunk_bytes;
   }
+  /// Largest allocatable request; anything bigger must go elsewhere (the
+  /// swiss engine falls back to the heap and counts it).
+  std::size_t max_chunk_bytes() const noexcept {
+    return classes_.back().chunk_bytes;
+  }
+
+  /// Allocator-wide aggregate of the per-class stats.
+  struct Totals {
+    std::size_t chunks_used = 0;
+    std::size_t chunks_free = 0;
+    std::size_t pages = 0;
+  };
+  Totals totals() const noexcept;
 
   struct ClassStats {
     std::size_t chunk_bytes = 0;

@@ -76,9 +76,9 @@ bool FrameSplitter::next_frame(std::string& frame) {
   return true;
 }
 
-TcpKvServer::TcpKvServer(std::size_t byte_budget, std::uint16_t port,
-                         std::size_t num_shards)
-    : server_(byte_budget, num_shards) {
+TcpServerCore::TcpServerCore(RequestSink sink, std::uint16_t port)
+    : sink_(sink) {
+  RNB_REQUIRE(sink_.valid());
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("tcp: socket() failed");
   const int one = 1;
@@ -97,28 +97,15 @@ TcpKvServer::TcpKvServer(std::size_t byte_budget, std::uint16_t port,
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  // Publish wire-level health through the engine's `stats` verb. Installed
-  // before the acceptor starts, so no stats frame can race the assignment.
-  server_.set_stats_hook([this](obs::MetricsRegistry& registry) {
-    registry
-        .counter("rnb_kv_connections_accepted_total",
-                 "TCP connections accepted since boot")
-        .inc(connections_accepted_.load());
-    registry
-        .gauge("rnb_kv_connections_active",
-               "TCP connections currently being served")
-        .set(static_cast<double>(connections_active_.load()));
-    registry
-        .counter("rnb_kv_accept_errors_total",
-                 "accept() failures outside orderly shutdown")
-        .inc(accept_errors_.load());
-  });
+}
+
+TcpServerCore::~TcpServerCore() { shutdown(); }
+
+void TcpServerCore::start() {
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
-TcpKvServer::~TcpKvServer() { shutdown(); }
-
-void TcpKvServer::shutdown() {
+void TcpServerCore::shutdown() {
   if (stopping_.exchange(true)) return;
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
@@ -135,7 +122,7 @@ void TcpKvServer::shutdown() {
   for (auto& t : to_join) t.join();
 }
 
-void TcpKvServer::accept_loop() {
+void TcpServerCore::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -156,7 +143,7 @@ void TcpKvServer::accept_loop() {
   }
 }
 
-void TcpKvServer::retire_connection(int fd) {
+void TcpServerCore::retire_connection(int fd) {
   // Erase before close, both under the lock: once the fd leaves the list
   // it can no longer race shutdown()'s wakeup, and the number cannot be
   // reused by a concurrent dial until the close itself.
@@ -165,11 +152,11 @@ void TcpKvServer::retire_connection(int fd) {
   ::close(fd);
 }
 
-void TcpKvServer::connection_loop(int fd) {
+void TcpServerCore::connection_loop(int fd) {
   connections_active_.fetch_add(1);
   const auto active_guard = std::unique_ptr<void, void (*)(void*)>(
       this, [](void* self) {
-        static_cast<TcpKvServer*>(self)->connections_active_.fetch_sub(1);
+        static_cast<TcpServerCore*>(self)->connections_active_.fetch_sub(1);
       });
   FrameSplitter splitter;
   std::string frame, response;
@@ -182,7 +169,7 @@ void TcpKvServer::connection_loop(int fd) {
       // The sharded engine synchronizes internally; connection threads
       // whose keys hit different shards proceed in parallel.
       HandleInfo info;
-      server_.handle(frame, response, &info);
+      sink_.handle(frame, response, &info);
       try {
         // The socket write happens after the server transaction span has
         // closed; re-adopting the frame's tag makes the "write" span a
@@ -285,14 +272,21 @@ void TcpKvConnection::read_response(std::string& response) {
   }
 }
 
-std::unique_ptr<WireServer> TcpFleet::boot(std::size_t bytes_per_server,
-                                           std::size_t shards_per_server,
-                                           ServerModel model) {
-  if (model == ServerModel::kReactor)
-    return std::make_unique<ReactorKvServer>(bytes_per_server, 0,
-                                             shards_per_server);
-  return std::make_unique<TcpKvServer>(bytes_per_server, 0,
-                                       shards_per_server);
+TcpFleet::Member TcpFleet::boot(std::size_t bytes_per_server,
+                                std::size_t shards_per_server,
+                                ServerModel model) {
+  if (model == ServerModel::kReactor) {
+    auto server = std::make_unique<ReactorKvServer>(bytes_per_server,
+                                                    std::uint16_t{0},
+                                                    shards_per_server);
+    ShardedKvServer* engine = &server->server();
+    return Member{std::move(server), engine};
+  }
+  auto server = std::make_unique<TcpKvServer>(bytes_per_server,
+                                              std::uint16_t{0},
+                                              shards_per_server);
+  ShardedKvServer* engine = &server->server();
+  return Member{std::move(server), engine};
 }
 
 TcpFleet::TcpFleet(ServerId num_servers, std::size_t bytes_per_server,
@@ -307,10 +301,9 @@ ServerId TcpFleet::add_server(std::size_t bytes_per_server,
                               std::size_t shards_per_server,
                               ServerModel model) {
   // Bind + spawn outside the lock; only the append itself is serialized.
-  std::unique_ptr<WireServer> server =
-      boot(bytes_per_server, shards_per_server, model);
+  Member member = boot(bytes_per_server, shards_per_server, model);
   const std::lock_guard lock(mu_);
-  servers_.push_back(std::move(server));
+  servers_.push_back(std::move(member));
   return static_cast<ServerId>(servers_.size() - 1);
 }
 
@@ -318,7 +311,7 @@ std::vector<std::uint16_t> TcpFleet::ports() const {
   const std::lock_guard lock(mu_);
   std::vector<std::uint16_t> out;
   out.reserve(servers_.size());
-  for (const auto& s : servers_) out.push_back(s->port());
+  for (const auto& s : servers_) out.push_back(s.wire->port());
   return out;
 }
 

@@ -50,46 +50,41 @@ class FrameSplitter {
   std::string buffer_;
 };
 
-/// A TCP server wrapping one sharded kv engine. Listens on
-/// 127.0.0.1:<port> (port 0 picks a free port; read it back with port()).
-/// Each accepted connection gets a reader thread that parses frames,
-/// dispatches straight into the thread-safe sharded server (no global
-/// mutex), and writes responses back. `num_shards` 0 picks
-/// next_pow2(hardware threads); 1 reproduces the old single-lock-domain
-/// behaviour byte-for-byte.
-class TcpKvServer final : public WireServer {
+/// The thread-per-connection serving core: listener socket, accept loop,
+/// one blocking reader thread per accepted connection. Engine-agnostic —
+/// complete frames dispatch through a RequestSink, so the same socket code
+/// serves every BasicKvServer instantiation. The constructor binds and
+/// listens (port 0 picks a free port) but does NOT serve: the owning
+/// wrapper installs its stats hook first, then calls start(), so no stats
+/// frame can race the hook assignment.
+class TcpServerCore {
  public:
-  explicit TcpKvServer(std::size_t byte_budget, std::uint16_t port = 0,
-                       std::size_t num_shards = 0);
-  ~TcpKvServer() override;
+  TcpServerCore(RequestSink sink, std::uint16_t port);
+  ~TcpServerCore();
 
-  TcpKvServer(const TcpKvServer&) = delete;
-  TcpKvServer& operator=(const TcpKvServer&) = delete;
+  TcpServerCore(const TcpServerCore&) = delete;
+  TcpServerCore& operator=(const TcpServerCore&) = delete;
 
-  std::uint16_t port() const noexcept override { return port_; }
-  ShardedKvServer& server() noexcept override { return server_; }
+  /// Launch the accept loop. Call exactly once.
+  void start();
+
+  std::uint16_t port() const noexcept { return port_; }
 
   /// accept() failures that were not part of an orderly shutdown (reported
   /// on stderr as they happen; transient per-connection errors — EINTR,
   /// ECONNABORTED — are retried and not counted).
-  std::uint64_t accept_errors() const noexcept override {
+  std::uint64_t accept_errors() const noexcept {
     return accept_errors_.load();
   }
-
-  /// Connections accepted since boot (monotonic) and currently being
-  /// served. Both are also published by the `stats` verb as Prometheus
-  /// series, so a scrape sees wire-level health next to the engine's
-  /// counters: rnb_kv_connections_accepted_total, rnb_kv_connections_active,
-  /// rnb_kv_accept_errors_total.
-  std::uint64_t connections_accepted() const noexcept override {
+  std::uint64_t connections_accepted() const noexcept {
     return connections_accepted_.load();
   }
-  std::uint64_t connections_active() const noexcept override {
+  std::uint64_t connections_active() const noexcept {
     return connections_active_.load();
   }
 
   /// Ask the accept loop and all connection threads to finish; joins them.
-  void shutdown() override;
+  void shutdown();
 
  private:
   void accept_loop();
@@ -97,7 +92,7 @@ class TcpKvServer final : public WireServer {
   /// Unregister + close a connection fd (called by its own thread on exit).
   void retire_connection(int fd);
 
-  ShardedKvServer server_;
+  RequestSink sink_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
@@ -112,6 +107,82 @@ class TcpKvServer final : public WireServer {
   /// so every fd in here is open and owned by a still-running thread.
   std::vector<int> connection_fds_;
 };
+
+/// A TCP server pairing the thread-per-connection core with one concrete
+/// kv server. Listens on 127.0.0.1:<port> (port 0 picks a free port; read
+/// it back with port()). Each accepted connection gets a reader thread that
+/// parses frames, dispatches straight into the thread-safe sharded engine
+/// (no global mutex), and writes responses back. `num_shards` 0 picks
+/// next_pow2(hardware threads); 1 reproduces the old single-lock-domain
+/// behaviour byte-for-byte.
+template <typename KvServerT>
+class BasicTcpKvServer final : public WireServer {
+ public:
+  /// `budget` is whatever the engine's store takes first: a byte budget
+  /// for map/swiss engines, a SlabConfig for the slab engine.
+  template <typename BudgetT>
+  explicit BasicTcpKvServer(const BudgetT& budget, std::uint16_t port = 0,
+                            std::size_t num_shards = 0)
+      : server_(budget, num_shards), core_(RequestSink::of(server_), port) {
+    // Publish wire-level health through the engine's `stats` verb.
+    // Installed before the acceptor starts, so no stats frame can race
+    // the assignment.
+    server_.set_stats_hook([this](obs::MetricsRegistry& registry) {
+      registry
+          .counter("rnb_kv_connections_accepted_total",
+                   "TCP connections accepted since boot")
+          .inc(core_.connections_accepted());
+      registry
+          .gauge("rnb_kv_connections_active",
+                 "TCP connections currently being served")
+          .set(static_cast<double>(core_.connections_active()));
+      registry
+          .counter("rnb_kv_accept_errors_total",
+                   "accept() failures outside orderly shutdown")
+          .inc(core_.accept_errors());
+    });
+    core_.start();
+  }
+  ~BasicTcpKvServer() override { core_.shutdown(); }
+
+  BasicTcpKvServer(const BasicTcpKvServer&) = delete;
+  BasicTcpKvServer& operator=(const BasicTcpKvServer&) = delete;
+
+  /// The wrapped engine server (concrete type; setup and tests).
+  KvServerT& server() noexcept { return server_; }
+
+  std::uint16_t port() const noexcept override { return core_.port(); }
+  ServerCounters counters() const override { return server_.counters(); }
+  obs::ContentionSnapshot lock_counters() const override {
+    return server_.table().lock_counters();
+  }
+  std::size_t shard_count() const override {
+    return server_.table().shard_count();
+  }
+  std::uint64_t connections_accepted() const noexcept override {
+    return core_.connections_accepted();
+  }
+  std::uint64_t connections_active() const noexcept override {
+    return core_.connections_active();
+  }
+  std::uint64_t accept_errors() const noexcept override {
+    return core_.accept_errors();
+  }
+  void shutdown() override { core_.shutdown(); }
+
+ private:
+  KvServerT server_;  // before core_: the sink must outlive the threads
+  TcpServerCore core_;
+};
+
+/// The default TCP server: sharded map engine (the historical TcpKvServer).
+using TcpKvServer = BasicTcpKvServer<ShardedKvServer>;
+
+/// Sharded swiss engine over the same core (`loadgen_kv --engine=swiss`).
+using SwissTcpKvServer = BasicTcpKvServer<ShardedSwissKvServer>;
+
+/// Sharded slab engine over the same core (`loadgen_kv --engine=slab`).
+using SlabTcpKvServer = BasicTcpKvServer<ShardedSlabKvServer>;
 
 /// A blocking client connection speaking the text protocol over TCP.
 class TcpKvConnection {
@@ -156,16 +227,16 @@ class TcpFleet {
   }
   std::uint16_t port(ServerId s) const {
     const std::lock_guard lock(mu_);
-    return servers_[s]->port();
+    return servers_[s].wire->port();
   }
   ShardedKvServer& server(ServerId s) {
     const std::lock_guard lock(mu_);
-    return servers_[s]->server();
+    return *servers_[s].engine;
   }
   /// Wire-level health (connection counters) of server `s`.
   WireServer& wire(ServerId s) {
     const std::lock_guard lock(mu_);
-    return *servers_[s];
+    return *servers_[s].wire;
   }
 
   std::vector<std::uint16_t> ports() const;
@@ -179,12 +250,19 @@ class TcpFleet {
                       ServerModel model = ServerModel::kThreadPerConnection);
 
  private:
-  static std::unique_ptr<WireServer> boot(std::size_t bytes_per_server,
-                                          std::size_t shards_per_server,
-                                          ServerModel model);
+  /// One booted server: the engine-agnostic wire handle plus a concrete
+  /// engine pointer captured at boot (the fleet is fixed to the sharded map
+  /// engine; dserve migration drives engines through server()).
+  struct Member {
+    std::unique_ptr<WireServer> wire;
+    ShardedKvServer* engine = nullptr;
+  };
+
+  static Member boot(std::size_t bytes_per_server,
+                     std::size_t shards_per_server, ServerModel model);
 
   mutable std::mutex mu_;  // guards servers_ growth vs. the accessors
-  std::vector<std::unique_ptr<WireServer>> servers_;
+  std::vector<Member> servers_;
 };
 
 /// KvTransport over real sockets: one connection per server, serialized per

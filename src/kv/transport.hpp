@@ -104,4 +104,13 @@ using SlabLoopbackTransport = BasicLoopbackTransport<SlabKvServer>;
 using ShardedLoopbackTransport =
     BasicLoopbackTransport<ShardedKvServer, /*kSerializeDispatch=*/false>;
 
+/// Concurrent memcached-faithful fleet: sharded slab arenas.
+using ShardedSlabLoopbackTransport =
+    BasicLoopbackTransport<ShardedSlabKvServer, /*kSerializeDispatch=*/false>;
+
+/// Concurrent swiss fleet: sharded open-addressing engines (hash-once
+/// routing, slab payloads) — the loadgen `--engine=swiss` loopback path.
+using SwissLoopbackTransport =
+    BasicLoopbackTransport<ShardedSwissKvServer, /*kSerializeDispatch=*/false>;
+
 }  // namespace rnb::kv

@@ -127,6 +127,60 @@ class GateTest(unittest.TestCase):
         self.assertEqual(self.run_gate(bench_doc(cand), bench_doc(base),
                                        "--metric", "items_per_s"), 1)
 
+    # --- --require: pinned rows must actually be compared ------------------
+
+    def test_require_passes_when_matched_row_carries_value(self):
+        rows = [{"engine": "tcp-threads", "store": "swiss",
+                 "txns_per_s": 1000.0}]
+        self.assertEqual(self.run_gate(bench_doc(rows), bench_doc(rows),
+                                       "--require", "store=swiss"), 0)
+
+    def test_require_fails_when_required_row_vanished(self):
+        # The schema-rename trap this flag exists for: the swiss row was
+        # renamed, --allow-missing waves the MISSING through, a surviving
+        # map row keeps checked > 0 — yet the gate's whole reason to exist
+        # (the swiss row) is no longer being compared. Must fail.
+        base = [{"engine": "tcp-threads", "store": "map",
+                 "txns_per_s": 1000.0},
+                {"engine": "tcp-threads", "store": "swiss",
+                 "txns_per_s": 2000.0}]
+        cand = [{"engine": "tcp-threads", "store": "map",
+                 "txns_per_s": 1000.0},
+                {"engine": "tcp-threads", "store": "swiss2",
+                 "txns_per_s": 2000.0}]
+        self.assertEqual(
+            self.run_gate(bench_doc(cand), bench_doc(base),
+                          "--allow-missing", "--require", "store=swiss"), 1)
+        # Without the requirement the same rename passes silently — the
+        # exact hole being closed.
+        self.assertEqual(
+            self.run_gate(bench_doc(cand), bench_doc(base),
+                          "--allow-missing"), 0)
+
+    def test_require_is_repeatable_and_all_must_hold(self):
+        rows = [{"engine": "tcp-threads", "store": "map",
+                 "txns_per_s": 1000.0},
+                {"engine": "tcp-threads", "store": "swiss",
+                 "txns_per_s": 2000.0}]
+        self.assertEqual(
+            self.run_gate(bench_doc(rows), bench_doc(rows),
+                          "--require", "store=map",
+                          "--require", "store=swiss"), 0)
+        self.assertEqual(
+            self.run_gate(bench_doc(rows), bench_doc(rows),
+                          "--require", "store=map",
+                          "--require", "store=slab"), 1)
+
+    def test_require_matches_numeric_fields_as_strings(self):
+        rows = [{"engine": "tcp", "shards": 4, "txns_per_s": 1000.0}]
+        self.assertEqual(self.run_gate(bench_doc(rows), bench_doc(rows),
+                                       "--require", "shards=4"), 0)
+
+    def test_require_rejects_malformed_spec(self):
+        rows = [{"engine": "tcp", "txns_per_s": 1000.0}]
+        self.assertEqual(self.run_gate(bench_doc(rows), bench_doc(rows),
+                                       "--require", "no-equals-sign"), 1)
+
 
 if __name__ == "__main__":
     unittest.main()
