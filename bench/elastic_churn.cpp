@@ -24,6 +24,15 @@
 // replica set moves on the same join/leave — consistent hashing promises
 // the fair share, and the JSON keeps both schemes honest.
 //
+// `--collector=MS` attaches the cluster telemetry plane during each
+// scenario: a dserve::MetricsCollector scrapes every server over its own
+// connection and the MembershipController's registry as a local source,
+// so the rnb_elastic_* migration series land in the same flight recorder
+// as the per-server load. `--collector-json=FILE` dumps the recorder
+// there (scenario teardown, SIGTERM, faultsim crash hooks); rows gain
+// scrape-side rollups (load CoV, max/mean skew, health score, whether a
+// migration was observed in-flight).
+//
 //   build/bench/elastic_churn --wire=tcp --json=BENCH_elastic_churn.json
 //   build/bench/elastic_churn --wire=loopback --requests=200
 //   build/bench/elastic_churn --trace=churn_trace.json
@@ -32,10 +41,12 @@
 #include <barrier>
 #include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -45,10 +56,12 @@
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "dserve/cluster_client.hpp"
+#include "dserve/collector.hpp"
 #include "dserve/server_group.hpp"
 #include "elastic/controller.hpp"
 #include "elastic/member_ring.hpp"
 #include "obs/hdr_histogram.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace rnb::dserve {
@@ -95,6 +108,14 @@ struct ScenarioResult {
   std::uint64_t migration_pages = 0;
   std::uint64_t failed_transitions = 0;
   double churn_window_s = 0.0;  // wall time of join -> drain -> leave
+  // Scrape-side rollups, filled when --collector is on.
+  bool collector_on = false;
+  std::uint64_t collector_scrapes = 0;
+  double cluster_txns_per_s = 0.0;
+  double load_cov = 0.0;
+  double load_max_mean = 0.0;
+  double health_score = 0.0;
+  bool migration_observed = false;  // any scrape caught migration in flight
 };
 
 /// Closed loop of bundled multi-gets on `p.threads` workers; when `churn`
@@ -103,8 +124,9 @@ struct ScenarioResult {
 /// completes (so the measured window always covers the whole transition).
 ScenarioResult run_scenario(const Params& p, bool churn,
                             const std::vector<std::string>& universe,
-                            const std::string& value,
-                            obs::Tracer* tracer) {
+                            const std::string& value, obs::Tracer* tracer,
+                            std::uint64_t collector_ms,
+                            const std::string& collector_json) {
   ServerGroupConfig config;
   config.num_servers = p.servers;
   config.max_servers = p.servers + 1;  // one spare slot for the joiner
@@ -180,6 +202,26 @@ ScenarioResult run_scenario(const Params& p, bool churn,
         group.view().install_ring(std::move(ring));
       });
 
+  // Telemetry plane: scrape the fleet over an ordinary connection, and
+  // the controller's registry as a local source — the rnb_elastic_*
+  // migration series live on the controller, not on any server.
+  std::unique_ptr<GroupConnection> monitor;
+  std::unique_ptr<MetricsCollector> collector;
+  if (collector_ms > 0) {
+    monitor = group.connect();
+    collector = std::make_unique<MetricsCollector>(*monitor);
+    collector->add_local_source("controller", [&controller] {
+      obs::MetricsRegistry registry;
+      controller.export_metrics(registry);
+      std::ostringstream os;
+      registry.write_prometheus(os);
+      return std::move(os).str();
+    });
+    if (!collector_json.empty())
+      collector->recorder().install_dump(collector_json, SIGTERM);
+    collector->start(collector_ms);
+  }
+
   start_line.arrive_and_wait();
   if (churn) {
     const std::uint64_t warm = p.threads * p.requests / 4;
@@ -205,6 +247,24 @@ ScenarioResult run_scenario(const Params& p, bool churn,
   }
   for (auto& t : threads) t.join();
   if (tracer != nullptr) obs::Tracer::set_current(nullptr);
+  if (collector != nullptr) {
+    collector->stop();
+    collector->scrape_once(collector->elapsed_us());  // closing rollup
+    const obs::ClusterSample sample = collector->last_sample();
+    const obs::HealthVerdict verdict = collector->last_verdict();
+    total.collector_on = true;
+    total.collector_scrapes = collector->scrapes();
+    total.cluster_txns_per_s = sample.txns_per_s;
+    total.load_cov = verdict.load_cov;
+    total.load_max_mean = verdict.load_max_mean;
+    total.health_score = verdict.score;
+    for (const obs::HealthVerdict& v : collector->recorder().verdicts())
+      if (v.migration_active) total.migration_observed = true;
+    if (!collector_json.empty()) {
+      std::ofstream out(collector_json);
+      collector->recorder().write_json(out, "scenario_end");
+    }
+  }
 
   auto first = workers.front().start;
   auto last = workers.front().end;
@@ -312,6 +372,8 @@ int run(int argc, char** argv) {
   const double min_availability = flags.f64("min-availability", 0.99);
   const double max_tpr_ratio = flags.f64("max-tpr-ratio", 2.0);
   const std::string trace_path = flags.str("trace", "");
+  const std::uint64_t collector_ms = flags.u64("collector", 0);
+  const std::string collector_json = flags.str("collector-json", "");
 
   std::unique_ptr<obs::Tracer> tracer;
   if (!trace_path.empty()) {
@@ -338,6 +400,10 @@ int run(int argc, char** argv) {
   json.param("replication", static_cast<std::uint64_t>(p.replication));
   json.param("batch", p.batch);
   json.param("seed", p.seed);
+  if (collector_ms > 0) {
+    json.param("collector_ms", collector_ms);
+    if (!collector_json.empty()) json.param("collector_json", collector_json);
+  }
 
   std::printf("%-8s %10s %10s %8s %8s %10s %8s %8s\n", "scenario", "reqs_s",
               "avail", "tpr_p99", "replans", "lost_keys", "epoch", "p99_us");
@@ -345,8 +411,9 @@ int run(int argc, char** argv) {
   std::uint64_t lost_total = 0;
   double churn_availability = 1.0;
   for (const bool churn : {false, true}) {
-    const ScenarioResult r =
-        run_scenario(p, churn, universe, value, tracer.get());
+    const ScenarioResult r = run_scenario(p, churn, universe, value,
+                                          tracer.get(), collector_ms,
+                                          collector_json);
     const double availability =
         r.items_requested == 0
             ? 1.0
@@ -390,6 +457,15 @@ int run(int argc, char** argv) {
     json.field("churn_window_s", r.churn_window_s);
     json.field("p50_ns", r.latency.quantile(0.50));
     json.field("p99_ns", r.latency.quantile(0.99));
+    if (r.collector_on) {
+      json.field("collector_scrapes", r.collector_scrapes);
+      json.field("cluster_txns_per_s", r.cluster_txns_per_s);
+      json.field("load_cov", r.load_cov);
+      json.field("load_max_mean", r.load_max_mean);
+      json.field("health_score", r.health_score);
+      json.field("migration_observed",
+                 static_cast<std::uint64_t>(r.migration_observed ? 1 : 0));
+    }
   }
 
   movement_rows(p, json);

@@ -36,13 +36,22 @@
 //   build/bench/live_multiget --wire=tcp --json=BENCH_live_multiget.json
 //   build/bench/live_multiget --sweep=memory --memories=1.25,1.5,2,3
 //   build/bench/live_multiget --faults='crash@0=100:400' --batches=16
+// `--collector=MS` attaches the cluster telemetry plane (a
+// dserve::MetricsCollector on its own group connection) scraping every
+// server each MS milliseconds during the measured phase; rows then carry
+// scrape-side rollups (cluster txns/s, load CoV, max/mean skew, health
+// score). `--collector-json=FILE` dumps the flight recorder there — at
+// row teardown, on SIGTERM, and from faultsim crash hooks mid-run.
+// `--collector-top` prints an rnbtop frame per row on stderr.
 #include <barrier>
 #include <chrono>
 #include <cinttypes>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -52,6 +61,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "dserve/cluster_client.hpp"
+#include "dserve/collector.hpp"
 #include "dserve/server_group.hpp"
 #include "kv/failure_policy.hpp"
 #include "kv/protocol.hpp"
@@ -256,6 +266,14 @@ struct Row {
   StrategyResult run;
   std::uint64_t down_marks = 0;   // view deltas across the measured run
   std::uint64_t recoveries = 0;
+  // Scrape-side rollups, present when --collector was on for the row.
+  bool collector_on = false;
+  std::uint64_t collector_scrapes = 0;
+  std::uint32_t servers_up = 0;
+  double cluster_txns_per_s = 0.0;
+  double load_cov = 0.0;
+  double load_max_mean = 0.0;
+  double health_score = 0.0;
 };
 
 void report(const std::vector<Row>& rows, bench::JsonResult& json) {
@@ -301,6 +319,14 @@ void report(const std::vector<Row>& rows, bench::JsonResult& json) {
     json.field("fault_down_rejections", r.fault_down_rejections);
     json.field("p50_ns", r.latency.quantile(0.50));
     json.field("p99_ns", r.latency.quantile(0.99));
+    if (row.collector_on) {
+      json.field("collector_scrapes", row.collector_scrapes);
+      json.field("servers_up", static_cast<std::uint64_t>(row.servers_up));
+      json.field("cluster_txns_per_s", row.cluster_txns_per_s);
+      json.field("load_cov", row.load_cov);
+      json.field("load_max_mean", row.load_max_mean);
+      json.field("health_score", row.health_score);
+    }
   }
 }
 
@@ -327,6 +353,9 @@ int run(int argc, char** argv) {
   const std::string trace_path = flags.str("trace", "");
   const std::string strategies_arg =
       flags.str("strategies", sweep == "batch" ? "perkey,naive,rnb" : "rnb");
+  const std::uint64_t collector_ms = flags.u64("collector", 0);
+  const std::string collector_json = flags.str("collector-json", "");
+  const bool collector_top = flags.boolean("collector-top", false);
 
   std::vector<std::string> strategies;
   for (std::size_t pos = 0; pos < strategies_arg.size();) {
@@ -365,6 +394,8 @@ int run(int argc, char** argv) {
   json.param("replication", static_cast<std::uint64_t>(p.replication));
   json.param("seed", p.seed);
   if (!fault_spec.empty()) json.param("faults", fault_spec);
+  if (collector_ms > 0)
+    json.param("collector_ms", collector_ms);
 
   // One fresh group per row: the limited-memory sweep needs cold replica
   // classes, and fresh servers keep rows independent of visit order.
@@ -388,17 +419,52 @@ int run(int argc, char** argv) {
   };
 
   std::vector<Row> rows;
-  const auto run_row = [&](ServerGroup& group, const std::string& strategy,
+  const auto run_row = [&](ServerGroup& group, const Params& params,
+                           const std::string& strategy,
                            const std::string& sweep_key, double sweep_value) {
     Row row;
     row.sweep_key = sweep_key;
     row.sweep_value = sweep_value;
     row.strategy = strategy;
+    // The telemetry plane scrapes over its own ordinary connection (fault
+    // wrapper included, so crash windows mark servers down in the rollups
+    // exactly as clients see them).
+    std::unique_ptr<GroupConnection> monitor;
+    std::unique_ptr<MetricsCollector> collector;
+    if (collector_ms > 0) {
+      monitor = group.connect();
+      collector = std::make_unique<MetricsCollector>(*monitor);
+      if (!collector_json.empty())
+        collector->recorder().install_dump(collector_json, SIGTERM);
+      collector->start(collector_ms);
+    }
     const std::uint64_t marks_before = group.view().down_marks();
     const std::uint64_t recoveries_before = group.view().recoveries();
-    row.run = run_strategy(group, p, strategy, universe, tracer.get());
+    row.run = run_strategy(group, params, strategy, universe, tracer.get());
     row.down_marks = group.view().down_marks() - marks_before;
     row.recoveries = group.view().recoveries() - recoveries_before;
+    if (collector != nullptr) {
+      collector->stop();
+      collector->scrape_once(collector->elapsed_us());  // closing rollup
+      const obs::ClusterSample sample = collector->last_sample();
+      const obs::HealthVerdict verdict = collector->last_verdict();
+      row.collector_on = true;
+      row.collector_scrapes = collector->scrapes();
+      row.servers_up = sample.servers_up;
+      row.cluster_txns_per_s = sample.txns_per_s;
+      row.load_cov = verdict.load_cov;
+      row.load_max_mean = verdict.load_max_mean;
+      row.health_score = verdict.score;
+      if (collector_top) {
+        std::ostringstream top;
+        collector->write_top(top);
+        std::fputs(top.str().c_str(), stderr);
+      }
+      if (!collector_json.empty()) {
+        std::ofstream out(collector_json);
+        collector->recorder().write_json(out, "bench_end");
+      }
+    }
     rows.push_back(std::move(row));
   };
 
@@ -406,34 +472,25 @@ int run(int argc, char** argv) {
     for (const double r : f64_list(flags, "replicas", {1, 2, 3, 4})) {
       const auto group = make_group(static_cast<std::uint32_t>(r), 0.0);
       for (const std::string& s : strategies)
-        run_row(*group, s, "replicas", r);
+        run_row(*group, p, s, "replicas", r);
     }
   } else if (sweep == "memory") {
     for (const double m : f64_list(flags, "memories", {1.25, 1.5, 2.0, 3.0})) {
       const auto group = make_group(p.replication, m);
       for (const std::string& s : strategies)
-        run_row(*group, s, "relative_memory", m);
+        run_row(*group, p, s, "relative_memory", m);
     }
   } else {  // batch (Fig. 3): the multi-get hole and its closure
     for (const double b : f64_list(flags, "batches", {1, 2, 4, 8, 16, 32})) {
       Params row_params = p;
       row_params.batch = static_cast<std::uint64_t>(b);
       const auto group = make_group(p.replication, 0.0);
-      for (const std::string& s : strategies) {
-        Row row;
-        row.sweep_key = "batch";
-        row.sweep_value = b;
-        row.strategy = s;
-        const std::uint64_t marks_before = group->view().down_marks();
-        const std::uint64_t recoveries_before = group->view().recoveries();
-        row.run =
-            run_strategy(*group, row_params, s, universe, tracer.get());
-        row.down_marks = group->view().down_marks() - marks_before;
-        row.recoveries = group->view().recoveries() - recoveries_before;
-        rows.push_back(std::move(row));
-      }
+      for (const std::string& s : strategies)
+        run_row(*group, row_params, s, "batch", b);
     }
   }
+  if (collector_ms > 0 && !collector_json.empty())
+    json.param("collector_json", collector_json);
 
   report(rows, json);
 

@@ -36,6 +36,14 @@
 // server pays one OS thread per connection, the reactor one loop thread
 // per server, so the gap opens as the fan grows.
 //
+// `--collector=MS` (tcp mode) attaches a dserve::MetricsCollector to the
+// server over its own client socket, scraping `stats` every MS ms during
+// the measured phase — the live-telemetry tax paid for real. And
+// `--sweep-collector` emits exactly two rows at the fixed config —
+// `collector=off` then `collector=on` — so the on-row's
+// speedup_vs_first_row IS the scrape-overhead ratio (the pinned pair in
+// BENCH_loadgen.json gates it staying >= 0.95).
+//
 // The workload is deterministic per (seed, thread): each thread owns a
 // Xoshiro256 stream and a rejection-inversion Zipf sampler. Only the
 // timing is wall-clock (this bench measures real contention, unlike the
@@ -72,6 +80,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/sharding.hpp"
+#include "dserve/collector.hpp"
 #include "kv/kv_server.hpp"
 #include "kv/protocol.hpp"
 #include "kv/reactor.hpp"
@@ -247,6 +256,8 @@ struct Row {
   RunResult run;
   double hit_rate = 0.0;
   obs::ContentionSnapshot locks;  // measured-phase delta; zero for baseline
+  std::string collector;          // "off"/"on" in --sweep-collector rows only
+  std::uint64_t collector_scrapes = 0;
 };
 
 void report(const Params& p, const std::vector<Row>& rows,
@@ -289,6 +300,12 @@ void report(const Params& p, const std::vector<Row>& rows,
     json.field("hit_rate", row.hit_rate);
     json.field("lock_acquisitions", row.locks.total_acquisitions());
     json.field("lock_contended", row.locks.contended_acquisitions);
+    // The collector label joins the row identity only on --sweep-collector
+    // rows, so every pre-existing pinned row keeps its identity untouched.
+    if (!row.collector.empty()) {
+      json.field("collector", row.collector);
+      json.field("collector_scrapes", row.collector_scrapes);
+    }
   }
 }
 
@@ -416,8 +433,9 @@ std::unique_ptr<WireServer> boot_tcp(const Params& p, const std::string& store,
 
 Row run_tcp(const Params& p, const std::vector<std::string>& universe,
             std::uint64_t shards, std::uint64_t connections, ServerModel model,
-            const std::string& store, obs::Tracer* tracer,
-            obs::SlowLog* slow) {
+            const std::string& store, obs::Tracer* tracer, obs::SlowLog* slow,
+            std::uint64_t collector_ms = 0,
+            const std::string& collector_label = "") {
   std::unique_ptr<WireServer> server = boot_tcp(p, store, model, shards);
   {
     TcpKvConnection setup(server->port());
@@ -426,6 +444,17 @@ Row run_tcp(const Params& p, const std::vector<std::string>& universe,
               setup.roundtrip(frame, out);
             });
   }
+  // The telemetry plane rides its own client socket so scrape traffic
+  // contends with the workload exactly where production contends: inside
+  // the server, never in the workers' dispatch path.
+  std::unique_ptr<TcpClientTransport> scrape_wire;
+  std::unique_ptr<dserve::MetricsCollector> collector;
+  if (collector_ms > 0) {
+    scrape_wire = std::make_unique<TcpClientTransport>(
+        std::vector<std::uint16_t>{server->port()});
+    collector = std::make_unique<dserve::MetricsCollector>(*scrape_wire);
+    collector->start(collector_ms);
+  }
   const ServerCounters before = server->counters();
   const obs::ContentionSnapshot locks_before = server->lock_counters();
   Row row;
@@ -433,6 +462,7 @@ Row run_tcp(const Params& p, const std::vector<std::string>& universe,
   row.store = store;
   row.shards = server->shard_count();
   row.connections = connections * p.threads;
+  row.collector = collector_label;
   row.run = run_load(
       p, universe,
       [&](unsigned) -> Dispatch {
@@ -452,6 +482,11 @@ Row run_tcp(const Params& p, const std::vector<std::string>& universe,
         };
       },
       tracer, slow);
+  if (collector != nullptr) {
+    collector->stop();
+    collector->scrape_once(collector->elapsed_us());
+    row.collector_scrapes = collector->scrapes();
+  }
   row.hit_rate = hit_rate_of(before, server->counters());
   row.locks = delta(locks_before, server->lock_counters());
   return row;
@@ -534,6 +569,12 @@ int run(int argc, char** argv) {
   const bool with_baseline = flags.boolean("baseline", true);
   const std::string trace_path = flags.str("trace", "");
   const std::uint64_t slowlog_n = flags.u64("slowlog", 0);
+  const std::uint64_t collector_ms = flags.u64("collector", 0);
+  const bool sweep_collector = flags.boolean("sweep-collector", false);
+  if ((collector_ms > 0 || sweep_collector) && mode != "tcp") {
+    std::fprintf(stderr, "--collector/--sweep-collector need --mode=tcp\n");
+    return 1;
+  }
 
   // One wall-clock tracer shared by every row (installed only during each
   // measured phase). Rings are sized so a --trace run keeps every event —
@@ -612,7 +653,20 @@ int run(int argc, char** argv) {
   }
 
   std::vector<Row> rows;
-  if (mode == "tcp" && !sweep_spec.empty()) {
+  if (mode == "tcp" && sweep_collector) {
+    // Scrape-overhead pair: identical config, collector detached then
+    // attached, off-row first so the on-row's speedup_vs_first_row is the
+    // overhead ratio directly (1.0 = free, 0.95 = the 5% budget line).
+    const std::uint64_t period = collector_ms > 0 ? collector_ms : 25;
+    json.param("sweep_collector", true);
+    json.param("collector_ms", period);
+    rows.push_back(run_tcp(p, universe, shard_counts.front(), connections,
+                           models.front(), stores.front(), tracer.get(),
+                           slow.get(), /*collector_ms=*/0, "off"));
+    rows.push_back(run_tcp(p, universe, shard_counts.front(), connections,
+                           models.front(), stores.front(), tracer.get(),
+                           slow.get(), period, "on"));
+  } else if (mode == "tcp" && !sweep_spec.empty()) {
     // Connection-count sweep at a fixed shard count: every listed total is
     // split evenly across the worker threads (rounded up so the requested
     // fan is never under-provisioned).
@@ -644,7 +698,7 @@ int run(int argc, char** argv) {
       for (const std::string& store : stores)
         for (const std::uint64_t s : shard_counts)
           rows.push_back(run_tcp(p, universe, s, connections, model, store,
-                                 tracer.get(), slow.get()));
+                                 tracer.get(), slow.get(), collector_ms));
   } else {
     if (with_baseline)
       rows.push_back(run_baseline(p, universe, tracer.get(), slow.get()));

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Gate a flight-recorder dump (and optionally a bench JSON) on cluster
+health.
+
+The input is the JSON the obs::FlightRecorder writes — {"reason",
+"verdicts": [...], "series": [...]} — produced by any bench run with
+--collector-json (live_multiget, elastic_churn) or by a faultsim crash
+hook. The gate reads the FINAL verdict: mid-run verdicts legitimately show
+degradation (a churn scenario takes a server down on purpose), but a run
+must END healthy — converged load, everyone up, score above the line.
+
+Checks (each optional, enabled by passing the flag):
+  --min-verdicts N       the recorder saw at least N assessments (proves
+                         the collector actually ran, not just attached)
+  --min-up-fraction F    final verdict: servers_up/servers_total >= F
+  --max-cov X            final verdict: load_cov <= X
+  --max-skew X           final verdict: load_max_mean <= X
+  --min-score S          final verdict: composite health score >= S
+  --max-hot-shards N     final verdict: at most N hot shards flagged
+  --require-series SUB   some recorded series key contains SUB (repeatable;
+                         use it to pin that e.g. "rnb_elastic_epoch" or a
+                         per-server "s3:" prefix made it into the recorder)
+  --bench-json FILE      also load a bench JsonResult and check every row
+  --min-availability F   ... carrying an "availability" field stays >= F
+
+Exit 0 when every enabled check holds; exit 1 with one line per violated
+check otherwise. An empty dump (no verdicts) fails any verdict-based
+check: a gate that assessed nothing must not pass. Stdlib only.
+
+Usage:
+  build/bench/elastic_churn --wire=tcp --collector=50 \
+      --collector-json=flight.json --json=churn.json
+  scripts/check_cluster_health.py flight.json --min-verdicts 3 \
+      --min-up-fraction 1.0 --max-skew 3.0 --min-score 50 \
+      --require-series rnb_elastic_epoch \
+      --bench-json churn.json --min-availability 0.9
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"{path}: {err}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dump", help="flight-recorder JSON dump")
+    parser.add_argument("--min-verdicts", type=int, default=None)
+    parser.add_argument("--min-up-fraction", type=float, default=None)
+    parser.add_argument("--max-cov", type=float, default=None)
+    parser.add_argument("--max-skew", type=float, default=None)
+    parser.add_argument("--min-score", type=float, default=None)
+    parser.add_argument("--max-hot-shards", type=int, default=None)
+    parser.add_argument("--require-series", action="append", default=[],
+                        metavar="SUBSTRING")
+    parser.add_argument("--bench-json", default=None,
+                        help="bench JsonResult to check availability rows in")
+    parser.add_argument("--min-availability", type=float, default=None)
+    opts = parser.parse_args(argv[1:])
+
+    doc = load(opts.dump)
+    verdicts = doc.get("verdicts", [])
+    series = doc.get("series", [])
+    failures = []
+
+    def need_final():
+        """Verdict-based checks read the last assessment; none recorded
+        means the check cannot pass."""
+        if not verdicts:
+            failures.append("no verdicts recorded (collector never ran?)")
+            return None
+        return verdicts[-1]
+
+    if opts.min_verdicts is not None and len(verdicts) < opts.min_verdicts:
+        failures.append(f"verdicts: {len(verdicts)} < {opts.min_verdicts}")
+
+    final = verdicts[-1] if verdicts else None
+    checks = [
+        (opts.min_up_fraction is not None, "up fraction",
+         lambda v: (v["servers_up"] / v["servers_total"]
+                    if v["servers_total"] else 0.0),
+         lambda x: x >= opts.min_up_fraction, opts.min_up_fraction, ">="),
+        (opts.max_cov is not None, "load_cov", lambda v: v["load_cov"],
+         lambda x: x <= opts.max_cov, opts.max_cov, "<="),
+        (opts.max_skew is not None, "load_max_mean",
+         lambda v: v["load_max_mean"],
+         lambda x: x <= opts.max_skew, opts.max_skew, "<="),
+        (opts.min_score is not None, "score", lambda v: v["score"],
+         lambda x: x >= opts.min_score, opts.min_score, ">="),
+        (opts.max_hot_shards is not None, "hot shards",
+         lambda v: len(v.get("hot_shards", [])),
+         lambda x: x <= opts.max_hot_shards, opts.max_hot_shards, "<="),
+    ]
+    for enabled, name, extract, ok, bound, rel in checks:
+        if not enabled:
+            continue
+        v = need_final()
+        if v is None:
+            break  # one "no verdicts" line covers every verdict check
+        value = extract(v)
+        if ok(value):
+            print(f"OK    final {name}: {value:g} (need {rel} {bound:g})")
+        else:
+            failures.append(f"final {name}: {value:g} not {rel} {bound:g}")
+
+    keys = [s.get("key", "") for s in series]
+    for want in opts.require_series:
+        hits = sum(1 for k in keys if want in k)
+        if hits:
+            print(f"OK    series ~{want!r}: {hits} match(es)")
+        else:
+            failures.append(f"no recorded series key contains {want!r} "
+                            f"({len(keys)} series in dump)")
+
+    if opts.min_availability is not None:
+        if opts.bench_json is None:
+            sys.exit("--min-availability needs --bench-json")
+        rows = load(opts.bench_json).get("rows", [])
+        avail = [(i, r["availability"]) for i, r in enumerate(rows)
+                 if "availability" in r]
+        if not avail:
+            failures.append(f"{opts.bench_json}: no row carries "
+                            f"an availability field")
+        for i, a in avail:
+            if a >= opts.min_availability:
+                print(f"OK    row {i} availability: {a:g}")
+            else:
+                failures.append(f"row {i} availability {a:g} < "
+                                f"{opts.min_availability:g}")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL  {line}")
+        print(f"cluster health gate: {len(failures)} check(s) failed")
+        return 1
+    print(f"cluster health gate: all checks passed "
+          f"({len(verdicts)} verdicts, {len(series)} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -404,6 +404,10 @@ KvClusterClient::MultiGetResult KvClusterClient::multi_get(
     sr.retries = result.retries;
     sr.servers = static_cast<std::uint32_t>(contacted.size());
     sr.deadline_missed = result.deadline_missed;
+    // The epoch the cover was (last) planned against: a slow entry stamped
+    // with a migration's epoch is the correlation the flight recorder
+    // surfaces.
+    sr.epoch = op_epoch;
     slow->record(sr);
   }
   return result;

@@ -1,6 +1,7 @@
 #include "faultsim/fault_transport.hpp"
 
 #include "kv/protocol.hpp"
+#include "obs/health.hpp"
 
 namespace rnb::faultsim {
 namespace {
@@ -44,9 +45,17 @@ kv::TransportResult FaultInjectingTransport::roundtrip(
   const double latency = schedule_.latency(s, t, 0);
 
   if (schedule_.is_down(s, t)) {
-    const std::lock_guard lock(mu_);
-    ++stats_.down_rejections;
-    response.clear();
+    bool first_down;
+    {
+      const std::lock_guard lock(mu_);
+      first_down = stats_.down_rejections == 0;
+      ++stats_.down_rejections;
+      response.clear();
+    }
+    // First crash this connection observes: persist the telemetry
+    // snapshot so a postmortem exists even if the run dies inside the
+    // fault window (no-op without an installed flight recorder).
+    if (first_down) obs::FlightRecorder::dump_installed("server_crash");
     // A refused connection fails fast: no service time, just the wire.
     return {kv::TransportStatus::kServerDown, schedule_.spec().base_latency};
   }

@@ -21,6 +21,7 @@
 #include "cluster/client.hpp"
 #include "cluster/cluster.hpp"
 #include "faultsim/fault_schedule.hpp"
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 
 namespace rnb::faultsim {
@@ -42,6 +43,10 @@ class SimFaultDriver final : public TransactionFaultInjector {
           t->instant("server_crash", "fault",
                      {{"server", static_cast<std::int64_t>(s)},
                       {"tick", static_cast<std::int64_t>(request_tick)}});
+        // Persist the telemetry snapshot at the instant of the crash, so
+        // the postmortem exists even if the run never reaches its orderly
+        // dump (no-op when no flight recorder is installed).
+        obs::FlightRecorder::dump_installed("server_crash");
       } else if (!want_down && cluster.is_down(s)) {
         cluster.restore_server(s);
         if (obs::Tracer* t = obs::Tracer::current())

@@ -148,6 +148,14 @@ class BasicKvServer {
   }
 
  private:
+  /// The engine's observability name, when it declares one.
+  static constexpr const char* engine_name() noexcept {
+    if constexpr (requires { Store::kEngineName; })
+      return Store::kEngineName;
+    else
+      return nullptr;
+  }
+
   /// True when the engine supports the batched per-shard read path.
   static constexpr bool kBatchedReads = requires(
       Store& t, std::span<const std::string> keys,
@@ -437,6 +445,11 @@ class BasicKvServer {
       req.items = static_cast<std::uint32_t>(get->keys.size());
     else
       req.items = 1;
+    // Correlation context: the ring epoch this server executed under and
+    // the engine that served it, so a flight-recorder dump can line slow
+    // covers up against migrations.
+    req.epoch = epoch_.load(std::memory_order_relaxed);
+    req.engine = engine_name();
     slow_log_.record(req);
   }
 
@@ -583,13 +596,21 @@ class BasicKvServer {
       }
       const std::vector<obs::SlowRequest> slow = slow_log_.top();
       for (std::size_t rank = 0; rank < slow.size(); ++rank) {
+        std::string labels =
+            obs::format_label("rank", std::to_string(rank)) + "," +
+            obs::format_label("trace_id", hex_string(slow[rank].trace_id));
+        // Correlation labels appear only when recorded, so pre-elastic
+        // and anonymous-engine expositions stay byte-identical.
+        if (slow[rank].epoch != 0)
+          labels += "," + obs::format_label(
+                              "epoch", std::to_string(slow[rank].epoch));
+        if (slow[rank].engine != nullptr)
+          labels += "," + obs::format_label("engine", slow[rank].engine);
         registry
             .gauge("rnb_kv_slow_transaction_cost",
                    "Worst traced transactions by handle latency (tracer "
                    "time units), with the trace id to look up",
-                   obs::format_label("rank", std::to_string(rank)) + "," +
-                       obs::format_label("trace_id",
-                                         hex_string(slow[rank].trace_id)))
+                   labels)
             .set(static_cast<double>(slow[rank].cost));
       }
     }

@@ -44,6 +44,9 @@ struct ScanEntry {
 
 class MemTable {
  public:
+  /// Engine identity for observability (slow-log entries, stats labels).
+  static constexpr const char* kEngineName = "map";
+
   /// `byte_budget` bounds the *evictable* bytes; pinned entries are
   /// accounted separately and never evicted.
   explicit MemTable(std::size_t byte_budget);

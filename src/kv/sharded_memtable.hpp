@@ -59,6 +59,10 @@ class BasicShardedTable {
   using GetResult = typename Engine::GetResult;
   using CasOutcome = MemTable::CasOutcome;
 
+  /// Sharding is transparent to observability: a sharded store reports
+  /// its engine's identity.
+  static constexpr const char* kEngineName = Engine::kEngineName;
+
   /// Engines exposing *_hashed overloads (SwissMemTable) receive the raw
   /// FNV-1a key hash the router already computed, so each key is hashed
   /// exactly once per operation — routing, control bytes, and equality

@@ -27,6 +27,9 @@ namespace rnb::kv {
 
 class SlabMemTable {
  public:
+  /// Engine identity for observability (slow-log entries, stats labels).
+  static constexpr const char* kEngineName = "slab";
+
   explicit SlabMemTable(const SlabConfig& config);
 
   struct GetResult {

@@ -55,6 +55,9 @@ struct SwissStats {
 
 class SwissMemTable {
  public:
+  /// Engine identity for observability (slow-log entries, stats labels).
+  static constexpr const char* kEngineName = "swiss";
+
   /// `byte_budget` bounds the *evictable* bytes; pinned entries are
   /// accounted separately and never evicted. The slab arena defaults to
   /// 2x the budget (clamped) so overwrite churn recycles chunks in-class.

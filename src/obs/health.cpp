@@ -1,0 +1,315 @@
+#include "obs/health.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/promtext.hpp"
+#include "obs/trace.hpp"
+
+namespace rnb::obs {
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+// JSON-escape a std::string (write_json_string takes const char* and would
+// truncate at an embedded NUL; series keys carry raw label-value bytes).
+void write_json_sv(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// JSON numbers cannot be Inf/NaN tokens; the flight recorder maps them to
+// 0 (they only arise from degenerate rollups like 0-interval rates).
+void write_json_double(std::ostream& os, double v) {
+  write_prom_double(os, std::isfinite(v) ? v : 0.0);
+}
+
+void write_verdict_json(std::ostream& os, const HealthVerdict& v) {
+  os << "{\"t_us\":" << v.t_us << ",\"servers_total\":" << v.servers_total
+     << ",\"servers_up\":" << v.servers_up << ",\"load_cov\":";
+  write_json_double(os, v.load_cov);
+  os << ",\"load_max_mean\":";
+  write_json_double(os, v.load_max_mean);
+  os << ",\"skew_flagged\":" << (v.skew_flagged ? "true" : "false")
+     << ",\"fleet_degraded\":" << (v.fleet_degraded ? "true" : "false")
+     << ",\"hot_shards\":[";
+  for (std::size_t i = 0; i < v.hot_shards.size(); ++i) {
+    const ShardLoad& h = v.hot_shards[i];
+    if (i != 0) os << ',';
+    os << "{\"server\":" << h.server << ",\"shard\":" << h.shard
+       << ",\"contended_per_s\":";
+    write_json_double(os, h.contended_per_s);
+    os << ",\"acquisitions_per_s\":";
+    write_json_double(os, h.acquisitions_per_s);
+    os << '}';
+  }
+  os << "],\"p99_us\":";
+  write_json_double(os, v.p99_us);
+  os << ",\"slo_burn\":";
+  write_json_double(os, v.slo_burn);
+  os << ",\"slo_breached\":" << (v.slo_breached ? "true" : "false")
+     << ",\"migration_active\":" << (v.migration_active ? "true" : "false")
+     << ",\"healthy\":" << (v.healthy() ? "true" : "false") << ",\"score\":";
+  write_json_double(os, v.score);
+  os << '}';
+}
+
+// Process-wide installed recorder (same singleton discipline as
+// Tracer::current()); the handler path below reads only the atomics.
+std::atomic<FlightRecorder*> g_installed{nullptr};
+// Snapshot + destination for the signal handler, published by
+// refresh_snapshot()/install_dump(). Plain C arrays/pointers so the
+// handler touches no C++ machinery.
+std::atomic<const std::string*> g_snapshot{nullptr};
+char g_dump_path[512] = {0};
+
+extern "C" void flight_recorder_signal_dump(int) {
+  // Async-signal-safe only: open/write/close on pre-serialized bytes.
+  const std::string* snap = g_snapshot.load(std::memory_order_acquire);
+  if (snap == nullptr || g_dump_path[0] == '\0') return;
+  const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  const char* p = snap->data();
+  std::size_t left = snap->size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n <= 0) break;
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+HealthVerdict BottleneckDetector::assess(const ClusterSample& sample) const {
+  HealthVerdict v;
+  v.t_us = sample.t_us;
+  v.servers_total = sample.servers_total;
+  v.servers_up = sample.servers_up;
+  v.p99_us = sample.p99_us;
+  v.migration_active = sample.migration_active;
+  v.fleet_degraded =
+      sample.servers_total > 0 && sample.servers_up < sample.servers_total;
+
+  // Load dispersion across the *up* servers: a down server is a
+  // degradation fact, not a skew fact.
+  double sum = 0.0, max = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < sample.server_txns_per_s.size(); ++i) {
+    if (i < sample.up.size() && sample.up[i] == 0) continue;
+    const double r = sample.server_txns_per_s[i];
+    sum += r;
+    max = std::max(max, r);
+    ++n;
+  }
+  const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  if (n > 0 && mean > 0.0) {
+    double var = 0.0;
+    for (std::size_t i = 0; i < sample.server_txns_per_s.size(); ++i) {
+      if (i < sample.up.size() && sample.up[i] == 0) continue;
+      const double d = sample.server_txns_per_s[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    v.load_cov = std::sqrt(var) / mean;
+    v.load_max_mean = max / mean;
+  } else {
+    v.load_cov = 0.0;
+    v.load_max_mean = n > 0 ? 1.0 : 0.0;
+  }
+  v.skew_flagged = n > 1 && (v.load_max_mean > config_.skew_threshold ||
+                             v.load_cov > config_.cov_threshold);
+
+  // Hot shards: contended-lock rate far above the mean shard, with a
+  // noise floor so an idle fleet's single busy stripe doesn't page.
+  if (!sample.shards.empty()) {
+    double contended_sum = 0.0;
+    for (const ShardLoad& s : sample.shards) contended_sum += s.contended_per_s;
+    const double shard_mean =
+        contended_sum / static_cast<double>(sample.shards.size());
+    for (const ShardLoad& s : sample.shards) {
+      if (s.contended_per_s >= config_.hot_shard_min_per_s &&
+          s.contended_per_s > config_.hot_shard_factor * shard_mean)
+        v.hot_shards.push_back(s);
+    }
+  }
+
+  if (config_.slo_p99_us > 0.0 && sample.latency_count > 0) {
+    v.slo_burn = sample.p99_us / config_.slo_p99_us;
+    v.slo_breached = v.slo_burn > 1.0;
+  }
+
+  // Score formula — documented in docs/OBSERVABILITY.md, pinned by
+  // health_test.cpp; keep the three in sync.
+  double score = 100.0;
+  if (sample.servers_total > 0)
+    score -= 50.0 * (1.0 - static_cast<double>(sample.servers_up) /
+                               static_cast<double>(sample.servers_total));
+  if (config_.skew_threshold > 1.0)
+    score -= 25.0 * clamp01((v.load_max_mean - 1.0) /
+                            (config_.skew_threshold - 1.0));
+  if (v.slo_burn > 1.0) score -= 25.0 * clamp01(v.slo_burn - 1.0);
+  score -= std::min(15.0, 5.0 * static_cast<double>(v.hot_shards.size()));
+  v.score = std::max(0.0, score);
+  return v;
+}
+
+FlightRecorder::FlightRecorder(const SeriesStore* series,
+                               std::size_t verdict_capacity)
+    : series_(series), capacity_(verdict_capacity) {
+  RNB_REQUIRE(capacity_ > 0);
+}
+
+FlightRecorder::~FlightRecorder() {
+  FlightRecorder* self = this;
+  if (g_installed.compare_exchange_strong(self, nullptr)) {
+    g_snapshot.store(nullptr, std::memory_order_release);
+    g_dump_path[0] = '\0';
+  }
+}
+
+void FlightRecorder::record(const HealthVerdict& verdict) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(verdict);
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<HealthVerdict> FlightRecorder::verdicts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+HealthVerdict FlightRecorder::last_verdict() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.empty() ? HealthVerdict{} : ring_.back();
+}
+
+void FlightRecorder::serialize_locked(std::ostream& os,
+                                      const char* reason) const {
+  os << "{\n  \"reason\": ";
+  write_json_sv(os, reason == nullptr ? "dump" : reason);
+  os << ",\n  \"verdicts\": [";
+  bool first = true;
+  for (const HealthVerdict& v : ring_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    write_verdict_json(os, v);
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"series\": [";
+  first = true;
+  if (series_ != nullptr) {
+    series_->for_each([&](const std::string& key, const TimeSeries& ts) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      os << "{\"key\": ";
+      write_json_sv(os, key);
+      os << ", \"appended\": " << ts.appended() << ", \"samples\": [";
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (i != 0) os << ',';
+        os << '[' << ts.at(i).t_us << ',';
+        write_json_double(os, ts.at(i).value);
+        os << ']';
+      }
+      os << "]}";
+    });
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+void FlightRecorder::write_json(std::ostream& os, const char* reason) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  serialize_locked(os, reason);
+}
+
+void FlightRecorder::refresh_snapshot() {
+  if (g_installed.load(std::memory_order_acquire) != this) return;
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    serialize_locked(out, "signal");
+  }
+  auto fresh = std::make_unique<std::string>(std::move(out).str());
+  const std::string* published = fresh.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_.push_back(std::move(fresh));
+    // Keep a few retired snapshots alive: a handler interrupted between
+    // load and write may still be reading an old one (best-effort — this
+    // bounds memory, not the race; see header comment).
+    while (retired_.size() > 4) retired_.pop_front();
+  }
+  snapshot_.store(published, std::memory_order_release);
+  g_snapshot.store(published, std::memory_order_release);
+}
+
+void FlightRecorder::install_dump(const std::string& path, int signum) {
+  RNB_REQUIRE(!path.empty());
+  RNB_REQUIRE(path.size() < sizeof(g_dump_path));
+  dump_path_ = path;
+  std::memcpy(g_dump_path, path.c_str(), path.size() + 1);
+  g_installed.store(this, std::memory_order_release);
+  refresh_snapshot();
+  if (signum != 0) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = flight_recorder_signal_dump;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(signum, &sa, nullptr);
+  }
+}
+
+FlightRecorder* FlightRecorder::installed() noexcept {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::dump_installed(const char* reason) {
+  FlightRecorder* rec = g_installed.load(std::memory_order_acquire);
+  if (rec == nullptr || rec->dump_path_.empty()) return;
+  // Ordinary (non-signal) context: serialize fresh with the caller's
+  // reason so the crash dump reflects the instant of the fault.
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(rec->mutex_);
+    rec->serialize_locked(out, reason);
+  }
+  const std::string text = std::move(out).str();
+  const int fd =
+      ::open(rec->dump_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  const char* p = text.data();
+  std::size_t left = text.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n <= 0) break;
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+}  // namespace rnb::obs

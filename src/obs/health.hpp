@@ -1,0 +1,184 @@
+// Fleet health: the bottleneck detector and the flight recorder.
+//
+// RnB's whole reason to exist is relieving per-server load skew (the
+// paper's Fig. 2 scaling-factor lens); this module watches that skew
+// live. Each collector sweep produces one ClusterSample — plain data, no
+// dserve dependency, so the detector is unit-testable from synthetic
+// fleets — and the BottleneckDetector scores it:
+//
+//   * load CoV: stddev/mean of per-server request rates across the up
+//     servers (0 = perfectly balanced),
+//   * max/mean skew: the hottest server's rate over the mean — the live
+//     counterpart of the paper's scaling factor, flagged over a
+//     configurable threshold,
+//   * hot shards: per-shard lock-contention rates far above the fleet's
+//     mean shard (a single hot key pinning one stripe),
+//   * SLO burn: scraped p99 latency over the target (burn > 1 means the
+//     budget is burning), flagged when breached,
+//
+// folded into one 0-100 score (the formula is documented in
+// docs/OBSERVABILITY.md and pinned by tests — change both together).
+//
+// The FlightRecorder keeps the last N verdicts in a ring next to the
+// SeriesStore's last-K-samples-per-series rings, and dumps both as one
+// deterministic JSON snapshot: on demand, on a signal (SIGTERM by
+// default), and from faultsim crash hooks — the postmortem artifact for
+// "what did the fleet look like when it died".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace rnb::obs {
+
+/// Per-shard load observed over the last scrape interval.
+struct ShardLoad {
+  std::uint32_t server = 0;
+  std::uint32_t shard = 0;
+  double contended_per_s = 0.0;     // lock acquisitions that waited
+  double acquisitions_per_s = 0.0;  // all lock acquisitions
+};
+
+/// One collector sweep, reduced to plain data.
+struct ClusterSample {
+  std::uint64_t t_us = 0;
+  std::uint32_t servers_total = 0;
+  std::uint32_t servers_up = 0;
+  std::vector<std::uint8_t> up;           // per server id
+  std::vector<double> server_txns_per_s;  // per server id; down = 0
+  double txns_per_s = 0.0;   // fleet aggregate over the last interval
+  double items_per_s = 0.0;  // keys returned per second, fleet aggregate
+  double p50_us = 0.0;       // merged latency histogram quantiles
+  double p99_us = 0.0;       //   (0 when no server exposes the family)
+  std::uint64_t latency_count = 0;
+  std::vector<ShardLoad> shards;
+  // Elastic migration progress (0/false without a controller source).
+  double elastic_epoch = 0.0;
+  double migration_entries_scanned = 0.0;
+  double migration_replicas_copied = 0.0;
+  double migration_pinned_moved = 0.0;
+  bool migration_active = false;
+};
+
+struct HealthConfig {
+  /// Flag when max/mean per-server load exceeds this (paper Fig. 2 lens).
+  double skew_threshold = 2.0;
+  /// Flag when the load coefficient of variation exceeds this.
+  double cov_threshold = 0.75;
+  /// A shard is hot when its contended-acquisition rate exceeds this
+  /// multiple of the mean across all scraped shards...
+  double hot_shard_factor = 4.0;
+  /// ...and at least this many contended acquisitions/s (noise floor).
+  double hot_shard_min_per_s = 16.0;
+  /// p99 latency target in microseconds; 0 disables the SLO term.
+  double slo_p99_us = 0.0;
+};
+
+struct HealthVerdict {
+  std::uint64_t t_us = 0;
+  std::uint32_t servers_total = 0;
+  std::uint32_t servers_up = 0;
+  double load_cov = 0.0;
+  double load_max_mean = 0.0;  // max/mean skew; 1.0 = balanced
+  bool skew_flagged = false;
+  bool fleet_degraded = false;  // any configured server down
+  std::vector<ShardLoad> hot_shards;
+  double p99_us = 0.0;
+  double slo_burn = 0.0;  // p99 / target; 0 when no SLO configured
+  bool slo_breached = false;
+  bool migration_active = false;
+  double score = 100.0;  // 0 (dead) .. 100 (healthy)
+
+  bool healthy() const noexcept {
+    return !skew_flagged && !slo_breached && !fleet_degraded &&
+           hot_shards.empty();
+  }
+};
+
+class BottleneckDetector {
+ public:
+  explicit BottleneckDetector(const HealthConfig& config = {})
+      : config_(config) {}
+
+  const HealthConfig& config() const noexcept { return config_; }
+
+  /// Score one sample. Pure and deterministic: same sample, same verdict.
+  HealthVerdict assess(const ClusterSample& sample) const;
+
+ private:
+  HealthConfig config_;
+};
+
+/// Ring of the last N verdicts plus a view of the series rings, dumped as
+/// one JSON snapshot. The snapshot is deterministic: it contains only
+/// caller-supplied timestamps and scraped values, so two identical
+/// virtual-clock runs dump byte-identical files (the determinism
+/// acceptance test diffs them).
+class FlightRecorder {
+ public:
+  /// `series` may be null (verdicts only); it must outlive the recorder.
+  FlightRecorder(const SeriesStore* series, std::size_t verdict_capacity);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(const HealthVerdict& verdict);
+
+  std::size_t verdict_capacity() const noexcept { return capacity_; }
+  /// Retained verdicts, oldest first.
+  std::vector<HealthVerdict> verdicts() const;
+  /// Latest verdict (default-constructed before the first record()).
+  HealthVerdict last_verdict() const;
+
+  /// Serialize the snapshot: {"reason", "verdicts":[...], "series":[...]}.
+  void write_json(std::ostream& os, const char* reason = "dump") const;
+
+  /// Pre-serialize the current snapshot into an atomically-published
+  /// buffer so a signal handler can dump it with async-signal-safe calls
+  /// only. Call after record() when a signal dump is installed (the
+  /// collector does); cheap no-op otherwise.
+  void refresh_snapshot();
+
+  /// Install this recorder process-wide and register a handler that
+  /// writes the latest pre-serialized snapshot to `path` on `signum`
+  /// (SIGTERM by default, pass 0 to skip the handler and only install
+  /// for crash-hook dumps). At most one recorder is installed at a time,
+  /// same discipline as Tracer::current(). The destructor uninstalls.
+  void install_dump(const std::string& path, int signum);
+
+  /// The installed recorder, or nullptr.
+  static FlightRecorder* installed() noexcept;
+
+  /// Crash-hook seam: when a recorder is installed with a path, write its
+  /// latest snapshot (suffixed with `reason`) immediately. faultsim calls
+  /// this as it applies a crash window so the postmortem file exists even
+  /// if the process never reaches its orderly dump. No-op otherwise.
+  static void dump_installed(const char* reason);
+
+ private:
+  void serialize_locked(std::ostream& os, const char* reason) const;
+
+  const SeriesStore* series_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<HealthVerdict> ring_;
+
+  std::string dump_path_;
+  // Published snapshot for the signal handler. Retired buffers are kept
+  // in a short ring rather than freed: a handler may still be reading
+  // one, and leaking a few small strings beats a use-after-free in a
+  // dying process.
+  std::atomic<const std::string*> snapshot_{nullptr};
+  std::deque<std::unique_ptr<std::string>> retired_;
+};
+
+}  // namespace rnb::obs

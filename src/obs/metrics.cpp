@@ -5,21 +5,15 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "obs/promtext.hpp"
 
 namespace rnb::obs {
 namespace {
 
-// Locale-independent, deterministic number formatting. %.17g round-trips
-// doubles; trailing "inf"/"nan" never appear (callers sanitize).
-void write_double(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << (v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN"));
-    return;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  os << buf;
-}
+// Locale-independent, deterministic number formatting: the shared %.17g
+// writer in promtext.cpp, so the scrape-side parser and this writer can
+// never disagree on a token.
+void write_double(std::ostream& os, double v) { write_prom_double(os, v); }
 
 void write_series_name(std::ostream& os, const std::string& name,
                        const std::string& labels,

@@ -1,0 +1,434 @@
+#include "obs/promtext.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace rnb::obs {
+
+void write_prom_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN"));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+std::string unescape_label_value(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '\\' || i + 1 == escaped.size()) {
+      out += c;
+      continue;
+    }
+    const char next = escaped[++i];
+    switch (next) {
+      case '\\': out += '\\'; break;
+      case '"': out += '"'; break;
+      case 'n': out += '\n'; break;
+      default:
+        // Unknown escape: keep both bytes (reference-parser behaviour);
+        // the writer never produces these, so round trips are unaffected.
+        out += '\\';
+        out += next;
+    }
+  }
+  return out;
+}
+
+std::string unescape_help(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '\\' || i + 1 == escaped.size()) {
+      out += c;
+      continue;
+    }
+    const char next = escaped[++i];
+    if (next == '\\') {
+      out += '\\';
+    } else if (next == 'n') {
+      out += '\n';
+    } else {
+      out += '\\';
+      out += next;
+    }
+  }
+  return out;
+}
+
+const std::string* PromSample::label(std::string_view key) const noexcept {
+  for (const PromLabel& l : labels)
+    if (l.key == key) return &l.value;
+  return nullptr;
+}
+
+std::string PromSample::label_body(std::string_view skip_key) const {
+  std::string out;
+  for (const PromLabel& l : labels) {
+    if (!skip_key.empty() && l.key == skip_key) continue;
+    if (!out.empty()) out += ',';
+    out += format_label(l.key, l.value);
+  }
+  return out;
+}
+
+const PromSample* PromFamily::sample(std::string_view sample_name,
+                                     std::string_view label_body) const {
+  for (const PromSample& s : samples) {
+    if (s.name != sample_name) continue;
+    if (s.label_body() == label_body) return &s;
+  }
+  return nullptr;
+}
+
+const PromFamily* PromScrape::family(std::string_view name) const noexcept {
+  for (const PromFamily& fam : families)
+    if (fam.name == name) return &fam;
+  return nullptr;
+}
+
+const PromSample* PromScrape::find(
+    std::string_view sample_name) const noexcept {
+  for (const PromFamily& fam : families)
+    for (const PromSample& s : fam.samples)
+      if (s.name == sample_name) return &s;
+  return nullptr;
+}
+
+double PromScrape::value_or(std::string_view sample_name,
+                            double fallback) const {
+  const PromSample* s = find(sample_name);
+  return s == nullptr ? fallback : s->value;
+}
+
+namespace {
+
+bool fail(std::string* error, std::size_t line_no, const std::string& what) {
+  if (error != nullptr)
+    *error = "line " + std::to_string(line_no + 1) + ": " + what;
+  return false;
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!alpha && !(i > 0 && c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Parse one numeric token as the writer emits them: integers (counters,
+/// bucket counts), %.17g doubles, or the +Inf/-Inf/NaN sentinels.
+bool parse_value_token(std::string_view token, double& out) {
+  if (token == "+Inf" || token == "Inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (token.empty()) return false;
+  const std::string buf(token);  // strtod needs a terminator
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+/// Parse a quote-aware label body (the text between '{' and '}').
+/// Returns false on syntax errors. The body may be empty.
+bool parse_label_body(std::string_view body, std::vector<PromLabel>& out) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    // key
+    const std::size_t eq = body.find('=', pos);
+    if (eq == std::string_view::npos) return false;
+    PromLabel label;
+    label.key = std::string(body.substr(pos, eq - pos));
+    if (!valid_metric_name(label.key)) return false;
+    pos = eq + 1;
+    if (pos >= body.size() || body[pos] != '"') return false;
+    ++pos;
+    // quoted value: scan for the closing quote, honouring escapes
+    std::string escaped;
+    while (pos < body.size() && body[pos] != '"') {
+      if (body[pos] == '\\') {
+        if (pos + 1 >= body.size()) return false;
+        escaped += body[pos];
+        escaped += body[pos + 1];
+        pos += 2;
+      } else {
+        escaped += body[pos];
+        ++pos;
+      }
+    }
+    if (pos >= body.size()) return false;  // unterminated quote
+    ++pos;                                 // closing quote
+    label.value = unescape_label_value(escaped);
+    out.push_back(std::move(label));
+    if (pos < body.size()) {
+      if (body[pos] != ',') return false;
+      ++pos;
+      if (pos == body.size()) return false;  // trailing comma
+    }
+  }
+  return true;
+}
+
+/// Find the '}' terminating a label body that starts after `open` (the
+/// index of '{'), honouring quoted strings and escapes. npos on error.
+std::size_t find_body_end(std::string_view line, std::size_t open) {
+  bool in_quotes = false;
+  for (std::size_t i = open + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '\\') {
+        ++i;  // skip the escaped byte
+      } else if (c == '"') {
+        in_quotes = false;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == '}') {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+PromFamily& family_for_sample(PromScrape& scrape, std::string_view name) {
+  // Exact-name family first (counters, gauges, a histogram's own name
+  // never appears as a sample so no ambiguity), then the histogram base
+  // for _bucket/_sum/_count samples.
+  for (PromFamily& fam : scrape.families)
+    if (fam.name == name) return fam;
+  for (const std::string_view suffix :
+       {std::string_view("_bucket"), std::string_view("_sum"),
+        std::string_view("_count")}) {
+    if (name.size() <= suffix.size() || !name.ends_with(suffix)) continue;
+    const std::string_view base =
+        name.substr(0, name.size() - suffix.size());
+    for (PromFamily& fam : scrape.families)
+      if (fam.name == base && fam.kind == PromKind::kHistogram) return fam;
+  }
+  // No HELP/TYPE preceded this sample: synthesize an untyped family.
+  scrape.families.push_back(PromFamily{std::string(name), "",
+                                       PromKind::kUntyped, {}});
+  return scrape.families.back();
+}
+
+PromFamily& family_named(PromScrape& scrape, std::string_view name) {
+  for (PromFamily& fam : scrape.families)
+    if (fam.name == name) return fam;
+  scrape.families.push_back(
+      PromFamily{std::string(name), "", PromKind::kUntyped, {}});
+  return scrape.families.back();
+}
+
+}  // namespace
+
+bool parse_prometheus(std::string_view text, PromScrape& out,
+                      std::string* error) {
+  out.families.clear();
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    const std::size_t this_line = line_no++;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# HELP name text", "# TYPE name kind", or a plain comment.
+      if (line.starts_with("# HELP ")) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        const std::string_view name =
+            sp == std::string_view::npos ? rest : rest.substr(0, sp);
+        if (!valid_metric_name(name))
+          return fail(error, this_line, "bad HELP metric name");
+        PromFamily& fam = family_named(out, name);
+        fam.help = unescape_help(
+            sp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(sp + 1));
+      } else if (line.starts_with("# TYPE ")) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos)
+          return fail(error, this_line, "TYPE line without a type");
+        const std::string_view name = rest.substr(0, sp);
+        if (!valid_metric_name(name))
+          return fail(error, this_line, "bad TYPE metric name");
+        const std::string_view kind = rest.substr(sp + 1);
+        PromFamily& fam = family_named(out, name);
+        if (kind == "counter")
+          fam.kind = PromKind::kCounter;
+        else if (kind == "gauge")
+          fam.kind = PromKind::kGauge;
+        else if (kind == "histogram")
+          fam.kind = PromKind::kHistogram;
+        else
+          fam.kind = PromKind::kUntyped;  // tolerate kinds we postdate
+      }
+      continue;  // other comments are skippable
+    }
+
+    PromSample sample;
+    std::size_t cursor;
+    const std::size_t open = line.find_first_of("{ ");
+    if (open == std::string_view::npos)
+      return fail(error, this_line, "sample line without a value");
+    sample.name = std::string(line.substr(0, open));
+    if (!valid_metric_name(sample.name))
+      return fail(error, this_line, "bad sample metric name");
+    if (line[open] == '{') {
+      const std::size_t close = find_body_end(line, open);
+      if (close == std::string_view::npos)
+        return fail(error, this_line, "unterminated label body");
+      if (!parse_label_body(line.substr(open + 1, close - open - 1),
+                            sample.labels))
+        return fail(error, this_line, "malformed label body");
+      cursor = close + 1;
+      if (cursor >= line.size() || line[cursor] != ' ')
+        return fail(error, this_line, "missing value after labels");
+      ++cursor;
+    } else {
+      cursor = open + 1;
+    }
+
+    std::string_view tail = line.substr(cursor);
+    const std::size_t value_end = tail.find(' ');
+    const std::string_view value_token =
+        value_end == std::string_view::npos ? tail : tail.substr(0, value_end);
+    if (!parse_value_token(value_token, sample.value))
+      return fail(error, this_line, "non-numeric sample value");
+    sample.value_text = std::string(value_token);
+
+    if (value_end != std::string_view::npos) {
+      // The only post-value decoration the writer emits: an OpenMetrics
+      // exemplar `# {trace_id="hex"} value`.
+      const std::string_view rest = tail.substr(value_end);
+      constexpr std::string_view kPrefix = " # {trace_id=\"";
+      if (!rest.starts_with(kPrefix))
+        return fail(error, this_line, "unrecognized text after value");
+      const std::size_t id_start = kPrefix.size();
+      const std::size_t id_end = rest.find('"', id_start);
+      if (id_end == std::string_view::npos ||
+          !rest.substr(id_end).starts_with("\"} "))
+        return fail(error, this_line, "malformed exemplar");
+      const std::string hex(rest.substr(id_start, id_end - id_start));
+      char* end = nullptr;
+      sample.exemplar_trace_id = std::strtoull(hex.c_str(), &end, 16);
+      if (hex.empty() || end != hex.c_str() + hex.size())
+        return fail(error, this_line, "bad exemplar trace id");
+      const std::string_view ex_value = rest.substr(id_end + 3);
+      if (!parse_value_token(ex_value, sample.exemplar_value))
+        return fail(error, this_line, "non-numeric exemplar value");
+      sample.exemplar_value_text = std::string(ex_value);
+      sample.has_exemplar = true;
+    }
+
+    family_for_sample(out, sample.name).samples.push_back(std::move(sample));
+  }
+  return true;
+}
+
+void write_prometheus(const PromScrape& scrape, std::ostream& os) {
+  for (const PromFamily& fam : scrape.families) {
+    os << "# HELP " << fam.name << ' ';
+    for (const char c : fam.help) {
+      if (c == '\\')
+        os << "\\\\";
+      else if (c == '\n')
+        os << "\\n";
+      else
+        os << c;
+    }
+    os << '\n';
+    os << "# TYPE " << fam.name << ' ';
+    switch (fam.kind) {
+      case PromKind::kCounter: os << "counter"; break;
+      case PromKind::kGauge: os << "gauge"; break;
+      case PromKind::kHistogram: os << "histogram"; break;
+      case PromKind::kUntyped: os << "untyped"; break;
+    }
+    os << '\n';
+    for (const PromSample& s : fam.samples) {
+      os << s.name;
+      if (!s.labels.empty()) os << '{' << s.label_body() << '}';
+      os << ' ' << s.value_text;
+      if (s.has_exemplar) {
+        os << " # {trace_id=\"";
+        char buf[17];
+        std::size_t n = 0;
+        std::uint64_t id = s.exemplar_trace_id;
+        do {
+          buf[n++] = "0123456789abcdef"[id & 0xf];
+          id >>= 4;
+        } while (id != 0);
+        while (n != 0) os << buf[--n];
+        os << "\"} " << s.exemplar_value_text;
+      }
+      os << '\n';
+    }
+  }
+}
+
+std::optional<Histogram> assemble_histogram(const PromFamily& fam,
+                                            const std::string& label_body,
+                                            double scale,
+                                            unsigned significant_bits) {
+  const std::string bucket_name = fam.name + "_bucket";
+  Histogram out(significant_bits);
+  bool matched = false;
+  std::uint64_t previous = 0;
+  std::uint64_t last_finite_upper = 0;
+  std::uint64_t inf_count = 0;
+  for (const PromSample& s : fam.samples) {
+    if (s.name != bucket_name) continue;
+    const std::string* le = s.label("le");
+    if (le == nullptr || s.label_body("le") != label_body) continue;
+    matched = true;
+    const auto cumulative = static_cast<std::uint64_t>(s.value);
+    if (cumulative < previous) return std::nullopt;  // not cumulative
+    if (*le == "+Inf") {
+      inf_count = cumulative;
+      continue;
+    }
+    double upper_exposed = 0.0;
+    if (!parse_value_token(*le, upper_exposed)) return std::nullopt;
+    const auto upper = static_cast<std::uint64_t>(
+        std::llround(upper_exposed * scale));
+    out.record(upper, cumulative - previous);
+    previous = cumulative;
+    last_finite_upper = upper;
+  }
+  if (!matched) return std::nullopt;
+  // The registry writes every non-empty bucket, so the +Inf delta is zero
+  // on its output; a foreign exposition may truncate buckets — place the
+  // overflow at the last known bound (best effort, count-preserving).
+  if (inf_count > previous && last_finite_upper != 0)
+    out.record(last_finite_upper, inf_count - previous);
+  return out;
+}
+
+}  // namespace rnb::obs

@@ -1,0 +1,125 @@
+// Prometheus text-exposition parser: the scrape-side twin of
+// MetricsRegistry::write_prometheus (text/plain version 0.0.4).
+//
+// The serving tier's `stats` verb answers with exactly the exposition the
+// registry writes — HELP/TYPE comments, label bodies built by
+// format_label, cumulative histogram buckets with optional OpenMetrics
+// exemplars. This parser turns that text back into structured families so
+// a collector can diff counters, merge histograms, and watch gauges over
+// time without a Prometheus server in the loop.
+//
+// Loss-free contract (pinned by the promtext round-trip fuzz): for any
+// text a MetricsRegistry writes, parse_prometheus + write_prometheus
+// reproduce the input byte for byte. Two properties make that hold:
+//
+//   * label values round-trip through unescape_label_value /
+//     escape_label_value (the writer's escaping is canonical — every
+//     byte not in {\, ", \n} is emitted raw — so re-escaping the parsed
+//     value regenerates the original body exactly),
+//   * every sample keeps the raw numeric token it was parsed from
+//     (`value_text`), because the writer formats counters as integers and
+//     gauges via %.17g — re-formatting a parsed double cannot distinguish
+//     the two, and uint64 counters above 2^53 do not survive a double
+//     round trip at all.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/hdr_histogram.hpp"
+
+namespace rnb::obs {
+
+/// Deterministic %.17g double formatting shared by the metrics writer and
+/// every JSON/text dump in the telemetry plane (non-finite values emit
+/// +Inf / -Inf / NaN tokens).
+void write_prom_double(std::ostream& os, double v);
+
+/// Inverse of escape_label_value: \\ -> backslash, \" -> quote, \n ->
+/// newline. An unknown escape (backslash followed by anything else) keeps
+/// both bytes — the Prometheus reference parser does the same, and it
+/// keeps unescape total so a round trip never loses input.
+std::string unescape_label_value(std::string_view escaped);
+
+/// Inverse of the writer's HELP escaping (backslash and newline only).
+std::string unescape_help(std::string_view escaped);
+
+enum class PromKind { kUntyped, kCounter, kGauge, kHistogram };
+
+struct PromLabel {
+  std::string key;
+  std::string value;  // unescaped
+};
+
+/// One sample line. For histograms the name carries the _bucket/_sum/
+/// _count suffix and bucket samples keep their `le` label like any other.
+struct PromSample {
+  std::string name;
+  std::vector<PromLabel> labels;
+  double value = 0.0;
+  std::string value_text;  // raw token, for loss-free re-serialization
+  bool has_exemplar = false;
+  std::uint64_t exemplar_trace_id = 0;
+  double exemplar_value = 0.0;
+  std::string exemplar_value_text;
+
+  /// The value of label `key`, or nullptr when absent.
+  const std::string* label(std::string_view key) const noexcept;
+  /// Canonical re-escaped label body (format_label pairs joined by ','),
+  /// optionally skipping one label key (histogram grouping drops `le`).
+  std::string label_body(std::string_view skip_key = {}) const;
+};
+
+struct PromFamily {
+  std::string name;
+  std::string help;  // unescaped
+  PromKind kind = PromKind::kUntyped;
+  std::vector<PromSample> samples;
+
+  const PromSample* sample(std::string_view sample_name,
+                           std::string_view label_body = {}) const;
+};
+
+/// One parsed exposition, families in input order.
+struct PromScrape {
+  std::vector<PromFamily> families;
+
+  const PromFamily* family(std::string_view name) const noexcept;
+  /// First sample with this exact name anywhere in the scrape (histogram
+  /// sample names include their suffix), or nullptr.
+  const PromSample* find(std::string_view sample_name) const noexcept;
+  /// Value of the first `sample_name` sample, or `fallback` when absent.
+  double value_or(std::string_view sample_name, double fallback) const;
+};
+
+/// Parse a 0.0.4 exposition. Returns false (and sets *error when given)
+/// on malformed input: bad HELP/TYPE syntax, an unterminated label body,
+/// a non-numeric value token. Unknown TYPE strings parse as untyped
+/// rather than failing — a scrape must tolerate families it postdates.
+bool parse_prometheus(std::string_view text, PromScrape& out,
+                      std::string* error = nullptr);
+
+/// Re-serialize exactly as MetricsRegistry::write_prometheus would:
+/// HELP/TYPE per family, canonical label escaping, raw value tokens,
+/// exemplar suffixes. parse + write is byte-identity on registry output.
+void write_prometheus(const PromScrape& scrape, std::ostream& os);
+
+/// Reassemble an HDR histogram from `fam`'s cumulative `_bucket` samples
+/// whose labels minus `le` re-serialize to `label_body`. Each bucket's
+/// de-cumulated count is recorded at its upper bound in *recorded* units
+/// (`le` text times `scale` — the inverse of the registry's exposition
+/// scale), which reproduces the source histogram's bucket counts exactly:
+/// quantile reads on the result equal the source's wherever they depend
+/// only on bucket counts (always, for bucket-exact recorded values).
+/// Returns nullopt when the family has no matching bucket samples or a
+/// bucket count decreases (not a cumulative histogram).
+std::optional<Histogram> assemble_histogram(const PromFamily& fam,
+                                            const std::string& label_body,
+                                            double scale,
+                                            unsigned significant_bits = 7);
+
+}  // namespace rnb::obs

@@ -28,6 +28,12 @@ void write_request_fields(std::ostream& os, const SlowRequest& r) {
      << ",\"hitchhikes\":" << r.hitchhikes << ",\"retries\":" << r.retries
      << ",\"servers\":" << r.servers << ",\"deadline_missed\":"
      << (r.deadline_missed ? "true" : "false");
+  // Emitted only when set, so pre-elastic recordings serialize unchanged.
+  if (r.epoch != 0) os << ",\"epoch\":" << r.epoch;
+  if (r.engine != nullptr) {
+    os << ",\"engine\":";
+    write_json_string(os, r.engine);
+  }
 }
 
 void write_span_tree(
@@ -125,8 +131,10 @@ void SlowLog::write_text(std::ostream& os) const {
     os << " cost=" << r.cost << " items=" << r.items
        << " txns=" << r.transactions << " waves=" << r.waves
        << " hitchhikes=" << r.hitchhikes << " retries=" << r.retries
-       << " servers=" << r.servers
-       << (r.deadline_missed ? " deadline_missed" : "") << '\n';
+       << " servers=" << r.servers;
+    if (r.epoch != 0) os << " epoch=" << r.epoch;
+    if (r.engine != nullptr) os << " engine=" << r.engine;
+    os << (r.deadline_missed ? " deadline_missed" : "") << '\n';
   }
 }
 

@@ -41,6 +41,11 @@ struct SlowRequest {
   std::uint32_t retries = 0;
   std::uint32_t servers = 0;
   bool deadline_missed = false;
+  /// Ring epoch the request executed under (0 = untagged / pre-elastic) —
+  /// lets a flight-recorder dump correlate slow covers with migrations.
+  std::uint64_t epoch = 0;
+  /// Storage engine that served it (static string, nullptr = unknown).
+  const char* engine = nullptr;
 };
 
 class SlowLog {

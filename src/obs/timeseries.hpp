@@ -1,0 +1,168 @@
+// Fixed-capacity time series: the flight-recorder storage layer.
+//
+// A TimeSeries is a ring of (timestamp, value) samples — the last K
+// observations of one scraped metric. Appends are O(1), old samples fall
+// off the back, and the counter views (delta / rate) handle resets the
+// way Prometheus `rate()` does: a value drop restarts the base at zero,
+// so a server restart reads as a small positive increment rather than a
+// huge negative one.
+//
+// Timestamps are caller-supplied microseconds — the collector passes
+// virtual time under the sim clock seam and steady-clock-since-start in
+// wall mode, so identical scrape schedules produce identical series and
+// the flight-recorder JSON diff-checks across runs.
+//
+// SeriesStore maps series keys to rings in insertion order (same
+// determinism discipline as MetricsRegistry): iteration order, and hence
+// every dump built from it, depends only on the order keys first appear.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rnb::obs {
+
+struct TsSample {
+  std::uint64_t t_us = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity) : capacity_(capacity) {
+    RNB_REQUIRE(capacity_ > 0);
+  }
+
+  void append(std::uint64_t t_us, double value) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back({t_us, value});
+    } else {
+      ring_[head_] = {t_us, value};
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++appended_;
+  }
+
+  std::size_t size() const noexcept { return ring_.size(); }
+  bool empty() const noexcept { return ring_.empty(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Total appends ever (retained + fallen off the back).
+  std::uint64_t appended() const noexcept { return appended_; }
+
+  /// Sample `i`, oldest first (0 .. size()-1).
+  const TsSample& at(std::size_t i) const {
+    RNB_REQUIRE(i < ring_.size());
+    return ring_[(head_ + i) % ring_.size()];
+  }
+  const TsSample& front() const { return at(0); }
+  const TsSample& back() const { return at(ring_.size() - 1); }
+  /// Latest value, or 0 when empty.
+  double last() const noexcept {
+    return ring_.empty() ? 0.0 : at(ring_.size() - 1).value;
+  }
+
+  /// Counter increase across the retained window, reset-aware: negative
+  /// steps contribute the post-reset value (the counter restarted at 0).
+  double delta() const noexcept {
+    double total = 0.0;
+    for (std::size_t i = 1; i < ring_.size(); ++i) {
+      const double step = at(i).value - at(i - 1).value;
+      total += step >= 0.0 ? step : at(i).value;
+    }
+    return total;
+  }
+
+  /// delta() per second over the retained window; 0 with <2 samples.
+  double rate_per_s() const noexcept {
+    if (ring_.size() < 2) return 0.0;
+    const std::uint64_t elapsed = back().t_us - front().t_us;
+    return elapsed == 0 ? 0.0 : delta() / (static_cast<double>(elapsed) / 1e6);
+  }
+
+  /// Increase between the last two samples only (reset-aware).
+  double delta_last() const noexcept {
+    if (ring_.size() < 2) return 0.0;
+    const double step = back().value - at(ring_.size() - 2).value;
+    return step >= 0.0 ? step : back().value;
+  }
+
+  /// delta_last() per second over the last sampling interval.
+  double rate_last_per_s() const noexcept {
+    if (ring_.size() < 2) return 0.0;
+    const std::uint64_t elapsed = back().t_us - at(ring_.size() - 2).t_us;
+    return elapsed == 0
+               ? 0.0
+               : delta_last() / (static_cast<double>(elapsed) / 1e6);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TsSample> ring_;
+  std::size_t head_ = 0;  // index of the oldest sample once full
+  std::uint64_t appended_ = 0;
+};
+
+/// Keyed ring buffers in first-appearance order. deque-backed so series
+/// references stay stable as new keys arrive (the index map's string_view
+/// keys point into the stored strings for the same reason).
+class SeriesStore {
+ public:
+  explicit SeriesStore(std::size_t samples_per_series)
+      : samples_per_series_(samples_per_series) {
+    RNB_REQUIRE(samples_per_series_ > 0);
+  }
+
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+
+  std::size_t size() const noexcept { return series_.size(); }
+  std::size_t samples_per_series() const noexcept {
+    return samples_per_series_;
+  }
+
+  /// Get or create the ring for `key`.
+  TimeSeries& series(std::string_view key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) return series_[it->second].second;
+    series_.emplace_back(std::string(key), TimeSeries(samples_per_series_));
+    index_.emplace(series_.back().first, series_.size() - 1);
+    return series_.back().second;
+  }
+
+  const TimeSeries* find(std::string_view key) const noexcept {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &series_[it->second].second;
+  }
+
+  /// fn(key, series) in first-appearance order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, ts] : series_) fn(key, ts);
+  }
+
+ private:
+  struct ViewHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct ViewEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::size_t samples_per_series_;
+  std::deque<std::pair<std::string, TimeSeries>> series_;
+  std::unordered_map<std::string_view, std::size_t, ViewHash, ViewEq> index_;
+};
+
+}  // namespace rnb::obs

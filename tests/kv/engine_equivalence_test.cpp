@@ -13,6 +13,8 @@
 
 #include "common/rng.hpp"
 #include "kv/memtable.hpp"
+#include "kv/sharded_memtable.hpp"
+#include "kv/slab_memtable.hpp"
 #include "kv/swiss_memtable.hpp"
 
 namespace rnb {
@@ -154,6 +156,17 @@ TEST(EngineEquivalence, StarvationBudgetRejectsOversized) {
 TEST(EngineEquivalence, SeedSweepShortRuns) {
   for (std::uint64_t seed = 10; seed < 18; ++seed)
     run_fuzz(/*byte_budget=*/40 * 160, seed, /*ops=*/4000);
+}
+
+TEST(EngineEquivalence, EngineNamesIdentifyTheStore) {
+  // The observability identity every engine declares, forwarded through
+  // the sharded wrapper — slow-log entries and stats labels ride on it.
+  EXPECT_STREQ(MemTable::kEngineName, "map");
+  EXPECT_STREQ(kv::SlabMemTable::kEngineName, "slab");
+  EXPECT_STREQ(SwissMemTable::kEngineName, "swiss");
+  EXPECT_STREQ(kv::ShardedMemTable::kEngineName, "map");
+  EXPECT_STREQ(kv::ShardedSwissMemTable::kEngineName, "swiss");
+  EXPECT_STREQ(kv::ShardedSlabMemTable::kEngineName, "slab");
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace rnb::obs {
+namespace {
+
+ClusterSample sample_with_rates(const std::vector<double>& rates,
+                                std::uint32_t total = 0) {
+  ClusterSample s;
+  s.servers_total =
+      total != 0 ? total : static_cast<std::uint32_t>(rates.size());
+  s.servers_up = static_cast<std::uint32_t>(rates.size());
+  s.up.assign(s.servers_total, 0);
+  s.server_txns_per_s.assign(s.servers_total, 0.0);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    s.up[i] = 1;
+    s.server_txns_per_s[i] = rates[i];
+    s.txns_per_s += rates[i];
+  }
+  return s;
+}
+
+TEST(BottleneckDetector, BalancedFleetScoresPerfect) {
+  const BottleneckDetector detector;
+  const HealthVerdict v =
+      detector.assess(sample_with_rates({50, 50, 50, 50}));
+  EXPECT_DOUBLE_EQ(v.load_cov, 0.0);
+  EXPECT_DOUBLE_EQ(v.load_max_mean, 1.0);
+  EXPECT_FALSE(v.skew_flagged);
+  EXPECT_FALSE(v.fleet_degraded);
+  EXPECT_TRUE(v.healthy());
+  EXPECT_DOUBLE_EQ(v.score, 100.0);
+}
+
+TEST(BottleneckDetector, DownServersCostAvailabilityNotSkew) {
+  // 3 of 4 up with equal load: the down server is a degradation fact
+  // (-50 * 1/4) but must not read as imbalance among the survivors.
+  const BottleneckDetector detector;
+  const HealthVerdict v =
+      detector.assess(sample_with_rates({40, 40, 40}, /*total=*/4));
+  EXPECT_TRUE(v.fleet_degraded);
+  EXPECT_FALSE(v.skew_flagged);
+  EXPECT_DOUBLE_EQ(v.load_max_mean, 1.0);
+  EXPECT_DOUBLE_EQ(v.score, 87.5);
+}
+
+TEST(BottleneckDetector, SkewTermPinnedByTheFormula) {
+  // Rates {30,10,10,10}: mean 15, max/mean 2.0 — exactly the default
+  // skew_threshold, so the penalty term saturates at its full 25 points
+  // (score 75) while the > threshold flag stays off.
+  const BottleneckDetector detector;
+  const HealthVerdict v =
+      detector.assess(sample_with_rates({30, 10, 10, 10}));
+  EXPECT_DOUBLE_EQ(v.load_max_mean, 2.0);
+  EXPECT_NEAR(v.load_cov, 0.5773502691896258, 1e-12);
+  EXPECT_FALSE(v.skew_flagged);  // flag needs strictly greater
+  EXPECT_DOUBLE_EQ(v.score, 75.0);
+
+  const HealthVerdict worse =
+      detector.assess(sample_with_rates({60, 10, 10, 10}));
+  EXPECT_TRUE(worse.skew_flagged);
+  EXPECT_DOUBLE_EQ(worse.score, 75.0);  // clamped: skew costs at most 25
+}
+
+TEST(BottleneckDetector, HotShardsNeedBothFactorAndNoiseFloor) {
+  const BottleneckDetector detector;
+  ClusterSample s = sample_with_rates({10, 10});
+  for (std::uint32_t i = 0; i < 10; ++i)
+    s.shards.push_back({0, i, i == 0 ? 100.0 : 0.0, 200.0});
+  HealthVerdict v = detector.assess(s);
+  ASSERT_EQ(v.hot_shards.size(), 1u);  // 100 > 4 * mean(10), over floor
+  EXPECT_EQ(v.hot_shards[0].shard, 0u);
+  EXPECT_DOUBLE_EQ(v.score, 95.0);  // 5 points per hot shard
+
+  // Same shape below the 16/s noise floor: an idle fleet's single busy
+  // stripe must not page.
+  ClusterSample quiet = sample_with_rates({10, 10});
+  for (std::uint32_t i = 0; i < 10; ++i)
+    quiet.shards.push_back({0, i, i == 0 ? 12.0 : 0.0, 20.0});
+  EXPECT_TRUE(detector.assess(quiet).hot_shards.empty());
+}
+
+TEST(BottleneckDetector, HotShardPenaltyCapsAt15) {
+  const BottleneckDetector detector;
+  ClusterSample s = sample_with_rates({10, 10});
+  for (std::uint32_t i = 0; i < 20; ++i)
+    s.shards.push_back({0, i, i < 4 ? 100.0 : 0.0, 200.0});
+  const HealthVerdict v = detector.assess(s);
+  EXPECT_EQ(v.hot_shards.size(), 4u);
+  EXPECT_DOUBLE_EQ(v.score, 85.0);  // min(15, 5*4)
+}
+
+TEST(BottleneckDetector, SloBurnNeedsSamplesAndATarget) {
+  HealthConfig config;
+  config.slo_p99_us = 100.0;
+  const BottleneckDetector detector(config);
+  ClusterSample s = sample_with_rates({10, 10});
+  s.p99_us = 150.0;
+  s.latency_count = 1000;
+  HealthVerdict v = detector.assess(s);
+  EXPECT_DOUBLE_EQ(v.slo_burn, 1.5);
+  EXPECT_TRUE(v.slo_breached);
+  EXPECT_DOUBLE_EQ(v.score, 87.5);  // 25 * clamp01(1.5 - 1)
+
+  s.latency_count = 0;  // no observations: no burn, whatever p99 says
+  v = detector.assess(s);
+  EXPECT_DOUBLE_EQ(v.slo_burn, 0.0);
+  EXPECT_FALSE(v.slo_breached);
+
+  // Without a configured target the term never engages.
+  const BottleneckDetector no_slo;
+  ClusterSample t = sample_with_rates({10, 10});
+  t.p99_us = 1e9;
+  t.latency_count = 1000;
+  EXPECT_FALSE(no_slo.assess(t).slo_breached);
+}
+
+TEST(BottleneckDetector, ScoreFloorsAtZero) {
+  HealthConfig config;
+  config.slo_p99_us = 10.0;
+  const BottleneckDetector detector(config);
+  ClusterSample s = sample_with_rates({100, 1}, /*total=*/8);
+  s.p99_us = 1000.0;  // burn 100: the SLO term saturates at 25
+  s.latency_count = 10;
+  for (std::uint32_t i = 0; i < 20; ++i)
+    s.shards.push_back({0, i, i < 4 ? 100.0 : 0.0, 200.0});
+  const HealthVerdict v = detector.assess(s);
+  // -37.5 (up 2/8) -24.50495 (skew) -25 (SLO) -15 (hot): clamped at 0.
+  EXPECT_DOUBLE_EQ(v.score, 0.0);
+  EXPECT_FALSE(v.healthy());
+}
+
+TEST(BottleneckDetector, AssessIsPure) {
+  const BottleneckDetector detector;
+  ClusterSample s = sample_with_rates({30, 10, 10, 10});
+  s.shards.push_back({1, 2, 50.0, 90.0});
+  const HealthVerdict a = detector.assess(s);
+  const HealthVerdict b = detector.assess(s);
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.load_cov, b.load_cov);
+  EXPECT_EQ(a.hot_shards.size(), b.hot_shards.size());
+}
+
+TEST(FlightRecorder, VerdictRingEvictsOldest) {
+  FlightRecorder recorder(nullptr, 3);
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    HealthVerdict v;
+    v.t_us = t;
+    recorder.record(v);
+  }
+  const std::vector<HealthVerdict> kept = recorder.verdicts();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept.front().t_us, 3u);
+  EXPECT_EQ(kept.back().t_us, 5u);
+  EXPECT_EQ(recorder.last_verdict().t_us, 5u);
+}
+
+TEST(FlightRecorder, JsonSnapshotIsDeterministic) {
+  SeriesStore store(4);
+  store.series("s0:rnb_kv_transactions_total").append(1000, 10);
+  store.series("s0:rnb_kv_transactions_total").append(2000, 25);
+  store.series("cluster:txns_per_s").append(2000, 15.5);
+  FlightRecorder recorder(&store, 8);
+  HealthVerdict v;
+  v.t_us = 2000;
+  v.servers_total = 4;
+  v.servers_up = 4;
+  v.score = 92.5;
+  recorder.record(v);
+
+  std::ostringstream first, second;
+  recorder.write_json(first, "bench_end");
+  recorder.write_json(second, "bench_end");
+  EXPECT_EQ(first.str(), second.str());
+  const std::string json = first.str();
+  EXPECT_NE(json.find("\"reason\": \"bench_end\""), std::string::npos);
+  EXPECT_NE(json.find("\"s0:rnb_kv_transactions_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster:txns_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"score\":92.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("[1000,10]"), std::string::npos) << json;
+}
+
+TEST(FlightRecorder, CrashHookDumpsTheInstalledRecorder) {
+  const std::string path = testing::TempDir() + "rnb_flight_hook.json";
+  std::remove(path.c_str());
+  {
+    SeriesStore store(4);
+    store.series("s1:rnb_kv_epoch").append(10, 3);
+    FlightRecorder recorder(&store, 4);
+    recorder.install_dump(path, /*signum=*/0);
+    EXPECT_EQ(FlightRecorder::installed(), &recorder);
+    HealthVerdict v;
+    v.t_us = 10;
+    recorder.record(v);
+    FlightRecorder::dump_installed("server_crash");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream contents;
+    contents << in.rdbuf();
+    EXPECT_NE(contents.str().find("\"reason\": \"server_crash\""),
+              std::string::npos);
+    EXPECT_NE(contents.str().find("s1:rnb_kv_epoch"), std::string::npos);
+  }
+  // Destruction uninstalls: the hook becomes a no-op again.
+  EXPECT_EQ(FlightRecorder::installed(), nullptr);
+  std::remove(path.c_str());
+  FlightRecorder::dump_installed("after_teardown");
+  std::ifstream gone(path);
+  EXPECT_FALSE(gone.good());
+}
+
+}  // namespace
+}  // namespace rnb::obs

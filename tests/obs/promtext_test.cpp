@@ -1,0 +1,269 @@
+#include "obs/promtext.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/hdr_histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace rnb::obs {
+namespace {
+
+std::string render(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  return os.str();
+}
+
+/// parse + write, asserting the parse succeeded.
+std::string reserialize(const std::string& text) {
+  PromScrape scrape;
+  std::string error;
+  EXPECT_TRUE(parse_prometheus(text, scrape, &error)) << error << "\n" << text;
+  std::ostringstream os;
+  write_prometheus(scrape, os);
+  return os.str();
+}
+
+TEST(PromText, NastyLabelValuesRoundTripByteForByte) {
+  MetricsRegistry registry;
+  registry
+      .counter("rnb_requests_total", "requests with \\ and \n in the help",
+               format_label("key", "a\\b\"c\nd") + "," +
+                   format_label("mode", "plain"))
+      .inc(7);
+  registry.gauge("rnb_depth", "queue depth", format_label("q", "\"\"")).set(-0.25);
+  const std::string text = render(registry);
+  EXPECT_EQ(reserialize(text), text);
+
+  // And the parsed view really unescaped the bytes.
+  PromScrape scrape;
+  ASSERT_TRUE(parse_prometheus(text, scrape));
+  const PromSample* s = scrape.find("rnb_requests_total");
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(s->label("key"), nullptr);
+  EXPECT_EQ(*s->label("key"), "a\\b\"c\nd");
+}
+
+TEST(PromText, CountersAboveDoublePrecisionKeepTheirDigits) {
+  // 2^53 + 1 is not representable as a double: only the raw value_text
+  // keeps the counter loss-free across a round trip.
+  MetricsRegistry registry;
+  registry.counter("rnb_big_total", "big").inc((1ull << 53) + 1);
+  const std::string text = render(registry);
+  EXPECT_NE(text.find("9007199254740993"), std::string::npos) << text;
+  EXPECT_EQ(reserialize(text), text);
+}
+
+TEST(PromText, HistogramWithExemplarsRoundTrips) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rnb_latency_seconds", "latency",
+                                    format_label("server", "3"), 7, 1e6);
+  h.record_traced(120, 0xabcdef);
+  h.record_traced(90000, 0x42);
+  h.record(17, 5);
+  const std::string text = render(registry);
+  EXPECT_NE(text.find("# {trace_id="), std::string::npos) << text;
+  EXPECT_EQ(reserialize(text), text);
+
+  PromScrape scrape;
+  ASSERT_TRUE(parse_prometheus(text, scrape));
+  const PromFamily* fam = scrape.family("rnb_latency_seconds");
+  ASSERT_NE(fam, nullptr);
+  EXPECT_EQ(fam->kind, PromKind::kHistogram);
+  bool saw_exemplar = false;
+  for (const PromSample& s : fam->samples)
+    if (s.has_exemplar && s.exemplar_trace_id == 0xabcdef) saw_exemplar = true;
+  EXPECT_TRUE(saw_exemplar) << text;
+}
+
+TEST(PromText, ParsesKindsAndValues) {
+  const std::string text =
+      "# HELP a_total count\n"
+      "# TYPE a_total counter\n"
+      "a_total 12\n"
+      "# HELP b current\n"
+      "# TYPE b gauge\n"
+      "b{x=\"1\"} 2.5\n"
+      "untyped_line 9\n";
+  PromScrape scrape;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(text, scrape, &error)) << error;
+  ASSERT_EQ(scrape.families.size(), 3u);
+  EXPECT_EQ(scrape.family("a_total")->kind, PromKind::kCounter);
+  EXPECT_EQ(scrape.family("b")->kind, PromKind::kGauge);
+  EXPECT_EQ(scrape.family("untyped_line")->kind, PromKind::kUntyped);
+  EXPECT_DOUBLE_EQ(scrape.value_or("a_total", -1), 12.0);
+  EXPECT_DOUBLE_EQ(scrape.value_or("b", -1), 2.5);
+  EXPECT_DOUBLE_EQ(scrape.value_or("absent", -1), -1.0);
+}
+
+TEST(PromText, UnknownTypeStringParsesAsUntyped) {
+  // A scrape must tolerate families it postdates.
+  PromScrape scrape;
+  ASSERT_TRUE(parse_prometheus(
+      "# TYPE fancy summary\nfancy 1\n", scrape));
+  EXPECT_EQ(scrape.family("fancy")->kind, PromKind::kUntyped);
+}
+
+TEST(PromText, MalformedInputsFailWithAnError) {
+  const char* bad[] = {
+      "# HELP 9bad help\n",            // invalid metric name
+      "# TYPE one\n",                  // TYPE without a kind
+      "metric{le=\"0.1\" 3\n",         // unterminated label body
+      "metric{le=0.1} 3\n",            // unquoted label value
+      "metric notanumber\n",           // non-numeric value token
+      "metric 1 trailing junk here\n"  // trailing garbage
+  };
+  for (const char* text : bad) {
+    PromScrape scrape;
+    std::string error;
+    EXPECT_FALSE(parse_prometheus(text, scrape, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(PromText, EscapeUnescapeIsIdentityOnRandomBytes) {
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string raw;
+    const std::size_t len = rng() % 24;
+    for (std::size_t i = 0; i < len; ++i) {
+      // Bias toward the escape-relevant bytes so every trial exercises
+      // them; the rest of printable ASCII rides along.
+      switch (rng() % 6) {
+        case 0: raw += '\\'; break;
+        case 1: raw += '"'; break;
+        case 2: raw += '\n'; break;
+        default: raw += static_cast<char>(' ' + rng() % 95);
+      }
+    }
+    EXPECT_EQ(unescape_label_value(escape_label_value(raw)), raw) << trial;
+  }
+  // Unknown escapes keep both bytes (reference-parser behaviour).
+  EXPECT_EQ(unescape_label_value("\\q"), "\\q");
+  EXPECT_EQ(unescape_label_value("tail\\"), "tail\\");
+}
+
+TEST(PromText, RegistryFuzzRoundTripsByteForByte) {
+  // The loss-free contract from the header, pinned: anything a
+  // MetricsRegistry writes survives parse + write byte for byte.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Xoshiro256 rng(seed);
+    MetricsRegistry registry;
+    const auto random_value = [&rng]() -> std::string {
+      std::string v;
+      const std::size_t len = 1 + rng() % 8;
+      for (std::size_t i = 0; i < len; ++i) {
+        switch (rng() % 8) {
+          case 0: v += '\\'; break;
+          case 1: v += '"'; break;
+          case 2: v += '\n'; break;
+          default: v += static_cast<char>('a' + rng() % 26);
+        }
+      }
+      return v;
+    };
+    const std::size_t families = 1 + rng() % 5;
+    for (std::size_t f = 0; f < families; ++f) {
+      const std::string name = "rnb_fuzz_" + std::to_string(seed) + "_" +
+                               std::to_string(f);
+      const std::string help = "help " + random_value();
+      std::string labels;
+      if (rng() % 2) labels = format_label("k", random_value());
+      switch (rng() % 3) {
+        case 0:
+          registry.counter(name + "_total", help, labels).inc(rng());
+          break;
+        case 1: {
+          double value = 0.0;
+          switch (rng() % 5) {
+            case 0: value = std::numeric_limits<double>::infinity(); break;
+            case 1: value = -std::numeric_limits<double>::quiet_NaN(); break;
+            case 2: value = -rng.uniform01() * 1e18; break;
+            case 3: value = rng.uniform01() * 1e-15; break;
+            default: value = rng.uniform01() * 1e6;
+          }
+          registry.gauge(name, help, labels).set(value);
+          break;
+        }
+        default: {
+          Histogram& h = registry.histogram(name + "_seconds", help, labels, 7,
+                                            rng() % 2 ? 1e6 : 1.0);
+          const std::size_t records = rng() % 12;
+          for (std::size_t r = 0; r < records; ++r) {
+            if (rng() % 3 == 0)
+              h.record_traced(rng() % 1000000, rng());
+            else
+              h.record(rng() % 1000000);
+          }
+        }
+      }
+    }
+    const std::string text = render(registry);
+    EXPECT_EQ(reserialize(text), text) << "seed " << seed;
+  }
+}
+
+TEST(PromText, AssembleHistogramReproducesBucketCountsExactly) {
+  // Bucket-exact recorded values survive the cumulative-bucket exposition
+  // and come back with identical per-bucket counts and quantiles.
+  for (const double scale : {1.0, 1e6}) {
+    Xoshiro256 rng(77);
+    MetricsRegistry registry;
+    Histogram& source = registry.histogram(
+        "rnb_assemble_seconds", "h", format_label("server", "1"), 7, scale);
+    const Histogram shape(7);
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t raw = 1 + rng() % 1000000000ull;
+      source.record(shape.bucket_upper(shape.bucket_index(raw)));
+    }
+    PromScrape scrape;
+    ASSERT_TRUE(parse_prometheus(render(registry), scrape));
+    const PromFamily* fam = scrape.family("rnb_assemble_seconds");
+    ASSERT_NE(fam, nullptr);
+    const auto assembled =
+        assemble_histogram(*fam, format_label("server", "1"), scale);
+    ASSERT_TRUE(assembled.has_value()) << "scale " << scale;
+    EXPECT_EQ(assembled->count(), source.count());
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+      EXPECT_EQ(assembled->quantile(q), source.quantile(q))
+          << "q=" << q << " scale=" << scale;
+    std::vector<std::pair<std::size_t, std::uint64_t>> want, got;
+    source.for_each_bucket([&](const Histogram::Bucket& b) {
+      want.emplace_back(b.index, b.count);
+    });
+    assembled->for_each_bucket([&](const Histogram::Bucket& b) {
+      got.emplace_back(b.index, b.count);
+    });
+    EXPECT_EQ(got, want) << "scale " << scale;
+
+    // The wrong label body matches nothing.
+    EXPECT_FALSE(
+        assemble_histogram(*fam, format_label("server", "2"), scale)
+            .has_value());
+  }
+}
+
+TEST(PromText, AssembleHistogramRejectsNonCumulativeBuckets) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"2\"} 3\n"  // count decreased: not cumulative
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 9\n"
+      "h_count 5\n";
+  PromScrape scrape;
+  ASSERT_TRUE(parse_prometheus(text, scrape));
+  EXPECT_FALSE(assemble_histogram(*scrape.family("h"), "", 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace rnb::obs

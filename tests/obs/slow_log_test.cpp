@@ -144,5 +144,38 @@ TEST(SlowLog, WriteJsonWithoutTracerOmitsSpans) {
   EXPECT_EQ(json.find("\"spans\""), std::string::npos) << json;
 }
 
+TEST(SlowLog, EpochAndEngineSerializeOnlyWhenSet) {
+  // Regression for the placement-epoch / storage-engine attribution
+  // fields: emitted when set, absent otherwise, so pre-elastic recordings
+  // serialize unchanged.
+  SlowLog log(2);
+  SlowRequest tagged = request(500, 0xabc);
+  tagged.epoch = 7;
+  tagged.engine = "swiss";
+  log.record(tagged);
+  log.record(request(100, 0x7));  // untagged: neither field appears
+
+  std::ostringstream json_os;
+  log.write_json(json_os);
+  const std::string json = json_os.str();
+  const std::size_t tagged_at = json.find("\"cost\":500");
+  const std::size_t plain_at = json.find("\"cost\":100");
+  ASSERT_NE(tagged_at, std::string::npos) << json;
+  ASSERT_NE(plain_at, std::string::npos) << json;
+  EXPECT_NE(json.find("\"epoch\":7", tagged_at), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine\":\"swiss\"", tagged_at), std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("\"epoch\"", plain_at), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"engine\"", plain_at), std::string::npos) << json;
+
+  std::ostringstream text_os;
+  log.write_text(text_os);
+  const std::string text = text_os.str();
+  EXPECT_NE(text.find(" epoch=7 engine=swiss"), std::string::npos) << text;
+  const std::size_t plain_line = text.find("cost=100");
+  ASSERT_NE(plain_line, std::string::npos);
+  EXPECT_EQ(text.find("epoch=", plain_line), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace rnb::obs

@@ -1,0 +1,90 @@
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rnb::obs {
+namespace {
+
+TEST(TimeSeries, RingKeepsTheLastCapacitySamplesInOrder) {
+  TimeSeries ts(3);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.last(), 0.0);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ts.append(i * 100, static_cast<double>(i));
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.capacity(), 3u);
+  EXPECT_EQ(ts.appended(), 5u);
+  EXPECT_EQ(ts.front().t_us, 200u);  // 0 and 1 fell off the back
+  EXPECT_EQ(ts.at(1).t_us, 300u);
+  EXPECT_EQ(ts.back().t_us, 400u);
+  EXPECT_DOUBLE_EQ(ts.last(), 4.0);
+}
+
+TEST(TimeSeries, DeltaAndRateOverTheRetainedWindow) {
+  TimeSeries ts(8);
+  ts.append(0, 100);
+  ts.append(1000000, 150);   // +50 over 1s
+  ts.append(3000000, 250);   // +100 over 2s
+  EXPECT_DOUBLE_EQ(ts.delta(), 150.0);
+  EXPECT_DOUBLE_EQ(ts.rate_per_s(), 50.0);  // 150 over 3s
+  EXPECT_DOUBLE_EQ(ts.delta_last(), 100.0);
+  EXPECT_DOUBLE_EQ(ts.rate_last_per_s(), 50.0);  // 100 over 2s
+}
+
+TEST(TimeSeries, CounterResetContributesThePostResetValue) {
+  // Prometheus rate() semantics: a value drop means the counter restarted
+  // at zero, so the step contributes the post-reset reading, never a
+  // negative increment.
+  TimeSeries ts(8);
+  ts.append(0, 1000);
+  ts.append(1000000, 1200);  // +200
+  ts.append(2000000, 30);    // reset: contributes 30
+  ts.append(3000000, 90);    // +60
+  EXPECT_DOUBLE_EQ(ts.delta(), 290.0);
+  EXPECT_DOUBLE_EQ(ts.delta_last(), 60.0);
+  // The reset step itself, seen as the last interval.
+  TimeSeries reset(4);
+  reset.append(0, 500);
+  reset.append(1000000, 20);
+  EXPECT_DOUBLE_EQ(reset.delta_last(), 20.0);
+}
+
+TEST(TimeSeries, DegenerateWindowsRateZero) {
+  TimeSeries ts(4);
+  EXPECT_DOUBLE_EQ(ts.rate_per_s(), 0.0);
+  ts.append(500, 10);
+  EXPECT_DOUBLE_EQ(ts.rate_per_s(), 0.0);  // <2 samples
+  ts.append(500, 20);                      // same timestamp
+  EXPECT_DOUBLE_EQ(ts.rate_per_s(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.rate_last_per_s(), 0.0);
+}
+
+TEST(SeriesStore, IteratesInFirstAppearanceOrder) {
+  SeriesStore store(4);
+  store.series("b").append(0, 1);
+  store.series("a").append(0, 2);
+  store.series("b").append(1, 3);  // existing key: no reorder
+  store.series("c").append(0, 4);
+  std::string order;
+  store.for_each([&](const std::string& key, const TimeSeries&) {
+    order += key;
+  });
+  EXPECT_EQ(order, "bac");
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(SeriesStore, ReferencesStaySableAsNewKeysArrive) {
+  SeriesStore store(2);
+  TimeSeries& first = store.series("first");
+  for (int i = 0; i < 200; ++i)
+    store.series("k" + std::to_string(i)).append(0, i);
+  first.append(7, 42.0);
+  ASSERT_NE(store.find("first"), nullptr);
+  EXPECT_DOUBLE_EQ(store.find("first")->last(), 42.0);
+  EXPECT_EQ(store.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace rnb::obs

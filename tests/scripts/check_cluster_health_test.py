@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_cluster_health.py — the CI flight-dump gate.
+
+The gate runs enforcing over the elastic-churn flight dump (and any
+--collector-json artifact an operator points it at), so its final-verdict
+selection, bound checks, series matching, and exit codes get the same
+tier-1 coverage as the bench-regression gate. Registered as a ctest (see
+tests/CMakeLists.txt); stdlib only.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "scripts"))
+import check_cluster_health as gate  # noqa: E402
+
+
+def verdict(**overrides):
+    base = {"t_us": 0, "servers_total": 4, "servers_up": 4,
+            "load_cov": 0.1, "load_max_mean": 1.2, "hot_shards": [],
+            "p99_us": 500.0, "slo_burn": 0.0, "score": 95.0}
+    base.update(overrides)
+    return base
+
+
+def dump_doc(verdicts, series_keys=()):
+    return {"reason": "bench_end", "verdicts": verdicts,
+            "series": [{"key": k, "appended": 1, "samples": [[0, 1.0]]}
+                       for k in series_keys]}
+
+
+class HealthGateTest(unittest.TestCase):
+    def run_gate(self, dump, *args, bench=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            dump_path = os.path.join(tmp, "flight.json")
+            with open(dump_path, "w", encoding="utf-8") as f:
+                json.dump(dump, f)
+            argv = ["check", dump_path, *args]
+            if bench is not None:
+                bench_path = os.path.join(tmp, "bench.json")
+                with open(bench_path, "w", encoding="utf-8") as f:
+                    json.dump(bench, f)
+                argv += ["--bench-json", bench_path]
+            try:
+                return gate.main(argv)
+            except SystemExit as e:
+                return 1 if isinstance(e.code, str) else (e.code or 0)
+
+    # --- final-verdict selection -----------------------------------------
+
+    def test_gate_reads_the_final_verdict_not_the_worst(self):
+        # Mid-run degradation (the churn scenario kills a server on
+        # purpose) must not fail a run that ends healthy.
+        dump = dump_doc([verdict(servers_up=2, score=40.0),
+                         verdict(servers_up=4, score=95.0)])
+        self.assertEqual(
+            self.run_gate(dump, "--min-up-fraction", "1.0",
+                          "--min-score", "90"), 0)
+
+    def test_final_verdict_violations_fail(self):
+        dump = dump_doc([verdict(servers_up=4),
+                         verdict(servers_up=2, score=40.0)])
+        self.assertEqual(
+            self.run_gate(dump, "--min-up-fraction", "1.0"), 1)
+        self.assertEqual(
+            self.run_gate(dump, "--min-up-fraction", "0.5"), 0)
+
+    def test_empty_dump_fails_any_verdict_check_but_passes_none(self):
+        dump = dump_doc([])
+        self.assertEqual(self.run_gate(dump, "--min-score", "0"), 1)
+        self.assertEqual(self.run_gate(dump, "--min-verdicts", "1"), 1)
+        # A gate with no enabled checks has nothing to fail.
+        self.assertEqual(self.run_gate(dump), 0)
+
+    # --- individual bounds ------------------------------------------------
+
+    def test_skew_cov_score_and_hot_shard_bounds(self):
+        dump = dump_doc([verdict(load_cov=0.6, load_max_mean=2.5,
+                                 score=55.0,
+                                 hot_shards=[{"server": 0, "shard": 3}])])
+        self.assertEqual(self.run_gate(dump, "--max-skew", "2.0"), 1)
+        self.assertEqual(self.run_gate(dump, "--max-skew", "3.0"), 0)
+        self.assertEqual(self.run_gate(dump, "--max-cov", "0.5"), 1)
+        self.assertEqual(self.run_gate(dump, "--min-score", "60"), 1)
+        self.assertEqual(self.run_gate(dump, "--max-hot-shards", "0"), 1)
+        self.assertEqual(self.run_gate(dump, "--max-hot-shards", "1"), 0)
+
+    def test_min_verdicts_proves_the_collector_ran(self):
+        dump = dump_doc([verdict()])
+        self.assertEqual(self.run_gate(dump, "--min-verdicts", "2"), 1)
+        self.assertEqual(self.run_gate(dump, "--min-verdicts", "1"), 0)
+
+    # --- series requirements ----------------------------------------------
+
+    def test_require_series_is_substring_match_and_repeatable(self):
+        dump = dump_doc([verdict()],
+                        series_keys=["s0:rnb_kv_transactions_total",
+                                     "controller:rnb_elastic_epoch",
+                                     "cluster:txns_per_s"])
+        self.assertEqual(
+            self.run_gate(dump, "--require-series", "rnb_elastic_epoch",
+                          "--require-series", "cluster:txns_per_s"), 0)
+        self.assertEqual(
+            self.run_gate(dump, "--require-series", "s9:"), 1)
+
+    # --- bench-json availability rows --------------------------------------
+
+    def test_availability_checks_every_row_carrying_the_field(self):
+        bench = {"rows": [{"scenario": "static", "availability": 1.0},
+                          {"scenario": "churn", "availability": 0.97},
+                          {"scenario": "meta", "txns_per_s": 5.0}]}
+        dump = dump_doc([verdict()])
+        self.assertEqual(
+            self.run_gate(dump, "--min-availability", "0.95", bench=bench), 0)
+        self.assertEqual(
+            self.run_gate(dump, "--min-availability", "0.99", bench=bench), 1)
+
+    def test_bench_without_availability_rows_fails(self):
+        bench = {"rows": [{"scenario": "x", "txns_per_s": 1.0}]}
+        self.assertEqual(
+            self.run_gate(dump_doc([verdict()]),
+                          "--min-availability", "0.5", bench=bench), 1)
+
+    def test_min_availability_requires_bench_json(self):
+        self.assertEqual(
+            self.run_gate(dump_doc([verdict()]),
+                          "--min-availability", "0.5"), 1)
+
+    def test_unreadable_dump_exits_nonzero(self):
+        argv = ["check", "/nonexistent/flight.json", "--min-verdicts", "1"]
+        try:
+            code = gate.main(argv)
+        except SystemExit as e:
+            code = 1 if isinstance(e.code, str) else (e.code or 0)
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
